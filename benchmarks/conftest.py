@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure from the paper, asserts the
+paper's qualitative shape, and writes the rendered artifact to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def artifact():
+    """Write an experiment artifact; returns the writer function."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return write

@@ -1,0 +1,95 @@
+"""Sec. IV-B.2 — direct device-to-device sync vs sync through the cloud.
+
+The paper: "direct communication between devices based on Bluetooth is at
+least 10X faster than communications through the Internet".  We measure the
+simulated time and bytes to propagate a batch of updates between two nearby
+devices: (a) direct ad-hoc sync, (b) the current-MBaaS baseline where both
+devices sync through the cloud.
+"""
+
+import pytest
+
+from repro.collab.device import NodeKind
+from repro.collab.platform import CollabPlatform, SyncPolicy
+
+UPDATES = 20
+
+
+def run_direct():
+    platform = CollabPlatform(policy=SyncPolicy.P2P)
+    a = platform.add_node("phone_a", NodeKind.DEVICE)
+    b = platform.add_node("phone_b", NodeKind.DEVICE)
+    platform.connect_nearby("phone_a", "phone_b")
+    for i in range(UPDATES):
+        a.put(f"photo/{i}", {"bytes": "x" * 50, "n": i})
+    t0 = platform.clock.now_us
+    platform.converge()
+    assert all(b.get(f"photo/{i}") is not None for i in range(UPDATES))
+    return platform.clock.now_us - t0, platform.fabric.bytes_sent
+
+
+def run_via_cloud():
+    platform = CollabPlatform(policy=SyncPolicy.CLOUD_ONLY)
+    platform.add_node("cloud", NodeKind.CLOUD)
+    a = platform.add_node("phone_a", NodeKind.DEVICE)
+    b = platform.add_node("phone_b", NodeKind.DEVICE)
+    for i in range(UPDATES):
+        a.put(f"photo/{i}", {"bytes": "x" * 50, "n": i})
+    t0 = platform.clock.now_us
+    platform.converge()
+    assert all(b.get(f"photo/{i}") is not None for i in range(UPDATES))
+    return platform.clock.now_us - t0, platform.fabric.bytes_sent
+
+
+def run_comparison():
+    return {"direct_d2d": run_direct(), "via_cloud": run_via_cloud()}
+
+
+def render(results):
+    lines = [f"{'path':12} {'sync time (ms)':>16} {'bytes on the wire':>20}",
+             "-" * 50]
+    for name, (time_us, bytes_sent) in results.items():
+        lines.append(f"{name:12} {time_us / 1000.0:>16.1f} {bytes_sent:>20}")
+    d, c = results["direct_d2d"][0], results["via_cloud"][0]
+    lines.append(f"\nspeedup: {c / d:.1f}x (paper: 'at least 10X faster')")
+    return "\n".join(lines)
+
+
+def test_d2d_vs_cloud(benchmark, artifact):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    artifact("d2d_sync_vs_cloud", render(results))
+    direct_time, direct_bytes = results["direct_d2d"]
+    cloud_time, cloud_bytes = results["via_cloud"]
+    assert cloud_time / direct_time >= 10.0
+    # Relaying through the cloud also moves every byte twice.
+    assert cloud_bytes > direct_bytes * 1.5
+
+
+class TestOfflineOperation:
+    def test_d2d_works_without_internet(self):
+        """The paper: direct sync 'works well in environments ... with no
+        or poor Internet connections'."""
+        platform = CollabPlatform(policy=SyncPolicy.P2P)
+        platform.add_node("cloud", NodeKind.CLOUD)
+        a = platform.add_node("a", NodeKind.DEVICE)
+        b = platform.add_node("b", NodeKind.DEVICE)
+        platform.connect_nearby("a", "b")
+        platform.disconnect("a", "cloud")      # no Internet
+        platform.disconnect("b", "cloud")
+        a.put("doc", "offline-edit")
+        platform.converge()
+        assert b.get("doc") == "offline-edit"
+
+    def test_cloud_catches_up_when_reconnected(self):
+        platform = CollabPlatform(policy=SyncPolicy.P2P)
+        cloud = platform.add_node("cloud", NodeKind.CLOUD)
+        a = platform.add_node("a", NodeKind.DEVICE)
+        b = platform.add_node("b", NodeKind.DEVICE)
+        platform.connect_nearby("a", "b")
+        platform.disconnect("a", "cloud")
+        platform.disconnect("b", "cloud")
+        a.put("doc", 1)
+        platform.converge()
+        platform.reconnect("a", "cloud")
+        platform.converge()
+        assert cloud.get("doc") == 1

@@ -1,0 +1,60 @@
+"""Figure 8 — the MME schema upgrade/downgrade matrix.
+
+Regenerates the exact V3/V5/V6/V7/V8 matrix: one-step upgrades U1..U4,
+one-step downgrades D1..D4, X everywhere else.
+"""
+
+import pytest
+
+from repro.gmdb.schema import SchemaRegistry
+from repro.workloads.mme import MME_VERSIONS, mme_schema
+
+
+def build_matrix():
+    registry = SchemaRegistry("mme_session")
+    for version in MME_VERSIONS:
+        registry.register(version, mme_schema(version))
+    return registry.conversion_matrix()
+
+
+def render(matrix):
+    labeled = {}
+    # Number the U/D cells the way the figure does (U1 = 3->5, D1 = 5->3...)
+    for i, (a, b) in enumerate(zip(MME_VERSIONS, MME_VERSIONS[1:]), start=1):
+        labeled[(a, b)] = f"U{i}"
+        labeled[(b, a)] = f"D{i}"
+    header = "MME  " + "".join(f"{'V' + str(v):>6}" for v in MME_VERSIONS)
+    lines = [header, "-" * len(header)]
+    for a in MME_VERSIONS:
+        cells = []
+        for b in MME_VERSIONS:
+            cell = labeled.get((a, b), matrix[(a, b)])
+            cells.append(f"{cell:>6}")
+        lines.append(f"V{a:<3} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def test_fig8_matrix(benchmark, artifact):
+    matrix = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    artifact("fig8_mme_schema_matrix", render(matrix))
+    for i, a in enumerate(MME_VERSIONS):
+        for j, b in enumerate(MME_VERSIONS):
+            if i == j:
+                assert matrix[(a, b)] == "-"
+            elif j == i + 1:
+                assert matrix[(a, b)] == "U", (a, b)
+            elif j == i - 1:
+                assert matrix[(a, b)] == "D", (a, b)
+            else:
+                assert matrix[(a, b)] == "X", (a, b)
+
+
+class TestMatrixContent:
+    def test_upgrades_add_fields(self):
+        registry = SchemaRegistry("mme_session")
+        added = []
+        for version in MME_VERSIONS:
+            added.append(registry.register(version, mme_schema(version)))
+        # V3 is the base; every later version appends fields.
+        assert added[0] == []
+        assert all(len(changes) >= 2 for changes in added[1:])

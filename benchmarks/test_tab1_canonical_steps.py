@@ -1,0 +1,93 @@
+"""Table I — the logical canonical form in the plan store.
+
+Paper scenario: ``select * from OLAP.t1, OLAP.t2 where OLAP.t1.a1 =
+OLAP.t2.a2 and OLAP.t1.b1 > 10`` runs with estimates far off the actual
+cardinalities; the producer captures the scan-on-t1 and join steps as two
+plan-store rows keyed by the MD5 of their canonical prefix-form text.
+"""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.sql.engine import SqlEngine
+
+QUERY = ("select * from olap.t1, olap.t2 "
+         "where olap.t1.a1 = olap.t2.a2 and olap.t1.b1 > 10")
+
+
+def build_engine():
+    cluster = MppCluster(num_dns=2)
+    engine = SqlEngine(cluster)
+    engine.execute("create table olap.t1 (a1 int primary key, b1 int)")
+    engine.execute("create table olap.t2 (a2 int primary key, b2 int)")
+    # Correlated b1: uniform-independence stats badly misestimate b1 > 10.
+    rows1 = ",".join(f"({i}, {0 if i < 150 else i})" for i in range(250))
+    rows2 = ",".join(f"({i}, {i})" for i in range(250))
+    engine.execute(f"insert into olap.t1 values {rows1}")
+    engine.execute(f"insert into olap.t2 values {rows2}")
+    return engine
+
+
+def run_scenario():
+    engine = build_engine()
+    engine.execute(QUERY)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_engine()
+
+
+def test_tab1_capture(benchmark, artifact):
+    engine = benchmark.pedantic(
+        lambda: (lambda e: (e.execute(QUERY), e))(build_engine())[1],
+        rounds=1, iterations=1,
+    )
+    artifact("tab1_logical_canonical_form", engine.plan_store.render_table())
+    steps = sorted(r.step_text for r in engine.plan_store.records())
+    assert "SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))" in steps
+    assert any(s.startswith("JOIN(") for s in steps)
+
+
+class TestTable1Shape:
+    def test_scan_and_join_steps_captured(self, engine):
+        engine.execute(QUERY)
+        steps = sorted(r.step_text for r in engine.plan_store.records())
+        assert any(s.startswith("JOIN(SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10)), "
+                                "SCAN(OLAP.T2)") for s in steps), steps
+        assert "SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))" in steps
+
+    def test_join_entry_embeds_full_child_definitions(self, engine):
+        engine.execute(QUERY)
+        join_steps = [r.step_text for r in engine.plan_store.records()
+                      if r.step_text.startswith("JOIN(")]
+        assert join_steps
+        # The join row "specifies the full definition of the children".
+        assert "PREDICATE(OLAP.T1.B1>10)" in join_steps[0]
+        assert "PREDICATE(OLAP.T1.A1=OLAP.T2.A2)" in join_steps[0]
+
+    def test_estimates_differ_from_actuals(self, engine):
+        engine.execute(QUERY)
+        for record in engine.plan_store.records():
+            assert record.estimated_rows != record.actual_rows
+
+    def test_predicate_order_does_not_fragment(self, engine):
+        engine.execute(QUERY)
+        size_before = len(engine.plan_store)
+        engine.execute("select * from olap.t1, olap.t2 "
+                       "where olap.t1.b1 > 10 and olap.t1.a1 = olap.t2.a2")
+        assert len(engine.plan_store) == size_before
+
+    def test_join_order_does_not_fragment(self, engine):
+        engine.execute(QUERY)
+        size_before = len(engine.plan_store)
+        engine.execute("select * from olap.t2, olap.t1 "
+                       "where olap.t2.a2 = olap.t1.a1 and olap.t1.b1 > 10")
+        assert len(engine.plan_store) == size_before
+
+    def test_md5_keys(self, engine):
+        engine.execute(QUERY)
+        for record in engine.plan_store.records():
+            assert len(record.key) == 32
+            int(record.key, 16)

@@ -1,0 +1,79 @@
+"""GMDB: telecom session management with a live schema upgrade.
+
+Reproduces the paper's Section III scenario: MME session objects (5-10 KB
+JSON trees) served from an in-memory KV store, while the network function
+upgrades from schema V3 to V5 *in service* — old and new application
+versions read and write the same data concurrently, with on-the-fly
+upgrade/downgrade conversion and delta-based sync (Figs. 8-11).
+
+Run:  python examples/gmdb_session_store.py
+"""
+
+from repro.common.rng import make_rng
+from repro.gmdb.cluster import GmdbCluster
+from repro.gmdb.delta import object_wire_size
+from repro.workloads.mme import MmeSessionGenerator, mme_schema, touch_session
+
+
+def main() -> None:
+    cluster = GmdbCluster(num_dns=2, object_type="mme_session")
+    cluster.register_schema(3, mme_schema(3))
+
+    # -- the V3 network function loads subscriber sessions -------------------
+    v3 = cluster.connect("mme-v3", version=3)
+    generator = MmeSessionGenerator(3, seed=5)
+    keys = []
+    for i in range(50):
+        session = generator.session(i)
+        v3.create(session["imsi"], session)
+        keys.append(session["imsi"])
+    sizes = [object_wire_size(v3.read(k)) for k in keys[:5]]
+    print(f"loaded {len(keys)} sessions, sample sizes: {sizes} bytes")
+
+    # -- in-service software upgrade: register V5 while traffic flows ---------------
+    rng = make_rng(9)
+    v3.update(keys[0], lambda s: touch_session(s, rng))
+    changes = cluster.register_schema(5, mme_schema(5))
+    print(f"\nregistered schema V5 online; appended fields: {changes}")
+    v3.update(keys[1], lambda s: touch_session(s, rng))   # V3 still works
+
+    # -- the upgraded network function joins ------------------------------------------
+    v5 = cluster.connect("mme-v5", version=5)
+    session = v5.read(keys[0])            # stored at V3, upgraded on read
+    print(f"\nV5 reads a V3 session: volte_enabled={session['volte_enabled']} "
+          f"(defaulted), bearers={len(session['bearers'])}")
+    v5.update(keys[0], lambda s: s.__setitem__("volte_enabled", True))
+
+    # -- both versions co-exist on the same object (Fig. 10) --------------------------
+    v3.subscribe(keys[0])
+    v5.subscribe(keys[0])
+    delta = v5.update(keys[0], lambda s: (
+        s.__setitem__("state", "CONNECTED"),
+        s.__setitem__("volte_profile", "premium"),
+    ))
+    v3_view = v3.cached(keys[0])
+    print("\nafter a V5 write:")
+    print(f"  delta pushed: {len(delta)} ops, {delta.wire_size()} bytes "
+          f"(vs {object_wire_size(session)} for the whole object)")
+    print(f"  V3 subscriber sees state={v3_view['state']}, "
+          f"volte fields hidden: {'volte_profile' not in v3_view}")
+
+    # -- downgrade path (rollback scenario, D1 in Fig. 8) ------------------------------
+    v3.invalidate(keys[0])
+    downgraded = v3.read(keys[0])
+    mme_schema(3).validate(downgraded)
+    print(f"  V3 re-read validates against V3 schema "
+          f"(state={downgraded['state']})")
+
+    # -- ops summary ---------------------------------------------------------------------
+    m = cluster.metrics
+    print(f"\nmetrics: reads={m.reads} writes={m.writes} "
+          f"conversions={m.conversions} bytes={m.bytes_sent} "
+          f"simulated-busy={m.busy_us / 1000:.1f}ms")
+    flushed = cluster.flush_all()
+    print(f"background flush persisted {flushed} dirty objects "
+          "(GMDB trades durability for latency; see Sec. III-A)")
+
+
+if __name__ == "__main__":
+    main()

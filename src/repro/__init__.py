@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Data Management at Huawei" (ICDE 2019).
+
+Subpackages:
+
+* :mod:`repro.cluster` / :mod:`repro.core` — the FI-MPPDB simulation and the
+  GTM-lite distributed transaction protocol (the paper's Sec. II-A).
+* :mod:`repro.sql`, :mod:`repro.optimizer`, :mod:`repro.exec`,
+  :mod:`repro.learnopt` — the SQL stack with the learning optimizer
+  (Sec. II-C).
+* :mod:`repro.multimodel` — graph / time-series / spatial engines unified
+  over SQL (Sec. II-B).
+* :mod:`repro.gmdb` — the telecom in-memory database with online schema
+  evolution (Sec. III).
+* :mod:`repro.autonomous` — the autonomous-database components (Sec. IV-A).
+* :mod:`repro.collab` — the device-edge-cloud collaboration platform
+  (Sec. IV-B).
+"""
+
+__version__ = "0.1.0"
+
+from repro.cluster import MppCluster, TxnMode
+from repro.gmdb import GmdbCluster
+from repro.multimodel import MultiModelDB
+from repro.sql import SqlEngine
+
+__all__ = ["MppCluster", "TxnMode", "SqlEngine", "MultiModelDB",
+           "GmdbCluster", "__version__"]

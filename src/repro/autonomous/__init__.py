@@ -1,0 +1,17 @@
+"""Autonomous database components (Sec. IV-A, Fig. 12)."""
+
+from repro.autonomous.adbms import AutonomousManager, TickReport
+from repro.autonomous.anomaly import AnomalyManager, EwmaDetector, HeartbeatDetector, ThresholdDetector
+from repro.autonomous.change import ChangeManager, KnobDef
+from repro.autonomous.infostore import InformationStore
+from repro.autonomous.ml import KnnRegressor, KnobTuner, LinearRegression
+from repro.autonomous.protection import AccessDenied, ProtectionManager
+from repro.autonomous.workload import Priority, Sla, WorkloadManager
+
+__all__ = ["AutonomousManager", "TickReport", "InformationStore",
+           "AnomalyManager", "ThresholdDetector", "EwmaDetector",
+           "HeartbeatDetector", "ChangeManager", "KnobDef",
+           "WorkloadManager", "Sla", "Priority",
+           "LinearRegression", "KnnRegressor", "KnobTuner"]
+
+__all__ += ["ProtectionManager", "AccessDenied"]

@@ -1,0 +1,158 @@
+"""The autonomous database manager: Fig. 12 assembled.
+
+Wires the five components — information store, change manager, anomaly
+manager, workload manager, in-DB ML — around an
+:class:`~repro.cluster.mpp.MppCluster` and exposes the monitoring loop:
+``collect()`` harvests cluster metrics into the information store, and
+``tick()`` runs detection, SLA enforcement, self-healing and (optionally)
+knob tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.autonomous.anomaly import (
+    Anomaly,
+    AnomalyManager,
+    EwmaDetector,
+    HeartbeatDetector,
+    Severity,
+    ThresholdDetector,
+)
+from repro.autonomous.change import ChangeEvent, ChangeManager, KnobDef
+from repro.autonomous.infostore import InformationStore
+from repro.autonomous.ml import KnobTuner, TuningResult
+from repro.autonomous.workload import Priority, Sla, WorkloadManager
+from repro.cluster.mpp import MppCluster
+
+DEFAULT_KNOBS = [
+    KnobDef("max_concurrency", 32, 1, 256,
+            "query slots across the cluster"),
+    KnobDef("buffer_pool_mb", 1024, 64, 65536,
+            "shared buffer size per data node"),
+    KnobDef("vacuum_interval_s", 60, 5, 3600,
+            "background vacuum cadence"),
+]
+
+
+@dataclass
+class TickReport:
+    t_us: float
+    anomalies: List[Anomaly] = field(default_factory=list)
+    sla_problems: List[str] = field(default_factory=list)
+    concurrency_limit: int = 0
+    healing_actions: List[str] = field(default_factory=list)
+    tuning: Optional[TuningResult] = None
+
+
+class AutonomousManager:
+    """Self-configuring / self-optimizing / self-healing controller."""
+
+    def __init__(self, cluster: MppCluster, sla: Optional[Sla] = None,
+                 enable_tuning: bool = False, ha=None):
+        self.cluster = cluster
+        #: Optional :class:`~repro.cluster.ha.HaManager`; when present,
+        #: node-failure anomalies trigger an actual standby promotion
+        #: (self-healing closes the loop instead of only logging).
+        self.ha = ha
+        self.info = InformationStore()
+        self.changes = ChangeManager()
+        self.anomalies = AnomalyManager(self.info)
+        self.workload = WorkloadManager(
+            self.info,
+            sla if sla is not None else Sla("default", p95_latency_us=50_000.0),
+        )
+        for knob in DEFAULT_KNOBS:
+            self.changes.define_knob(knob)
+        for dn in cluster.dns:
+            self.changes.node_added(dn.node_id)
+        self.tuner = KnobTuner(DEFAULT_KNOBS) if enable_tuning else None
+        self._install_default_detectors()
+        self.anomalies.on_anomaly(self._heal)
+        self._healing_log: List[str] = []
+        # Deltas are measured from the moment supervision starts, so
+        # pre-existing traffic (e.g. bulk loads) is not misattributed.
+        self._last_commits = cluster.stats.commits
+
+    def _install_default_detectors(self) -> None:
+        self.anomalies.add_detector(ThresholdDetector(
+            "memory_utilization", upper=0.9, severity=Severity.WARNING,
+            action="reduce buffer_pool_mb"))
+        self.anomalies.add_detector(EwmaDetector(
+            "disk_read_latency_us", k_sigma=4.0,
+            action="probe slow disk"))
+        for dn in self.cluster.dns:
+            self.anomalies.add_detector(HeartbeatDetector(
+                f"heartbeat.{dn.node_id}", timeout_us=5_000_000.0,
+                action=f"failover {dn.node_id}"))
+
+    # -- monitoring -----------------------------------------------------------
+
+    def collect(self, now_us: float,
+                extra_metrics: Optional[Dict[str, float]] = None) -> None:
+        """Harvest cluster counters into the information store."""
+        stats = self.cluster.stats
+        commits = stats.commits
+        self.info.record("commits_delta", now_us, commits - self._last_commits)
+        self._last_commits = commits
+        self.info.record("aborts_total", now_us, stats.aborts)
+        self.info.record("gtm_requests", now_us,
+                         self.cluster.gtm.stats.total_requests)
+        for dn in self.cluster.dns:
+            self.info.record(f"heartbeat.{dn.node_id}", now_us, 1.0)
+            self.info.record(f"active_txns.{dn.node_id}", now_us,
+                             dn.ltm.active_count)
+        if extra_metrics:
+            for name, value in extra_metrics.items():
+                self.info.record(name, now_us, value)
+
+    def report_node_down(self, node_id: str) -> None:
+        """Stop a node's heartbeats (used by tests / fault injection)."""
+        # Nothing to do here: collect() only records heartbeats for nodes we
+        # believe online; callers simply stop including the node.
+        self.changes.node_removed(node_id, reason="reported down")
+
+    # -- the autonomic loop --------------------------------------------------------
+
+    def tick(self, now_us: float) -> TickReport:
+        report = TickReport(t_us=now_us)
+        self._healing_log = []
+        report.anomalies = self.anomalies.evaluate(now_us)
+        report.sla_problems = self.workload.evaluate_sla(now_us)
+        report.concurrency_limit = self.workload.adjust(now_us)
+        report.healing_actions = list(self._healing_log)
+        if self.tuner is not None:
+            metric = self.info.latest("commits_delta")
+            if metric is not None:
+                self.tuner.observe(self.changes.knobs(), metric)
+            proposal = self.tuner.propose()
+            if proposal is not None:
+                for name, value in proposal.knobs.items():
+                    self.changes.set(name, value, now_us,
+                                     reason="knob tuner proposal")
+                report.tuning = proposal
+        return report
+
+    # -- self-healing ----------------------------------------------------------------
+
+    def _heal(self, anomaly: Anomaly) -> None:
+        action = anomaly.suggested_action
+        if action is None:
+            return
+        self._healing_log.append(action)
+        if action.startswith("failover "):
+            node_id = action.split(" ", 1)[1]
+            self.changes.node_removed(node_id, anomaly.t_us,
+                                      reason=anomaly.message)
+            if self.ha is not None:
+                for index, dn in enumerate(self.cluster.dns):
+                    if dn.node_id == node_id:
+                        self.ha.fail_and_promote(index)
+                        self.changes.node_added(node_id, anomaly.t_us)
+                        break
+        elif action == "reduce buffer_pool_mb":
+            current = self.changes.get("buffer_pool_mb")
+            self.changes.set("buffer_pool_mb", max(64.0, current / 2),
+                             anomaly.t_us, reason=anomaly.message)

@@ -1,0 +1,179 @@
+"""The anomaly manager (Fig. 12).
+
+"The anomaly manager detects and manages the anomalies, such as datanode
+failures, slow disk or insufficient memory."
+
+Detectors evaluate metric streams from the information store:
+
+* :class:`ThresholdDetector` — static bound violations (e.g. memory > 90%),
+* :class:`EwmaDetector` — deviation from an exponentially weighted moving
+  average by more than k sigma (slow disk, latency spikes),
+* :class:`HeartbeatDetector` — a node that stopped reporting (failures).
+
+Raised anomalies carry a suggested *healing action*; the autonomous manager
+routes them to the change manager (self-healing).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.autonomous.infostore import InformationStore
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    detector: str
+    metric: str
+    severity: Severity
+    message: str
+    t_us: float
+    suggested_action: Optional[str] = None
+
+
+class Detector:
+    name = "detector"
+
+    def evaluate(self, store: InformationStore, now_us: float) -> List[Anomaly]:
+        raise NotImplementedError
+
+
+class ThresholdDetector(Detector):
+    """Fires when a metric's latest value crosses a static bound."""
+
+    def __init__(self, metric: str, upper: Optional[float] = None,
+                 lower: Optional[float] = None,
+                 severity: Severity = Severity.WARNING,
+                 action: Optional[str] = None):
+        if upper is None and lower is None:
+            raise ValueError("need an upper or lower bound")
+        self.name = f"threshold[{metric}]"
+        self.metric = metric
+        self.upper = upper
+        self.lower = lower
+        self.severity = severity
+        self.action = action
+
+    def evaluate(self, store: InformationStore, now_us: float) -> List[Anomaly]:
+        value = store.latest(self.metric)
+        if value is None:
+            return []
+        if self.upper is not None and value > self.upper:
+            return [Anomaly(self.name, self.metric, self.severity,
+                            f"{self.metric}={value:.3f} above {self.upper}",
+                            now_us, self.action)]
+        if self.lower is not None and value < self.lower:
+            return [Anomaly(self.name, self.metric, self.severity,
+                            f"{self.metric}={value:.3f} below {self.lower}",
+                            now_us, self.action)]
+        return []
+
+
+class EwmaDetector(Detector):
+    """Fires when a sample deviates from its EWMA by more than k sigma."""
+
+    def __init__(self, metric: str, alpha: float = 0.2, k_sigma: float = 3.0,
+                 warmup: int = 10, severity: Severity = Severity.WARNING,
+                 action: Optional[str] = None):
+        if not (0 < alpha <= 1):
+            raise ValueError("alpha must be in (0, 1]")
+        self.name = f"ewma[{metric}]"
+        self.metric = metric
+        self.alpha = alpha
+        self.k_sigma = k_sigma
+        self.warmup = warmup
+        self.severity = severity
+        self.action = action
+        self._mean: Optional[float] = None
+        self._var = 0.0
+        self._seen = 0
+        self._consumed = 0
+
+    def evaluate(self, store: InformationStore, now_us: float) -> List[Anomaly]:
+        values = store.values(self.metric)
+        fresh = values[self._consumed:]
+        self._consumed = len(values)
+        out: List[Anomaly] = []
+        for value in fresh:
+            if self._mean is None:
+                self._mean = value
+                self._seen = 1
+                continue
+            sigma = math.sqrt(self._var) if self._var > 0 else 0.0
+            deviated = (self._seen >= self.warmup and sigma > 0
+                        and abs(value - self._mean) > self.k_sigma * sigma)
+            if deviated:
+                out.append(Anomaly(
+                    self.name, self.metric, self.severity,
+                    f"{self.metric}={value:.3f} deviates from "
+                    f"EWMA {self._mean:.3f} by more than "
+                    f"{self.k_sigma} sigma ({sigma:.3f})",
+                    now_us, self.action,
+                ))
+            # Update the EWMA after testing, so a spike does not mask itself.
+            diff = value - self._mean
+            self._mean += self.alpha * diff
+            self._var = (1 - self.alpha) * (self._var + self.alpha * diff * diff)
+            self._seen += 1
+        return out
+
+
+class HeartbeatDetector(Detector):
+    """Fires when a component stops reporting (data node failure)."""
+
+    def __init__(self, metric: str, timeout_us: float,
+                 severity: Severity = Severity.CRITICAL,
+                 action: Optional[str] = None):
+        self.name = f"heartbeat[{metric}]"
+        self.metric = metric
+        self.timeout_us = timeout_us
+        self.severity = severity
+        self.action = action
+
+    def evaluate(self, store: InformationStore, now_us: float) -> List[Anomaly]:
+        samples = store.window(self.metric, now_us - self.timeout_us, now_us)
+        if samples:
+            return []
+        if store.latest(self.metric) is None:
+            return []  # never reported: not yet deployed
+        return [Anomaly(self.name, self.metric, self.severity,
+                        f"no {self.metric} heartbeat for {self.timeout_us}us",
+                        now_us, self.action)]
+
+
+class AnomalyManager:
+    """Runs detectors and keeps the anomaly history."""
+
+    def __init__(self, store: InformationStore):
+        self.store = store
+        self._detectors: List[Detector] = []
+        self.history: List[Anomaly] = []
+        self._handlers: List[Callable[[Anomaly], None]] = []
+
+    def add_detector(self, detector: Detector) -> None:
+        self._detectors.append(detector)
+
+    def on_anomaly(self, handler: Callable[[Anomaly], None]) -> None:
+        self._handlers.append(handler)
+
+    def evaluate(self, now_us: float) -> List[Anomaly]:
+        found: List[Anomaly] = []
+        for detector in self._detectors:
+            found.extend(detector.evaluate(self.store, now_us))
+        self.history.extend(found)
+        for anomaly in found:
+            for handler in self._handlers:
+                handler(anomaly)
+        return found
+
+    def critical_count(self) -> int:
+        return sum(1 for a in self.history if a.severity is Severity.CRITICAL)

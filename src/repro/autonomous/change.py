@@ -1,0 +1,120 @@
+"""The change manager (Fig. 12).
+
+"The change manager dynamically adapts to any change in system hardware and
+software" — here: a configuration-knob registry with validated online
+changes, full history, rollback, and node membership events (the
+self-configuring property: "addition and removal of system components or
+resources without system service disruptions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KnobDef:
+    name: str
+    default: float
+    minimum: float
+    maximum: float
+    description: str = ""
+
+    def validate(self, value: float) -> float:
+        if not (self.minimum <= value <= self.maximum):
+            raise ConfigError(
+                f"knob {self.name}={value} outside [{self.minimum}, {self.maximum}]")
+        return float(value)
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    t_us: float
+    kind: str              # 'knob' | 'node_added' | 'node_removed' | 'rollback'
+    name: str
+    old_value: Optional[object]
+    new_value: Optional[object]
+    reason: str = ""
+
+
+class ChangeManager:
+    """Validated, observable, reversible configuration changes."""
+
+    def __init__(self) -> None:
+        self._defs: Dict[str, KnobDef] = {}
+        self._values: Dict[str, float] = {}
+        self._nodes: Dict[str, bool] = {}        # node id -> online
+        self.history: List[ChangeEvent] = []
+        self._listeners: List[Callable[[ChangeEvent], None]] = []
+
+    # -- knobs -----------------------------------------------------------
+
+    def define_knob(self, knob: KnobDef) -> None:
+        if knob.name in self._defs:
+            raise ConfigError(f"knob {knob.name!r} already defined")
+        self._defs[knob.name] = knob
+        self._values[knob.name] = knob.default
+
+    def get(self, name: str) -> float:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ConfigError(f"unknown knob {name!r}") from None
+
+    def knobs(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def set(self, name: str, value: float, t_us: float = 0.0,
+            reason: str = "") -> float:
+        definition = self._defs.get(name)
+        if definition is None:
+            raise ConfigError(f"unknown knob {name!r}")
+        value = definition.validate(value)
+        old = self._values[name]
+        if value != old:
+            self._values[name] = value
+            self._emit(ChangeEvent(t_us, "knob", name, old, value, reason))
+        return value
+
+    def rollback(self, name: str, t_us: float = 0.0) -> float:
+        """Revert a knob to its previous value in the history."""
+        previous = None
+        for event in reversed(self.history):
+            if event.kind == "knob" and event.name == name:
+                previous = event.old_value
+                break
+        if previous is None:
+            raise ConfigError(f"no change to roll back for {name!r}")
+        old = self._values[name]
+        self._values[name] = float(previous)  # type: ignore[arg-type]
+        self._emit(ChangeEvent(t_us, "rollback", name, old, previous))
+        return self._values[name]
+
+    # -- membership --------------------------------------------------------------
+
+    def node_added(self, node_id: str, t_us: float = 0.0) -> None:
+        self._nodes[node_id] = True
+        self._emit(ChangeEvent(t_us, "node_added", node_id, None, True))
+
+    def node_removed(self, node_id: str, t_us: float = 0.0,
+                     reason: str = "") -> None:
+        if self._nodes.get(node_id):
+            self._nodes[node_id] = False
+            self._emit(ChangeEvent(t_us, "node_removed", node_id, True, False,
+                                   reason))
+
+    def online_nodes(self) -> List[str]:
+        return sorted(n for n, up in self._nodes.items() if up)
+
+    # -- observation -------------------------------------------------------------
+
+    def on_change(self, listener: Callable[[ChangeEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def _emit(self, event: ChangeEvent) -> None:
+        self.history.append(event)
+        for listener in self._listeners:
+            listener(event)

@@ -1,0 +1,114 @@
+"""The information store (Fig. 12).
+
+"Our autonomous database system is capable of continuously monitoring the
+database system and collecting information on system performance and
+workloads, such as query response time and resource consumption, and stores
+the information in information store."
+
+A bounded in-memory metric store: named series of (t_us, value) samples
+with window queries, summary statistics and percentiles — the substrate the
+anomaly manager, workload manager and in-DB ML read from.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class MetricSummary:
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+
+class InformationStore:
+    """Bounded per-metric sample history."""
+
+    def __init__(self, max_samples_per_metric: int = 10_000):
+        if max_samples_per_metric <= 0:
+            raise ConfigError("max_samples_per_metric must be positive")
+        self._max = max_samples_per_metric
+        self._series: Dict[str, Deque[Tuple[float, float]]] = {}
+
+    def record(self, metric: str, t_us: float, value: float) -> None:
+        series = self._series.setdefault(metric, deque(maxlen=self._max))
+        series.append((float(t_us), float(value)))
+
+    def metrics(self) -> List[str]:
+        return sorted(self._series)
+
+    def latest(self, metric: str) -> Optional[float]:
+        series = self._series.get(metric)
+        if not series:
+            return None
+        return series[-1][1]
+
+    def window(self, metric: str, t0_us: float,
+               t1_us: float) -> List[Tuple[float, float]]:
+        series = self._series.get(metric, ())
+        return [(t, v) for t, v in series if t0_us <= t <= t1_us]
+
+    def values(self, metric: str, last_n: Optional[int] = None) -> List[float]:
+        series = self._series.get(metric)
+        if not series:
+            return []
+        data = [v for _, v in series]
+        return data[-last_n:] if last_n is not None else data
+
+    def summary(self, metric: str,
+                last_n: Optional[int] = None) -> Optional[MetricSummary]:
+        data = self.values(metric, last_n)
+        if not data:
+            return None
+        ordered = sorted(data)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        var = sum((v - mean) ** 2 for v in ordered) / n
+        return MetricSummary(
+            count=n,
+            mean=mean,
+            std=math.sqrt(var),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+        )
+
+    def rate_per_second(self, metric: str, window_us: float,
+                        now_us: float) -> float:
+        """Events per second over the trailing window (for counters)."""
+        samples = self.window(metric, now_us - window_us, now_us)
+        if window_us <= 0:
+            return 0.0
+        return sum(v for _, v in samples) / (window_us / 1_000_000.0)
+
+    def clear(self, metric: Optional[str] = None) -> None:
+        if metric is None:
+            self._series.clear()
+        else:
+            self._series.pop(metric, None)
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    if not ordered:
+        return float("nan")
+    index = q * (len(ordered) - 1)
+    lo = int(math.floor(index))
+    hi = int(math.ceil(index))
+    if lo == hi:
+        return ordered[lo]
+    frac = index - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

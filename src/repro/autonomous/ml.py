@@ -1,0 +1,167 @@
+"""In-DB machine learning (Fig. 12).
+
+"The In-DB machine learning component provides functionalities of analyzing
+the stored information using machine-learning techniques."  Implemented
+from scratch on numpy:
+
+* :class:`LinearRegression` — ridge-regularized normal equations,
+* :class:`KnnRegressor` — k-nearest-neighbour regression,
+* :class:`KnobTuner` — models a performance metric as a function of
+  configuration knobs from observed (knobs, metric) samples and proposes
+  the best setting (the Sec. IV-A auto-configuration use case, in the
+  spirit of OtterTune/BestConfig which the paper cites).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.autonomous.change import KnobDef
+
+
+class LinearRegression:
+    """Least squares with an intercept and ridge regularization."""
+
+    def __init__(self, l2: float = 1e-6):
+        self.l2 = l2
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: Sequence[Sequence[float]],
+            y: Sequence[float]) -> "LinearRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ConfigError("X must be (n, d) with matching y")
+        ones = np.ones((len(X), 1))
+        A = np.hstack([ones, X])
+        reg = self.l2 * np.eye(A.shape[1])
+        reg[0, 0] = 0.0  # do not regularize the intercept
+        theta = np.linalg.solve(A.T @ A + reg, A.T @ y)
+        self.intercept_ = float(theta[0])
+        self.coef_ = theta[1:]
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        if self.coef_ is None:
+            raise ConfigError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.coef_ + self.intercept_
+
+    def r2(self, X: Sequence[Sequence[float]], y: Sequence[float]) -> float:
+        y = np.asarray(y, dtype=np.float64)
+        pred = self.predict(X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+class KnnRegressor:
+    """k-NN regression with z-score feature normalization."""
+
+    def __init__(self, k: int = 3):
+        if k <= 0:
+            raise ConfigError("k must be positive")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mu: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+
+    def fit(self, X: Sequence[Sequence[float]],
+            y: Sequence[float]) -> "KnnRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) == 0:
+            raise ConfigError("empty training set")
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        self._X = (X - self._mu) / self._sigma
+        self._y = y
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        if self._X is None:
+            raise ConfigError("model is not fitted")
+        X = (np.asarray(X, dtype=np.float64) - self._mu) / self._sigma
+        out = np.empty(len(X))
+        k = min(self.k, len(self._X))
+        for i, x in enumerate(X):
+            dist = np.linalg.norm(self._X - x, axis=1)
+            nearest = np.argpartition(dist, k - 1)[:k]
+            out[i] = float(np.mean(self._y[nearest]))
+        return out
+
+
+@dataclass
+class TuningResult:
+    knobs: Dict[str, float]
+    predicted_metric: float
+    samples_used: int
+    model_r2: float
+
+
+class KnobTuner:
+    """Learn metric = f(knobs) from history, then search for the best knobs.
+
+    ``maximize=True`` for throughput-like metrics, False for latencies.
+    The search evaluates the fitted model on random candidates inside each
+    knob's legal range (BestConfig-style random search), never touching the
+    real system — proposals go through the change manager.
+    """
+
+    def __init__(self, knob_defs: Sequence[KnobDef], maximize: bool = True,
+                 seed: int = 1234):
+        if not knob_defs:
+            raise ConfigError("need at least one knob")
+        self.knob_defs = list(knob_defs)
+        self.maximize = maximize
+        self._rng = random.Random(seed)
+        self._samples: List[Tuple[List[float], float]] = []
+
+    @property
+    def knob_names(self) -> List[str]:
+        return [k.name for k in self.knob_defs]
+
+    def observe(self, knobs: Dict[str, float], metric: float) -> None:
+        row = [float(knobs[k.name]) for k in self.knob_defs]
+        self._samples.append((row, float(metric)))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def propose(self, candidates: int = 512,
+                min_samples: int = 5) -> Optional[TuningResult]:
+        """Fit on history and return the best predicted knob setting."""
+        if len(self._samples) < min_samples:
+            return None
+        X = [row for row, _ in self._samples]
+        y = [metric for _, metric in self._samples]
+        # Quadratic features capture the bell shape typical of knob response
+        # curves (too small and too large both hurt).
+        X_aug = [row + [v * v for v in row] for row in X]
+        model = LinearRegression(l2=1e-3).fit(X_aug, y)
+        r2 = model.r2(X_aug, y)
+
+        best_row: Optional[List[float]] = None
+        best_pred = -float("inf") if self.maximize else float("inf")
+        for _ in range(candidates):
+            row = [self._rng.uniform(k.minimum, k.maximum)
+                   for k in self.knob_defs]
+            pred = float(model.predict([row + [v * v for v in row]])[0])
+            better = pred > best_pred if self.maximize else pred < best_pred
+            if better:
+                best_pred = pred
+                best_row = row
+        assert best_row is not None
+        knobs = {k.name: v for k, v in zip(self.knob_defs, best_row)}
+        return TuningResult(knobs, best_pred, len(self._samples), r2)

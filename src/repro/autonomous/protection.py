@@ -1,0 +1,185 @@
+"""Self-protection (Sec. IV-A).
+
+"Self-protecting means ADBMSs are able to proactively identify and protect
+themselves from arbitrary activities ... recognize and circumvent data,
+privacy and security threats."
+
+Three guards plus an audit trail:
+
+* :class:`AccessGuard` — authentication-failure tracking with automatic
+  lockout (brute-force circumvention),
+* :class:`QueryInspector` — rejects runaway queries (estimated cost above a
+  ceiling) before they execute,
+* :class:`ExfiltrationMonitor` — per-principal rows-returned quota over a
+  sliding window (bulk-dump detection).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+
+class AccessDenied(ReproError):
+    """The protection layer refused an operation."""
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    t_us: float
+    principal: str
+    kind: str          # 'auth_fail' | 'lockout' | 'query_rejected' |
+                       # 'quota_exceeded' | 'unlock'
+    detail: str = ""
+
+
+class AuditLog:
+    def __init__(self, capacity: int = 10_000):
+        self._events: Deque[AuditEvent] = deque(maxlen=capacity)
+
+    def record(self, event: AuditEvent) -> None:
+        self._events.append(event)
+
+    def events(self, kind: Optional[str] = None) -> List[AuditEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class AccessGuard:
+    """Lock a principal out after repeated authentication failures."""
+
+    def __init__(self, audit: AuditLog, max_failures: int = 5,
+                 window_us: float = 60_000_000.0,
+                 lockout_us: float = 300_000_000.0):
+        self.audit = audit
+        self.max_failures = max_failures
+        self.window_us = window_us
+        self.lockout_us = lockout_us
+        self._failures: Dict[str, Deque[float]] = {}
+        self._locked_until: Dict[str, float] = {}
+
+    def is_locked(self, principal: str, now_us: float) -> bool:
+        until = self._locked_until.get(principal)
+        if until is None:
+            return False
+        if now_us >= until:
+            del self._locked_until[principal]
+            self.audit.record(AuditEvent(now_us, principal, "unlock"))
+            return False
+        return True
+
+    def check(self, principal: str, now_us: float) -> None:
+        if self.is_locked(principal, now_us):
+            raise AccessDenied(f"{principal} is locked out")
+
+    def note_failure(self, principal: str, now_us: float) -> None:
+        self.audit.record(AuditEvent(now_us, principal, "auth_fail"))
+        failures = self._failures.setdefault(principal, deque())
+        failures.append(now_us)
+        while failures and failures[0] < now_us - self.window_us:
+            failures.popleft()
+        if len(failures) >= self.max_failures:
+            self._locked_until[principal] = now_us + self.lockout_us
+            failures.clear()
+            self.audit.record(AuditEvent(
+                now_us, principal, "lockout",
+                f"{self.max_failures} failures within {self.window_us}us"))
+
+    def note_success(self, principal: str, now_us: float) -> None:
+        self.check(principal, now_us)
+        self._failures.pop(principal, None)
+
+
+class QueryInspector:
+    """Reject queries whose estimated cost exceeds the ceiling.
+
+    The estimate comes from the optimizer (estimated rows of the plan's
+    scans); a runaway cross join or an unfiltered scan of a huge table is
+    stopped before consuming resources.
+    """
+
+    def __init__(self, audit: AuditLog, max_estimated_rows: float = 1e7):
+        self.audit = audit
+        self.max_estimated_rows = max_estimated_rows
+        self.inspected = 0
+        self.rejected = 0
+
+    def admit(self, principal: str, estimated_rows: float,
+              now_us: float, description: str = "") -> None:
+        self.inspected += 1
+        if estimated_rows > self.max_estimated_rows:
+            self.rejected += 1
+            self.audit.record(AuditEvent(
+                now_us, principal, "query_rejected",
+                f"estimated {estimated_rows:.0f} rows > "
+                f"{self.max_estimated_rows:.0f} ({description})"))
+            raise AccessDenied(
+                f"query rejected: estimated {estimated_rows:.0f} rows "
+                f"exceeds the {self.max_estimated_rows:.0f} ceiling")
+
+
+class ExfiltrationMonitor:
+    """Sliding-window rows-returned quota per principal."""
+
+    def __init__(self, audit: AuditLog, max_rows: int = 1_000_000,
+                 window_us: float = 60_000_000.0):
+        self.audit = audit
+        self.max_rows = max_rows
+        self.window_us = window_us
+        self._returned: Dict[str, Deque[Tuple[float, int]]] = {}
+
+    def consumed(self, principal: str, now_us: float) -> int:
+        history = self._returned.setdefault(principal, deque())
+        while history and history[0][0] < now_us - self.window_us:
+            history.popleft()
+        return sum(rows for _, rows in history)
+
+    def note_result(self, principal: str, rows: int, now_us: float) -> None:
+        if self.consumed(principal, now_us) + rows > self.max_rows:
+            self.audit.record(AuditEvent(
+                now_us, principal, "quota_exceeded",
+                f"{rows} rows would exceed {self.max_rows}/window"))
+            raise AccessDenied(
+                f"{principal} exceeded the {self.max_rows}-rows/"
+                f"{self.window_us:.0f}us export quota")
+        self._returned[principal].append((now_us, rows))
+
+
+class ProtectionManager:
+    """One facade bundling the guards around a SQL engine."""
+
+    def __init__(self, max_failures: int = 5,
+                 max_estimated_rows: float = 1e7,
+                 max_rows_per_window: int = 1_000_000):
+        self.audit = AuditLog()
+        self.access = AccessGuard(self.audit, max_failures=max_failures)
+        self.queries = QueryInspector(self.audit, max_estimated_rows)
+        self.exfiltration = ExfiltrationMonitor(self.audit,
+                                                max_rows_per_window)
+
+    def guarded_execute(self, engine, principal: str, sql: str,
+                        now_us: float):
+        """Run a statement through every guard."""
+        self.access.check(principal, now_us)
+        from repro.sql import ast as sql_ast
+        from repro.sql.parser import parse
+
+        statement = parse(sql)
+        if isinstance(statement, sql_ast.Select):
+            session = engine.cluster.session()
+            txn = session.begin(multi_shard=True)
+            try:
+                plan = engine.plan_select(statement, txn)
+            finally:
+                txn.commit()
+            self.queries.admit(principal, plan.estimated_rows, now_us, sql[:80])
+        result = engine.execute(sql)
+        self.exfiltration.note_result(principal, result.rowcount, now_us)
+        return result

@@ -1,0 +1,159 @@
+"""The workload manager (Fig. 12).
+
+"The workload manager monitors and controls query execution in the database
+system to ensure efficient use of system resources and achieve targeted
+SLA."  SLAs here follow the paper's Sec. IV-A examples: average/percentile
+response time and throughput targets.
+
+The manager implements admission control with a dynamically tuned
+concurrency limit (AIMD: additive increase while the SLA holds,
+multiplicative decrease when it is violated) plus priority-aware queueing —
+the self-optimizing property.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.autonomous.infostore import InformationStore
+from repro.common.errors import SlaViolation
+
+
+@dataclass(frozen=True)
+class Sla:
+    """A service level agreement for one workload class."""
+
+    name: str
+    p95_latency_us: Optional[float] = None
+    mean_latency_us: Optional[float] = None
+    min_throughput_tps: Optional[float] = None
+
+    def violated_by(self, p95: Optional[float], mean: Optional[float],
+                    throughput: Optional[float]) -> List[str]:
+        problems = []
+        if (self.p95_latency_us is not None and p95 is not None
+                and p95 > self.p95_latency_us):
+            problems.append(
+                f"p95 {p95:.0f}us > target {self.p95_latency_us:.0f}us")
+        if (self.mean_latency_us is not None and mean is not None
+                and mean > self.mean_latency_us):
+            problems.append(
+                f"mean {mean:.0f}us > target {self.mean_latency_us:.0f}us")
+        if (self.min_throughput_tps is not None and throughput is not None
+                and throughput < self.min_throughput_tps):
+            problems.append(
+                f"throughput {throughput:.0f} < target "
+                f"{self.min_throughput_tps:.0f} tps")
+        return problems
+
+
+class Priority(enum.IntEnum):
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+@dataclass
+class Admission:
+    """A granted execution slot; release it with ``finish``."""
+
+    query_id: int
+    priority: Priority
+    admitted_at_us: float
+
+
+class WorkloadManager:
+    """Admission control + AIMD concurrency tuning against an SLA."""
+
+    def __init__(self, store: InformationStore, sla: Sla,
+                 initial_concurrency: int = 8,
+                 min_concurrency: int = 1, max_concurrency: int = 256,
+                 max_queue: int = 1000):
+        self.store = store
+        self.sla = sla
+        self.concurrency_limit = initial_concurrency
+        self.min_concurrency = min_concurrency
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._running: Dict[int, Admission] = {}
+        self._queue: Deque[Tuple[int, Priority, float]] = deque()
+        self._next_id = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.sla_checks = 0
+        self.sla_violations = 0
+        self.adjustments: List[Tuple[float, int]] = []
+
+    # -- admission control --------------------------------------------------
+
+    def submit(self, now_us: float,
+               priority: Priority = Priority.NORMAL) -> Optional[Admission]:
+        """Ask for an execution slot; None means queued, raises when full."""
+        self._next_id += 1
+        query_id = self._next_id
+        if len(self._running) < self.concurrency_limit:
+            admission = Admission(query_id, priority, now_us)
+            self._running[query_id] = admission
+            self.admitted += 1
+            return admission
+        if len(self._queue) >= self.max_queue:
+            self.rejected += 1
+            raise SlaViolation(
+                f"admission queue full ({self.max_queue}); shedding load")
+        # Priority queue: HIGH jumps ahead of lower classes.
+        self._queue.append((query_id, priority, now_us))
+        self._queue = deque(sorted(self._queue, key=lambda q: (-q[1], q[2])))
+        return None
+
+    def finish(self, admission: Admission, now_us: float) -> List[Admission]:
+        """Release a slot; record latency; admit queued queries."""
+        self._running.pop(admission.query_id, None)
+        latency = now_us - admission.admitted_at_us
+        self.store.record("query_latency_us", now_us, latency)
+        self.store.record("query_completed", now_us, 1.0)
+        admitted: List[Admission] = []
+        while self._queue and len(self._running) < self.concurrency_limit:
+            query_id, priority, _ = self._queue.popleft()
+            slot = Admission(query_id, priority, now_us)
+            self._running[query_id] = slot
+            self.admitted += 1
+            admitted.append(slot)
+        return admitted
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+    # -- the self-optimizing loop ----------------------------------------------
+
+    def evaluate_sla(self, now_us: float,
+                     window: int = 200) -> List[str]:
+        summary = self.store.summary("query_latency_us", last_n=window)
+        throughput = self.store.rate_per_second(
+            "query_completed", window_us=1_000_000.0, now_us=now_us)
+        self.sla_checks += 1
+        if summary is None:
+            return []
+        problems = self.sla.violated_by(summary.p95, summary.mean, throughput)
+        if problems:
+            self.sla_violations += 1
+        return problems
+
+    def adjust(self, now_us: float) -> int:
+        """AIMD step: shrink on violation, grow while the SLA holds."""
+        problems = self.evaluate_sla(now_us)
+        if problems:
+            new_limit = max(self.min_concurrency, self.concurrency_limit // 2)
+        else:
+            new_limit = min(self.max_concurrency, self.concurrency_limit + 1)
+        if new_limit != self.concurrency_limit:
+            self.concurrency_limit = new_limit
+            self.adjustments.append((now_us, new_limit))
+        return self.concurrency_limit

@@ -1,0 +1,24 @@
+"""The FI-MPPDB cluster: coordinator/data nodes, sessions, transactions."""
+
+from repro.cluster.catalog import Catalog
+from repro.cluster.ha import FailoverReport, HaManager, StandbyReplica
+from repro.cluster.recovery import RecoveryReport, in_doubt_count, resolve_in_doubt
+from repro.cluster.datanode import DataNode
+from repro.cluster.mpp import MppCluster, Session
+from repro.cluster.stats import ClusterStats
+from repro.cluster.txn import (
+    CommitSteps,
+    GlobalTransaction,
+    LocalTransaction,
+    TransactionPromotionRequired,
+    TxnMode,
+)
+
+__all__ = [
+    "MppCluster", "Session", "Catalog", "DataNode", "ClusterStats",
+    "TxnMode", "LocalTransaction", "GlobalTransaction", "CommitSteps",
+    "TransactionPromotionRequired",
+]
+
+__all__ += ["HaManager", "StandbyReplica", "FailoverReport",
+            "resolve_in_doubt", "in_doubt_count", "RecoveryReport"]

@@ -1,0 +1,48 @@
+"""Cluster-wide table catalog.
+
+The coordinator nodes share one catalog (in the real system it is kept
+consistent by DDL replication); creating a table registers a heap on every
+data node and records the schema here for routing and SQL planning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import CatalogError
+from repro.storage.table import TableSchema
+
+
+class Catalog:
+    """Name -> schema registry, case-insensitive like SQL identifiers."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, TableSchema] = {}
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.lower()
+
+    def register(self, schema: TableSchema) -> None:
+        key = self._norm(schema.name)
+        if key in self._schemas:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._schemas[key] = schema
+
+    def unregister(self, name: str) -> None:
+        self._schemas.pop(self._norm(name), None)
+
+    def schema(self, name: str) -> TableSchema:
+        try:
+            return self._schemas[self._norm(name)]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return self._norm(name) in self._schemas
+
+    def tables(self) -> List[str]:
+        return sorted(schema.name for schema in self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)

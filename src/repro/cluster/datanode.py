@@ -1,0 +1,132 @@
+"""Data nodes (DNs).
+
+A data node owns one shard of every hash-distributed table (and a full copy
+of replicated tables), a local transaction manager, and the MVCC heaps.  It
+"maintains the local ACID properties" (paper, Sec. II): all tuple-level
+reads and writes happen here under a snapshot supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import CatalogError
+from repro.storage.heap import MvccHeap
+from repro.storage.table import TableSchema
+from repro.txn.manager import LocalTransactionManager
+from repro.txn.snapshot import Snapshot
+from repro.txn.xid import INVALID_XID
+
+
+@dataclass(frozen=True)
+class RedoOp:
+    """One logical write, as shipped to a standby replica on commit."""
+
+    op: str                      # 'insert' | 'update' | 'delete'
+    table: str
+    key: object
+    values: Optional[Dict[str, object]] = None
+
+
+class DataNode:
+    """One shard server: local XIDs, local clog, local heaps."""
+
+    def __init__(self, node_id: str, index: int):
+        self.node_id = node_id
+        self.index = index
+        self.ltm = LocalTransactionManager(node_id)
+        self._heaps: Dict[str, MvccHeap] = {}
+        self._schemas: Dict[str, TableSchema] = {}
+        self._redo: Dict[int, List[RedoOp]] = {}
+        #: Invoked with a committed transaction's redo ops (HA log shipping).
+        self.replication_hook: Optional[Callable[[List[RedoOp]], None]] = None
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._heaps:
+            raise CatalogError(f"{self.node_id}: table {schema.name} already exists")
+        self._heaps[schema.name] = MvccHeap(f"{self.node_id}.{schema.name}")
+        self._schemas[schema.name] = schema
+
+    def drop_table(self, name: str) -> None:
+        self._heaps.pop(name, None)
+        self._schemas.pop(name, None)
+
+    def heap(self, table: str) -> MvccHeap:
+        try:
+            return self._heaps[table]
+        except KeyError:
+            raise CatalogError(f"{self.node_id}: no table {table!r}") from None
+
+    def has_table(self, table: str) -> bool:
+        return table in self._heaps
+
+    # -- transaction control ------------------------------------------------
+
+    def begin(self, gxid: Optional[int] = None) -> int:
+        return self.ltm.begin(gxid)
+
+    def local_snapshot(self) -> Snapshot:
+        return self.ltm.local_snapshot()
+
+    def prepare(self, xid: int) -> None:
+        self.ltm.prepare(xid)
+
+    def commit(self, xid: int) -> None:
+        self.ltm.commit(xid)
+        redo = self._redo.pop(xid, None)
+        if redo and self.replication_hook is not None:
+            self.replication_hook(redo)
+
+    def abort(self, xid: int) -> None:
+        # Eagerly roll back heap writes so aborted versions never linger;
+        # the transaction's write set pinpoints exactly what to undo.
+        for table, key in self.ltm.write_set(xid).frozen():
+            self.heap(table).abort_key(key, xid)
+        self.ltm.abort(xid)
+        self._redo.pop(xid, None)
+
+    # -- tuple access ---------------------------------------------------------
+
+    def read(self, table: str, key: object, snapshot: Snapshot,
+             xid: int = INVALID_XID) -> Optional[Dict[str, object]]:
+        return self.heap(table).read(key, snapshot, self.ltm.clog, xid)
+
+    def insert(self, table: str, row: Dict[str, object], xid: int,
+               snapshot: Snapshot) -> None:
+        schema = self._schemas[table]
+        coerced = schema.coerce_row(row)
+        key = schema.key_of(coerced)
+        self.heap(table).insert(key, coerced, xid, snapshot, self.ltm.clog)
+        self.ltm.record_write(xid, table, key)
+        self._redo.setdefault(xid, []).append(
+            RedoOp("insert", table, key, coerced))
+
+    def update(self, table: str, key: object, values: Dict[str, object],
+               xid: int, snapshot: Snapshot) -> None:
+        heap = self.heap(table)
+        current = heap.read(key, snapshot, self.ltm.clog, xid)
+        if current is None:
+            from repro.common.errors import StorageError
+
+            raise StorageError(f"{self.node_id}.{table}: key {key!r} not visible")
+        current.update(values)
+        coerced = self._schemas[table].coerce_row(current)
+        heap.update(key, coerced, xid, snapshot, self.ltm.clog)
+        self.ltm.record_write(xid, table, key)
+        self._redo.setdefault(xid, []).append(
+            RedoOp("update", table, key, coerced))
+
+    def delete(self, table: str, key: object, xid: int, snapshot: Snapshot) -> None:
+        self.heap(table).delete(key, xid, snapshot, self.ltm.clog)
+        self.ltm.record_write(xid, table, key)
+        self._redo.setdefault(xid, []).append(RedoOp("delete", table, key))
+
+    def scan(self, table: str, snapshot: Snapshot,
+             xid: int = INVALID_XID) -> Iterator[Tuple[object, Dict[str, object]]]:
+        return self.heap(table).scan(snapshot, self.ltm.clog, xid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataNode({self.node_id!r}, tables={sorted(self._heaps)})"

@@ -1,0 +1,182 @@
+"""The FI-MPPDB cluster facade.
+
+Wires together coordinator nodes, data nodes, the GTM and the shared catalog
+(the Figure 1 architecture), and hands out :class:`Session` objects through
+which applications run transactions.  The cluster can run either
+distributed-transaction protocol (:class:`~repro.cluster.txn.TxnMode`), which
+is the single switch the Figure 3 experiment flips.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TypeVar, Union
+
+from repro.common.errors import ConfigError, SerializationConflict, TransactionError
+from repro.cluster.catalog import Catalog
+from repro.cluster.datanode import DataNode
+from repro.cluster.stats import ClusterStats
+from repro.cluster.txn import (
+    GlobalTransaction,
+    LocalTransaction,
+    TransactionPromotionRequired,
+    TxnMode,
+)
+from repro.core.gtm import GlobalTransactionManager
+from repro.net.costing import CostContext
+from repro.net.latency import DEFAULT_PROFILE, EnvironmentProfile
+from repro.net.resource import Resource, ResourcePool
+from repro.storage.table import TableSchema
+
+T = TypeVar("T")
+AnyTxn = Union[LocalTransaction, GlobalTransaction]
+
+
+class MppCluster:
+    """A simulated FI-MPPDB deployment."""
+
+    def __init__(
+        self,
+        num_dns: int,
+        num_cns: Optional[int] = None,
+        mode: TxnMode = TxnMode.GTM_LITE,
+        profile: EnvironmentProfile = DEFAULT_PROFILE,
+    ):
+        if num_dns <= 0:
+            raise ConfigError("num_dns must be positive")
+        self.num_dns = num_dns
+        self.num_cns = num_cns if num_cns is not None else max(1, num_dns // 2)
+        if self.num_cns <= 0:
+            raise ConfigError("num_cns must be positive")
+        self.mode = mode
+        self.profile = profile
+        self.catalog = Catalog()
+        self.gtm = GlobalTransactionManager()
+        self.dns: List[DataNode] = [DataNode(f"dn{i}", i) for i in range(num_dns)]
+        self.stats = ClusterStats()
+        self.resources = ResourcePool()
+        self.gtm_resource: Resource = self.resources.add("gtm")
+        self.dn_resources: List[Resource] = [
+            self.resources.add(f"dn{i}") for i in range(num_dns)
+        ]
+        self.cn_resources: List[Resource] = [
+            self.resources.add(f"cn{i}") for i in range(self.num_cns)
+        ]
+        self._next_session = 0
+        self._completed_since_prune = 0
+        self.lco_prune_interval = 256
+
+    # -- DDL ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.register(schema)
+        for dn in self.dns:
+            dn.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        schema = self.catalog.schema(name)
+        self.catalog.unregister(schema.name)
+        for dn in self.dns:
+            dn.drop_table(schema.name)
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, cn_index: Optional[int] = None,
+                track_costs: bool = False, start_us: float = 0.0) -> "Session":
+        if cn_index is None:
+            cn_index = self._next_session % self.num_cns
+            self._next_session += 1
+        if not (0 <= cn_index < self.num_cns):
+            raise ConfigError(f"cn_index {cn_index} out of range")
+        ctx = None
+        if track_costs:
+            ctx = CostContext(self.resources, self.profile.mpp, start_us=start_us)
+        return Session(self, cn_index, ctx)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def vacuum(self) -> int:
+        """Run a cluster-wide vacuum using each node's current snapshot."""
+        removed = 0
+        for dn in self.dns:
+            snapshot = dn.local_snapshot()
+            for table in self.catalog.tables():
+                if dn.has_table(table):
+                    removed += dn.heap(table).vacuum(snapshot, dn.ltm.clog)
+        return removed
+
+    def truncate_lcos(self, keep_last: int = 1024) -> int:
+        return sum(dn.ltm.truncate_lco(keep_last) for dn in self.dns)
+
+    def maybe_prune_lcos(self) -> None:
+        """Amortized LCO garbage collection, driven by commit traffic.
+
+        Every ``lco_prune_interval`` completed transactions, drop the LCO
+        prefix no live global snapshot can still need (see
+        :meth:`repro.txn.manager.LocalTransactionManager.prune_lco`).
+        """
+        self._completed_since_prune += 1
+        if self._completed_since_prune < self.lco_prune_interval:
+            return
+        self._completed_since_prune = 0
+        horizon = self.gtm.snapshot_horizon()
+        for dn in self.dns:
+            dn.ltm.prune_lco(horizon)
+
+
+class Session:
+    """One client connection, pinned to a coordinator node."""
+
+    def __init__(self, cluster: MppCluster, cn_index: int,
+                 ctx: Optional[CostContext]):
+        self.cluster = cluster
+        self.cn_index = cn_index
+        self.ctx = ctx
+
+    @property
+    def now_us(self) -> float:
+        """The session's simulated-time cursor (0 when not tracking costs)."""
+        return self.ctx.t_us if self.ctx is not None else 0.0
+
+    def begin(self, multi_shard: bool = False) -> AnyTxn:
+        """Start a transaction.
+
+        Under the classical baseline *every* transaction goes through the
+        GTM, so ``multi_shard=False`` still yields a global transaction —
+        that asymmetry is exactly the paper's motivation for GTM-lite.
+        """
+        if self.cluster.mode is TxnMode.CLASSICAL or multi_shard:
+            return GlobalTransaction(self.cluster, self.ctx, self.cn_index)
+        return LocalTransaction(self.cluster, self.ctx, self.cn_index)
+
+    def run_transaction(self, body: Callable[[AnyTxn], T],
+                        multi_shard: bool = False, max_retries: int = 10) -> T:
+        """Execute ``body`` in a transaction with automatic retry.
+
+        Retries on serialization conflicts, and transparently re-runs as a
+        multi-shard transaction if a single-shard attempt strays across
+        shards (the CN "promoting" a mis-declared transaction).
+        """
+        attempts = 0
+        promote = multi_shard
+        while True:
+            attempts += 1
+            txn = self.begin(multi_shard=promote)
+            try:
+                result = body(txn)
+                txn.commit()
+                return result
+            except TransactionPromotionRequired:
+                txn.abort()
+                if promote:
+                    raise
+                promote = True
+            except SerializationConflict:
+                txn.abort()
+                if attempts > max_retries:
+                    raise
+            except TransactionError:
+                txn.abort()
+                raise
+            except Exception:
+                txn.abort()
+                raise

@@ -1,0 +1,81 @@
+"""2PC in-doubt resolution (coordinator-failure recovery).
+
+When a coordinator dies mid-commit, data nodes are left with PREPARED
+transactions they cannot unilaterally resolve.  The recovery rule is the
+standard presumed-abort protocol, using the GTM's commit log as the
+decision record:
+
+* GXID **committed** at the GTM  -> the commit decision was durable before
+  the coordinator died: roll the local transaction *forward* (commit),
+* GXID **aborted** at the GTM    -> roll back,
+* GXID still **active**          -> the coordinator never reached its
+  commit point: presume abort — abort at the GTM first (so no late
+  coordinator can still commit), then roll back locally.
+
+This is exactly the window GTM-lite's Anomaly 1 lives in; recovery closes
+it permanently instead of per-read (UPGRADE handles concurrent readers,
+recovery handles the crash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.mpp import MppCluster
+from repro.common.errors import InvalidTransactionState
+
+
+@dataclass
+class RecoveryReport:
+    rolled_forward: Dict[str, List[int]] = field(default_factory=dict)
+    rolled_back: Dict[str, List[int]] = field(default_factory=dict)
+    presumed_aborted_gxids: List[int] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> int:
+        return (sum(len(v) for v in self.rolled_forward.values())
+                + sum(len(v) for v in self.rolled_back.values()))
+
+
+def resolve_in_doubt(cluster: MppCluster) -> RecoveryReport:
+    """Resolve every PREPARED transaction on every data node."""
+    report = RecoveryReport()
+    gtm = cluster.gtm
+
+    # Pass 1: decide undecided GXIDs (presumed abort).  Collect the GXIDs of
+    # every prepared local transaction; any still active at the GTM aborts.
+    undecided = set()
+    for dn in cluster.dns:
+        for local_xid in dn.ltm.prepared_xids():
+            gxid = dn.ltm.gxid_for(local_xid)
+            if gxid is None:
+                continue
+            if gtm.clog.is_in_doubt(gxid):
+                undecided.add(gxid)
+    for gxid in sorted(undecided):
+        gtm.abort(gxid)
+        report.presumed_aborted_gxids.append(gxid)
+
+    # Pass 2: apply each GXID's outcome on every node that prepared it.
+    for dn in cluster.dns:
+        for local_xid in dn.ltm.prepared_xids():
+            gxid = dn.ltm.gxid_for(local_xid)
+            if gxid is None:
+                # A prepared transaction with no global identity cannot
+                # exist under either protocol; abort defensively.
+                dn.abort(local_xid)
+                report.rolled_back.setdefault(dn.node_id, []).append(local_xid)
+                continue
+            if gtm.is_committed(gxid):
+                dn.commit(local_xid)
+                report.rolled_forward.setdefault(dn.node_id, []).append(local_xid)
+            else:
+                dn.abort(local_xid)
+                report.rolled_back.setdefault(dn.node_id, []).append(local_xid)
+    return report
+
+
+def in_doubt_count(cluster: MppCluster) -> int:
+    """How many prepared transactions are currently awaiting resolution."""
+    return sum(len(dn.ltm.prepared_xids()) for dn in cluster.dns)

@@ -1,0 +1,60 @@
+"""Cluster-level operational statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.merge import MergeOutcome
+
+
+@dataclass
+class ClusterStats:
+    """Counters the MPP cluster accumulates while serving transactions."""
+
+    commits_single_shard: int = 0
+    commits_multi_shard: int = 0
+    aborts_single_shard: int = 0
+    aborts_multi_shard: int = 0
+    snapshot_merges: int = 0
+    upgrades: int = 0
+    downgrades: int = 0
+
+    def note_commit(self, multi_shard: bool) -> None:
+        if multi_shard:
+            self.commits_multi_shard += 1
+        else:
+            self.commits_single_shard += 1
+
+    def note_abort(self, multi_shard: bool) -> None:
+        if multi_shard:
+            self.aborts_multi_shard += 1
+        else:
+            self.aborts_single_shard += 1
+
+    def note_merge(self, outcome: MergeOutcome) -> None:
+        self.snapshot_merges += 1
+        self.upgrades += len(outcome.upgraded)
+        self.downgrades += len(outcome.downgraded)
+
+    @property
+    def commits(self) -> int:
+        return self.commits_single_shard + self.commits_multi_shard
+
+    @property
+    def aborts(self) -> int:
+        return self.aborts_single_shard + self.aborts_multi_shard
+
+    def as_dict(self) -> dict:
+        return {
+            "commits_single_shard": self.commits_single_shard,
+            "commits_multi_shard": self.commits_multi_shard,
+            "aborts_single_shard": self.aborts_single_shard,
+            "aborts_multi_shard": self.aborts_multi_shard,
+            "snapshot_merges": self.snapshot_merges,
+            "upgrades": self.upgrades,
+            "downgrades": self.downgrades,
+        }
+
+    def reset(self) -> None:
+        for name in self.as_dict():
+            setattr(self, name, 0)

@@ -1,0 +1,470 @@
+"""Distributed transactions over the MPP cluster.
+
+Two transaction classes mirror the paper's GTM-lite split:
+
+* :class:`LocalTransaction` — a single-shard transaction.  Under GTM-lite it
+  never talks to the GTM: the bound data node's local XID and local snapshot
+  carry it end to end.
+* :class:`GlobalTransaction` — a multi-shard transaction (or *any*
+  transaction under the classical baseline).  It takes a GXID and a global
+  snapshot at the GTM; on each data node it visits it additionally takes a
+  local XID and snapshot, and — under GTM-lite — runs Algorithm 1 to merge
+  the two.  Commit is two-phase: prepare everywhere, commit at the GTM,
+  then confirm on each node.  The commit sequence is exposed stepwise so
+  tests can stand inside the paper's anomaly windows.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.common.errors import InvalidTransactionState, TransactionError
+from repro.core.classical import ClassicalSnapshot
+from repro.core.merge import merge_snapshots, naive_merge
+from repro.net.costing import CostContext
+from repro.storage.table import Distribution
+from repro.txn.snapshot import Snapshot
+
+
+class TransactionPromotionRequired(TransactionError):
+    """A single-shard transaction touched a second shard; retry multi-shard."""
+
+
+class TxnMode(enum.Enum):
+    """Which distributed-transaction protocol the cluster runs."""
+
+    GTM_LITE = "gtm_lite"
+    CLASSICAL = "classical"
+    # Ablations: GTM-lite with one of Algorithm 1's fixes disabled.
+    GTM_LITE_NO_DOWNGRADE = "gtm_lite_no_downgrade"
+    GTM_LITE_NO_UPGRADE = "gtm_lite_no_upgrade"
+    GTM_LITE_NAIVE = "gtm_lite_naive"
+
+    @property
+    def is_lite(self) -> bool:
+        return self is not TxnMode.CLASSICAL
+
+    @property
+    def downgrade_enabled(self) -> bool:
+        return self in (TxnMode.GTM_LITE, TxnMode.GTM_LITE_NO_UPGRADE)
+
+    @property
+    def upgrade_enabled(self) -> bool:
+        return self in (TxnMode.GTM_LITE, TxnMode.GTM_LITE_NO_DOWNGRADE)
+
+
+class TxnState(enum.Enum):
+    RUNNING = "running"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class _BaseTransaction:
+    """Shared plumbing: routing, schema lookup, state checks."""
+
+    def __init__(self, cluster, ctx: Optional[CostContext], cn_index: int = 0):
+        self._cluster = cluster
+        self._ctx = ctx
+        self._cn_index = cn_index
+        self.state = TxnState.RUNNING
+
+    # -- helpers -----------------------------------------------------------
+
+    def _require_running(self) -> None:
+        if self.state is not TxnState.RUNNING:
+            raise InvalidTransactionState(f"transaction is {self.state.value}")
+
+    def _schema(self, table: str):
+        return self._cluster.catalog.schema(table)
+
+    def _shard_for_row(self, table: str, row: Dict[str, object]) -> int:
+        schema = self._schema(table)
+        return schema.shard_of(schema.coerce_row(row), self._cluster.num_dns)
+
+    def _shard_for_key(self, table: str, key: object) -> int:
+        return self._schema(table).shard_of_key(key, self._cluster.num_dns)
+
+    def _charge_cn(self) -> None:
+        if self._ctx is not None:
+            self._ctx.charge(self._cluster.cn_resources[self._cn_index],
+                             self._ctx.model.cn_route_us)
+
+    def _charge_dn(self, dn_index: int, service_us: float) -> None:
+        if self._ctx is not None:
+            self._ctx.charge(self._cluster.dn_resources[dn_index], service_us)
+
+    def _charge_gtm(self, service_us: float) -> None:
+        if self._ctx is not None:
+            self._ctx.charge(self._cluster.gtm_resource, service_us)
+
+
+class LocalTransaction(_BaseTransaction):
+    """Single-shard transaction: local XID + local snapshot only."""
+
+    def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0):
+        super().__init__(cluster, ctx, cn_index)
+        self._dn_index: Optional[int] = None
+        self.xid: Optional[int] = None
+        self.snapshot: Optional[Snapshot] = None
+
+    @property
+    def is_multi_shard(self) -> bool:
+        return False
+
+    def _bind(self, dn_index: int):
+        if self._dn_index is None:
+            self._dn_index = dn_index
+            dn = self._cluster.dns[dn_index]
+            self.xid = dn.begin()
+            self.snapshot = dn.local_snapshot()
+            self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
+            return dn
+        if self._dn_index != dn_index:
+            raise TransactionPromotionRequired(
+                f"single-shard transaction bound to DN {self._dn_index} "
+                f"touched DN {dn_index}"
+            )
+        return self._cluster.dns[dn_index]
+
+    # -- operations ----------------------------------------------------------
+
+    def read(self, table: str, key: object) -> Optional[Dict[str, object]]:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            dn = self._bind(self._dn_index if self._dn_index is not None else 0)
+        else:
+            dn = self._bind(self._shard_for_key(table, key))
+        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        return dn.read(table, key, self.snapshot, self.xid)
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            if self._cluster.num_dns > 1:
+                raise TransactionPromotionRequired(
+                    "writing a replicated table is a multi-shard operation"
+                )
+            dn = self._bind(0)
+        else:
+            dn = self._bind(self._shard_for_row(table, row))
+        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        dn.insert(table, row, self.xid, self.snapshot)
+
+    def update(self, table: str, key: object, values: Dict[str, object]) -> None:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION and self._cluster.num_dns > 1:
+            raise TransactionPromotionRequired(
+                "writing a replicated table is a multi-shard operation"
+            )
+        dn = self._bind(self._shard_for_key(table, key)
+                        if schema.distribution is not Distribution.REPLICATION else 0)
+        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        dn.update(table, key, values, self.xid, self.snapshot)
+
+    def delete(self, table: str, key: object) -> None:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION and self._cluster.num_dns > 1:
+            raise TransactionPromotionRequired(
+                "writing a replicated table is a multi-shard operation"
+            )
+        dn = self._bind(self._shard_for_key(table, key)
+                        if schema.distribution is not Distribution.REPLICATION else 0)
+        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        dn.delete(table, key, self.xid, self.snapshot)
+
+    def scan(self, table: str) -> Iterator[Tuple[object, Dict[str, object]]]:
+        self._require_running()
+        schema = self._schema(table)
+        if schema.distribution is not Distribution.REPLICATION and self._cluster.num_dns > 1:
+            raise TransactionPromotionRequired(
+                f"scanning hash-distributed table {table} spans all shards"
+            )
+        dn = self._bind(self._dn_index if self._dn_index is not None else 0)
+        return dn.scan(table, self.snapshot, self.xid)
+
+    # -- completion --------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_running()
+        self.state = TxnState.COMMITTING
+        if self._dn_index is not None:
+            dn = self._cluster.dns[self._dn_index]
+            self._charge_dn(self._dn_index,
+                            self._ctx.model.dn_commit_us if self._ctx else 0.0)
+            dn.commit(self.xid)
+        self.state = TxnState.COMMITTED
+        self._cluster.stats.note_commit(multi_shard=False)
+        self._cluster.maybe_prune_lcos()
+
+    def abort(self) -> None:
+        if self.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return
+        if self._dn_index is not None:
+            self._cluster.dns[self._dn_index].abort(self.xid)
+        self.state = TxnState.ABORTED
+        self._cluster.stats.note_abort(multi_shard=False)
+
+
+class GlobalTransaction(_BaseTransaction):
+    """Multi-shard transaction: GXID + global snapshot, merged per DN."""
+
+    def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0):
+        super().__init__(cluster, ctx, cn_index)
+        self.mode: TxnMode = cluster.mode
+        if ctx is not None:
+            # One begin interaction: GXID assignment plus a snapshot whose
+            # serialization cost grows with the number of in-flight GXIDs.
+            self._charge_gtm(
+                ctx.model.gtm_xid_us
+                + ctx.model.gtm_snapshot_us
+                + ctx.model.gtm_snapshot_per_active_us * cluster.gtm.active_count
+            )
+        self.gxid = cluster.gtm.begin()
+        self.global_snapshot = cluster.gtm.snapshot(for_gxid=self.gxid)
+        self._local_xid: Dict[int, int] = {}          # dn index -> local xid
+        self._local_view: Dict[int, object] = {}       # dn index -> snapshot
+        self._written: Set[int] = set()                # dn indexes with writes
+
+    @property
+    def is_multi_shard(self) -> bool:
+        return True
+
+    def touched_nodes(self) -> List[int]:
+        return sorted(self._local_xid)
+
+    # -- per-DN attach ------------------------------------------------------
+
+    def _attach(self, dn_index: int):
+        dn = self._cluster.dns[dn_index]
+        if dn_index in self._local_xid:
+            return dn, self._local_xid[dn_index], self._local_view[dn_index]
+        lxid = dn.begin(gxid=self.gxid)
+        local_snapshot = dn.local_snapshot()
+        self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
+        if self.mode is TxnMode.CLASSICAL:
+            view: object = ClassicalSnapshot(self.global_snapshot, dn.ltm,
+                                             self._cluster.gtm)
+        elif self.mode is TxnMode.GTM_LITE_NAIVE:
+            view = naive_merge(local_snapshot).snapshot
+        else:
+            outcome = merge_snapshots(
+                self.global_snapshot,
+                local_snapshot,
+                dn.ltm,
+                self._cluster.gtm,
+                enable_downgrade=self.mode.downgrade_enabled,
+                enable_upgrade=self.mode.upgrade_enabled,
+            )
+            self._charge_dn(
+                dn_index, self._ctx.model.dn_merge_snapshot_us if self._ctx else 0.0
+            )
+            if self._ctx is not None and outcome.upgrade_waits:
+                # UPGRADE: pause until the writer's local commit confirmation
+                # lands — a slim window, about one network round trip each.
+                self._ctx.charge_local(
+                    2 * self._ctx.model.lan_hop_us * outcome.upgrade_waits
+                )
+            self._cluster.stats.note_merge(outcome)
+            view = outcome.snapshot
+        self._local_xid[dn_index] = lxid
+        self._local_view[dn_index] = view
+        return dn, lxid, view
+
+    # -- operations ---------------------------------------------------------
+
+    def read(self, table: str, key: object) -> Optional[Dict[str, object]]:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            dn_index = min(self._local_xid) if self._local_xid else 0
+        else:
+            dn_index = self._shard_for_key(table, key)
+        dn, lxid, view = self._attach(dn_index)
+        self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        return dn.read(table, key, view, lxid)
+
+    def insert(self, table: str, row: Dict[str, object]) -> None:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            targets = range(self._cluster.num_dns)
+        else:
+            targets = [self._shard_for_row(table, row)]
+        for dn_index in targets:
+            dn, lxid, view = self._attach(dn_index)
+            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            dn.insert(table, row, lxid, view)
+            self._written.add(dn_index)
+
+    def update(self, table: str, key: object, values: Dict[str, object]) -> None:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            targets = range(self._cluster.num_dns)
+        else:
+            targets = [self._shard_for_key(table, key)]
+        for dn_index in targets:
+            dn, lxid, view = self._attach(dn_index)
+            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            dn.update(table, key, values, lxid, view)
+            self._written.add(dn_index)
+
+    def delete(self, table: str, key: object) -> None:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            targets = range(self._cluster.num_dns)
+        else:
+            targets = [self._shard_for_key(table, key)]
+        for dn_index in targets:
+            dn, lxid, view = self._attach(dn_index)
+            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            dn.delete(table, key, lxid, view)
+            self._written.add(dn_index)
+
+    def scan(self, table: str) -> Iterator[Tuple[object, Dict[str, object]]]:
+        self._require_running()
+        self._charge_cn()
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            dn, lxid, view = self._attach(0)
+            yield from dn.scan(table, view, lxid)
+            return
+        for dn_index in range(self._cluster.num_dns):
+            dn, lxid, view = self._attach(dn_index)
+            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            yield from dn.scan(table, view, lxid)
+
+    # -- completion ----------------------------------------------------------
+
+    def commit(self) -> None:
+        """Run the full commit sequence in protocol order."""
+        steps = self.commit_stepwise()
+        steps.prepare_all()
+        steps.commit_at_gtm()
+        steps.finish()
+
+    def commit_stepwise(self) -> "CommitSteps":
+        self._require_running()
+        self.state = TxnState.COMMITTING
+        return CommitSteps(self)
+
+    def abort(self) -> None:
+        if self.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return
+        if self._cluster.gtm.is_committed(self.gxid):
+            # Past the GTM commit point the outcome is decided: the local
+            # commits are inevitable and rollback is no longer possible.
+            raise InvalidTransactionState(
+                f"gxid {self.gxid} already committed at the GTM; cannot abort"
+            )
+        for dn_index, lxid in self._local_xid.items():
+            self._cluster.dns[dn_index].abort(lxid)
+        self._cluster.gtm.abort(self.gxid)
+        self.state = TxnState.ABORTED
+        self._cluster.stats.note_abort(multi_shard=True)
+
+
+class CommitSteps:
+    """Explicit commit sequencing for a :class:`GlobalTransaction`.
+
+    GTM-lite order: prepare on every written node, commit at the GTM, then
+    confirm (commit prepared) on each node.  The classical baseline confirms
+    on the nodes *first* and dequeues from the GTM last, which is why it has
+    no anomaly window.  Tests drive these methods one at a time.
+    """
+
+    def __init__(self, txn: GlobalTransaction):
+        self._txn = txn
+        self._prepared = False
+        self._gtm_committed = False
+        self._confirmed: Set[int] = set()
+
+    @property
+    def pending_nodes(self) -> List[int]:
+        return sorted(set(self._txn._written) - self._confirmed)
+
+    def prepare_all(self) -> None:
+        if self._prepared:
+            raise InvalidTransactionState("already prepared")
+        txn = self._txn
+        for dn_index in sorted(txn._written):
+            txn._charge_dn(dn_index,
+                           txn._ctx.model.dn_prepare_us if txn._ctx else 0.0)
+            txn._cluster.dns[dn_index].prepare(txn._local_xid[dn_index])
+        self._prepared = True
+        if txn.mode is TxnMode.CLASSICAL:
+            # Classical order: data nodes commit before the GTM dequeues.
+            self._confirm_all()
+
+    def commit_at_gtm(self) -> None:
+        if not self._prepared:
+            raise InvalidTransactionState("prepare before GTM commit")
+        if self._gtm_committed:
+            raise InvalidTransactionState("already committed at GTM")
+        txn = self._txn
+        txn._charge_gtm(txn._ctx.model.gtm_commit_us if txn._ctx else 0.0)
+        txn._cluster.gtm.commit(txn.gxid)
+        self._gtm_committed = True
+
+    def confirm_at(self, dn_index: int) -> None:
+        """Deliver the commit confirmation to one data node."""
+        txn = self._txn
+        if txn.mode is TxnMode.CLASSICAL:
+            raise InvalidTransactionState(
+                "classical protocol confirms during prepare_all"
+            )
+        if not self._gtm_committed:
+            raise InvalidTransactionState("GTM commit must precede confirmations")
+        if dn_index in self._confirmed:
+            return
+        if dn_index not in txn._written:
+            raise InvalidTransactionState(f"node {dn_index} has nothing to confirm")
+        txn._charge_dn(dn_index,
+                       txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
+        txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
+        self._confirmed.add(dn_index)
+
+    def _confirm_all(self) -> None:
+        txn = self._txn
+        for dn_index in sorted(set(txn._written) - self._confirmed):
+            txn._charge_dn(dn_index,
+                           txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
+            txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
+            self._confirmed.add(dn_index)
+
+    def finish(self) -> None:
+        """Complete whatever remains of the sequence."""
+        txn = self._txn
+        if txn.mode is TxnMode.CLASSICAL:
+            if not self._prepared:
+                self.prepare_all()
+            if not self._gtm_committed:
+                self.commit_at_gtm()
+        else:
+            if not self._prepared:
+                self.prepare_all()
+            if not self._gtm_committed:
+                self.commit_at_gtm()
+            self._confirm_all()
+        # Read-only participants never prepared; release them.
+        for dn_index, lxid in txn._local_xid.items():
+            if dn_index not in txn._written:
+                txn._cluster.dns[dn_index].commit(lxid)
+        txn.state = TxnState.COMMITTED
+        txn._cluster.stats.note_commit(multi_shard=True)
+        txn._cluster.maybe_prune_lcos()

@@ -1,0 +1,12 @@
+"""Device-edge-cloud data collaboration platform (Sec. IV-B, Fig. 13)."""
+
+from repro.collab.consistency import ConsistencyLevel, ConsistentSession
+from repro.collab.device import CollabNode, NodeKind
+from repro.collab.platform import Collection, CollabPlatform, SyncPolicy, collection
+from repro.collab.store import ReplicaStore, Update
+from repro.collab.versions import VersionVector
+
+__all__ = ["CollabPlatform", "SyncPolicy", "Collection", "collection",
+           "CollabNode", "NodeKind", "ReplicaStore", "Update", "VersionVector"]
+
+__all__ += ["ConsistentSession", "ConsistencyLevel"]

@@ -1,0 +1,177 @@
+"""Nodes of the collaboration platform: devices, edge servers, the cloud.
+
+Every node follows the Fig. 13 stack: a communication endpoint (the
+fabric), a distributed-data layer (the replica store + sync protocol) and a
+small compute layer (downloadable user functions).  Devices have a broad
+spectrum of capabilities ("Heterogeneous"): a storage budget models smart
+sensors and watches; nodes over budget offload their oldest keys to a
+configured *backing peer* (resource sharing — "smart watches ... can
+benefit from other peer devices like smart phones").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.clock import DriftingClock, HybridLogicalClock, SimClock
+from repro.common.errors import SyncError
+from repro.collab.store import TOMBSTONE, ReplicaStore, Update
+from repro.collab.versions import VersionVector
+
+
+class NodeKind(enum.Enum):
+    DEVICE = "device"
+    EDGE = "edge"
+    CLOUD = "cloud"
+
+
+@dataclass
+class Subscription:
+    """A query-based event subscription ("Real-time" property)."""
+
+    predicate: Callable[[str, object], bool]
+    callback: Callable[[str, object], None]
+
+
+UserFunction = Callable[["CollabNode", dict], object]
+
+
+class CollabNode:
+    """One participant in the distributed data collaboration platform."""
+
+    def __init__(self, node_id: str, kind: NodeKind, truth: SimClock,
+                 skew_us: float = 0.0, drift_ppm: float = 0.0,
+                 storage_budget: Optional[int] = None):
+        self.node_id = node_id
+        self.kind = kind
+        self.hlc = HybridLogicalClock(
+            node_id, DriftingClock(truth, skew_us, drift_ppm))
+        self.store = ReplicaStore(node_id)
+        self.storage_budget = storage_budget
+        self.backing_peer: Optional["CollabNode"] = None
+        self._subscriptions: List[Subscription] = []
+        self._functions: Dict[str, UserFunction] = {}
+        # Keys whose value payload was evicted locally (resource sharing):
+        # replication metadata stays intact, reads go to the backing peer.
+        self._evicted: set = set()
+        self._write_clock = 0
+        self._last_written: Dict[str, int] = {}
+        self.offloaded_keys: List[str] = []
+
+    # -- data API (the "Ubiquitous" uniform interface) --------------------------
+
+    def put(self, key: str, value: object) -> Update:
+        update = self.store.local_update(key, value, self.hlc.now())
+        self._evicted.discard(key)   # a fresh write re-materializes the key
+        self._write_clock += 1
+        self._last_written[key] = self._write_clock
+        self._fire_subscriptions(key, value)
+        self._enforce_budget()
+        return update
+
+    def get(self, key: str) -> Optional[object]:
+        if key in self._evicted:
+            # Transparent read-through to the peer holding offloaded data.
+            if self.backing_peer is not None:
+                return self.backing_peer.get(key)
+            return None
+        return self.store.get(key)
+
+    def delete(self, key: str) -> Update:
+        update = self.store.local_update(key, TOMBSTONE, self.hlc.now())
+        self._fire_subscriptions(key, None)
+        return update
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    # -- subscriptions --------------------------------------------------------------
+
+    def subscribe(self, predicate: Callable[[str, object], bool],
+                  callback: Callable[[str, object], None]) -> Subscription:
+        subscription = Subscription(predicate, callback)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    def _fire_subscriptions(self, key: str, value: object) -> None:
+        for subscription in self._subscriptions:
+            try:
+                if subscription.predicate(key, value):
+                    subscription.callback(key, value)
+            except Exception:
+                continue  # a broken subscriber must not break replication
+
+    # -- replication hooks (called by the sync protocol) -----------------------------
+
+    def digest(self) -> VersionVector:
+        return self.store.vv.copy()
+
+    def updates_for(self, peer_vv: VersionVector) -> List[Update]:
+        return self.store.missing_for(peer_vv)
+
+    def ingest(self, updates: List[Update]) -> int:
+        before = {u.key for u in updates if u.seq > self.store.vv.get(u.origin)}
+        # Merge every received timestamp into the local HLC so later local
+        # writes causally dominate them, regardless of physical clock skew.
+        for update in updates:
+            self.hlc.observe(update.hlc)
+        new = self.store.ingest(updates)
+        for key in before:
+            self._fire_subscriptions(key, self.store.get(key))
+        self._enforce_budget()
+        return new
+
+    # -- compute layer (downloadable user functions) ----------------------------------
+
+    def install_function(self, name: str, fn: UserFunction) -> None:
+        """Install a user-defined function (possibly downloaded from a peer)."""
+        self._functions[name] = fn
+
+    def download_function(self, name: str, source: "CollabNode") -> None:
+        """Fetch a function from the cloud or a neighboring node."""
+        fn = source._functions.get(name)
+        if fn is None:
+            raise SyncError(f"{source.node_id} has no function {name!r}")
+        self._functions[name] = fn
+
+    def invoke(self, name: str, args: Optional[dict] = None) -> object:
+        fn = self._functions.get(name)
+        if fn is None:
+            raise SyncError(f"{self.node_id} has no function {name!r}")
+        return fn(self, args or {})
+
+    def function_names(self) -> List[str]:
+        return sorted(self._functions)
+
+    # -- resource sharing ----------------------------------------------------------------
+
+    def local_key_count(self) -> int:
+        """Keys whose value payload is held locally (counts against budget)."""
+        return sum(1 for k in self.store.keys() if k not in self._evicted)
+
+    def _enforce_budget(self) -> None:
+        """Evict value payloads beyond the budget.
+
+        Eviction is strictly node-local: replication metadata (log, version
+        vector) is untouched, so the protocol's no-loss/no-duplicate
+        guarantees hold; reads of an evicted key go to the backing peer,
+        which as a full replica holds (or will receive) the value.
+        """
+        if self.storage_budget is None:
+            return
+        resident = [k for k in self.store.keys() if k not in self._evicted]
+        # Least-recently-written first (never-written = oldest of all).
+        resident.sort(key=lambda k: (self._last_written.get(k, 0), k))
+        while len(resident) > self.storage_budget:
+            victim = resident.pop(0)
+            self._evicted.add(victim)
+            self.offloaded_keys.append(victim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CollabNode({self.node_id!r}, {self.kind.value})"

@@ -1,0 +1,156 @@
+"""Replica stores for the collaboration platform.
+
+Each device/edge/cloud node holds a :class:`ReplicaStore`: a last-writer-
+wins key/value map ordered by *hybrid logical clock* timestamps (immune to
+the "time drift problem across devices" the paper's P2P sync must solve),
+plus an update log for anti-entropy exchange.
+
+Updates are never silently dropped: every locally originated or relayed
+update stays in the log until :meth:`compact` proves every known peer holds
+it — the mechanical basis of "no data loss".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.clock import HlcTimestamp
+from repro.common.errors import SyncError
+from repro.collab.versions import VersionVector
+
+TOMBSTONE = object()
+
+
+@dataclass(frozen=True)
+class Update:
+    """One replicated write, uniquely identified by (origin, seq)."""
+
+    origin: str
+    seq: int
+    key: str
+    value: object            # TOMBSTONE for deletes
+    hlc: HlcTimestamp
+
+    @property
+    def uid(self) -> Tuple[str, int]:
+        return (self.origin, self.seq)
+
+    def wire_size(self) -> int:
+        value_bytes = 1 if self.value is TOMBSTONE else len(repr(self.value))
+        return len(self.origin) + 12 + len(self.key) + value_bytes + 16
+
+
+@dataclass
+class Entry:
+    value: object
+    hlc: HlcTimestamp
+
+
+class ReplicaStore:
+    """LWW register map + replication log + version vector."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._data: Dict[str, Entry] = {}
+        self._log: Dict[str, List[Update]] = {}    # origin -> ordered updates
+        self.vv = VersionVector()
+        self._next_seq = 0
+        self.applied = 0
+        self.stale_ignored = 0
+
+    # -- local writes ------------------------------------------------------
+
+    def local_update(self, key: str, value: object, hlc: HlcTimestamp) -> Update:
+        self._next_seq += 1
+        update = Update(self.node_id, self._next_seq, key, value, hlc)
+        self._append_to_log(update)
+        self._apply_value(update)
+        return update
+
+    # -- replication -----------------------------------------------------------
+
+    def missing_for(self, peer_vv: VersionVector) -> List[Update]:
+        """Every update this replica holds that ``peer_vv`` does not."""
+        out: List[Update] = []
+        for origin, updates in self._log.items():
+            have = peer_vv.get(origin)
+            for update in updates:
+                if update.seq > have:
+                    out.append(update)
+        out.sort(key=lambda u: (u.hlc, u.origin, u.seq))
+        return out
+
+    def ingest(self, updates: Iterable[Update]) -> int:
+        """Apply remote updates; relays are kept for further gossip.
+
+        Returns how many were new.  Duplicate delivery is detected by
+        (origin, seq) and ignored — "no redundant data".
+        """
+        new = 0
+        for update in updates:
+            if update.seq <= self.vv.get(update.origin):
+                continue  # duplicate or already-covered
+            if update.seq != self.vv.get(update.origin) + 1:
+                # Out-of-order within one origin: the protocol always sends
+                # an origin's updates in order, so this is a bug upstream.
+                raise SyncError(
+                    f"{self.node_id}: gap in {update.origin} updates "
+                    f"({self.vv.get(update.origin)} -> {update.seq})")
+            self._append_to_log(update)
+            self._apply_value(update)
+            new += 1
+        return new
+
+    def _append_to_log(self, update: Update) -> None:
+        self._log.setdefault(update.origin, []).append(update)
+        self.vv.advance(update.origin, update.seq)
+
+    def _apply_value(self, update: Update) -> None:
+        current = self._data.get(update.key)
+        # LWW by HLC; ties broken by origin id for a total order.
+        if current is not None and (current.hlc, ) >= (update.hlc, ):
+            self.stale_ignored += 1
+            return
+        self._data[update.key] = Entry(update.value, update.hlc)
+        self.applied += 1
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[object]:
+        entry = self._data.get(key)
+        if entry is None or entry.value is TOMBSTONE:
+            return None
+        return entry.value
+
+    def has(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> List[str]:
+        return sorted(k for k, e in self._data.items() if e.value is not TOMBSTONE)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {k: e.value for k, e in self._data.items()
+                if e.value is not TOMBSTONE}
+
+    def entry(self, key: str) -> Optional[Entry]:
+        return self._data.get(key)
+
+    @property
+    def log_size(self) -> int:
+        return sum(len(v) for v in self._log.values())
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def compact(self, everyone_has: VersionVector) -> int:
+        """Drop log entries every known peer already holds."""
+        removed = 0
+        for origin, updates in list(self._log.items()):
+            have = everyone_has.get(origin)
+            kept = [u for u in updates if u.seq > have]
+            removed += len(updates) - len(kept)
+            if kept:
+                self._log[origin] = kept
+            else:
+                del self._log[origin]
+        return removed

@@ -1,0 +1,59 @@
+"""Version vectors for the P2P sync protocol.
+
+Each node numbers its own updates 1, 2, 3, ...; a version vector maps node
+id -> highest contiguous sequence known.  Comparing vectors tells a pair of
+replicas *exactly* which updates the other is missing — that exactness is
+what gives the paper's guarantee of "no data loss and no redundant data".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class VersionVector:
+    def __init__(self, counters: Mapping[str, int] = ()):
+        self._counters: Dict[str, int] = dict(counters)
+        for node, seq in self._counters.items():
+            if seq < 0:
+                raise ValueError(f"negative sequence for {node!r}")
+
+    def get(self, node: str) -> int:
+        return self._counters.get(node, 0)
+
+    def advance(self, node: str, seq: int) -> None:
+        """Record that updates from ``node`` up to ``seq`` are held."""
+        if seq > self._counters.get(node, 0):
+            self._counters[node] = seq
+
+    def merge(self, other: "VersionVector") -> None:
+        for node, seq in other._counters.items():
+            self.advance(node, seq)
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True if this vector has everything ``other`` has."""
+        return all(self.get(node) >= seq for node, seq in other.items())
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._counters.items())
+
+    def copy(self) -> "VersionVector":
+        return VersionVector(self._counters)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def wire_size(self) -> int:
+        """Approximate serialized digest size in bytes."""
+        return 4 + sum(len(node) + 8 for node in self._counters)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        mine = {n: s for n, s in self._counters.items() if s > 0}
+        theirs = {n: s for n, s in other._counters.items() if s > 0}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{n}:{s}" for n, s in sorted(self._counters.items()))
+        return f"VV({inner})"

@@ -1,0 +1,6 @@
+"""Shared utilities: errors, simulated clocks, deterministic randomness."""
+
+from repro.common.clock import DriftingClock, HlcTimestamp, HybridLogicalClock, SimClock
+from repro.common.errors import ReproError
+
+__all__ = ["SimClock", "DriftingClock", "HybridLogicalClock", "HlcTimestamp", "ReproError"]

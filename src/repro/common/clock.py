@@ -1,0 +1,124 @@
+"""Simulated clocks.
+
+All performance numbers produced by this reproduction are *deterministic
+simulated* times, not wall-clock measurements.  Two clock families live here:
+
+* :class:`SimClock` — a monotonically advancing scalar clock owned by a
+  simulation.  Components advance it explicitly; nothing reads the OS clock.
+* :class:`DriftingClock` — a per-device wall clock with constant skew and
+  drift, used by the collaboration platform to reproduce the "time drift
+  problem across devices" the paper's P2P sync algorithm must solve.
+* :class:`HybridLogicalClock` — an HLC (Kulkarni et al.) implementation that
+  gives causally consistent timestamps on top of drifting physical clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock measured in microseconds."""
+
+    def __init__(self, start_us: float = 0.0):
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_us / 1000.0
+
+    @property
+    def now_s(self) -> float:
+        return self._now_us / 1_000_000.0
+
+    def advance(self, delta_us: float) -> float:
+        """Move the clock forward by ``delta_us`` and return the new time."""
+        if delta_us < 0:
+            raise ConfigError(f"cannot move time backwards ({delta_us} us)")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_to(self, t_us: float) -> float:
+        """Move the clock forward to ``t_us`` (no-op if already past it)."""
+        if t_us > self._now_us:
+            self._now_us = t_us
+        return self._now_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock({self._now_us:.1f}us)"
+
+
+class DriftingClock:
+    """A physical clock with constant offset (skew) and rate drift.
+
+    Reading a drifting clock at true simulated time ``t`` yields
+    ``t * (1 + drift_ppm * 1e-6) + skew_us``.  This models independent
+    device clocks that the P2P sync layer cannot trust for ordering.
+    """
+
+    def __init__(self, truth: SimClock, skew_us: float = 0.0, drift_ppm: float = 0.0):
+        self._truth = truth
+        self.skew_us = float(skew_us)
+        self.drift_ppm = float(drift_ppm)
+
+    def read_us(self) -> float:
+        t = self._truth.now_us
+        return t * (1.0 + self.drift_ppm * 1e-6) + self.skew_us
+
+
+@dataclass(frozen=True, order=True)
+class HlcTimestamp:
+    """A hybrid-logical-clock timestamp: (physical, logical, node)."""
+
+    physical_us: int
+    logical: int
+    node_id: str = field(default="", compare=True)
+
+    def __str__(self) -> str:
+        return f"{self.physical_us}.{self.logical}@{self.node_id}"
+
+
+class HybridLogicalClock:
+    """Hybrid logical clock over a possibly drifting physical clock.
+
+    Guarantees: timestamps are strictly increasing per node, and a timestamp
+    generated after receiving a message is greater than the message's
+    timestamp — causality survives arbitrary clock drift.
+    """
+
+    def __init__(self, node_id: str, physical: DriftingClock):
+        self.node_id = node_id
+        self._physical = physical
+        self._last_physical = 0
+        self._logical = 0
+
+    def now(self) -> HlcTimestamp:
+        """Generate a timestamp for a local (send or write) event."""
+        pt = int(self._physical.read_us())
+        if pt > self._last_physical:
+            self._last_physical = pt
+            self._logical = 0
+        else:
+            self._logical += 1
+        return HlcTimestamp(self._last_physical, self._logical, self.node_id)
+
+    def observe(self, remote: HlcTimestamp) -> HlcTimestamp:
+        """Merge a received timestamp and generate the receive-event stamp."""
+        pt = int(self._physical.read_us())
+        if pt > self._last_physical and pt > remote.physical_us:
+            self._last_physical = pt
+            self._logical = 0
+        elif remote.physical_us > self._last_physical:
+            self._last_physical = remote.physical_us
+            self._logical = remote.logical + 1
+        elif remote.physical_us == self._last_physical:
+            self._logical = max(self._logical, remote.logical) + 1
+        else:
+            self._logical += 1
+        return HlcTimestamp(self._last_physical, self._logical, self.node_id)

@@ -1,0 +1,88 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  Subsystems refine it: SQL front-end errors,
+transaction aborts, schema-evolution violations, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or combination."""
+
+
+class NetworkError(ReproError):
+    """Simulated network fabric failure (unknown endpoint, partition)."""
+
+
+class StorageError(ReproError):
+    """Storage-engine failure (unknown table, corrupt page, bad batch)."""
+
+
+class DuplicateKeyError(StorageError):
+    """A unique or primary-key constraint was violated."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-management errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and must be retried by the caller."""
+
+
+class SerializationConflict(TransactionAborted):
+    """Write-write conflict detected under snapshot isolation."""
+
+
+class InvalidTransactionState(TransactionError):
+    """Operation not legal in the transaction's current state."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The statement could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlAnalysisError(SqlError):
+    """The statement parsed but failed semantic analysis."""
+
+
+class CatalogError(SqlError):
+    """Unknown or duplicate catalog object (table, column, index)."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for a valid query."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class SchemaEvolutionError(ReproError):
+    """Illegal or unsupported schema change (GMDB online evolution)."""
+
+
+class SchemaValidationError(SchemaEvolutionError):
+    """An object does not conform to the schema it claims to follow."""
+
+
+class SyncError(ReproError):
+    """Device-edge-cloud synchronization failure."""
+
+
+class SlaViolation(ReproError):
+    """Raised by the workload manager when an SLA cannot be honored."""

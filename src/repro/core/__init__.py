@@ -1,0 +1,11 @@
+"""The paper's primary contribution: GTM-lite distributed transactions."""
+
+from repro.core.classical import ClassicalSnapshot
+from repro.core.gtm import GlobalTransactionManager, GtmStats
+from repro.core.merge import MergeOutcome, merge_snapshots, naive_merge
+
+__all__ = [
+    "GlobalTransactionManager", "GtmStats",
+    "merge_snapshots", "naive_merge", "MergeOutcome",
+    "ClassicalSnapshot",
+]

@@ -1,0 +1,67 @@
+"""The classical (baseline) GTM protocol's visibility view.
+
+Under the Postgres-XC-style baseline every transaction — single-shard or
+not — takes a GXID and a *global* snapshot.  On a data node, tuple headers
+carry local XIDs, so the baseline reader translates: local XID -> GXID (via
+the DN's gxid mapping), then tests the GXID against the global snapshot and
+the GTM commit log.
+
+Because the global active list only drops a transaction *after* every data
+node confirmed its commit, this view is anomaly-free; the price is that the
+GTM serializes a begin/snapshot/commit round trip into every transaction,
+which Figure 3 shows throttling scalability.
+"""
+
+from __future__ import annotations
+
+from repro.core.gtm import GlobalTransactionManager
+from repro.txn.manager import LocalTransactionManager
+from repro.txn.snapshot import Snapshot
+from repro.txn.status import StatusLog
+from repro.txn.xid import INVALID_XID
+
+
+class ClassicalSnapshot:
+    """Duck-typed snapshot: global visibility over local tuple headers."""
+
+    def __init__(self, global_snapshot: Snapshot, ltm: LocalTransactionManager,
+                 gtm: GlobalTransactionManager):
+        self._global = global_snapshot
+        self._ltm = ltm
+        self._gtm = gtm
+
+    @property
+    def xmin(self) -> int:
+        return self._global.xmin
+
+    @property
+    def xmax(self) -> int:
+        return self._global.xmax
+
+    @property
+    def active(self) -> frozenset:
+        return self._global.active
+
+    def sees_as_running(self, local_xid: int) -> bool:
+        gxid = self._ltm.gxid_for(local_xid)
+        if gxid is None:
+            # Pure-local transaction: cannot exist under the classical
+            # protocol; treat its work as invisible-in-flight to be safe.
+            return True
+        return self._global.sees_as_running(gxid)
+
+    def xid_visible(self, local_xid: int, clog: StatusLog,
+                    own_xid: int = INVALID_XID) -> bool:
+        if local_xid == INVALID_XID:
+            return False
+        if local_xid == own_xid:
+            return True
+        gxid = self._ltm.gxid_for(local_xid)
+        if gxid is None:
+            return False
+        if self._global.sees_as_running(gxid):
+            return False
+        return self._gtm.is_committed(gxid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClassicalSnapshot(global={self._global})"

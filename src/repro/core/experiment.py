@@ -1,0 +1,110 @@
+"""The Figure 3 experiment: GTM-lite scalability vs the classical baseline.
+
+Reproduces the paper's setup: "we deployed the database on various cluster
+sizes from 1 node, 2 nodes, 4 nodes up to 8 nodes.  We modified the TPC-C
+benchmark to issue 100% single-shard (SS) or 90% single-shard transactions
+(MS)."  Each (cluster size, workload mix, protocol) cell runs the TPC-C-lite
+simulation and reports committed-transaction throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.mpp import MppCluster
+from repro.cluster.txn import TxnMode
+from repro.workloads.driver import SimResult, run_oltp
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+#: The paper's two workload mixes: label -> multi-shard fraction.
+FIGURE3_WORKLOADS: Dict[str, float] = {"SS": 0.0, "MS": 0.1}
+
+#: The paper's cluster sizes.
+FIGURE3_NODE_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass
+class Figure3Cell:
+    """One point of Figure 3."""
+
+    nodes: int
+    workload: str
+    mode: TxnMode
+    result: SimResult
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.result.throughput_tps
+
+    def as_row(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "workload": self.workload,
+            "mode": self.mode.value,
+            "throughput_tps": round(self.result.throughput_tps, 1),
+            "committed": self.result.committed,
+            "aborted": self.result.aborted,
+            "bottleneck": self.result.bottleneck,
+            "gtm_requests": self.result.gtm_requests,
+        }
+
+
+def run_cell(
+    nodes: int,
+    multi_shard_fraction: float,
+    mode: TxnMode,
+    warehouses_per_node: int = 4,
+    clients_per_dn: int = 8,
+    txns_per_client: int = 40,
+    seed: int = 42,
+) -> SimResult:
+    """Run one (cluster size, mix, protocol) measurement."""
+    cluster = MppCluster(num_dns=nodes, num_cns=max(1, nodes), mode=mode)
+    num_warehouses = warehouses_per_node * nodes
+    if multi_shard_fraction > 0:
+        num_warehouses = max(num_warehouses, 2)
+    load_tpcc(cluster, num_warehouses, seed=seed)
+    workload = TpccLiteWorkload(
+        num_warehouses=num_warehouses,
+        multi_shard_fraction=multi_shard_fraction,
+        seed=seed,
+    )
+    return run_oltp(
+        cluster, workload,
+        clients_per_dn=clients_per_dn,
+        txns_per_client=txns_per_client,
+    )
+
+
+def figure3(
+    node_counts: Sequence[int] = FIGURE3_NODE_COUNTS,
+    workloads: Optional[Dict[str, float]] = None,
+    modes: Iterable[TxnMode] = (TxnMode.GTM_LITE, TxnMode.CLASSICAL),
+    **cell_kwargs,
+) -> List[Figure3Cell]:
+    """Run the full Figure 3 grid and return its cells."""
+    workloads = workloads if workloads is not None else FIGURE3_WORKLOADS
+    cells: List[Figure3Cell] = []
+    for nodes in node_counts:
+        for label, fraction in workloads.items():
+            for mode in modes:
+                result = run_cell(nodes, fraction, mode, **cell_kwargs)
+                cells.append(Figure3Cell(nodes, label, mode, result))
+    return cells
+
+
+def format_figure3(cells: Sequence[Figure3Cell]) -> str:
+    """Render Figure 3 as the throughput-vs-nodes table the paper plots."""
+    by_series: Dict[Tuple[str, str], Dict[int, float]] = {}
+    node_set = sorted({c.nodes for c in cells})
+    for cell in cells:
+        series = (cell.workload, cell.mode.value)
+        by_series.setdefault(series, {})[cell.nodes] = cell.throughput_tps
+    header = "series".ljust(24) + "".join(f"{n:>12}" for n in node_set)
+    lines = [header, "-" * len(header)]
+    for (workload, mode), points in sorted(by_series.items()):
+        label = f"{workload}/{mode}".ljust(24)
+        row = "".join(f"{points.get(n, float('nan')):>12.0f}" for n in node_set)
+        lines.append(label + row)
+    return "\n".join(lines)

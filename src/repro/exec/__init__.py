@@ -1,0 +1,5 @@
+"""Physical execution: volcano operators and vectorized kernels."""
+
+from repro.exec.operators import PhysicalOp, walk_physical
+
+__all__ = ["PhysicalOp", "walk_physical"]

@@ -1,0 +1,456 @@
+"""Physical (volcano-style) operators.
+
+Every operator yields row tuples and counts the rows it produces.  The
+counters are the learning optimizer's *producer* input: after a query runs,
+the engine walks the physical tree and compares each cardinality-bearing
+operator's ``actual_rows`` with its ``estimated_rows`` (Fig. 5's capture
+path).  Operators carry the canonical ``step_text`` of the logical node they
+implement, because the plan store is keyed on *logical* steps — "only the
+logical operator (join instead of hash join ...) is needed" (Sec. II-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.optimizer.expr import BoundExpr
+from repro.optimizer.logical import AggSpec, Schema
+
+
+class PhysicalOp:
+    """Base class for physical operators."""
+
+    def __init__(self, schema: Schema, estimated_rows: float = 0.0,
+                 step_text: Optional[str] = None):
+        self.schema = schema
+        self.estimated_rows = estimated_rows
+        self.step_text = step_text
+        self.actual_rows = 0
+
+    def children(self) -> Sequence["PhysicalOp"]:
+        return ()
+
+    def execute(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def reset_counters(self) -> None:
+        self.actual_rows = 0
+        for child in self.children():
+            child.reset_counters()
+
+    def _count(self, rows: Iterator[tuple]) -> Iterator[tuple]:
+        for row in rows:
+            self.actual_rows += 1
+            yield row
+
+    def name(self) -> str:
+        return type(self).__name__[1:]  # strip the single 'P' prefix
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        line = (f"{pad}{self.describe()}  "
+                f"(est={self.estimated_rows:.0f}, actual={self.actual_rows})")
+        return "\n".join([line] + [c.pretty(indent + 1) for c in self.children()])
+
+    def describe(self) -> str:
+        return self.name()
+
+
+class PScan(PhysicalOp):
+    """Table scan over a row source supplied by the engine."""
+
+    def __init__(self, table: str, source: Callable[[], Iterable[tuple]],
+                 schema: Schema, predicate: Optional[BoundExpr] = None,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(schema, estimated_rows, step_text)
+        self.table = table
+        self.source = source
+        self.predicate = predicate
+
+    def execute(self) -> Iterator[tuple]:
+        rows = iter(self.source())
+        if self.predicate is not None:
+            predicate = self.predicate
+            rows = (row for row in rows if predicate.eval(row))
+        return self._count(rows)
+
+    def describe(self) -> str:
+        pred = f" [{self.predicate.text()}]" if self.predicate is not None else ""
+        return f"SeqScan {self.table}{pred}"
+
+
+class PTableFunction(PhysicalOp):
+    def __init__(self, fn_name: str, rows_provider: Callable[[], Iterable[tuple]],
+                 schema: Schema, estimated_rows: float = 0.0,
+                 step_text: Optional[str] = None):
+        super().__init__(schema, estimated_rows, step_text)
+        self.fn_name = fn_name
+        self.rows_provider = rows_provider
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(iter(self.rows_provider()))
+
+    def describe(self) -> str:
+        return f"TableFunction {self.fn_name}"
+
+
+class PValues(PhysicalOp):
+    def __init__(self, rows: List[tuple], schema: Schema):
+        super().__init__(schema, float(len(rows)))
+        self.rows = rows
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(iter(self.rows))
+
+
+class PFilter(PhysicalOp):
+    def __init__(self, child: PhysicalOp, predicate: BoundExpr,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(child.schema, estimated_rows, step_text)
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        predicate = self.predicate
+        return self._count(
+            row for row in self.child.execute() if predicate.eval(row)
+        )
+
+    def describe(self) -> str:
+        return f"Filter [{self.predicate.text()}]"
+
+
+class PProject(PhysicalOp):
+    def __init__(self, child: PhysicalOp, exprs: List[BoundExpr], schema: Schema,
+                 estimated_rows: float = 0.0):
+        super().__init__(schema, estimated_rows)
+        self.child = child
+        self.exprs = exprs
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        exprs = self.exprs
+        return self._count(
+            tuple(e.eval(row) for e in exprs) for row in self.child.execute()
+        )
+
+
+class PHashJoin(PhysicalOp):
+    """Equi hash join (inner / left outer), build side = right."""
+
+    def __init__(self, kind: str, left: PhysicalOp, right: PhysicalOp,
+                 left_keys: List[BoundExpr], right_keys: List[BoundExpr],
+                 residual: Optional[BoundExpr], schema: Schema,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        if kind not in ("inner", "left"):
+            raise ExecutionError(f"hash join cannot run kind {kind!r}")
+        super().__init__(schema, estimated_rows, step_text)
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.left, self.right)
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(self._join())
+
+    def _join(self) -> Iterator[tuple]:
+        table: Dict[tuple, List[tuple]] = {}
+        for row in self.right.execute():
+            key = tuple(k.eval(row) for k in self.right_keys)
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(row)
+        null_pad = (None,) * len(self.right.schema)
+        residual = self.residual
+        for lrow in self.left.execute():
+            key = tuple(k.eval(lrow) for k in self.left_keys)
+            matched = False
+            if not any(v is None for v in key):
+                for rrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if residual is None or residual.eval(combined):
+                        matched = True
+                        yield combined
+            if not matched and self.kind == "left":
+                yield lrow + null_pad
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l.text()}={r.text()}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin {self.kind} [{keys}]"
+
+
+class PNestedLoopJoin(PhysicalOp):
+    """Fallback join for non-equi or cross joins."""
+
+    def __init__(self, kind: str, left: PhysicalOp, right: PhysicalOp,
+                 condition: Optional[BoundExpr], schema: Schema,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(schema, estimated_rows, step_text)
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.left, self.right)
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(self._join())
+
+    def _join(self) -> Iterator[tuple]:
+        right_rows = list(self.right.execute())
+        null_pad = (None,) * len(self.right.schema)
+        condition = self.condition
+        for lrow in self.left.execute():
+            matched = False
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if condition is None or condition.eval(combined):
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield lrow + null_pad
+
+    def describe(self) -> str:
+        cond = f" [{self.condition.text()}]" if self.condition is not None else ""
+        return f"NestLoopJoin {self.kind}{cond}"
+
+
+class _Accumulator:
+    """State for one aggregate function over one group."""
+
+    __slots__ = ("func", "count", "total", "minimum", "maximum", "distinct_set")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.distinct_set = set() if distinct else None
+
+    def add(self, value: object) -> None:
+        if self.func == "count" and value is _STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct_set is not None:
+            if value in self.distinct_set:
+                return
+            self.distinct_set.add(value)
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value
+        elif self.func == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self) -> object:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total if self.count else None
+        if self.func == "avg":
+            return self.total / self.count if self.count else None
+        if self.func == "min":
+            return self.minimum
+        if self.func == "max":
+            return self.maximum
+        raise ExecutionError(f"unknown aggregate {self.func!r}")
+
+
+_STAR = object()
+
+
+class PHashAggregate(PhysicalOp):
+    def __init__(self, child: PhysicalOp, group_exprs: List[BoundExpr],
+                 aggs: List[AggSpec], schema: Schema,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(schema, estimated_rows, step_text)
+        self.child = child
+        self.group_exprs = group_exprs
+        self.aggs = aggs
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(self._aggregate())
+
+    def _aggregate(self) -> Iterator[tuple]:
+        groups: Dict[tuple, List[_Accumulator]] = {}
+        ordered_keys: List[tuple] = []
+        for row in self.child.execute():
+            key = tuple(g.eval(row) for g in self.group_exprs)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [_Accumulator(a.func, a.distinct) for a in self.aggs]
+                groups[key] = accs
+                ordered_keys.append(key)
+            for spec, acc in zip(self.aggs, accs):
+                value = _STAR if spec.arg is None else spec.arg.eval(row)
+                acc.add(value)
+        if not groups and not self.group_exprs:
+            # Global aggregate over zero rows still yields one row.
+            accs = [_Accumulator(a.func, a.distinct) for a in self.aggs]
+            yield tuple(acc.result() for acc in accs)
+            return
+        for key in ordered_keys:
+            yield key + tuple(acc.result() for acc in groups[key])
+
+    def describe(self) -> str:
+        return ("HashAggregate group=["
+                + ", ".join(g.text() for g in self.group_exprs) + "] aggs=["
+                + ", ".join(a.text() for a in self.aggs) + "]")
+
+
+class PSort(PhysicalOp):
+    def __init__(self, child: PhysicalOp, keys: List[Tuple[BoundExpr, bool]],
+                 estimated_rows: float = 0.0):
+        super().__init__(child.schema, estimated_rows)
+        self.child = child
+        self.keys = keys
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        rows = list(self.child.execute())
+        # Stable multi-key sort: apply keys last-to-first; NULLs sort last
+        # ascending, first descending.
+        for expr, descending in reversed(self.keys):
+            rows.sort(
+                key=lambda row: _sort_key(expr.eval(row), descending),
+                reverse=descending,
+            )
+        return self._count(iter(rows))
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{e.text()}{' DESC' if d else ''}" for e, d in self.keys)
+        return f"Sort [{keys}]"
+
+
+def _sort_key(value: object, descending: bool):
+    if value is None:
+        # (1, ...) sorts after every (0, ...): NULLs last when ascending;
+        # with reverse=True this puts them first, matching DESC NULLS FIRST.
+        return (1, 0) if not descending else (1, 0)
+    return (0, value)
+
+
+class PLimit(PhysicalOp):
+    def __init__(self, child: PhysicalOp, limit: int,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(child.schema, estimated_rows, step_text)
+        self.child = child
+        self.limit = limit
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        def gen():
+            if self.limit <= 0:
+                return
+            produced = 0
+            for row in self.child.execute():
+                yield row
+                produced += 1
+                if produced >= self.limit:
+                    break   # stop before pulling a row we would discard
+        return self._count(gen())
+
+    def describe(self) -> str:
+        return f"Limit {self.limit}"
+
+
+class PDistinct(PhysicalOp):
+    def __init__(self, child: PhysicalOp, estimated_rows: float = 0.0,
+                 step_text: Optional[str] = None):
+        super().__init__(child.schema, estimated_rows, step_text)
+        self.child = child
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        def gen():
+            seen = set()
+            for row in self.child.execute():
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+        return self._count(gen())
+
+
+class PUnionAll(PhysicalOp):
+    """Concatenate schema-compatible inputs (UNION ALL)."""
+
+    def __init__(self, children: List[PhysicalOp], schema: Schema,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(schema, estimated_rows, step_text)
+        if not children:
+            raise ExecutionError("UNION ALL needs at least one input")
+        self._children = children
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return tuple(self._children)
+
+    def execute(self) -> Iterator[tuple]:
+        def gen():
+            for child in self._children:
+                yield from child.execute()
+        return self._count(gen())
+
+    def describe(self) -> str:
+        return f"UnionAll [{len(self._children)} inputs]"
+
+
+class PExchange(PhysicalOp):
+    """Data-movement marker: gather / broadcast / redistribute.
+
+    Execution is single-process, so the operator passes rows through; its
+    value is in the plan (the MPP optimizer "accounts for the cost of data
+    exchange") and in the explain output.
+    """
+
+    def __init__(self, kind: str, child: PhysicalOp,
+                 estimated_rows: float = 0.0):
+        super().__init__(child.schema, estimated_rows)
+        if kind not in ("gather", "broadcast", "redistribute"):
+            raise ExecutionError(f"unknown exchange kind {kind!r}")
+        self.kind = kind
+        self.child = child
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(self.child.execute())
+
+    def describe(self) -> str:
+        return f"Exchange {self.kind}"
+
+
+def walk_physical(op: PhysicalOp):
+    yield op
+    for child in op.children():
+        yield from walk_physical(child)

@@ -1,0 +1,24 @@
+"""GMDB: the telecom in-memory database with online schema evolution (Sec. III)."""
+
+from repro.gmdb.cluster import GmdbClient, GmdbCluster, GmdbMetrics
+from repro.gmdb.delta import Delta, DeltaOp, apply_delta, diff, object_wire_size
+from repro.gmdb.schema import (
+    FieldDef,
+    FieldType,
+    RecordSchema,
+    SchemaRegistry,
+    check_evolution,
+    downgrade_object,
+    upgrade_object,
+)
+from repro.gmdb.persistence import GmdbPersistence
+from repro.gmdb.sqlapi import GmdbSql
+from repro.gmdb.store import GmdbDataNode, Notification
+
+__all__ = ["GmdbCluster", "GmdbClient", "GmdbMetrics", "GmdbDataNode",
+           "RecordSchema", "FieldDef", "FieldType", "SchemaRegistry",
+           "check_evolution", "upgrade_object", "downgrade_object",
+           "Delta", "DeltaOp", "diff", "apply_delta", "object_wire_size",
+           "Notification"]
+
+__all__ += ["GmdbPersistence", "GmdbSql"]

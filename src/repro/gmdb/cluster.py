@@ -1,0 +1,279 @@
+"""The GMDB cluster (Fig. 7) and its clients (Fig. 9 / Fig. 10).
+
+* **Coordinator (CN)** — "global unified metadata management": schema
+  registration is validated here and dispatched to the data nodes.
+* **Data nodes (DN)** — hash-sharded object storage
+  (:class:`~repro.gmdb.store.GmdbDataNode`).
+* **Driver / client** — the KV interface of the tree model with a local
+  cache in the client's own schema version; queries and DML go *directly*
+  to DNs, "without involvement of CNs".
+
+All service times are charged to a cost accumulator using the Fig. 11
+environment model (10 Gbps network, in-memory ops), so benchmarks report
+deterministic simulated latencies and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, SchemaEvolutionError, StorageError
+from repro.gmdb.delta import Delta, apply_delta, diff, object_wire_size
+from repro.gmdb.schema import RecordSchema, SchemaRegistry
+from repro.gmdb.store import GmdbDataNode, Notification
+from repro.net.latency import GmdbCostModel
+from repro.storage.table import shard_of_value
+
+
+@dataclass
+class GmdbMetrics:
+    """Simulated-time and bandwidth accounting for one cluster."""
+
+    busy_us: float = 0.0
+    bytes_sent: int = 0
+    reads: int = 0
+    writes: int = 0
+    conversions: int = 0
+    notifications: int = 0
+
+    def charge(self, service_us: float, size_bytes: int = 0) -> float:
+        self.busy_us += service_us
+        self.bytes_sent += size_bytes
+        return service_us
+
+    def ops_per_second(self) -> float:
+        ops = self.reads + self.writes
+        if self.busy_us <= 0:
+            return 0.0
+        return ops / (self.busy_us / 1_000_000.0)
+
+
+class GmdbCluster:
+    """CNs + DNs for one object type (e.g. MME session data)."""
+
+    def __init__(self, num_dns: int = 2, object_type: str = "session",
+                 cost: Optional[GmdbCostModel] = None,
+                 allow_multi_step: bool = False):
+        if num_dns <= 0:
+            raise ConfigError("num_dns must be positive")
+        self.object_type = object_type
+        self.registry = SchemaRegistry(object_type, allow_multi_step)
+        self.dns = [GmdbDataNode(f"gmdb-dn{i}", self.registry)
+                    for i in range(num_dns)]
+        self.cost = cost if cost is not None else GmdbCostModel()
+        self.metrics = GmdbMetrics()
+        self._clients: Dict[str, "GmdbClient"] = {}
+
+    # -- CN: schema management (Fig. 9 upper path) ----------------------------
+
+    def register_schema(self, version: int, schema: RecordSchema) -> List[str]:
+        """Client submits a new schema to the CN; CN validates + dispatches.
+
+        Registration is online: no data is rewritten, no traffic stops.
+        """
+        changes = self.registry.register(version, schema)
+        # Dispatch to DNs is implicit: they share the registry object, which
+        # mirrors "CNs validate S and dispatch it to Data Nodes".
+        return changes
+
+    # -- routing --------------------------------------------------------------
+
+    def node_for(self, key: object) -> GmdbDataNode:
+        return self.dns[shard_of_value(key, len(self.dns))]
+
+    # -- client management ---------------------------------------------------------
+
+    def connect(self, client_id: str, version: int) -> "GmdbClient":
+        if client_id in self._clients:
+            raise ConfigError(f"client {client_id!r} already connected")
+        client = GmdbClient(self, client_id, version)
+        self._clients[client_id] = client
+        return client
+
+    def _deliver(self, note: Notification) -> None:
+        client = self._clients.get(note.client_id)
+        if client is not None:
+            client._on_notification(note)
+            self.metrics.notifications += 1
+            self.metrics.charge(
+                self.cost.rtt_us / 2
+                + self.cost.byte_wire_us * note.delta.wire_size(),
+                note.delta.wire_size(),
+            )
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def flush_all(self) -> int:
+        return sum(dn.flush() for dn in self.dns)
+
+    def object_count(self) -> int:
+        return sum(dn.object_count() for dn in self.dns)
+
+
+class GmdbClient:
+    """A GMDB driver instance pinned to one schema version (Fig. 10)."""
+
+    def __init__(self, cluster: GmdbCluster, client_id: str, version: int):
+        self.cluster = cluster
+        self.client_id = client_id
+        self.version = version
+        self._cache: Dict[object, dict] = {}
+        self._cache_generation: Dict[object, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.deltas_received = 0
+
+    @property
+    def schema(self) -> RecordSchema:
+        return self.cluster.registry.schema(self.version)
+
+    # -- KV interface ---------------------------------------------------------
+
+    def create(self, key: object, obj: dict) -> None:
+        """Create an object; stored at this client's schema version."""
+        self.schema.validate(obj)
+        dn = self.cluster.node_for(key)
+        if dn.exists(key):
+            raise StorageError(f"object {key!r} already exists")
+        cost = self.cluster.cost
+        size = object_wire_size(obj)
+        self.cluster.metrics.writes += 1
+        self.cluster.metrics.charge(
+            cost.rtt_us + cost.byte_wire_us * size + cost.kv_write_us, size)
+        for note in dn.put(key, obj, self.version):
+            self.cluster._deliver(note)
+        self._cache[key] = dict(obj)
+
+    def read(self, key: object) -> dict:
+        """Read through the local cache; misses fetch + convert at the DN."""
+        if key in self._cache:
+            self.cache_hits += 1
+            return dict(self._cache[key])
+        self.cache_misses += 1
+        dn = self.cluster.node_for(key)
+        cost = self.cluster.cost
+        obj, generation, touched = dn.get(key, self.version)
+        size = object_wire_size(obj)
+        self.cluster.metrics.reads += 1
+        if touched:
+            self.cluster.metrics.conversions += 1
+        self.cluster.metrics.charge(
+            cost.rtt_us + cost.kv_read_us
+            + cost.convert_field_us * touched
+            + cost.byte_wire_us * size,
+            size,
+        )
+        self._cache[key] = obj
+        self._cache_generation[key] = generation
+        return dict(obj)
+
+    def update(self, key: object, mutate: Callable[[dict], None]) -> Delta:
+        """Read-modify-write via a delta object (the paper's update path)."""
+        current = self.read(key)
+        updated = apply_mutation(current, mutate)
+        self.schema.validate(updated)
+        delta = diff(current, updated)
+        if delta.empty:
+            return delta
+        dn = self.cluster.node_for(key)
+        cost = self.cluster.cost
+        size = delta.wire_size()
+        self.cluster.metrics.writes += 1
+        touched, notes = dn.apply(key, delta, self.version)
+        if touched:
+            self.cluster.metrics.conversions += 1
+        self.cluster.metrics.charge(
+            cost.rtt_us + cost.kv_write_us
+            + cost.convert_field_us * touched
+            + cost.byte_wire_us * size
+            + cost.delta_apply_field_us * len(delta),
+            size,
+        )
+        self._cache[key] = updated
+        for note in notes:
+            self.cluster._deliver(note)
+        return delta
+
+    def write_full(self, key: object, obj: dict) -> None:
+        """Whole-object replacement (the baseline Fig. 11 compares against)."""
+        self.schema.validate(obj)
+        dn = self.cluster.node_for(key)
+        cost = self.cluster.cost
+        size = object_wire_size(obj)
+        self.cluster.metrics.writes += 1
+        self.cluster.metrics.charge(
+            cost.rtt_us + cost.kv_write_us + cost.byte_wire_us * size, size)
+        for note in dn.put(key, obj, self.version):
+            self.cluster._deliver(note)
+        self._cache[key] = dict(obj)
+
+    # -- tree-model field-path convenience API -------------------------------
+
+    def read_field(self, key: object, *path: object) -> object:
+        """Read one field by path, e.g. ``read_field(k, "bearers", 0, "qci")``."""
+        current: object = self.read(key)
+        for part in path:
+            if isinstance(part, int):
+                current = current[part]           # type: ignore[index]
+            else:
+                current = current[part]           # type: ignore[index]
+        return current
+
+    def set_field(self, key: object, path: Tuple[object, ...],
+                  value: object) -> Delta:
+        """Set one field by path through the delta update path."""
+        if not path:
+            raise StorageError("set_field needs a non-empty path")
+
+        def mutate(obj: dict) -> None:
+            current: object = obj
+            for part in path[:-1]:
+                current = current[part]           # type: ignore[index]
+            current[path[-1]] = value             # type: ignore[index]
+
+        return self.update(key, mutate)
+
+    def append_record(self, key: object, array_field: str,
+                      record: dict) -> Delta:
+        """Append to a record array (e.g. add a bearer to a session)."""
+        return self.update(
+            key, lambda obj: obj[array_field].append(dict(record)))
+
+    def subscribe(self, key: object) -> None:
+        """Subscribe to future changes of ``key`` in this client's version."""
+        self.cluster.node_for(key).subscribe(key, self.client_id, self.version)
+
+    def unsubscribe(self, key: object) -> None:
+        self.cluster.node_for(key).unsubscribe(key, self.client_id)
+
+    def invalidate(self, key: object) -> None:
+        self._cache.pop(key, None)
+        self._cache_generation.pop(key, None)
+
+    def cached(self, key: object) -> Optional[dict]:
+        value = self._cache.get(key)
+        return dict(value) if value is not None else None
+
+    # -- pub/sub delivery -----------------------------------------------------------
+
+    def _on_notification(self, note: Notification) -> None:
+        self.deltas_received += 1
+        cached = self._cache.get(note.key)
+        if cached is None:
+            return
+        try:
+            self._cache[note.key] = apply_delta(cached, note.delta)
+            self._cache_generation[note.key] = note.generation
+        except Exception:
+            # A delta this version cannot replay: drop the cache entry and
+            # re-fetch (with conversion) on the next read.
+            self.invalidate(note.key)
+
+
+def apply_mutation(obj: dict, mutate: Callable[[dict], None]) -> dict:
+    import copy
+
+    updated = copy.deepcopy(obj)
+    mutate(updated)
+    return updated

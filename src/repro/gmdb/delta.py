@@ -1,0 +1,185 @@
+"""Delta objects.
+
+"Data updates and schema evolution happen on delta objects instead of whole
+objects.  Similar is true when syncing data between clients and DNs.  Such
+an approach achieves better performance and consumes less network
+bandwidth." (Sec. III-B)
+
+A delta is an ordered list of operations addressed by *field paths* —
+tuples of field names and array indexes, e.g. ``("bearers", 2, "qos")``:
+
+* ``set``    — assign a scalar field,
+* ``append`` — append a record to a record-array,
+* ``remove`` — remove the record at an array index.
+
+``diff`` computes a minimal delta between two objects of the same schema;
+``apply_delta`` replays one; ``wire_size`` estimates serialized bytes for
+the Fig. 11 bandwidth comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SyncError
+
+Path = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    op: str          # 'set' | 'append' | 'remove'
+    path: Path
+    value: Optional[object] = None
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes."""
+        path_bytes = sum(len(str(p)) + 1 for p in self.path)
+        value_bytes = len(repr(self.value)) if self.value is not None else 0
+        return 1 + path_bytes + value_bytes
+
+
+@dataclass(frozen=True)
+class Delta:
+    ops: Tuple[DeltaOp, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def wire_size(self) -> int:
+        return 8 + sum(op.wire_size() for op in self.ops)
+
+    @property
+    def empty(self) -> bool:
+        return not self.ops
+
+
+def object_wire_size(obj: object) -> int:
+    """Approximate full-object serialized size (JSON-ish)."""
+    if isinstance(obj, dict):
+        return 2 + sum(len(k) + 3 + object_wire_size(v) for k, v in obj.items())
+    if isinstance(obj, list):
+        return 2 + sum(1 + object_wire_size(v) for v in obj)
+    return len(repr(obj))
+
+
+def diff(old: dict, new: dict) -> Delta:
+    """Field-level delta turning ``old`` into ``new`` (same schema version)."""
+    ops: List[DeltaOp] = []
+    _diff_record(old, new, (), ops)
+    return Delta(tuple(ops))
+
+
+def _diff_record(old: dict, new: dict, path: Path, ops: List[DeltaOp]) -> None:
+    for key, new_value in new.items():
+        old_value = old.get(key)
+        if isinstance(new_value, list):
+            _diff_array(old_value if isinstance(old_value, list) else [],
+                        new_value, path + (key,), ops)
+        elif new_value != old_value:
+            ops.append(DeltaOp("set", path + (key,), new_value))
+
+
+def _diff_array(old: list, new: list, path: Path, ops: List[DeltaOp]) -> None:
+    common = min(len(old), len(new))
+    for i in range(common):
+        _diff_record(old[i], new[i], path + (i,), ops)
+    for i in range(common, len(new)):
+        ops.append(DeltaOp("append", path, new[i]))
+    # Removals run back-to-front so earlier indexes stay valid on replay.
+    for i in range(len(old) - 1, common - 1, -1):
+        ops.append(DeltaOp("remove", path + (i,)))
+
+
+def apply_delta(obj: dict, delta: Delta) -> dict:
+    """Return a new object with ``delta`` applied (input is not mutated)."""
+    import copy
+
+    out = copy.deepcopy(obj)
+    for op in delta.ops:
+        _apply_op(out, op)
+    return out
+
+
+def _apply_op(obj: dict, op: DeltaOp) -> None:
+    if op.op == "set":
+        parent, last = _navigate(obj, op.path)
+        parent[last] = op.value
+    elif op.op == "append":
+        target = _resolve(obj, op.path)
+        if not isinstance(target, list):
+            raise SyncError(f"append target {op.path!r} is not an array")
+        target.append(op.value)
+    elif op.op == "remove":
+        parent, last = _navigate(obj, op.path)
+        if not isinstance(parent, list) or not isinstance(last, int):
+            raise SyncError(f"remove target {op.path!r} is not an array index")
+        if not (0 <= last < len(parent)):
+            raise SyncError(f"remove index {last} out of range at {op.path!r}")
+        del parent[last]
+    else:
+        raise SyncError(f"unknown delta op {op.op!r}")
+
+
+def _navigate(obj: dict, path: Path):
+    if not path:
+        raise SyncError("empty delta path")
+    current: object = obj
+    for part in path[:-1]:
+        current = _step(current, part, path)
+    return current, path[-1]
+
+
+def _resolve(obj: dict, path: Path):
+    current: object = obj
+    for part in path:
+        current = _step(current, part, path)
+    return current
+
+
+def _step(current: object, part: object, path: Path):
+    if isinstance(part, int):
+        if not isinstance(current, list) or not (0 <= part < len(current)):
+            raise SyncError(f"bad array index {part} in path {path!r}")
+        return current[part]
+    if not isinstance(current, dict) or part not in current:
+        raise SyncError(f"bad field {part!r} in path {path!r}")
+    return current[part]
+
+
+def project_delta(delta: Delta, schema_fields: dict) -> Delta:
+    """Filter a delta down to the fields a schema version knows.
+
+    Used when pushing updates to a subscriber on an *older* schema version:
+    operations touching appended (newer) fields are dropped, mirroring the
+    downgrade conversion on whole objects.  ``schema_fields`` is a nested
+    dict of known field names: {field: None | nested dict for record arrays}.
+    """
+    kept = []
+    for op in delta.ops:
+        if _path_known(op.path, schema_fields):
+            kept.append(op)
+    return Delta(tuple(kept))
+
+
+def _path_known(path: Path, fields: dict) -> bool:
+    node: object = fields
+    for part in path:
+        if isinstance(part, int):
+            continue  # array index: stay at the same schema node
+        if not isinstance(node, dict) or part not in node:
+            return False
+        node = node[part]
+    return True
+
+
+def schema_field_tree(schema) -> dict:
+    """Build the nested field-name tree ``project_delta`` consumes."""
+    tree: dict = {}
+    for fdef in schema.fields:
+        if fdef.record is not None:
+            tree[fdef.name] = schema_field_tree(fdef.record)
+        else:
+            tree[fdef.name] = None
+    return tree

@@ -1,0 +1,306 @@
+"""GMDB record schemas and online schema evolution (Sec. III-B).
+
+The GMDB object model: "Each object has a record schema like a RDBMS table
+... A record can contain multiple fields.  Each field can be either a
+primary data type, or a record type with an array of records.  A primary
+key is defined to uniquely identify a root record."
+
+Evolution rules follow the paper's limitations: appending fields (with
+defaults) is allowed at any nesting level; **deleting and re-ordering
+fields are not allowed**.  The :class:`SchemaRegistry` keeps the version
+chain and reproduces the Fig. 8 upgrade/downgrade matrix: adjacent versions
+convert (U/D cells), non-adjacent pairs do not (X cells) unless multi-step
+conversion is explicitly enabled (an extension beyond the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SchemaEvolutionError, SchemaValidationError
+
+
+class FieldType(enum.Enum):
+    INT = "int"
+    DOUBLE = "double"
+    STRING = "string"
+    BOOL = "bool"
+    RECORD_ARRAY = "record[]"
+
+
+_PY_OF = {
+    FieldType.INT: int,
+    FieldType.DOUBLE: (int, float),
+    FieldType.STRING: str,
+    FieldType.BOOL: bool,
+}
+
+_DEFAULT_OF = {
+    FieldType.INT: 0,
+    FieldType.DOUBLE: 0.0,
+    FieldType.STRING: "",
+    FieldType.BOOL: False,
+}
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One field of a record schema."""
+
+    name: str
+    ftype: FieldType
+    record: Optional["RecordSchema"] = None      # for RECORD_ARRAY fields
+    default: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.ftype is FieldType.RECORD_ARRAY and self.record is None:
+            raise SchemaEvolutionError(f"field {self.name}: record[] needs a schema")
+        if self.ftype is not FieldType.RECORD_ARRAY and self.record is not None:
+            raise SchemaEvolutionError(f"field {self.name}: only record[] nests")
+
+    def default_value(self) -> object:
+        if self.ftype is FieldType.RECORD_ARRAY:
+            return []
+        if self.default is not None:
+            return self.default
+        return _DEFAULT_OF[self.ftype]
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """An ordered list of fields; the root record also names a primary key."""
+
+    name: str
+    fields: Tuple[FieldDef, ...]
+    primary_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SchemaEvolutionError(f"record {self.name}: duplicate fields")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise SchemaEvolutionError(
+                f"record {self.name}: unknown primary key {self.primary_key!r}")
+
+    def field_map(self) -> Dict[str, FieldDef]:
+        return {f.name: f for f in self.fields}
+
+    def field_count_recursive(self) -> int:
+        total = len(self.fields)
+        for f in self.fields:
+            if f.record is not None:
+                total += f.record.field_count_recursive()
+        return total
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, obj: dict, path: str = "") -> None:
+        """Raise :class:`SchemaValidationError` unless ``obj`` conforms."""
+        if not isinstance(obj, dict):
+            raise SchemaValidationError(f"{path or self.name}: expected a record")
+        known = self.field_map()
+        extra = set(obj) - set(known)
+        if extra:
+            raise SchemaValidationError(
+                f"{path or self.name}: unknown fields {sorted(extra)}")
+        for fdef in self.fields:
+            where = f"{path}.{fdef.name}" if path else fdef.name
+            if fdef.name not in obj:
+                raise SchemaValidationError(f"{where}: missing")
+            value = obj[fdef.name]
+            if fdef.ftype is FieldType.RECORD_ARRAY:
+                if not isinstance(value, list):
+                    raise SchemaValidationError(f"{where}: expected an array")
+                for i, item in enumerate(value):
+                    fdef.record.validate(item, f"{where}[{i}]")
+            else:
+                expected = _PY_OF[fdef.ftype]
+                if fdef.ftype is not FieldType.BOOL and isinstance(value, bool):
+                    raise SchemaValidationError(f"{where}: bool is not {fdef.ftype.value}")
+                if not isinstance(value, expected):
+                    raise SchemaValidationError(
+                        f"{where}: {type(value).__name__} is not {fdef.ftype.value}")
+
+    def new_object(self, **overrides: object) -> dict:
+        """An object of this schema with every field defaulted."""
+        obj = {f.name: f.default_value() for f in self.fields}
+        obj.update(overrides)
+        self.validate(obj)
+        return obj
+
+
+def check_evolution(old: RecordSchema, new: RecordSchema) -> List[str]:
+    """Describe how ``new`` evolves ``old``; raise if the change is illegal.
+
+    Legal: appending fields (at any level).  Illegal: deleting fields,
+    re-ordering fields, changing a field's type.  Returns a human-readable
+    change list (used by the CN's schema validation step).
+    """
+    changes: List[str] = []
+    _check_record(old, new, "", changes)
+    return changes
+
+
+def _check_record(old: RecordSchema, new: RecordSchema, path: str,
+                  changes: List[str]) -> None:
+    if len(new.fields) < len(old.fields):
+        removed = [f.name for f in old.fields[len(new.fields):]]
+        raise SchemaEvolutionError(
+            f"{path or 'root'}: deleting fields is not allowed ({removed})")
+    for i, old_field in enumerate(old.fields):
+        new_field = new.fields[i]
+        where = f"{path}.{old_field.name}" if path else old_field.name
+        if new_field.name != old_field.name:
+            raise SchemaEvolutionError(
+                f"{where}: re-ordering or renaming fields is not allowed "
+                f"(position {i} is now {new_field.name!r})")
+        if new_field.ftype is not old_field.ftype:
+            raise SchemaEvolutionError(
+                f"{where}: changing field type "
+                f"{old_field.ftype.value} -> {new_field.ftype.value} is not allowed")
+        if old_field.record is not None:
+            _check_record(old_field.record, new_field.record, where, changes)
+    for new_field in new.fields[len(old.fields):]:
+        where = f"{path}.{new_field.name}" if path else new_field.name
+        changes.append(f"add {where} ({new_field.ftype.value})")
+
+
+def upgrade_object(obj: dict, old: RecordSchema, new: RecordSchema) -> dict:
+    """Convert an object one version up: fill appended fields with defaults."""
+    out: dict = {}
+    for i, new_field in enumerate(new.fields):
+        if i < len(old.fields):
+            value = obj[new_field.name]
+            if new_field.record is not None:
+                old_field = old.fields[i]
+                value = [upgrade_object(item, old_field.record, new_field.record)
+                         for item in value]
+            out[new_field.name] = value
+        else:
+            out[new_field.name] = new_field.default_value()
+    return out
+
+
+def downgrade_object(obj: dict, new: RecordSchema, old: RecordSchema) -> dict:
+    """Convert an object one version down: drop the appended fields."""
+    out: dict = {}
+    for i, old_field in enumerate(old.fields):
+        value = obj[old_field.name]
+        if old_field.record is not None:
+            new_field = new.fields[i]
+            value = [downgrade_object(item, new_field.record, old_field.record)
+                     for item in value]
+        out[old_field.name] = value
+    return out
+
+
+@dataclass(frozen=True)
+class SchemaVersion:
+    version: int
+    schema: RecordSchema
+
+
+class SchemaRegistry:
+    """The CN-side version chain for one object type (Fig. 8 / Fig. 9).
+
+    Versions register in order; each registration is validated against its
+    predecessor.  ``convert`` moves an object between versions; by default
+    only adjacent versions convert (the paper's U1/D1 cells — everything
+    else is X), with an opt-in ``allow_multi_step`` that chains adjacent
+    conversions (an extension the paper's matrix marks unsupported).
+    """
+
+    def __init__(self, name: str, allow_multi_step: bool = False):
+        self.name = name
+        self.allow_multi_step = allow_multi_step
+        self._versions: List[SchemaVersion] = []
+        self._by_version: Dict[int, int] = {}     # version -> chain position
+
+    def register(self, version: int, schema: RecordSchema) -> List[str]:
+        """Validate against the latest version and append to the chain."""
+        if version in self._by_version:
+            raise SchemaEvolutionError(f"{self.name}: version {version} exists")
+        if self._versions and version <= self._versions[-1].version:
+            raise SchemaEvolutionError(
+                f"{self.name}: versions must ascend "
+                f"({version} after {self._versions[-1].version})")
+        changes: List[str] = []
+        if self._versions:
+            changes = check_evolution(self._versions[-1].schema, schema)
+        self._by_version[version] = len(self._versions)
+        self._versions.append(SchemaVersion(version, schema))
+        return changes
+
+    def schema(self, version: int) -> RecordSchema:
+        try:
+            return self._versions[self._by_version[version]].schema
+        except KeyError:
+            raise SchemaEvolutionError(
+                f"{self.name}: unknown version {version}") from None
+
+    def versions(self) -> List[int]:
+        return [v.version for v in self._versions]
+
+    @property
+    def latest_version(self) -> int:
+        if not self._versions:
+            raise SchemaEvolutionError(f"{self.name}: no versions registered")
+        return self._versions[-1].version
+
+    def can_convert(self, from_version: int, to_version: int) -> bool:
+        if from_version == to_version:
+            return True
+        if from_version not in self._by_version or to_version not in self._by_version:
+            return False
+        distance = abs(self._by_version[to_version] - self._by_version[from_version])
+        return distance == 1 or self.allow_multi_step
+
+    def conversion_matrix(self) -> Dict[Tuple[int, int], str]:
+        """The Fig. 8 matrix: (from, to) -> 'U' / 'D' / 'X' / '-'.
+
+        U: one-step upgrade, D: one-step downgrade, X: unsupported.
+        """
+        matrix: Dict[Tuple[int, int], str] = {}
+        versions = self.versions()
+        for a in versions:
+            for b in versions:
+                if a == b:
+                    matrix[(a, b)] = "-"
+                elif self.can_convert(a, b):
+                    matrix[(a, b)] = "U" if self._by_version[b] > self._by_version[a] else "D"
+                else:
+                    matrix[(a, b)] = "X"
+        return matrix
+
+    def convert(self, obj: dict, from_version: int, to_version: int,
+                ) -> Tuple[dict, int]:
+        """Convert ``obj`` between versions.
+
+        Returns ``(converted_object, fields_touched)`` — the field count is
+        what the cost model charges for the conversion.
+        """
+        if from_version == to_version:
+            return obj, 0
+        if not self.can_convert(from_version, to_version):
+            raise SchemaEvolutionError(
+                f"{self.name}: conversion {from_version} -> {to_version} is "
+                f"not supported (X in the conversion matrix)")
+        pos_from = self._by_version[from_version]
+        pos_to = self._by_version[to_version]
+        step = 1 if pos_to > pos_from else -1
+        current = obj
+        touched = 0
+        pos = pos_from
+        while pos != pos_to:
+            src = self._versions[pos].schema
+            dst = self._versions[pos + step].schema
+            if step > 0:
+                current = upgrade_object(current, src, dst)
+            else:
+                current = downgrade_object(current, src, dst)
+            touched += max(src.field_count_recursive(),
+                           dst.field_count_recursive())
+            pos += step
+        return current, touched

@@ -1,0 +1,236 @@
+"""GMDB's SQL interface (Fig. 7).
+
+The GMDB driver "provides the KV (key value) interface of the tree (object)
+model, the SQL interface of the relational model, and the pub/sub
+interface" — and GMDB "covers a subset of the ANSI SQL (only those needed
+for the use cases)".
+
+This adapter exposes one object type as a relational view over its *root
+scalar fields* (record arrays stay behind the KV/tree interface) and
+supports exactly the telecom-use-case subset:
+
+* ``SELECT <fields|*> FROM <type> [WHERE ...] [ORDER BY ...] [LIMIT n]``
+* ``INSERT INTO <type> (f, ...) VALUES (...)`` — unset fields default,
+* ``UPDATE <type> SET f = expr [WHERE ...]`` — runs through the delta path,
+* ``DELETE FROM <type> [WHERE ...]``.
+
+The WHERE/SET grammar reuses the MPP SQL front-end; statements execute
+against the connected client's schema version, with the usual online
+up/downgrade conversion underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.catalog import Catalog
+from repro.common.errors import SqlAnalysisError
+from repro.gmdb.cluster import GmdbClient
+from repro.gmdb.schema import FieldType, RecordSchema
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.table import Column, TableSchema
+from repro.storage.types import DataType
+
+_FIELD_TO_SQL = {
+    FieldType.INT: DataType.BIGINT,
+    FieldType.DOUBLE: DataType.DOUBLE,
+    FieldType.STRING: DataType.TEXT,
+    FieldType.BOOL: DataType.BOOL,
+}
+
+
+@dataclass
+class SqlResult:
+    columns: List[str] = field(default_factory=list)
+    rows: List[tuple] = field(default_factory=list)
+    rowcount: int = 0
+
+    def as_dicts(self) -> List[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self):
+        return self.rows[0][0] if self.rows and self.rows[0] else None
+
+
+class GmdbSql:
+    """SQL facade over one GMDB client (one object type, one version)."""
+
+    def __init__(self, client: GmdbClient):
+        self.client = client
+
+    # -- schema projection -------------------------------------------------
+
+    def _relational_view(self) -> Tuple[TableSchema, List[str]]:
+        record: RecordSchema = self.client.schema
+        columns = []
+        names = []
+        for fdef in record.fields:
+            if fdef.ftype is FieldType.RECORD_ARRAY:
+                continue   # nested arrays stay in the tree model
+            columns.append(Column(fdef.name, _FIELD_TO_SQL[fdef.ftype]))
+            names.append(fdef.name)
+        primary_key = record.primary_key or names[0]
+        return TableSchema(
+            self.client.cluster.object_type, columns, primary_key,
+        ), names
+
+    def _binder(self) -> Tuple[Binder, TableSchema, List[str]]:
+        view, names = self._relational_view()
+        catalog = Catalog()
+        catalog.register(view)
+        return Binder(catalog), view, names
+
+    def _scan_keys(self) -> List[object]:
+        keys: List[object] = []
+        for dn in self.client.cluster.dns:
+            keys.extend(dn._objects.keys())  # noqa: SLF001 - driver-internal
+        return sorted(keys, key=repr)
+
+    def _row_of(self, obj: dict, names: List[str]) -> tuple:
+        return tuple(obj.get(name) for name in names)
+
+    # -- entry point ---------------------------------------------------------------
+
+    def execute(self, sql: str) -> SqlResult:
+        statement = parse(sql)
+        if isinstance(statement, ast.Select):
+            return self._select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement)
+        raise SqlAnalysisError(
+            f"GMDB SQL supports SELECT/INSERT/UPDATE/DELETE, not "
+            f"{type(statement).__name__}")
+
+    def query(self, sql: str) -> List[dict]:
+        return self.execute(sql).as_dicts()
+
+    # -- statements -------------------------------------------------------------------
+
+    def _check_table(self, name: str) -> None:
+        expected = self.client.cluster.object_type
+        if name.lower() != expected.lower():
+            raise SqlAnalysisError(
+                f"this client serves object type {expected!r}, not {name!r}")
+
+    def _matching(self, where, binder, view, names):
+        predicate = None
+        if where is not None:
+            predicate = binder._bind_expr(where, _scan_schema(view))  # noqa: SLF001
+        for key in self._scan_keys():
+            obj = self.client.read(key)
+            row = self._row_of(obj, names)
+            if predicate is None or predicate.eval(row):
+                yield key, obj, row
+
+    def _select(self, stmt: ast.Select) -> SqlResult:
+        if stmt.from_clause is None or not isinstance(
+                stmt.from_clause, ast.NamedTable):
+            raise SqlAnalysisError("GMDB SELECT reads one object type")
+        self._check_table(stmt.from_clause.name)
+        if stmt.group_by or stmt.having or stmt.ctes or stmt.distinct:
+            raise SqlAnalysisError(
+                "GMDB SQL covers only the telecom subset "
+                "(no grouping/CTEs/DISTINCT)")
+        binder, view, names = self._binder()
+        scan_schema = _scan_schema(view)
+
+        items: List[Tuple[str, object]] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                for name in names:
+                    items.append((name, None))
+            else:
+                bound = binder._bind_expr(item.expr, scan_schema)  # noqa: SLF001
+                label = item.alias or (
+                    item.expr.column if isinstance(item.expr, ast.ColumnRef)
+                    else f"col_{len(items)}")
+                items.append((label, bound))
+
+        rows = []
+        for _, obj, row in self._matching(stmt.where, binder, view, names):
+            out = []
+            for label, bound in items:
+                out.append(obj.get(label) if bound is None else bound.eval(row))
+            rows.append(tuple(out))
+
+        if stmt.order_by:
+            keys = [(binder._bind_expr(o.expr, scan_schema), o.descending)  # noqa: SLF001
+                    for o in stmt.order_by]
+            # Order keys evaluate over the scan row, so sort the pairs.
+            paired = []
+            for _, obj, row in self._matching(stmt.where, binder, view, names):
+                out = tuple(obj.get(label) if bound is None else bound.eval(row)
+                            for label, bound in items)
+                paired.append((row, out))
+            for expr, descending in reversed(keys):
+                paired.sort(key=lambda pair: expr.eval(pair[0]),
+                            reverse=descending)
+            rows = [out for _, out in paired]
+
+        if stmt.limit is not None:
+            rows = rows[:stmt.limit]
+        return SqlResult([label for label, _ in items], rows, len(rows))
+
+    def _insert(self, stmt: ast.Insert) -> SqlResult:
+        self._check_table(stmt.table)
+        binder, view, names = self._binder()
+        columns = list(stmt.columns) if stmt.columns else names
+        unknown = set(columns) - set(names)
+        if unknown:
+            raise SqlAnalysisError(f"unknown fields {sorted(unknown)}")
+        count = 0
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(columns):
+                raise SqlAnalysisError("INSERT width mismatch")
+            values = {}
+            for name, expr in zip(columns, row_exprs):
+                values[name] = binder.bind_standalone_expr(expr).eval(())
+            obj = self.client.schema.new_object(**values)
+            self.client.create(obj[view.primary_key], obj)
+            count += 1
+        return SqlResult(rowcount=count)
+
+    def _update(self, stmt: ast.Update) -> SqlResult:
+        self._check_table(stmt.table)
+        binder, view, names = self._binder()
+        scan_schema = _scan_schema(view)
+        assignments = [
+            (name, binder._bind_expr(expr, scan_schema))  # noqa: SLF001
+            for name, expr in stmt.assignments
+        ]
+        unknown = {name for name, _ in assignments} - set(names)
+        if unknown:
+            raise SqlAnalysisError(f"unknown fields {sorted(unknown)}")
+        count = 0
+        for key, _, row in list(self._matching(stmt.where, binder, view, names)):
+            new_values = {name: bound.eval(row) for name, bound in assignments}
+
+            def mutate(obj, new_values=new_values):
+                obj.update(new_values)
+
+            self.client.update(key, mutate)
+            count += 1
+        return SqlResult(rowcount=count)
+
+    def _delete(self, stmt: ast.Delete) -> SqlResult:
+        self._check_table(stmt.table)
+        binder, view, names = self._binder()
+        count = 0
+        for key, _, _ in list(self._matching(stmt.where, binder, view, names)):
+            self.client.cluster.node_for(key).delete(key)
+            self.client.invalidate(key)
+            count += 1
+        return SqlResult(rowcount=count)
+
+
+def _scan_schema(view: TableSchema):
+    from repro.optimizer.logical import ColumnInfo
+
+    return [ColumnInfo(c.name, view.name, c.data_type) for c in view.columns]

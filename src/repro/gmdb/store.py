@@ -1,0 +1,223 @@
+"""GMDB data nodes.
+
+A data node stores tree-model objects in memory, one copy per key, each
+tagged with the schema version it was last written under.  Reads convert on
+the fly to the requesting client's version (upgrade or downgrade schema
+evolution, Fig. 9); writes arrive as delta objects; subscribers receive
+version-projected deltas (the pub/sub interface of Fig. 7).
+
+Durability follows the paper's trade-off: GMDB "only asynchronously flushes
+data to disk periodically" — modeled by a dirty set and an explicit
+``flush`` that simulates the background flusher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import SchemaEvolutionError, StorageError
+from repro.gmdb.delta import (
+    Delta,
+    apply_delta,
+    diff,
+    object_wire_size,
+    project_delta,
+    schema_field_tree,
+)
+from repro.gmdb.schema import SchemaRegistry
+
+
+@dataclass
+class StoredObject:
+    key: object
+    obj: dict
+    version: int
+    generation: int = 0      # bumps on every write (cache coherence)
+
+
+@dataclass
+class Notification:
+    """One pub/sub push to a subscriber."""
+
+    client_id: str
+    key: object
+    delta: Delta
+    generation: int
+    writer_version: int
+
+
+@dataclass
+class Subscription:
+    client_id: str
+    version: int
+    callback: Optional[Callable[[Notification], None]] = None
+
+
+class GmdbDataNode:
+    """One in-memory shard of a GMDB object type."""
+
+    def __init__(self, node_id: str, registry: SchemaRegistry):
+        self.node_id = node_id
+        self.registry = registry
+        self._objects: Dict[object, StoredObject] = {}
+        self._subs: Dict[object, List[Subscription]] = {}
+        self._dirty: Set[object] = set()
+        self._flushed_generation: Dict[object, int] = {}
+        self.notifications_sent = 0
+        self.conversion_fields = 0       # fields touched by read conversions
+
+    # -- object access ------------------------------------------------------
+
+    def put(self, key: object, obj: dict, version: int) -> List[Notification]:
+        """Create or replace a whole object at ``version``."""
+        schema = self.registry.schema(version)
+        schema.validate(obj)
+        existing = self._objects.get(key)
+        if existing is None:
+            stored = StoredObject(key, dict(obj), version)
+            self._objects[key] = stored
+            delta = diff(schema.new_object(), obj)
+        else:
+            old_in_writer, _ = self.registry.convert(
+                existing.obj, existing.version, version)
+            delta = diff(old_in_writer, obj)
+            existing.obj = dict(obj)
+            existing.version = version
+            existing.generation += 1
+            stored = existing
+        self._dirty.add(key)
+        return self._notify(key, delta, version, stored.generation)
+
+    def get(self, key: object, client_version: int) -> Tuple[dict, int, int]:
+        """Read an object in the client's schema version.
+
+        Returns ``(object, generation, conversion_fields)``; conversion
+        happens "before returning data from the DNs to the client".
+        """
+        stored = self._objects.get(key)
+        if stored is None:
+            raise StorageError(f"{self.node_id}: no object {key!r}")
+        converted, touched = self.registry.convert(
+            stored.obj, stored.version, client_version)
+        self.conversion_fields += touched
+        return converted, stored.generation, touched
+
+    def exists(self, key: object) -> bool:
+        return key in self._objects
+
+    def stored_version(self, key: object) -> int:
+        stored = self._objects.get(key)
+        if stored is None:
+            raise StorageError(f"{self.node_id}: no object {key!r}")
+        return stored.version
+
+    def apply(self, key: object, delta: Delta,
+              writer_version: int) -> Tuple[int, List[Notification]]:
+        """Apply a client delta (the normal update path).
+
+        If the writer runs a *newer* schema than the stored copy, the stored
+        object upgrades first (stored version only moves forward); an older
+        writer's delta applies directly, because evolution only appends
+        fields, so every old path still exists.  Returns the conversion
+        field count and the pub/sub notifications.
+        """
+        stored = self._objects.get(key)
+        if stored is None:
+            raise StorageError(f"{self.node_id}: no object {key!r}")
+        touched = 0
+        if writer_version != stored.version:
+            if not self.registry.can_convert(stored.version, writer_version):
+                raise SchemaEvolutionError(
+                    f"{self.node_id}: cannot apply v{writer_version} delta to "
+                    f"v{stored.version} object")
+            if _position(self.registry, writer_version) > _position(
+                    self.registry, stored.version):
+                stored.obj, touched = self.registry.convert(
+                    stored.obj, stored.version, writer_version)
+                stored.version = writer_version
+        new_obj = apply_delta(stored.obj, delta)
+        self.registry.schema(stored.version).validate(new_obj)
+        stored.obj = new_obj
+        stored.generation += 1
+        self._dirty.add(key)
+        return touched, self._notify(key, delta, writer_version,
+                                     stored.generation)
+
+    def delete(self, key: object) -> None:
+        self._objects.pop(key, None)
+        self._subs.pop(key, None)
+        self._dirty.discard(key)
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    def memory_bytes(self) -> int:
+        return sum(object_wire_size(s.obj) for s in self._objects.values())
+
+    # -- pub/sub -----------------------------------------------------------------
+
+    def subscribe(self, key: object, client_id: str, version: int,
+                  callback: Optional[Callable[[Notification], None]] = None) -> None:
+        subs = self._subs.setdefault(key, [])
+        subs[:] = [s for s in subs if s.client_id != client_id]
+        subs.append(Subscription(client_id, version, callback))
+
+    def unsubscribe(self, key: object, client_id: str) -> None:
+        subs = self._subs.get(key)
+        if subs:
+            subs[:] = [s for s in subs if s.client_id != client_id]
+
+    def _notify(self, key: object, delta: Delta, writer_version: int,
+                generation: int) -> List[Notification]:
+        out: List[Notification] = []
+        for sub in self._subs.get(key, ()):
+            pushed = delta
+            if _position(self.registry, sub.version) < _position(
+                    self.registry, writer_version):
+                # Subscriber on an older version: drop ops on appended fields
+                # (the delta analogue of downgrade conversion).
+                tree = schema_field_tree(self.registry.schema(sub.version))
+                pushed = project_delta(delta, tree)
+            if pushed.empty:
+                continue
+            note = Notification(sub.client_id, key, pushed, generation,
+                                writer_version)
+            out.append(note)
+            self.notifications_sent += 1
+            if sub.callback is not None:
+                sub.callback(note)
+        return out
+
+    # -- durability (asynchronous flush) ----------------------------------------
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def flush(self) -> int:
+        """Simulate the periodic background flush; returns objects flushed."""
+        flushed = 0
+        for key in list(self._dirty):
+            stored = self._objects.get(key)
+            if stored is not None:
+                self._flushed_generation[key] = stored.generation
+                flushed += 1
+            self._dirty.discard(key)
+        return flushed
+
+    def unflushed_loss_on_crash(self) -> int:
+        """Objects whose latest generation would be lost by a crash now.
+
+        GMDB consciously accepts this window ("limited cases of data loss
+        can be compensated through application logic").
+        """
+        loss = 0
+        for key, stored in self._objects.items():
+            if self._flushed_generation.get(key, -1) != stored.generation:
+                loss += 1
+        return loss
+
+
+def _position(registry: SchemaRegistry, version: int) -> int:
+    return registry.versions().index(version)

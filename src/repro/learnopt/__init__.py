@@ -1,0 +1,7 @@
+"""The learning-based query optimizer (Sec. II-C)."""
+
+from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
+from repro.learnopt.store import PlanStore, StepRecord, step_key
+
+__all__ = ["PlanStore", "StepRecord", "step_key",
+           "FeedbackLoop", "CaptureSettings", "CaptureReport"]

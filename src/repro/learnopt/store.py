@@ -1,0 +1,109 @@
+"""The plan store (Fig. 5).
+
+Captured execution statistics live here, keyed by the MD5 hash of the
+canonical logical step text: "Step text could be huge for complex queries
+and we avoid the potential overhead ... by using the MD5 hash value (32
+bytes) of the step text" (Sec. II-C).  The store is modeled as a cache, as
+the paper describes, with an LRU bound; the consumer's lookup is
+opportunistic — a miss simply means the optimizer keeps its own estimate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+def step_key(step_text: str) -> str:
+    """MD5 hex digest of a canonical step text (32 characters)."""
+    return hashlib.md5(step_text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StepRecord:
+    """One plan-store row (cf. Table I)."""
+
+    key: str
+    step_text: str          # kept for introspection / the Table I rendering
+    estimated_rows: float
+    actual_rows: float
+    hits: int = 0           # consumer lookups served by this record
+    updates: int = 0        # times the producer refreshed it
+
+    def as_table_row(self) -> dict:
+        return {
+            "step": self.step_text,
+            "estimate": round(self.estimated_rows),
+            "actual": round(self.actual_rows),
+        }
+
+
+class PlanStore:
+    """MD5-keyed cache of observed step cardinalities."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: "OrderedDict[str, StepRecord]" = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+
+    # -- producer side ----------------------------------------------------
+
+    def put(self, step_text: str, estimated_rows: float,
+            actual_rows: float) -> StepRecord:
+        key = step_key(step_text)
+        record = self._records.get(key)
+        if record is None:
+            record = StepRecord(key, step_text, estimated_rows, actual_rows)
+            self._records[key] = record
+        else:
+            record.estimated_rows = estimated_rows
+            record.actual_rows = actual_rows
+            record.updates += 1
+            self._records.move_to_end(key)
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+        return record
+
+    # -- consumer side ------------------------------------------------------
+
+    def lookup(self, step_text: str) -> Optional[float]:
+        """Observed cardinality for a step, or None (optimizer keeps its own)."""
+        self.lookups += 1
+        record = self._records.get(step_key(step_text))
+        if record is None:
+            return None
+        record.hits += 1
+        self.hits += 1
+        self._records.move_to_end(record.key)
+        return record.actual_rows
+
+    def get_record(self, step_text: str) -> Optional[StepRecord]:
+        return self._records.get(step_key(step_text))
+
+    # -- introspection ----------------------------------------------------------
+
+    def records(self) -> List[StepRecord]:
+        return list(self._records.values())
+
+    def render_table(self) -> str:
+        """Render the store as the paper's Table I layout."""
+        rows = [r.as_table_row() for r in self._records.values()]
+        if not rows:
+            return "(plan store empty)"
+        width = max(len(r["step"]) for r in rows)
+        header = f"{'Step Description'.ljust(width)}  Estimate  Actual"
+        lines = [header, "-" * len(header)]
+        for r in rows:
+            lines.append(f"{r['step'].ljust(width)}  {r['estimate']:>8}  {r['actual']:>6}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

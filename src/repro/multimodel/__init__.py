@@ -1,0 +1,16 @@
+"""Multi-model engines: graph, time-series, spatial, unified SQL (Sec. II-B)."""
+
+from repro.multimodel.graph import P, PropertyGraph, Traversal, __
+from repro.multimodel.gremlin import parse_gremlin
+from repro.multimodel.mmdb import MultiModelDB
+from repro.multimodel.spatial import GridIndex, SpatialEngine
+from repro.multimodel.timeseries import TimeSeries, TimeSeriesEngine
+from repro.multimodel.streaming import ContinuousQuery, EventStream, StreamEngine, WindowResult
+from repro.multimodel.vision import BoundingBox, FeatureIndex, VisionEngine, VisionStore
+
+__all__ = ["MultiModelDB", "PropertyGraph", "Traversal", "P", "__",
+           "parse_gremlin", "TimeSeriesEngine", "TimeSeries",
+           "SpatialEngine", "GridIndex"]
+
+__all__ += ["VisionEngine", "VisionStore", "FeatureIndex", "BoundingBox"]
+__all__ += ["StreamEngine", "EventStream", "ContinuousQuery", "WindowResult"]

@@ -1,0 +1,172 @@
+"""Parser for Gremlin traversal strings.
+
+``ggraph('g.V().has(''cid'',11111)...')`` table expressions (Example 1)
+carry their traversal as a string; this module parses the method-chain
+grammar into a :class:`~repro.multimodel.graph.Traversal`:
+
+* chains start with ``g`` or ``__`` (anonymous, inside ``where``),
+* step arguments are literals (numbers, quoted strings), predicate calls
+  (``gt(3)``, ``within('a','b')``) or nested anonymous traversals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SqlSyntaxError
+from repro.multimodel.graph import P, PropertyGraph, Traversal
+
+_STEP_ALIASES = {
+    "in": "in_",
+    "is": "is_",
+    "id": "id_",
+}
+
+_PREDICATES = {"gt", "gte", "lt", "lte", "eq", "neq", "within"}
+
+
+def parse_gremlin(text: str, graph: PropertyGraph) -> Traversal:
+    """Parse a Gremlin string into a traversal bound to ``graph``."""
+    parser = _Parser(text)
+    traversal = parser.parse_chain(graph)
+    parser.skip_ws()
+    if not parser.at_end():
+        raise SqlSyntaxError(f"trailing input in gremlin at {parser.pos}: "
+                             f"{text[parser.pos:]!r}", parser.pos)
+    return traversal
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low-level ---------------------------------------------------------
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_ws(self) -> None:
+        while not self.at_end() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, ch: str) -> None:
+        self.skip_ws()
+        if self.peek() != ch:
+            raise SqlSyntaxError(
+                f"expected {ch!r} at {self.pos} in gremlin", self.pos)
+        self.pos += 1
+
+    def accept(self, ch: str) -> bool:
+        self.skip_ws()
+        if self.peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    def ident(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while not self.at_end() and (self.text[self.pos].isalnum()
+                                     or self.text[self.pos] == "_"):
+            self.pos += 1
+        if start == self.pos:
+            raise SqlSyntaxError(f"expected name at {start} in gremlin", start)
+        return self.text[start:self.pos]
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse_chain(self, graph: Optional[PropertyGraph]) -> Traversal:
+        self.skip_ws()
+        head = self.ident()
+        if head == "g":
+            traversal = Traversal(graph)
+        elif head == "__":
+            traversal = Traversal(graph)   # anonymous: graph threads at run
+        else:
+            raise SqlSyntaxError(
+                f"gremlin chains start with g or __, got {head!r}", self.pos)
+        while self.accept("."):
+            name = self.ident()
+            args = self.parse_args(graph)
+            method = _STEP_ALIASES.get(name, name)
+            step = getattr(traversal, method, None)
+            if step is None or not callable(step):
+                raise SqlSyntaxError(f"unknown gremlin step {name!r}", self.pos)
+            traversal = step(*args)
+        return traversal
+
+    def parse_args(self, graph) -> List[object]:
+        self.expect("(")
+        args: List[object] = []
+        self.skip_ws()
+        if self.accept(")"):
+            return args
+        while True:
+            args.append(self.parse_value(graph))
+            self.skip_ws()
+            if self.accept(")"):
+                return args
+            self.expect(",")
+
+    def parse_value(self, graph) -> object:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == "'":
+            return self.parse_string()
+        if ch.isdigit() or ch == "-":
+            return self.parse_number()
+        name_start = self.pos
+        name = self.ident()
+        self.skip_ws()
+        if name in ("g", "__") and self.peek() == ".":
+            self.pos = name_start
+            return self.parse_chain(None if name == "__" else graph)
+        if name in _PREDICATES and self.peek() == "(":
+            args = self.parse_args(graph)
+            return getattr(P, name)(*args)
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+        # A bare word is treated as a string (the paper's Example 1 writes
+        # unquoted property names like has(cid, 11111)).
+        return name
+
+    def parse_string(self) -> str:
+        self.expect("'")
+        out: List[str] = []
+        while True:
+            if self.at_end():
+                raise SqlSyntaxError("unterminated gremlin string", self.pos)
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == "'":
+                if self.peek() == "'":
+                    out.append("'")
+                    self.pos += 1
+                    continue
+                return "".join(out)
+            out.append(ch)
+
+    def parse_number(self) -> object:
+        self.skip_ws()
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        seen_dot = False
+        while not self.at_end() and (self.text[self.pos].isdigit()
+                                     or (self.text[self.pos] == "." and not seen_dot)):
+            if self.text[self.pos] == ".":
+                nxt = self.text[self.pos + 1:self.pos + 2]
+                if not nxt.isdigit():
+                    break
+                seen_dot = True
+            self.pos += 1
+        text = self.text[start:self.pos]
+        if not text or text == "-":
+            raise SqlSyntaxError(f"bad number at {start} in gremlin", start)
+        return float(text) if seen_dot else int(text)

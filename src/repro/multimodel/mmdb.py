@@ -1,0 +1,287 @@
+"""The multi-model database facade (Sec. II-B, Fig. 4).
+
+One database object with:
+
+* the **relational engine** as the main engine (the full SQL stack over the
+  MPP cluster),
+* the **graph**, **time-series** and **spatial** engines integrated through
+  "light-weighted hooks" — table functions the planner folds into a single
+  relational plan, exactly how Example 1 embeds ``gtimeseries`` and
+  ``ggraph`` table expressions in SQL,
+* a uniformed interface: ``execute(sql)`` accepts everything.
+
+Table functions provided:
+
+* ``gtimeseries('series', window_us)`` — points of the last window
+  (``now() - time < window``), columns ``(time, <value columns...>)``;
+* ``gtimeseries_range('series', t0, t1)`` — explicit time range;
+* ``ggraph('g.V()...')`` — a Gremlin traversal; scalar outputs become a
+  one-column table ``(value)``, vertices/edges expand to their properties;
+* ``gspatial_radius('layer', x, y, r)`` and ``gspatial_knn('layer', x, y, k)``
+  — spatial lookups with columns ``(oid, x, y, distance)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.mpp import MppCluster
+from repro.common.errors import ExecutionError
+from repro.multimodel.graph import Edge, PropertyGraph, Traversal, Vertex
+from repro.multimodel.gremlin import parse_gremlin
+from repro.multimodel.spatial import SpatialEngine, euclidean
+from repro.multimodel.streaming import StreamEngine
+from repro.multimodel.timeseries import TimeSeriesEngine
+from repro.multimodel.vision import VisionEngine
+from repro.sql.engine import SqlEngine
+from repro.storage.types import DataType
+
+
+class _GTimeseries:
+    """gtimeseries('name', window_us): the sliding-window table function."""
+
+    def __init__(self, mmdb: "MultiModelDB"):
+        self._mmdb = mmdb
+
+    def _series(self, args):
+        if not args:
+            raise ExecutionError("gtimeseries needs a series name")
+        return self._mmdb.timeseries.series(str(args[0]))
+
+    def output_schema(self, args: Sequence[object]):
+        series = self._series(args)
+        return [("time", DataType.TIMESTAMP)] + [
+            (c, DataType.DOUBLE) for c in series.value_columns
+        ]
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        series = self._series(args)
+        window_us = int(args[1]) if len(args) > 1 else 60_000_000
+        now_us = self._mmdb.now_us()
+        for t, values in series.last_window(window_us, now_us):
+            yield (t,) + tuple(values[c] for c in series.value_columns)
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        return max(1, self._series(args).point_count // 10)
+
+
+class _GTimeseriesRange(_GTimeseries):
+    """gtimeseries_range('name', t0, t1): explicit range scan."""
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        series = self._series(args)
+        if len(args) < 3:
+            raise ExecutionError("gtimeseries_range needs (name, t0, t1)")
+        t0, t1 = int(args[1]), int(args[2])
+        for t, values in series.range(t0, t1):
+            yield (t,) + tuple(values[c] for c in series.value_columns)
+
+
+class _GGraph:
+    """ggraph('g.V()...'): a Gremlin traversal as a table expression."""
+
+    def __init__(self, mmdb: "MultiModelDB"):
+        self._mmdb = mmdb
+
+    def _traversal(self, args) -> Traversal:
+        if not args:
+            raise ExecutionError("ggraph needs a gremlin string")
+        return parse_gremlin(str(args[0]), self._mmdb.graph)
+
+    def output_schema(self, args: Sequence[object]):
+        results = self._materialize(args)
+        if results and isinstance(results[0], Vertex):
+            keys = sorted({k for v in results for k in v.props})
+            return [("vid", DataType.TEXT)] + [(k, _infer(results, k)) for k in keys]
+        if results and isinstance(results[0], Edge):
+            keys = sorted({k for e in results for k in e.props})
+            return ([("eid", DataType.TEXT), ("src", DataType.TEXT),
+                     ("dst", DataType.TEXT)]
+                    + [(k, _infer(results, k)) for k in keys])
+        return [("value", _scalar_type(results))]
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        results = self._materialize(args)
+        if results and isinstance(results[0], Vertex):
+            keys = sorted({k for v in results for k in v.props})
+            for v in results:
+                yield (v.vid,) + tuple(v.props.get(k) for k in keys)
+            return
+        if results and isinstance(results[0], Edge):
+            keys = sorted({k for e in results for k in e.props})
+            for e in results:
+                yield (e.eid, e.src, e.dst) + tuple(e.props.get(k) for k in keys)
+            return
+        for value in results:
+            yield (value,)
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        return max(1, len(self._materialize(args)))
+
+    def _materialize(self, args) -> List:
+        key = str(args[0])
+        cache = self._mmdb._ggraph_cache
+        if key not in cache:
+            cache[key] = self._traversal(args).to_list()
+        return cache[key]
+
+
+class _GSpatial:
+    """gspatial_radius / gspatial_knn table functions."""
+
+    def __init__(self, mmdb: "MultiModelDB", mode: str):
+        self._mmdb = mmdb
+        self._mode = mode
+
+    def output_schema(self, args: Sequence[object]):
+        return [("oid", DataType.TEXT), ("x", DataType.DOUBLE),
+                ("y", DataType.DOUBLE), ("distance", DataType.DOUBLE)]
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        if len(args) < 4:
+            raise ExecutionError(
+                f"gspatial_{self._mode} needs (layer, x, y, "
+                f"{'r' if self._mode == 'radius' else 'k'})"
+            )
+        layer = self._mmdb.spatial.layer(str(args[0]))
+        x, y = float(args[1]), float(args[2])
+        if self._mode == "radius":
+            points = layer.radius(x, y, float(args[3]))
+        else:
+            points = layer.knn(x, y, int(args[3]))
+        for point in points:
+            yield (str(point.oid), point.x, point.y,
+                   euclidean(x, y, point.x, point.y))
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        return 32
+
+
+class _GVision:
+    """gvision('store', label, min_confidence): detections as a table."""
+
+    def __init__(self, mmdb: "MultiModelDB"):
+        self._mmdb = mmdb
+
+    def output_schema(self, args: Sequence[object]):
+        return [("detection_id", DataType.BIGINT), ("frame_id", DataType.TEXT),
+                ("t", DataType.TIMESTAMP), ("label", DataType.TEXT),
+                ("confidence", DataType.DOUBLE)]
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        if not args:
+            raise ExecutionError("gvision needs a store name")
+        store = self._mmdb.vision.store(str(args[0]))
+        label = str(args[1]) if len(args) > 1 else None
+        min_confidence = float(args[2]) if len(args) > 2 else 0.0
+        if label is not None:
+            detections = store.by_label(label, min_confidence)
+        else:
+            detections = [d for d in (store.get(i) for i in range(len(store)))
+                          if d.confidence >= min_confidence]
+        for d in detections:
+            yield (d.detection_id, d.frame_id, d.t_us, d.label, d.confidence)
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        try:
+            return max(1, len(self._mmdb.vision.store(str(args[0]))) // 4)
+        except Exception:
+            return 32
+
+
+class _GVisionSimilar:
+    """gvision_similar('store', detection_id, k): embedding k-NN."""
+
+    def __init__(self, mmdb: "MultiModelDB"):
+        self._mmdb = mmdb
+
+    def output_schema(self, args: Sequence[object]):
+        return [("detection_id", DataType.BIGINT), ("frame_id", DataType.TEXT),
+                ("label", DataType.TEXT), ("similarity", DataType.DOUBLE)]
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        if len(args) < 2:
+            raise ExecutionError("gvision_similar needs (store, detection_id)")
+        store = self._mmdb.vision.store(str(args[0]))
+        k = int(args[2]) if len(args) > 2 else 5
+        for d, similarity in store.similar_to(int(args[1]), k):
+            yield (d.detection_id, d.frame_id, d.label, similarity)
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        return int(args[2]) if len(args) > 2 else 5
+
+
+def _infer(elements, key) -> DataType:
+    for element in elements:
+        value = element.props.get(key)
+        if isinstance(value, bool):
+            return DataType.BOOL
+        if isinstance(value, int):
+            return DataType.BIGINT
+        if isinstance(value, float):
+            return DataType.DOUBLE
+        if isinstance(value, str):
+            return DataType.TEXT
+    return DataType.TEXT
+
+
+def _scalar_type(values) -> DataType:
+    for value in values:
+        if isinstance(value, bool):
+            return DataType.BOOL
+        if isinstance(value, int):
+            return DataType.BIGINT
+        if isinstance(value, float):
+            return DataType.DOUBLE
+    return DataType.TEXT
+
+
+class MultiModelDB:
+    """Relational + graph + time-series + spatial under one interface."""
+
+    def __init__(self, cluster: Optional[MppCluster] = None,
+                 now_fn: Optional[Callable[[], int]] = None):
+        self.cluster = cluster if cluster is not None else MppCluster(num_dns=2)
+        self._now_us = 0
+        self._user_now_fn = now_fn
+        self.sql = SqlEngine(self.cluster, now_fn=self.now_us)
+        self.graph = PropertyGraph("mmdb")
+        self.timeseries = TimeSeriesEngine()
+        self.spatial = SpatialEngine()
+        self.vision = VisionEngine()
+        self.streams = StreamEngine()
+        self._ggraph_cache: dict = {}
+        self.sql.register_table_function("gtimeseries", _GTimeseries(self))
+        self.sql.register_table_function("gtimeseries_range", _GTimeseriesRange(self))
+        self.sql.register_table_function("ggraph", _GGraph(self))
+        self.sql.register_table_function("gspatial_radius", _GSpatial(self, "radius"))
+        self.sql.register_table_function("gspatial_knn", _GSpatial(self, "knn"))
+        self.sql.register_table_function("gvision", _GVision(self))
+        self.sql.register_table_function("gvision_similar", _GVisionSimilar(self))
+
+    # -- the uniformed interface ---------------------------------------------
+
+    def execute(self, sql: str):
+        self._ggraph_cache.clear()
+        return self.sql.execute(sql)
+
+    def query(self, sql: str) -> List[dict]:
+        return self.execute(sql).as_dicts()
+
+    def gremlin(self, text: str) -> List:
+        """Run a Gremlin string directly against the graph engine."""
+        return parse_gremlin(text, self.graph).to_list()
+
+    def continuous_query(self, name: str, cql: str, emit=None):
+        """Register a standing CQL query (the second extension language)."""
+        return self.streams.register_cql(name, cql, emit)
+
+    # -- simulated clock ----------------------------------------------------------
+
+    def now_us(self) -> int:
+        if self._user_now_fn is not None:
+            return int(self._user_now_fn())
+        return self._now_us
+
+    def set_now_us(self, t_us: int) -> None:
+        self._now_us = int(t_us)

@@ -1,0 +1,193 @@
+"""The spatial engine (Sec. II-B).
+
+A uniform-grid spatial index over 2-D points with the query set the paper's
+autonomous-vehicle scenario needs: bounding-box search, radius search and
+k-nearest-neighbours, plus great-circle distance for GPS coordinates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigError, StorageError
+
+
+@dataclass(frozen=True)
+class SpatialPoint:
+    oid: object
+    x: float
+    y: float
+    props: Tuple[Tuple[str, object], ...] = ()
+
+    def prop(self, key: str, default=None):
+        for name, value in self.props:
+            if name == key:
+                return value
+        return default
+
+
+def euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in meters (for GPS lat/lon data)."""
+    r = 6_371_000.0
+    p1, p2 = math.radians(lat1), math.radians(lat2)
+    dp = math.radians(lat2 - lat1)
+    dl = math.radians(lon2 - lon1)
+    a = math.sin(dp / 2) ** 2 + math.cos(p1) * math.cos(p2) * math.sin(dl / 2) ** 2
+    return 2 * r * math.asin(math.sqrt(a))
+
+
+class GridIndex:
+    """Uniform grid over 2-D points."""
+
+    def __init__(self, cell_size: float = 1.0):
+        if cell_size <= 0:
+            raise ConfigError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], Set[object]] = {}
+        self._points: Dict[object, SpatialPoint] = {}
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self.cell_size)),
+                int(math.floor(y / self.cell_size)))
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, oid: object, x: float, y: float, **props: object) -> None:
+        if oid in self._points:
+            raise StorageError(f"spatial object {oid!r} already exists")
+        point = SpatialPoint(oid, float(x), float(y), tuple(sorted(props.items())))
+        self._points[oid] = point
+        self._cells.setdefault(self._cell_of(x, y), set()).add(oid)
+
+    def remove(self, oid: object) -> None:
+        point = self._points.pop(oid, None)
+        if point is None:
+            return
+        cell = self._cell_of(point.x, point.y)
+        bucket = self._cells.get(cell)
+        if bucket is not None:
+            bucket.discard(oid)
+            if not bucket:
+                del self._cells[cell]
+
+    def move(self, oid: object, x: float, y: float) -> None:
+        point = self._points.get(oid)
+        if point is None:
+            raise StorageError(f"no spatial object {oid!r}")
+        props = dict(point.props)
+        self.remove(oid)
+        self.insert(oid, x, y, **props)
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, oid: object) -> Optional[SpatialPoint]:
+        return self._points.get(oid)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def bbox(self, x0: float, y0: float, x1: float, y1: float
+             ) -> Iterator[SpatialPoint]:
+        """All points with x0<=x<=x1 and y0<=y<=y1."""
+        if x1 < x0 or y1 < y0:
+            return
+        cx0, cy0 = self._cell_of(x0, y0)
+        cx1, cy1 = self._cell_of(x1, y1)
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                for oid in self._cells.get((cx, cy), ()):
+                    point = self._points[oid]
+                    if x0 <= point.x <= x1 and y0 <= point.y <= y1:
+                        yield point
+
+    def radius(self, x: float, y: float, r: float) -> List[SpatialPoint]:
+        """Points within Euclidean distance r, nearest first."""
+        if r < 0:
+            raise ConfigError("radius must be non-negative")
+        hits = []
+        for point in self.bbox(x - r, y - r, x + r, y + r):
+            d = euclidean(x, y, point.x, point.y)
+            if d <= r:
+                hits.append((d, point))
+        hits.sort(key=lambda h: (h[0], repr(h[1].oid)))
+        return [point for _, point in hits]
+
+    def knn(self, x: float, y: float, k: int) -> List[SpatialPoint]:
+        """The k nearest points, expanding the search ring by ring."""
+        if k <= 0:
+            return []
+        if not self._points:
+            return []
+        best: List[Tuple[float, str, SpatialPoint]] = []
+        cx, cy = self._cell_of(x, y)
+        ring = 0
+        max_ring = self._max_ring()
+        while ring <= max_ring:
+            for cell in self._ring_cells(cx, cy, ring):
+                for oid in self._cells.get(cell, ()):
+                    point = self._points[oid]
+                    d = euclidean(x, y, point.x, point.y)
+                    heapq.heappush(best, (d, repr(oid), point))
+            # Points in farther rings are at least (ring) * cell_size away;
+            # stop once the k-th best is closer than the next ring can reach.
+            if len(best) >= k:
+                kth = heapq.nsmallest(k, best)[-1][0]
+                if kth <= ring * self.cell_size:
+                    break
+            ring += 1
+        return [point for _, _, point in heapq.nsmallest(k, best)]
+
+    # -- internals ------------------------------------------------------------------
+
+    def _max_ring(self) -> int:
+        if not self._cells:
+            return 0
+        xs = [c[0] for c in self._cells]
+        ys = [c[1] for c in self._cells]
+        return max(max(xs) - min(xs), max(ys) - min(ys)) + 1
+
+    @staticmethod
+    def _ring_cells(cx: int, cy: int, ring: int) -> Iterator[Tuple[int, int]]:
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for dx in range(-ring, ring + 1):
+            yield (cx + dx, cy - ring)
+            yield (cx + dx, cy + ring)
+        for dy in range(-ring + 1, ring):
+            yield (cx - ring, cy + dy)
+            yield (cx + ring, cy + dy)
+
+
+class SpatialEngine:
+    """Named spatial layers (the spatial runtime engine of Fig. 4)."""
+
+    def __init__(self, cell_size: float = 1.0):
+        self._layers: Dict[str, GridIndex] = {}
+        self._cell_size = cell_size
+
+    def create_layer(self, name: str, cell_size: Optional[float] = None) -> GridIndex:
+        if name in self._layers:
+            raise StorageError(f"layer {name!r} already exists")
+        index = GridIndex(cell_size if cell_size is not None else self._cell_size)
+        self._layers[name] = index
+        return index
+
+    def layer(self, name: str) -> GridIndex:
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise StorageError(f"no spatial layer {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._layers
+
+    def names(self) -> List[str]:
+        return sorted(self._layers)

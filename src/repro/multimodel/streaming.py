@@ -1,0 +1,276 @@
+"""Continuous queries over streams (Sec. II-B).
+
+The uniformed framework "integrates two languages in our SQL extensions:
+the Gremlin language ... and a continuous query language used in streaming
+processing".  This module provides that second hook: standing queries over
+an event stream that emit results as data arrives.
+
+* :class:`EventStream` — an append-only stream of (t_us, payload dict);
+* :class:`ContinuousQuery` — filter + tumbling- or sliding-window aggregate
+  + emit callback, evaluated incrementally on ingest;
+* a tiny CQL parser: ``SELECT <agg>(<field>) FROM <stream> [WHERE ...]
+  WINDOW <n> SECONDS [SLIDE <m> SECONDS]`` reusing the SQL expression
+  grammar for predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, SqlAnalysisError, SqlSyntaxError
+from repro.optimizer.expr import BoundExpr
+from repro.optimizer.logical import ColumnInfo
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_expression
+from repro.cluster.catalog import Catalog
+from repro.storage.types import DataType
+
+SECOND_US = 1_000_000
+
+_AGGS = {
+    "count": (lambda acc, v: acc + 1, lambda acc, n: acc, 0.0),
+    "sum": (lambda acc, v: acc + v, lambda acc, n: acc, 0.0),
+    "avg": (lambda acc, v: acc + v, lambda acc, n: acc / n if n else None, 0.0),
+    "min": (lambda acc, v: v if acc is None else min(acc, v), lambda acc, n: acc, None),
+    "max": (lambda acc, v: v if acc is None else max(acc, v), lambda acc, n: acc, None),
+}
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One emission of a continuous query."""
+
+    window_start_us: int
+    window_end_us: int
+    value: Optional[float]
+    events: int
+
+
+EmitFn = Callable[[WindowResult], None]
+
+
+class ContinuousQuery:
+    """A standing windowed aggregate over one stream."""
+
+    def __init__(self, name: str, fields: Dict[str, DataType],
+                 agg: str, agg_field: Optional[str],
+                 window_us: int, slide_us: Optional[int] = None,
+                 predicate: Optional[BoundExpr] = None,
+                 field_order: Optional[List[str]] = None):
+        if agg not in _AGGS:
+            raise ConfigError(f"unknown aggregate {agg!r}")
+        if window_us <= 0:
+            raise ConfigError("window must be positive")
+        slide_us = slide_us if slide_us is not None else window_us
+        if slide_us <= 0 or slide_us > window_us:
+            raise ConfigError("slide must be in (0, window]")
+        self.name = name
+        self.agg = agg
+        self.agg_field = agg_field
+        self.window_us = window_us
+        self.slide_us = slide_us
+        self.predicate = predicate
+        self._field_order = field_order or sorted(fields)
+        self._subscribers: List[EmitFn] = []
+        #: Matching events retained for open windows: (t_us, value).
+        self._pending: List[Tuple[int, Optional[float]]] = []
+        #: Next window boundary to close (start time).
+        self._next_close: Optional[int] = None
+        self.results: List[WindowResult] = []
+
+    def subscribe(self, emit: EmitFn) -> None:
+        self._subscribers.append(emit)
+
+    # -- incremental evaluation ---------------------------------------------
+
+    def _row_of(self, payload: dict) -> tuple:
+        return tuple(payload.get(name) for name in self._field_order)
+
+    def on_event(self, t_us: int, payload: dict) -> List[WindowResult]:
+        """Feed one event; returns any windows this event's time closed."""
+        closed = self.advance_to(t_us)
+        if self.predicate is None or self.predicate.eval(self._row_of(payload)):
+            value = payload.get(self.agg_field) if self.agg_field else None
+            if self.agg != "count" and value is None:
+                return closed
+            self._pending.append((t_us, value))
+            if self._next_close is None:
+                start = (t_us // self.slide_us) * self.slide_us
+                self._next_close = start + self.window_us
+        return closed
+
+    def advance_to(self, now_us: int) -> List[WindowResult]:
+        """Close every window that ends at or before ``now_us``."""
+        closed: List[WindowResult] = []
+        while self._next_close is not None and now_us >= self._next_close:
+            end = self._next_close
+            start = end - self.window_us
+            step, final, init = _AGGS[self.agg]
+            acc = init
+            events = 0
+            for t, value in self._pending:
+                if start <= t < end:
+                    acc = step(acc, value)
+                    events += 1
+            result = WindowResult(start, end, final(acc, events)
+                                  if events else None, events)
+            closed.append(result)
+            self.results.append(result)
+            for emit in self._subscribers:
+                emit(result)
+            # Retire events older than the next window's start; when no
+            # events remain, go idle (empty windows are not emitted).
+            next_start = start + self.slide_us
+            self._pending = [(t, v) for t, v in self._pending
+                             if t >= next_start]
+            self._next_close = (end + self.slide_us) if self._pending else None
+        return closed
+
+
+class EventStream:
+    """An append-only event stream with attached continuous queries."""
+
+    def __init__(self, name: str, fields: Dict[str, DataType]):
+        self.name = name
+        self.fields = dict(fields)
+        self._queries: Dict[str, ContinuousQuery] = {}
+        self.events_ingested = 0
+        self._last_t: Optional[int] = None
+
+    def attach(self, query: ContinuousQuery) -> None:
+        if query.name in self._queries:
+            raise ConfigError(f"query {query.name!r} already attached")
+        self._queries[query.name] = query
+
+    def detach(self, name: str) -> None:
+        self._queries.pop(name, None)
+
+    def queries(self) -> List[str]:
+        return sorted(self._queries)
+
+    def append(self, t_us: int, **payload: object) -> Dict[str, List[WindowResult]]:
+        """Ingest an event (monotone time) and run every standing query."""
+        if self._last_t is not None and t_us < self._last_t:
+            raise ConfigError(
+                f"stream {self.name}: time went backwards "
+                f"({t_us} < {self._last_t})")
+        self._last_t = t_us
+        unknown = set(payload) - set(self.fields)
+        if unknown:
+            raise ConfigError(f"stream {self.name}: unknown fields {unknown}")
+        self.events_ingested += 1
+        return {name: q.on_event(int(t_us), payload)
+                for name, q in self._queries.items()}
+
+    def advance_to(self, now_us: int) -> Dict[str, List[WindowResult]]:
+        """Close windows by the passage of time alone (no event needed)."""
+        return {name: q.advance_to(int(now_us))
+                for name, q in self._queries.items()}
+
+
+class StreamEngine:
+    """Named streams + the CQL front door."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, EventStream] = {}
+
+    def create_stream(self, name: str,
+                      fields: Dict[str, DataType]) -> EventStream:
+        if name in self._streams:
+            raise ConfigError(f"stream {name!r} already exists")
+        stream = EventStream(name, fields)
+        self._streams[name] = stream
+        return stream
+
+    def stream(self, name: str) -> EventStream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise ConfigError(f"no stream {name!r}") from None
+
+    def register_cql(self, query_name: str, cql: str,
+                     emit: Optional[EmitFn] = None) -> ContinuousQuery:
+        """Parse and attach a continuous query.
+
+        Grammar: ``SELECT <agg>(<field>|*) FROM <stream>
+        [WHERE <predicate>] WINDOW <n> SECONDS [SLIDE <m> SECONDS]``.
+        """
+        query = parse_cql(query_name, cql, self)
+        self.stream(query._stream_name).attach(query)   # type: ignore[attr-defined]
+        if emit is not None:
+            query.subscribe(emit)
+        return query
+
+
+def parse_cql(name: str, cql: str, engine: StreamEngine) -> ContinuousQuery:
+    text = cql.strip().rstrip(";")
+    lowered = text.lower()
+    if not lowered.startswith("select "):
+        raise SqlSyntaxError("CQL starts with SELECT", 0)
+
+    # WINDOW ... [SLIDE ...] tail.
+    window_at = lowered.rfind(" window ")
+    if window_at < 0:
+        raise SqlSyntaxError("continuous queries need a WINDOW clause", 0)
+    head, tail = text[:window_at], text[window_at + len(" window "):]
+    tail_parts = tail.split()
+    window_us = _parse_duration(tail_parts)
+    slide_us = None
+    if "slide" in [p.lower() for p in tail_parts]:
+        at = [p.lower() for p in tail_parts].index("slide")
+        slide_us = _parse_duration(tail_parts[at + 1:])
+
+    lowered_head = head.lower()
+    from_at = lowered_head.find(" from ")
+    if from_at < 0:
+        raise SqlSyntaxError("missing FROM", 0)
+    select_list = head[len("select "):from_at].strip()
+    rest = head[from_at + len(" from "):].strip()
+    where_at = rest.lower().find(" where ")
+    if where_at >= 0:
+        stream_name = rest[:where_at].strip()
+        where_text = rest[where_at + len(" where "):].strip()
+    else:
+        stream_name, where_text = rest.strip(), None
+
+    # Aggregate: e.g. avg(speed) or count(*).
+    if "(" not in select_list or not select_list.endswith(")"):
+        raise SqlSyntaxError("CQL select list must be one aggregate", 0)
+    agg = select_list[:select_list.index("(")].strip().lower()
+    inner = select_list[select_list.index("(") + 1:-1].strip()
+    agg_field = None if inner in ("*", "") else inner
+
+    stream = engine.stream(stream_name)
+    field_order = sorted(stream.fields)
+    predicate = None
+    if where_text:
+        schema = [ColumnInfo(n, stream_name, stream.fields[n])
+                  for n in field_order]
+        binder = Binder(Catalog())
+        predicate = binder._bind_expr(  # noqa: SLF001 - friend module
+            parse_expression(where_text), schema)
+    if agg_field is not None and agg_field not in stream.fields:
+        raise SqlAnalysisError(f"stream {stream_name} has no field {agg_field!r}")
+
+    query = ContinuousQuery(
+        name, stream.fields, agg, agg_field, window_us, slide_us,
+        predicate, field_order)
+    query._stream_name = stream_name   # type: ignore[attr-defined]
+    return query
+
+
+def _parse_duration(parts: List[str]) -> int:
+    if len(parts) < 2:
+        raise SqlSyntaxError("duration needs '<n> SECONDS'", 0)
+    try:
+        amount = float(parts[0])
+    except ValueError:
+        raise SqlSyntaxError(f"bad duration {parts[0]!r}", 0) from None
+    unit = parts[1].lower().rstrip(",")
+    scale = {"second": SECOND_US, "seconds": SECOND_US,
+             "minute": 60 * SECOND_US, "minutes": 60 * SECOND_US,
+             "ms": 1000, "milliseconds": 1000}.get(unit)
+    if scale is None:
+        raise SqlSyntaxError(f"bad duration unit {unit!r}", 0)
+    return int(amount * scale)

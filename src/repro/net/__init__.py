@@ -1,0 +1,18 @@
+"""Simulated environment: resources, cost models, message fabric."""
+
+from repro.net.costing import CostContext
+from repro.net.fabric import Fabric
+from repro.net.latency import (
+    DEFAULT_PROFILE,
+    CollabCostModel,
+    EnvironmentProfile,
+    GmdbCostModel,
+    MppCostModel,
+)
+from repro.net.resource import Resource, ResourcePool
+
+__all__ = [
+    "Resource", "ResourcePool", "CostContext", "Fabric",
+    "MppCostModel", "GmdbCostModel", "CollabCostModel",
+    "EnvironmentProfile", "DEFAULT_PROFILE",
+]

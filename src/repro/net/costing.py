@@ -1,0 +1,58 @@
+"""Cost context: threads a simulated-time cursor through cluster operations.
+
+A :class:`CostContext` represents one simulated client's point in time.  As
+the client's transaction steps acquire serial resources (the GTM, data
+nodes), the cursor advances: each step begins no earlier than both the
+cursor and the resource allow, mirroring an RPC to a busy server.
+
+Correctness code never depends on a context — every cluster operation
+accepts ``ctx=None`` and simply skips accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.latency import MppCostModel
+from repro.net.resource import Resource, ResourcePool
+
+
+class CostContext:
+    """One client's simulated-time cursor plus the shared cost model."""
+
+    def __init__(self, pool: ResourcePool, model: MppCostModel, start_us: float = 0.0):
+        self.pool = pool
+        self.model = model
+        self.t_us = float(start_us)
+
+    def charge(self, resource: Resource, service_us: float, hops: int = 1) -> float:
+        """RPC to ``resource``: pay network hops plus service.
+
+        The client's cursor advances by the round trip and the service time;
+        the resource accumulates the service demand.  Queueing is accounted
+        at the simulation level by the bottleneck law — the run's makespan is
+        ``max(slowest client cursor, busiest resource demand)`` — rather than
+        per-request, because the driver replays whole transactions and a
+        per-request FIFO horizon would falsely serialize concurrent
+        transactions around network gaps.  Returns the new cursor time.
+        """
+        scaled = resource.occupy(service_us)
+        self.t_us += 2 * hops * self.model.lan_hop_us + scaled
+        return self.t_us
+
+    def charge_local(self, service_us: float) -> float:
+        """Client-side (or CN-side) work that occupies no shared resource."""
+        self.t_us += service_us
+        return self.t_us
+
+    def wait_until(self, t_us: float) -> float:
+        if t_us > self.t_us:
+            self.t_us = t_us
+        return self.t_us
+
+
+def maybe_charge(ctx: Optional[CostContext], resource: Optional[Resource],
+                 service_us: float, hops: int = 1) -> None:
+    """Charge if a context is present; no-op in pure-correctness runs."""
+    if ctx is not None and resource is not None:
+        ctx.charge(resource, service_us, hops)

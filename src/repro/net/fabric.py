@@ -1,0 +1,89 @@
+"""A tiny simulated message fabric for the collaboration platform.
+
+Endpoints register under a name; messages are delivered synchronously (the
+simulation is single-threaded) but pay simulated latency, and links can be
+cut to model partitions or out-of-range devices.  The MPP cluster does not
+use this module — its communication costs are charged straight to
+:class:`repro.net.resource.Resource` objects — but the device/edge/cloud
+platform needs reachability and partitions, which live here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import NetworkError
+
+Handler = Callable[[str, object], object]
+
+
+class Fabric:
+    """Named endpoints + point-to-point links with per-link latency."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._handlers: Dict[str, Handler] = {}
+        self._latency_us: Dict[Tuple[str, str], float] = {}
+        self._cut: Set[Tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, name: str, handler: Handler) -> None:
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def connect(self, a: str, b: str, latency_us: float) -> None:
+        """Create (or update) a bidirectional link between ``a`` and ``b``."""
+        self._latency_us[(a, b)] = latency_us
+        self._latency_us[(b, a)] = latency_us
+        self._cut.discard((a, b))
+        self._cut.discard((b, a))
+
+    def disconnect(self, a: str, b: str) -> None:
+        """Cut the link in both directions (partition / out of range)."""
+        self._cut.add((a, b))
+        self._cut.add((b, a))
+
+    def reconnect(self, a: str, b: str) -> None:
+        if (a, b) not in self._latency_us:
+            raise NetworkError(f"no link {a!r} <-> {b!r} to reconnect")
+        self._cut.discard((a, b))
+        self._cut.discard((b, a))
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return (
+            dst in self._handlers
+            and (src, dst) in self._latency_us
+            and (src, dst) not in self._cut
+        )
+
+    def neighbors(self, src: str) -> Set[str]:
+        """Endpoints directly reachable from ``src`` right now."""
+        out = set()
+        for (a, b) in self._latency_us:
+            if a == src and (a, b) not in self._cut and b in self._handlers:
+                out.add(b)
+        return out
+
+    # -- messaging ----------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: object, size_bytes: int = 0) -> object:
+        """Deliver ``payload`` to ``dst`` and return the handler's reply.
+
+        Advances the fabric clock by one round trip (request + response hop)
+        plus a per-byte cost; raises :class:`NetworkError` when unreachable.
+        """
+        if not self.reachable(src, dst):
+            raise NetworkError(f"{dst!r} unreachable from {src!r}")
+        latency = self._latency_us[(src, dst)]
+        self.clock.advance(2 * latency + 0.01 * size_bytes)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        return self._handlers[dst](src, payload)

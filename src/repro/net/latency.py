@@ -1,0 +1,100 @@
+"""Cost-model constants for the simulated environments.
+
+The paper reports results from: an MPP cluster of commodity servers (Fig. 3),
+virtualized 3.0 GHz Linux servers on a 10 Gbps network (Fig. 11), and a
+device/edge/cloud setting where "direct communication between devices based
+on Bluetooth is at least 10X faster than communications through the
+Internet" (Sec. IV-B.2).
+
+Absolute values here are plausible datacenter numbers; every reproduced
+result depends only on their *ratios*, which follow the paper's statements.
+All times are microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class MppCostModel:
+    """Service times for the MPP cluster simulation (Fig. 3).
+
+    The GTM costs are per *request* and are serialized on the GTM resource;
+    DN costs are serialized per data node.  A classical-GTM transaction pays
+    ``gtm_xid_us + gtm_snapshot_us (+ gtm_commit_us)`` on the central GTM,
+    while a GTM-lite single-shard transaction pays nothing there.
+    """
+
+    # One network hop between any two cluster components (half an RTT).
+    lan_hop_us: float = 25.0
+    # CN work: parse/route a statement.
+    cn_route_us: float = 4.0
+    # GTM work, serialized on the GTM resource.  The GTM is single-threaded
+    # in Postgres-XC derivatives and its snapshot messages carry the whole
+    # active-transaction list, so per-request costs are substantial.
+    gtm_xid_us: float = 20.0         # assign a GXID, enqueue on active list
+    gtm_snapshot_us: float = 100.0   # build + serialize the active-txn list
+    gtm_snapshot_per_active_us: float = 0.5  # snapshot size grows with load
+    gtm_commit_us: float = 30.0      # mark a GXID committed / dequeue it
+    # DN work, serialized per data node.
+    dn_begin_us: float = 5.0         # local xid + local snapshot
+    dn_stmt_us: float = 30.0         # execute one read/write statement
+    dn_merge_snapshot_us: float = 8.0  # run MergeSnapshot (GTM-lite readers)
+    dn_commit_us: float = 15.0       # local commit record
+    dn_prepare_us: float = 60.0      # 2PC prepare (flush prepare record)
+    dn_commit_prepared_us: float = 40.0  # 2PC phase-two commit
+
+    def scaled(self, factor: float) -> "MppCostModel":
+        """Return a copy with every cost multiplied by ``factor``."""
+        return replace(
+            self,
+            **{f: getattr(self, f) * factor
+               for f in self.__dataclass_fields__},  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class GmdbCostModel:
+    """Service times for the GMDB simulation (Fig. 11).
+
+    Based on the paper's setting: virtualized clients/servers with 3.0 GHz
+    CPUs on a 10 Gbps network, 5–10 KB session objects.
+    """
+
+    rtt_us: float = 120.0                 # client <-> DN round trip (10 GbE)
+    byte_wire_us: float = 0.0008          # per-byte serialization+wire cost
+    kv_read_us: float = 3.0               # in-memory point lookup
+    kv_write_us: float = 5.0              # in-memory upsert
+    convert_field_us: float = 0.6         # schema-convert one field
+    validate_field_us: float = 0.25       # validate one field against schema
+    delta_apply_field_us: float = 0.8     # apply one delta entry
+
+
+@dataclass(frozen=True)
+class CollabCostModel:
+    """Latency constants for device/edge/cloud synchronization.
+
+    The paper: direct device-to-device (Bluetooth/ad-hoc WLAN) communication
+    is "at least 10X faster" than going through the Internet to the cloud.
+    """
+
+    d2d_rtt_us: float = 6_000.0           # Bluetooth/ad-hoc round trip
+    internet_rtt_us: float = 60_000.0     # device <-> cloud round trip
+    edge_rtt_us: float = 12_000.0         # device <-> edge server
+    byte_d2d_us: float = 0.03             # per-byte transfer, device link
+    byte_internet_us: float = 0.01        # per-byte transfer, uplink
+    cloud_process_us: float = 500.0       # cloud-side request handling
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """Bundle of the three cost models plus identification metadata."""
+
+    name: str = "default"
+    mpp: MppCostModel = field(default_factory=MppCostModel)
+    gmdb: GmdbCostModel = field(default_factory=GmdbCostModel)
+    collab: CollabCostModel = field(default_factory=CollabCostModel)
+
+
+DEFAULT_PROFILE = EnvironmentProfile()

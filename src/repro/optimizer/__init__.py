@@ -1,0 +1,8 @@
+"""Cost-based optimizer: logical plans, statistics, join ordering, lowering."""
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.planner import PhysicalPlanner
+from repro.optimizer.stats import StatsManager, TableStats, analyze_rows
+
+__all__ = ["CardinalityEstimator", "PhysicalPlanner", "StatsManager",
+           "TableStats", "analyze_rows"]

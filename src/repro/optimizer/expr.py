@@ -1,0 +1,351 @@
+"""Bound (resolved, executable) expressions.
+
+The binder turns AST expressions into these nodes: column references become
+positional row accesses, functions become callables, and every node can
+render a *canonical logical text* — uppercase, fully qualified, order-
+normalized — which is exactly the representation the paper's learning
+optimizer hashes into its plan store (Table I).
+
+NULL handling follows SQL's semantics loosely: NULL propagates through
+arithmetic and comparisons, and a filter keeps a row only when its predicate
+evaluates to a truthy (non-NULL true) value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.storage.types import DataType
+
+Row = tuple
+
+
+class BoundExpr:
+    """Base class: an expression bound to a fixed input row layout."""
+
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        raise NotImplementedError
+
+    def text(self) -> str:
+        """Canonical logical form (uppercase, qualified, order-normalized)."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["BoundExpr"]:
+        return ()
+
+    def references(self) -> List[int]:
+        """All row positions this expression reads."""
+        out: List[int] = []
+        stack: List[BoundExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BoundColumn):
+                out.append(node.index)
+            stack.extend(node.children())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.text()})"
+
+
+@dataclass
+class BoundConst(BoundExpr):
+    value: object
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        return self.value
+
+    def text(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return str(self.value).upper()
+
+
+@dataclass
+class BoundColumn(BoundExpr):
+    index: int
+    qualified_name: str
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        return row[self.index]
+
+    def text(self) -> str:
+        return self.qualified_name.upper()
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+    "||": lambda a, b: str(a) + str(b),
+}
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: Comparison operators mirrored, for normalizing ``10 < x`` into ``x > 10``.
+_MIRROR = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class BoundBinary(BoundExpr):
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        op = self.op
+        if op == "and":
+            lv = self.left.eval(row)
+            if lv is None or not lv:
+                return False if lv is not None else None
+            rv = self.right.eval(row)
+            return None if rv is None else bool(rv)
+        if op == "or":
+            lv = self.left.eval(row)
+            if lv:
+                return True
+            rv = self.right.eval(row)
+            if rv:
+                return True
+            return None if (lv is None or rv is None) else False
+        lv = self.left.eval(row)
+        rv = self.right.eval(row)
+        if lv is None or rv is None:
+            return None
+        if op == "/":
+            if rv == 0:
+                raise ExecutionError("division by zero")
+            return lv / rv
+        if op in _ARITH:
+            return _ARITH[op](lv, rv)
+        if op in _COMPARE:
+            try:
+                return _COMPARE[op](lv, rv)
+            except TypeError:
+                raise ExecutionError(
+                    f"cannot compare {type(lv).__name__} with {type(rv).__name__}"
+                ) from None
+        if op == "like":
+            return _like(str(lv), str(rv))
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def text(self) -> str:
+        if self.op in ("and",):
+            # Conjunctions are flattened and sorted so predicate order does
+            # not change the canonical form (the paper: "we apply some order
+            # on predicates").
+            parts = sorted(c.text() for c in _flatten_and(self))
+            return " AND ".join(parts)
+        if self.op == "or":
+            parts = sorted(c.text() for c in _flatten_or(self))
+            return "(" + " OR ".join(parts) + ")"
+        left, right, op = self.left, self.right, self.op
+        if op in _MIRROR:
+            # Normalize constant-on-the-left comparisons; order symmetric
+            # column-to-column comparisons alphabetically.
+            if isinstance(left, BoundConst) and not isinstance(right, BoundConst):
+                left, right, op = right, left, _MIRROR[op]
+            elif (op in ("=", "<>")
+                  and not isinstance(left, BoundConst)
+                  and not isinstance(right, BoundConst)
+                  and right.text() < left.text()):
+                left, right = right, left
+        return f"{left.text()}{_op_text(op)}{right.text()}"
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.left, self.right)
+
+
+def _op_text(op: str) -> str:
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return op
+    return f" {op.upper()} "
+
+
+def _flatten_and(expr: BoundExpr) -> List[BoundExpr]:
+    if isinstance(expr, BoundBinary) and expr.op == "and":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _flatten_or(expr: BoundExpr) -> List[BoundExpr]:
+    if isinstance(expr, BoundBinary) and expr.op == "or":
+        return _flatten_or(expr.left) + _flatten_or(expr.right)
+    return [expr]
+
+
+def _like(value: str, pattern: str) -> bool:
+    """SQL LIKE with %% and _ wildcards."""
+    import re
+
+    regex = "^" + "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+    ) + "$"
+    return re.match(regex, value) is not None
+
+
+@dataclass
+class BoundUnary(BoundExpr):
+    op: str
+    operand: BoundExpr
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        if self.op == "-":
+            return -value
+        if self.op == "not":
+            return not value
+        raise ExecutionError(f"unknown unary operator {self.op!r}")
+
+    def text(self) -> str:
+        if self.op == "not":
+            return f"NOT({self.operand.text()})"
+        return f"-({self.operand.text()})"
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand,)
+
+
+@dataclass
+class BoundIsNull(BoundExpr):
+    operand: BoundExpr
+    negated: bool = False
+    data_type: Optional[DataType] = DataType.BOOL
+
+    def eval(self, row: Row) -> object:
+        is_null = self.operand.eval(row) is None
+        return (not is_null) if self.negated else is_null
+
+    def text(self) -> str:
+        suffix = " IS NOT NULL" if self.negated else " IS NULL"
+        return self.operand.text() + suffix
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand,)
+
+
+@dataclass
+class BoundInList(BoundExpr):
+    needle: BoundExpr
+    items: Tuple[BoundExpr, ...]
+    negated: bool = False
+    data_type: Optional[DataType] = DataType.BOOL
+
+    def eval(self, row: Row) -> object:
+        value = self.needle.eval(row)
+        if value is None:
+            return None
+        found = any(value == item.eval(row) for item in self.items)
+        return (not found) if self.negated else found
+
+    def text(self) -> str:
+        items = ",".join(sorted(i.text() for i in self.items))
+        op = " NOT IN " if self.negated else " IN "
+        return f"{self.needle.text()}{op}({items})"
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.needle,) + self.items
+
+
+@dataclass
+class BoundCase(BoundExpr):
+    whens: Tuple[Tuple[BoundExpr, BoundExpr], ...]
+    default: Optional[BoundExpr] = None
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        for cond, result in self.whens:
+            if cond.eval(row):
+                return result.eval(row)
+        return self.default.eval(row) if self.default is not None else None
+
+    def text(self) -> str:
+        parts = [f"WHEN {c.text()} THEN {r.text()}" for c, r in self.whens]
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.text()}")
+        return "CASE " + " ".join(parts) + " END"
+
+    def children(self) -> Sequence[BoundExpr]:
+        out: List[BoundExpr] = []
+        for cond, result in self.whens:
+            out.extend((cond, result))
+        if self.default is not None:
+            out.append(self.default)
+        return out
+
+
+#: Scalar functions available in expressions.
+SCALAR_FUNCTIONS: dict = {
+    "abs": (abs, None),
+    "lower": (lambda s: s.lower(), DataType.TEXT),
+    "upper": (lambda s: s.upper(), DataType.TEXT),
+    "length": (len, DataType.BIGINT),
+    "round": (lambda v, nd=0: round(v, int(nd)), DataType.DOUBLE),
+    "floor": (lambda v: int(v // 1), DataType.BIGINT),
+    "ceil": (lambda v: -int((-v) // 1), DataType.BIGINT),
+    "coalesce": (None, None),   # special-cased: first non-NULL argument
+    "now": (None, DataType.TIMESTAMP),  # special-cased: engine-supplied clock
+}
+
+
+@dataclass
+class BoundScalarCall(BoundExpr):
+    name: str
+    args: Tuple[BoundExpr, ...]
+    fn: Optional[Callable] = None
+    data_type: Optional[DataType] = None
+
+    def eval(self, row: Row) -> object:
+        if self.name == "coalesce":
+            for arg in self.args:
+                value = arg.eval(row)
+                if value is not None:
+                    return value
+            return None
+        values = [arg.eval(row) for arg in self.args]
+        if self.name != "coalesce" and any(v is None for v in values):
+            return None
+        if self.fn is None:
+            raise ExecutionError(f"function {self.name!r} is not executable here")
+        return self.fn(*values)
+
+    def text(self) -> str:
+        return f"{self.name.upper()}({','.join(a.text() for a in self.args)})"
+
+    def children(self) -> Sequence[BoundExpr]:
+        return self.args
+
+
+def conjuncts(expr: Optional[BoundExpr]) -> List[BoundExpr]:
+    """Split a predicate into its AND-ed factors (empty for None)."""
+    if expr is None:
+        return []
+    return _flatten_and(expr)
+
+
+def combine_conjuncts(parts: Sequence[BoundExpr]) -> Optional[BoundExpr]:
+    """Rebuild a predicate from factors (None for an empty list)."""
+    result: Optional[BoundExpr] = None
+    for part in parts:
+        result = part if result is None else BoundBinary("and", result, part, DataType.BOOL)
+    return result

@@ -1,0 +1,204 @@
+"""Expression simplification rewrites.
+
+Part of the MPP optimizer's "query rewrite engine" (Sec. II-C): constant
+folding and trivial-predicate elimination run before pushdown so that
+downstream rules and the canonical step texts see normalized expressions.
+
+* ``1 + 2`` -> ``3``; ``upper('ab')`` -> ``'AB'`` (pure functions only),
+* ``x AND TRUE`` -> ``x``; ``x AND FALSE`` -> ``FALSE``; same for OR,
+* ``NOT NOT x`` -> ``x``,
+* CASE with a constant condition collapses to the matching arm,
+* a filter whose predicate folds to TRUE disappears; to FALSE, the subtree
+  is replaced by an empty relation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ExecutionError
+from repro.optimizer.expr import (
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundConst,
+    BoundExpr,
+    BoundInList,
+    BoundIsNull,
+    BoundScalarCall,
+    BoundUnary,
+)
+from repro.optimizer.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+    LogicalValues,
+)
+
+#: Functions safe to evaluate at plan time (pure, deterministic).
+_FOLDABLE_FUNCTIONS = {"abs", "lower", "upper", "length", "round", "floor",
+                       "ceil", "coalesce"}
+
+
+def fold_expr(expr: BoundExpr) -> BoundExpr:
+    """Return an equivalent, maximally folded expression."""
+    if isinstance(expr, (BoundConst, BoundColumn)):
+        return expr
+    if isinstance(expr, BoundBinary):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        folded = BoundBinary(expr.op, left, right, expr.data_type)
+        if isinstance(left, BoundConst) and isinstance(right, BoundConst):
+            return _evaluate(folded)
+        if expr.op == "and":
+            return _fold_and(left, right, folded)
+        if expr.op == "or":
+            return _fold_or(left, right, folded)
+        return folded
+    if isinstance(expr, BoundUnary):
+        operand = fold_expr(expr.operand)
+        if expr.op == "not" and isinstance(operand, BoundUnary) \
+                and operand.op == "not":
+            return operand.operand
+        folded = BoundUnary(expr.op, operand, expr.data_type)
+        if isinstance(operand, BoundConst):
+            return _evaluate(folded)
+        return folded
+    if isinstance(expr, BoundIsNull):
+        operand = fold_expr(expr.operand)
+        folded = BoundIsNull(operand, expr.negated)
+        if isinstance(operand, BoundConst):
+            return _evaluate(folded)
+        return folded
+    if isinstance(expr, BoundInList):
+        needle = fold_expr(expr.needle)
+        items = tuple(fold_expr(i) for i in expr.items)
+        folded = BoundInList(needle, items, expr.negated)
+        if isinstance(needle, BoundConst) and all(
+                isinstance(i, BoundConst) for i in items):
+            return _evaluate(folded)
+        return folded
+    if isinstance(expr, BoundCase):
+        whens = []
+        for cond, result in expr.whens:
+            cond = fold_expr(cond)
+            result = fold_expr(result)
+            if isinstance(cond, BoundConst):
+                if cond.value:
+                    if not whens:
+                        return result   # first arm always taken
+                    # A always-true arm terminates the chain as the default.
+                    return BoundCase(tuple(whens), result, expr.data_type)
+                continue                # never taken: drop the arm
+            whens.append((cond, result))
+        default = fold_expr(expr.default) if expr.default is not None else None
+        if not whens:
+            return default if default is not None else BoundConst(None)
+        return BoundCase(tuple(whens), default, expr.data_type)
+    if isinstance(expr, BoundScalarCall):
+        args = tuple(fold_expr(a) for a in expr.args)
+        folded = BoundScalarCall(expr.name, args, expr.fn, expr.data_type)
+        if expr.name in _FOLDABLE_FUNCTIONS and all(
+                isinstance(a, BoundConst) for a in args):
+            return _evaluate(folded)
+        return folded
+    return expr
+
+
+def _evaluate(expr: BoundExpr) -> BoundExpr:
+    try:
+        return BoundConst(expr.eval(()), expr.data_type)
+    except ExecutionError:
+        # e.g. division by zero: leave it to raise at execution time.
+        return expr
+
+
+def _fold_and(left: BoundExpr, right: BoundExpr,
+              fallback: BoundExpr) -> BoundExpr:
+    for const, other in ((left, right), (right, left)):
+        if isinstance(const, BoundConst):
+            if const.value is True:
+                return other
+            if const.value is False:
+                return BoundConst(False)
+    return fallback
+
+
+def _fold_or(left: BoundExpr, right: BoundExpr,
+             fallback: BoundExpr) -> BoundExpr:
+    for const, other in ((left, right), (right, left)):
+        if isinstance(const, BoundConst):
+            if const.value is True:
+                return BoundConst(True)
+            if const.value is False:
+                return other
+    return fallback
+
+
+def fold_plan(plan: LogicalPlan) -> LogicalPlan:
+    """Fold every expression in a plan; eliminate trivial filters."""
+    if isinstance(plan, LogicalFilter):
+        child = fold_plan(plan.child)
+        predicate = fold_expr(plan.predicate)
+        if isinstance(predicate, BoundConst):
+            if predicate.value:
+                return child
+            return LogicalValues(rows=[], schema=list(plan.schema))
+        return LogicalFilter(child, predicate, schema=plan.schema)
+    if isinstance(plan, LogicalScan):
+        if plan.predicate is None:
+            return plan
+        predicate = fold_expr(plan.predicate)
+        if isinstance(predicate, BoundConst):
+            if predicate.value:
+                predicate = None
+            else:
+                return LogicalValues(rows=[], schema=list(plan.schema))
+        return LogicalScan(plan.table, schema=plan.schema, predicate=predicate)
+    if isinstance(plan, LogicalProject):
+        return LogicalProject(fold_plan(plan.child),
+                              [fold_expr(e) for e in plan.exprs],
+                              schema=plan.schema)
+    if isinstance(plan, LogicalJoin):
+        condition = (fold_expr(plan.condition)
+                     if plan.condition is not None else None)
+        kind = plan.kind
+        if isinstance(condition, BoundConst):
+            if condition.value:
+                condition = None
+                if kind == "inner":
+                    kind = "cross"
+            elif kind in ("inner", "cross"):
+                return LogicalValues(rows=[], schema=list(plan.schema))
+        return LogicalJoin(kind, fold_plan(plan.left), fold_plan(plan.right),
+                           condition, schema=plan.schema)
+    if isinstance(plan, LogicalAggregate):
+        return LogicalAggregate(fold_plan(plan.child),
+                                [fold_expr(g) for g in plan.group_exprs],
+                                plan.aggs, schema=plan.schema)
+    if isinstance(plan, LogicalSort):
+        return LogicalSort(fold_plan(plan.child),
+                           [(fold_expr(e), d) for e, d in plan.keys],
+                           schema=plan.schema)
+    if isinstance(plan, LogicalLimit):
+        return LogicalLimit(fold_plan(plan.child), plan.limit,
+                            schema=plan.schema)
+    if isinstance(plan, LogicalDistinct):
+        return LogicalDistinct(fold_plan(plan.child), schema=plan.schema)
+    if isinstance(plan, LogicalUnion):
+        branches = [fold_plan(b) for b in plan.branches]
+        live = [b for b in branches
+                if not (isinstance(b, LogicalValues) and not b.rows)]
+        if not live:
+            return LogicalValues(rows=[], schema=list(plan.schema))
+        if len(live) == 1:
+            return live[0]
+        return LogicalUnion(live, schema=plan.schema)
+    return plan

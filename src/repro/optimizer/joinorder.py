@@ -1,0 +1,218 @@
+"""Cost-based join ordering (System-R style dynamic programming).
+
+Flattens maximal inner/cross join subtrees into a relation set plus a
+conjunct pool, enumerates left-deep join orders bottom-up (DPsize), and
+rebuilds the cheapest tree.  Above ~9 relations it falls back to a greedy
+smallest-result-first heuristic.  Cardinalities come from the
+:class:`~repro.optimizer.cardinality.CardinalityEstimator`, which consults
+the learning plan store first — so captured feedback changes join orders,
+closing the paper's learning loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.expr import BoundColumn, BoundExpr, combine_conjuncts, conjuncts
+from repro.optimizer.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.optimizer.rules import remap_columns, shift_columns
+
+MAX_DP_RELATIONS = 9
+
+
+@dataclass
+class _Candidate:
+    plan: LogicalPlan
+    #: global column index -> position in this candidate's output schema
+    mapping: Dict[int, int]
+    rels: FrozenSet[int]
+    cost: float
+    rows: float
+    applied: FrozenSet[int] = frozenset()   # pool conjuncts consumed so far
+
+
+def reorder_joins(plan: LogicalPlan, estimator: CardinalityEstimator) -> LogicalPlan:
+    """Recursively reorder every maximal inner-join subtree in ``plan``."""
+    if isinstance(plan, LogicalJoin) and plan.kind in ("inner", "cross"):
+        return _reorder_subtree(plan, estimator)
+    if isinstance(plan, LogicalJoin):
+        return LogicalJoin(plan.kind,
+                           reorder_joins(plan.left, estimator),
+                           reorder_joins(plan.right, estimator),
+                           plan.condition, schema=plan.schema)
+    if isinstance(plan, LogicalFilter):
+        return LogicalFilter(reorder_joins(plan.child, estimator),
+                             plan.predicate, schema=plan.schema)
+    if isinstance(plan, LogicalProject):
+        return LogicalProject(reorder_joins(plan.child, estimator),
+                              plan.exprs, schema=plan.schema)
+    if isinstance(plan, LogicalAggregate):
+        return LogicalAggregate(reorder_joins(plan.child, estimator),
+                                plan.group_exprs, plan.aggs, schema=plan.schema)
+    if isinstance(plan, LogicalSort):
+        return LogicalSort(reorder_joins(plan.child, estimator),
+                           plan.keys, schema=plan.schema)
+    if isinstance(plan, LogicalLimit):
+        return LogicalLimit(reorder_joins(plan.child, estimator),
+                            plan.limit, schema=plan.schema)
+    if isinstance(plan, LogicalDistinct):
+        return LogicalDistinct(reorder_joins(plan.child, estimator),
+                               schema=plan.schema)
+    if isinstance(plan, LogicalUnion):
+        return LogicalUnion([reorder_joins(b, estimator)
+                             for b in plan.branches], schema=plan.schema)
+    return plan
+
+
+def _reorder_subtree(root: LogicalJoin,
+                     estimator: CardinalityEstimator) -> LogicalPlan:
+    relations: List[Tuple[LogicalPlan, int]] = []   # (subplan, global offset)
+    pool: List[BoundExpr] = []
+    _flatten(root, 0, relations, pool, estimator)
+
+    if len(relations) < 2:
+        return root
+
+    base: List[_Candidate] = []
+    pre_applied: set = set()
+    for index, (subplan, offset) in enumerate(relations):
+        width = len(subplan.schema)
+        mapping = {offset + j: j for j in range(width)}
+        # Pool conjuncts confined to this relation become local filters.
+        local: List[BoundExpr] = []
+        for i, factor in enumerate(pool):
+            refs = set(factor.references())
+            if refs and refs <= set(mapping):
+                local.append(remap_columns(factor, mapping))
+                pre_applied.add(i)
+        if local:
+            subplan = LogicalFilter(subplan, combine_conjuncts(local),
+                                    schema=list(subplan.schema))
+        rows = estimator.estimate(subplan)
+        base.append(_Candidate(subplan, mapping, frozenset({index}), 0.0, rows))
+    for candidate in base:
+        candidate.applied = frozenset(pre_applied)
+
+    if len(relations) <= MAX_DP_RELATIONS:
+        best = _dp_order(base, pool, estimator)
+    else:
+        best = _greedy_order(base, pool, estimator)
+
+    plan = best.plan
+    leftover = [i for i in range(len(pool)) if i not in best.applied]
+    if leftover:
+        factors = [remap_columns(pool[i], best.mapping) for i in leftover]
+        plan = LogicalFilter(plan, combine_conjuncts(factors),
+                             schema=list(plan.schema))
+
+    # Restore the original global column order for upstream operators.
+    original_schema = list(root.schema)
+    exprs = []
+    for g in range(len(original_schema)):
+        position = best.mapping[g]
+        col = original_schema[g]
+        exprs.append(BoundColumn(position, col.canonical or col.qualified,
+                                 col.data_type))
+    return LogicalProject(plan, exprs, schema=original_schema)
+
+
+def _flatten(plan: LogicalPlan, offset: int, relations, pool,
+             estimator: CardinalityEstimator) -> None:
+    if isinstance(plan, LogicalJoin) and plan.kind in ("inner", "cross"):
+        _flatten(plan.left, offset, relations, pool, estimator)
+        _flatten(plan.right, offset + len(plan.left.schema), relations, pool,
+                 estimator)
+        if plan.condition is not None:
+            for factor in conjuncts(plan.condition):
+                pool.append(shift_columns(factor, offset))
+    else:
+        relations.append((reorder_joins(plan, estimator), offset))
+
+
+def _join_pair(a: _Candidate, b: _Candidate, pool,
+               estimator: CardinalityEstimator) -> _Candidate:
+    mapping = dict(a.mapping)
+    width = len(a.plan.schema)
+    for g, pos in b.mapping.items():
+        mapping[g] = pos + width
+    already = a.applied | b.applied
+    applicable: List[BoundExpr] = []
+    newly_applied = set(already)
+    for i, factor in enumerate(pool):
+        if i in already:
+            continue
+        refs = set(factor.references())
+        if refs and refs <= set(mapping):
+            applicable.append(remap_columns(factor, mapping))
+            newly_applied.add(i)
+    condition = combine_conjuncts(applicable)
+    kind = "inner" if condition is not None else "cross"
+    schema = list(a.plan.schema) + list(b.plan.schema)
+    join = LogicalJoin(kind, a.plan, b.plan, condition, schema=schema)
+    rows = estimator.estimate(join)
+    cost = a.cost + b.cost + rows
+    return _Candidate(join, mapping, a.rels | b.rels, cost, rows,
+                      frozenset(newly_applied))
+
+
+def _rank(candidate: _Candidate) -> tuple:
+    """Prefer connected (non-cross) joins, then lower cumulative cost."""
+    is_cross = isinstance(candidate.plan, LogicalJoin) and \
+        candidate.plan.condition is None
+    return (is_cross, candidate.cost)
+
+
+def _dp_order(base: List[_Candidate], pool,
+              estimator: CardinalityEstimator) -> _Candidate:
+    n = len(base)
+    table: Dict[FrozenSet[int], _Candidate] = {c.rels: c for c in base}
+    for size in range(2, n + 1):
+        for subset in combinations(range(n), size):
+            key = frozenset(subset)
+            best: Optional[_Candidate] = None
+            # Left-deep enumeration: peel one relation off at a time.
+            for last in subset:
+                rest = key - {last}
+                left = table.get(rest)
+                right = table.get(frozenset({last}))
+                if left is None or right is None:
+                    continue
+                candidate = _join_pair(left, right, pool, estimator)
+                if best is None or _rank(candidate) < _rank(best):
+                    best = candidate
+            if best is not None:
+                table[key] = best
+    return table[frozenset(range(n))]
+
+
+def _greedy_order(base: List[_Candidate], pool,
+                  estimator: CardinalityEstimator) -> _Candidate:
+    candidates = list(base)
+    while len(candidates) > 1:
+        best_pair: Optional[Tuple[int, int]] = None
+        best: Optional[_Candidate] = None
+        for i in range(len(candidates)):
+            for j in range(i + 1, len(candidates)):
+                candidate = _join_pair(candidates[i], candidates[j], pool,
+                                       estimator)
+                rank = (_rank(candidate)[0], candidate.rows)
+                if best is None or rank < (_rank(best)[0], best.rows):
+                    best = candidate
+                    best_pair = (i, j)
+        i, j = best_pair  # type: ignore[misc]
+        candidates = [c for k, c in enumerate(candidates) if k not in (i, j)]
+        candidates.append(best)  # type: ignore[arg-type]
+    return candidates[0]

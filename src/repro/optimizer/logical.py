@@ -1,0 +1,276 @@
+"""Logical query plans.
+
+The binder produces these; the optimizer estimates cardinalities on them,
+reorders joins, and lowers them to physical operators.  Every node carries a
+*schema* — the ordered list of output columns with their qualified names —
+and can render the paper's canonical *logical step text* (prefix expressions
+over logical operators; Table I) used by the learning optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.optimizer.expr import BoundExpr
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One output column of a plan node.
+
+    ``qualifier`` is the binding name used for reference resolution (table
+    alias / CTE name); ``canonical`` is the stable fully-qualified name used
+    in canonical step texts, so aliasing does not fragment the plan store.
+    """
+
+    name: str                       # bare column name (or alias)
+    qualifier: Optional[str]        # binding name it came from, if any
+    data_type: Optional[DataType] = None
+    canonical: Optional[str] = None  # e.g. "olap.t1.b1"
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+Schema = List[ColumnInfo]
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    schema: Schema
+
+    def children(self) -> Sequence["LogicalPlan"]:
+        return ()
+
+    def step_text(self) -> str:
+        """Canonical prefix-form step definition (the paper's Table I)."""
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class LogicalScan(LogicalPlan):
+    table: str
+    schema: Schema = field(default_factory=list)
+    predicate: Optional[BoundExpr] = None    # pushed-down filter
+
+    def step_text(self) -> str:
+        if self.predicate is not None:
+            return f"SCAN({self.table.upper()}, PREDICATE({self.predicate.text()}))"
+        return f"SCAN({self.table.upper()})"
+
+    def describe(self) -> str:
+        if self.predicate is not None:
+            return f"Scan {self.table} [{self.predicate.text()}]"
+        return f"Scan {self.table}"
+
+
+@dataclass
+class LogicalTableFunction(LogicalPlan):
+    """A multi-model table function (gtimeseries / ggraph / gspatial)."""
+
+    name: str
+    args: Tuple[object, ...]
+    schema: Schema = field(default_factory=list)
+    rows_hint: int = 100
+
+    def step_text(self) -> str:
+        rendered = ",".join(repr(a).upper() for a in self.args)
+        return f"TFUNC({self.name.upper()}({rendered}))"
+
+    def describe(self) -> str:
+        return f"TableFunction {self.name}{self.args!r}"
+
+
+@dataclass
+class LogicalValues(LogicalPlan):
+    rows: List[tuple]
+    schema: Schema = field(default_factory=list)
+
+    def step_text(self) -> str:
+        return f"VALUES({len(self.rows)})"
+
+    def describe(self) -> str:
+        return f"Values [{len(self.rows)} rows]"
+
+
+@dataclass
+class LogicalFilter(LogicalPlan):
+    child: LogicalPlan
+    predicate: BoundExpr
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    def step_text(self) -> str:
+        return f"FILTER({self.child.step_text()}, PREDICATE({self.predicate.text()}))"
+
+    def describe(self) -> str:
+        return f"Filter [{self.predicate.text()}]"
+
+
+@dataclass
+class LogicalProject(LogicalPlan):
+    child: LogicalPlan
+    exprs: List[BoundExpr]
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    def step_text(self) -> str:
+        # Projection does not change cardinality; the canonical step passes
+        # through to the child so equivalent queries share store entries.
+        return self.child.step_text()
+
+    def describe(self) -> str:
+        return "Project [" + ", ".join(e.text() for e in self.exprs) + "]"
+
+
+@dataclass
+class LogicalJoin(LogicalPlan):
+    kind: str                     # 'inner', 'left', 'cross'
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: Optional[BoundExpr] = None
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.left, self.right)
+
+    def step_text(self) -> str:
+        # Join children are ordered lexicographically so commuted joins
+        # share one canonical form (the paper: "we apply some order ... on
+        # join children").
+        left, right = self.left.step_text(), self.right.step_text()
+        if right < left:
+            left, right = right, left
+        pred = (f", PREDICATE({self.condition.text()})"
+                if self.condition is not None else "")
+        return f"JOIN({left}, {right}{pred})"
+
+    def describe(self) -> str:
+        cond = f" on {self.condition.text()}" if self.condition is not None else ""
+        return f"Join {self.kind}{cond}"
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate computation: func(arg) with optional DISTINCT."""
+
+    func: str                      # count, sum, avg, min, max
+    arg: Optional[BoundExpr]       # None for count(*)
+    distinct: bool = False
+
+    def text(self) -> str:
+        inner = "*" if self.arg is None else self.arg.text()
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func.upper()}({prefix}{inner})"
+
+
+@dataclass
+class LogicalAggregate(LogicalPlan):
+    child: LogicalPlan
+    group_exprs: List[BoundExpr]
+    aggs: List[AggSpec]
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    def step_text(self) -> str:
+        groups = ",".join(sorted(g.text() for g in self.group_exprs))
+        return f"AGG({self.child.step_text()}, GROUPBY({groups}))"
+
+    def describe(self) -> str:
+        groups = ", ".join(g.text() for g in self.group_exprs)
+        aggs = ", ".join(a.text() for a in self.aggs)
+        return f"Aggregate group=[{groups}] aggs=[{aggs}]"
+
+
+@dataclass
+class LogicalDistinct(LogicalPlan):
+    child: LogicalPlan
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    def step_text(self) -> str:
+        return f"DISTINCT({self.child.step_text()})"
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class LogicalSort(LogicalPlan):
+    child: LogicalPlan
+    keys: List[Tuple[BoundExpr, bool]]     # (expr, descending)
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    def step_text(self) -> str:
+        # Sorting never changes cardinality.
+        return self.child.step_text()
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{e.text()}{' DESC' if d else ''}" for e, d in self.keys)
+        return f"Sort [{keys}]"
+
+
+@dataclass
+class LogicalLimit(LogicalPlan):
+    child: LogicalPlan
+    limit: int
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    def step_text(self) -> str:
+        return f"LIMIT({self.child.step_text()}, {self.limit})"
+
+    def describe(self) -> str:
+        return f"Limit {self.limit}"
+
+
+@dataclass
+class LogicalUnion(LogicalPlan):
+    """UNION ALL of schema-compatible branches (dedup via LogicalDistinct)."""
+
+    branches: List[LogicalPlan]
+    schema: Schema = field(default_factory=list)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return tuple(self.branches)
+
+    def step_text(self) -> str:
+        parts = sorted(b.step_text() for b in self.branches)
+        return f"UNION({', '.join(parts)})"
+
+    def describe(self) -> str:
+        return f"UnionAll [{len(self.branches)} branches]"
+
+
+def walk(plan: LogicalPlan):
+    """Yield every node of ``plan`` top-down."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)

@@ -1,0 +1,209 @@
+"""Physical planning: optimized logical plans -> executable operator trees.
+
+Performs the classic lowering decisions:
+
+* join implementation — hash join for equi-joins (keys extracted from the
+  condition), nested loop otherwise;
+* exchange placement — the MPP cost model decides whether the build side of
+  a join is broadcast (small side) or both sides are redistributed on the
+  join key, and a gather feeds the coordinator at the root;
+* cardinality annotation — every operator carries the estimate that the
+  learning optimizer later compares against ``actual_rows``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import PlanningError
+from repro.exec.operators import (
+    PDistinct,
+    PUnionAll,
+    PExchange,
+    PFilter,
+    PHashAggregate,
+    PHashJoin,
+    PLimit,
+    PNestedLoopJoin,
+    PProject,
+    PScan,
+    PSort,
+    PTableFunction,
+    PValues,
+    PhysicalOp,
+)
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.expr import (
+    BoundBinary,
+    BoundColumn,
+    BoundExpr,
+    combine_conjuncts,
+    conjuncts,
+)
+from repro.optimizer.folding import fold_plan
+from repro.optimizer.joinorder import reorder_joins
+from repro.optimizer.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTableFunction,
+    LogicalUnion,
+    LogicalValues,
+)
+from repro.optimizer.rules import push_down_filters, shift_columns
+
+BROADCAST_THRESHOLD = 0.1
+
+ScanSource = Callable[[], Iterable[tuple]]
+
+
+class PhysicalPlanner:
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        scan_source: Callable[[str, LogicalScan], ScanSource],
+        table_function_rows: Optional[
+            Callable[[str, Tuple[object, ...]], ScanSource]] = None,
+        insert_exchanges: bool = True,
+    ):
+        self.estimator = estimator
+        self.scan_source = scan_source
+        self.table_function_rows = table_function_rows
+        self.insert_exchanges = insert_exchanges
+
+    # -- pipeline ---------------------------------------------------------
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        plan = fold_plan(plan)
+        plan = push_down_filters(plan)
+        plan = reorder_joins(plan, self.estimator)
+        return plan
+
+    def plan(self, logical: LogicalPlan) -> PhysicalOp:
+        optimized = self.optimize(logical)
+        root = self._lower(optimized)
+        if self.insert_exchanges:
+            root = PExchange("gather", root, estimated_rows=root.estimated_rows)
+        return root
+
+    # -- lowering ------------------------------------------------------------
+
+    def _lower(self, plan: LogicalPlan) -> PhysicalOp:
+        est = self.estimator.estimate(plan)
+        if isinstance(plan, LogicalScan):
+            return PScan(
+                plan.table,
+                self.scan_source(plan.table, plan),
+                plan.schema,
+                predicate=plan.predicate,
+                estimated_rows=est,
+                step_text=plan.step_text(),
+            )
+        if isinstance(plan, LogicalTableFunction):
+            if self.table_function_rows is None:
+                raise PlanningError(
+                    f"no table-function runtime for {plan.name!r}"
+                )
+            provider = self.table_function_rows(plan.name, plan.args)
+            return PTableFunction(plan.name, provider, plan.schema,
+                                  estimated_rows=est,
+                                  step_text=plan.step_text())
+        if isinstance(plan, LogicalValues):
+            return PValues(plan.rows, plan.schema)
+        if isinstance(plan, LogicalFilter):
+            child = self._lower(plan.child)
+            return PFilter(child, plan.predicate, estimated_rows=est,
+                           step_text=plan.step_text())
+        if isinstance(plan, LogicalProject):
+            child = self._lower(plan.child)
+            return PProject(child, plan.exprs, plan.schema, estimated_rows=est)
+        if isinstance(plan, LogicalAggregate):
+            child = self._lower(plan.child)
+            return PHashAggregate(child, plan.group_exprs, plan.aggs,
+                                  plan.schema, estimated_rows=est,
+                                  step_text=plan.step_text())
+        if isinstance(plan, LogicalDistinct):
+            child = self._lower(plan.child)
+            return PDistinct(child, estimated_rows=est,
+                             step_text=plan.step_text())
+        if isinstance(plan, LogicalSort):
+            child = self._lower(plan.child)
+            return PSort(child, plan.keys, estimated_rows=est)
+        if isinstance(plan, LogicalLimit):
+            child = self._lower(plan.child)
+            return PLimit(child, plan.limit, estimated_rows=est,
+                          step_text=plan.step_text())
+        if isinstance(plan, LogicalUnion):
+            children = [self._lower(b) for b in plan.branches]
+            return PUnionAll(children, plan.schema, estimated_rows=est,
+                             step_text=plan.step_text())
+        if isinstance(plan, LogicalJoin):
+            return self._lower_join(plan, est)
+        raise PlanningError(f"cannot lower {type(plan).__name__}")
+
+    def _lower_join(self, plan: LogicalJoin, est: float) -> PhysicalOp:
+        left = self._lower(plan.left)
+        right = self._lower(plan.right)
+        n_left = len(plan.left.schema)
+        equi, residual = _split_equi_keys(plan.condition, n_left)
+
+        if self.insert_exchanges:
+            left, right = self._place_exchanges(left, right, bool(equi))
+
+        if equi and plan.kind in ("inner", "left"):
+            left_keys = [pair[0] for pair in equi]
+            right_keys = [shift_columns(pair[1], -n_left) for pair in equi]
+            return PHashJoin(
+                plan.kind, left, right, left_keys, right_keys,
+                combine_conjuncts(residual), plan.schema,
+                estimated_rows=est, step_text=plan.step_text(),
+            )
+        return PNestedLoopJoin(plan.kind, left, right, plan.condition,
+                               plan.schema, estimated_rows=est,
+                               step_text=plan.step_text())
+
+    def _place_exchanges(self, left: PhysicalOp, right: PhysicalOp,
+                         is_equi: bool) -> Tuple[PhysicalOp, PhysicalOp]:
+        """MPP data movement: broadcast the small build side, else shuffle."""
+        lrows = max(left.estimated_rows, 1.0)
+        rrows = max(right.estimated_rows, 1.0)
+        if rrows <= BROADCAST_THRESHOLD * lrows:
+            return left, PExchange("broadcast", right, rrows)
+        if lrows <= BROADCAST_THRESHOLD * rrows:
+            return PExchange("broadcast", left, lrows), right
+        if is_equi:
+            return (PExchange("redistribute", left, lrows),
+                    PExchange("redistribute", right, rrows))
+        return left, PExchange("broadcast", right, rrows)
+
+
+def _split_equi_keys(condition: Optional[BoundExpr], n_left: int):
+    """Split a join condition into equi-key pairs and residual factors.
+
+    Returns ``(pairs, residual)`` where each pair is (left_expr, right_expr)
+    with the right expression still indexed in combined-row space.
+    """
+    pairs: List[Tuple[BoundExpr, BoundExpr]] = []
+    residual: List[BoundExpr] = []
+    for factor in conjuncts(condition):
+        if isinstance(factor, BoundBinary) and factor.op == "=":
+            left_refs = set(factor.left.references())
+            right_refs = set(factor.right.references())
+            if (left_refs and right_refs
+                    and all(i < n_left for i in left_refs)
+                    and all(i >= n_left for i in right_refs)):
+                pairs.append((factor.left, factor.right))
+                continue
+            if (left_refs and right_refs
+                    and all(i >= n_left for i in left_refs)
+                    and all(i < n_left for i in right_refs)):
+                pairs.append((factor.right, factor.left))
+                continue
+        residual.append(factor)
+    return pairs, residual

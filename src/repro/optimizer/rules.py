@@ -1,0 +1,154 @@
+"""Rewrite rules: column remapping, predicate pushdown.
+
+The MPP optimizer's rewrite engine (Sec. II-C mentions "establishing a query
+rewrite engine") — here, the two rewrites that matter for the reproduced
+experiments: pushing filters into scans (so canonical SCAN steps carry their
+predicates, as in Table I) and below joins (so join ordering sees minimal
+inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.optimizer.expr import (
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundExpr,
+    BoundInList,
+    BoundIsNull,
+    BoundScalarCall,
+    BoundUnary,
+    combine_conjuncts,
+    conjuncts,
+)
+from repro.optimizer.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+
+
+def remap_columns(expr: BoundExpr, mapping: Dict[int, int]) -> BoundExpr:
+    """Rebuild ``expr`` with column indexes translated through ``mapping``."""
+    if isinstance(expr, BoundColumn):
+        return BoundColumn(mapping[expr.index], expr.qualified_name, expr.data_type)
+    if isinstance(expr, BoundBinary):
+        return BoundBinary(expr.op, remap_columns(expr.left, mapping),
+                           remap_columns(expr.right, mapping), expr.data_type)
+    if isinstance(expr, BoundUnary):
+        return BoundUnary(expr.op, remap_columns(expr.operand, mapping),
+                          expr.data_type)
+    if isinstance(expr, BoundIsNull):
+        return BoundIsNull(remap_columns(expr.operand, mapping), expr.negated)
+    if isinstance(expr, BoundInList):
+        return BoundInList(remap_columns(expr.needle, mapping),
+                           tuple(remap_columns(i, mapping) for i in expr.items),
+                           expr.negated)
+    if isinstance(expr, BoundCase):
+        whens = tuple((remap_columns(c, mapping), remap_columns(r, mapping))
+                      for c, r in expr.whens)
+        default = (remap_columns(expr.default, mapping)
+                   if expr.default is not None else None)
+        return BoundCase(whens, default, expr.data_type)
+    if isinstance(expr, BoundScalarCall):
+        return BoundScalarCall(expr.name,
+                               tuple(remap_columns(a, mapping) for a in expr.args),
+                               expr.fn, expr.data_type)
+    return expr  # constants
+
+
+def shift_columns(expr: BoundExpr, delta: int) -> BoundExpr:
+    """Shift every column index in ``expr`` by ``delta``."""
+    mapping = {i: i + delta for i in set(expr.references())}
+    return remap_columns(expr, mapping)
+
+
+def push_down_filters(plan: LogicalPlan) -> LogicalPlan:
+    """Recursively push filter conjuncts toward the scans."""
+    if isinstance(plan, LogicalFilter):
+        child = push_down_filters(plan.child)
+        return _push_predicate(child, conjuncts(plan.predicate))
+    # Rebuild interior nodes over optimized children.
+    if isinstance(plan, LogicalScan):
+        return plan
+    if isinstance(plan, LogicalJoin):
+        left = push_down_filters(plan.left)
+        right = push_down_filters(plan.right)
+        return LogicalJoin(plan.kind, left, right, plan.condition,
+                           schema=plan.schema)
+    if isinstance(plan, LogicalProject):
+        return LogicalProject(push_down_filters(plan.child), plan.exprs,
+                              schema=plan.schema)
+    if isinstance(plan, LogicalAggregate):
+        return LogicalAggregate(push_down_filters(plan.child), plan.group_exprs,
+                                plan.aggs, schema=plan.schema)
+    if isinstance(plan, LogicalSort):
+        return LogicalSort(push_down_filters(plan.child), plan.keys,
+                           schema=plan.schema)
+    if isinstance(plan, LogicalLimit):
+        return LogicalLimit(push_down_filters(plan.child), plan.limit,
+                            schema=plan.schema)
+    if isinstance(plan, LogicalDistinct):
+        return LogicalDistinct(push_down_filters(plan.child), schema=plan.schema)
+    if isinstance(plan, LogicalUnion):
+        return LogicalUnion([push_down_filters(b) for b in plan.branches],
+                            schema=plan.schema)
+    return plan
+
+
+def _push_predicate(child: LogicalPlan, factors: List[BoundExpr]) -> LogicalPlan:
+    """Push conjuncts into ``child`` as deep as legal; wrap the rest."""
+    if not factors:
+        return child
+    if isinstance(child, LogicalScan):
+        merged = conjuncts(child.predicate) + factors
+        return LogicalScan(child.table, schema=child.schema,
+                           predicate=combine_conjuncts(merged))
+    if isinstance(child, LogicalFilter):
+        return _push_predicate(child.child, conjuncts(child.predicate) + factors)
+    if isinstance(child, LogicalJoin):
+        n_left = len(child.left.schema)
+        left_factors: List[BoundExpr] = []
+        right_factors: List[BoundExpr] = []
+        residual: List[BoundExpr] = []
+        for factor in factors:
+            refs = set(factor.references())
+            if refs and all(i < n_left for i in refs):
+                left_factors.append(factor)
+            elif refs and all(i >= n_left for i in refs):
+                right_factors.append(factor)
+            else:
+                residual.append(factor)
+        if child.kind == "left":
+            # Right-side and cross-side conjuncts cannot move below an outer
+            # join without changing NULL-extension semantics.
+            residual.extend(right_factors)
+            right_factors = []
+        left = _push_predicate(child.left, left_factors)
+        right = _push_predicate(
+            child.right, [shift_columns(f, -n_left) for f in right_factors])
+        condition = child.condition
+        kind = child.kind
+        if residual and kind in ("inner", "cross"):
+            merged = conjuncts(condition) + residual
+            condition = combine_conjuncts(merged)
+            residual = []
+            if kind == "cross" and condition is not None:
+                kind = "inner"
+        new_join = LogicalJoin(kind, left, right, condition, schema=child.schema)
+        if residual:
+            return LogicalFilter(new_join, combine_conjuncts(residual),
+                                 schema=new_join.schema)
+        return new_join
+    rebuilt = push_down_filters(child)
+    predicate = combine_conjuncts(factors)
+    return LogicalFilter(rebuilt, predicate, schema=rebuilt.schema)

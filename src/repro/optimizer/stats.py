@@ -1,0 +1,146 @@
+"""Optimizer statistics: row counts, NDVs, min/max, equi-depth histograms.
+
+``ANALYZE`` scans a table's visible rows and builds a :class:`TableStats`
+the selectivity estimator consumes.  The learning optimizer exists precisely
+because these estimates go wrong (correlations, skew, staleness) — so this
+module is deliberately the *classical* estimator, warts and all.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    ndv: int = 0
+    null_frac: float = 0.0
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+    # Equi-depth histogram bounds (ascending); len == buckets + 1.
+    histogram: List[object] = field(default_factory=list)
+
+    def selectivity_eq(self, value: object, row_count: int) -> float:
+        """Selectivity of ``col = value`` under uniformity per distinct."""
+        if row_count == 0 or self.ndv == 0:
+            return 0.0
+        if value is None:
+            return 0.0
+        if self.min_value is not None and self.max_value is not None:
+            try:
+                if value < self.min_value or value > self.max_value:
+                    return 0.0
+            except TypeError:
+                pass
+        return (1.0 - self.null_frac) / self.ndv
+
+    def selectivity_range(self, low: Optional[object], high: Optional[object],
+                          include_low: bool = True, include_high: bool = True) -> float:
+        """Selectivity of a range predicate from the histogram."""
+        if not self.histogram:
+            return 0.33  # the classical magic constant
+        lo_frac = self._position(low) if low is not None else 0.0
+        hi_frac = self._position(high) if high is not None else 1.0
+        frac = max(0.0, hi_frac - lo_frac) * (1.0 - self.null_frac)
+        return min(1.0, frac)
+
+    def _position(self, value: object) -> float:
+        """Fraction of values strictly below ``value`` per the histogram."""
+        bounds = self.histogram
+        if not bounds:
+            return 0.5
+        try:
+            if value <= bounds[0]:
+                return 0.0
+            if value >= bounds[-1]:
+                return 1.0
+            i = bisect.bisect_left(bounds, value)
+        except TypeError:
+            return 0.5
+        buckets = len(bounds) - 1
+        lo, hi = bounds[i - 1], bounds[i]
+        within = 0.5
+        try:
+            if hi != lo:
+                within = (value - lo) / (hi - lo)
+        except TypeError:
+            pass
+        return ((i - 1) + within) / buckets
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+def analyze_rows(rows: Sequence[dict], column_names: Sequence[str]) -> TableStats:
+    """Build full table statistics from materialized rows."""
+    stats = TableStats(row_count=len(rows))
+    for name in column_names:
+        values = [row.get(name) for row in rows]
+        non_null = [v for v in values if v is not None]
+        col = ColumnStats()
+        col.null_frac = (1.0 - len(non_null) / len(values)) if values else 0.0
+        col.ndv = len(set(map(_hashable, non_null)))
+        if non_null:
+            try:
+                ordered = sorted(non_null)
+                col.min_value = ordered[0]
+                col.max_value = ordered[-1]
+                col.histogram = _equi_depth(ordered, HISTOGRAM_BUCKETS)
+            except TypeError:
+                pass  # mixed-type column: keep NDV only
+        stats.columns[name] = col
+    return stats
+
+
+def _equi_depth(ordered: List[object], buckets: int) -> List[object]:
+    """Equi-depth histogram bounds over pre-sorted values."""
+    n = len(ordered)
+    if n == 0:
+        return []
+    buckets = min(buckets, n)
+    bounds = [ordered[0]]
+    for b in range(1, buckets):
+        bounds.append(ordered[min(n - 1, (b * n) // buckets)])
+    bounds.append(ordered[-1])
+    return bounds
+
+
+def _hashable(value: object) -> object:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+class StatsManager:
+    """Holds per-table statistics for the optimizer; fed by ANALYZE."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableStats] = {}
+
+    def put(self, table: str, stats: TableStats) -> None:
+        self._tables[table.lower()] = stats
+
+    def get(self, table: str) -> Optional[TableStats]:
+        return self._tables.get(table.lower())
+
+    def drop(self, table: str) -> None:
+        self._tables.pop(table.lower(), None)
+
+    def analyzed_tables(self) -> List[str]:
+        return sorted(self._tables)

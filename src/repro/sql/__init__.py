@@ -1,0 +1,8 @@
+"""SQL front-end: lexer, parser, binder, engine."""
+
+from repro.sql.binder import Binder, TableFunctionImpl
+from repro.sql.engine import Result, SqlEngine
+from repro.sql.parser import parse, parse_expression
+
+__all__ = ["SqlEngine", "Result", "Binder", "TableFunctionImpl",
+           "parse", "parse_expression"]

@@ -1,0 +1,240 @@
+"""Abstract syntax tree for the SQL subset.
+
+FI-MPPDB "supports ANSI SQL 2008"; this reproduction implements the subset
+its workloads and the paper's examples need: DDL with distribution clauses,
+INSERT/UPDATE/DELETE, and SELECT with joins, grouping, ordering, limits,
+CTEs, derived tables and table functions (the multi-model hooks
+``gtimeseries`` / ``ggraph`` of Example 1 enter the grammar as table
+functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# -- expressions ------------------------------------------------------------
+
+
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int, float, str, bool or None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference, e.g. ``olap.t1.b1``."""
+
+    parts: Tuple[str, ...]
+
+    @property
+    def column(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def qualifier(self) -> Optional[str]:
+        return ".".join(self.parts[:-1]) if len(self.parts) > 1 else None
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str           # '+', '-', '*', '/', '%', '=', '<>', '<', '<=', '>',
+                      # '>=', 'and', 'or', 'like'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str           # '-', 'not'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    needle: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    needle: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    whens: Tuple[Tuple[Expr, Expr], ...]   # (condition, result) pairs
+    default: Optional[Expr] = None
+
+
+# -- table references ---------------------------------------------------------
+
+
+class TableRef(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    query: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class TableFunction(TableRef):
+    """A table-valued function, e.g. ``gtimeseries('speeding', 30)``."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join(TableRef):
+    kind: str            # 'inner', 'left', 'cross'
+    left: TableRef
+    right: TableRef
+    condition: Optional[Expr] = None
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Cte(Node):
+    name: str
+    columns: Tuple[str, ...]
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    items: Tuple[SelectItem, ...]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    ctes: Tuple[Cte, ...] = ()
+    #: UNION [ALL] branches appended to this select; each entry is
+    #: (select, all?).  ORDER BY / LIMIT on self apply to the whole union.
+    unions: Tuple[Tuple["Select", bool], ...] = ()
+
+
+@dataclass(frozen=True)
+class ColumnDef(Node):
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Node):
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    primary_key: Optional[str] = None
+    distribute_by: Optional[str] = None     # column name, or None
+    replicated: bool = False
+    orientation: str = "row"
+
+
+@dataclass(frozen=True)
+class DropTable(Node):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Node):
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expr, ...], ...] = ()
+    query: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Update(Node):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Node):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Analyze(Node):
+    table: Optional[str] = None     # None = whole catalog
+
+
+@dataclass(frozen=True)
+class Explain(Node):
+    query: Select

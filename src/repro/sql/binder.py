@@ -1,0 +1,564 @@
+"""Semantic analysis: AST -> bound logical plan.
+
+Resolves names against the cluster catalog, CTEs and the table-function
+registry (where the multi-model engines hook in), types expressions, and
+produces :mod:`repro.optimizer.logical` trees ready for optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.common.errors import SqlAnalysisError
+from repro.cluster.catalog import Catalog
+from repro.optimizer.expr import (
+    SCALAR_FUNCTIONS,
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundConst,
+    BoundExpr,
+    BoundInList,
+    BoundIsNull,
+    BoundScalarCall,
+    BoundUnary,
+)
+from repro.optimizer.logical import (
+    AggSpec,
+    ColumnInfo,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTableFunction,
+    LogicalUnion,
+)
+from repro.sql import ast
+from repro.storage.types import DataType, type_of_literal
+
+AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+
+class TableFunctionImpl(Protocol):
+    """A table-valued function the binder can plan against."""
+
+    def output_schema(self, args: Sequence[object]) -> List[Tuple[str, DataType]]:
+        """Column (name, type) pairs for the given constant arguments."""
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        """Produce the rows at execution time."""
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        """Cardinality hint for the optimizer."""
+
+
+class Binder:
+    def __init__(self, catalog: Catalog,
+                 table_functions: Optional[Dict[str, TableFunctionImpl]] = None,
+                 now_fn=None):
+        self.catalog = catalog
+        self.table_functions = table_functions or {}
+        #: Engine-supplied clock for ``now()`` (simulated time, not OS time).
+        self.now_fn = now_fn if now_fn is not None else (lambda: 0)
+
+    # -- entry points ------------------------------------------------------
+
+    def bind_select(self, select: ast.Select) -> LogicalPlan:
+        return self._bind_select(select, cte_map={})
+
+    def bind_standalone_expr(self, expr: ast.Expr) -> BoundExpr:
+        """Bind an expression with no input columns (constants only)."""
+        return self._bind_expr(expr, schema=[])
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _bind_select(self, select: ast.Select,
+                     cte_map: Dict[str, LogicalPlan]) -> LogicalPlan:
+        cte_map = dict(cte_map)
+        for cte in select.ctes:
+            plan = self._bind_select(cte.query, cte_map)
+            if cte.columns:
+                if len(cte.columns) != len(plan.schema):
+                    raise SqlAnalysisError(
+                        f"CTE {cte.name}: {len(cte.columns)} column names for "
+                        f"{len(plan.schema)} output columns"
+                    )
+                plan = _rename(plan, cte.name, list(cte.columns))
+            cte_map[cte.name.lower()] = plan
+
+        if select.from_clause is not None:
+            plan = self._bind_from(select.from_clause, cte_map)
+        else:
+            from repro.optimizer.logical import LogicalValues
+
+            plan = LogicalValues(rows=[()], schema=[])
+
+        if select.where is not None:
+            predicate = self._bind_expr(select.where, plan.schema)
+            plan = LogicalFilter(plan, predicate, schema=list(plan.schema))
+
+        has_aggs = any(
+            _contains_agg(item.expr) for item in select.items
+        ) or (select.having is not None and _contains_agg(select.having)) or bool(
+            select.group_by
+        )
+
+        if has_aggs:
+            plan, output_items = self._bind_aggregate(select, plan)
+        else:
+            output_items = self._expand_items(select.items, plan.schema)
+            exprs = [self._bind_expr(expr, plan.schema) for expr, _ in output_items]
+            names = [name for _, name in output_items]
+            schema = [
+                ColumnInfo(name, None, expr.data_type)
+                for name, expr in zip(names, exprs)
+            ]
+            plan = LogicalProject(plan, exprs, schema=schema)
+            output_items = list(zip(exprs, names))
+
+        if select.distinct:
+            plan = LogicalDistinct(plan, schema=list(plan.schema))
+
+        if select.unions:
+            branches = [plan]
+            dedupe = False
+            for sub, keep_all in select.unions:
+                sub_plan = self._bind_select(sub, cte_map)
+                if len(sub_plan.schema) != len(plan.schema):
+                    raise SqlAnalysisError(
+                        f"UNION branches differ in width "
+                        f"({len(plan.schema)} vs {len(sub_plan.schema)})")
+                branches.append(sub_plan)
+                if not keep_all:
+                    dedupe = True
+            schema = list(plan.schema)
+            plan = LogicalUnion(branches, schema=schema)
+            if dedupe:
+                plan = LogicalDistinct(plan, schema=schema)
+
+        if select.order_by:
+            try:
+                keys = [
+                    (self._bind_order_key(item.expr, plan.schema), item.descending)
+                    for item in select.order_by
+                ]
+                plan = LogicalSort(plan, keys, schema=list(plan.schema))
+            except SqlAnalysisError:
+                # ORDER BY may reference pre-projection columns ("select b1
+                # from t order by a1"): sort below the projection instead.
+                plan = self._sort_below_projection(plan, select.order_by)
+
+        if select.limit is not None:
+            plan = LogicalLimit(plan, select.limit, schema=list(plan.schema))
+
+        return plan
+
+    def _sort_below_projection(self, plan: LogicalPlan,
+                               order_by) -> LogicalPlan:
+        """Push an ORDER BY that references input columns below the project."""
+        node = plan
+        path = []
+        while isinstance(node, (LogicalDistinct,)):
+            path.append(node)
+            node = node.child
+        if not isinstance(node, LogicalProject):
+            raise SqlAnalysisError("cannot resolve ORDER BY expression")
+        inner = node.child
+        keys = [
+            (self._bind_order_key(item.expr, inner.schema), item.descending)
+            for item in order_by
+        ]
+        node.child = LogicalSort(inner, keys, schema=list(inner.schema))
+        return plan
+
+    def _bind_order_key(self, expr: ast.Expr, schema: List[ColumnInfo]) -> BoundExpr:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            ordinal = expr.value
+            if not (1 <= ordinal <= len(schema)):
+                raise SqlAnalysisError(f"ORDER BY ordinal {ordinal} out of range")
+            col = schema[ordinal - 1]
+            return BoundColumn(ordinal - 1, col.qualified, col.data_type)
+        return self._bind_expr(expr, schema)
+
+    # -- FROM ----------------------------------------------------------------
+
+    def _bind_from(self, ref: ast.TableRef,
+                   cte_map: Dict[str, LogicalPlan]) -> LogicalPlan:
+        if isinstance(ref, ast.NamedTable):
+            key = ref.name.lower()
+            if key in cte_map:
+                return _rename(cte_map[key], ref.binding_name, None)
+            if not self.catalog.has(ref.name):
+                raise SqlAnalysisError(f"unknown table or CTE {ref.name!r}")
+            schema_def = self.catalog.schema(ref.name)
+            binding = ref.alias or _short_name(ref.name)
+            cols = [
+                ColumnInfo(c.name, binding, c.data_type,
+                           canonical=f"{schema_def.name}.{c.name}")
+                for c in schema_def.columns
+            ]
+            return LogicalScan(schema_def.name, schema=cols)
+        if isinstance(ref, ast.DerivedTable):
+            plan = self._bind_select(ref.query, cte_map)
+            return _rename(plan, ref.alias, None)
+        if isinstance(ref, ast.TableFunction):
+            impl = self.table_functions.get(ref.name.lower())
+            if impl is None:
+                raise SqlAnalysisError(f"unknown table function {ref.name!r}")
+            args = tuple(self._const_arg(a) for a in ref.args)
+            binding = ref.binding_name
+            cols = [
+                ColumnInfo(name, binding, data_type)
+                for name, data_type in impl.output_schema(args)
+            ]
+            return LogicalTableFunction(
+                ref.name.lower(), args, schema=cols,
+                rows_hint=impl.estimated_rows(args),
+            )
+        if isinstance(ref, ast.Join):
+            left = self._bind_from(ref.left, cte_map)
+            right = self._bind_from(ref.right, cte_map)
+            schema = list(left.schema) + list(right.schema)
+            condition = None
+            if ref.condition is not None:
+                condition = self._bind_expr(ref.condition, schema)
+            return LogicalJoin(ref.kind, left, right, condition, schema=schema)
+        raise SqlAnalysisError(f"unsupported FROM clause item {type(ref).__name__}")
+
+    def _const_arg(self, expr: ast.Expr) -> object:
+        bound = self._bind_expr(expr, schema=[])
+        return bound.eval(())
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _bind_aggregate(self, select: ast.Select, child: LogicalPlan):
+        input_schema = child.schema
+        group_bound = [self._bind_expr(g, input_schema) for g in select.group_by]
+        group_texts = {g.text(): i for i, g in enumerate(group_bound)}
+
+        agg_specs: List[AggSpec] = []
+        agg_slots: Dict[str, int] = {}
+
+        def agg_slot(func: str, arg_ast, distinct: bool) -> int:
+            arg = None
+            if arg_ast is not None and not isinstance(arg_ast, ast.Star):
+                arg = self._bind_expr(arg_ast, input_schema)
+            spec = AggSpec(func, arg, distinct)
+            key = spec.text()
+            if key not in agg_slots:
+                agg_slots[key] = len(agg_specs)
+                agg_specs.append(spec)
+            return agg_slots[key]
+
+        # First, walk every output expression to register aggregate slots.
+        items = self._expand_items(select.items, input_schema)
+        for expr, _ in items:
+            _collect_aggs(expr, agg_slot)
+        if select.having is not None:
+            _collect_aggs(select.having, agg_slot)
+
+        n_groups = len(group_bound)
+        agg_schema: List[ColumnInfo] = []
+        for i, g in enumerate(group_bound):
+            if isinstance(g, BoundColumn):
+                source = input_schema[g.index]
+                agg_schema.append(ColumnInfo(source.name, source.qualifier,
+                                             g.data_type, source.canonical))
+            else:
+                agg_schema.append(ColumnInfo(f"group_{i}", None, g.data_type))
+        for spec in agg_specs:
+            dtype = DataType.BIGINT if spec.func == "count" else (
+                DataType.DOUBLE if spec.func == "avg" else
+                (spec.arg.data_type if spec.arg is not None else None))
+            agg_schema.append(ColumnInfo(spec.text().lower(), None, dtype))
+
+        plan: LogicalPlan = LogicalAggregate(
+            child, group_bound, agg_specs, schema=agg_schema,
+        )
+
+        def rebind(expr: ast.Expr) -> BoundExpr:
+            return self._rebind_over_aggregate(
+                expr, input_schema, group_texts, agg_slot, n_groups, agg_schema,
+            )
+
+        if select.having is not None:
+            plan = LogicalFilter(plan, rebind(select.having),
+                                 schema=list(plan.schema))
+
+        exprs = [rebind(expr) for expr, _ in items]
+        names = [name for _, name in items]
+        out_schema = [
+            ColumnInfo(name, None, expr.data_type)
+            for name, expr in zip(names, exprs)
+        ]
+        plan = LogicalProject(plan, exprs, schema=out_schema)
+        return plan, list(zip(exprs, names))
+
+    def _rebind_over_aggregate(self, expr: ast.Expr, input_schema,
+                               group_texts, agg_slot, n_groups, agg_schema) -> BoundExpr:
+        if isinstance(expr, ast.FuncCall) and expr.name in AGG_FUNCS:
+            arg_ast = expr.args[0] if expr.args else None
+            slot = agg_slot(expr.name, arg_ast, expr.distinct)
+            index = n_groups + slot
+            col = agg_schema[index]
+            return BoundColumn(index, col.qualified, col.data_type)
+        # A grouped expression becomes a reference to its group slot.
+        try:
+            bound = self._bind_expr(expr, input_schema)
+        except SqlAnalysisError:
+            bound = None
+        if bound is not None:
+            text = bound.text()
+            if text in group_texts:
+                index = group_texts[text]
+                col = agg_schema[index]
+                return BoundColumn(index, col.qualified, col.data_type)
+            if isinstance(bound, BoundConst):
+                return bound
+            if isinstance(bound, BoundColumn):
+                raise SqlAnalysisError(
+                    f"column {bound.qualified_name} must appear in GROUP BY "
+                    f"or be used in an aggregate"
+                )
+        # Recurse: rebuild composite expressions over the aggregate output.
+        rebind = lambda e: self._rebind_over_aggregate(  # noqa: E731
+            e, input_schema, group_texts, agg_slot, n_groups, agg_schema)
+        if isinstance(expr, ast.BinaryOp):
+            return BoundBinary(expr.op, rebind(expr.left), rebind(expr.right))
+        if isinstance(expr, ast.UnaryOp):
+            return BoundUnary(expr.op, rebind(expr.operand))
+        if isinstance(expr, ast.IsNull):
+            return BoundIsNull(rebind(expr.operand), expr.negated)
+        if isinstance(expr, ast.InList):
+            return BoundInList(rebind(expr.needle),
+                               tuple(rebind(i) for i in expr.items), expr.negated)
+        if isinstance(expr, ast.CaseWhen):
+            whens = tuple((rebind(c), rebind(r)) for c, r in expr.whens)
+            default = rebind(expr.default) if expr.default is not None else None
+            return BoundCase(whens, default)
+        if isinstance(expr, ast.FuncCall):
+            if expr.name == "now":
+                return BoundScalarCall("now", (), self.now_fn, DataType.TIMESTAMP)
+            fn, dtype = SCALAR_FUNCTIONS.get(expr.name, (None, None))
+            if expr.name not in SCALAR_FUNCTIONS:
+                raise SqlAnalysisError(f"unknown function {expr.name!r}")
+            return BoundScalarCall(expr.name,
+                                   tuple(rebind(a) for a in expr.args), fn, dtype)
+        raise SqlAnalysisError(
+            f"expression {type(expr).__name__} not allowed outside GROUP BY"
+        )
+
+    # -- select-list expansion -----------------------------------------------------
+
+    def _expand_items(self, items, schema) -> List[Tuple[ast.Expr, str]]:
+        out: List[Tuple[ast.Expr, str]] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                qualifier = item.expr.qualifier
+                matched = False
+                for col in schema:
+                    if qualifier is None or _qualifier_matches(col, qualifier):
+                        parts = ((col.qualifier,) if col.qualifier else ()) + (col.name,)
+                        out.append((ast.ColumnRef(tuple(parts)), col.name))
+                        matched = True
+                if not matched:
+                    raise SqlAnalysisError(f"no columns match {qualifier or ''}.*")
+            else:
+                name = item.alias or _derive_name(item.expr, len(out))
+                out.append((item.expr, name))
+        return out
+
+    # -- expression binding ----------------------------------------------------------
+
+    def _bind_expr(self, expr: ast.Expr, schema: List[ColumnInfo]) -> BoundExpr:
+        if isinstance(expr, ast.Literal):
+            dtype = None if expr.value is None else type_of_literal(expr.value)
+            return BoundConst(expr.value, dtype)
+        if isinstance(expr, ast.ColumnRef):
+            return self._resolve_column(expr, schema)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._bind_expr(expr.left, schema)
+            right = self._bind_expr(expr.right, schema)
+            dtype = _binary_type(expr.op, left, right)
+            return BoundBinary(expr.op, left, right, dtype)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._bind_expr(expr.operand, schema)
+            dtype = DataType.BOOL if expr.op == "not" else operand.data_type
+            return BoundUnary(expr.op, operand, dtype)
+        if isinstance(expr, ast.IsNull):
+            return BoundIsNull(self._bind_expr(expr.operand, schema), expr.negated)
+        if isinstance(expr, ast.InList):
+            return BoundInList(
+                self._bind_expr(expr.needle, schema),
+                tuple(self._bind_expr(i, schema) for i in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Between):
+            needle = self._bind_expr(expr.needle, schema)
+            low = self._bind_expr(expr.low, schema)
+            high = self._bind_expr(expr.high, schema)
+            rng = BoundBinary(
+                "and",
+                BoundBinary(">=", needle, low, DataType.BOOL),
+                BoundBinary("<=", needle, high, DataType.BOOL),
+                DataType.BOOL,
+            )
+            return BoundUnary("not", rng, DataType.BOOL) if expr.negated else rng
+        if isinstance(expr, ast.CaseWhen):
+            whens = tuple(
+                (self._bind_expr(c, schema), self._bind_expr(r, schema))
+                for c, r in expr.whens
+            )
+            default = (self._bind_expr(expr.default, schema)
+                       if expr.default is not None else None)
+            dtype = whens[0][1].data_type
+            return BoundCase(whens, default, dtype)
+        if isinstance(expr, ast.FuncCall):
+            if expr.name in AGG_FUNCS:
+                raise SqlAnalysisError(
+                    f"aggregate {expr.name}() is not allowed here"
+                )
+            if expr.name == "now":
+                return BoundScalarCall("now", (), self.now_fn, DataType.TIMESTAMP)
+            if expr.name not in SCALAR_FUNCTIONS:
+                raise SqlAnalysisError(f"unknown function {expr.name!r}")
+            fn, dtype = SCALAR_FUNCTIONS[expr.name]
+            args = tuple(self._bind_expr(a, schema) for a in expr.args)
+            if dtype is None and args:
+                dtype = args[0].data_type
+            return BoundScalarCall(expr.name, args, fn, dtype)
+        if isinstance(expr, ast.Star):
+            raise SqlAnalysisError("* is only allowed in the select list or count(*)")
+        raise SqlAnalysisError(f"unsupported expression {type(expr).__name__}")
+
+    def _resolve_column(self, ref: ast.ColumnRef,
+                        schema: List[ColumnInfo]) -> BoundColumn:
+        matches = []
+        for index, col in enumerate(schema):
+            if col.name != ref.column:
+                continue
+            if ref.qualifier is not None and not _qualifier_matches(col, ref.qualifier):
+                continue
+            matches.append((index, col))
+        if not matches:
+            raise SqlAnalysisError(f"unknown column {ref}")
+        if len(matches) > 1:
+            raise SqlAnalysisError(f"ambiguous column {ref}")
+        index, col = matches[0]
+        name = col.canonical or col.qualified
+        return BoundColumn(index, name, col.data_type)
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _binary_type(op: str, left: BoundExpr, right: BoundExpr):
+    if op in ("and", "or", "like", "=", "<>", "<", "<=", ">", ">="):
+        return DataType.BOOL
+    if op == "||":
+        return DataType.TEXT
+    if op == "/":
+        return DataType.DOUBLE
+    if left.data_type is DataType.DOUBLE or right.data_type is DataType.DOUBLE:
+        return DataType.DOUBLE
+    return left.data_type or right.data_type
+
+
+def _qualifier_matches(col: ColumnInfo, qualifier: str) -> bool:
+    if col.qualifier is None:
+        return False
+    if col.qualifier == qualifier:
+        return True
+    # A reference may use the trailing segment of a schema-qualified binding
+    # ("t1.b1" for table "olap.t1") or the full canonical name.
+    if col.qualifier.endswith("." + qualifier):
+        return True
+    if col.canonical is not None:
+        canonical_qual = col.canonical.rsplit(".", 1)[0]
+        if canonical_qual == qualifier or canonical_qual.endswith("." + qualifier):
+            return True
+    return False
+
+
+def _short_name(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _derive_name(expr: ast.Expr, position: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.column
+    if isinstance(expr, ast.FuncCall):
+        return expr.name
+    return f"col_{position}"
+
+
+def _contains_agg(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in AGG_FUNCS:
+            return True
+        return any(_contains_agg(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_agg(expr.left) or _contains_agg(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_agg(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _contains_agg(expr.operand)
+    if isinstance(expr, ast.InList):
+        return _contains_agg(expr.needle) or any(_contains_agg(i) for i in expr.items)
+    if isinstance(expr, ast.Between):
+        return any(_contains_agg(e) for e in (expr.needle, expr.low, expr.high))
+    if isinstance(expr, ast.CaseWhen):
+        for cond, result in expr.whens:
+            if _contains_agg(cond) or _contains_agg(result):
+                return True
+        return expr.default is not None and _contains_agg(expr.default)
+    return False
+
+
+def _collect_aggs(expr: ast.Expr, register) -> None:
+    """Register every aggregate call in ``expr`` via ``register``."""
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in AGG_FUNCS:
+            arg = expr.args[0] if expr.args else None
+            register(expr.name, arg, expr.distinct)
+            return
+        for a in expr.args:
+            _collect_aggs(a, register)
+        return
+    if isinstance(expr, ast.BinaryOp):
+        _collect_aggs(expr.left, register)
+        _collect_aggs(expr.right, register)
+    elif isinstance(expr, ast.UnaryOp):
+        _collect_aggs(expr.operand, register)
+    elif isinstance(expr, ast.IsNull):
+        _collect_aggs(expr.operand, register)
+    elif isinstance(expr, ast.InList):
+        _collect_aggs(expr.needle, register)
+        for i in expr.items:
+            _collect_aggs(i, register)
+    elif isinstance(expr, ast.Between):
+        for e in (expr.needle, expr.low, expr.high):
+            _collect_aggs(e, register)
+    elif isinstance(expr, ast.CaseWhen):
+        for cond, result in expr.whens:
+            _collect_aggs(cond, register)
+            _collect_aggs(result, register)
+        if expr.default is not None:
+            _collect_aggs(expr.default, register)
+
+
+def _rename(plan: LogicalPlan, binding: str,
+            new_names: Optional[List[str]]) -> LogicalPlan:
+    """Re-qualify a subplan's output under a new binding name."""
+    exprs = []
+    schema = []
+    for i, col in enumerate(plan.schema):
+        name = new_names[i] if new_names else col.name
+        exprs.append(BoundColumn(i, f"{binding}.{name}", col.data_type))
+        schema.append(ColumnInfo(name, binding, col.data_type))
+    return LogicalProject(plan, exprs, schema=schema)

@@ -1,0 +1,318 @@
+"""The SQL engine: one entry point over the MPP cluster.
+
+``SqlEngine.execute(sql)`` handles DDL, DML and queries.  Queries run under
+a cluster-wide snapshot (a multi-shard read transaction), flow through the
+binder, the cost-based optimizer (with learning feedback) and the physical
+executor, and feed the learning producer on the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.mpp import MppCluster
+from repro.common.errors import CatalogError, SqlAnalysisError
+from repro.exec.operators import PhysicalOp
+from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.logical import LogicalScan
+from repro.optimizer.planner import PhysicalPlanner
+from repro.optimizer.stats import StatsManager, analyze_rows
+from repro.sql import ast
+from repro.sql.binder import Binder, TableFunctionImpl
+from repro.sql.parser import parse
+from repro.storage.table import Column, Distribution, Orientation, TableSchema
+from repro.storage.types import DataType
+
+_TYPE_NAMES = {
+    "int": DataType.INT, "integer": DataType.INT,
+    "bigint": DataType.BIGINT,
+    "double": DataType.DOUBLE, "float": DataType.DOUBLE, "real": DataType.DOUBLE,
+    "text": DataType.TEXT, "varchar": DataType.TEXT, "string": DataType.TEXT,
+    "bool": DataType.BOOL, "boolean": DataType.BOOL,
+    "timestamp": DataType.TIMESTAMP,
+}
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    plan_text: Optional[str] = None
+    capture: Optional[CaptureReport] = None
+
+    def as_dicts(self) -> List[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self) -> object:
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[object]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+class SqlEngine:
+    def __init__(self, cluster: MppCluster,
+                 learning_enabled: bool = True,
+                 capture_settings: Optional[CaptureSettings] = None,
+                 now_fn: Optional[Callable[[], int]] = None):
+        self.cluster = cluster
+        self.stats = StatsManager()
+        self.feedback = FeedbackLoop(settings=capture_settings)
+        self.learning_enabled = learning_enabled
+        self.table_functions: Dict[str, TableFunctionImpl] = {}
+        self._now_fn = now_fn if now_fn is not None else (lambda: 0)
+        self.queries_executed = 0
+
+    # -- extension points ----------------------------------------------------
+
+    def register_table_function(self, name: str, impl: TableFunctionImpl) -> None:
+        """Hook a multi-model engine in as a table function (Sec. II-B)."""
+        self.table_functions[name.lower()] = impl
+
+    @property
+    def plan_store(self):
+        return self.feedback.store
+
+    # -- entry point -------------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        statement = parse(sql)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement)
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement)
+        if isinstance(statement, ast.Select):
+            return self._select(statement)
+        raise SqlAnalysisError(f"unsupported statement {type(statement).__name__}")
+
+    def query(self, sql: str) -> List[dict]:
+        """Convenience: execute and return dict rows."""
+        return self.execute(sql).as_dicts()
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _create_table(self, stmt: ast.CreateTable) -> Result:
+        columns = []
+        for col in stmt.columns:
+            dtype = _TYPE_NAMES.get(col.type_name.lower())
+            if dtype is None:
+                raise SqlAnalysisError(f"unknown type {col.type_name!r}")
+            columns.append(Column(col.name, dtype, nullable=not col.not_null))
+        primary_key = stmt.primary_key or (columns[0].name if columns else None)
+        if primary_key is None:
+            raise SqlAnalysisError("table needs at least one column")
+        schema = TableSchema(
+            stmt.name,
+            columns,
+            primary_key=primary_key,
+            distribution=(Distribution.REPLICATION if stmt.replicated
+                          else Distribution.HASH),
+            distribution_column=None if stmt.replicated else
+            (stmt.distribute_by or primary_key),
+            orientation=(Orientation.COLUMN if stmt.orientation == "column"
+                         else Orientation.ROW),
+        )
+        self.cluster.create_table(schema)
+        return Result(rowcount=0)
+
+    def _drop_table(self, stmt: ast.DropTable) -> Result:
+        if not self.cluster.catalog.has(stmt.name):
+            if stmt.if_exists:
+                return Result(rowcount=0)
+            raise CatalogError(f"no table {stmt.name!r}")
+        self.cluster.drop_table(stmt.name)
+        self.stats.drop(stmt.name)
+        return Result(rowcount=0)
+
+    # -- DML -----------------------------------------------------------------------
+
+    def _insert(self, stmt: ast.Insert) -> Result:
+        schema = self.cluster.catalog.schema(stmt.table)
+        binder = self._binder()
+        if stmt.query is not None:
+            sub = self._run_select_plan(stmt.query)
+            source_rows = sub.rows
+            columns = stmt.columns or tuple(sub.columns)
+        else:
+            source_rows = []
+            for row_exprs in stmt.rows:
+                bound = [binder.bind_standalone_expr(e) for e in row_exprs]
+                source_rows.append(tuple(b.eval(()) for b in bound))
+            columns = stmt.columns or tuple(c.name for c in schema.columns)
+        if any(len(row) != len(columns) for row in source_rows):
+            raise SqlAnalysisError("INSERT row width does not match column list")
+        session = self.cluster.session()
+        txn = session.begin(multi_shard=True)
+        try:
+            for row in source_rows:
+                txn.insert(stmt.table, dict(zip(columns, row)))
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        return Result(rowcount=len(source_rows))
+
+    def _update(self, stmt: ast.Update) -> Result:
+        schema = self.cluster.catalog.schema(stmt.table)
+        plan_scan, predicate, binder = self._bind_table_predicate(
+            stmt.table, stmt.where)
+        assignments = [
+            (name, binder._bind_expr(expr, plan_scan.schema))  # noqa: SLF001
+            for name, expr in stmt.assignments
+        ]
+        session = self.cluster.session()
+        txn = session.begin(multi_shard=True)
+        count = 0
+        try:
+            order = [c.name for c in schema.columns]
+            for key, values in list(txn.scan(stmt.table)):
+                row_tuple = tuple(values.get(name) for name in order)
+                if predicate is not None and not predicate.eval(row_tuple):
+                    continue
+                new_values = {
+                    name: expr.eval(row_tuple) for name, expr in assignments
+                }
+                txn.update(stmt.table, key, new_values)
+                count += 1
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        return Result(rowcount=count)
+
+    def _delete(self, stmt: ast.Delete) -> Result:
+        schema = self.cluster.catalog.schema(stmt.table)
+        plan_scan, predicate, _ = self._bind_table_predicate(
+            stmt.table, stmt.where)
+        session = self.cluster.session()
+        txn = session.begin(multi_shard=True)
+        count = 0
+        try:
+            order = [c.name for c in schema.columns]
+            for key, values in list(txn.scan(stmt.table)):
+                row_tuple = tuple(values.get(name) for name in order)
+                if predicate is not None and not predicate.eval(row_tuple):
+                    continue
+                txn.delete(stmt.table, key)
+                count += 1
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        return Result(rowcount=count)
+
+    def _bind_table_predicate(self, table: str, where: Optional[ast.Expr]):
+        binder = self._binder()
+        scan = binder._bind_from(  # noqa: SLF001 - engine is a friend
+            ast.NamedTable(table), cte_map={})
+        predicate = None
+        if where is not None:
+            predicate = binder._bind_expr(where, scan.schema)  # noqa: SLF001
+        return scan, predicate, binder
+
+    # -- statistics ----------------------------------------------------------------
+
+    def _analyze(self, stmt: ast.Analyze) -> Result:
+        tables = [stmt.table] if stmt.table else self.cluster.catalog.tables()
+        session = self.cluster.session()
+        for table in tables:
+            schema = self.cluster.catalog.schema(table)
+            txn = session.begin(multi_shard=True)
+            rows = [values for _, values in txn.scan(schema.name)]
+            txn.commit()
+            self.stats.put(schema.name, analyze_rows(rows, schema.column_names))
+        return Result(rowcount=len(tables))
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        self._analyze(ast.Analyze(table))
+
+    # -- queries -------------------------------------------------------------------
+
+    def _planner(self, txn) -> PhysicalPlanner:
+        estimator = CardinalityEstimator(
+            self.stats,
+            feedback=self.feedback if self.learning_enabled else None,
+        )
+
+        def scan_source(table: str, scan: LogicalScan):
+            schema = self.cluster.catalog.schema(table)
+            order = [c.name for c in schema.columns]
+
+            def rows() -> Iterable[tuple]:
+                for _, values in txn.scan(schema.name):
+                    yield tuple(values.get(name) for name in order)
+
+            return rows
+
+        def table_function_rows(name: str, args: Tuple[object, ...]):
+            impl = self.table_functions[name]
+
+            def rows() -> Iterable[tuple]:
+                return impl.rows(args)
+
+            return rows
+
+        return PhysicalPlanner(estimator, scan_source, table_function_rows)
+
+    def _binder(self) -> Binder:
+        return Binder(self.cluster.catalog, self.table_functions,
+                      now_fn=self._now_fn)
+
+    def plan_select(self, stmt: ast.Select, txn) -> PhysicalOp:
+        logical = self._binder().bind_select(stmt)
+        return self._planner(txn).plan(logical)
+
+    def _run_select_plan(self, stmt: ast.Select) -> Result:
+        session = self.cluster.session()
+        txn = session.begin(multi_shard=True)
+        try:
+            logical = self._binder().bind_select(stmt)
+            physical = self.plan_select(stmt, txn)
+            rows = list(physical.execute())
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        capture = None
+        if self.learning_enabled:
+            capture = self.feedback.capture(physical)
+        self.queries_executed += 1
+        return Result(
+            columns=[c.name for c in logical.schema],
+            rows=rows,
+            rowcount=len(rows),
+            plan_text=physical.pretty(),
+            capture=capture,
+        )
+
+    def _select(self, stmt: ast.Select) -> Result:
+        return self._run_select_plan(stmt)
+
+    def _explain(self, stmt: ast.Explain) -> Result:
+        session = self.cluster.session()
+        txn = session.begin(multi_shard=True)
+        try:
+            physical = self.plan_select(stmt.query, txn)
+        finally:
+            txn.commit()
+        text = physical.pretty()
+        return Result(columns=["plan"], rows=[(line,) for line in text.split("\n")],
+                      plan_text=text)

@@ -1,0 +1,557 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def parse(sql: str) -> ast.Node:
+    """Parse one SQL statement into an AST node."""
+    return Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and the multimodel DSL)."""
+    parser = Parser(tokenize(sql))
+    expr = parser._expr()
+    parser._expect_eof()
+    return expr
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(f"{message} (near {self._cur.value!r})", self._cur.position)
+
+    def _accept_kw(self, *names: str) -> bool:
+        if self._cur.is_kw(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_kw(self, *names: str) -> Token:
+        if not self._cur.is_kw(*names):
+            raise self._error(f"expected {'/'.join(names).upper()}")
+        return self._advance()
+
+    def _accept_op(self, *symbols: str) -> bool:
+        if self._cur.is_op(*symbols):
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, symbol: str) -> Token:
+        if not self._cur.is_op(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        if self._cur.type is not TokenType.IDENT:
+            raise self._error("expected identifier")
+        return self._advance().value
+
+    def _expect_eof(self) -> None:
+        self._accept_op(";")
+        if self._cur.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Node:
+        if self._cur.is_kw("select", "with"):
+            stmt: ast.Node = self._select()
+        elif self._cur.is_kw("insert"):
+            stmt = self._insert()
+        elif self._cur.is_kw("update"):
+            stmt = self._update()
+        elif self._cur.is_kw("delete"):
+            stmt = self._delete()
+        elif self._cur.is_kw("create"):
+            stmt = self._create_table()
+        elif self._cur.is_kw("drop"):
+            stmt = self._drop_table()
+        elif self._cur.is_kw("analyze"):
+            self._advance()
+            table = self._qualified_name() if self._cur.type is TokenType.IDENT else None
+            stmt = ast.Analyze(table)
+        elif self._cur.is_kw("explain"):
+            self._advance()
+            stmt = ast.Explain(self._select())
+        else:
+            raise self._error("expected a statement")
+        self._expect_eof()
+        return stmt
+
+    def _qualified_name(self) -> str:
+        parts = [self._expect_ident()]
+        while self._accept_op("."):
+            parts.append(self._expect_ident())
+        return ".".join(parts)
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _select(self) -> ast.Select:
+        ctes: List[ast.Cte] = []
+        if self._accept_kw("with"):
+            while True:
+                name = self._expect_ident()
+                columns: Tuple[str, ...] = ()
+                if self._accept_op("("):
+                    cols = [self._expect_ident()]
+                    while self._accept_op(","):
+                        cols.append(self._expect_ident())
+                    self._expect_op(")")
+                    columns = tuple(cols)
+                self._expect_kw("as")
+                self._expect_op("(")
+                query = self._select()
+                self._expect_op(")")
+                ctes.append(ast.Cte(name, columns, query))
+                if not self._accept_op(","):
+                    break
+        body = self._select_body()
+        unions: List[Tuple[ast.Select, bool]] = []
+        while self._cur.is_kw("union"):
+            if body.order_by or body.limit is not None or unions and (
+                    unions[-1][0].order_by or unions[-1][0].limit is not None):
+                raise self._error("ORDER BY/LIMIT must follow the last "
+                                  "UNION branch")
+            self._advance()
+            keep_all = bool(self._accept_kw("all"))
+            unions.append((self._select_body(), keep_all))
+        if unions:
+            # ORDER BY / LIMIT written after the final branch bind to the
+            # whole union: lift them off the last branch.
+            last, keep_all = unions[-1]
+            order_by, limit = last.order_by, last.limit
+            if order_by or limit is not None:
+                unions[-1] = (ast.Select(
+                    items=last.items, from_clause=last.from_clause,
+                    where=last.where, group_by=last.group_by,
+                    having=last.having, distinct=last.distinct,
+                ), keep_all)
+            body = ast.Select(
+                items=body.items, from_clause=body.from_clause,
+                where=body.where, group_by=body.group_by, having=body.having,
+                order_by=order_by, limit=limit, distinct=body.distinct,
+                unions=tuple(unions),
+            )
+        if ctes:
+            body = ast.Select(
+                items=body.items, from_clause=body.from_clause, where=body.where,
+                group_by=body.group_by, having=body.having, order_by=body.order_by,
+                limit=body.limit, distinct=body.distinct, ctes=tuple(ctes),
+                unions=body.unions,
+            )
+        return body
+
+    def _select_body(self) -> ast.Select:
+        self._expect_kw("select")
+        distinct = bool(self._accept_kw("distinct"))
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+
+        from_clause: Optional[ast.TableRef] = None
+        if self._accept_kw("from"):
+            from_clause = self._table_ref()
+            while True:
+                if self._accept_op(","):
+                    right = self._table_primary()
+                    from_clause = ast.Join("cross", from_clause, right)
+                elif self._cur.is_kw("join", "inner", "left", "cross"):
+                    from_clause = self._join_suffix(from_clause)
+                else:
+                    break
+
+        where = self._expr() if self._accept_kw("where") else None
+
+        group_by: Tuple[ast.Expr, ...] = ()
+        if self._accept_kw("group"):
+            self._expect_kw("by")
+            exprs = [self._expr()]
+            while self._accept_op(","):
+                exprs.append(self._expr())
+            group_by = tuple(exprs)
+
+        having = self._expr() if self._accept_kw("having") else None
+
+        order_by: List[ast.OrderItem] = []
+        if self._accept_kw("order"):
+            self._expect_kw("by")
+            while True:
+                expr = self._expr()
+                descending = False
+                if self._accept_kw("desc"):
+                    descending = True
+                else:
+                    self._accept_kw("asc")
+                order_by.append(ast.OrderItem(expr, descending))
+                if not self._accept_op(","):
+                    break
+
+        limit: Optional[int] = None
+        if self._accept_kw("limit"):
+            if self._cur.type is not TokenType.NUMBER:
+                raise self._error("LIMIT expects a number")
+            limit = int(self._advance().value)
+
+        return ast.Select(
+            items=tuple(items), from_clause=from_clause, where=where,
+            group_by=group_by, having=having, order_by=tuple(order_by),
+            limit=limit, distinct=distinct,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self._expr()
+        alias = None
+        if self._accept_kw("as"):
+            alias = self._expect_ident()
+        elif self._cur.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _table_ref(self) -> ast.TableRef:
+        ref = self._table_primary()
+        while self._cur.is_kw("join", "inner", "left", "cross"):
+            ref = self._join_suffix(ref)
+        return ref
+
+    def _join_suffix(self, left: ast.TableRef) -> ast.TableRef:
+        kind = "inner"
+        if self._accept_kw("inner"):
+            kind = "inner"
+        elif self._accept_kw("left"):
+            self._accept_kw("outer")
+            kind = "left"
+        elif self._accept_kw("cross"):
+            kind = "cross"
+        self._expect_kw("join")
+        right = self._table_primary()
+        condition = None
+        if kind != "cross":
+            self._expect_kw("on")
+            condition = self._expr()
+        return ast.Join(kind, left, right, condition)
+
+    def _table_primary(self) -> ast.TableRef:
+        if self._accept_op("("):
+            query = self._select()
+            self._expect_op(")")
+            self._accept_kw("as")
+            alias = self._expect_ident()
+            return ast.DerivedTable(query, alias)
+        name = self._qualified_name()
+        if self._cur.is_op("("):
+            self._advance()
+            args: List[ast.Expr] = []
+            if not self._cur.is_op(")"):
+                args.append(self._expr())
+                while self._accept_op(","):
+                    args.append(self._expr())
+            self._expect_op(")")
+            alias = None
+            if self._accept_kw("as"):
+                alias = self._expect_ident()
+            elif self._cur.type is TokenType.IDENT:
+                alias = self._advance().value
+            return ast.TableFunction(name, tuple(args), alias)
+        alias = None
+        if self._accept_kw("as"):
+            alias = self._expect_ident()
+        elif self._cur.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.NamedTable(name, alias)
+
+    # -- DML ------------------------------------------------------------------
+
+    def _insert(self) -> ast.Insert:
+        self._expect_kw("insert")
+        self._expect_kw("into")
+        table = self._qualified_name()
+        columns: Tuple[str, ...] = ()
+        if self._accept_op("("):
+            cols = [self._expect_ident()]
+            while self._accept_op(","):
+                cols.append(self._expect_ident())
+            self._expect_op(")")
+            columns = tuple(cols)
+        if self._accept_kw("values"):
+            rows: List[Tuple[ast.Expr, ...]] = []
+            while True:
+                self._expect_op("(")
+                row = [self._expr()]
+                while self._accept_op(","):
+                    row.append(self._expr())
+                self._expect_op(")")
+                rows.append(tuple(row))
+                if not self._accept_op(","):
+                    break
+            return ast.Insert(table, columns, tuple(rows))
+        if self._cur.is_kw("select", "with"):
+            return ast.Insert(table, columns, (), self._select())
+        raise self._error("expected VALUES or SELECT")
+
+    def _update(self) -> ast.Update:
+        self._expect_kw("update")
+        table = self._qualified_name()
+        self._expect_kw("set")
+        assignments: List[Tuple[str, ast.Expr]] = []
+        while True:
+            col = self._expect_ident()
+            self._expect_op("=")
+            assignments.append((col, self._expr()))
+            if not self._accept_op(","):
+                break
+        where = self._expr() if self._accept_kw("where") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _delete(self) -> ast.Delete:
+        self._expect_kw("delete")
+        self._expect_kw("from")
+        table = self._qualified_name()
+        where = self._expr() if self._accept_kw("where") else None
+        return ast.Delete(table, where)
+
+    # -- DDL --------------------------------------------------------------------
+
+    def _create_table(self) -> ast.CreateTable:
+        self._expect_kw("create")
+        self._expect_kw("table")
+        name = self._qualified_name()
+        self._expect_op("(")
+        columns: List[ast.ColumnDef] = []
+        primary_key: Optional[str] = None
+        while True:
+            if self._accept_kw("primary"):
+                self._expect_kw("key")
+                self._expect_op("(")
+                primary_key = self._expect_ident()
+                self._expect_op(")")
+            else:
+                col_name = self._expect_ident()
+                type_name = self._advance().value
+                not_null = False
+                is_pk = False
+                while True:
+                    if self._accept_kw("not"):
+                        self._expect_kw("null")
+                        not_null = True
+                    elif self._accept_kw("primary"):
+                        self._expect_kw("key")
+                        is_pk = True
+                    elif self._accept_kw("null"):
+                        pass
+                    else:
+                        break
+                columns.append(ast.ColumnDef(col_name, type_name, not_null, is_pk))
+                if is_pk:
+                    primary_key = col_name
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+
+        distribute_by: Optional[str] = None
+        replicated = False
+        orientation = "row"
+        while True:
+            if self._accept_kw("distribute"):
+                self._expect_kw("by")
+                if self._accept_kw("hash"):
+                    self._expect_op("(")
+                    distribute_by = self._expect_ident()
+                    self._expect_op(")")
+                elif self._accept_kw("replication"):
+                    replicated = True
+                else:
+                    raise self._error("expected HASH(col) or REPLICATION")
+            elif self._accept_kw("with"):
+                self._expect_op("(")
+                key = self._expect_ident()
+                self._expect_op("=")
+                value = self._advance().value
+                self._expect_op(")")
+                if key == "orientation":
+                    orientation = value
+            else:
+                break
+        return ast.CreateTable(
+            name, tuple(columns), primary_key, distribute_by, replicated, orientation,
+        )
+
+    def _drop_table(self) -> ast.DropTable:
+        self._expect_kw("drop")
+        self._expect_kw("table")
+        if_exists = False
+        if self._accept_kw("if"):
+            self._expect_kw("exists")
+            if_exists = True
+        return ast.DropTable(self._qualified_name(), if_exists)
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._accept_kw("or"):
+            left = ast.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._accept_kw("and"):
+            left = ast.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._accept_kw("not"):
+            return ast.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        if self._cur.is_op("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._additive())
+        negated = False
+        if self._cur.is_kw("not"):
+            nxt = self._tokens[self._pos + 1]
+            if nxt.is_kw("in", "between", "like"):
+                self._advance()
+                negated = True
+        if self._accept_kw("in"):
+            self._expect_op("(")
+            items = [self._expr()]
+            while self._accept_op(","):
+                items.append(self._expr())
+            self._expect_op(")")
+            return ast.InList(left, tuple(items), negated)
+        if self._accept_kw("between"):
+            low = self._additive()
+            self._expect_kw("and")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if self._accept_kw("like"):
+            return _maybe_negate(ast.BinaryOp("like", left, self._additive()), negated)
+        if self._accept_kw("is"):
+            neg = bool(self._accept_kw("not"))
+            self._expect_kw("null")
+            return ast.IsNull(left, neg)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while self._cur.is_op("+", "-", "||"):
+            op = self._advance().value
+            left = ast.BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while self._cur.is_op("*", "/", "%"):
+            op = self._advance().value
+            left = ast.BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self._accept_op("-"):
+            return ast.UnaryOp("-", self._unary())
+        if self._accept_op("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._cur
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return ast.Literal(float(text) if "." in text else int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_kw("true"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_kw("false"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_kw("null"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_kw("case"):
+            return self._case_expr()
+        if token.is_op("("):
+            self._advance()
+            expr = self._expr()
+            self._expect_op(")")
+            return expr
+        if token.is_op("*"):
+            self._advance()
+            return ast.Star()
+        if token.type is TokenType.IDENT:
+            return self._name_or_call()
+        raise self._error("expected an expression")
+
+    def _case_expr(self) -> ast.Expr:
+        self._expect_kw("case")
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_kw("when"):
+            cond = self._expr()
+            self._expect_kw("then")
+            whens.append((cond, self._expr()))
+        default = self._expr() if self._accept_kw("else") else None
+        self._expect_kw("end")
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        return ast.CaseWhen(tuple(whens), default)
+
+    def _name_or_call(self) -> ast.Expr:
+        parts = [self._expect_ident()]
+        while self._cur.is_op("."):
+            nxt = self._tokens[self._pos + 1]
+            if nxt.is_op("*"):
+                self._advance()
+                self._advance()
+                return ast.Star(qualifier=".".join(parts))
+            self._advance()
+            parts.append(self._expect_ident())
+        if len(parts) == 1 and self._cur.is_op("("):
+            self._advance()
+            distinct = bool(self._accept_kw("distinct"))
+            args: List[ast.Expr] = []
+            if not self._cur.is_op(")"):
+                args.append(self._expr())
+                while self._accept_op(","):
+                    args.append(self._expr())
+            self._expect_op(")")
+            return ast.FuncCall(parts[0], tuple(args), distinct)
+        return ast.ColumnRef(tuple(parts))
+
+
+def _maybe_negate(expr: ast.Expr, negated: bool) -> ast.Expr:
+    return ast.UnaryOp("not", expr) if negated else expr

@@ -1,0 +1,225 @@
+"""MVCC row store (the per-DN heap).
+
+Tuples carry PostgreSQL-style ``xmin``/``xmax`` headers exactly like the
+visibility table in the paper's Anomaly 2 discussion:
+
+========  ======  ======  =========
+tuple     Xmin    Xmax    meaning
+========  ======  ======  =========
+tuple1    —       T1      existed before T1, deleted by T1
+tuple2    T1      T3      inserted by T1, superseded by T3
+tuple3    T3      —       inserted by T3, current
+========  ======  ======  =========
+
+A *version chain* per primary key records history newest-last.  Visibility
+of a version under a snapshot ``s``:
+
+* the inserting ``xmin`` must be visible to ``s``; and
+* the deleting ``xmax`` must be absent or *not* visible to ``s``.
+
+Updates use first-updater-wins: writing a key whose newest version was
+created or deleted by a concurrent (or snapshot-invisible committed)
+transaction raises :class:`SerializationConflict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import DuplicateKeyError, SerializationConflict, StorageError
+from repro.txn.snapshot import Snapshot
+from repro.txn.status import StatusLog, TxnStatus
+from repro.txn.xid import INVALID_XID
+
+
+@dataclass
+class TupleVersion:
+    """One version of one logical row."""
+
+    xmin: int
+    values: Dict[str, object]
+    xmax: int = INVALID_XID
+
+    def header(self) -> Tuple[int, int]:
+        return self.xmin, self.xmax
+
+
+class MvccHeap:
+    """Version-chained key/value heap with snapshot visibility."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._chains: Dict[object, List[TupleVersion]] = {}
+
+    # -- write path -------------------------------------------------------
+
+    def insert(self, key: object, values: Dict[str, object], xid: int,
+               snapshot: Snapshot, clog: StatusLog) -> None:
+        """Insert a new row; the key must not be visibly or concurrently alive."""
+        chain = self._chains.setdefault(key, [])
+        newest = chain[-1] if chain else None
+        if newest is not None:
+            if self._version_alive(newest, xid, snapshot, clog):
+                raise DuplicateKeyError(f"{self.name}: key {key!r} already exists")
+            if self._in_doubt_by_other(newest.xmin, xid, clog) and newest.xmax == INVALID_XID:
+                raise SerializationConflict(
+                    f"{self.name}: key {key!r} being inserted by concurrent txn"
+                )
+        chain.append(TupleVersion(xmin=xid, values=dict(values)))
+
+    def update(self, key: object, values: Dict[str, object], xid: int,
+               snapshot: Snapshot, clog: StatusLog) -> None:
+        """Replace the visible version of ``key`` with new values."""
+        old = self._writable_version(key, xid, snapshot, clog)
+        old.xmax = xid
+        self._chains[key].append(TupleVersion(xmin=xid, values=dict(values)))
+
+    def delete(self, key: object, xid: int, snapshot: Snapshot, clog: StatusLog) -> None:
+        old = self._writable_version(key, xid, snapshot, clog)
+        old.xmax = xid
+
+    def abort_writes(self, xid: int) -> int:
+        """Physically undo ``xid``'s insertions and xmax marks (rollback).
+
+        The simulation applies rollback eagerly instead of leaving dead
+        versions for vacuum; returns the number of versions touched.
+        Prefer :meth:`abort_key` driven by the transaction's write set —
+        this full-heap sweep exists as a fallback and for tests.
+        """
+        touched = 0
+        for key in list(self._chains):
+            touched += self.abort_key(key, xid)
+        return touched
+
+    def abort_key(self, key: object, xid: int) -> int:
+        """Undo ``xid``'s effects on one key's version chain."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return 0
+        touched = 0
+        kept = []
+        for version in chain:
+            if version.xmin == xid:
+                touched += 1
+                continue
+            if version.xmax == xid:
+                version.xmax = INVALID_XID
+                touched += 1
+            kept.append(version)
+        if kept:
+            self._chains[key] = kept
+        else:
+            del self._chains[key]
+        return touched
+
+    # -- read path ----------------------------------------------------------
+
+    def read(self, key: object, snapshot: Snapshot, clog: StatusLog,
+             own_xid: int = INVALID_XID) -> Optional[Dict[str, object]]:
+        """Return the visible values for ``key`` or None."""
+        version = self._visible_version(key, snapshot, clog, own_xid)
+        return dict(version.values) if version is not None else None
+
+    def scan(self, snapshot: Snapshot, clog: StatusLog,
+             own_xid: int = INVALID_XID) -> Iterator[Tuple[object, Dict[str, object]]]:
+        """Yield every visible (key, values) pair, in key insertion order."""
+        for key, chain in self._chains.items():
+            version = self._pick_visible(chain, snapshot, clog, own_xid)
+            if version is not None:
+                yield key, dict(version.values)
+
+    def version_chain(self, key: object) -> List[TupleVersion]:
+        """Raw version chain for ``key`` (introspection / tests)."""
+        return list(self._chains.get(key, []))
+
+    def vacuum(self, oldest_snapshot: Snapshot, clog: StatusLog) -> int:
+        """Remove versions dead to every possible present or future snapshot."""
+        removed = 0
+        for key in list(self._chains):
+            chain = self._chains[key]
+            kept = []
+            for version in chain:
+                dead = (
+                    version.xmax != INVALID_XID
+                    and not oldest_snapshot.sees_as_running(version.xmax)
+                    and clog.knows(version.xmax)
+                    and clog.is_committed(version.xmax)
+                )
+                aborted_insert = (
+                    clog.knows(version.xmin) and clog.is_aborted(version.xmin)
+                )
+                if dead or aborted_insert:
+                    removed += 1
+                else:
+                    kept.append(version)
+            if kept:
+                self._chains[key] = kept
+            else:
+                del self._chains[key]
+        return removed
+
+    def __len__(self) -> int:
+        """Number of keys with at least one version (any visibility)."""
+        return len(self._chains)
+
+    # -- internals -----------------------------------------------------------
+
+    def _visible_version(self, key: object, snapshot: Snapshot, clog: StatusLog,
+                         own_xid: int) -> Optional[TupleVersion]:
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        return self._pick_visible(chain, snapshot, clog, own_xid)
+
+    @staticmethod
+    def _pick_visible(chain: List[TupleVersion], snapshot: Snapshot,
+                      clog: StatusLog, own_xid: int) -> Optional[TupleVersion]:
+        # Newest-first: at most one version of a key is visible per snapshot.
+        for version in reversed(chain):
+            if not snapshot.xid_visible(version.xmin, clog, own_xid):
+                continue
+            if version.xmax != INVALID_XID and snapshot.xid_visible(version.xmax, clog, own_xid):
+                continue
+            return version
+        return None
+
+    def _writable_version(self, key: object, xid: int, snapshot: Snapshot,
+                          clog: StatusLog) -> TupleVersion:
+        chain = self._chains.get(key)
+        if not chain:
+            raise StorageError(f"{self.name}: key {key!r} does not exist")
+        newest = chain[-1]
+        visible = self._pick_visible(chain, snapshot, clog, xid)
+        if visible is None:
+            raise StorageError(f"{self.name}: key {key!r} not visible to txn {xid}")
+        if visible is not newest or self._modified_by_other(newest, xid, snapshot, clog):
+            # First-updater-wins under snapshot isolation.
+            raise SerializationConflict(
+                f"{self.name}: concurrent update of key {key!r} (txn {xid})"
+            )
+        return visible
+
+    def _modified_by_other(self, newest: TupleVersion, xid: int,
+                           snapshot: Snapshot, clog: StatusLog) -> bool:
+        if newest.xmax != INVALID_XID and newest.xmax != xid:
+            blocker = newest.xmax
+            if clog.knows(blocker) and clog.is_aborted(blocker):
+                return False
+            return True
+        if newest.xmin != xid and not snapshot.xid_visible(newest.xmin, clog, xid):
+            # The newest version itself came from a transaction we can't see.
+            return not (clog.knows(newest.xmin) and clog.is_aborted(newest.xmin))
+        return False
+
+    def _version_alive(self, version: TupleVersion, xid: int,
+                       snapshot: Snapshot, clog: StatusLog) -> bool:
+        if not snapshot.xid_visible(version.xmin, clog, xid):
+            return False
+        if version.xmax == INVALID_XID:
+            return True
+        return not snapshot.xid_visible(version.xmax, clog, xid)
+
+    @staticmethod
+    def _in_doubt_by_other(xid: int, me: int, clog: StatusLog) -> bool:
+        return xid != me and clog.knows(xid) and clog.is_in_doubt(xid)

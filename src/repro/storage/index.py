@@ -1,0 +1,113 @@
+"""Secondary indexes for the row store.
+
+Two index kinds, mirroring what a PostgreSQL-derived engine offers:
+
+* :class:`HashIndex` — equality lookups, O(1).
+* :class:`OrderedIndex` — a sorted-array "B-tree" supporting range scans
+  (bisect-based; adequate for a single-process simulation).
+
+Indexes map a column value to the set of primary keys whose *newest* version
+carries that value.  MVCC visibility is still decided by the heap on the keys
+an index returns, so an index can safely over-approximate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.common.errors import StorageError
+
+
+class HashIndex:
+    """Equality index: value -> set of primary keys."""
+
+    def __init__(self, table: str, column: str):
+        self.table = table
+        self.column = column
+        self._buckets: Dict[object, Set[object]] = {}
+
+    def add(self, value: object, key: object) -> None:
+        self._buckets.setdefault(value, set()).add(key)
+
+    def remove(self, value: object, key: object) -> None:
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: object) -> Set[object]:
+        return set(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class OrderedIndex:
+    """Sorted index: supports equality and range lookups over one column."""
+
+    def __init__(self, table: str, column: str):
+        self.table = table
+        self.column = column
+        self._values: List[object] = []      # sorted, with duplicates
+        self._keys: List[object] = []        # parallel to _values
+
+    def add(self, value: object, key: object) -> None:
+        if value is None:
+            return  # NULLs are not indexed
+        pos = bisect.bisect_right(self._values, value)
+        self._values.insert(pos, value)
+        self._keys.insert(pos, key)
+
+    def remove(self, value: object, key: object) -> None:
+        if value is None:
+            return
+        lo = bisect.bisect_left(self._values, value)
+        hi = bisect.bisect_right(self._values, value)
+        for i in range(lo, hi):
+            if self._keys[i] == key:
+                del self._values[i]
+                del self._keys[i]
+                return
+
+    def lookup(self, value: object) -> Set[object]:
+        lo = bisect.bisect_left(self._values, value)
+        hi = bisect.bisect_right(self._values, value)
+        return set(self._keys[lo:hi])
+
+    def range(self, low: Optional[object] = None, high: Optional[object] = None,
+              include_low: bool = True, include_high: bool = True) -> Iterator[object]:
+        """Yield primary keys whose indexed value falls in [low, high]."""
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect.bisect_left(self._values, low)
+        else:
+            lo = bisect.bisect_right(self._values, low)
+        if high is None:
+            hi = len(self._values)
+        elif include_high:
+            hi = bisect.bisect_right(self._values, high)
+        else:
+            hi = bisect.bisect_left(self._values, high)
+        for i in range(lo, hi):
+            yield self._keys[i]
+
+    def min_value(self) -> Optional[object]:
+        return self._values[0] if self._values else None
+
+    def max_value(self) -> Optional[object]:
+        return self._values[-1] if self._values else None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def make_index(kind: str, table: str, column: str):
+    """Index factory: ``kind`` is 'hash' or 'btree'."""
+    if kind == "hash":
+        return HashIndex(table, column)
+    if kind == "btree":
+        return OrderedIndex(table, column)
+    raise StorageError(f"unknown index kind {kind!r}")

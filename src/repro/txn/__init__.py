@@ -1,0 +1,13 @@
+"""Transaction substrate: XIDs, snapshots, status logs, local managers."""
+
+from repro.txn.manager import LcoEntry, LocalTransactionManager
+from repro.txn.snapshot import MergedSnapshot, Snapshot
+from repro.txn.status import StatusLog, TxnStatus
+from repro.txn.writeset import WriteSet
+from repro.txn.xid import FIRST_XID, INVALID_XID, XidAllocator
+
+__all__ = [
+    "XidAllocator", "INVALID_XID", "FIRST_XID",
+    "Snapshot", "MergedSnapshot", "StatusLog", "TxnStatus",
+    "LocalTransactionManager", "LcoEntry", "WriteSet",
+]

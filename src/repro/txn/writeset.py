@@ -1,0 +1,47 @@
+"""Write-set tracking.
+
+The DOWNGRADE step of Algorithm 1 must honor *data dependencies*: when T3
+overwrote data last written by a globally invisible T1, a merged snapshot
+that hides T1 must also hide T3 (the paper's Anomaly 2 table).  To decide
+"depends on", every transaction records the logical items it wrote as
+``(table, key)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+WriteItem = Tuple[str, object]
+
+
+class WriteSet:
+    """The set of (table, primary-key) items one transaction wrote."""
+
+    def __init__(self, items: Iterable[WriteItem] = ()):
+        self._items: Set[WriteItem] = set(items)
+
+    def add(self, table: str, key: object) -> None:
+        self._items.add((table, key))
+
+    def merge(self, other: "WriteSet") -> None:
+        self._items |= other._items
+
+    def intersects(self, other: "WriteSet") -> bool:
+        if len(self._items) > len(other._items):
+            return other.intersects(self)
+        return any(item in other._items for item in self._items)
+
+    def frozen(self) -> FrozenSet[WriteItem]:
+        return frozenset(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: WriteItem) -> bool:
+        return item in self._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteSet({sorted(map(repr, self._items))})"

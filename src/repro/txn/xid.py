@@ -1,0 +1,44 @@
+"""Transaction identifiers.
+
+The MPP simulation uses two XID spaces, exactly as the paper describes:
+
+* **Local XIDs** — each data node (DN) assigns its own ascending 64-bit
+  transaction ids to everything it executes, single-shard or multi-shard.
+* **Global XIDs (GXIDs)** — the Global Transaction Manager assigns ascending
+  ids to distributed (multi-shard) transactions only under GTM-lite, or to
+  *all* transactions under the classical-GTM baseline.
+
+A multi-shard transaction therefore has one GXID plus one local XID per data
+node it touched; the per-DN ``xidMap`` (GXID -> local XID) used by
+Algorithm 1 is maintained by :class:`repro.txn.manager.LocalTransactionManager`.
+"""
+
+from __future__ import annotations
+
+INVALID_XID = 0
+"""Sentinel for "no transaction" (e.g. an un-deleted tuple's xmax)."""
+
+FIRST_XID = 3
+"""First assignable XID; ids below it are reserved (mirrors PostgreSQL)."""
+
+
+class XidAllocator:
+    """Monotonically ascending XID source."""
+
+    def __init__(self, start: int = FIRST_XID):
+        if start < FIRST_XID:
+            raise ValueError(f"start must be >= {FIRST_XID}")
+        self._next = start
+
+    @property
+    def next_xid(self) -> int:
+        """The id the *next* allocation will return (PostgreSQL's xmax)."""
+        return self._next
+
+    def allocate(self) -> int:
+        xid = self._next
+        self._next += 1
+        return xid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"XidAllocator(next={self._next})"

@@ -1,0 +1,11 @@
+"""Workload generators and simulation drivers."""
+
+from repro.workloads.driver import SimResult, run_oltp
+from repro.workloads.interleaved import InterleavedRun, Phase, TxnScript
+from repro.workloads.mme import MME_VERSIONS, MmeSessionGenerator, mme_schema
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc, tpcc_schemas
+
+__all__ = ["TpccLiteWorkload", "load_tpcc", "tpcc_schemas",
+           "InterleavedRun", "TxnScript", "Phase",
+           "run_oltp", "SimResult",
+           "MmeSessionGenerator", "mme_schema", "MME_VERSIONS"]

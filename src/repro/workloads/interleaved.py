@@ -1,0 +1,177 @@
+"""Operation-granular interleaved transaction execution.
+
+The OLTP driver replays whole transactions; this executor instead advances
+a population of transactions *one operation at a time* in any caller-chosen
+order — including through the middle of their two-phase commits.  It exists
+to expose every interleaving the paper's protocol must survive (and powers
+the property tests that hammer GTM-lite with random schedules plus a crash
+at the end).
+
+A transaction script is a list of blind writes (key, value) plus its commit
+style; the executor tracks, per key, the order of *successful* heap writes
+and which transactions ultimately committed, yielding an exact oracle for
+the final visible state under first-updater-wins snapshot isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.mpp import MppCluster
+from repro.cluster.recovery import resolve_in_doubt
+from repro.common.errors import SerializationConflict, TransactionError
+
+
+class Phase(enum.Enum):
+    RUNNING = "running"
+    PREPARED = "prepared"
+    GTM_COMMITTED = "gtm_committed"
+    DONE = "done"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TxnScript:
+    """Blind writes to apply, in order."""
+
+    writes: List[Tuple[int, int]]          # (key, value)
+    multi_shard: bool = True
+    table: str = "t"
+
+
+@dataclass
+class _Live:
+    script: TxnScript
+    txn: object = None
+    steps_done: int = 0
+    phase: Phase = Phase.RUNNING
+    commit_steps: object = None
+    confirms_left: List[int] = field(default_factory=list)
+    successful_writes: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class InterleavedRun:
+    """Drives a set of scripts through a cluster, one step per call."""
+
+    def __init__(self, cluster: MppCluster, scripts: Sequence[TxnScript]):
+        self.cluster = cluster
+        self.session = cluster.session()
+        self.live = [_Live(script) for script in scripts]
+        #: Per-key append log of successful heap writes: (txn index, value).
+        self.write_log: Dict[int, List[Tuple[int, int]]] = {}
+
+    # -- stepping -----------------------------------------------------------
+
+    def is_finished(self, index: int) -> bool:
+        return self.live[index].phase in (Phase.DONE, Phase.ABORTED)
+
+    @property
+    def all_finished(self) -> bool:
+        return all(self.is_finished(i) for i in range(len(self.live)))
+
+    def step(self, index: int) -> Phase:
+        """Advance transaction ``index`` by one operation."""
+        state = self.live[index]
+        if state.phase in (Phase.DONE, Phase.ABORTED):
+            return state.phase
+        try:
+            self._advance(index, state)
+        except SerializationConflict:
+            self._abort(index, state)
+        return state.phase
+
+    def _advance(self, index: int, state: _Live) -> None:
+        script = state.script
+        if state.phase is Phase.RUNNING:
+            if state.txn is None:
+                state.txn = self.session.begin(multi_shard=script.multi_shard)
+            if state.steps_done < len(script.writes):
+                key, value = script.writes[state.steps_done]
+                state.txn.update(script.table, key, {"v": value})
+                self.write_log.setdefault(key, []).append((index, value))
+                state.successful_writes.append((key, value))
+                state.steps_done += 1
+                return
+            # All writes done: begin commit.
+            if script.multi_shard:
+                state.commit_steps = state.txn.commit_stepwise()
+                state.commit_steps.prepare_all()
+                state.phase = Phase.PREPARED
+            else:
+                state.txn.commit()
+                state.phase = Phase.DONE
+            return
+        if state.phase is Phase.PREPARED:
+            state.commit_steps.commit_at_gtm()
+            state.confirms_left = list(state.commit_steps.pending_nodes)
+            state.phase = Phase.GTM_COMMITTED
+            return
+        if state.phase is Phase.GTM_COMMITTED:
+            if state.confirms_left:
+                state.commit_steps.confirm_at(state.confirms_left.pop(0))
+            if not state.confirms_left:
+                state.commit_steps.finish()
+                state.phase = Phase.DONE
+
+    def _abort(self, index: int, state: _Live) -> None:
+        if state.txn is not None:
+            try:
+                state.txn.abort()
+            except TransactionError:
+                pass
+        # Conflicted writes never reached the heap; earlier successful ones
+        # are rolled back by the abort.
+        state.phase = Phase.ABORTED
+
+    def run_schedule(self, schedule: Sequence[int]) -> None:
+        """Apply a schedule; finished transactions' slots are skipped."""
+        for index in schedule:
+            if 0 <= index < len(self.live):
+                self.step(index)
+
+    # -- crash + recovery ---------------------------------------------------------
+
+    def crash_and_recover(self) -> None:
+        """Coordinator failure: abandon running txns, resolve in-doubt ones.
+
+        Transactions past their GTM commit roll forward; prepared-only ones
+        are presumed aborted; running ones abort like a dropped connection.
+        """
+        for index, state in enumerate(self.live):
+            if state.phase is Phase.RUNNING:
+                self._abort(index, state)
+        resolve_in_doubt(self.cluster)
+        for state in self.live:
+            if state.phase is Phase.PREPARED:
+                state.phase = Phase.ABORTED
+            elif state.phase is Phase.GTM_COMMITTED:
+                state.phase = Phase.DONE
+
+    # -- the oracle ------------------------------------------------------------------
+
+    def committed(self, index: int) -> bool:
+        """Did transaction ``index`` (survive to) commit?
+
+        A multi-shard transaction is committed once its GXID committed at
+        the GTM (recovery rolls it forward); single-shard once its local
+        commit ran.
+        """
+        return self.live[index].phase is Phase.DONE
+
+    def expected_final_state(self, initial: Dict[int, int]) -> Dict[int, int]:
+        """Last successful write per key among committed transactions."""
+        state = dict(initial)
+        for key, entries in self.write_log.items():
+            for index, value in entries:
+                if self.committed(index):
+                    state[key] = value
+        return state
+
+    def actual_final_state(self, keys: Sequence[int],
+                           table: str = "t") -> Dict[int, int]:
+        reader = self.cluster.session().begin(multi_shard=True)
+        state = {k: reader.read(table, k)["v"] for k in keys}
+        reader.commit()
+        return state

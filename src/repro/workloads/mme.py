@@ -1,0 +1,137 @@
+"""Synthetic MME session data (Sec. III-B).
+
+The paper's GMDB evaluation uses "real MME data": Mobility Management
+Entity session objects of 5–10 KB, stored as tree-modeled JSON, with the
+schema version chain V3 -> V5 -> V6 -> V7 -> V8 of Fig. 8 (each upgrade
+"requires more fields to be added in the session data").
+
+This module synthesizes the equivalent: a session record schema whose
+successive versions append fields (top-level and nested), and a generator
+producing sessions in the paper's size range.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.common.rng import make_rng, random_string
+from repro.gmdb.delta import object_wire_size
+from repro.gmdb.schema import FieldDef, FieldType, RecordSchema
+
+#: The MME version chain of Fig. 8.
+MME_VERSIONS: Tuple[int, ...] = (3, 5, 6, 7, 8)
+
+
+def _bearer_schema(extra: int) -> RecordSchema:
+    """The nested EPS-bearer record; ``extra`` appended fields per version."""
+    fields = [
+        FieldDef("bearer_id", FieldType.INT),
+        FieldDef("qci", FieldType.INT),
+        FieldDef("apn", FieldType.STRING),
+        FieldDef("gtp_teid", FieldType.INT),
+        FieldDef("bitrate_dl", FieldType.INT),
+        FieldDef("bitrate_ul", FieldType.INT),
+    ]
+    for i in range(extra):
+        fields.append(FieldDef(f"bearer_ext_{i}", FieldType.STRING))
+    return RecordSchema("bearer", tuple(fields))
+
+
+def mme_schema(version: int) -> RecordSchema:
+    """The session schema at one of the Fig. 8 versions."""
+    if version not in MME_VERSIONS:
+        raise ValueError(f"version must be one of {MME_VERSIONS}")
+    level = MME_VERSIONS.index(version)    # 0..4
+    fields: List[FieldDef] = [
+        FieldDef("imsi", FieldType.STRING),
+        FieldDef("guti", FieldType.STRING),
+        FieldDef("state", FieldType.STRING, default="REGISTERED"),
+        FieldDef("tracking_area", FieldType.INT),
+        FieldDef("enb_id", FieldType.INT),
+        FieldDef("auth_vector", FieldType.STRING),
+        FieldDef("last_seen_us", FieldType.INT),
+        FieldDef("bearers", FieldType.RECORD_ARRAY, record=_bearer_schema(level)),
+        FieldDef("history", FieldType.RECORD_ARRAY, record=RecordSchema(
+            "event", (FieldDef("t_us", FieldType.INT),
+                      FieldDef("kind", FieldType.STRING),
+                      FieldDef("detail", FieldType.STRING)))),
+    ]
+    # Each version upgrade appends top-level feature fields, mirroring
+    # "upgrading of MME from V3 to V5 to support a new feature requires
+    # more fields to be added in the session data".
+    feature_fields = {
+        5: [FieldDef("volte_enabled", FieldType.BOOL),
+            FieldDef("volte_profile", FieldType.STRING)],
+        6: [FieldDef("nb_iot_mode", FieldType.BOOL),
+            FieldDef("edrx_cycle", FieldType.INT)],
+        7: [FieldDef("slice_id", FieldType.INT),
+            FieldDef("slice_policy", FieldType.STRING)],
+        8: [FieldDef("n26_interface", FieldType.BOOL),
+            FieldDef("fallback_target", FieldType.STRING)],
+    }
+    for v in MME_VERSIONS[1:level + 1]:
+        fields.extend(feature_fields[v])
+    return RecordSchema("mme_session", tuple(fields), primary_key="imsi")
+
+
+class MmeSessionGenerator:
+    """Produces synthetic session objects at a given schema version."""
+
+    def __init__(self, version: int, seed: int = 99,
+                 target_bytes: Tuple[int, int] = (5_000, 10_000)):
+        self.version = version
+        self.schema = mme_schema(version)
+        self._rng = make_rng(seed)
+        self.target_bytes = target_bytes
+
+    def imsi(self, index: int) -> str:
+        return f"4600001{index:08d}"
+
+    def session(self, index: int) -> Dict[str, object]:
+        rng = self._rng
+        obj = self.schema.new_object(
+            imsi=self.imsi(index),
+            guti=random_string(rng, 16),
+            state=rng.choice(["REGISTERED", "IDLE", "CONNECTED"]),
+            tracking_area=rng.randint(1, 5000),
+            enb_id=rng.randint(1, 100000),
+            auth_vector=random_string(rng, 64),
+            last_seen_us=rng.randint(0, 10**12),
+        )
+        level = MME_VERSIONS.index(self.version)
+        bearer_schema = _bearer_schema(level)
+        for b in range(rng.randint(2, 4)):
+            obj["bearers"].append(bearer_schema.new_object(
+                bearer_id=b + 5,
+                qci=rng.choice([1, 5, 8, 9]),
+                apn=rng.choice(["internet", "ims", "mms"]),
+                gtp_teid=rng.randint(1, 2**31),
+                bitrate_dl=rng.choice([10, 50, 100, 300]) * 10**6,
+                bitrate_ul=rng.choice([5, 25, 50, 100]) * 10**6,
+            ))
+        # Pad with history events until the object lands in the 5-10 KB band.
+        lo, hi = self.target_bytes
+        target = rng.randint(lo, hi)
+        while object_wire_size(obj) < target:
+            obj["history"].append({
+                "t_us": rng.randint(0, 10**12),
+                "kind": rng.choice(["ATTACH", "TAU", "HANDOVER", "PAGING",
+                                    "SERVICE_REQ", "DETACH"]),
+                "detail": random_string(rng, 96),
+            })
+        self.schema.validate(obj)
+        return obj
+
+    def sessions(self, count: int) -> List[Dict[str, object]]:
+        return [self.session(i) for i in range(count)]
+
+
+def touch_session(obj: Dict[str, object], rng: random.Random) -> None:
+    """A typical small session update (mutates in place; used with
+    :meth:`GmdbClient.update` to produce realistic deltas)."""
+    obj["last_seen_us"] = int(obj["last_seen_us"]) + rng.randint(1, 10**6)
+    obj["state"] = rng.choice(["REGISTERED", "IDLE", "CONNECTED"])
+    if obj["bearers"]:
+        bearer = obj["bearers"][rng.randrange(len(obj["bearers"]))]
+        bearer["bitrate_dl"] = rng.choice([10, 50, 100, 300]) * 10**6

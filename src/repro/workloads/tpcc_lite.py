@@ -1,0 +1,275 @@
+"""TPC-C-lite: the modified TPC-C workload of the paper's Figure 3.
+
+The paper "modified the TPC-C benchmark to issue 100% single-shard (SS) or
+90% single-shard transactions (MS)".  The only workload property that
+experiment depends on is the fraction of transactions that cross shards, so
+this module provides a faithful-in-shape TPC-C subset:
+
+* warehouse-sharded schema (warehouse, district, customer, stock,
+  orders, order_line; item is replicated),
+* NewOrder and Payment transaction profiles,
+* a ``multi_shard_fraction`` knob: that fraction of transactions touch a
+  *remote* warehouse (NewOrder with remote stock / Payment with a remote
+  customer), the rest stay on the home warehouse's shard.
+
+Primary keys are composite-encoded integers; every table carries a
+``key_router`` so point operations route to the warehouse's shard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.cluster.mpp import MppCluster, Session
+from repro.common.rng import make_rng
+from repro.storage.table import Column, Distribution, TableSchema
+from repro.storage.types import DataType
+
+# Encoding strides for composite keys.
+_DISTRICTS_PER_WAREHOUSE = 10
+_CUSTOMERS_PER_DISTRICT = 30
+_ITEMS = 100
+_STOCK_STRIDE = 1_000_000
+_ORDER_STRIDE = 10_000_000
+
+
+def district_key(w_id: int, d_id: int) -> int:
+    return w_id * _DISTRICTS_PER_WAREHOUSE + d_id
+
+
+def customer_key(w_id: int, d_id: int, c_id: int) -> int:
+    return (w_id * _DISTRICTS_PER_WAREHOUSE + d_id) * _CUSTOMERS_PER_DISTRICT + c_id
+
+
+def stock_key(w_id: int, i_id: int) -> int:
+    return w_id * _STOCK_STRIDE + i_id
+
+
+def order_key(w_id: int, o_seq: int) -> int:
+    return w_id * _ORDER_STRIDE + o_seq
+
+
+def tpcc_schemas() -> List[TableSchema]:
+    """The TPC-C-lite table set, warehouse-sharded."""
+
+    def cols(*pairs) -> List[Column]:
+        return [Column(name, data_type) for name, data_type in pairs]
+
+    return [
+        TableSchema(
+            "warehouse",
+            cols(("w_id", DataType.INT), ("w_ytd", DataType.DOUBLE),
+                 ("w_name", DataType.TEXT)),
+            primary_key="w_id",
+        ),
+        TableSchema(
+            "district",
+            cols(("d_key", DataType.INT), ("w_id", DataType.INT),
+                 ("d_id", DataType.INT), ("d_ytd", DataType.DOUBLE),
+                 ("d_next_o_id", DataType.INT)),
+            primary_key="d_key",
+            distribution_column="w_id",
+            key_router=lambda k: k // _DISTRICTS_PER_WAREHOUSE,
+        ),
+        TableSchema(
+            "customer",
+            cols(("c_key", DataType.INT), ("w_id", DataType.INT),
+                 ("d_id", DataType.INT), ("c_id", DataType.INT),
+                 ("c_balance", DataType.DOUBLE), ("c_ytd_payment", DataType.DOUBLE),
+                 ("c_name", DataType.TEXT)),
+            primary_key="c_key",
+            distribution_column="w_id",
+            key_router=lambda k: k // (_DISTRICTS_PER_WAREHOUSE * _CUSTOMERS_PER_DISTRICT),
+        ),
+        TableSchema(
+            "stock",
+            cols(("s_key", DataType.INT), ("w_id", DataType.INT),
+                 ("i_id", DataType.INT), ("s_quantity", DataType.INT),
+                 ("s_ytd", DataType.INT)),
+            primary_key="s_key",
+            distribution_column="w_id",
+            key_router=lambda k: k // _STOCK_STRIDE,
+        ),
+        TableSchema(
+            "orders",
+            cols(("o_key", DataType.INT), ("w_id", DataType.INT),
+                 ("d_id", DataType.INT), ("c_id", DataType.INT),
+                 ("o_ol_cnt", DataType.INT), ("o_entry_ts", DataType.TIMESTAMP)),
+            primary_key="o_key",
+            distribution_column="w_id",
+            key_router=lambda k: k // _ORDER_STRIDE,
+        ),
+        TableSchema(
+            "order_line",
+            cols(("ol_key", DataType.INT), ("w_id", DataType.INT),
+                 ("o_key", DataType.INT), ("ol_number", DataType.INT),
+                 ("i_id", DataType.INT), ("ol_quantity", DataType.INT),
+                 ("ol_amount", DataType.DOUBLE)),
+            primary_key="ol_key",
+            distribution_column="w_id",
+            key_router=lambda k: k // (_ORDER_STRIDE * 100),
+        ),
+        TableSchema(
+            "item",
+            cols(("i_id", DataType.INT), ("i_name", DataType.TEXT),
+                 ("i_price", DataType.DOUBLE)),
+            primary_key="i_id",
+            distribution=Distribution.REPLICATION,
+        ),
+    ]
+
+
+def load_tpcc(cluster: MppCluster, num_warehouses: int, seed: int = 7) -> None:
+    """Populate the schema; runs outside cost tracking (bulk load)."""
+    rng = make_rng(seed)
+    for schema in tpcc_schemas():
+        cluster.create_table(schema)
+    session = cluster.session(track_costs=False)
+
+    txn = session.begin(multi_shard=True)
+    for i_id in range(_ITEMS):
+        txn.insert("item", {"i_id": i_id, "i_name": f"item-{i_id}",
+                            "i_price": round(rng.uniform(1.0, 100.0), 2)})
+    txn.commit()
+
+    for w_id in range(num_warehouses):
+        txn = session.begin(multi_shard=True)
+        txn.insert("warehouse", {"w_id": w_id, "w_ytd": 0.0, "w_name": f"wh-{w_id}"})
+        for d_id in range(_DISTRICTS_PER_WAREHOUSE):
+            txn.insert("district", {
+                "d_key": district_key(w_id, d_id), "w_id": w_id, "d_id": d_id,
+                "d_ytd": 0.0, "d_next_o_id": 1,
+            })
+            for c_id in range(_CUSTOMERS_PER_DISTRICT):
+                txn.insert("customer", {
+                    "c_key": customer_key(w_id, d_id, c_id), "w_id": w_id,
+                    "d_id": d_id, "c_id": c_id, "c_balance": 0.0,
+                    "c_ytd_payment": 0.0, "c_name": f"cust-{w_id}-{d_id}-{c_id}",
+                })
+        for i_id in range(_ITEMS):
+            txn.insert("stock", {
+                "s_key": stock_key(w_id, i_id), "w_id": w_id, "i_id": i_id,
+                "s_quantity": 1000, "s_ytd": 0,
+            })
+        txn.commit()
+
+
+@dataclass
+class TxnSpec:
+    """One generated transaction: its body plus routing metadata."""
+
+    kind: str
+    multi_shard: bool
+    body: Callable[[object], None]
+    home_warehouse: int
+
+
+class TpccLiteWorkload:
+    """Generates NewOrder/Payment transaction specs.
+
+    ``multi_shard_fraction`` is the paper's knob: 0.0 reproduces the "SS"
+    series of Figure 3, 0.1 the "MS" (90% single-shard) series.
+    """
+
+    def __init__(self, num_warehouses: int, multi_shard_fraction: float = 0.0,
+                 seed: int = 42, items_per_order: int = 5,
+                 payment_weight: float = 0.5):
+        if not (0.0 <= multi_shard_fraction <= 1.0):
+            raise ValueError("multi_shard_fraction must be in [0, 1]")
+        if num_warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        if multi_shard_fraction > 0 and num_warehouses < 2:
+            raise ValueError("multi-shard transactions need >= 2 warehouses")
+        self.num_warehouses = num_warehouses
+        self.multi_shard_fraction = multi_shard_fraction
+        self.items_per_order = items_per_order
+        self.payment_weight = payment_weight
+        self._seed = seed
+        self._order_seq: List[int] = [0] * num_warehouses
+
+    def stream(self, home_warehouse: Optional[int] = None,
+               seed_offset: int = 0) -> Iterator[TxnSpec]:
+        """Infinite stream of transaction specs for one client terminal."""
+        rng = make_rng(self._seed + 1_000_003 * seed_offset)
+        while True:
+            w_id = (home_warehouse if home_warehouse is not None
+                    else rng.randrange(self.num_warehouses))
+            remote = rng.random() < self.multi_shard_fraction
+            if rng.random() < self.payment_weight:
+                yield self._payment(rng, w_id, remote)
+            else:
+                yield self._new_order(rng, w_id, remote)
+
+    # -- transaction profiles ------------------------------------------------
+
+    def _payment(self, rng: random.Random, w_id: int, remote: bool) -> TxnSpec:
+        d_id = rng.randrange(_DISTRICTS_PER_WAREHOUSE)
+        amount = round(rng.uniform(1.0, 500.0), 2)
+        if remote:
+            c_w = rng.randrange(self.num_warehouses - 1)
+            if c_w >= w_id:
+                c_w += 1
+        else:
+            c_w = w_id
+        c_id = rng.randrange(_CUSTOMERS_PER_DISTRICT)
+        c_key = customer_key(c_w, d_id, c_id)
+
+        def body(txn) -> None:
+            wh = txn.read("warehouse", w_id)
+            txn.update("warehouse", w_id, {"w_ytd": wh["w_ytd"] + amount})
+            d_key = district_key(w_id, d_id)
+            dist = txn.read("district", d_key)
+            txn.update("district", d_key, {"d_ytd": dist["d_ytd"] + amount})
+            cust = txn.read("customer", c_key)
+            txn.update("customer", c_key, {
+                "c_balance": cust["c_balance"] - amount,
+                "c_ytd_payment": cust["c_ytd_payment"] + amount,
+            })
+
+        return TxnSpec("payment", remote, body, w_id)
+
+    def _new_order(self, rng: random.Random, w_id: int, remote: bool) -> TxnSpec:
+        d_id = rng.randrange(_DISTRICTS_PER_WAREHOUSE)
+        c_id = rng.randrange(_CUSTOMERS_PER_DISTRICT)
+        lines = []
+        for n in range(self.items_per_order):
+            i_id = rng.randrange(_ITEMS)
+            supply_w = w_id
+            if remote and n == 0:
+                supply_w = rng.randrange(self.num_warehouses - 1)
+                if supply_w >= w_id:
+                    supply_w += 1
+            lines.append((i_id, supply_w, rng.randint(1, 10)))
+        self._order_seq[w_id] += 1
+        o_seq = self._order_seq[w_id] * 1000 + rng.randrange(1000)
+        o_key = order_key(w_id, o_seq)
+        entry_ts = o_seq
+
+        def body(txn) -> None:
+            d_key = district_key(w_id, d_id)
+            dist = txn.read("district", d_key)
+            txn.update("district", d_key, {"d_next_o_id": dist["d_next_o_id"] + 1})
+            txn.read("customer", customer_key(w_id, d_id, c_id))
+            txn.insert("orders", {
+                "o_key": o_key, "w_id": w_id, "d_id": d_id, "c_id": c_id,
+                "o_ol_cnt": len(lines), "o_entry_ts": entry_ts,
+            })
+            for number, (i_id, supply_w, qty) in enumerate(lines):
+                item = txn.read("item", i_id)
+                s_key = stock_key(supply_w, i_id)
+                stock = txn.read("stock", s_key)
+                quantity = stock["s_quantity"] - qty
+                if quantity < 10:
+                    quantity += 91
+                txn.update("stock", s_key, {
+                    "s_quantity": quantity, "s_ytd": stock["s_ytd"] + qty,
+                })
+                txn.insert("order_line", {
+                    "ol_key": o_key * 100 + number, "w_id": w_id,
+                    "o_key": o_key, "ol_number": number, "i_id": i_id,
+                    "ol_quantity": qty, "ol_amount": round(item["i_price"] * qty, 2),
+                })
+
+        return TxnSpec("new_order", remote, body, w_id)

@@ -1,0 +1,242 @@
+"""Tests for the autonomous-database components (Fig. 12)."""
+
+import pytest
+
+from repro.autonomous.anomaly import (
+    AnomalyManager,
+    EwmaDetector,
+    HeartbeatDetector,
+    Severity,
+    ThresholdDetector,
+)
+from repro.autonomous.adbms import AutonomousManager
+from repro.autonomous.change import ChangeManager, KnobDef
+from repro.autonomous.infostore import InformationStore
+from repro.autonomous.ml import KnnRegressor, KnobTuner, LinearRegression
+from repro.autonomous.workload import Priority, Sla, WorkloadManager
+from repro.cluster import MppCluster
+from repro.common.errors import ConfigError, SlaViolation
+
+
+class TestInformationStore:
+    def test_record_and_summary(self):
+        store = InformationStore()
+        for i in range(100):
+            store.record("lat", i, float(i))
+        summary = store.summary("lat")
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(49.5)
+        assert summary.p95 == pytest.approx(94.05)
+        assert summary.minimum == 0 and summary.maximum == 99
+
+    def test_window_and_rate(self):
+        store = InformationStore()
+        for i in range(10):
+            store.record("done", i * 100_000, 1.0)
+        assert len(store.window("done", 0, 500_000)) == 6
+        assert store.rate_per_second("done", 1_000_000, 900_000) == pytest.approx(10.0)
+
+    def test_bounded_history(self):
+        store = InformationStore(max_samples_per_metric=5)
+        for i in range(20):
+            store.record("m", i, float(i))
+        assert store.values("m") == [15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_missing_metric(self):
+        store = InformationStore()
+        assert store.latest("zz") is None
+        assert store.summary("zz") is None
+
+
+class TestDetectors:
+    def test_threshold(self):
+        store = InformationStore()
+        manager = AnomalyManager(store)
+        manager.add_detector(ThresholdDetector("mem", upper=0.9))
+        store.record("mem", 0, 0.5)
+        assert manager.evaluate(0) == []
+        store.record("mem", 1, 0.95)
+        found = manager.evaluate(1)
+        assert len(found) == 1 and "above" in found[0].message
+
+    def test_ewma_detects_spike_not_drift(self):
+        store = InformationStore()
+        manager = AnomalyManager(store)
+        manager.add_detector(EwmaDetector("disk", alpha=0.3, k_sigma=4.0))
+        # stable-ish baseline
+        for i in range(50):
+            store.record("disk", i, 100.0 + (i % 3))
+        assert manager.evaluate(50) == []
+        store.record("disk", 51, 400.0)   # spike
+        assert len(manager.evaluate(51)) == 1
+
+    def test_heartbeat(self):
+        store = InformationStore()
+        manager = AnomalyManager(store)
+        manager.add_detector(HeartbeatDetector("hb.dn0", timeout_us=1000.0,
+                                               action="failover dn0"))
+        store.record("hb.dn0", 0, 1.0)
+        assert manager.evaluate(500) == []
+        found = manager.evaluate(5000)
+        assert found and found[0].severity is Severity.CRITICAL
+        assert found[0].suggested_action == "failover dn0"
+
+    def test_handlers_invoked(self):
+        store = InformationStore()
+        manager = AnomalyManager(store)
+        manager.add_detector(ThresholdDetector("m", upper=1.0))
+        seen = []
+        manager.on_anomaly(seen.append)
+        store.record("m", 0, 2.0)
+        manager.evaluate(0)
+        assert len(seen) == 1
+        assert manager.critical_count() == 0
+
+
+class TestWorkloadManager:
+    def make(self, limit=2):
+        store = InformationStore()
+        sla = Sla("gold", p95_latency_us=10_000.0)
+        return store, WorkloadManager(store, sla, initial_concurrency=limit,
+                                      max_queue=3)
+
+    def test_admission_and_queueing(self):
+        _, manager = self.make(limit=2)
+        a = manager.submit(0)
+        b = manager.submit(0)
+        assert a is not None and b is not None
+        c = manager.submit(0)
+        assert c is None and manager.queued_count == 1
+        admitted = manager.finish(a, now_us=100)
+        assert len(admitted) == 1 and manager.queued_count == 0
+
+    def test_queue_overflow_sheds_load(self):
+        _, manager = self.make(limit=1)
+        manager.submit(0)
+        for _ in range(3):
+            manager.submit(0)
+        with pytest.raises(SlaViolation):
+            manager.submit(0)
+        assert manager.rejected == 1
+
+    def test_priority_jumps_queue(self):
+        _, manager = self.make(limit=1)
+        running = manager.submit(0)
+        manager.submit(1, Priority.LOW)
+        manager.submit(2, Priority.HIGH)
+        admitted = manager.finish(running, 10)
+        assert admitted[0].priority is Priority.HIGH
+
+    def test_aimd_adjustment(self):
+        store, manager = self.make(limit=8)
+        # healthy latencies -> additive increase
+        for i in range(50):
+            slot = manager.submit(i)
+            manager.finish(slot, i + 100)   # 100us, far under SLA
+        assert manager.adjust(1000) == 9
+        # violating latencies -> multiplicative decrease
+        for i in range(50):
+            slot = manager.submit(i)
+            manager.finish(slot, i + 50_000)
+        assert manager.adjust(2000) <= 5
+        assert manager.sla_violations >= 1
+
+
+class TestChangeManager:
+    def test_knob_lifecycle(self):
+        manager = ChangeManager()
+        manager.define_knob(KnobDef("mem", 100, 10, 1000))
+        assert manager.get("mem") == 100
+        manager.set("mem", 200, t_us=1)
+        assert manager.get("mem") == 200
+        manager.rollback("mem", t_us=2)
+        assert manager.get("mem") == 100
+        kinds = [e.kind for e in manager.history]
+        assert kinds == ["knob", "rollback"]
+
+    def test_validation(self):
+        manager = ChangeManager()
+        manager.define_knob(KnobDef("mem", 100, 10, 1000))
+        with pytest.raises(ConfigError):
+            manager.set("mem", 5000)
+        with pytest.raises(ConfigError):
+            manager.set("zz", 1)
+        with pytest.raises(ConfigError):
+            manager.rollback("mem")
+
+    def test_membership(self):
+        manager = ChangeManager()
+        manager.node_added("dn0")
+        manager.node_added("dn1")
+        manager.node_removed("dn1", reason="failed")
+        assert manager.online_nodes() == ["dn0"]
+
+    def test_listeners(self):
+        manager = ChangeManager()
+        manager.define_knob(KnobDef("mem", 100, 10, 1000))
+        events = []
+        manager.on_change(events.append)
+        manager.set("mem", 300)
+        assert events and events[0].new_value == 300
+
+
+class TestInDbMl:
+    def test_linear_regression_recovers_coefficients(self):
+        X = [[x, y] for x in range(10) for y in range(10)]
+        y = [3.0 * a - 2.0 * b + 7.0 for a, b in X]
+        model = LinearRegression().fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0, abs=1e-6)
+        assert model.coef_[1] == pytest.approx(-2.0, abs=1e-6)
+        assert model.intercept_ == pytest.approx(7.0, abs=1e-6)
+        assert model.r2(X, y) == pytest.approx(1.0)
+
+    def test_knn(self):
+        X = [[0.0], [1.0], [10.0], [11.0]]
+        y = [0.0, 0.0, 100.0, 100.0]
+        model = KnnRegressor(k=2).fit(X, y)
+        assert model.predict([[0.5]])[0] == 0.0
+        assert model.predict([[10.5]])[0] == 100.0
+
+    def test_knob_tuner_finds_sweet_spot(self):
+        knob = KnobDef("conc", 16, 1, 100)
+        tuner = KnobTuner([knob], maximize=True, seed=7)
+        # throughput peaks near conc = 40 (quadratic response)
+        for c in range(1, 100, 3):
+            tuner.observe({"conc": float(c)}, 1000 - (c - 40) ** 2)
+        proposal = tuner.propose()
+        assert proposal is not None
+        assert abs(proposal.knobs["conc"] - 40) < 8
+        assert proposal.model_r2 > 0.95
+
+    def test_tuner_needs_samples(self):
+        tuner = KnobTuner([KnobDef("k", 1, 0, 10)])
+        assert tuner.propose() is None
+
+
+class TestAutonomousManager:
+    def test_collect_and_tick(self):
+        cluster = MppCluster(num_dns=2)
+        manager = AutonomousManager(cluster)
+        manager.collect(0.0)
+        report = manager.tick(0.0)
+        assert report.anomalies == []
+        assert report.concurrency_limit >= 1
+
+    def test_self_healing_on_node_failure(self):
+        cluster = MppCluster(num_dns=2)
+        manager = AutonomousManager(cluster)
+        # dn0 heartbeats, dn1 stops reporting
+        for t in (0.0, 1_000_000.0, 6_000_000.0):
+            manager.info.record("heartbeat.dn0", t, 1.0)
+        manager.info.record("heartbeat.dn1", 0.0, 1.0)
+        report = manager.tick(6_000_000.0)
+        assert any("failover dn1" in a for a in report.healing_actions)
+        assert manager.changes.online_nodes() == ["dn0"]
+
+    def test_memory_pressure_shrinks_buffer_pool(self):
+        cluster = MppCluster(num_dns=1)
+        manager = AutonomousManager(cluster)
+        before = manager.changes.get("buffer_pool_mb")
+        manager.collect(0.0, extra_metrics={"memory_utilization": 0.97})
+        manager.tick(0.0)
+        assert manager.changes.get("buffer_pool_mb") == before / 2

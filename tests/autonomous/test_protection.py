@@ -1,0 +1,129 @@
+"""Tests for self-protection: lockout, runaway queries, export quotas."""
+
+import pytest
+
+from repro.autonomous.protection import (
+    AccessDenied,
+    AccessGuard,
+    AuditLog,
+    ExfiltrationMonitor,
+    ProtectionManager,
+    QueryInspector,
+)
+from repro.cluster import MppCluster
+from repro.sql.engine import SqlEngine
+
+SECOND = 1_000_000.0
+
+
+class TestAccessGuard:
+    def make(self):
+        audit = AuditLog()
+        return audit, AccessGuard(audit, max_failures=3,
+                                  window_us=10 * SECOND,
+                                  lockout_us=60 * SECOND)
+
+    def test_lockout_after_repeated_failures(self):
+        audit, guard = self.make()
+        for i in range(3):
+            guard.note_failure("mallory", i * SECOND)
+        assert guard.is_locked("mallory", 3 * SECOND)
+        with pytest.raises(AccessDenied):
+            guard.check("mallory", 3 * SECOND)
+        assert audit.events("lockout")
+
+    def test_failures_outside_window_ignored(self):
+        _, guard = self.make()
+        guard.note_failure("alice", 0.0)
+        guard.note_failure("alice", 1 * SECOND)
+        guard.note_failure("alice", 20 * SECOND)   # first two expired
+        assert not guard.is_locked("alice", 21 * SECOND)
+
+    def test_lockout_expires(self):
+        audit, guard = self.make()
+        for i in range(3):
+            guard.note_failure("bob", i * SECOND)
+        assert guard.is_locked("bob", 30 * SECOND)
+        assert not guard.is_locked("bob", 100 * SECOND)
+        assert audit.events("unlock")
+
+    def test_success_resets_counter(self):
+        _, guard = self.make()
+        guard.note_failure("carol", 0.0)
+        guard.note_failure("carol", 1 * SECOND)
+        guard.note_success("carol", 2 * SECOND)
+        guard.note_failure("carol", 3 * SECOND)
+        assert not guard.is_locked("carol", 4 * SECOND)
+
+
+class TestQueryInspector:
+    def test_rejects_runaway(self):
+        audit = AuditLog()
+        inspector = QueryInspector(audit, max_estimated_rows=1000)
+        inspector.admit("alice", 500, 0.0)
+        with pytest.raises(AccessDenied):
+            inspector.admit("alice", 5_000_000, 0.0, "select * from a, b")
+        assert inspector.rejected == 1
+        assert audit.events("query_rejected")
+
+
+class TestExfiltrationMonitor:
+    def test_quota_over_window(self):
+        audit = AuditLog()
+        monitor = ExfiltrationMonitor(audit, max_rows=100,
+                                      window_us=10 * SECOND)
+        monitor.note_result("dave", 60, 0.0)
+        monitor.note_result("dave", 30, 1 * SECOND)
+        with pytest.raises(AccessDenied):
+            monitor.note_result("dave", 20, 2 * SECOND)
+        # The window slides: old consumption expires.
+        monitor.note_result("dave", 90, 20 * SECOND)
+        assert audit.events("quota_exceeded")
+
+    def test_quota_is_per_principal(self):
+        monitor = ExfiltrationMonitor(AuditLog(), max_rows=100,
+                                      window_us=10 * SECOND)
+        monitor.note_result("a", 100, 0.0)
+        monitor.note_result("b", 100, 0.0)   # independent quota
+
+
+class TestProtectionManager:
+    @pytest.fixture
+    def engine(self):
+        cluster = MppCluster(num_dns=1)
+        engine = SqlEngine(cluster)
+        engine.execute("create table big (id int primary key, v int)")
+        engine.execute("insert into big values " + ",".join(
+            f"({i}, {i})" for i in range(500)))
+        engine.execute("analyze")
+        return engine
+
+    def test_normal_query_passes(self, engine):
+        protection = ProtectionManager()
+        result = protection.guarded_execute(
+            engine, "alice", "select count(*) from big", now_us=0.0)
+        assert result.scalar() == 500
+
+    def test_cartesian_explosion_rejected(self, engine):
+        protection = ProtectionManager(max_estimated_rows=10_000)
+        with pytest.raises(AccessDenied):
+            protection.guarded_execute(
+                engine, "mallory",
+                "select * from big a cross join big b cross join big c",
+                now_us=0.0)
+        assert protection.queries.rejected == 1
+
+    def test_bulk_export_throttled(self, engine):
+        protection = ProtectionManager(max_rows_per_window=600)
+        protection.guarded_execute(engine, "eve", "select * from big", 0.0)
+        with pytest.raises(AccessDenied):
+            protection.guarded_execute(engine, "eve",
+                                       "select * from big", 1 * SECOND)
+
+    def test_locked_principal_cannot_query(self, engine):
+        protection = ProtectionManager(max_failures=2)
+        protection.access.note_failure("mallory", 0.0)
+        protection.access.note_failure("mallory", 1.0)
+        with pytest.raises(AccessDenied):
+            protection.guarded_execute(engine, "mallory",
+                                       "select 1", now_us=2.0)

@@ -1,0 +1,118 @@
+"""Tests for high availability: replication and failover."""
+
+import pytest
+
+from repro.cluster import MppCluster, TxnMode
+from repro.cluster.ha import HaManager
+from repro.common.errors import ConfigError
+from repro.storage import Column, DataType, TableSchema
+from repro.storage.table import shard_of_value
+
+
+@pytest.fixture
+def ha_cluster():
+    cluster = MppCluster(num_dns=2)
+    cluster.create_table(TableSchema(
+        "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k"))
+    ha = HaManager(cluster)
+    session = cluster.session()
+    txn = session.begin(multi_shard=True)
+    for k in range(10):
+        txn.insert("t", {"k": k, "v": k * 10})
+    txn.commit()
+    return cluster, ha, session
+
+
+class TestReplication:
+    def test_commits_ship_to_standby(self, ha_cluster):
+        cluster, ha, _ = ha_cluster
+        total = sum(ha.standby(i).row_count("t") for i in range(2))
+        assert total == 10
+
+    def test_aborts_do_not_ship(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        before = sum(ha.standby(i).transactions_applied for i in range(2))
+        txn = session.begin(multi_shard=True)
+        txn.insert("t", {"k": 100, "v": 1})
+        txn.abort()
+        after = sum(ha.standby(i).transactions_applied for i in range(2))
+        assert after == before
+
+    def test_updates_and_deletes_replicate(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        session.run_transaction(lambda t: t.update("t", 0, {"v": 999}))
+        session.run_transaction(lambda t: t.delete("t", 1))
+        dn0 = shard_of_value(0, 2)
+        assert ha.standby(dn0).rows("t")[0]["v"] == 999
+        dn1 = shard_of_value(1, 2)
+        assert 1 not in ha.standby(dn1).rows("t")
+
+
+class TestFailover:
+    def test_committed_data_survives(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        report = ha.fail_and_promote(0)
+        assert report.rows_restored == ha.standby(0).row_count("t")
+        reader = session.begin(multi_shard=True)
+        values = {k: reader.read("t", k)["v"] for k in range(10)}
+        reader.commit()
+        assert values == {k: k * 10 for k in range(10)}
+
+    def test_inflight_transactions_are_lost(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        victim_key = next(k for k in range(10) if shard_of_value(k, 2) == 0)
+        txn = session.begin(multi_shard=False)
+        txn.read("t", victim_key)
+        txn.update("t", victim_key, {"v": -1})
+        report = ha.fail_and_promote(0)
+        assert report.inflight_lost == 1
+        # The uncommitted write is gone; committed state intact.
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", victim_key)["v"] == victim_key * 10
+        reader.commit()
+
+    def test_traffic_continues_after_failover(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        ha.fail_and_promote(1)
+        session.run_transaction(lambda t: t.update("t", 0, {"v": 1}))
+        session.run_transaction(lambda t: t.update("t", 3, {"v": 3}))
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 1
+        assert reader.read("t", 3)["v"] == 3
+        reader.commit()
+
+    def test_replication_resumes_after_failover(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        ha.fail_and_promote(0)
+        key_on_dn0 = next(k for k in range(10) if shard_of_value(k, 2) == 0)
+        session.run_transaction(
+            lambda t: t.update("t", key_on_dn0, {"v": 777}))
+        assert ha.standby(0).rows("t")[key_on_dn0]["v"] == 777
+
+    def test_double_failover(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        ha.fail_and_promote(0)
+        session.run_transaction(lambda t: t.update("t", 0, {"v": 5}))
+        ha.fail_and_promote(0)
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 5
+        reader.commit()
+        assert len(ha.failovers) == 2
+
+    def test_bad_index_rejected(self, ha_cluster):
+        cluster, ha, _ = ha_cluster
+        with pytest.raises(ConfigError):
+            ha.fail_and_promote(9)
+
+    def test_multi_shard_commits_survive_failover_of_one_node(self, ha_cluster):
+        cluster, ha, session = ha_cluster
+        txn = session.begin(multi_shard=True)
+        txn.update("t", 0, {"v": 42})
+        txn.update("t", 1, {"v": 43})
+        txn.commit()
+        ha.fail_and_promote(0)
+        ha.fail_and_promote(1)
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 42
+        assert reader.read("t", 1)["v"] == 43
+        reader.commit()

@@ -1,0 +1,124 @@
+"""Tests for 2PC in-doubt resolution after coordinator failure."""
+
+import pytest
+
+from repro.cluster import MppCluster, TxnMode
+from repro.cluster.recovery import in_doubt_count, resolve_in_doubt
+from repro.storage import Column, DataType, TableSchema
+
+
+@pytest.fixture
+def cluster():
+    c = MppCluster(num_dns=2, mode=TxnMode.GTM_LITE)
+    c.create_table(TableSchema(
+        "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k"))
+    session = c.session()
+    init = session.begin(multi_shard=True)
+    for k in range(4):
+        init.insert("t", {"k": k, "v": 0})
+    init.commit()
+    return c
+
+
+def start_multi_shard_write(cluster, value):
+    session = cluster.session()
+    txn = session.begin(multi_shard=True)
+    txn.update("t", 0, {"v": value})   # DN0
+    txn.update("t", 1, {"v": value})   # DN1
+    return txn
+
+
+def read_state(cluster):
+    reader = cluster.session().begin(multi_shard=True)
+    state = {k: reader.read("t", k)["v"] for k in range(4)}
+    reader.commit()
+    return state
+
+
+class TestCrashBeforeGtmCommit:
+    def test_presumed_abort(self, cluster):
+        txn = start_multi_shard_write(cluster, 7)
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        # coordinator dies here: prepared everywhere, no GTM decision
+        assert in_doubt_count(cluster) == 2
+        report = resolve_in_doubt(cluster)
+        assert report.presumed_aborted_gxids == [txn.gxid]
+        assert report.resolved == 2
+        assert in_doubt_count(cluster) == 0
+        assert read_state(cluster) == {0: 0, 1: 0, 2: 0, 3: 0}
+
+    def test_late_coordinator_cannot_commit(self, cluster):
+        txn = start_multi_shard_write(cluster, 7)
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        resolve_in_doubt(cluster)
+        # The zombie coordinator wakes up and tries to finish: refused.
+        with pytest.raises(Exception):
+            steps.commit_at_gtm()
+
+
+class TestCrashAfterGtmCommit:
+    def test_roll_forward(self, cluster):
+        txn = start_multi_shard_write(cluster, 9)
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        steps.commit_at_gtm()
+        # coordinator dies before confirming either node
+        report = resolve_in_doubt(cluster)
+        assert sum(len(v) for v in report.rolled_forward.values()) == 2
+        assert not report.presumed_aborted_gxids
+        assert read_state(cluster)[0] == 9
+        assert read_state(cluster)[1] == 9
+
+    def test_partial_confirmation_completes(self, cluster):
+        txn = start_multi_shard_write(cluster, 9)
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        steps.commit_at_gtm()
+        steps.confirm_at(steps.pending_nodes[0])
+        # crash: one node confirmed, the other in doubt
+        assert in_doubt_count(cluster) == 1
+        report = resolve_in_doubt(cluster)
+        assert report.resolved == 1
+        state = read_state(cluster)
+        assert state[0] == 9 and state[1] == 9
+
+
+class TestMixedInDoubt:
+    def test_each_transaction_resolved_by_its_own_outcome(self, cluster):
+        # T1: prepared, GTM-committed (roll forward).
+        t1 = start_multi_shard_write(cluster, 11)
+        s1 = t1.commit_stepwise()
+        s1.prepare_all()
+        s1.commit_at_gtm()
+        # T2: prepared on disjoint keys, never decided (presumed abort).
+        session = cluster.session()
+        t2 = session.begin(multi_shard=True)
+        t2.update("t", 2, {"v": 22})
+        t2.update("t", 3, {"v": 22})
+        s2 = t2.commit_stepwise()
+        s2.prepare_all()
+
+        report = resolve_in_doubt(cluster)
+        assert report.presumed_aborted_gxids == [t2.gxid]
+        state = read_state(cluster)
+        assert state == {0: 11, 1: 11, 2: 0, 3: 0}
+
+    def test_recovery_is_idempotent(self, cluster):
+        txn = start_multi_shard_write(cluster, 5)
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        resolve_in_doubt(cluster)
+        second = resolve_in_doubt(cluster)
+        assert second.resolved == 0
+        assert not second.presumed_aborted_gxids
+
+    def test_traffic_continues_after_recovery(self, cluster):
+        txn = start_multi_shard_write(cluster, 5)
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        resolve_in_doubt(cluster)
+        session = cluster.session()
+        session.run_transaction(lambda t: t.update("t", 0, {"v": 1}))
+        assert read_state(cluster)[0] == 1

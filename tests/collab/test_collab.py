@@ -1,0 +1,269 @@
+"""Tests for the device-edge-cloud collaboration platform."""
+
+import pytest
+
+from repro.collab.device import NodeKind
+from repro.collab.platform import CollabPlatform, SyncPolicy, collection
+from repro.collab.store import TOMBSTONE, ReplicaStore
+from repro.collab.versions import VersionVector
+from repro.common.clock import HlcTimestamp
+from repro.common.errors import ConfigError, NetworkError, SyncError
+
+
+class TestVersionVector:
+    def test_advance_and_get(self):
+        vv = VersionVector()
+        vv.advance("a", 3)
+        vv.advance("a", 2)   # no regression
+        assert vv.get("a") == 3
+        assert vv.get("zz") == 0
+
+    def test_merge_and_dominates(self):
+        a = VersionVector({"x": 3, "y": 1})
+        b = VersionVector({"y": 5})
+        assert not a.dominates(b)
+        a.merge(b)
+        assert a.dominates(b)
+        assert a.get("y") == 5
+
+    def test_equality_ignores_zeros(self):
+        assert VersionVector({"a": 0}) == VersionVector()
+
+
+class TestReplicaStore:
+    def stamp(self, t, node="n"):
+        return HlcTimestamp(t, 0, node)
+
+    def test_local_updates_sequence(self):
+        store = ReplicaStore("a")
+        u1 = store.local_update("k", 1, self.stamp(10))
+        u2 = store.local_update("k", 2, self.stamp(20))
+        assert (u1.seq, u2.seq) == (1, 2)
+        assert store.get("k") == 2
+
+    def test_lww_by_hlc(self):
+        store = ReplicaStore("a")
+        store.local_update("k", "new", self.stamp(100))
+        other = ReplicaStore("b")
+        old = other.local_update("k", "old", self.stamp(50, "b"))
+        store.ingest([old])
+        assert store.get("k") == "new"        # older write loses
+        assert store.stale_ignored == 1
+        assert store.vv.get("b") == 1          # but it is not lost from the log
+
+    def test_ingest_duplicates_ignored(self):
+        a, b = ReplicaStore("a"), ReplicaStore("b")
+        update = a.local_update("k", 1, self.stamp(1))
+        assert b.ingest([update]) == 1
+        assert b.ingest([update]) == 0
+
+    def test_ingest_gap_detected(self):
+        a, b = ReplicaStore("a"), ReplicaStore("b")
+        a.local_update("k", 1, self.stamp(1))
+        u2 = a.local_update("k", 2, self.stamp(2))
+        with pytest.raises(SyncError):
+            b.ingest([u2])
+
+    def test_missing_for_is_exact(self):
+        a, b = ReplicaStore("a"), ReplicaStore("b")
+        updates = [a.local_update(f"k{i}", i, self.stamp(i)) for i in range(5)]
+        b.ingest(a.missing_for(b.vv))
+        assert a.missing_for(b.vv) == []
+        assert b.snapshot() == a.snapshot()
+        assert b.missing_for(a.vv) == []    # nothing redundant flows back
+
+    def test_tombstone_hides_key(self):
+        store = ReplicaStore("a")
+        store.local_update("k", 1, self.stamp(1))
+        store.local_update("k", TOMBSTONE, self.stamp(2))
+        assert store.get("k") is None
+        assert "k" not in store.keys()
+
+    def test_compact(self):
+        a = ReplicaStore("a")
+        for i in range(10):
+            a.local_update("k", i, self.stamp(i))
+        removed = a.compact(VersionVector({"a": 7}))
+        assert removed == 7
+        assert a.log_size == 3
+
+
+class TestPlatformTopology:
+    def test_default_links(self):
+        p = CollabPlatform()
+        p.add_node("cloud", NodeKind.CLOUD)
+        p.add_node("edge", NodeKind.EDGE)
+        p.add_node("phone", NodeKind.DEVICE)
+        assert p.fabric.reachable("phone", "cloud")
+        assert p.fabric.reachable("phone", "edge")
+        assert not p.fabric.reachable("phone", "phone")
+
+    def test_devices_need_explicit_proximity(self):
+        p = CollabPlatform()
+        p.add_node("a", NodeKind.DEVICE)
+        p.add_node("b", NodeKind.DEVICE)
+        assert not p.fabric.reachable("a", "b")
+        p.connect_nearby("a", "b")
+        assert p.fabric.reachable("a", "b")
+
+    def test_duplicate_node_rejected(self):
+        p = CollabPlatform()
+        p.add_node("a", NodeKind.DEVICE)
+        with pytest.raises(ConfigError):
+            p.add_node("a", NodeKind.DEVICE)
+
+
+class TestSync:
+    def mesh(self, n=4):
+        p = CollabPlatform()
+        nodes = [p.add_node(f"d{i}", NodeKind.DEVICE) for i in range(n)]
+        for i in range(n - 1):
+            p.connect_nearby(f"d{i}", f"d{i+1}")   # a chain, not a clique
+        return p, nodes
+
+    def test_convergence_over_multi_hop_chain(self):
+        p, nodes = self.mesh(5)
+        nodes[0].put("k", "v")
+        nodes[4].put("other", 42)
+        p.converge()
+        assert p.is_consistent()
+        assert nodes[4].get("k") == "v"
+        assert nodes[0].get("other") == 42
+
+    def test_no_redundant_transfer(self):
+        p, nodes = self.mesh(3)
+        nodes[0].put("k", "v")
+        p.converge()
+        p.stats.reset()
+        p.sync_round()
+        assert p.stats.updates_transferred == 0
+
+    def test_partition_heals(self):
+        p, nodes = self.mesh(2)
+        p.disconnect("d0", "d1")
+        nodes[0].put("k", 1)
+        with pytest.raises(NetworkError):
+            p.sync_pair("d0", "d1")
+        p.reconnect("d0", "d1")
+        p.converge()
+        assert nodes[1].get("k") == 1
+
+    def test_concurrent_writes_resolve_identically_everywhere(self):
+        p, nodes = self.mesh(3)
+        nodes[0].put("k", "from-0")
+        nodes[2].put("k", "from-2")
+        p.converge()
+        values = {node.get("k") for node in nodes}
+        assert len(values) == 1   # all replicas agree on one winner
+
+    def test_time_drift_does_not_break_causality(self):
+        p = CollabPlatform()
+        fast = p.add_node("fast", NodeKind.DEVICE, skew_us=10_000_000)
+        slow = p.add_node("slow", NodeKind.DEVICE, skew_us=0)
+        p.connect_nearby("fast", "slow")
+        fast.put("doc", "first")
+        p.converge()
+        slow.put("doc", "second")   # causally later despite the slower clock
+        p.converge()
+        assert fast.get("doc") == "second"
+        assert slow.get("doc") == "second"
+
+    def test_cloud_only_policy(self):
+        p = CollabPlatform(policy=SyncPolicy.CLOUD_ONLY)
+        p.add_node("cloud", NodeKind.CLOUD)
+        a = p.add_node("a", NodeKind.DEVICE)
+        b = p.add_node("b", NodeKind.DEVICE)
+        a.put("k", 1)
+        p.converge()
+        assert b.get("k") == 1
+
+    def test_leader_policy(self):
+        p = CollabPlatform(policy=SyncPolicy.LEADER)
+        router = p.add_node("router", NodeKind.EDGE)
+        a = p.add_node("a", NodeKind.DEVICE)
+        b = p.add_node("b", NodeKind.DEVICE)
+        p.set_leader("router")
+        a.put("k", 1)
+        p.converge()
+        assert b.get("k") == 1
+
+    def test_compact_logs_after_convergence(self):
+        p, nodes = self.mesh(3)
+        for i in range(5):
+            nodes[0].put(f"k{i}", i)
+        p.converge()
+        removed = p.compact_logs()
+        assert removed > 0
+        # a fresh round still transfers nothing and stays consistent
+        assert p.sync_round() == 0
+        assert p.is_consistent()
+
+
+class TestDeviceFeatures:
+    def test_subscriptions_fire_on_local_and_remote(self):
+        p = CollabPlatform()
+        a = p.add_node("a", NodeKind.DEVICE)
+        b = p.add_node("b", NodeKind.DEVICE)
+        p.connect_nearby("a", "b")
+        events = []
+        b.subscribe(lambda k, v: k.startswith("chat/"),
+                    lambda k, v: events.append((k, v)))
+        a.put("chat/1", "hi")
+        a.put("other", "x")
+        p.converge()
+        assert events == [("chat/1", "hi")]
+
+    def test_storage_budget_offloads_to_peer(self):
+        p = CollabPlatform()
+        phone = p.add_node("phone", NodeKind.DEVICE)
+        watch = p.add_node("watch", NodeKind.DEVICE, storage_budget=2)
+        p.connect_nearby("phone", "watch")
+        watch.backing_peer = phone
+        for i in range(5):
+            watch.put(f"k{i}", i)
+        assert watch.local_key_count() <= 2
+        assert watch.offloaded_keys
+        # After syncing, transparent read-through answers from the phone.
+        p.converge()
+        assert watch.get(watch.offloaded_keys[0]) is not None
+        # Eviction never perturbs replication: all replicas stay equal.
+        assert p.is_consistent()
+
+    def test_rewriting_evicted_key_rematerializes(self):
+        p = CollabPlatform()
+        phone = p.add_node("phone", NodeKind.DEVICE)
+        watch = p.add_node("watch", NodeKind.DEVICE, storage_budget=1)
+        p.connect_nearby("phone", "watch")
+        watch.backing_peer = phone
+        watch.put("a", 1)
+        watch.put("b", 2)       # evicts "a"
+        assert "a" in watch.offloaded_keys
+        watch.put("a", 99)      # fresh write re-materializes "a", evicts "b"
+        assert watch.get("a") == 99
+
+    def test_function_download_and_invoke(self):
+        p = CollabPlatform()
+        cloud = p.add_node("cloud", NodeKind.CLOUD)
+        phone = p.add_node("phone", NodeKind.DEVICE)
+        cloud.install_function(
+            "count_keys", lambda node, args: len(node.keys()))
+        phone.download_function("count_keys", source=cloud)
+        phone.put("a", 1)
+        phone.put("b", 2)
+        assert phone.invoke("count_keys") == 2
+        with pytest.raises(SyncError):
+            phone.invoke("nope")
+
+    def test_collection_api(self):
+        p = CollabPlatform()
+        a = p.add_node("a", NodeKind.DEVICE)
+        photos = collection(a, "photos")
+        photos.put("1", {"t": "sunset"})
+        photos.put("2", {"t": "dog"})
+        photos.delete("1")
+        assert photos.ids() == ["2"]
+        assert photos.get("1") is None
+        seen = []
+        photos.watch(lambda doc_id, value: seen.append(doc_id))
+        photos.put("3", {"t": "cat"})
+        assert seen == ["3"]

@@ -1,0 +1,121 @@
+"""Tests for configurable consistency policies (session guarantees)."""
+
+import pytest
+
+from repro.collab.consistency import ConsistencyLevel, ConsistentSession
+from repro.collab.device import NodeKind
+from repro.collab.platform import CollabPlatform
+from repro.common.errors import SyncError
+
+
+@pytest.fixture
+def platform():
+    p = CollabPlatform()
+    p.add_node("phone", NodeKind.DEVICE)
+    p.add_node("tablet", NodeKind.DEVICE)
+    p.add_node("laptop", NodeKind.DEVICE)
+    p.connect_nearby("phone", "tablet")
+    p.connect_nearby("tablet", "laptop")
+    return p
+
+
+class TestEventual:
+    def test_reads_may_be_stale(self, platform):
+        session = ConsistentSession(platform, ConsistencyLevel.EVENTUAL)
+        session.write("phone", "doc", "v1")
+        # Without sync the tablet simply has nothing — allowed.
+        assert session.read("tablet", "doc") is None
+        assert session.stats.syncs_triggered == 0
+
+
+class TestReadYourWrites:
+    def test_write_on_one_device_read_on_another(self, platform):
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.READ_YOUR_WRITES)
+        session.write("phone", "doc", "v1")
+        assert session.read("tablet", "doc") == "v1"
+        assert session.stats.syncs_triggered >= 1
+
+    def test_multi_hop_catchup(self, platform):
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.READ_YOUR_WRITES)
+        session.write("phone", "doc", "v1")
+        # laptop is two hops from phone; on-demand sync pulls via tablet.
+        assert session.read("laptop", "doc") == "v1"
+
+    def test_other_sessions_writes_not_required(self, platform):
+        writer = ConsistentSession(platform,
+                                   ConsistencyLevel.READ_YOUR_WRITES)
+        reader = ConsistentSession(platform,
+                                   ConsistencyLevel.READ_YOUR_WRITES)
+        writer.write("phone", "doc", "v1")
+        # The reader never wrote anything: no guarantee, no forced sync.
+        assert reader.read("laptop", "doc") is None
+        assert reader.stats.syncs_triggered == 0
+
+    def test_partition_raises_instead_of_lying(self, platform):
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.READ_YOUR_WRITES)
+        session.write("phone", "doc", "v1")
+        platform.disconnect("phone", "tablet")
+        with pytest.raises(SyncError):
+            session.read("tablet", "doc")
+
+
+class TestMonotonicReads:
+    def test_never_goes_backwards(self, platform):
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.MONOTONIC_READS)
+        platform.node("phone").put("doc", "v1")
+        platform.converge()
+        assert session.read("phone", "doc") == "v1"
+        platform.node("phone").put("doc", "v2")
+        assert session.read("phone", "doc") == "v2"
+        # Reading from the (stale) laptop must first catch it up to v2's
+        # causal point... but v2 hasn't synced; the session saw phone's VV
+        # after v2, so the laptop read triggers an on-demand sync.
+        assert session.read("laptop", "doc") == "v2"
+
+    def test_fresh_session_reads_anywhere(self, platform):
+        platform.node("phone").put("doc", "v1")
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.MONOTONIC_READS)
+        # Never read anything yet: any state is acceptable.
+        assert session.read("laptop", "doc") is None
+
+
+class TestBoundedStaleness:
+    def test_requires_known_writes(self, platform):
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.BOUNDED_STALENESS)
+        session.write("phone", "a", 1)
+        assert session.read("tablet", "a") == 1
+
+
+class TestStrong:
+    def test_reads_and_writes_route_to_leader(self, platform):
+        platform.set_leader("tablet")
+        session = ConsistentSession(platform, ConsistencyLevel.STRONG)
+        session.write("phone", "doc", "v1")   # transparently to the leader
+        assert platform.node("tablet").get("doc") == "v1"
+        assert session.read("laptop", "doc") == "v1"  # served by leader
+
+    def test_strong_needs_a_leader(self, platform):
+        session = ConsistentSession(platform, ConsistencyLevel.STRONG)
+        with pytest.raises(SyncError):
+            session.write("phone", "doc", "v1")
+
+
+class TestGuaranteeCost:
+    def test_stronger_levels_cost_more_syncs(self, platform):
+        def run(level):
+            session = ConsistentSession(platform, level)
+            for i in range(5):
+                session.write("phone", f"k{i}", i)
+                session.read("laptop", f"k{i}")
+            return session.stats.syncs_triggered
+
+        eventual = run(ConsistencyLevel.EVENTUAL)
+        ryw = run(ConsistencyLevel.READ_YOUR_WRITES)
+        assert eventual == 0
+        assert ryw > 0

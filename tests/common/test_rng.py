@@ -1,0 +1,61 @@
+"""Tests for deterministic randomness helpers."""
+
+import pytest
+
+from repro.common.rng import ZipfGenerator, make_rng, random_string, weighted_choice
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(7), make_rng(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestRandomString:
+    def test_length_and_alphabet(self):
+        s = random_string(make_rng(3), 32, alphabet="ab")
+        assert len(s) == 32
+        assert set(s) <= {"a", "b"}
+
+
+class TestZipf:
+    def test_range(self):
+        gen = ZipfGenerator(make_rng(5), n=100, theta=0.99)
+        draws = [gen.next() for _ in range(1000)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew_favors_head(self):
+        gen = ZipfGenerator(make_rng(5), n=100, theta=1.2)
+        draws = [gen.next() for _ in range(5000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 5 * max(tail, 1)
+
+    def test_theta_zero_is_roughly_uniform(self):
+        gen = ZipfGenerator(make_rng(5), n=10, theta=0.0)
+        draws = [gen.next() for _ in range(10_000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 700 and max(counts) < 1300
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(make_rng(1), n=0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(make_rng(1), n=10, theta=-1.0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = make_rng(11)
+        picks = [weighted_choice(rng, ["a", "b"], [0.95, 0.05]) for _ in range(1000)]
+        assert picks.count("a") > 850
+
+    def test_single_item(self):
+        assert weighted_choice(make_rng(1), ["only"], [1.0]) == "only"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a"], [0.5, 0.5])

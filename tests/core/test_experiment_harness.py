@@ -1,0 +1,69 @@
+"""Tests for the Figure 3 experiment harness itself."""
+
+import pytest
+
+from repro.cluster.txn import TxnMode
+from repro.core.experiment import (
+    FIGURE3_NODE_COUNTS,
+    Figure3Cell,
+    figure3,
+    format_figure3,
+    run_cell,
+)
+
+
+class TestRunCell:
+    def test_produces_committed_work(self):
+        result = run_cell(2, 0.0, TxnMode.GTM_LITE, warehouses_per_node=2,
+                          clients_per_dn=2, txns_per_client=5)
+        assert result.committed == 2 * 2 * 5
+        assert result.makespan_us > 0
+        assert result.throughput_tps > 0
+
+    def test_gtm_lite_ss_sends_nothing_to_gtm_per_txn(self):
+        result = run_cell(2, 0.0, TxnMode.GTM_LITE, warehouses_per_node=2,
+                          clients_per_dn=2, txns_per_client=5)
+        # Only the bulk load (one txn per warehouse + item load) used GXIDs.
+        assert result.gtm_requests < 20
+
+    def test_ms_fraction_forces_two_warehouses(self):
+        result = run_cell(1, 0.1, TxnMode.GTM_LITE, warehouses_per_node=1,
+                          clients_per_dn=2, txns_per_client=5)
+        assert result.committed == 10
+
+    def test_deterministic(self):
+        a = run_cell(2, 0.1, TxnMode.GTM_LITE, txns_per_client=5,
+                     clients_per_dn=2)
+        b = run_cell(2, 0.1, TxnMode.GTM_LITE, txns_per_client=5,
+                     clients_per_dn=2)
+        assert a.throughput_tps == b.throughput_tps
+        assert a.makespan_us == b.makespan_us
+
+
+class TestGrid:
+    def test_figure3_grid_shape(self):
+        cells = figure3(node_counts=(1, 2), txns_per_client=5,
+                        clients_per_dn=2)
+        assert len(cells) == 2 * 2 * 2   # nodes x workloads x modes
+        assert {c.workload for c in cells} == {"SS", "MS"}
+        assert {c.mode for c in cells} == {TxnMode.GTM_LITE, TxnMode.CLASSICAL}
+
+    def test_format_renders_all_series(self):
+        cells = figure3(node_counts=(1,), txns_per_client=5,
+                        clients_per_dn=2)
+        text = format_figure3(cells)
+        for series in ("SS/gtm_lite", "SS/classical",
+                       "MS/gtm_lite", "MS/classical"):
+            assert series in text
+
+    def test_cell_as_row(self):
+        cells = figure3(node_counts=(1,), workloads={"SS": 0.0},
+                        modes=(TxnMode.GTM_LITE,), txns_per_client=5,
+                        clients_per_dn=2)
+        row = cells[0].as_row()
+        assert row["nodes"] == 1 and row["workload"] == "SS"
+        assert row["mode"] == "gtm_lite"
+        assert row["throughput_tps"] > 0
+
+    def test_default_node_counts_match_paper(self):
+        assert FIGURE3_NODE_COUNTS == (1, 2, 4, 8)

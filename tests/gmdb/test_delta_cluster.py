@@ -1,0 +1,193 @@
+"""Tests for delta objects and the GMDB cluster/client stack."""
+
+import pytest
+
+from repro.common.errors import SchemaEvolutionError, StorageError, SyncError
+from repro.gmdb.cluster import GmdbCluster
+from repro.gmdb.delta import (
+    Delta,
+    DeltaOp,
+    apply_delta,
+    diff,
+    object_wire_size,
+    project_delta,
+    schema_field_tree,
+)
+from repro.workloads.mme import MME_VERSIONS, MmeSessionGenerator, mme_schema
+
+
+class TestDelta:
+    def test_diff_scalar_change(self):
+        delta = diff({"a": 1, "b": 2}, {"a": 1, "b": 3})
+        assert len(delta) == 1
+        assert delta.ops[0] == DeltaOp("set", ("b",), 3)
+
+    def test_diff_nested_array(self):
+        old = {"items": [{"n": 1}, {"n": 2}]}
+        new = {"items": [{"n": 1}, {"n": 5}, {"n": 9}]}
+        delta = diff(old, new)
+        ops = {(op.op, op.path) for op in delta.ops}
+        assert ("set", ("items", 1, "n")) in ops
+        assert ("append", ("items",)) in ops
+
+    def test_diff_array_removal(self):
+        old = {"items": [{"n": 1}, {"n": 2}, {"n": 3}]}
+        new = {"items": [{"n": 1}]}
+        delta = diff(old, new)
+        assert apply_delta(old, delta) == new
+
+    def test_apply_round_trip(self):
+        old = {"a": 1, "items": [{"n": 1}], "s": "x"}
+        new = {"a": 2, "items": [{"n": 1}, {"n": 7}], "s": "x"}
+        assert apply_delta(old, diff(old, new)) == new
+
+    def test_apply_does_not_mutate_input(self):
+        old = {"a": 1}
+        apply_delta(old, Delta((DeltaOp("set", ("a",), 2),)))
+        assert old == {"a": 1}
+
+    def test_apply_bad_path(self):
+        with pytest.raises(SyncError):
+            apply_delta({"a": 1}, Delta((DeltaOp("set", ("zz", "q"), 2),)))
+        with pytest.raises(SyncError):
+            apply_delta({"a": []}, Delta((DeltaOp("remove", ("a", 5)),)))
+
+    def test_delta_smaller_than_object(self):
+        gen = MmeSessionGenerator(3)
+        obj = gen.session(0)
+        new = dict(obj)
+        new["state"] = "IDLE" if obj["state"] != "IDLE" else "CONNECTED"
+        delta = diff(obj, new)
+        assert delta.wire_size() < object_wire_size(obj) / 50
+
+    def test_project_delta_drops_unknown_fields(self):
+        schema = mme_schema(3)
+        tree = schema_field_tree(schema)
+        delta = Delta((
+            DeltaOp("set", ("state",), "IDLE"),
+            DeltaOp("set", ("volte_enabled",), True),   # a V5 field
+        ))
+        projected = project_delta(delta, tree)
+        assert len(projected) == 1
+        assert projected.ops[0].path == ("state",)
+
+
+@pytest.fixture
+def cluster():
+    c = GmdbCluster(num_dns=2)
+    for version in MME_VERSIONS:
+        c.register_schema(version, mme_schema(version))
+    return c
+
+
+class TestGmdbCluster:
+    def test_create_read(self, cluster):
+        client = cluster.connect("c1", 3)
+        obj = MmeSessionGenerator(3).session(0)
+        client.create(obj["imsi"], obj)
+        client.invalidate(obj["imsi"])
+        assert client.read(obj["imsi"]) == obj
+        assert cluster.object_count() == 1
+
+    def test_duplicate_create_rejected(self, cluster):
+        client = cluster.connect("c1", 3)
+        obj = MmeSessionGenerator(3).session(0)
+        client.create(obj["imsi"], obj)
+        with pytest.raises(StorageError):
+            client.create(obj["imsi"], obj)
+
+    def test_read_with_upgrade_conversion(self, cluster):
+        old_client = cluster.connect("old", 3)
+        new_client = cluster.connect("new", 5)
+        obj = MmeSessionGenerator(3).session(1)
+        old_client.create(obj["imsi"], obj)
+        seen = new_client.read(obj["imsi"])
+        mme_schema(5).validate(seen)
+        assert seen["volte_enabled"] is False
+        assert cluster.metrics.conversions == 1
+
+    def test_read_with_downgrade_conversion(self, cluster):
+        new_client = cluster.connect("new", 5)
+        old_client = cluster.connect("old", 3)
+        obj = MmeSessionGenerator(5).session(2)
+        new_client.create(obj["imsi"], obj)
+        seen = old_client.read(obj["imsi"])
+        mme_schema(3).validate(seen)
+        assert "volte_enabled" not in seen
+
+    def test_cross_two_versions_rejected(self, cluster):
+        v3 = cluster.connect("v3", 3)
+        v6 = cluster.connect("v6", 6)
+        obj = MmeSessionGenerator(3).session(3)
+        v3.create(obj["imsi"], obj)
+        with pytest.raises(SchemaEvolutionError):
+            v6.read(obj["imsi"])
+
+    def test_newer_writer_upgrades_stored_copy(self, cluster):
+        v3 = cluster.connect("v3", 3)
+        v5 = cluster.connect("v5", 5)
+        obj = MmeSessionGenerator(3).session(4)
+        key = obj["imsi"]
+        v3.create(key, obj)
+        v5.update(key, lambda o: o.__setitem__("volte_enabled", True))
+        dn = cluster.node_for(key)
+        assert dn.stored_version(key) == 5
+
+    def test_older_writer_applies_to_newer_object(self, cluster):
+        v5 = cluster.connect("v5", 5)
+        v3 = cluster.connect("v3", 3)
+        obj = MmeSessionGenerator(5).session(5)
+        key = obj["imsi"]
+        v5.create(key, obj)
+        v3.read(key)
+        v3.update(key, lambda o: o.__setitem__("state", "IDLE"))
+        dn = cluster.node_for(key)
+        assert dn.stored_version(key) == 5     # version never moves down
+        v5.invalidate(key)   # v5 is not subscribed; its cache is stale
+        assert v5.read(key)["state"] == "IDLE"
+
+    def test_pubsub_projects_deltas(self, cluster):
+        v3 = cluster.connect("v3", 3)
+        v5 = cluster.connect("v5", 5)
+        obj = MmeSessionGenerator(3).session(6)
+        key = obj["imsi"]
+        v3.create(key, obj)
+        v3.subscribe(key)
+        v5.read(key)
+        v5.subscribe(key)
+        v5.update(key, lambda o: (o.__setitem__("volte_enabled", True),
+                                  o.__setitem__("tracking_area", 42)))
+        assert v3.cached(key)["tracking_area"] == 42
+        assert "volte_enabled" not in v3.cached(key)
+        assert v5.cached(key)["volte_enabled"] is True
+
+    def test_cache_hit_counters(self, cluster):
+        client = cluster.connect("c1", 3)
+        obj = MmeSessionGenerator(3).session(7)
+        client.create(obj["imsi"], obj)
+        client.read(obj["imsi"])
+        assert client.cache_hits == 1 and client.cache_misses == 0
+        client.invalidate(obj["imsi"])
+        client.read(obj["imsi"])
+        assert client.cache_misses == 1
+
+    def test_async_flush_and_loss_window(self, cluster):
+        client = cluster.connect("c1", 3)
+        gen = MmeSessionGenerator(3)
+        for i in range(5):
+            obj = gen.session(i + 10)
+            client.create(obj["imsi"], obj)
+        dn_loss = sum(dn.unflushed_loss_on_crash() for dn in cluster.dns)
+        assert dn_loss == 5            # nothing flushed yet
+        assert cluster.flush_all() == 5
+        assert sum(dn.unflushed_loss_on_crash() for dn in cluster.dns) == 0
+
+    def test_delta_bandwidth_accounting(self, cluster):
+        client = cluster.connect("c1", 3)
+        obj = MmeSessionGenerator(3).session(20)
+        key = obj["imsi"]
+        client.create(key, obj)
+        before = cluster.metrics.bytes_sent
+        client.update(key, lambda o: o.__setitem__("tracking_area", 1))
+        delta_bytes = cluster.metrics.bytes_sent - before
+        assert delta_bytes < object_wire_size(obj) / 50

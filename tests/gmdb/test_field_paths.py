@@ -1,0 +1,82 @@
+"""Tests for the GMDB tree-model field-path convenience API."""
+
+import pytest
+
+from repro.common.errors import SchemaValidationError, StorageError
+from repro.gmdb.cluster import GmdbCluster
+from repro.workloads.mme import MME_VERSIONS, MmeSessionGenerator, mme_schema
+
+
+@pytest.fixture
+def client():
+    cluster = GmdbCluster(num_dns=1)
+    for version in MME_VERSIONS:
+        cluster.register_schema(version, mme_schema(version))
+    client = cluster.connect("app", 3)
+    gen = MmeSessionGenerator(3, seed=21)
+    obj = gen.session(0)
+    client.create(obj["imsi"], obj)
+    client._test_key = obj["imsi"]   # convenience for the tests
+    return client
+
+
+class TestReadField:
+    def test_scalar_path(self, client):
+        key = client._test_key
+        assert client.read_field(key, "state") == client.read(key)["state"]
+
+    def test_nested_array_path(self, client):
+        key = client._test_key
+        bearer = client.read(key)["bearers"][0]
+        assert client.read_field(key, "bearers", 0, "qci") == bearer["qci"]
+
+
+class TestSetField:
+    def test_scalar_set_produces_one_delta_op(self, client):
+        key = client._test_key
+        delta = client.set_field(key, ("state",), "DETACHED")
+        assert len(delta) == 1
+        assert delta.ops[0].path == ("state",)
+        assert client.read_field(key, "state") == "DETACHED"
+
+    def test_nested_set(self, client):
+        key = client._test_key
+        delta = client.set_field(key, ("bearers", 0, "qci"), 9)
+        assert delta.ops[0].path == ("bearers", 0, "qci")
+        assert client.read_field(key, "bearers", 0, "qci") == 9
+
+    def test_empty_path_rejected(self, client):
+        with pytest.raises(StorageError):
+            client.set_field(client._test_key, (), 1)
+
+    def test_schema_still_enforced(self, client):
+        key = client._test_key
+        with pytest.raises(SchemaValidationError):
+            client.set_field(key, ("tracking_area",), "not-an-int")
+        # The failed update must not corrupt the cached object.
+        assert isinstance(client.read_field(key, "tracking_area"), int)
+
+
+class TestAppendRecord:
+    def test_append_bearer(self, client):
+        key = client._test_key
+        before = len(client.read(key)["bearers"])
+        from repro.workloads.mme import _bearer_schema
+
+        new_bearer = _bearer_schema(0).new_object(
+            bearer_id=99, qci=9, apn="internet", gtp_teid=1,
+            bitrate_dl=10, bitrate_ul=5)
+        delta = client.append_record(key, "bearers", new_bearer)
+        assert delta.ops[0].op == "append"
+        assert len(client.read(key)["bearers"]) == before + 1
+        assert client.read_field(key, "bearers", before, "bearer_id") == 99
+
+    def test_append_visible_to_subscribers(self, client):
+        key = client._test_key
+        other = client.cluster.connect("other", 3)
+        other.read(key)
+        other.subscribe(key)
+        client.append_record(key, "history", {
+            "t_us": 5, "kind": "TAU", "detail": "x"})
+        cached = other.cached(key)
+        assert cached["history"][-1]["kind"] == "TAU"

@@ -1,0 +1,175 @@
+"""Tests for GMDB record schemas, evolution rules and the Fig. 8 matrix."""
+
+import pytest
+
+from repro.common.errors import SchemaEvolutionError, SchemaValidationError
+from repro.gmdb.schema import (
+    FieldDef,
+    FieldType,
+    RecordSchema,
+    SchemaRegistry,
+    check_evolution,
+    downgrade_object,
+    upgrade_object,
+)
+from repro.workloads.mme import MME_VERSIONS, mme_schema
+
+
+def v1():
+    return RecordSchema("user", (
+        FieldDef("id", FieldType.STRING),
+        FieldDef("age", FieldType.INT),
+    ), primary_key="id")
+
+
+def v2():
+    return RecordSchema("user", (
+        FieldDef("id", FieldType.STRING),
+        FieldDef("age", FieldType.INT),
+        FieldDef("name", FieldType.STRING, default="?"),
+    ), primary_key="id")
+
+
+class TestValidation:
+    def test_valid_object(self):
+        v1().validate({"id": "x", "age": 3})
+
+    def test_missing_field(self):
+        with pytest.raises(SchemaValidationError):
+            v1().validate({"id": "x"})
+
+    def test_unknown_field(self):
+        with pytest.raises(SchemaValidationError):
+            v1().validate({"id": "x", "age": 3, "zz": 1})
+
+    def test_wrong_type(self):
+        with pytest.raises(SchemaValidationError):
+            v1().validate({"id": "x", "age": "three"})
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaValidationError):
+            v1().validate({"id": "x", "age": True})
+
+    def test_nested_record_array(self):
+        schema = RecordSchema("s", (
+            FieldDef("id", FieldType.STRING),
+            FieldDef("items", FieldType.RECORD_ARRAY, record=RecordSchema(
+                "item", (FieldDef("n", FieldType.INT),))),
+        ))
+        schema.validate({"id": "x", "items": [{"n": 1}, {"n": 2}]})
+        with pytest.raises(SchemaValidationError):
+            schema.validate({"id": "x", "items": [{"n": "bad"}]})
+
+    def test_new_object_defaults(self):
+        obj = v2().new_object(id="a", age=1)
+        assert obj["name"] == "?"
+
+    def test_record_array_needs_schema(self):
+        with pytest.raises(SchemaEvolutionError):
+            FieldDef("items", FieldType.RECORD_ARRAY)
+
+
+class TestEvolutionRules:
+    def test_append_is_legal(self):
+        changes = check_evolution(v1(), v2())
+        assert changes == ["add name (string)"]
+
+    def test_delete_is_illegal(self):
+        with pytest.raises(SchemaEvolutionError, match="deleting"):
+            check_evolution(v2(), v1())
+
+    def test_reorder_is_illegal(self):
+        reordered = RecordSchema("user", (
+            FieldDef("age", FieldType.INT),
+            FieldDef("id", FieldType.STRING),
+        ))
+        with pytest.raises(SchemaEvolutionError, match="re-ordering"):
+            check_evolution(v1(), reordered)
+
+    def test_type_change_is_illegal(self):
+        changed = RecordSchema("user", (
+            FieldDef("id", FieldType.STRING),
+            FieldDef("age", FieldType.DOUBLE),
+        ))
+        with pytest.raises(SchemaEvolutionError, match="type"):
+            check_evolution(v1(), changed)
+
+    def test_nested_append_is_legal(self):
+        old = RecordSchema("s", (
+            FieldDef("items", FieldType.RECORD_ARRAY, record=RecordSchema(
+                "item", (FieldDef("n", FieldType.INT),))),
+        ))
+        new = RecordSchema("s", (
+            FieldDef("items", FieldType.RECORD_ARRAY, record=RecordSchema(
+                "item", (FieldDef("n", FieldType.INT),
+                         FieldDef("extra", FieldType.STRING)))),
+        ))
+        assert check_evolution(old, new) == ["add items.extra (string)"]
+
+
+class TestConversion:
+    def test_upgrade_fills_defaults(self):
+        obj = upgrade_object({"id": "x", "age": 5}, v1(), v2())
+        assert obj == {"id": "x", "age": 5, "name": "?"}
+
+    def test_downgrade_drops_fields(self):
+        obj = downgrade_object({"id": "x", "age": 5, "name": "n"}, v2(), v1())
+        assert obj == {"id": "x", "age": 5}
+
+    def test_round_trip_preserves_common_fields(self):
+        original = {"id": "x", "age": 5}
+        up = upgrade_object(original, v1(), v2())
+        down = downgrade_object(up, v2(), v1())
+        assert down == original
+
+
+class TestRegistryMatrix:
+    def make_registry(self, allow_multi_step=False):
+        registry = SchemaRegistry("mme", allow_multi_step)
+        for version in MME_VERSIONS:
+            registry.register(version, mme_schema(version))
+        return registry
+
+    def test_matrix_matches_figure8(self):
+        matrix = self.make_registry().conversion_matrix()
+        # diagonals
+        assert all(matrix[(v, v)] == "-" for v in MME_VERSIONS)
+        # one-step upgrades U1..U4 and downgrades D1..D4
+        for a, b in zip(MME_VERSIONS, MME_VERSIONS[1:]):
+            assert matrix[(a, b)] == "U"
+            assert matrix[(b, a)] == "D"
+        # everything further apart is X
+        assert matrix[(3, 6)] == "X"
+        assert matrix[(3, 8)] == "X"
+        assert matrix[(8, 5)] == "X"
+
+    def test_multi_step_extension(self):
+        registry = self.make_registry(allow_multi_step=True)
+        assert registry.can_convert(3, 8)
+        obj = mme_schema(3).new_object(imsi="i", guti="g", tracking_area=1,
+                                       enb_id=1, auth_vector="a", last_seen_us=0)
+        converted, touched = registry.convert(obj, 3, 8)
+        mme_schema(8).validate(converted)
+        assert touched > 0
+        back, _ = registry.convert(converted, 8, 3)
+        assert back == obj
+
+    def test_non_adjacent_conversion_rejected(self):
+        registry = self.make_registry()
+        obj = mme_schema(3).new_object(imsi="i", guti="g", tracking_area=1,
+                                       enb_id=1, auth_vector="a", last_seen_us=0)
+        with pytest.raises(SchemaEvolutionError, match="X in the conversion"):
+            registry.convert(obj, 3, 6)
+
+    def test_versions_must_ascend(self):
+        registry = SchemaRegistry("t")
+        registry.register(3, mme_schema(3))
+        with pytest.raises(SchemaEvolutionError):
+            registry.register(2, mme_schema(3))
+
+    def test_illegal_registration_rejected(self):
+        registry = SchemaRegistry("u")
+        registry.register(1, v2())
+        # v1 deletes a field relative to v2
+        with pytest.raises(SchemaEvolutionError):
+            registry.register(2, v1())

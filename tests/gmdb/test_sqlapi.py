@@ -1,0 +1,124 @@
+"""Tests for GMDB's SQL interface over the tree-object store."""
+
+import pytest
+
+from repro.common.errors import SqlAnalysisError
+from repro.gmdb.cluster import GmdbCluster
+from repro.gmdb.sqlapi import GmdbSql
+from repro.workloads.mme import MME_VERSIONS, MmeSessionGenerator, mme_schema
+
+
+@pytest.fixture
+def sql():
+    cluster = GmdbCluster(num_dns=2, object_type="mme_session")
+    for version in MME_VERSIONS:
+        cluster.register_schema(version, mme_schema(version))
+    client = cluster.connect("app", 3)
+    gen = MmeSessionGenerator(3, seed=13)
+    for i in range(12):
+        obj = gen.session(i)
+        obj["state"] = ["REGISTERED", "IDLE", "CONNECTED"][i % 3]
+        obj["tracking_area"] = 100 + i
+        client.create(obj["imsi"], obj)
+    return GmdbSql(client)
+
+
+class TestSelect:
+    def test_select_star_projects_scalar_fields(self, sql):
+        rows = sql.query("select * from mme_session limit 1")
+        assert "imsi" in rows[0] and "state" in rows[0]
+        assert "bearers" not in rows[0]   # record arrays stay in the tree
+
+    def test_where_filtering(self, sql):
+        rows = sql.query(
+            "select imsi, state from mme_session where state = 'IDLE'")
+        assert len(rows) == 4
+        assert all(r["state"] == "IDLE" for r in rows)
+
+    def test_expressions_and_aliases(self, sql):
+        rows = sql.query(
+            "select imsi, tracking_area + 1000 ta from mme_session "
+            "where tracking_area = 105")
+        assert rows == [{"imsi": rows[0]["imsi"], "ta": 1105}]
+
+    def test_order_and_limit(self, sql):
+        rows = sql.query(
+            "select tracking_area from mme_session "
+            "order by tracking_area desc limit 3")
+        assert [r["tracking_area"] for r in rows] == [111, 110, 109]
+
+    def test_wrong_type_rejected(self, sql):
+        with pytest.raises(SqlAnalysisError):
+            sql.execute("select * from other_type")
+
+    def test_unsupported_features_rejected(self, sql):
+        with pytest.raises(SqlAnalysisError):
+            sql.execute("select state, count(*) from mme_session group by state")
+
+
+class TestDml:
+    def test_update_runs_through_delta_path(self, sql):
+        writes_before = sql.client.cluster.metrics.writes
+        result = sql.execute(
+            "update mme_session set state = 'DETACHED' "
+            "where tracking_area < 103")
+        assert result.rowcount == 3
+        assert sql.client.cluster.metrics.writes == writes_before + 3
+        rows = sql.query(
+            "select count_field from mme_session where state = 'DETACHED'"
+        ) if False else sql.query(
+            "select imsi from mme_session where state = 'DETACHED'")
+        assert len(rows) == 3
+
+    def test_update_with_expression(self, sql):
+        sql.execute("update mme_session set tracking_area = tracking_area + 1 "
+                    "where tracking_area = 100")
+        assert sql.query("select imsi from mme_session "
+                         "where tracking_area = 100") == []
+        # 101 now exists twice (the bumped one and the original 101)
+        rows = sql.query("select imsi from mme_session "
+                         "where tracking_area = 101")
+        assert len(rows) == 2
+
+    def test_insert_defaults_unset_fields(self, sql):
+        result = sql.execute(
+            "insert into mme_session (imsi, guti, tracking_area) "
+            "values ('460000199999999', 'g-new', 42)")
+        assert result.rowcount == 1
+        rows = sql.query("select imsi, state, enb_id from mme_session "
+                         "where tracking_area = 42")
+        assert rows[0]["state"] == "REGISTERED"   # schema default
+        assert rows[0]["enb_id"] == 0
+
+    def test_delete(self, sql):
+        result = sql.execute("delete from mme_session where state = 'IDLE'")
+        assert result.rowcount == 4
+        assert sql.query("select imsi from mme_session "
+                         "where state = 'IDLE'") == []
+        assert sql.client.cluster.object_count() == 8
+
+    def test_unknown_field_rejected(self, sql):
+        with pytest.raises(SqlAnalysisError):
+            sql.execute("update mme_session set bogus = 1")
+
+
+class TestMixedApis:
+    def test_sql_and_kv_see_the_same_data(self, sql):
+        client = sql.client
+        imsi = sql.query("select imsi from mme_session "
+                         "where tracking_area = 107")[0]["imsi"]
+        # Tree-model update through KV...
+        client.update(imsi, lambda o: o.__setitem__("enb_id", 4242))
+        # ...visible through SQL.
+        rows = sql.query(f"select enb_id from mme_session "
+                         f"where imsi = '{imsi}'")
+        assert rows == [{"enb_id": 4242}]
+
+    def test_sql_over_mixed_schema_versions(self, sql):
+        """A V5 client's SQL view includes the appended fields."""
+        cluster = sql.client.cluster
+        v5 = cluster.connect("app-v5", 5)
+        v5_sql = GmdbSql(v5)
+        rows = v5_sql.query("select imsi, volte_enabled from mme_session "
+                            "order by imsi limit 2")
+        assert all(r["volte_enabled"] is False for r in rows)

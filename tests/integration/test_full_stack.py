@@ -1,0 +1,134 @@
+"""Cross-subsystem integration tests.
+
+These exercise flows that span multiple packages at once: SQL over live
+OLTP traffic, the autonomous manager supervising a working cluster, the
+learning loop changing join orders, and a GMDB + collab hybrid.
+"""
+
+import pytest
+
+from repro.autonomous.adbms import AutonomousManager
+from repro.autonomous.workload import Sla
+from repro.cluster import MppCluster, TxnMode
+from repro.collab.device import NodeKind
+from repro.collab.platform import CollabPlatform, collection
+from repro.common.rng import make_rng
+from repro.gmdb.cluster import GmdbCluster
+from repro.sql.engine import SqlEngine
+from repro.workloads.mme import MmeSessionGenerator, mme_schema
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+
+class TestHtapFlow:
+    """OLAP SQL over a cluster that OLTP transactions keep mutating."""
+
+    def test_analytics_track_transactional_writes(self):
+        cluster = MppCluster(num_dns=2)
+        engine = SqlEngine(cluster)
+        engine.execute("create table account "
+                       "(id int primary key, balance int)")
+        engine.execute("insert into account values " + ",".join(
+            f"({i}, 100)" for i in range(40)))
+        session = cluster.session()
+        rng = make_rng(8)
+        for _ in range(60):
+            src, dst = rng.sample(range(40), 2)
+
+            def transfer(txn):
+                a = txn.read("account", src)
+                b = txn.read("account", dst)
+                txn.update("account", src, {"balance": a["balance"] - 5})
+                txn.update("account", dst, {"balance": b["balance"] + 5})
+
+            session.run_transaction(transfer, multi_shard=False)
+        total = engine.execute("select sum(balance) from account").scalar()
+        assert total == 40 * 100
+
+    def test_sql_over_tpcc_state(self):
+        cluster = MppCluster(num_dns=2)
+        load_tpcc(cluster, num_warehouses=4)
+        engine = SqlEngine(cluster)
+        engine.execute("analyze")
+        rows = engine.query(
+            "select w_id, count(*) districts from district "
+            "group by w_id order by w_id")
+        assert len(rows) == 4
+        assert all(r["districts"] == 10 for r in rows)
+        joined = engine.execute(
+            "select count(*) from customer c join district d "
+            "on c.w_id = d.w_id and c.d_id = d.d_id").scalar()
+        assert joined == 4 * 10 * 30
+
+
+class TestAutonomousSupervision:
+    def test_manager_observes_real_traffic(self):
+        cluster = MppCluster(num_dns=2)
+        load_tpcc(cluster, num_warehouses=4)
+        manager = AutonomousManager(cluster, sla=Sla("x", p95_latency_us=1e9))
+        workload = TpccLiteWorkload(4, multi_shard_fraction=0.1, seed=2)
+        stream = workload.stream(home_warehouse=0, seed_offset=0)
+        session = cluster.session()
+        for tick in range(5):
+            for _ in range(20):
+                spec = next(stream)
+                txn = session.begin(multi_shard=spec.multi_shard)
+                spec.body(txn)
+                txn.commit()
+            manager.collect(tick * 1_000_000.0)
+            report = manager.tick(tick * 1_000_000.0)
+            assert not report.anomalies
+        commits = manager.info.values("commits_delta")
+        assert sum(commits) == 100
+        assert manager.info.latest("gtm_requests") == \
+            cluster.gtm.stats.total_requests
+
+
+class TestLearningChangesPlans:
+    def test_feedback_flips_join_order(self):
+        """A badly mis-estimated side should move after capture."""
+        cluster = MppCluster(num_dns=1)
+        engine = SqlEngine(cluster)
+        engine.execute("create table a (id int primary key, k int)")
+        engine.execute("create table b (id int primary key, k int)")
+        # a is big but filters to 2 rows (correlated, stats mislead);
+        # b is mid-size.  Without feedback the optimizer believes the
+        # filtered a is bigger than it is.
+        engine.execute("insert into a values " + ",".join(
+            f"({i}, {0 if i > 1 else 1})" for i in range(400)))
+        engine.execute("insert into b values " + ",".join(
+            f"({i}, {i % 7})" for i in range(60)))
+        query = ("select count(*) from a, b "
+                 "where a.id = b.id and a.k = 1")
+        first = engine.execute(query)
+        second = engine.execute(query)
+        assert first.scalar() == second.scalar() == 2
+        # After learning, the scan estimate of "a where k=1" is exact.
+        line = [l for l in second.plan_text.splitlines()
+                if "SeqScan a" in l][0]
+        assert "est=2" in line, line
+
+
+class TestTelecomPlusEdge:
+    def test_session_data_flows_to_edge_dashboard(self):
+        """GMDB session counters replicated to an ops dashboard device."""
+        gmdb = GmdbCluster(num_dns=1)
+        gmdb.register_schema(3, mme_schema(3))
+        client = gmdb.connect("mme", 3)
+        gen = MmeSessionGenerator(3)
+        connected = 0
+        for i in range(20):
+            session = gen.session(i)
+            client.create(session["imsi"], session)
+            if session["state"] == "CONNECTED":
+                connected += 1
+
+        platform = CollabPlatform()
+        core = platform.add_node("core-site", NodeKind.EDGE)
+        dashboard = platform.add_node("noc-laptop", NodeKind.DEVICE)
+        metrics = collection(core, "metrics")
+        metrics.put("sessions_total", gmdb.object_count())
+        metrics.put("sessions_connected", connected)
+        platform.converge()
+        assert collection(dashboard, "metrics").get("sessions_total") == 20
+        assert collection(dashboard, "metrics").get(
+            "sessions_connected") == connected

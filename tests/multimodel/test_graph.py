@@ -1,0 +1,138 @@
+"""Tests for the graph engine and the Gremlin string parser."""
+
+import pytest
+
+from repro.common.errors import ExecutionError, SqlSyntaxError
+from repro.multimodel.graph import P, PropertyGraph, __
+from repro.multimodel.gremlin import parse_gremlin
+
+
+@pytest.fixture
+def social():
+    g = PropertyGraph()
+    for name, age in [("alice", 30), ("bob", 25), ("carol", 35), ("dan", 28)]:
+        g.add_vertex(name, "person", name=name, age=age)
+    g.add_vertex("acme", "company", name="acme")
+    g.add_edge("alice", "bob", "knows", since=2015)
+    g.add_edge("alice", "carol", "knows", since=2020)
+    g.add_edge("bob", "carol", "knows", since=2018)
+    g.add_edge("alice", "acme", "works_at")
+    g.add_edge("dan", "acme", "works_at")
+    return g
+
+
+class TestGraphStorage:
+    def test_counts(self, social):
+        assert social.vertex_count == 5
+        assert social.edge_count == 5
+
+    def test_duplicate_vertex_rejected(self, social):
+        with pytest.raises(ExecutionError):
+            social.add_vertex("alice")
+
+    def test_edge_needs_endpoints(self, social):
+        with pytest.raises(ExecutionError):
+            social.add_edge("alice", "nobody", "knows")
+
+    def test_remove_vertex_cascades(self, social):
+        social.remove_vertex("alice")
+        assert social.vertex_count == 4
+        assert social.edge_count == 2  # alice's 3 edges removed
+
+    def test_relational_projection(self, social):
+        rows = social.vertex_rows()
+        assert {"vid", "label"} <= set(rows[0])
+        edge_rows = social.edge_rows()
+        assert {"eid", "src", "dst", "label"} <= set(edge_rows[0])
+        assert len(edge_rows) == 5
+
+
+class TestTraversal:
+    def test_v_and_has(self, social):
+        names = social.traversal().V().has("age", P.gte(30)).values("name").to_list()
+        assert sorted(names) == ["alice", "carol"]
+
+    def test_out_in_both(self, social):
+        assert sorted(social.traversal().V("alice").out("knows").values("name")) == \
+            ["bob", "carol"]
+        assert social.traversal().V("carol").in_("knows").count().next() == 2
+        assert social.traversal().V("bob").both("knows").count().next() == 2
+
+    def test_edge_steps(self, social):
+        since = social.traversal().V("alice").outE("knows").values("since").to_list()
+        assert sorted(since) == [2015, 2020]
+        sources = social.traversal().V("acme").inE("works_at").outV() \
+            .values("name").to_list()
+        assert sorted(sources) == ["alice", "dan"]
+
+    def test_haslabel(self, social):
+        assert social.traversal().V().hasLabel("company").count().next() == 1
+
+    def test_where_subtraversal(self, social):
+        employed = social.traversal().V().hasLabel("person") \
+            .where(__.out("works_at")).values("name").to_list()
+        assert sorted(employed) == ["alice", "dan"]
+
+    def test_dedup_and_limit(self, social):
+        repeated = social.traversal().V("alice").out("knows").in_("knows")
+        assert len(repeated.to_list()) > len(repeated.dedup().to_list())
+        assert len(social.traversal().V().limit(2).to_list()) == 2
+
+    def test_count_is_filter(self, social):
+        popular = social.traversal().V().hasLabel("person") \
+            .where(__.out("knows").count().is_(P.gte(2))) \
+            .values("name").to_list()
+        assert popular == ["alice"]
+
+    def test_predicates(self):
+        assert P.within("a", "b").test("a")
+        assert not P.within("a").test("c")
+        assert P.neq(1).test(2)
+        assert not P.gt(5).test(None)
+
+    def test_empty_start(self, social):
+        assert social.traversal().V("ghost").to_list() == []
+
+
+class TestGremlinParser:
+    def test_basic_chain(self, social):
+        result = parse_gremlin("g.V().has('age', gt(26)).values('name')", social)
+        assert sorted(result.to_list()) == ["alice", "carol", "dan"]
+
+    def test_in_alias(self, social):
+        result = parse_gremlin("g.V().has('name','carol').in('knows').count()",
+                               social)
+        assert result.next() == 2
+
+    def test_nested_anonymous_traversal(self, social):
+        text = ("g.V().hasLabel('person')"
+                ".where(__.out('works_at').has('name','acme'))"
+                ".values('name')")
+        assert sorted(parse_gremlin(text, social).to_list()) == ["alice", "dan"]
+
+    def test_bare_words_are_strings(self, social):
+        # The paper writes has(cid, 11111) without quotes.
+        result = parse_gremlin("g.V().has(name, 'alice').count()", social)
+        assert result.next() == 1
+
+    def test_escaped_quotes(self, social):
+        social.add_vertex("o'brien", "person", name="o'brien", age=40)
+        result = parse_gremlin("g.V().has('name', 'o''brien').count()", social)
+        assert result.next() == 1
+
+    def test_numbers_and_predicates(self, social):
+        result = parse_gremlin(
+            "g.V().has('age', gte(25)).has('age', lt(30)).count()", social)
+        assert result.next() == 2
+
+    def test_unknown_step_rejected(self, social):
+        with pytest.raises(SqlSyntaxError):
+            parse_gremlin("g.V().teleport()", social)
+
+    def test_trailing_garbage_rejected(self, social):
+        with pytest.raises(SqlSyntaxError):
+            parse_gremlin("g.V() nonsense", social)
+
+    def test_chain_must_start_with_g(self, social):
+        with pytest.raises(SqlSyntaxError):
+            parse_gremlin("h.V()", social)

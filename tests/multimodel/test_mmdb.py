@@ -1,0 +1,109 @@
+"""Integration tests for the multi-model database (Example 1 and friends)."""
+
+import pytest
+
+from repro.multimodel.mmdb import MultiModelDB
+
+MINUTES = 60_000_000
+
+
+@pytest.fixture
+def city():
+    """The paper's Example 1 scenario: cameras, call graph, registrations."""
+    db = MultiModelDB()
+    db.execute("create table car2cid (carid int primary key, cid int)")
+    db.execute("create table person (cid int primary key, phone text, photo text)")
+    for cid, car in [(11111, 1), (22222, 2), (33333, 3), (44444, 4)]:
+        db.execute(f"insert into person values ({cid}, 'ph-{cid}', 'photo-{cid}')")
+        db.execute(f"insert into car2cid values ({car}, {cid})")
+    for cid in (11111, 22222, 33333, 44444):
+        db.graph.add_vertex(cid, "person", cid=cid)
+    for t in (10, 20, 30, 40):
+        db.graph.add_edge(22222, 11111, "call", time=t)
+    db.graph.add_edge(33333, 11111, "call", time=25)
+    hs = db.timeseries.create_series("high_speed", ["carid", "juncid"])
+    db.set_now_us(100 * MINUTES)
+    for t, car, junc in [(75, 2, 9), (80, 3, 7), (99, 2, 5), (40, 4, 1)]:
+        hs.append(t * MINUTES, carid=car, juncid=junc)
+    return db
+
+
+EXAMPLE1 = """
+with cars (t, carid, juncid) as (
+    select time, carid, juncid from gtimeseries('high_speed', 1800000000)
+),
+suspects (cid) as (
+    select value from ggraph('g.V().hasLabel(''person'')
+        .where(__.outE(''call'').has(''time'', gt(5)).inV().has(''cid'', 11111)
+               .count().is(gt(3)))
+        .values(''cid'')')
+)
+select s.cid, p.phone, p.photo, c.carid
+from suspects s, cars c, car2cid cc, person p
+where s.cid = cc.cid and cc.carid = c.carid and p.cid = s.cid
+"""
+
+
+class TestExample1:
+    def test_unified_query(self, city):
+        result = city.execute(EXAMPLE1)
+        assert result.columns == ["cid", "phone", "photo", "carid"]
+        assert result.rowcount == 2          # two recent sightings of car 2
+        assert all(row[0] == 22222 for row in result.rows)
+        assert all(row[3] == 2.0 for row in result.rows)
+
+    def test_window_excludes_old_sightings(self, city):
+        rows = city.query(
+            "select carid from gtimeseries('high_speed', 1800000000)")
+        cars = {int(r["carid"]) for r in rows}
+        assert cars == {2, 3}    # the t=40min sighting of car 4 is too old
+
+    def test_gtimeseries_range(self, city):
+        rows = city.query(
+            f"select carid from gtimeseries_range('high_speed', 0, {50 * MINUTES})")
+        assert [int(r["carid"]) for r in rows] == [4]
+
+    def test_ggraph_scalar_output(self, city):
+        rows = city.query(
+            "select value from ggraph('g.V(11111).inE(''call'').count()')")
+        assert rows == [{"value": 5}]
+
+    def test_ggraph_vertex_output_expands_properties(self, city):
+        result = city.execute(
+            "select * from ggraph('g.V().hasLabel(''person'')') limit 1")
+        assert "vid" in result.columns and "cid" in result.columns
+
+    def test_gremlin_direct(self, city):
+        assert city.gremlin("g.V(22222).out('call').count()") == [4]
+
+
+class TestSpatialIntegration:
+    def test_knn_in_sql(self, city):
+        layer = city.spatial.create_layer("junctions", cell_size=5.0)
+        for i in range(10):
+            layer.insert(f"j{i}", float(i * 3), float(i % 4))
+        rows = city.query(
+            "select oid, distance from gspatial_knn('junctions', 9, 1, 2)")
+        assert len(rows) == 2
+        assert rows[0]["distance"] <= rows[1]["distance"]
+
+    def test_radius_join_with_relational(self, city):
+        layer = city.spatial.create_layer("cams")
+        layer.insert("1", 0.0, 0.0)
+        layer.insert("2", 0.5, 0.5)
+        layer.insert("3", 50.0, 50.0)
+        rows = city.query(
+            "select c.oid, p.phone from gspatial_radius('cams', 0, 0, 2) c "
+            "join person p on p.cid = 11111")
+        assert sorted(r["c" if "c" in rows[0] else "oid"] for r in rows) == ["1", "2"]
+
+
+class TestClock:
+    def test_now_used_by_sql(self, city):
+        assert city.query("select now() t")[0]["t"] == 100 * MINUTES
+        city.set_now_us(5)
+        assert city.query("select now() t")[0]["t"] == 5
+
+    def test_external_now_fn(self):
+        db = MultiModelDB(now_fn=lambda: 42)
+        assert db.query("select now() t")[0]["t"] == 42

@@ -1,0 +1,160 @@
+"""Tests for the continuous-query (streaming) engine."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SqlAnalysisError, SqlSyntaxError
+from repro.multimodel.streaming import (
+    ContinuousQuery,
+    EventStream,
+    SECOND_US,
+    StreamEngine,
+    WindowResult,
+    parse_cql,
+)
+from repro.storage.types import DataType
+
+
+def make_engine():
+    engine = StreamEngine()
+    engine.create_stream("speed_events", {
+        "carid": DataType.BIGINT,
+        "speed": DataType.DOUBLE,
+        "juncid": DataType.BIGINT,
+    })
+    return engine
+
+
+class TestCqlParsing:
+    def test_full_clause(self):
+        engine = make_engine()
+        query = parse_cql("q", "select avg(speed) from speed_events "
+                          "where speed > 100 window 10 seconds "
+                          "slide 5 seconds", engine)
+        assert query.agg == "avg"
+        assert query.agg_field == "speed"
+        assert query.window_us == 10 * SECOND_US
+        assert query.slide_us == 5 * SECOND_US
+        assert query.predicate is not None
+
+    def test_count_star(self):
+        engine = make_engine()
+        query = parse_cql("q", "select count(*) from speed_events "
+                          "window 1 minute", engine)
+        assert query.agg == "count" and query.agg_field is None
+        assert query.window_us == 60 * SECOND_US
+
+    def test_errors(self):
+        engine = make_engine()
+        with pytest.raises(SqlSyntaxError):
+            parse_cql("q", "select avg(speed) from speed_events", engine)
+        with pytest.raises(SqlSyntaxError):
+            parse_cql("q", "update x set y = 1 window 1 seconds", engine)
+        with pytest.raises(SqlAnalysisError):
+            parse_cql("q", "select avg(altitude) from speed_events "
+                      "window 1 seconds", engine)
+        with pytest.raises(ConfigError):
+            parse_cql("q", "select avg(speed) from speed_events "
+                      "window 2 seconds slide 5 seconds", engine)
+
+
+class TestTumblingWindows:
+    def test_aggregate_per_window(self):
+        engine = make_engine()
+        results = []
+        engine.register_cql(
+            "avg_speed", "select avg(speed) from speed_events "
+            "window 10 seconds", emit=results.append)
+        stream = engine.stream("speed_events")
+        for t, speed in [(1, 100.0), (5, 120.0), (12, 80.0), (25, 60.0)]:
+            stream.append(t * SECOND_US, carid=1, speed=speed, juncid=1)
+        stream.advance_to(40 * SECOND_US)
+        assert [r.value for r in results] == [110.0, 80.0, 60.0]
+        assert results[0].window_start_us == 0
+        assert results[1].window_start_us == 10 * SECOND_US
+
+    def test_where_filters_events(self):
+        engine = make_engine()
+        results = []
+        engine.register_cql(
+            "speeders", "select count(*) from speed_events "
+            "where speed > 100 window 10 seconds", emit=results.append)
+        stream = engine.stream("speed_events")
+        for t, speed in [(1, 90.0), (2, 130.0), (3, 140.0)]:
+            stream.append(t * SECOND_US, carid=1, speed=speed, juncid=1)
+        stream.advance_to(20 * SECOND_US)
+        assert [r.value for r in results] == [2.0]
+
+    def test_empty_windows_not_emitted(self):
+        engine = make_engine()
+        results = []
+        engine.register_cql("q", "select count(*) from speed_events "
+                            "window 1 seconds", emit=results.append)
+        stream = engine.stream("speed_events")
+        stream.append(0, carid=1, speed=1.0, juncid=1)
+        stream.append(100 * SECOND_US, carid=1, speed=1.0, juncid=1)
+        stream.advance_to(200 * SECOND_US)
+        assert len(results) == 2   # only the two non-empty windows
+
+    def test_min_max(self):
+        engine = make_engine()
+        results = []
+        engine.register_cql("q", "select max(speed) from speed_events "
+                            "window 10 seconds", emit=results.append)
+        stream = engine.stream("speed_events")
+        for t, speed in [(1, 90.0), (2, 130.0), (3, 70.0)]:
+            stream.append(t * SECOND_US, carid=1, speed=speed, juncid=1)
+        stream.advance_to(10 * SECOND_US)
+        assert results[0].value == 130.0
+
+
+class TestSlidingWindows:
+    def test_overlapping_windows(self):
+        engine = make_engine()
+        results = []
+        engine.register_cql(
+            "q", "select count(*) from speed_events "
+            "window 10 seconds slide 5 seconds", emit=results.append)
+        stream = engine.stream("speed_events")
+        for t in (1, 4, 7, 12):
+            stream.append(t * SECOND_US, carid=1, speed=1.0, juncid=1)
+        stream.advance_to(30 * SECOND_US)
+        # Windows: [0,10): 3 events; [5,15): 2 events (7 and 12).
+        assert [(r.window_start_us // SECOND_US, r.events)
+                for r in results][:2] == [(0, 3), (5, 2)]
+
+
+class TestStreamMechanics:
+    def test_time_must_be_monotone(self):
+        engine = make_engine()
+        stream = engine.stream("speed_events")
+        stream.append(10, carid=1, speed=1.0, juncid=1)
+        with pytest.raises(ConfigError):
+            stream.append(5, carid=1, speed=1.0, juncid=1)
+
+    def test_unknown_field_rejected(self):
+        engine = make_engine()
+        with pytest.raises(ConfigError):
+            engine.stream("speed_events").append(0, altitude=3.0)
+
+    def test_multiple_queries_per_stream(self):
+        engine = make_engine()
+        a, b = [], []
+        engine.register_cql("qa", "select count(*) from speed_events "
+                            "window 10 seconds", emit=a.append)
+        engine.register_cql("qb", "select sum(speed) from speed_events "
+                            "window 10 seconds", emit=b.append)
+        stream = engine.stream("speed_events")
+        stream.append(1 * SECOND_US, carid=1, speed=50.0, juncid=1)
+        stream.advance_to(10 * SECOND_US)
+        assert a[0].value == 1.0 and b[0].value == 50.0
+
+    def test_duplicate_names_rejected(self):
+        engine = make_engine()
+        engine.register_cql("q", "select count(*) from speed_events "
+                            "window 1 seconds")
+        with pytest.raises(ConfigError):
+            engine.register_cql("q", "select count(*) from speed_events "
+                                "window 1 seconds")
+        with pytest.raises(ConfigError):
+            make_engine().create_stream("x", {}) and None
+            engine.create_stream("speed_events", {})

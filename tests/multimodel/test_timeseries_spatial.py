@@ -1,0 +1,155 @@
+"""Tests for the time-series and spatial engines."""
+
+import pytest
+
+from repro.common.errors import ConfigError, ExecutionError, StorageError
+from repro.multimodel.spatial import GridIndex, SpatialEngine, euclidean, haversine_m
+from repro.multimodel.timeseries import TimeSeries, TimeSeriesEngine
+
+
+class TestTimeSeries:
+    def make(self, n=100, step=1000):
+        ts = TimeSeries("s", ["v"], chunk_points=32)
+        for i in range(n):
+            ts.append(i * step, v=float(i))
+        return ts
+
+    def test_range_query(self):
+        ts = self.make()
+        points = list(ts.range(10_000, 12_000))
+        assert [t for t, _ in points] == [10_000, 11_000, 12_000]
+
+    def test_last_window(self):
+        ts = self.make()
+        points = list(ts.last_window(window_us=5_000, now_us=99_000))
+        assert [t for t, _ in points] == [95_000, 96_000, 97_000, 98_000, 99_000]
+
+    def test_out_of_order_ingest_sorted(self):
+        ts = TimeSeries("s", ["v"], chunk_points=8)
+        for t in (5, 1, 3, 2, 4, 9, 7, 8):
+            ts.append(t, v=float(t))
+        assert [t for t, _ in ts.range(0, 10)] == [1, 2, 3, 4, 5, 7, 8, 9]
+
+    def test_late_data_merges_chunks(self):
+        ts = TimeSeries("s", ["v"], chunk_points=4)
+        for t in (10, 20, 30, 40):   # seals chunk [10..40]
+            ts.append(t, v=1.0)
+        for t in (15, 50, 60, 70):   # 15 overlaps the sealed chunk
+            ts.append(t, v=2.0)
+        times = [t for t, _ in ts.range(0, 100)]
+        assert times == sorted(times)
+        assert 15 in times
+
+    def test_aggregates(self):
+        ts = self.make(10)
+        assert ts.aggregate(0, 9_000, "v", "sum") == 45.0
+        assert ts.aggregate(0, 9_000, "v", "max") == 9.0
+        assert ts.aggregate(0, 9_000, "v", "count") == 10.0
+        assert ts.aggregate(50_000, 60_000, "v", "avg") is None
+
+    def test_window_aggregate(self):
+        ts = self.make(10)
+        buckets = ts.window_aggregate(0, 10_000, 5_000, "v", "count")
+        assert buckets == [(0, 5.0), (5_000, 5.0)]
+
+    def test_downsample(self):
+        ts = self.make(100)
+        coarse = ts.downsample(10_000, "v", "avg")
+        points = list(coarse.range(0, 10**9))
+        assert len(points) == 10
+        assert points[0][1]["v"] == pytest.approx(4.5)
+
+    def test_multi_column(self):
+        ts = TimeSeries("gps", ["lat", "lon"])
+        ts.append(1, lat=1.0, lon=2.0)
+        ts.append(2, 3.0, 4.0)   # positional
+        points = list(ts.range(0, 10))
+        assert points[1][1] == {"lat": 3.0, "lon": 4.0}
+
+    def test_errors(self):
+        ts = TimeSeries("s", ["v"])
+        with pytest.raises(ExecutionError):
+            ts.append(1)             # missing value
+        with pytest.raises(ExecutionError):
+            ts.append(1, 1.0, v=1.0)  # both styles
+        with pytest.raises(ExecutionError):
+            ts.aggregate(0, 1, "v", "median")
+        with pytest.raises(StorageError):
+            ts.aggregate(0, 1, "zz", "sum")
+
+    def test_engine_registry(self):
+        engine = TimeSeriesEngine()
+        engine.create_series("a", ["v"])
+        assert engine.has("a")
+        with pytest.raises(StorageError):
+            engine.create_series("a", ["v"])
+        with pytest.raises(StorageError):
+            engine.series("zz")
+        engine.drop("a")
+        assert not engine.has("a")
+
+
+class TestSpatial:
+    def grid(self):
+        index = GridIndex(cell_size=10.0)
+        for i in range(10):
+            for j in range(10):
+                index.insert(f"p{i}_{j}", i * 10.0, j * 10.0)
+        return index
+
+    def test_bbox(self):
+        index = self.grid()
+        hits = {p.oid for p in index.bbox(15, 15, 35, 35)}
+        assert hits == {"p2_2", "p2_3", "p3_2", "p3_3"}
+
+    def test_radius_sorted_by_distance(self):
+        index = self.grid()
+        hits = index.radius(20, 20, 11.0)
+        assert hits[0].oid == "p2_2"
+        assert {p.oid for p in hits[1:]} == {"p1_2", "p3_2", "p2_1", "p2_3"}
+
+    def test_knn(self):
+        index = self.grid()
+        nearest = index.knn(21, 21, 3)
+        assert nearest[0].oid == "p2_2"
+        assert len(nearest) == 3
+
+    def test_knn_more_than_points(self):
+        index = GridIndex(5.0)
+        index.insert("a", 0, 0)
+        assert len(index.knn(1, 1, 10)) == 1
+
+    def test_move_and_remove(self):
+        index = GridIndex(5.0)
+        index.insert("a", 0, 0, kind="car")
+        index.move("a", 100, 100)
+        assert index.get("a").x == 100
+        assert index.get("a").prop("kind") == "car"
+        index.remove("a")
+        assert index.get("a") is None
+        assert len(index) == 0
+
+    def test_duplicate_insert_rejected(self):
+        index = GridIndex(5.0)
+        index.insert("a", 0, 0)
+        with pytest.raises(StorageError):
+            index.insert("a", 1, 1)
+
+    def test_negative_coordinates(self):
+        index = GridIndex(5.0)
+        index.insert("a", -12, -7)
+        assert [p.oid for p in index.bbox(-20, -10, -10, 0)] == ["a"]
+
+    def test_engine_layers(self):
+        engine = SpatialEngine()
+        engine.create_layer("cars")
+        with pytest.raises(StorageError):
+            engine.create_layer("cars")
+        with pytest.raises(StorageError):
+            engine.layer("zz")
+        assert engine.names() == ["cars"]
+
+    def test_distances(self):
+        assert euclidean(0, 0, 3, 4) == 5.0
+        paris_london = haversine_m(48.8566, 2.3522, 51.5074, -0.1278)
+        assert 330_000 < paris_london < 360_000

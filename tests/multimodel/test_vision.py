@@ -1,0 +1,183 @@
+"""Tests for the vision engine and high-dimensional feature index."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ExecutionError, StorageError
+from repro.common.rng import make_rng
+from repro.multimodel.mmdb import MultiModelDB
+from repro.multimodel.vision import BoundingBox, FeatureIndex, VisionEngine, VisionStore
+
+
+def unit_feature(rng, dim=8, base=None, noise=0.0):
+    """A random direction, optionally near a base direction."""
+    vec = np.array([rng.gauss(0, 1) for _ in range(dim)])
+    if base is not None:
+        vec = np.asarray(base) + noise * vec
+    return (vec / np.linalg.norm(vec)).tolist()
+
+
+class TestBoundingBox:
+    def test_iou_identical(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.iou(box) == 1.0
+
+    def test_iou_disjoint(self):
+        assert BoundingBox(0, 0, 5, 5).iou(BoundingBox(10, 10, 5, 5)) == 0.0
+
+    def test_iou_partial(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(5, 0, 10, 10)
+        assert a.iou(b) == pytest.approx(50 / 150)
+
+
+class TestFeatureIndex:
+    def test_exact_knn_finds_self(self):
+        rng = make_rng(1)
+        index = FeatureIndex(dim=8)
+        features = {}
+        for i in range(50):
+            features[i] = unit_feature(rng)
+            index.add(i, features[i])
+        hits = index.knn(features[7], k=1)
+        assert hits[0][0] == 7
+        assert hits[0][1] == pytest.approx(1.0)
+
+    def test_knn_orders_by_similarity(self):
+        index = FeatureIndex(dim=2)
+        index.add(1, [1.0, 0.0])
+        index.add(2, [0.9, 0.1])
+        index.add(3, [0.0, 1.0])
+        hits = index.knn([1.0, 0.05], k=3)
+        assert [h[0] for h in hits] == [1, 2, 3]
+
+    def test_lsh_mode_recalls_near_duplicates(self):
+        rng = make_rng(5)
+        index = FeatureIndex(dim=16, lsh_bits=6)
+        base = unit_feature(rng, dim=16)
+        index.add(0, base)
+        for i in range(1, 200):
+            index.add(i, unit_feature(rng, dim=16))
+        near = unit_feature(rng, dim=16, base=base, noise=0.05)
+        hits = index.knn(near, k=1, exact=False)
+        assert hits and hits[0][0] == 0
+
+    def test_lsh_probes_fewer_candidates(self):
+        rng = make_rng(6)
+        index = FeatureIndex(dim=16, lsh_bits=8)
+        for i in range(500):
+            index.add(i, unit_feature(rng, dim=16))
+        query = unit_feature(rng, dim=16)
+        approx = index.knn(query, k=5, exact=False)
+        exact = index.knn(query, k=5, exact=True)
+        assert len(approx) <= 5 and len(exact) == 5
+
+    def test_rebuild_online(self):
+        rng = make_rng(7)
+        index = FeatureIndex(dim=8)
+        vectors = [unit_feature(rng) for _ in range(40)]
+        for i, vec in enumerate(vectors):
+            index.add(i, vec)
+        index.rebuild(lsh_bits=5)
+        hits = index.knn(vectors[3], k=1, exact=False)
+        assert hits and hits[0][0] == 3
+
+    def test_validation(self):
+        index = FeatureIndex(dim=4)
+        with pytest.raises(StorageError):
+            index.add(1, [1.0, 0.0])            # wrong dimension
+        with pytest.raises(StorageError):
+            index.add(1, [0.0, 0.0, 0.0, 0.0])  # zero vector
+        with pytest.raises(ConfigError):
+            FeatureIndex(dim=0)
+        with pytest.raises(ConfigError):
+            FeatureIndex(dim=4, lsh_bits=99)
+
+
+class TestVisionStore:
+    @pytest.fixture
+    def store(self):
+        rng = make_rng(9)
+        store = VisionStore("cam", feature_dim=8)
+        labels = ["car", "car", "pedestrian", "truck", "car", "pedestrian"]
+        for i, label in enumerate(labels):
+            store.ingest(f"frame-{i // 2}", t_us=i * 1000, label=label,
+                         confidence=0.5 + 0.08 * i,
+                         bbox=BoundingBox(i * 5.0, 0, 10, 10),
+                         feature=unit_feature(rng))
+        return store
+
+    def test_by_label(self, store):
+        cars = store.by_label("car")
+        assert len(cars) == 3
+        assert all(d.label == "car" for d in cars)
+
+    def test_confidence_filter(self, store):
+        confident = store.by_label("car", min_confidence=0.8)
+        assert len(confident) == 1
+
+    def test_time_window(self, store):
+        window = store.in_window(1000, 3000)
+        assert [d.detection_id for d in window] == [1, 2, 3]
+
+    def test_overlapping_boxes(self, store):
+        hits = store.overlapping(BoundingBox(2.0, 0, 10, 10), min_iou=0.3)
+        assert {d.detection_id for d in hits} == {0, 1}
+
+    def test_similar_to(self, store):
+        hits = store.similar_to(0, k=3)
+        assert len(hits) == 3
+        assert all(d.detection_id != 0 for d, _ in hits)
+        sims = [s for _, s in hits]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_bad_confidence_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.ingest("f", 0, "car", 1.5, BoundingBox(0, 0, 1, 1))
+
+    def test_labels_listing(self, store):
+        assert store.labels() == ["car", "pedestrian", "truck"]
+
+    def test_engine_registry(self):
+        engine = VisionEngine()
+        engine.create_store("a")
+        with pytest.raises(StorageError):
+            engine.create_store("a")
+        with pytest.raises(StorageError):
+            engine.store("zz")
+        assert engine.names() == ["a"]
+
+
+class TestVisionInSql:
+    def test_gvision_join_with_relational(self):
+        db = MultiModelDB()
+        db.execute("create table frames (frame_id text primary key, "
+                   "camera text)")
+        db.execute("insert into frames values ('f0', 'gate'), ('f1', 'lot')")
+        store = db.vision.create_store("cams", feature_dim=4)
+        rng = make_rng(3)
+        for i, (frame, label) in enumerate(
+                [("f0", "car"), ("f0", "pedestrian"), ("f1", "car")]):
+            store.ingest(frame, i * 10, label, 0.9,
+                         BoundingBox(0, 0, 5, 5), unit_feature(rng, dim=4))
+        rows = db.query(
+            "select v.frame_id, f.camera, v.confidence "
+            "from gvision('cams', 'car') v "
+            "join frames f on f.frame_id = v.frame_id order by v.frame_id")
+        assert [(r["frame_id"], r["camera"]) for r in rows] == \
+            [("f0", "gate"), ("f1", "lot")]
+
+    def test_gvision_similar_in_sql(self):
+        db = MultiModelDB()
+        store = db.vision.create_store("cams", feature_dim=4)
+        rng = make_rng(4)
+        base = unit_feature(rng, dim=4)
+        store.ingest("f0", 0, "car", 0.9, BoundingBox(0, 0, 1, 1), base)
+        store.ingest("f1", 1, "car", 0.9, BoundingBox(0, 0, 1, 1),
+                     unit_feature(rng, dim=4, base=base, noise=0.05))
+        store.ingest("f2", 2, "truck", 0.9, BoundingBox(0, 0, 1, 1),
+                     unit_feature(rng, dim=4))
+        rows = db.query(
+            "select detection_id, similarity "
+            "from gvision_similar('cams', 0, 2) order by similarity desc")
+        assert rows[0]["detection_id"] == 1

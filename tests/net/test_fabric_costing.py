@@ -1,0 +1,106 @@
+"""Tests for the message fabric and cost contexts."""
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.net.costing import CostContext
+from repro.net.fabric import Fabric
+from repro.net.latency import MppCostModel
+from repro.net.resource import ResourcePool
+
+
+class TestFabric:
+    def make(self):
+        fabric = Fabric()
+        received = []
+        fabric.register("a", lambda src, msg: ("a-saw", src, msg))
+        fabric.register("b", lambda src, msg: received.append((src, msg)))
+        fabric.connect("a", "b", latency_us=100.0)
+        return fabric, received
+
+    def test_send_returns_reply(self):
+        fabric, _ = self.make()
+        assert fabric.send("b", "a", "hello") == ("a-saw", "b", "hello")
+
+    def test_send_advances_clock(self):
+        fabric, _ = self.make()
+        fabric.send("a", "b", "x", size_bytes=100)
+        assert fabric.clock.now_us == pytest.approx(2 * 100.0 + 1.0)
+
+    def test_unreachable_raises(self):
+        fabric, _ = self.make()
+        fabric.register("c", lambda s, m: None)
+        with pytest.raises(NetworkError):
+            fabric.send("a", "c", "x")
+
+    def test_partition_and_heal(self):
+        fabric, _ = self.make()
+        fabric.disconnect("a", "b")
+        with pytest.raises(NetworkError):
+            fabric.send("a", "b", "x")
+        fabric.reconnect("a", "b")
+        fabric.send("a", "b", "x")
+
+    def test_neighbors(self):
+        fabric, _ = self.make()
+        assert fabric.neighbors("a") == {"b"}
+        fabric.disconnect("a", "b")
+        assert fabric.neighbors("a") == set()
+
+    def test_duplicate_register_rejected(self):
+        fabric, _ = self.make()
+        with pytest.raises(NetworkError):
+            fabric.register("a", lambda s, m: None)
+
+    def test_counters(self):
+        fabric, _ = self.make()
+        fabric.send("a", "b", "x", size_bytes=42)
+        assert fabric.messages_sent == 1
+        assert fabric.bytes_sent == 42
+
+
+class TestCostContext:
+    def test_charge_advances_cursor_and_resource(self):
+        pool = ResourcePool()
+        dn = pool.add("dn0")
+        ctx = CostContext(pool, MppCostModel(lan_hop_us=10.0))
+        ctx.charge(dn, 30.0)
+        assert ctx.t_us == pytest.approx(10.0 + 30.0 + 10.0)
+        assert dn.total_busy_us == 30.0
+
+    def test_charge_local(self):
+        ctx = CostContext(ResourcePool(), MppCostModel())
+        ctx.charge_local(5.0)
+        ctx.charge_local(7.0)
+        assert ctx.t_us == 12.0
+
+    def test_wait_until_is_monotone(self):
+        ctx = CostContext(ResourcePool(), MppCostModel(), start_us=100.0)
+        ctx.wait_until(50.0)
+        assert ctx.t_us == 100.0
+        ctx.wait_until(200.0)
+        assert ctx.t_us == 200.0
+
+    def test_speedup_scales_demand(self):
+        pool = ResourcePool()
+        fast = pool.add("fast", speedup=2.0)
+        ctx = CostContext(pool, MppCostModel(lan_hop_us=0.0))
+        ctx.charge(fast, 100.0)
+        assert ctx.t_us == 50.0
+        assert fast.total_busy_us == 50.0
+
+
+class TestCostModels:
+    def test_scaled_copy(self):
+        model = MppCostModel()
+        doubled = model.scaled(2.0)
+        assert doubled.dn_stmt_us == model.dn_stmt_us * 2
+        assert doubled.gtm_snapshot_us == model.gtm_snapshot_us * 2
+        # original unchanged (frozen dataclass semantics)
+        assert model.dn_stmt_us != doubled.dn_stmt_us
+
+    def test_collab_ratio_matches_paper(self):
+        from repro.net.latency import CollabCostModel
+
+        cost = CollabCostModel()
+        assert cost.internet_rtt_us / cost.d2d_rtt_us >= 10.0

@@ -1,0 +1,94 @@
+"""Tests for the serial-resource accounting model."""
+
+import pytest
+
+from repro.net.resource import Resource, ResourcePool
+
+
+class TestResourceAcquire:
+    def test_idle_resource_serves_immediately(self):
+        res = Resource("dn0")
+        start, end = res.acquire(ready_us=100.0, service_us=30.0)
+        assert (start, end) == (100.0, 130.0)
+
+    def test_busy_resource_queues(self):
+        res = Resource("gtm")
+        res.acquire(0.0, 50.0)
+        start, end = res.acquire(10.0, 20.0)  # arrives while busy
+        assert start == 50.0 and end == 70.0
+
+    def test_speedup_scales_service(self):
+        res = Resource("fast", speedup=2.0)
+        _, end = res.acquire(0.0, 100.0)
+        assert end == 50.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("x").acquire(0.0, -1.0)
+
+    def test_zero_speedup_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("x", speedup=0.0)
+
+
+class TestResourceOccupy:
+    def test_accumulates_busy_time(self):
+        res = Resource("dn")
+        res.occupy(30.0)
+        res.occupy(70.0)
+        assert res.total_busy_us == 100.0
+        assert res.requests == 2
+
+    def test_utilization(self):
+        res = Resource("dn")
+        res.occupy(50.0)
+        assert res.utilization(200.0) == 0.25
+        assert res.utilization(25.0) == 1.0  # capped
+
+    def test_reset(self):
+        res = Resource("dn")
+        res.occupy(50.0)
+        res.reset()
+        assert res.total_busy_us == 0.0 and res.requests == 0
+
+
+class TestResourcePool:
+    def test_add_and_get(self):
+        pool = ResourcePool()
+        pool.add("gtm")
+        assert pool.get("gtm").name == "gtm"
+
+    def test_duplicate_add_rejected(self):
+        pool = ResourcePool()
+        pool.add("gtm")
+        with pytest.raises(ValueError):
+            pool.add("gtm")
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(KeyError):
+            ResourcePool().get("nope")
+
+    def test_busiest_identifies_bottleneck(self):
+        pool = ResourcePool()
+        pool.add("gtm").occupy(500.0)
+        pool.add("dn0").occupy(100.0)
+        assert pool.busiest().name == "gtm"
+
+    def test_max_busy(self):
+        pool = ResourcePool()
+        pool.add("a").occupy(10.0)
+        pool.add("b").occupy(90.0)
+        assert pool.max_busy_us() == 90.0
+
+    def test_report_normalizes_by_horizon(self):
+        pool = ResourcePool()
+        pool.add("a").occupy(50.0)
+        pool.add("b").occupy(100.0)
+        report = pool.report(horizon_us=200.0)
+        assert report == {"a": 0.25, "b": 0.5}
+
+    def test_empty_pool_edge_cases(self):
+        pool = ResourcePool()
+        assert pool.makespan_us() == 0.0
+        assert pool.max_busy_us() == 0.0
+        assert pool.busiest() is None

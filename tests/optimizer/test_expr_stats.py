@@ -1,0 +1,142 @@
+"""Tests for bound expressions, canonical texts and statistics."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.optimizer.expr import (
+    BoundBinary,
+    BoundColumn,
+    BoundConst,
+    BoundInList,
+    BoundIsNull,
+    BoundScalarCall,
+    BoundUnary,
+    combine_conjuncts,
+    conjuncts,
+)
+from repro.optimizer.stats import analyze_rows
+from repro.storage.types import DataType
+
+
+def col(i, name="t.a"):
+    return BoundColumn(i, name, DataType.INT)
+
+
+class TestEvaluation:
+    def test_arithmetic_and_comparison(self):
+        expr = BoundBinary(">", BoundBinary("+", col(0), BoundConst(1)),
+                           BoundConst(10))
+        assert expr.eval((10,)) is True
+        assert expr.eval((5,)) is False
+
+    def test_null_propagates(self):
+        expr = BoundBinary("+", col(0), BoundConst(1))
+        assert expr.eval((None,)) is None
+
+    def test_and_short_circuit_with_null(self):
+        expr = BoundBinary("and", BoundConst(False), BoundConst(None))
+        assert expr.eval(()) is False
+        expr = BoundBinary("and", BoundConst(True), BoundConst(None))
+        assert expr.eval(()) is None
+
+    def test_or_with_null(self):
+        assert BoundBinary("or", BoundConst(None), BoundConst(True)).eval(()) is True
+        assert BoundBinary("or", BoundConst(None), BoundConst(False)).eval(()) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            BoundBinary("/", BoundConst(1), BoundConst(0)).eval(())
+
+    def test_like(self):
+        expr = BoundBinary("like", col(0, "t.s"), BoundConst("a%c"))
+        assert expr.eval(("abc",)) is True
+        assert expr.eval(("abd",)) is False
+        under = BoundBinary("like", col(0, "t.s"), BoundConst("a_c"))
+        assert under.eval(("axc",)) is True
+
+    def test_in_list_and_negation(self):
+        expr = BoundInList(col(0), (BoundConst(1), BoundConst(2)))
+        assert expr.eval((1,)) is True
+        assert expr.eval((3,)) is False
+        assert BoundInList(col(0), (BoundConst(1),), negated=True).eval((3,)) is True
+
+    def test_is_null(self):
+        assert BoundIsNull(col(0)).eval((None,)) is True
+        assert BoundIsNull(col(0), negated=True).eval((1,)) is True
+
+    def test_coalesce(self):
+        expr = BoundScalarCall("coalesce", (col(0), BoundConst(9)))
+        assert expr.eval((None,)) == 9
+        assert expr.eval((4,)) == 4
+
+
+class TestCanonicalText:
+    def test_predicate_matches_table1_format(self):
+        # The paper's Table I: SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1 > 10))
+        expr = BoundBinary(">", col(0, "olap.t1.b1"), BoundConst(10))
+        assert expr.text() == "OLAP.T1.B1>10"
+
+    def test_constant_on_left_normalized(self):
+        a = BoundBinary("<", BoundConst(10), col(0, "t.a"))
+        b = BoundBinary(">", col(0, "t.a"), BoundConst(10))
+        assert a.text() == b.text()
+
+    def test_equality_operands_sorted(self):
+        a = BoundBinary("=", col(0, "olap.t2.a2"), col(1, "olap.t1.a1"))
+        b = BoundBinary("=", col(1, "olap.t1.a1"), col(0, "olap.t2.a2"))
+        assert a.text() == b.text() == "OLAP.T1.A1=OLAP.T2.A2"
+
+    def test_conjunct_order_normalized(self):
+        p = BoundBinary(">", col(0, "t.b"), BoundConst(1))
+        q = BoundBinary("=", col(1, "t.c"), BoundConst("x"))
+        ab = BoundBinary("and", p, q)
+        ba = BoundBinary("and", q, p)
+        assert ab.text() == ba.text()
+
+    def test_in_list_items_sorted(self):
+        a = BoundInList(col(0), (BoundConst(2), BoundConst(1)))
+        b = BoundInList(col(0), (BoundConst(1), BoundConst(2)))
+        assert a.text() == b.text()
+
+    def test_conjuncts_split_and_combine(self):
+        p = BoundBinary(">", col(0), BoundConst(1))
+        q = BoundBinary("<", col(0), BoundConst(9))
+        both = combine_conjuncts([p, q])
+        assert [c.text() for c in conjuncts(both)] == [p.text(), q.text()]
+        assert combine_conjuncts([]) is None
+        assert conjuncts(None) == []
+
+
+class TestStatistics:
+    def rows(self):
+        return [{"a": i, "b": i % 10, "s": f"x{i % 4}",
+                 "n": None if i % 5 == 0 else i} for i in range(100)]
+
+    def test_analyze_basics(self):
+        stats = analyze_rows(self.rows(), ["a", "b", "s", "n"])
+        assert stats.row_count == 100
+        assert stats.columns["a"].ndv == 100
+        assert stats.columns["b"].ndv == 10
+        assert stats.columns["s"].ndv == 4
+        assert stats.columns["n"].null_frac == pytest.approx(0.2)
+        assert stats.columns["a"].min_value == 0
+        assert stats.columns["a"].max_value == 99
+
+    def test_equality_selectivity(self):
+        stats = analyze_rows(self.rows(), ["b"])
+        sel = stats.columns["b"].selectivity_eq(3, 100)
+        assert sel == pytest.approx(0.1)
+        assert stats.columns["b"].selectivity_eq(42, 100) == 0.0
+
+    def test_range_selectivity_from_histogram(self):
+        stats = analyze_rows(self.rows(), ["a"])
+        col_stats = stats.columns["a"]
+        half = col_stats.selectivity_range(None, 49)
+        assert 0.4 < half < 0.6
+        assert col_stats.selectivity_range(90, None) < 0.2
+        assert col_stats.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_empty_table(self):
+        stats = analyze_rows([], ["a"])
+        assert stats.row_count == 0
+        assert stats.columns["a"].ndv == 0

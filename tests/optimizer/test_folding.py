@@ -1,0 +1,134 @@
+"""Tests for constant folding and trivial-predicate elimination."""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.optimizer.expr import (
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundConst,
+    BoundInList,
+    BoundIsNull,
+    BoundUnary,
+)
+from repro.optimizer.folding import fold_expr, fold_plan
+from repro.optimizer.logical import LogicalValues, walk
+from repro.sql.engine import SqlEngine
+from repro.storage.types import DataType
+
+
+def col(i=0, name="t.a"):
+    return BoundColumn(i, name, DataType.INT)
+
+
+class TestExprFolding:
+    def test_arithmetic(self):
+        expr = BoundBinary("+", BoundConst(1), BoundBinary(
+            "*", BoundConst(2), BoundConst(3)))
+        assert fold_expr(expr) == BoundConst(7)
+
+    def test_division_by_zero_left_for_runtime(self):
+        expr = BoundBinary("/", BoundConst(1), BoundConst(0))
+        folded = fold_expr(expr)
+        assert not isinstance(folded, BoundConst)
+
+    def test_and_true_elided(self):
+        expr = BoundBinary("and", BoundConst(True),
+                           BoundBinary(">", col(), BoundConst(1)))
+        folded = fold_expr(expr)
+        assert isinstance(folded, BoundBinary) and folded.op == ">"
+
+    def test_and_false_short_circuits(self):
+        expr = BoundBinary("and", BoundBinary(">", col(), BoundConst(1)),
+                           BoundConst(False))
+        assert fold_expr(expr) == BoundConst(False)
+
+    def test_or_true_short_circuits(self):
+        expr = BoundBinary("or", BoundConst(True),
+                           BoundBinary(">", col(), BoundConst(1)))
+        assert fold_expr(expr) == BoundConst(True)
+
+    def test_double_negation(self):
+        expr = BoundUnary("not", BoundUnary("not",
+                                            BoundIsNull(col())))
+        assert isinstance(fold_expr(expr), BoundIsNull)
+
+    def test_constant_comparison(self):
+        assert fold_expr(BoundBinary("<", BoundConst(1),
+                                     BoundConst(2))) == BoundConst(True)
+
+    def test_in_list_of_constants(self):
+        expr = BoundInList(BoundConst(2), (BoundConst(1), BoundConst(2)))
+        folded = fold_expr(expr)
+        assert isinstance(folded, BoundConst) and folded.value is True
+
+    def test_case_constant_condition_collapses(self):
+        expr = BoundCase(((BoundConst(True), BoundConst("yes")),),
+                         BoundConst("no"))
+        assert fold_expr(expr) == BoundConst("yes")
+
+    def test_case_false_arms_dropped(self):
+        live = BoundBinary(">", col(), BoundConst(1))
+        expr = BoundCase(((BoundConst(False), BoundConst("dead")),
+                          (live, BoundConst("live"))), BoundConst("dflt"))
+        folded = fold_expr(expr)
+        assert isinstance(folded, BoundCase)
+        assert len(folded.whens) == 1
+
+    def test_pure_function_folds(self):
+        from repro.optimizer.expr import SCALAR_FUNCTIONS, BoundScalarCall
+
+        fn, dtype = SCALAR_FUNCTIONS["upper"]
+        expr = BoundScalarCall("upper", (BoundConst("abc"),), fn, dtype)
+        assert fold_expr(expr) == BoundConst("ABC", dtype)
+
+    def test_non_constant_untouched(self):
+        expr = BoundBinary(">", col(), BoundConst(1))
+        assert fold_expr(expr) is not expr  # rebuilt
+        assert fold_expr(expr).text() == expr.text()
+
+
+class TestPlanFolding:
+    @pytest.fixture
+    def engine(self):
+        cluster = MppCluster(num_dns=1)
+        eng = SqlEngine(cluster)
+        eng.execute("create table t (a int primary key, b int)")
+        eng.execute("insert into t values " + ",".join(
+            f"({i}, {i % 5})" for i in range(50)))
+        eng.execute("analyze")
+        return eng
+
+    def test_where_true_is_free(self, engine):
+        plan = engine.execute("explain select * from t where 1 = 1").plan_text
+        assert "Filter" not in plan
+        assert engine.execute("select count(*) from t where 1 = 1").scalar() == 50
+
+    def test_where_false_short_circuits_to_empty(self, engine):
+        result = engine.execute("select count(*) from t where 1 = 2")
+        assert result.scalar() == 0
+        plan = engine.execute("explain select * from t where 1 = 2").plan_text
+        assert "SeqScan" not in plan   # the scan was eliminated entirely
+
+    def test_constant_arithmetic_in_predicate(self, engine):
+        # 1 + 1 folds so the canonical predicate is b > 2.
+        result = engine.execute("select count(*) from t where b > 1 + 1")
+        assert result.scalar() == 20   # b in {3, 4}, 10 rows each
+        plan = engine.execute("explain select * from t where b > 1 + 1").plan_text
+        assert "T.B>2" in plan
+
+    def test_join_on_false_is_empty(self, engine):
+        result = engine.execute(
+            "select count(*) from t x join t y on 1 = 0")
+        assert result.scalar() == 0
+
+    def test_fold_plan_produces_empty_values_node(self, engine):
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse
+
+        binder = Binder(engine.cluster.catalog)
+        logical = binder.bind_select(parse("select a from t where false"))
+        folded = fold_plan(logical)
+        assert any(isinstance(n, LogicalValues) and not n.rows
+                   for n in walk(folded))

@@ -1,0 +1,160 @@
+"""Tests for pushdown, join ordering, cardinality and physical planning."""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.exec.operators import (
+    PExchange,
+    PFilter,
+    PHashJoin,
+    PNestedLoopJoin,
+    PScan,
+    walk_physical,
+)
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.logical import LogicalFilter, LogicalJoin, LogicalScan, walk
+from repro.optimizer.rules import push_down_filters
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.engine import SqlEngine
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def engine():
+    cluster = MppCluster(num_dns=2)
+    eng = SqlEngine(cluster)
+    eng.execute("create table big (id int primary key, k int, pad text)")
+    eng.execute("create table mid (id int primary key, k int)")
+    eng.execute("create table small (id int primary key, tag text)")
+    eng.execute("insert into big values " + ",".join(
+        f"({i}, {i % 50}, 'p')" for i in range(1000)))
+    eng.execute("insert into mid values " + ",".join(
+        f"({i}, {i % 50})" for i in range(100)))
+    eng.execute("insert into small values " + ",".join(
+        f"({i}, 't{i}')" for i in range(5)))
+    eng.execute("analyze")
+    return eng
+
+
+def logical_for(engine, sql):
+    stmt = parse(sql)
+    binder = Binder(engine.cluster.catalog, engine.table_functions)
+    return binder.bind_select(stmt)
+
+
+def physical_for(engine, sql):
+    stmt = parse(sql)
+    session = engine.cluster.session()
+    txn = session.begin(multi_shard=True)
+    plan = engine.plan_select(stmt, txn)
+    txn.commit()
+    return plan
+
+
+class TestPushdown:
+    def test_filter_merges_into_scan(self, engine):
+        plan = logical_for(engine, "select * from big where k > 10")
+        optimized = push_down_filters(plan)
+        scans = [n for n in walk(optimized) if isinstance(n, LogicalScan)]
+        assert scans[0].predicate is not None
+        assert "BIG.K>10" in scans[0].predicate.text()
+        assert not any(isinstance(n, LogicalFilter) for n in walk(optimized))
+
+    def test_join_splits_conjuncts_by_side(self, engine):
+        plan = logical_for(
+            engine,
+            "select * from big join mid on big.k = mid.k "
+            "where big.id < 100 and mid.id > 5")
+        optimized = push_down_filters(plan)
+        scans = {n.table: n for n in walk(optimized)
+                 if isinstance(n, LogicalScan)}
+        assert scans["big"].predicate is not None
+        assert scans["mid"].predicate is not None
+
+    def test_cross_join_with_condition_becomes_inner(self, engine):
+        plan = logical_for(
+            engine, "select * from big, mid where big.k = mid.k")
+        optimized = push_down_filters(plan)
+        joins = [n for n in walk(optimized) if isinstance(n, LogicalJoin)]
+        assert joins and joins[0].kind == "inner"
+        assert joins[0].condition is not None
+
+    def test_left_join_right_filter_stays_above(self, engine):
+        plan = logical_for(
+            engine,
+            "select * from big left join mid on big.k = mid.k "
+            "where mid.id > 5")
+        optimized = push_down_filters(plan)
+        scans = {n.table: n for n in walk(optimized)
+                 if isinstance(n, LogicalScan)}
+        assert scans["mid"].predicate is None  # must not move below outer join
+        assert any(isinstance(n, LogicalFilter) for n in walk(optimized))
+
+
+class TestCardinality:
+    def test_scan_estimate_uses_stats(self, engine):
+        estimator = CardinalityEstimator(engine.stats)
+        plan = push_down_filters(
+            logical_for(engine, "select * from big where k = 7"))
+        scan = [n for n in walk(plan) if isinstance(n, LogicalScan)][0]
+        estimate = estimator.estimate(scan)
+        assert estimate == pytest.approx(1000 / 50, rel=0.3)
+
+    def test_join_estimate(self, engine):
+        estimator = CardinalityEstimator(engine.stats)
+        plan = push_down_filters(
+            logical_for(engine, "select * from big, mid where big.k = mid.k"))
+        join = [n for n in walk(plan) if isinstance(n, LogicalJoin)][0]
+        # |big| * |mid| / max(ndv) = 1000 * 100 / 50
+        assert estimator.estimate(join) == pytest.approx(2000, rel=0.3)
+
+    def test_limit_caps_estimate(self, engine):
+        estimator = CardinalityEstimator(engine.stats)
+        plan = logical_for(engine, "select * from big limit 5")
+        assert estimator.estimate(plan) == 5.0
+
+
+class TestPhysicalChoices:
+    def test_equi_join_uses_hash_join(self, engine):
+        plan = physical_for(
+            engine, "select * from big join mid on big.k = mid.k")
+        kinds = [type(op) for op in walk_physical(plan)]
+        assert PHashJoin in kinds
+        assert PNestedLoopJoin not in kinds
+
+    def test_non_equi_join_uses_nested_loop(self, engine):
+        plan = physical_for(
+            engine, "select * from small s1 join small s2 on s1.id < s2.id")
+        kinds = [type(op) for op in walk_physical(plan)]
+        assert PNestedLoopJoin in kinds
+
+    def test_small_side_broadcast(self, engine):
+        plan = physical_for(
+            engine, "select * from big join small on big.k = small.id")
+        exchanges = [op for op in walk_physical(plan)
+                     if isinstance(op, PExchange)]
+        broadcast = [e for e in exchanges if e.kind == "broadcast"]
+        assert broadcast, "the 5-row table should be broadcast"
+        scan = broadcast[0]
+        tables = [op.table for op in walk_physical(scan)
+                  if isinstance(op, PScan)]
+        assert tables == ["small"]
+
+    def test_balanced_join_redistributes(self, engine):
+        plan = physical_for(
+            engine, "select * from big b1 join big b2 on b1.k = b2.k")
+        kinds = [op.kind for op in walk_physical(plan)
+                 if isinstance(op, PExchange)]
+        assert kinds.count("redistribute") == 2
+
+    def test_join_order_puts_filtered_side_first(self, engine):
+        # A highly selective filter on big should make it cheaper than mid.
+        result = engine.execute(
+            "select count(*) from big, mid where big.k = mid.k and big.id = 3")
+        assert result.scalar() == 2  # id=3 -> k=3; mid has 2 rows with k=3
+
+    def test_estimates_annotated(self, engine):
+        plan = physical_for(engine, "select * from big where k > 25")
+        scan = [op for op in walk_physical(plan) if isinstance(op, PScan)][0]
+        assert scan.estimated_rows > 0

@@ -1,0 +1,147 @@
+"""Property-based tests: compression, GMDB conversion, collab convergence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collab.device import NodeKind
+from repro.collab.platform import CollabPlatform
+from repro.gmdb.delta import apply_delta, diff
+from repro.gmdb.schema import SchemaRegistry
+from repro.storage import compression
+from repro.workloads.mme import MME_VERSIONS, mme_schema
+
+
+# -- compression -------------------------------------------------------------
+
+mixed_values = st.lists(
+    st.one_of(st.integers(-10**6, 10**6), st.text(max_size=8), st.none(),
+              st.booleans()),
+    max_size=200,
+)
+int_values = st.lists(st.integers(-10**9, 10**9), max_size=200)
+
+
+class TestCompressionRoundTrip:
+    @given(mixed_values)
+    @settings(max_examples=200, deadline=None)
+    def test_best_codec_round_trips(self, values):
+        name, payload = compression.best_codec(values)
+        assert compression.decode(name, payload) == values
+
+    @given(int_values)
+    @settings(max_examples=200, deadline=None)
+    def test_delta_codec_round_trips(self, values):
+        base, deltas = compression.DeltaCodec.encode(values)
+        assert compression.DeltaCodec.decode(base, deltas) == values
+
+    @given(mixed_values)
+    @settings(max_examples=100, deadline=None)
+    def test_rle_round_trips(self, values):
+        runs = compression.RunLengthCodec.encode(values)
+        assert compression.RunLengthCodec.decode(runs) == values
+
+
+# -- GMDB schema conversion --------------------------------------------------------
+
+def registry():
+    reg = SchemaRegistry("mme", allow_multi_step=True)
+    for version in MME_VERSIONS:
+        reg.register(version, mme_schema(version))
+    return reg
+
+
+session_objects = st.builds(
+    lambda ta, enb, seen, state: mme_schema(3).new_object(
+        imsi="460000100000001", guti="g", state=state, tracking_area=ta,
+        enb_id=enb, auth_vector="a", last_seen_us=seen),
+    ta=st.integers(0, 10**6), enb=st.integers(0, 10**6),
+    seen=st.integers(0, 10**12),
+    state=st.sampled_from(["REGISTERED", "IDLE", "CONNECTED"]),
+)
+
+
+class TestSchemaConversionProperties:
+    @given(obj=session_objects,
+           target=st.sampled_from(MME_VERSIONS))
+    @settings(max_examples=100, deadline=None)
+    def test_upgraded_objects_always_validate(self, obj, target):
+        reg = registry()
+        converted, _ = reg.convert(obj, 3, target)
+        mme_schema(target).validate(converted)
+
+    @given(obj=session_objects, target=st.sampled_from(MME_VERSIONS))
+    @settings(max_examples=100, deadline=None)
+    def test_up_down_round_trip_is_identity(self, obj, target):
+        reg = registry()
+        up, _ = reg.convert(obj, 3, target)
+        down, _ = reg.convert(up, target, 3)
+        assert down == obj
+
+
+# -- GMDB deltas -------------------------------------------------------------------
+
+scalar = st.one_of(st.integers(-100, 100), st.text(max_size=5))
+record = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), scalar, min_size=3, max_size=3)
+tree_object = st.fixed_dictionaries({
+    "x": scalar,
+    "y": scalar,
+    "items": st.lists(record, max_size=4),
+})
+
+
+class TestDeltaProperties:
+    @given(old=tree_object, new=tree_object)
+    @settings(max_examples=200, deadline=None)
+    def test_diff_apply_reproduces_target(self, old, new):
+        assert apply_delta(old, diff(old, new)) == new
+
+    @given(obj=tree_object)
+    @settings(max_examples=100, deadline=None)
+    def test_self_diff_is_empty(self, obj):
+        assert diff(obj, obj).empty
+
+
+# -- collab convergence ----------------------------------------------------------------
+
+writes = st.lists(
+    st.tuples(st.integers(0, 3),                 # which device writes
+              st.sampled_from(["a", "b", "c"]),  # key
+              st.integers(0, 99)),               # value
+    min_size=1, max_size=30,
+)
+
+
+class TestEventualConsistency:
+    @given(history=writes, seed=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_all_replicas_converge(self, history, seed):
+        platform = CollabPlatform()
+        nodes = [
+            platform.add_node(f"d{i}", NodeKind.DEVICE,
+                              skew_us=(i - 2) * 100_000 * (seed + 1))
+            for i in range(4)
+        ]
+        # ring topology: multi-hop propagation required
+        for i in range(4):
+            platform.connect_nearby(f"d{i}", f"d{(i + 1) % 4}")
+        for device, key, value in history:
+            nodes[device].put(key, value)
+        platform.converge()
+        assert platform.is_consistent()
+
+    @given(history=writes)
+    @settings(max_examples=40, deadline=None)
+    def test_no_update_lost_and_none_duplicated(self, history):
+        platform = CollabPlatform()
+        nodes = [platform.add_node(f"d{i}", NodeKind.DEVICE) for i in range(3)]
+        platform.connect_nearby("d0", "d1")
+        platform.connect_nearby("d1", "d2")
+        for device, key, value in history:
+            nodes[device % 3].put(key, value)
+        platform.converge()
+        total_written = len(history)
+        for node in nodes:
+            # every replica's log holds exactly all updates, once
+            assert node.store.log_size == total_written
+        assert platform.stats.duplicates_avoided == 0

@@ -1,0 +1,130 @@
+"""Property-based tests for the extension subsystems (HA, vision,
+consistency, GMDB persistence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import MppCluster
+from repro.cluster.ha import HaManager
+from repro.collab.consistency import ConsistencyLevel, ConsistentSession
+from repro.collab.device import NodeKind
+from repro.collab.platform import CollabPlatform
+from repro.common.errors import SerializationConflict
+from repro.multimodel.vision import FeatureIndex
+from repro.storage import Column, DataType, TableSchema
+
+KEYS = list(range(8))
+
+
+# -- HA: committed state survives failover exactly --------------------------
+
+ha_history = st.lists(
+    st.tuples(st.sampled_from(KEYS), st.integers(1, 99),
+              st.booleans()),     # (key, value, commit?)
+    min_size=1, max_size=30,
+)
+
+
+class TestFailoverDurability:
+    @given(history=ha_history, fail_at=st.integers(0, 29))
+    @settings(max_examples=40, deadline=None)
+    def test_committed_writes_survive_any_failover_point(self, history, fail_at):
+        cluster = MppCluster(num_dns=2)
+        cluster.create_table(TableSchema(
+            "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k"))
+        ha = HaManager(cluster)
+        session = cluster.session()
+        seed = session.begin(multi_shard=True)
+        for k in KEYS:
+            seed.insert("t", {"k": k, "v": 0})
+        seed.commit()
+        oracle = {k: 0 for k in KEYS}
+        for i, (key, value, commit) in enumerate(history):
+            txn = session.begin(multi_shard=False)
+            try:
+                txn.update("t", key, {"v": value})
+            except SerializationConflict:
+                txn.abort()
+                continue
+            if commit:
+                txn.commit()
+                oracle[key] = value
+            else:
+                txn.abort()
+            if i == fail_at:
+                ha.fail_and_promote(i % 2)
+        reader = session.begin(multi_shard=True)
+        state = {k: reader.read("t", k)["v"] for k in KEYS}
+        reader.commit()
+        assert state == oracle
+
+
+# -- vision: the feature index agrees with a brute-force oracle ------------------
+
+vectors = st.lists(
+    st.lists(st.floats(min_value=-5, max_value=5,
+                       allow_nan=False, allow_infinity=False),
+             min_size=6, max_size=6),
+    min_size=2, max_size=40,
+).filter(lambda vs: all(any(abs(x) > 1e-6 for x in v) for v in vs))
+
+
+class TestFeatureIndexOracle:
+    @given(vs=vectors, k=st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_knn_matches_numpy_oracle(self, vs, k):
+        index = FeatureIndex(dim=6)
+        matrix = []
+        for i, v in enumerate(vs):
+            index.add(i, v)
+            arr = np.asarray(v, dtype=float)
+            matrix.append(arr / np.linalg.norm(arr))
+        query = vs[0]
+        hits = index.knn(query, k=k)
+        q = np.asarray(query, dtype=float)
+        q = q / np.linalg.norm(q)
+        sims = np.vstack(matrix) @ q
+        oracle = sorted(range(len(vs)), key=lambda i: -sims[i])[:k]
+        # Similarities must match the oracle's (ties may reorder ids).
+        assert [round(s, 9) for _, s in hits] == \
+            [round(float(sims[i]), 9) for i in oracle]
+
+    @given(vs=vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_lsh_results_are_subset_of_exact_ranking(self, vs):
+        index = FeatureIndex(dim=6, lsh_bits=4)
+        for i, v in enumerate(vs):
+            index.add(i, v)
+        approx = index.knn(vs[0], k=3, exact=False)
+        exact_ids = {i for i, _ in index.knn(vs[0], k=len(vs))}
+        assert {i for i, _ in approx} <= exact_ids
+        # The query vector itself is always in its own bucket.
+        assert approx and approx[0][0] == 0
+
+
+# -- consistency: read-your-writes holds under random device hopping --------------
+
+hops = st.lists(st.integers(0, 2), min_size=1, max_size=12)
+
+
+class TestSessionGuaranteeProperty:
+    @given(writes=hops, reads=hops)
+    @settings(max_examples=40, deadline=None)
+    def test_read_your_writes_always_holds(self, writes, reads):
+        platform = CollabPlatform()
+        names = ["d0", "d1", "d2"]
+        for name in names:
+            platform.add_node(name, NodeKind.DEVICE)
+        platform.connect_nearby("d0", "d1")
+        platform.connect_nearby("d1", "d2")
+        session = ConsistentSession(platform,
+                                    ConsistencyLevel.READ_YOUR_WRITES)
+        counter = 0
+        for device in writes:
+            session.write(names[device], "doc", counter)
+            counter += 1
+        for device in reads:
+            value = session.read(names[device], "doc")
+            assert value == counter - 1, \
+                f"RYW violated: read {value}, last write {counter - 1}"

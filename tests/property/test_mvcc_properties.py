@@ -1,0 +1,131 @@
+"""Property-based tests: MVCC heap invariants under random histories."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import (
+    DuplicateKeyError,
+    SerializationConflict,
+    StorageError,
+)
+from repro.storage.heap import MvccHeap
+from repro.txn.manager import LocalTransactionManager
+
+# One history step: (op, key, value) applied by a fresh transaction.
+ops = st.sampled_from(["insert", "update", "delete", "noop_abort"])
+keys = st.integers(min_value=0, max_value=5)
+values = st.integers(min_value=0, max_value=100)
+steps = st.lists(st.tuples(ops, keys, values), min_size=1, max_size=40)
+
+
+def run_history(history):
+    """Apply a history of single-op transactions; return heap, ltm, oracle.
+
+    The oracle is a plain dict updated only when the matching transaction
+    commits — serial execution semantics.
+    """
+    ltm = LocalTransactionManager("dn")
+    heap = MvccHeap("t")
+    oracle = {}
+    for op, key, value in history:
+        xid = ltm.begin()
+        snapshot = ltm.local_snapshot()
+        try:
+            if op == "insert":
+                heap.insert(key, {"v": value}, xid, snapshot, ltm.clog)
+                oracle[key] = value
+            elif op == "update":
+                heap.update(key, {"v": value}, xid, snapshot, ltm.clog)
+                oracle[key] = value
+            elif op == "delete":
+                heap.delete(key, xid, snapshot, ltm.clog)
+                oracle.pop(key, None)
+            else:
+                raise StorageError("abort me")
+            ltm.record_write(xid, "t", key)
+            ltm.commit(xid)
+        except (DuplicateKeyError, StorageError, SerializationConflict):
+            heap.abort_key(key, xid)
+            ltm.abort(xid)
+    return heap, ltm, oracle
+
+
+class TestSerialHistoryEquivalence:
+    @given(steps)
+    @settings(max_examples=150, deadline=None)
+    def test_visible_state_matches_serial_oracle(self, history):
+        heap, ltm, oracle = run_history(history)
+        snapshot = ltm.local_snapshot()
+        visible = {k: row["v"] for k, row in heap.scan(snapshot, ltm.clog)}
+        assert visible == oracle
+
+    @given(steps)
+    @settings(max_examples=60, deadline=None)
+    def test_vacuum_preserves_visible_state(self, history):
+        heap, ltm, oracle = run_history(history)
+        snapshot = ltm.local_snapshot()
+        heap.vacuum(snapshot, ltm.clog)
+        visible = {k: row["v"] for k, row in heap.scan(snapshot, ltm.clog)}
+        assert visible == oracle
+
+    @given(steps)
+    @settings(max_examples=60, deadline=None)
+    def test_old_snapshot_is_frozen(self, history):
+        """A snapshot taken mid-history never changes its view afterwards."""
+        if len(history) < 2:
+            return
+        half = len(history) // 2
+        ltm = LocalTransactionManager("dn")
+        heap = MvccHeap("t")
+        run = []
+        frozen_view = None
+        frozen_snapshot = None
+        for i, (op, key, value) in enumerate(history):
+            if i == half:
+                frozen_snapshot = ltm.local_snapshot()
+                frozen_view = {k: r["v"]
+                               for k, r in heap.scan(frozen_snapshot, ltm.clog)}
+            xid = ltm.begin()
+            snapshot = ltm.local_snapshot()
+            try:
+                if op == "insert":
+                    heap.insert(key, {"v": value}, xid, snapshot, ltm.clog)
+                elif op == "update":
+                    heap.update(key, {"v": value}, xid, snapshot, ltm.clog)
+                elif op == "delete":
+                    heap.delete(key, xid, snapshot, ltm.clog)
+                else:
+                    raise StorageError("abort")
+                ltm.record_write(xid, "t", key)
+                ltm.commit(xid)
+            except (DuplicateKeyError, StorageError, SerializationConflict):
+                heap.abort_key(key, xid)
+                ltm.abort(xid)
+        if frozen_snapshot is not None:
+            now_view = {k: r["v"]
+                        for k, r in heap.scan(frozen_snapshot, ltm.clog)}
+            assert now_view == frozen_view
+
+
+class TestVersionChainInvariants:
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_at_most_one_visible_version_per_key(self, history):
+        heap, ltm, _ = run_history(history)
+        snapshot = ltm.local_snapshot()
+        for key in range(6):
+            chain = heap.version_chain(key)
+            visible = [
+                v for v in chain
+                if snapshot.xid_visible(v.xmin, ltm.clog)
+                and not (v.xmax and snapshot.xid_visible(v.xmax, ltm.clog))
+            ]
+            assert len(visible) <= 1
+
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_no_aborted_versions_linger(self, history):
+        heap, ltm, _ = run_history(history)
+        for key in range(6):
+            for version in heap.version_chain(key):
+                assert not ltm.clog.is_aborted(version.xmin)

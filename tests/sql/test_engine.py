@@ -1,0 +1,190 @@
+"""End-to-end SQL engine tests over the MPP cluster."""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.common.errors import CatalogError, SqlAnalysisError
+from repro.sql.engine import SqlEngine
+
+
+@pytest.fixture
+def engine():
+    cluster = MppCluster(num_dns=3)
+    eng = SqlEngine(cluster)
+    eng.execute("create table t1 (a int primary key, b int, c text)")
+    eng.execute("create table t2 (x int primary key, y int)")
+    values1 = ",".join(f"({i}, {i % 10}, 'g{i % 3}')" for i in range(100))
+    values2 = ",".join(f"({i}, {i * 2})" for i in range(30))
+    eng.execute(f"insert into t1 values {values1}")
+    eng.execute(f"insert into t2 values {values2}")
+    eng.execute("analyze")
+    return eng
+
+
+class TestDdlDml:
+    def test_create_insert_count(self, engine):
+        assert engine.execute("select count(*) from t1").scalar() == 100
+
+    def test_insert_rowcount(self, engine):
+        result = engine.execute("insert into t2 values (1000, 1)")
+        assert result.rowcount == 1
+
+    def test_insert_select(self, engine):
+        engine.execute("create table t3 (a int primary key, b int)")
+        result = engine.execute("insert into t3 select a, b from t1 where b = 0")
+        assert result.rowcount == 10
+        assert engine.execute("select count(*) from t3").scalar() == 10
+
+    def test_update_where(self, engine):
+        result = engine.execute("update t1 set b = 999 where a < 5")
+        assert result.rowcount == 5
+        assert engine.execute(
+            "select count(*) from t1 where b = 999").scalar() == 5
+
+    def test_delete_where(self, engine):
+        engine.execute("delete from t1 where b = 3")
+        assert engine.execute("select count(*) from t1").scalar() == 90
+
+    def test_drop_table(self, engine):
+        engine.execute("drop table t2")
+        with pytest.raises(SqlAnalysisError):
+            engine.execute("select * from t2")
+
+    def test_drop_missing(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("drop table zz")
+        engine.execute("drop table if exists zz")  # no raise
+
+    def test_duplicate_create_rejected(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("create table t1 (a int primary key)")
+
+
+class TestQueries:
+    def test_where_and_projection(self, engine):
+        rows = engine.execute(
+            "select a, b from t1 where b >= 8 and a < 30 order by a").rows
+        assert all(b >= 8 for _, b in rows)
+        assert [a for a, _ in rows] == sorted(a for a, _ in rows)
+
+    def test_join(self, engine):
+        result = engine.execute(
+            "select t1.a, t2.y from t1 join t2 on t1.a = t2.x")
+        assert result.rowcount == 30
+        assert all(y == a * 2 for a, y in result.rows)
+
+    def test_three_way_join_reordered(self, engine):
+        engine.execute("create table dim (k int primary key, label text)")
+        engine.execute("insert into dim values (0,'even'),(1,'odd')")
+        engine.execute("analyze dim")
+        result = engine.execute(
+            "select count(*) from t1, t2, dim "
+            "where t1.a = t2.x and t1.b % 2 = dim.k")
+        assert result.scalar() == 30
+
+    def test_group_by_having(self, engine):
+        rows = engine.execute(
+            "select c, count(*) n, min(b) lo, max(b) hi from t1 "
+            "group by c having count(*) > 33 order by c").as_dicts()
+        assert len(rows) == 1 and rows[0]["c"] == "g0" and rows[0]["n"] == 34
+        assert rows[0]["lo"] == 0 and rows[0]["hi"] == 9
+
+    def test_global_aggregate_empty_input(self, engine):
+        result = engine.execute("select count(*), sum(b) from t1 where a > 10000")
+        assert result.rows == [(0, None)]
+
+    def test_avg_and_arithmetic(self, engine):
+        value = engine.execute("select avg(b) * 2 from t1").scalar()
+        assert value == pytest.approx(9.0)
+
+    def test_distinct(self, engine):
+        result = engine.execute("select distinct c from t1 order by c")
+        assert result.rows == [("g0",), ("g1",), ("g2",)]
+
+    def test_order_by_ordinal_and_desc(self, engine):
+        rows = engine.execute(
+            "select a from t1 where a < 5 order by 1 desc").rows
+        assert [a for a, in rows] == [4, 3, 2, 1, 0]
+
+    def test_limit(self, engine):
+        assert engine.execute("select a from t1 order by a limit 7").rowcount == 7
+
+    def test_cte(self, engine):
+        result = engine.execute(
+            "with evens (a, b) as (select a, b from t1 where a % 2 = 0) "
+            "select count(*) from evens where b < 5")
+        # even a -> b = a % 10 in {0,2,4,6,8}; b < 5 keeps {0,2,4}: 30 rows
+        assert result.scalar() == 30
+
+    def test_derived_table(self, engine):
+        result = engine.execute(
+            "select s.total from (select sum(b) total from t1) s")
+        assert result.scalar() == 450
+
+    def test_left_join_pads_nulls(self, engine):
+        rows = engine.execute(
+            "select t1.a, t2.y from t1 left join t2 on t1.a = t2.x "
+            "where t1.a between 28 and 31 order by t1.a").rows
+        assert rows == [(28, 56), (29, 58), (30, None), (31, None)]
+
+    def test_case_expression(self, engine):
+        rows = engine.execute(
+            "select a, case when b < 5 then 'low' else 'high' end bucket "
+            "from t1 where a < 2 order by a").rows
+        assert rows == [(0, "low"), (1, "low")]
+        rows = engine.execute(
+            "select case when b < 5 then 'low' else 'high' end bucket, count(*) "
+            "from t1 group by case when b < 5 then 'low' else 'high' end "
+            "order by bucket").rows
+        assert rows == [("high", 50), ("low", 50)]
+
+    def test_scalar_functions(self, engine):
+        assert engine.execute("select upper('abc')").scalar() == "ABC"
+        assert engine.execute("select abs(-5)").scalar() == 5
+        assert engine.execute("select coalesce(null, 7)").scalar() == 7
+
+    def test_like(self, engine):
+        assert engine.execute(
+            "select count(*) from t1 where c like 'g%'").scalar() == 100
+        assert engine.execute(
+            "select count(*) from t1 where c like 'g1'").scalar() == 33
+
+    def test_explain_mentions_operators(self, engine):
+        plan = engine.execute(
+            "explain select * from t1 join t2 on t1.a = t2.x where b > 3"
+        ).plan_text
+        assert "HashJoin" in plan
+        assert "SeqScan" in plan
+        assert "Exchange" in plan
+
+    def test_unknown_column_rejected(self, engine):
+        with pytest.raises(SqlAnalysisError):
+            engine.execute("select zz from t1")
+
+    def test_ambiguous_column_rejected(self, engine):
+        engine.execute("create table t4 (a int primary key)")
+        engine.execute("insert into t4 values (1)")
+        with pytest.raises(SqlAnalysisError):
+            engine.execute("select a from t1, t4")
+
+    def test_ungrouped_column_rejected(self, engine):
+        with pytest.raises(SqlAnalysisError):
+            engine.execute("select a, count(*) from t1 group by b")
+
+    def test_star_qualified(self, engine):
+        result = engine.execute(
+            "select t2.* from t1 join t2 on t1.a = t2.x limit 1")
+        assert result.columns == ["x", "y"]
+
+
+class TestReadConsistency:
+    def test_queries_see_committed_data_only(self, engine):
+        session = engine.cluster.session()
+        txn = session.begin(multi_shard=True)
+        txn.insert("t1", {"a": 500, "b": 1, "c": "new"})
+        # An uncommitted insert is invisible to the engine's snapshot.
+        assert engine.execute(
+            "select count(*) from t1 where a = 500").scalar() == 0
+        txn.commit()
+        assert engine.execute(
+            "select count(*) from t1 where a = 500").scalar() == 1

@@ -1,0 +1,171 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("select foo")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [t.value for t in tokens[:3]] == ["1", "2.5", ".75"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select 1 -- trailing comment\n+ 2")
+        values = [t.value for t in tokens if t.type is not TokenType.EOF]
+        assert values == ["select", "1", "+", "2"]
+
+    def test_two_char_ops(self):
+        tokens = tokenize("a <= b <> c >= d != e")
+        ops = [t.value for t in tokens if t.type is TokenType.OP]
+        assert ops == ["<=", "<>", ">=", "!="]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @foo")
+
+    def test_case_insensitivity(self):
+        tokens = tokenize("SELECT Foo")
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "foo"
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a = 1 or b = 2 and c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_qualified_columns(self):
+        expr = parse_expression("olap.t1.b1 > 10")
+        assert expr.left == ast.ColumnRef(("olap", "t1", "b1"))
+
+    def test_in_between_like_isnull(self):
+        assert isinstance(parse_expression("a in (1,2)"), ast.InList)
+        assert isinstance(parse_expression("a between 1 and 2"), ast.Between)
+        assert isinstance(parse_expression("a not in (1)"), ast.InList)
+        assert isinstance(parse_expression("a is null"), ast.IsNull)
+        assert parse_expression("a is not null").negated
+
+    def test_case_when(self):
+        expr = parse_expression("case when a > 1 then 'big' else 'small' end")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.default == ast.Literal("small")
+
+    def test_function_call_with_distinct(self):
+        expr = parse_expression("count(distinct a)")
+        assert isinstance(expr, ast.FuncCall) and expr.distinct
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a * 2")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+
+class TestStatementParsing:
+    def test_simple_select(self):
+        stmt = parse("select a, b as bee from t where a > 1 "
+                     "group by a, b having count(*) > 2 "
+                     "order by a desc limit 10")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[1].alias == "bee"
+        assert stmt.limit == 10
+        assert stmt.order_by[0].descending
+        assert len(stmt.group_by) == 2
+
+    def test_joins(self):
+        stmt = parse("select * from a join b on a.x = b.y left join c on b.z = c.z")
+        join = stmt.from_clause
+        assert isinstance(join, ast.Join) and join.kind == "left"
+        assert isinstance(join.left, ast.Join) and join.left.kind == "inner"
+
+    def test_comma_join(self):
+        stmt = parse("select * from a, b where a.x = b.y")
+        assert isinstance(stmt.from_clause, ast.Join)
+        assert stmt.from_clause.kind == "cross"
+
+    def test_cte(self):
+        stmt = parse("with c (x) as (select a from t) select x from c")
+        assert stmt.ctes[0].name == "c"
+        assert stmt.ctes[0].columns == ("x",)
+
+    def test_derived_table(self):
+        stmt = parse("select * from (select a from t) sub")
+        assert isinstance(stmt.from_clause, ast.DerivedTable)
+        assert stmt.from_clause.alias == "sub"
+
+    def test_table_function(self):
+        stmt = parse("select * from gtimeseries('speeding', 30) ts")
+        fn = stmt.from_clause
+        assert isinstance(fn, ast.TableFunction)
+        assert fn.name == "gtimeseries"
+        assert fn.args == (ast.Literal("speeding"), ast.Literal(30))
+        assert fn.alias == "ts"
+
+    def test_insert_values(self):
+        stmt = parse("insert into t (a, b) values (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse("insert into t select * from s")
+        assert stmt.query is not None
+
+    def test_update_delete(self):
+        stmt = parse("update t set a = a + 1, b = 2 where a < 5")
+        assert isinstance(stmt, ast.Update) and len(stmt.assignments) == 2
+        stmt = parse("delete from t where a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_create_table_with_distribution(self):
+        stmt = parse("create table t (a int primary key, b text not null) "
+                     "distribute by hash(a) with (orientation = column)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.primary_key == "a"
+        assert stmt.distribute_by == "a"
+        assert stmt.orientation == "column"
+        assert stmt.columns[1].not_null
+
+    def test_create_replicated(self):
+        stmt = parse("create table t (a int) distribute by replication")
+        assert stmt.replicated
+
+    def test_drop_if_exists(self):
+        stmt = parse("drop table if exists t")
+        assert stmt.if_exists
+
+    def test_qualified_table_names(self):
+        stmt = parse("select olap.t1.b1 from olap.t1")
+        assert stmt.from_clause.name == "olap.t1"
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select from")
+        with pytest.raises(SqlSyntaxError):
+            parse("select 1 extra garbage ,")
+
+    def test_explain_and_analyze(self):
+        assert isinstance(parse("explain select 1"), ast.Explain)
+        assert isinstance(parse("analyze t"), ast.Analyze)
+        assert parse("analyze").table is None

@@ -1,0 +1,82 @@
+"""SQL-level tests for types, DDL variants and the simulated clock."""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.common.errors import SqlAnalysisError
+from repro.sql.engine import SqlEngine
+from repro.storage.table import Distribution, Orientation
+
+
+@pytest.fixture
+def engine():
+    return SqlEngine(MppCluster(num_dns=2), now_fn=lambda: 123_456)
+
+
+class TestDdlVariants:
+    def test_replicated_table(self, engine):
+        engine.execute("create table dim (k int primary key, name text) "
+                       "distribute by replication")
+        schema = engine.cluster.catalog.schema("dim")
+        assert schema.distribution is Distribution.REPLICATION
+        engine.execute("insert into dim values (1, 'x')")
+        for dn in engine.cluster.dns:
+            assert dn.read("dim", 1, dn.local_snapshot()) is not None
+
+    def test_column_orientation_flag(self, engine):
+        engine.execute("create table facts (k int primary key, v double) "
+                       "with (orientation = column)")
+        assert engine.cluster.catalog.schema("facts").orientation \
+            is Orientation.COLUMN
+
+    def test_explicit_primary_key_clause(self, engine):
+        engine.execute("create table t (a int, b int, primary key (b))")
+        assert engine.cluster.catalog.schema("t").primary_key == "b"
+
+    def test_not_null_enforced_via_sql(self, engine):
+        engine.execute("create table t (a int primary key, b int not null)")
+        with pytest.raises(Exception):
+            engine.execute("insert into t (a) values (1)")
+
+
+class TestTypesThroughSql:
+    def test_boolean_column(self, engine):
+        engine.execute("create table flags (k int primary key, ok bool)")
+        engine.execute("insert into flags values (1, true), (2, false)")
+        rows = engine.execute(
+            "select k from flags where ok order by k").rows
+        assert rows == [(1,)]
+        assert engine.execute(
+            "select count(*) from flags where not ok").scalar() == 1
+
+    def test_timestamp_and_now(self, engine):
+        engine.execute("create table ev (k int primary key, t timestamp)")
+        engine.execute("insert into ev values (1, 100000), (2, 200000)")
+        assert engine.execute("select now()").scalar() == 123_456
+        assert engine.execute(
+            "select count(*) from ev where t > now()").scalar() == 1
+
+    def test_double_arithmetic_and_round(self, engine):
+        engine.execute("create table m (k int primary key, v double)")
+        engine.execute("insert into m values (1, 2.5), (2, 3.25)")
+        assert engine.execute(
+            "select round(sum(v) / 2, 2) from m").scalar() == pytest.approx(2.88)
+
+    def test_null_handling_in_aggregates(self, engine):
+        engine.execute("create table n (k int primary key, v int)")
+        engine.execute("insert into n (k, v) values (1, 10), (2, null)")
+        result = engine.execute(
+            "select count(*), count(v), sum(v), avg(v) from n")
+        assert result.rows == [(2, 1, 10.0, 10.0)]
+
+    def test_is_null_predicates(self, engine):
+        engine.execute("create table n (k int primary key, v int)")
+        engine.execute("insert into n (k, v) values (1, 10), (2, null)")
+        assert engine.execute(
+            "select k from n where v is null").rows == [(2,)]
+        assert engine.execute(
+            "select k from n where v is not null").rows == [(1,)]
+
+    def test_string_functions_and_concat(self, engine):
+        assert engine.execute("select 'a' || 'b'").scalar() == "ab"
+        assert engine.execute("select length('hello')").scalar() == 5

@@ -1,0 +1,156 @@
+"""Tests for the column store, indexes and type coercion."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.colstore import ColumnStore
+from repro.storage.index import HashIndex, OrderedIndex, make_index
+from repro.storage.table import Column, TableSchema
+from repro.storage.types import DataType, coerce, type_of_literal
+
+
+def store_with_rows(n=100, chunk_rows=32):
+    schema = TableSchema(
+        "metrics",
+        [Column("id", DataType.INT), Column("region", DataType.TEXT),
+         Column("value", DataType.DOUBLE)],
+        "id",
+    )
+    store = ColumnStore(schema, chunk_rows=chunk_rows)
+    store.append_rows([
+        {"id": i, "region": f"r{i % 3}", "value": float(i)} for i in range(n)
+    ])
+    return store
+
+
+class TestColumnStore:
+    def test_row_count_and_chunking(self):
+        store = store_with_rows(100, chunk_rows=32)
+        assert store.row_count == 100
+        assert store.chunk_count == 4   # 3 sealed + 1 open
+
+    def test_scan_rows_round_trip(self):
+        store = store_with_rows(50)
+        rows = list(store.scan_rows())
+        assert len(rows) == 50
+        assert rows[7] == {"id": 7, "region": "r1", "value": 7.0}
+
+    def test_flush_seals_tail(self):
+        store = store_with_rows(10, chunk_rows=32)
+        store.flush()
+        assert store.chunk_count == 1
+        assert len(list(store.scan_rows())) == 10
+
+    def test_scan_chunks_projection(self):
+        store = store_with_rows(64, chunk_rows=32)
+        chunks = list(store.scan_chunks(["value"]))
+        assert all(set(c.keys()) == {"value"} for c in chunks)
+        total = sum(len(c["value"]) for c in chunks)
+        assert total == 64
+
+    def test_nulls_round_trip(self):
+        schema = TableSchema("t", [Column("id", DataType.INT),
+                                   Column("v", DataType.TEXT)], "id")
+        store = ColumnStore(schema, chunk_rows=2)
+        store.append_rows([{"id": 1, "v": None}, {"id": 2, "v": "x"},
+                           {"id": 3, "v": None}])
+        rows = list(store.scan_rows())
+        assert [r["v"] for r in rows] == [None, "x", None]
+
+    def test_compression_reduces_footprint(self):
+        compressed = store_with_rows(4096 * 2)
+        compressed.flush()
+        plain = ColumnStore(compressed.schema, compress=False)
+        plain.append_rows(list(compressed.scan_rows()))
+        plain.flush()
+        assert compressed.compressed_footprint() < plain.compressed_footprint()
+
+    def test_unknown_column_rejected(self):
+        store = store_with_rows(4)
+        with pytest.raises(Exception):
+            list(store.scan_chunks(["zz"]))
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        index = HashIndex("t", "c")
+        index.add("a", 1)
+        index.add("a", 2)
+        index.add("b", 3)
+        assert index.lookup("a") == {1, 2}
+        assert index.lookup("zz") == set()
+
+    def test_remove(self):
+        index = HashIndex("t", "c")
+        index.add("a", 1)
+        index.remove("a", 1)
+        assert index.lookup("a") == set()
+        assert len(index) == 0
+
+
+class TestOrderedIndex:
+    def test_range_query(self):
+        index = OrderedIndex("t", "c")
+        for i in range(10):
+            index.add(i * 10, f"k{i}")
+        assert set(index.range(25, 55)) == {"k3", "k4", "k5"}
+        assert set(index.range(30, 50, include_low=False,
+                               include_high=False)) == {"k4"}
+
+    def test_open_ranges(self):
+        index = OrderedIndex("t", "c")
+        for i in range(5):
+            index.add(i, i)
+        assert list(index.range(None, 2)) == [0, 1, 2]
+        assert list(index.range(3, None)) == [3, 4]
+
+    def test_duplicates_and_remove(self):
+        index = OrderedIndex("t", "c")
+        index.add(5, "a")
+        index.add(5, "b")
+        index.remove(5, "a")
+        assert index.lookup(5) == {"b"}
+
+    def test_nulls_skipped(self):
+        index = OrderedIndex("t", "c")
+        index.add(None, "a")
+        assert len(index) == 0
+
+    def test_min_max(self):
+        index = OrderedIndex("t", "c")
+        assert index.min_value() is None
+        index.add(3, "a")
+        index.add(1, "b")
+        assert (index.min_value(), index.max_value()) == (1, 3)
+
+    def test_factory(self):
+        assert isinstance(make_index("hash", "t", "c"), HashIndex)
+        assert isinstance(make_index("btree", "t", "c"), OrderedIndex)
+        with pytest.raises(StorageError):
+            make_index("lsm", "t", "c")
+
+
+class TestTypes:
+    def test_coerce_valid(self):
+        assert coerce("12", DataType.INT) == 12
+        assert coerce(3, DataType.DOUBLE) == 3.0
+        assert coerce(1, DataType.BOOL) is True
+        assert coerce(None, DataType.TEXT) is None
+
+    def test_coerce_invalid(self):
+        with pytest.raises(StorageError):
+            coerce("abc", DataType.INT)
+        with pytest.raises(StorageError):
+            coerce(3.5, DataType.INT)
+        with pytest.raises(StorageError):
+            coerce(True, DataType.BIGINT)
+        with pytest.raises(StorageError):
+            coerce(12, DataType.TEXT)
+
+    def test_type_of_literal(self):
+        assert type_of_literal(True) is DataType.BOOL
+        assert type_of_literal(1) is DataType.BIGINT
+        assert type_of_literal(1.5) is DataType.DOUBLE
+        assert type_of_literal("x") is DataType.TEXT
+        with pytest.raises(StorageError):
+            type_of_literal(object())

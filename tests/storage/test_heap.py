@@ -1,0 +1,221 @@
+"""Tests for the MVCC heap: visibility, version chains, conflicts, vacuum."""
+
+import pytest
+
+from repro.common.errors import DuplicateKeyError, SerializationConflict, StorageError
+from repro.storage.heap import MvccHeap
+from repro.txn.manager import LocalTransactionManager
+
+
+class Env:
+    """A heap wired to a local transaction manager, with tiny helpers."""
+
+    def __init__(self):
+        self.ltm = LocalTransactionManager("dn0")
+        self.heap = MvccHeap("t")
+
+    def begin(self):
+        xid = self.ltm.begin()
+        return xid, self.ltm.local_snapshot()
+
+    def commit(self, xid):
+        self.ltm.commit(xid)
+
+    def abort(self, xid):
+        self.ltm.abort(xid)
+
+    def insert(self, key, values, xid, snap):
+        self.heap.insert(key, values, xid, snap, self.ltm.clog)
+
+    def update(self, key, values, xid, snap):
+        self.heap.update(key, values, xid, snap, self.ltm.clog)
+
+    def delete(self, key, xid, snap):
+        self.heap.delete(key, xid, snap, self.ltm.clog)
+
+    def read(self, key, snap, xid=0):
+        return self.heap.read(key, snap, self.ltm.clog, xid)
+
+
+@pytest.fixture
+def env():
+    return Env()
+
+
+def committed_row(env, key, values):
+    xid, snap = env.begin()
+    env.insert(key, values, xid, snap)
+    env.commit(xid)
+
+
+class TestBasicVisibility:
+    def test_committed_insert_visible_to_later_snapshot(self, env):
+        committed_row(env, 1, {"v": 10})
+        _, snap = env.begin()
+        assert env.read(1, snap) == {"v": 10}
+
+    def test_uncommitted_insert_invisible_to_others(self, env):
+        xid, snap = env.begin()
+        env.insert(1, {"v": 10}, xid, snap)
+        other_xid, other_snap = env.begin()
+        assert env.read(1, other_snap, other_xid) is None
+
+    def test_own_uncommitted_insert_visible(self, env):
+        xid, snap = env.begin()
+        env.insert(1, {"v": 10}, xid, snap)
+        assert env.read(1, snap, xid) == {"v": 10}
+
+    def test_snapshot_taken_before_commit_never_sees_it(self, env):
+        writer, wsnap = env.begin()
+        reader, rsnap = env.begin()  # snapshot while writer active
+        env.insert(1, {"v": 10}, writer, wsnap)
+        env.commit(writer)
+        assert env.read(1, rsnap, reader) is None
+
+    def test_update_produces_new_visible_version(self, env):
+        committed_row(env, 1, {"v": 1})
+        xid, snap = env.begin()
+        env.update(1, {"v": 2}, xid, snap)
+        env.commit(xid)
+        _, later = env.begin()
+        assert env.read(1, later) == {"v": 2}
+
+    def test_old_snapshot_reads_old_version_after_update(self, env):
+        committed_row(env, 1, {"v": 1})
+        reader, rsnap = env.begin()
+        writer, wsnap = env.begin()
+        env.update(1, {"v": 2}, writer, wsnap)
+        env.commit(writer)
+        assert env.read(1, rsnap, reader) == {"v": 1}
+
+    def test_delete_hides_row(self, env):
+        committed_row(env, 1, {"v": 1})
+        xid, snap = env.begin()
+        env.delete(1, xid, snap)
+        env.commit(xid)
+        _, later = env.begin()
+        assert env.read(1, later) is None
+
+    def test_scan_yields_only_visible(self, env):
+        committed_row(env, 1, {"v": 1})
+        committed_row(env, 2, {"v": 2})
+        xid, snap = env.begin()
+        env.delete(1, xid, snap)
+        env.commit(xid)
+        _, later = env.begin()
+        keys = [k for k, _ in self_scan(env, later)]
+        assert keys == [2]
+
+
+def self_scan(env, snap, xid=0):
+    return list(env.heap.scan(snap, env.ltm.clog, xid))
+
+
+class TestConflicts:
+    def test_duplicate_insert_rejected(self, env):
+        committed_row(env, 1, {"v": 1})
+        xid, snap = env.begin()
+        with pytest.raises(DuplicateKeyError):
+            env.insert(1, {"v": 2}, xid, snap)
+
+    def test_concurrent_update_conflicts(self, env):
+        committed_row(env, 1, {"v": 1})
+        t1, s1 = env.begin()
+        t2, s2 = env.begin()
+        env.update(1, {"v": 2}, t1, s1)
+        with pytest.raises(SerializationConflict):
+            env.update(1, {"v": 3}, t2, s2)
+
+    def test_update_after_invisible_commit_conflicts(self, env):
+        # First-updater-wins: t2's snapshot predates t1's committed update.
+        committed_row(env, 1, {"v": 1})
+        t2, s2 = env.begin()
+        t1, s1 = env.begin()
+        env.update(1, {"v": 2}, t1, s1)
+        env.commit(t1)
+        with pytest.raises(SerializationConflict):
+            env.update(1, {"v": 3}, t2, s2)
+
+    def test_update_after_aborted_writer_succeeds(self, env):
+        committed_row(env, 1, {"v": 1})
+        t1, s1 = env.begin()
+        env.update(1, {"v": 2}, t1, s1)
+        env.heap.abort_key(1, t1)
+        env.abort(t1)
+        t2, s2 = env.begin()
+        env.update(1, {"v": 3}, t2, s2)
+        env.commit(t2)
+        _, later = env.begin()
+        assert env.read(1, later) == {"v": 3}
+
+    def test_update_missing_key_raises(self, env):
+        xid, snap = env.begin()
+        with pytest.raises(StorageError):
+            env.update(99, {"v": 1}, xid, snap)
+
+    def test_own_double_update_allowed(self, env):
+        committed_row(env, 1, {"v": 1})
+        xid, snap = env.begin()
+        env.update(1, {"v": 2}, xid, snap)
+        env.update(1, {"v": 3}, xid, snap)
+        env.commit(xid)
+        _, later = env.begin()
+        assert env.read(1, later) == {"v": 3}
+
+
+class TestRollbackAndVacuum:
+    def test_abort_key_removes_insert(self, env):
+        xid, snap = env.begin()
+        env.insert(1, {"v": 1}, xid, snap)
+        touched = env.heap.abort_key(1, xid)
+        env.abort(xid)
+        assert touched == 1
+        _, later = env.begin()
+        assert env.read(1, later) is None
+        assert len(env.heap) == 0
+
+    def test_abort_key_restores_xmax(self, env):
+        committed_row(env, 1, {"v": 1})
+        xid, snap = env.begin()
+        env.delete(1, xid, snap)
+        env.heap.abort_key(1, xid)
+        env.abort(xid)
+        _, later = env.begin()
+        assert env.read(1, later) == {"v": 1}
+
+    def test_abort_writes_sweeps_everything(self, env):
+        xid, snap = env.begin()
+        env.insert(1, {"v": 1}, xid, snap)
+        env.insert(2, {"v": 2}, xid, snap)
+        assert env.heap.abort_writes(xid) == 2
+
+    def test_vacuum_drops_dead_versions(self, env):
+        committed_row(env, 1, {"v": 1})
+        for v in (2, 3):
+            xid, snap = env.begin()
+            env.update(1, {"v": v}, xid, snap)
+            env.commit(xid)
+        assert len(env.heap.version_chain(1)) == 3
+        removed = env.heap.vacuum(env.ltm.local_snapshot(), env.ltm.clog)
+        assert removed == 2
+        _, later = env.begin()
+        assert env.read(1, later) == {"v": 3}
+
+    def test_vacuum_respects_old_snapshot(self, env):
+        committed_row(env, 1, {"v": 1})
+        reader, rsnap = env.begin()  # holds the old version alive
+        writer, wsnap = env.begin()
+        env.update(1, {"v": 2}, writer, wsnap)
+        env.commit(writer)
+        removed = env.heap.vacuum(rsnap, env.ltm.clog)
+        assert removed == 0
+        assert env.read(1, rsnap, reader) == {"v": 1}
+
+    def test_version_chain_records_history(self, env):
+        committed_row(env, 1, {"v": 1})
+        xid, snap = env.begin()
+        env.update(1, {"v": 2}, xid, snap)
+        env.commit(xid)
+        chain = env.heap.version_chain(1)
+        assert [v.values["v"] for v in chain] == [1, 2]
+        assert chain[0].xmax == chain[1].xmin

@@ -1,0 +1,106 @@
+"""Tests for MVCC snapshots and merged snapshots."""
+
+import pytest
+
+from repro.txn.snapshot import MergedSnapshot, Snapshot
+from repro.txn.status import StatusLog, TxnStatus
+from repro.txn.xid import INVALID_XID
+
+
+def _clog(**statuses) -> StatusLog:
+    """Build a status log from xid=status pairs like x5='committed'."""
+    log = StatusLog()
+    for name, status in statuses.items():
+        xid = int(name[1:])
+        log.begin(xid)
+        if status == "committed":
+            log.set(xid, TxnStatus.COMMITTED)
+        elif status == "aborted":
+            log.set(xid, TxnStatus.ABORTED)
+        elif status == "prepared":
+            log.set(xid, TxnStatus.PREPARED)
+    return log
+
+
+class TestSnapshotConstruction:
+    def test_active_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            Snapshot(xmin=5, xmax=10, active=frozenset({3}))
+        with pytest.raises(ValueError):
+            Snapshot(xmin=5, xmax=10, active=frozenset({10}))
+
+    def test_xmin_le_xmax(self):
+        with pytest.raises(ValueError):
+            Snapshot(xmin=10, xmax=5)
+
+    def test_empty_snapshot_ok(self):
+        snap = Snapshot(xmin=7, xmax=7)
+        assert not snap.active
+
+
+class TestVisibility:
+    def test_committed_past_xid_visible(self):
+        snap = Snapshot(xmin=10, xmax=10)
+        assert snap.xid_visible(5, _clog(x5="committed"))
+
+    def test_aborted_xid_invisible(self):
+        snap = Snapshot(xmin=10, xmax=10)
+        assert not snap.xid_visible(5, _clog(x5="aborted"))
+
+    def test_active_xid_invisible_even_if_now_committed(self):
+        # Committed after the snapshot was taken: still invisible.
+        snap = Snapshot(xmin=5, xmax=10, active=frozenset({5}))
+        assert not snap.xid_visible(5, _clog(x5="committed"))
+
+    def test_future_xid_invisible(self):
+        snap = Snapshot(xmin=5, xmax=10)
+        assert not snap.xid_visible(15, _clog(x15="committed"))
+
+    def test_own_writes_always_visible(self):
+        snap = Snapshot(xmin=5, xmax=10, active=frozenset({7}))
+        assert snap.xid_visible(7, _clog(x7="in_progress"), own_xid=7)
+
+    def test_invalid_xid_invisible(self):
+        snap = Snapshot(xmin=5, xmax=10)
+        assert not snap.xid_visible(INVALID_XID, _clog())
+
+    def test_prepared_xid_invisible(self):
+        snap = Snapshot(xmin=10, xmax=10)
+        assert not snap.xid_visible(5, _clog(x5="prepared"))
+
+
+class TestMergedSnapshot:
+    def test_forced_active_hides_committed(self):
+        # xid 5 committed locally, but DOWNGRADE re-hides it.
+        clog = _clog(x5="committed")
+        merged = MergedSnapshot(xmin=10, xmax=10, forced_active=frozenset({5}))
+        assert not merged.xid_visible(5, clog)
+        assert merged.sees_as_running(5)
+
+    def test_forced_committed_reveals_prepared(self):
+        # xid 5 only prepared locally, but UPGRADE reveals it.
+        clog = _clog(x5="prepared")
+        merged = MergedSnapshot(
+            xmin=5, xmax=10, active=frozenset({5}), forced_committed=frozenset({5})
+        )
+        assert merged.xid_visible(5, clog)
+        assert not merged.sees_as_running(5)
+
+    def test_overlapping_forced_sets_rejected(self):
+        with pytest.raises(ValueError):
+            MergedSnapshot(
+                xmin=0, xmax=10,
+                forced_active=frozenset({5}),
+                forced_committed=frozenset({5}),
+            )
+
+    def test_unforced_xids_fall_back_to_base_rules(self):
+        clog = _clog(x5="committed", x6="aborted")
+        merged = MergedSnapshot(xmin=10, xmax=10, forced_active=frozenset({8}))
+        assert merged.xid_visible(5, clog)
+        assert not merged.xid_visible(6, clog)
+
+    def test_own_xid_beats_forced_active(self):
+        clog = _clog(x5="in_progress")
+        merged = MergedSnapshot(xmin=5, xmax=10, active=frozenset({5}))
+        assert merged.xid_visible(5, clog, own_xid=5)

@@ -1,0 +1,74 @@
+"""Tests for the canned reporting workload and its learning behavior."""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.learnopt.feedback import CaptureSettings
+from repro.sql.engine import SqlEngine
+from repro.workloads.reporting import (
+    ReportingConfig,
+    ReportingWorkload,
+    load_reporting_schema,
+    run_reporting,
+)
+
+
+@pytest.fixture
+def engine():
+    cluster = MppCluster(num_dns=2)
+    eng = SqlEngine(cluster,
+                    capture_settings=CaptureSettings(error_threshold=0.3))
+    load_reporting_schema(eng, ReportingConfig(sales_rows=2000,
+                                               customers=200))
+    return eng
+
+
+class TestSchema:
+    def test_row_counts(self, engine):
+        assert engine.execute("select count(*) from sales").scalar() == 2000
+        assert engine.execute("select count(*) from customers").scalar() == 200
+
+    def test_correlation_is_present(self, engine):
+        north_gold = engine.execute(
+            "select count(*) from sales "
+            "where region = 'north' and status = 'gold'").scalar()
+        south_gold = engine.execute(
+            "select count(*) from sales "
+            "where region = 'south' and status = 'gold'").scalar()
+        assert north_gold > 10 * max(south_gold, 1)
+
+
+class TestWorkload:
+    def test_catalog_is_finite_and_distinct(self):
+        catalog = ReportingWorkload().instances()
+        assert len(catalog) == len(set(catalog))
+        assert len(catalog) > 10
+
+    def test_stream_repeats_catalog_members(self):
+        workload = ReportingWorkload(seed=3)
+        catalog = set(workload.instances())
+        stream = list(workload.stream(50))
+        assert all(q in catalog for q in stream)
+        assert len(set(stream)) < len(stream)   # recurrence
+
+    def test_stream_deterministic(self):
+        a = list(ReportingWorkload(seed=5).stream(20))
+        b = list(ReportingWorkload(seed=5).stream(20))
+        assert a == b
+
+
+class TestLearningOnCannedQueries:
+    def test_store_converges_and_hits(self, engine):
+        summary = run_reporting(engine, queries=60, seed=9)
+        assert summary["steps_captured"] > 0
+        assert summary["store_hits"] > 0
+        # The store stays bounded by the catalog, not the stream length.
+        assert summary["store_entries"] < 60
+
+    def test_every_query_still_correct_under_learning(self, engine):
+        baseline = SqlEngine(engine.cluster, learning_enabled=False)
+        workload = ReportingWorkload(seed=11)
+        for sql in workload.instances()[:12]:
+            learned = engine.execute(sql)
+            plain = baseline.execute(sql)
+            assert learned.rows == plain.rows, sql

@@ -1,0 +1,137 @@
+"""Tests for workload generators and the OLTP simulation driver."""
+
+import pytest
+
+from repro.cluster import MppCluster, TxnMode
+from repro.core.experiment import FIGURE3_WORKLOADS, run_cell
+from repro.gmdb.delta import object_wire_size
+from repro.storage.table import shard_of_value
+from repro.workloads.driver import run_oltp
+from repro.workloads.mme import MmeSessionGenerator, mme_schema
+from repro.workloads.tpcc_lite import (
+    TpccLiteWorkload,
+    customer_key,
+    district_key,
+    load_tpcc,
+    stock_key,
+    tpcc_schemas,
+)
+
+
+class TestTpccSchemas:
+    def test_key_encoding_routes_by_warehouse(self):
+        schemas = {s.name: s for s in tpcc_schemas()}
+        for num_dns in (2, 4, 8):
+            w = 5
+            home = shard_of_value(w, num_dns)
+            assert schemas["district"].shard_of_key(
+                district_key(w, 3), num_dns) == home
+            assert schemas["customer"].shard_of_key(
+                customer_key(w, 3, 7), num_dns) == home
+            assert schemas["stock"].shard_of_key(
+                stock_key(w, 42), num_dns) == home
+
+    def test_item_is_replicated(self):
+        schemas = {s.name: s for s in tpcc_schemas()}
+        from repro.storage.table import Distribution
+
+        assert schemas["item"].distribution is Distribution.REPLICATION
+
+
+class TestWorkloadGeneration:
+    def test_ss_stream_never_remote(self):
+        workload = TpccLiteWorkload(num_warehouses=4, multi_shard_fraction=0.0)
+        stream = workload.stream(home_warehouse=1, seed_offset=0)
+        specs = [next(stream) for _ in range(50)]
+        assert all(not s.multi_shard for s in specs)
+        assert all(s.home_warehouse == 1 for s in specs)
+
+    def test_ms_fraction_approximate(self):
+        workload = TpccLiteWorkload(num_warehouses=8, multi_shard_fraction=0.3,
+                                    seed=5)
+        stream = workload.stream(home_warehouse=0, seed_offset=0)
+        specs = [next(stream) for _ in range(500)]
+        remote = sum(1 for s in specs if s.multi_shard)
+        assert 100 < remote < 200
+
+    def test_deterministic_streams(self):
+        a = TpccLiteWorkload(4, 0.1, seed=9).stream(0, 3)
+        b = TpccLiteWorkload(4, 0.1, seed=9).stream(0, 3)
+        for _ in range(20):
+            sa, sb = next(a), next(b)
+            assert (sa.kind, sa.multi_shard) == (sb.kind, sb.multi_shard)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TpccLiteWorkload(0)
+        with pytest.raises(ValueError):
+            TpccLiteWorkload(4, multi_shard_fraction=1.5)
+        with pytest.raises(ValueError):
+            TpccLiteWorkload(1, multi_shard_fraction=0.5)
+
+
+class TestDriver:
+    def test_workload_executes_cleanly(self):
+        cluster = MppCluster(num_dns=2, mode=TxnMode.GTM_LITE)
+        load_tpcc(cluster, num_warehouses=4, seed=3)
+        workload = TpccLiteWorkload(4, multi_shard_fraction=0.1, seed=3)
+        result = run_oltp(cluster, workload, clients_per_dn=4,
+                          txns_per_client=10)
+        assert result.committed == 2 * 4 * 10
+        assert result.throughput_tps > 0
+        assert result.merges > 0           # multi-shard readers merged
+        # money conservation: sum of ytd equals sum of payments
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        w_ytd = sum(row["w_ytd"] for _, row in txn.scan("warehouse"))
+        c_paid = sum(row["c_ytd_payment"] for _, row in txn.scan("customer"))
+        txn.commit()
+        assert w_ytd == pytest.approx(c_paid)
+
+    def test_gtm_lite_has_fewer_gtm_requests(self):
+        results = {}
+        for mode in (TxnMode.GTM_LITE, TxnMode.CLASSICAL):
+            cluster = MppCluster(num_dns=2, mode=mode)
+            load_tpcc(cluster, 4, seed=3)
+            workload = TpccLiteWorkload(4, multi_shard_fraction=0.1, seed=3)
+            results[mode] = run_oltp(cluster, workload, clients_per_dn=4,
+                                     txns_per_client=10)
+        assert results[TxnMode.GTM_LITE].gtm_requests < \
+            results[TxnMode.CLASSICAL].gtm_requests / 3
+
+
+class TestFigure3Cells:
+    def test_gtm_lite_beats_classical_at_scale(self):
+        lite = run_cell(4, 0.0, TxnMode.GTM_LITE, warehouses_per_node=2,
+                        clients_per_dn=4, txns_per_client=10)
+        classical = run_cell(4, 0.0, TxnMode.CLASSICAL, warehouses_per_node=2,
+                             clients_per_dn=4, txns_per_client=10)
+        assert lite.throughput_tps > classical.throughput_tps
+
+    def test_classical_bottleneck_is_gtm_at_scale(self):
+        classical = run_cell(8, 0.0, TxnMode.CLASSICAL, warehouses_per_node=2,
+                             clients_per_dn=4, txns_per_client=10)
+        assert classical.bottleneck == "gtm"
+
+    def test_workload_labels(self):
+        assert FIGURE3_WORKLOADS == {"SS": 0.0, "MS": 0.1}
+
+
+class TestMmeGenerator:
+    def test_sessions_in_size_band(self):
+        gen = MmeSessionGenerator(3)
+        sizes = [object_wire_size(gen.session(i)) for i in range(10)]
+        assert all(4_500 <= s <= 12_000 for s in sizes)
+
+    def test_sessions_validate_against_their_schema(self):
+        for version in (3, 5, 8):
+            gen = MmeSessionGenerator(version)
+            mme_schema(version).validate(gen.session(0))
+
+    def test_unique_imsis(self):
+        gen = MmeSessionGenerator(3)
+        assert gen.imsi(1) != gen.imsi(2)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            mme_schema(4)
