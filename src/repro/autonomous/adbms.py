@@ -26,6 +26,7 @@ from repro.autonomous.infostore import InformationStore
 from repro.autonomous.ml import KnobTuner, TuningResult
 from repro.autonomous.workload import Priority, Sla, WorkloadManager
 from repro.cluster.mpp import MppCluster
+from repro.obs import InfoStoreExporter
 
 DEFAULT_KNOBS = [
     KnobDef("max_concurrency", 32, 1, 256,
@@ -58,6 +59,12 @@ class AutonomousManager:
         #: (self-healing closes the loop instead of only logging).
         self.ha = ha
         self.info = InformationStore()
+        #: Live engine telemetry: every ``collect()`` flushes the cluster's
+        #: metric registry (txn/gtm/exec/query counters and histogram
+        #: summaries) into the information store, so detectors consume real
+        #: engine series instead of hand-fed ones.
+        self.exporter = (InfoStoreExporter(cluster.obs.metrics, self.info)
+                         if getattr(cluster, "obs", None) is not None else None)
         self.changes = ChangeManager()
         self.anomalies = AnomalyManager(self.info)
         self.workload = WorkloadManager(
@@ -93,6 +100,8 @@ class AutonomousManager:
     def collect(self, now_us: float,
                 extra_metrics: Optional[Dict[str, float]] = None) -> None:
         """Harvest cluster counters into the information store."""
+        if self.exporter is not None:
+            self.exporter.flush(now_us)
         stats = self.cluster.stats
         commits = stats.commits
         self.info.record("commits_delta", now_us, commits - self._last_commits)

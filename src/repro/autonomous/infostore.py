@@ -57,6 +57,8 @@ class InformationStore:
 
     def window(self, metric: str, t0_us: float,
                t1_us: float) -> List[Tuple[float, float]]:
+        if t1_us < t0_us:           # inverted range: empty, not an error
+            return []
         series = self._series.get(metric, ())
         return [(t, v) for t, v in series if t0_us <= t <= t1_us]
 
@@ -64,8 +66,11 @@ class InformationStore:
         series = self._series.get(metric)
         if not series:
             return []
-        data = [v for _, v in series]
-        return data[-last_n:] if last_n is not None else data
+        if last_n is not None:
+            if last_n <= 0:         # note: data[-0:] would be the whole list
+                return []
+            return [v for _, v in list(series)[-last_n:]]
+        return [v for _, v in series]
 
     def summary(self, metric: str,
                 last_n: Optional[int] = None) -> Optional[MetricSummary]:
@@ -90,9 +95,9 @@ class InformationStore:
     def rate_per_second(self, metric: str, window_us: float,
                         now_us: float) -> float:
         """Events per second over the trailing window (for counters)."""
-        samples = self.window(metric, now_us - window_us, now_us)
         if window_us <= 0:
             return 0.0
+        samples = self.window(metric, now_us - window_us, now_us)
         return sum(v for _, v in samples) / (window_us / 1_000_000.0)
 
     def clear(self, metric: Optional[str] = None) -> None:
@@ -105,6 +110,7 @@ class InformationStore:
 def _percentile(ordered: List[float], q: float) -> float:
     if not ordered:
         return float("nan")
+    q = min(max(q, 0.0), 1.0)
     index = q * (len(ordered) - 1)
     lo = int(math.floor(index))
     hi = int(math.ceil(index))

@@ -32,7 +32,7 @@ class RedoOp:
 class DataNode:
     """One shard server: local XIDs, local clog, local heaps."""
 
-    def __init__(self, node_id: str, index: int):
+    def __init__(self, node_id: str, index: int, obs=None):
         self.node_id = node_id
         self.index = index
         self.ltm = LocalTransactionManager(node_id)
@@ -41,6 +41,13 @@ class DataNode:
         self._redo: Dict[int, List[RedoOp]] = {}
         #: Invoked with a committed transaction's redo ops (HA log shipping).
         self.replication_hook: Optional[Callable[[List[RedoOp]], None]] = None
+        #: Optional :class:`repro.obs.Observability` (set by the cluster);
+        #: tuple reads, writes and scan rows are counted into it.
+        self.obs = obs
+
+    def _note(self, metric: str, amount: float = 1.0) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(metric).inc(amount)
 
     # -- DDL ---------------------------------------------------------------
 
@@ -92,7 +99,11 @@ class DataNode:
 
     def read(self, table: str, key: object, snapshot: Snapshot,
              xid: int = INVALID_XID) -> Optional[Dict[str, object]]:
-        return self.heap(table).read(key, snapshot, self.ltm.clog, xid)
+        row = self.heap(table).read(key, snapshot, self.ltm.clog, xid)
+        self._note("dn.read")
+        if row is not None:
+            self._note("exec.rows")
+        return row
 
     def insert(self, table: str, row: Dict[str, object], xid: int,
                snapshot: Snapshot) -> None:
@@ -101,6 +112,7 @@ class DataNode:
         key = schema.key_of(coerced)
         self.heap(table).insert(key, coerced, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
+        self._note("dn.apply")
         self._redo.setdefault(xid, []).append(
             RedoOp("insert", table, key, coerced))
 
@@ -116,17 +128,22 @@ class DataNode:
         coerced = self._schemas[table].coerce_row(current)
         heap.update(key, coerced, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
+        self._note("dn.apply")
         self._redo.setdefault(xid, []).append(
             RedoOp("update", table, key, coerced))
 
     def delete(self, table: str, key: object, xid: int, snapshot: Snapshot) -> None:
         self.heap(table).delete(key, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
+        self._note("dn.apply")
         self._redo.setdefault(xid, []).append(RedoOp("delete", table, key))
 
     def scan(self, table: str, snapshot: Snapshot,
              xid: int = INVALID_XID) -> Iterator[Tuple[object, Dict[str, object]]]:
-        return self.heap(table).scan(snapshot, self.ltm.clog, xid)
+        self._note("dn.scan")
+        for item in self.heap(table).scan(snapshot, self.ltm.clog, xid):
+            self._note("exec.rows")
+            yield item
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"DataNode({self.node_id!r}, tables={sorted(self._heaps)})"

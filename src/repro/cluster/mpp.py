@@ -23,6 +23,7 @@ from repro.cluster.txn import (
 )
 from repro.core.gtm import GlobalTransactionManager
 from repro.net.costing import CostContext
+from repro.obs import Observability
 from repro.net.latency import DEFAULT_PROFILE, EnvironmentProfile
 from repro.net.resource import Resource, ResourcePool
 from repro.storage.table import TableSchema
@@ -50,9 +51,13 @@ class MppCluster:
         self.mode = mode
         self.profile = profile
         self.catalog = Catalog()
-        self.gtm = GlobalTransactionManager()
-        self.dns: List[DataNode] = [DataNode(f"dn{i}", i) for i in range(num_dns)]
-        self.stats = ClusterStats()
+        #: The cluster-wide telemetry spine: every layer (GTM, data nodes,
+        #: transactions, executor, SQL engine) records into this namespace.
+        self.obs = Observability()
+        self.gtm = GlobalTransactionManager(obs=self.obs)
+        self.dns: List[DataNode] = [DataNode(f"dn{i}", i, obs=self.obs)
+                                    for i in range(num_dns)]
+        self.stats = ClusterStats(registry=self.obs.metrics)
         self.resources = ResourcePool()
         self.gtm_resource: Resource = self.resources.add("gtm")
         self.dn_resources: List[Resource] = [

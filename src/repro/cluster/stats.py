@@ -1,40 +1,64 @@
-"""Cluster-level operational statistics."""
+"""Cluster-level operational statistics.
+
+Since the `repro.obs` subsystem landed, :class:`ClusterStats` is a thin
+facade over :class:`~repro.obs.metrics.MetricsRegistry` counters — the same
+counters the :class:`~repro.obs.export.InfoStoreExporter` flushes into the
+autonomous information store.  The historical attribute API
+(``commits_single_shard`` …, ``as_dict()``, ``reset()``) is preserved so the
+Fig. 3 experiment code and the benchmarks are unchanged.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.merge import MergeOutcome
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class ClusterStats:
     """Counters the MPP cluster accumulates while serving transactions."""
 
-    commits_single_shard: int = 0
-    commits_multi_shard: int = 0
-    aborts_single_shard: int = 0
-    aborts_multi_shard: int = 0
-    snapshot_merges: int = 0
-    upgrades: int = 0
-    downgrades: int = 0
+    _FIELDS = {
+        "commits_single_shard": "txn.commit.single_shard",
+        "commits_multi_shard": "txn.commit.multi_shard",
+        "aborts_single_shard": "txn.abort.single_shard",
+        "aborts_multi_shard": "txn.abort.multi_shard",
+        "snapshot_merges": "snapshot.merges",
+        "upgrades": "snapshot.upgrades",
+        "downgrades": "snapshot.downgrades",
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            field: self.registry.counter(metric)
+            for field, metric in self._FIELDS.items()
+        }
+        # Totals the exporter ships under the canonical engine-metric names.
+        self._commit_total = self.registry.counter("txn.commit")
+        self._abort_total = self.registry.counter("txn.abort")
 
     def note_commit(self, multi_shard: bool) -> None:
-        if multi_shard:
-            self.commits_multi_shard += 1
-        else:
-            self.commits_single_shard += 1
+        name = "commits_multi_shard" if multi_shard else "commits_single_shard"
+        self._counters[name].inc()
+        self._commit_total.inc()
 
     def note_abort(self, multi_shard: bool) -> None:
-        if multi_shard:
-            self.aborts_multi_shard += 1
-        else:
-            self.aborts_single_shard += 1
+        name = "aborts_multi_shard" if multi_shard else "aborts_single_shard"
+        self._counters[name].inc()
+        self._abort_total.inc()
 
     def note_merge(self, outcome: MergeOutcome) -> None:
-        self.snapshot_merges += 1
-        self.upgrades += len(outcome.upgraded)
-        self.downgrades += len(outcome.downgraded)
+        self._counters["snapshot_merges"].inc()
+        self._counters["upgrades"].inc(len(outcome.upgraded))
+        self._counters["downgrades"].inc(len(outcome.downgraded))
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
 
     @property
     def commits(self) -> int:
@@ -45,16 +69,11 @@ class ClusterStats:
         return self.aborts_single_shard + self.aborts_multi_shard
 
     def as_dict(self) -> dict:
-        return {
-            "commits_single_shard": self.commits_single_shard,
-            "commits_multi_shard": self.commits_multi_shard,
-            "aborts_single_shard": self.aborts_single_shard,
-            "aborts_multi_shard": self.aborts_multi_shard,
-            "snapshot_merges": self.snapshot_merges,
-            "upgrades": self.upgrades,
-            "downgrades": self.downgrades,
-        }
+        return {field: int(counter.value)
+                for field, counter in self._counters.items()}
 
     def reset(self) -> None:
-        for name in self.as_dict():
-            setattr(self, name, 0)
+        for counter in self._counters.values():
+            counter.reset()
+        self._commit_total.reset()
+        self._abort_total.reset()

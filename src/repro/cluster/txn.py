@@ -69,6 +69,10 @@ class _BaseTransaction:
         self._ctx = ctx
         self._cn_index = cn_index
         self.state = TxnState.RUNNING
+        self._obs = getattr(cluster, "obs", None)
+        self._span = None
+        self._start_us = ctx.t_us if ctx is not None else (
+            self._obs.clock.now_us if self._obs is not None else 0.0)
 
     # -- helpers -----------------------------------------------------------
 
@@ -86,18 +90,36 @@ class _BaseTransaction:
     def _shard_for_key(self, table: str, key: object) -> int:
         return self._schema(table).shard_of_key(key, self._cluster.num_dns)
 
+    def _sync_obs(self) -> None:
+        """Pull the shared sim clock forward to this client's cursor."""
+        if self._obs is not None and self._ctx is not None:
+            self._obs.advance_to(self._ctx.t_us)
+
     def _charge_cn(self) -> None:
         if self._ctx is not None:
             self._ctx.charge(self._cluster.cn_resources[self._cn_index],
                              self._ctx.model.cn_route_us)
+            self._sync_obs()
 
     def _charge_dn(self, dn_index: int, service_us: float) -> None:
         if self._ctx is not None:
             self._ctx.charge(self._cluster.dn_resources[dn_index], service_us)
+            self._sync_obs()
 
     def _charge_gtm(self, service_us: float) -> None:
         if self._ctx is not None:
             self._ctx.charge(self._cluster.gtm_resource, service_us)
+            self._sync_obs()
+
+    def _finish_span(self, outcome: str) -> None:
+        if self._obs is None:
+            return
+        now = self._ctx.t_us if self._ctx is not None else self._obs.clock.now_us
+        self._obs.metrics.histogram("txn.latency_us").observe(
+            max(0.0, now - self._start_us))
+        if self._span is not None:
+            self._span.set_attribute("outcome", outcome)
+            self._obs.tracer.end_span(self._span)
 
 
 class LocalTransaction(_BaseTransaction):
@@ -108,6 +130,9 @@ class LocalTransaction(_BaseTransaction):
         self._dn_index: Optional[int] = None
         self.xid: Optional[int] = None
         self.snapshot: Optional[Snapshot] = None
+        if self._obs is not None:
+            self._span = self._obs.tracer.start_span(
+                "txn.local", parent=None, cn=cn_index)
 
     @property
     def is_multi_shard(self) -> bool:
@@ -204,6 +229,7 @@ class LocalTransaction(_BaseTransaction):
             dn.commit(self.xid)
         self.state = TxnState.COMMITTED
         self._cluster.stats.note_commit(multi_shard=False)
+        self._finish_span("committed")
         self._cluster.maybe_prune_lcos()
 
     def abort(self) -> None:
@@ -213,6 +239,7 @@ class LocalTransaction(_BaseTransaction):
             self._cluster.dns[self._dn_index].abort(self.xid)
         self.state = TxnState.ABORTED
         self._cluster.stats.note_abort(multi_shard=False)
+        self._finish_span("aborted")
 
 
 class GlobalTransaction(_BaseTransaction):
@@ -221,16 +248,33 @@ class GlobalTransaction(_BaseTransaction):
     def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0):
         super().__init__(cluster, ctx, cn_index)
         self.mode: TxnMode = cluster.mode
+        if self._obs is not None:
+            self._span = self._obs.tracer.start_span(
+                "txn.global", parent=None, cn=cn_index)
+        # Simulated snapshot-acquisition cost: the GTM serializes a snapshot
+        # whose size grows with the number of in-flight GXIDs.  The same
+        # figure is charged to the cost context (when present) and observed
+        # into the ``gtm.snapshot_us`` histogram, so telemetry exists even
+        # in pure-correctness runs.
+        model = cluster.profile.mpp
+        snapshot_us = (model.gtm_snapshot_us
+                       + model.gtm_snapshot_per_active_us
+                       * cluster.gtm.active_count)
         if ctx is not None:
-            # One begin interaction: GXID assignment plus a snapshot whose
-            # serialization cost grows with the number of in-flight GXIDs.
-            self._charge_gtm(
-                ctx.model.gtm_xid_us
-                + ctx.model.gtm_snapshot_us
-                + ctx.model.gtm_snapshot_per_active_us * cluster.gtm.active_count
-            )
+            # One begin interaction: GXID assignment plus the snapshot.
+            self._charge_gtm(ctx.model.gtm_xid_us + snapshot_us)
+        acquire_span = None
+        if self._obs is not None:
+            self._obs.metrics.histogram("gtm.snapshot_us").observe(snapshot_us)
+            acquire_span = self._obs.tracer.start_span(
+                "gtm.snapshot", parent=self._span)
         self.gxid = cluster.gtm.begin()
         self.global_snapshot = cluster.gtm.snapshot(for_gxid=self.gxid)
+        if acquire_span is not None:
+            acquire_span.set_attribute("gxid", self.gxid)
+            acquire_span.set_attribute("active", len(self.global_snapshot.active))
+            self._obs.tracer.end_span(
+                acquire_span, end_us=acquire_span.start_us + snapshot_us)
         self._local_xid: Dict[int, int] = {}          # dn index -> local xid
         self._local_view: Dict[int, object] = {}       # dn index -> snapshot
         self._written: Set[int] = set()                # dn indexes with writes
@@ -264,6 +308,8 @@ class GlobalTransaction(_BaseTransaction):
                 self._cluster.gtm,
                 enable_downgrade=self.mode.downgrade_enabled,
                 enable_upgrade=self.mode.upgrade_enabled,
+                obs=self._obs,
+                parent_span=self._span,
             )
             self._charge_dn(
                 dn_index, self._ctx.model.dn_merge_snapshot_us if self._ctx else 0.0
@@ -377,6 +423,7 @@ class GlobalTransaction(_BaseTransaction):
         self._cluster.gtm.abort(self.gxid)
         self.state = TxnState.ABORTED
         self._cluster.stats.note_abort(multi_shard=True)
+        self._finish_span("aborted")
 
 
 class CommitSteps:
@@ -394,6 +441,17 @@ class CommitSteps:
         self._gtm_committed = False
         self._confirmed: Set[int] = set()
 
+    def _traced(self, name: str, **attributes):
+        """Open a 2PC-phase span under the transaction's span, or None."""
+        txn = self._txn
+        if txn._obs is None:
+            return None
+        return txn._obs.tracer.start_span(name, parent=txn._span, **attributes)
+
+    def _end(self, span) -> None:
+        if span is not None:
+            self._txn._obs.tracer.end_span(span)
+
     @property
     def pending_nodes(self) -> List[int]:
         return sorted(set(self._txn._written) - self._confirmed)
@@ -402,10 +460,12 @@ class CommitSteps:
         if self._prepared:
             raise InvalidTransactionState("already prepared")
         txn = self._txn
+        span = self._traced("2pc.prepare", nodes=len(txn._written))
         for dn_index in sorted(txn._written):
             txn._charge_dn(dn_index,
                            txn._ctx.model.dn_prepare_us if txn._ctx else 0.0)
             txn._cluster.dns[dn_index].prepare(txn._local_xid[dn_index])
+        self._end(span)
         self._prepared = True
         if txn.mode is TxnMode.CLASSICAL:
             # Classical order: data nodes commit before the GTM dequeues.
@@ -417,8 +477,10 @@ class CommitSteps:
         if self._gtm_committed:
             raise InvalidTransactionState("already committed at GTM")
         txn = self._txn
+        span = self._traced("2pc.gtm_commit", gxid=txn.gxid)
         txn._charge_gtm(txn._ctx.model.gtm_commit_us if txn._ctx else 0.0)
         txn._cluster.gtm.commit(txn.gxid)
+        self._end(span)
         self._gtm_committed = True
 
     def confirm_at(self, dn_index: int) -> None:
@@ -441,11 +503,14 @@ class CommitSteps:
 
     def _confirm_all(self) -> None:
         txn = self._txn
-        for dn_index in sorted(set(txn._written) - self._confirmed):
+        pending = sorted(set(txn._written) - self._confirmed)
+        span = self._traced("2pc.confirm", nodes=len(pending)) if pending else None
+        for dn_index in pending:
             txn._charge_dn(dn_index,
                            txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
             txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
             self._confirmed.add(dn_index)
+        self._end(span)
 
     def finish(self) -> None:
         """Complete whatever remains of the sequence."""
@@ -467,4 +532,5 @@ class CommitSteps:
                 txn._cluster.dns[dn_index].commit(lxid)
         txn.state = TxnState.COMMITTED
         txn._cluster.stats.note_commit(multi_shard=True)
+        txn._finish_span("committed")
         txn._cluster.maybe_prune_lcos()

@@ -48,12 +48,21 @@ class GtmStats:
 class GlobalTransactionManager:
     """GXID allocation, global active list and global commit log."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self._alloc = XidAllocator()
         self.clog = StatusLog()
         self._active: Set[int] = set()
         self._holder_xmin: dict = {}
         self.stats = GtmStats()
+        #: Optional :class:`repro.obs.Observability`; when the cluster wires
+        #: one in, request counters and the active-list gauge are mirrored
+        #: into the shared metric namespace.
+        self.obs = obs
+
+    def _note(self, metric: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(metric).inc()
+            self.obs.metrics.gauge("gtm.active").set(len(self._active))
 
     def begin(self) -> int:
         """Assign a GXID and enqueue it on the active list."""
@@ -61,6 +70,7 @@ class GlobalTransactionManager:
         self.clog.begin(gxid)
         self._active.add(gxid)
         self.stats.begins += 1
+        self._note("gtm.begin")
         return gxid
 
     def snapshot(self, for_gxid: Optional[int] = None) -> Snapshot:
@@ -71,6 +81,7 @@ class GlobalTransactionManager:
         reader might look (the LCO garbage-collection horizon).
         """
         self.stats.snapshots += 1
+        self._note("gtm.snapshot")
         xmax = self._alloc.next_xid
         active = frozenset(self._active)
         xmin = min(active) if active else xmax
@@ -101,6 +112,7 @@ class GlobalTransactionManager:
         self._active.discard(gxid)
         self._holder_xmin.pop(gxid, None)
         self.stats.commits += 1
+        self._note("gtm.commit")
 
     def abort(self, gxid: int) -> None:
         if gxid not in self._active:
@@ -109,6 +121,7 @@ class GlobalTransactionManager:
         self._active.discard(gxid)
         self._holder_xmin.pop(gxid, None)
         self.stats.aborts += 1
+        self._note("gtm.abort")
 
     def is_committed(self, gxid: int) -> bool:
         return self.clog.knows(gxid) and self.clog.is_committed(gxid)

@@ -51,12 +51,44 @@ def merge_snapshots(
     gtm: GlobalTransactionManager,
     enable_downgrade: bool = True,
     enable_upgrade: bool = True,
+    obs=None,
+    parent_span=None,
 ) -> MergeOutcome:
     """Run Algorithm 1 for one reader on one data node.
 
     ``enable_downgrade`` / ``enable_upgrade`` exist for the ablation
     benchmark: switching either off reproduces the corresponding anomaly.
+    When an :class:`repro.obs.Observability` is supplied the merge emits a
+    ``snapshot.merge`` span (child of ``parent_span``, normally the
+    transaction's span) carrying the upgrade/downgrade counts.
     """
+    if obs is not None:
+        span = obs.tracer.start_span("snapshot.merge", parent=parent_span,
+                                     node=ltm.node_id)
+        try:
+            outcome = _merge(global_snapshot, local_snapshot, ltm, gtm,
+                             enable_downgrade, enable_upgrade)
+        except Exception:
+            span.set_attribute("error", True)
+            obs.tracer.end_span(span)
+            raise
+        span.set_attribute("downgraded", len(outcome.downgraded))
+        span.set_attribute("upgraded", len(outcome.upgraded))
+        span.set_attribute("upgrade_waits", outcome.upgrade_waits)
+        obs.tracer.end_span(span)
+        return outcome
+    return _merge(global_snapshot, local_snapshot, ltm, gtm,
+                  enable_downgrade, enable_upgrade)
+
+
+def _merge(
+    global_snapshot: Snapshot,
+    local_snapshot: Snapshot,
+    ltm: LocalTransactionManager,
+    gtm: GlobalTransactionManager,
+    enable_downgrade: bool,
+    enable_upgrade: bool,
+) -> MergeOutcome:
     forced_active: Set[int] = set()
     forced_committed: Set[int] = set()
     upgrade_waits = 0

@@ -27,6 +27,10 @@ class PhysicalOp:
         self.estimated_rows = estimated_rows
         self.step_text = step_text
         self.actual_rows = 0
+        #: Set by :class:`repro.obs.profiler.QueryProfiler.attach`; when
+        #: present, ``_count`` routes the row stream through the profiler's
+        #: open/next/close instrumentation.
+        self.profiler = None
 
     def children(self) -> Sequence["PhysicalOp"]:
         return ()
@@ -40,6 +44,8 @@ class PhysicalOp:
             child.reset_counters()
 
     def _count(self, rows: Iterator[tuple]) -> Iterator[tuple]:
+        if self.profiler is not None:
+            rows = self.profiler.wrap(self, rows)
         for row in rows:
             self.actual_rows += 1
             yield row

@@ -54,13 +54,20 @@ def selection_mask(chunk: Dict[str, ColumnVector],
 
 def scan_filter(store: ColumnStore, columns: Sequence[str],
                 predicates: Sequence[PredicateSpec] = (),
-                ) -> Iterable[Dict[str, np.ndarray]]:
-    """Yield filtered, materialized column batches."""
+                obs=None) -> Iterable[Dict[str, np.ndarray]]:
+    """Yield filtered, materialized column batches.
+
+    When an :class:`repro.obs.Observability` is passed, every produced batch
+    bumps ``exec.batches`` and its surviving rows bump ``exec.rows``.
+    """
     needed = list(dict.fromkeys(list(columns) + [p[0] for p in predicates]))
     for chunk in store.scan_chunks(needed):
         mask = selection_mask(chunk, predicates)
         if not mask.any():
             continue
+        if obs is not None:
+            obs.metrics.counter("exec.batches").inc()
+            obs.metrics.counter("exec.rows").inc(int(mask.sum()))
         yield {name: chunk[name].data[mask] for name in columns}
 
 
@@ -104,9 +111,15 @@ class VectorAggState:
 
 
 def aggregate(store: ColumnStore, column: str, func: str,
-              predicates: Sequence[PredicateSpec] = ()) -> Optional[float]:
+              predicates: Sequence[PredicateSpec] = (),
+              obs=None) -> Optional[float]:
     """One whole-table aggregate via chunked vector kernels."""
     state = VectorAggState(func)
+    if obs is not None:
+        with obs.tracer.span("vector.aggregate", column=column, func=func):
+            for batch in scan_filter(store, [column], predicates, obs=obs):
+                state.update(batch[column])
+        return state.result()
     for batch in scan_filter(store, [column], predicates):
         state.update(batch[column])
     return state.result()
@@ -114,10 +127,11 @@ def aggregate(store: ColumnStore, column: str, func: str,
 
 def group_aggregate(store: ColumnStore, group_column: str, value_column: str,
                     func: str, predicates: Sequence[PredicateSpec] = (),
-                    ) -> Dict[object, Optional[float]]:
+                    obs=None) -> Dict[object, Optional[float]]:
     """Hash group-by over vector batches (np.unique per chunk)."""
     states: Dict[object, VectorAggState] = {}
-    for batch in scan_filter(store, [group_column, value_column], predicates):
+    for batch in scan_filter(store, [group_column, value_column], predicates,
+                             obs=obs):
         groups = batch[group_column]
         values = batch[value_column]
         for group in np.unique(groups):

@@ -1,0 +1,71 @@
+"""`repro.obs` — the unified observability subsystem.
+
+The telemetry spine of the engine (paper Sec. IV-A): metrics, traces and
+query profiles, all timestamped off a shared
+:class:`~repro.common.clock.SimClock` so identical runs produce identical
+telemetry, and an exporter that feeds the autonomous loop's information
+store (Fig. 12).
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
+* :mod:`repro.obs.tracing` — hierarchical spans with attributes.
+* :mod:`repro.obs.profiler` — per-operator query profiles (``EXPLAIN ANALYZE``).
+* :mod:`repro.obs.export` — registry snapshots → ``InformationStore``.
+
+:class:`Observability` bundles one clock + registry + tracer, and is hung
+off :class:`~repro.cluster.mpp.MppCluster` as ``cluster.obs`` so every layer
+(GTM, data nodes, transactions, executor, SQL engine) records into the same
+namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.clock import SimClock
+from repro.obs.export import InfoStoreExporter
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import OperatorProfile, QueryProfile, QueryProfiler
+from repro.obs.tracing import Span, Tracer
+
+
+class Observability:
+    """One clock, one metric namespace, one tracer — shared by a cluster."""
+
+    def __init__(self, clock: Optional[SimClock] = None, max_spans: int = 10_000):
+        self.clock = clock if clock is not None else SimClock()
+        self.metrics = MetricsRegistry(self.clock)
+        self.tracer = Tracer(self.clock, max_spans=max_spans)
+
+    def advance_to(self, t_us: float) -> None:
+        """Sync the shared clock to a session's simulated-time cursor.
+
+        Cursors only move forward, and ``SimClock.advance_to`` ignores
+        older times, so interleaved clients keep the clock monotone.
+        """
+        self.clock.advance_to(t_us)
+
+    def reset(self) -> None:
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InfoStoreExporter",
+    "MetricsRegistry",
+    "Observability",
+    "OperatorProfile",
+    "QueryProfile",
+    "QueryProfiler",
+    "Span",
+    "Tracer",
+]

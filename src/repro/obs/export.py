@@ -1,0 +1,55 @@
+"""Exporter: registry snapshots → the autonomous information store.
+
+Closes the Fig. 12 loop: the engine's live counters, gauges and histogram
+summaries become timestamped series in
+:class:`~repro.autonomous.infostore.InformationStore`, where the anomaly and
+workload managers already know how to read them.  Flushing is driven by
+simulated time on a configurable interval, so exports line up with the
+workload's own clock rather than the OS scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: autonomous -> cluster -> obs
+    from repro.autonomous.infostore import InformationStore
+
+
+class InfoStoreExporter:
+    """Periodically flush a :class:`MetricsRegistry` into an info store."""
+
+    def __init__(self, registry: MetricsRegistry, store: "InformationStore",
+                 interval_us: float = 1_000_000.0):
+        if interval_us <= 0:
+            raise ConfigError("interval_us must be positive")
+        self.registry = registry
+        self.store = store
+        self.interval_us = float(interval_us)
+        self._last_flush_us: Optional[float] = None
+        self.flushes = 0
+
+    def flush(self, now_us: Optional[float] = None) -> int:
+        """Export every metric as one sample; returns the sample count.
+
+        ``now_us`` overrides the registry clock for callers (the OLTP
+        driver) that carry their own simulated-time cursor.
+        """
+        t_us, values = self.registry.snapshot()
+        if now_us is not None:
+            t_us = float(now_us)
+        for name, value in values.items():
+            self.store.record(name, t_us, value)
+        self._last_flush_us = t_us
+        self.flushes += 1
+        return len(values)
+
+    def maybe_flush(self, now_us: float) -> int:
+        """Flush if at least one interval elapsed since the last flush."""
+        if (self._last_flush_us is not None
+                and now_us - self._last_flush_us < self.interval_us):
+            return 0
+        return self.flush(now_us)

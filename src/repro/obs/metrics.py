@@ -1,0 +1,231 @@
+"""Metric primitives: counters, gauges and fixed-bucket histograms.
+
+The :class:`MetricsRegistry` is the engine's single metric namespace.  Every
+timestamp it hands out comes from a :class:`~repro.common.clock.SimClock` —
+never the OS clock — so two identical runs produce byte-identical metric
+streams, which is what lets the autonomous loop's detectors be tested
+deterministically.
+
+Naming follows the dotted convention the information store already uses
+(``txn.commit``, ``gtm.snapshot_us``, ``exec.rows``); histograms flatten
+into ``<name>.count`` / ``<name>.sum`` / ``<name>.avg`` / ``<name>.p95``
+entries when snapshotted, so an exporter needs no type dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+
+#: Default histogram bucket upper bounds, in the unit of the observed value
+#: (microseconds for latency-style metrics).  Roughly exponential, matching
+#: the spread between an L1-resident operation and a cross-shard commit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0,
+    100_000.0, 250_000.0, 500_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge:
+    """A value that can move in either direction (e.g. active transactions)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style percentile estimates.
+
+    Buckets are upper bounds; an observation lands in the first bucket whose
+    bound is >= the value, or in the implicit overflow bucket.  Percentiles
+    are estimated as the upper bound of the bucket containing the requested
+    rank — coarse, but deterministic and allocation-free.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "_sum", "_count",
+                 "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets:
+            raise ConfigError(f"histogram {self.__class__.__name__} needs buckets")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds):
+            raise ConfigError(f"histogram {name!r} buckets must be ascending")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def avg(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation."""
+        if self._count == 0:
+            return 0.0
+        q = min(max(q, 0.0), 1.0)
+        rank = q * self._count
+        seen = 0
+        for i, bound in enumerate(self.bounds):
+            seen += self.counts[i]
+            if seen >= rank:
+                return bound
+        # In the overflow bucket: the best deterministic answer is the max.
+        return self._max if self._max is not None else self.bounds[-1]
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of counters, gauges and histograms."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        self._check_free(name, self._histograms)
+        return self._histograms.setdefault(name, Histogram(name, buckets))
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ConfigError(
+                    f"metric {name!r} already registered with a different type")
+
+    # -- reading -----------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def value(self, name: str) -> Optional[float]:
+        """Counter/gauge value, or a histogram's observation count."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._histograms:
+            return float(self._histograms[name].count)
+        return None
+
+    def snapshot(self) -> Tuple[float, Dict[str, float]]:
+        """Flatten every metric into ``name -> value`` at the clock's now.
+
+        Histograms expand into ``.count`` / ``.sum`` / ``.avg`` / ``.p50`` /
+        ``.p95`` / ``.p99`` entries so downstream consumers (the information
+        store, reports) treat everything as scalar series.
+        """
+        flat: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for name, gauge in self._gauges.items():
+            flat[name] = gauge.value
+        for name, hist in self._histograms.items():
+            flat[f"{name}.count"] = float(hist.count)
+            flat[f"{name}.sum"] = hist.sum
+            flat[f"{name}.avg"] = hist.avg
+            flat[f"{name}.p50"] = hist.percentile(0.50)
+            flat[f"{name}.p95"] = hist.percentile(0.95)
+            flat[f"{name}.p99"] = hist.percentile(0.99)
+        return self.clock.now_us, flat
+
+    def reset(self) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            for metric in family.values():
+                metric.reset()

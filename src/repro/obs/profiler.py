@@ -1,0 +1,222 @@
+"""Per-query operator profiling: the engine behind ``EXPLAIN ANALYZE``.
+
+A :class:`QueryProfiler` attaches to a physical operator tree before
+execution.  Each operator's ``open`` (first ``execute()`` call) starts a
+span whose parent is the operator's plan-tree parent, and its ``close``
+(source exhaustion or profile assembly) finishes it, so the span tree
+mirrors the plan tree exactly.
+
+Execution is single-process, so there is no wall time worth reporting;
+instead each operator is charged a *simulated* self time from a
+deterministic cost model — an open cost, a per-batch cost, and a per-row
+cost over rows consumed plus rows produced.  Identical plans over identical
+data therefore profile identically, which is what lets regression tests
+assert on ``EXPLAIN ANALYZE`` output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an exec -> optimizer cycle
+    from repro.exec.operators import PhysicalOp
+
+#: Simulated per-row execution cost (microseconds) by operator name.
+DEFAULT_ROW_COST_US: Dict[str, float] = {
+    "Scan": 0.05,
+    "TableFunction": 0.05,
+    "Values": 0.01,
+    "Filter": 0.02,
+    "Project": 0.02,
+    "HashJoin": 0.10,
+    "NestedLoopJoin": 0.20,
+    "HashAggregate": 0.10,
+    "Sort": 0.15,
+    "Limit": 0.01,
+    "Distinct": 0.05,
+    "UnionAll": 0.01,
+    "Exchange": 0.08,
+}
+DEFAULT_ROW_COST_FALLBACK_US = 0.10
+OPEN_COST_US = 5.0
+BATCH_COST_US = 1.0
+BATCH_ROWS = 1024
+
+
+@dataclass
+class OperatorProfile:
+    """One operator's line in a query profile."""
+
+    operator: str
+    depth: int
+    est_rows: float
+    rows: int
+    batches: int
+    time_us: float
+
+    def as_tuple(self) -> Tuple[str, float, int, int, float]:
+        indented = ("  " * self.depth) + self.operator
+        return (indented, self.est_rows, self.rows, self.batches, self.time_us)
+
+
+@dataclass
+class QueryProfile:
+    """Assembled per-operator statistics for one executed query."""
+
+    operators: List[OperatorProfile] = field(default_factory=list)
+
+    COLUMNS = ("operator", "est_rows", "rows", "batches", "time_us")
+
+    @property
+    def total_time_us(self) -> float:
+        return sum(op.time_us for op in self.operators)
+
+    @property
+    def output_rows(self) -> int:
+        return self.operators[0].rows if self.operators else 0
+
+    @property
+    def total_rows(self) -> int:
+        return sum(op.rows for op in self.operators)
+
+    @property
+    def total_batches(self) -> int:
+        return sum(op.batches for op in self.operators)
+
+    def rows_table(self) -> List[Tuple[str, float, int, int, float]]:
+        return [op.as_tuple() for op in self.operators]
+
+    def pretty(self) -> str:
+        lines = []
+        for op in self.operators:
+            pad = "  " * op.depth
+            lines.append(
+                f"{pad}{op.operator}  (est={op.est_rows:.0f}, rows={op.rows}, "
+                f"batches={op.batches}, time={op.time_us:.2f}us)"
+            )
+        lines.append(f"Total: rows={self.output_rows}, "
+                     f"time={self.total_time_us:.2f}us")
+        return "\n".join(lines)
+
+
+class _Entry:
+    """Profiler state for one operator instance."""
+
+    __slots__ = ("op", "parent", "depth", "span", "closed")
+
+    def __init__(self, op: "PhysicalOp", parent: Optional["PhysicalOp"], depth: int):
+        self.op = op
+        self.parent = parent
+        self.depth = depth
+        self.span: Optional[Span] = None
+        self.closed = False
+
+
+class QueryProfiler:
+    """Attach to a plan, run it, then assemble a :class:`QueryProfile`."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 batch_rows: int = BATCH_ROWS,
+                 row_costs: Optional[Dict[str, float]] = None):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.batch_rows = max(1, int(batch_rows))
+        self.row_costs = row_costs if row_costs is not None else DEFAULT_ROW_COST_US
+        self._entries: Dict[int, _Entry] = {}
+        self._order: List[_Entry] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, root: "PhysicalOp") -> None:
+        """Register every operator in the tree and hook its row stream."""
+        self._walk(root, parent=None, depth=0)
+
+    def _walk(self, op: "PhysicalOp", parent: Optional["PhysicalOp"], depth: int) -> None:
+        entry = _Entry(op, parent, depth)
+        self._entries[id(op)] = entry
+        self._order.append(entry)
+        op.profiler = self
+        for child in op.children():
+            self._walk(child, op, depth + 1)
+
+    # -- execution hooks (called from PhysicalOp._count) -------------------
+
+    def wrap(self, op: "PhysicalOp", rows: Iterator[tuple]) -> Iterator[tuple]:
+        """Open/next/close instrumentation around one operator's stream."""
+        entry = self._entries.get(id(op))
+        if entry is None:          # operator from a different query: pass through
+            return rows
+        self._open(entry)
+
+        def stream() -> Iterator[tuple]:
+            try:
+                yield from rows
+            finally:
+                self._close(entry)
+
+        return stream()
+
+    def _open(self, entry: _Entry) -> None:
+        if self.tracer is not None and entry.span is None:
+            parent_entry = (self._entries.get(id(entry.parent))
+                            if entry.parent is not None else None)
+            parent_span = parent_entry.span if parent_entry is not None else None
+            entry.span = self.tracer.start_span(
+                f"op.{entry.op.name()}", parent=parent_span,
+                operator=entry.op.describe(),
+            )
+
+    def _close(self, entry: _Entry) -> None:
+        if entry.closed:
+            return
+        entry.closed = True
+        if entry.span is not None and self.tracer is not None:
+            time_us = self._self_time_us(entry)
+            entry.span.set_attribute("rows", entry.op.actual_rows)
+            entry.span.set_attribute("time_us", time_us)
+            self.tracer.end_span(entry.span,
+                                 end_us=entry.span.start_us + time_us)
+
+    # -- cost model --------------------------------------------------------
+
+    def _self_time_us(self, entry: _Entry) -> float:
+        rows_out = entry.op.actual_rows
+        rows_in = sum(c.actual_rows for c in entry.op.children())
+        batches = self._batches(rows_out)
+        per_row = self.row_costs.get(entry.op.name(),
+                                     DEFAULT_ROW_COST_FALLBACK_US)
+        return (OPEN_COST_US + BATCH_COST_US * batches
+                + per_row * (rows_in + rows_out))
+
+    def _batches(self, rows: int) -> int:
+        return max(1, math.ceil(rows / self.batch_rows)) if rows else 0
+
+    # -- assembly ----------------------------------------------------------
+
+    def profile(self) -> QueryProfile:
+        """Build the profile; closes any spans a short-circuiting parent
+        (e.g. ``Limit``) left open."""
+        for entry in self._order:
+            self._close(entry)
+        profile = QueryProfile(operators=[
+            OperatorProfile(
+                operator=entry.op.describe(),
+                depth=entry.depth,
+                est_rows=entry.op.estimated_rows,
+                rows=entry.op.actual_rows,
+                batches=self._batches(entry.op.actual_rows),
+                time_us=self._self_time_us(entry),
+            )
+            for entry in self._order
+        ])
+        if self.metrics is not None:
+            self.metrics.counter("exec.rows").inc(profile.output_rows)
+            self.metrics.counter("exec.operator_rows").inc(profile.total_rows)
+            self.metrics.counter("exec.batches").inc(profile.total_batches)
+        return profile

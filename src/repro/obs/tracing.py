@@ -1,0 +1,144 @@
+"""Hierarchical tracing: spans with parent/child links and attributes.
+
+A :class:`Span` covers one unit of engine work (a transaction, a 2PC phase,
+a snapshot merge, one operator of a query plan).  Timestamps come from the
+tracer's :class:`~repro.common.clock.SimClock`; because nothing reads the OS
+clock, traces are identical across identical runs.
+
+Two usage styles coexist:
+
+* ``with tracer.span("2pc.prepare", gxid=7):`` — stack-scoped nesting for
+  straight-line code (the profiler, the SQL engine).
+* ``span = tracer.start_span("txn.global"); ... tracer.end_span(span)`` —
+  explicit lifetimes for work that interleaves across clients (transactions
+  held open across driver scheduling), with ``parent=`` passed by hand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class Span:
+    span_id: int
+    name: str
+    parent_id: Optional[int]
+    start_us: float
+    end_us: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def set_attribute(self, key: str, value: object) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"{self.duration_us:.1f}us" if self.finished else "open"
+        return f"Span#{self.span_id}({self.name}, {state})"
+
+
+class _SpanContext:
+    """Context manager wrapper so ``with tracer.span(...)`` nests on a stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.set_attribute("error", exc_type.__name__)
+        self._tracer._stack.pop()
+        self._tracer.end_span(self._span)
+
+
+class Tracer:
+    """Produces spans and retains a bounded buffer of finished ones."""
+
+    def __init__(self, clock: Optional[SimClock] = None, max_spans: int = 10_000):
+        if max_spans <= 0:
+            raise ConfigError("max_spans must be positive")
+        self.clock = clock if clock is not None else SimClock()
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self._finished: Deque[Span] = deque(maxlen=max_spans)
+        self.spans_started = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   **attributes: object) -> Span:
+        """Open a span explicitly.  Defaults its parent to the stack top."""
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            parent_id=parent.span_id if parent is not None else None,
+            start_us=self.clock.now_us,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self.spans_started += 1
+        return span
+
+    def end_span(self, span: Span, end_us: Optional[float] = None) -> Span:
+        """Finish a span (idempotent).  ``end_us`` overrides the clock read
+        for callers that account simulated time themselves (the profiler)."""
+        if span.end_us is None:
+            t = end_us if end_us is not None else self.clock.now_us
+            span.end_us = max(t, span.start_us)
+            self._finished.append(span)
+        return span
+
+    def span(self, name: str, parent: Optional[Span] = None,
+             **attributes: object) -> _SpanContext:
+        """Stack-scoped span for ``with`` blocks."""
+        return _SpanContext(self, self.start_span(name, parent, **attributes))
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- reading -----------------------------------------------------------
+
+    def finished_spans(self, name: Optional[str] = None) -> List[Span]:
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self._finished if s.parent_id == span.span_id]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self._finished if s.parent_id is None]
+
+    def walk(self, span: Span) -> Iterator[Span]:
+        """Depth-first traversal of a finished span's retained subtree."""
+        yield span
+        for child in self.children_of(span):
+            yield from self.walk(child)
+
+    def reset(self) -> None:
+        self._finished.clear()
+        self._stack.clear()

@@ -238,3 +238,4 @@ class Analyze(Node):
 @dataclass(frozen=True)
 class Explain(Node):
     query: Select
+    analyze: bool = False       # EXPLAIN ANALYZE: execute and profile

@@ -15,6 +15,7 @@ from repro.cluster.mpp import MppCluster
 from repro.common.errors import CatalogError, SqlAnalysisError
 from repro.exec.operators import PhysicalOp
 from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
+from repro.obs import Observability, QueryProfile, QueryProfiler
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.logical import LogicalScan
 from repro.optimizer.planner import PhysicalPlanner
@@ -44,6 +45,7 @@ class Result:
     rowcount: int = 0
     plan_text: Optional[str] = None
     capture: Optional[CaptureReport] = None
+    profile: Optional[QueryProfile] = None
 
     def as_dicts(self) -> List[dict]:
         return [dict(zip(self.columns, row)) for row in self.rows]
@@ -70,6 +72,9 @@ class SqlEngine:
         self.table_functions: Dict[str, TableFunctionImpl] = {}
         self._now_fn = now_fn if now_fn is not None else (lambda: 0)
         self.queries_executed = 0
+        #: The cluster's observability spine (always present on MppCluster;
+        #: getattr keeps lightweight test doubles working).
+        self.obs: Optional[Observability] = getattr(cluster, "obs", None)
 
     # -- extension points ----------------------------------------------------
 
@@ -283,14 +288,34 @@ class SqlEngine:
     def _run_select_plan(self, stmt: ast.Select) -> Result:
         session = self.cluster.session()
         txn = session.begin(multi_shard=True)
+        query_span = None
+        if self.obs is not None:
+            query_span = self.obs.tracer.start_span("query", parent=None)
+        profiler = QueryProfiler(
+            tracer=self.obs.tracer if self.obs is not None else None,
+            metrics=self.obs.metrics if self.obs is not None else None,
+        )
         try:
             logical = self._binder().bind_select(stmt)
             physical = self.plan_select(stmt, txn)
+            profiler.attach(physical)
             rows = list(physical.execute())
             txn.commit()
         except Exception:
             txn.abort()
+            if query_span is not None:
+                query_span.set_attribute("error", True)
+                self.obs.tracer.end_span(query_span)
             raise
+        profile = profiler.profile()
+        if self.obs is not None:
+            self.obs.metrics.histogram("query.latency_us").observe(
+                profile.total_time_us)
+            self.obs.metrics.counter("query.executed").inc()
+            query_span.set_attribute("rows", profile.output_rows)
+            query_span.set_attribute("time_us", profile.total_time_us)
+            self.obs.tracer.end_span(
+                query_span, end_us=query_span.start_us + profile.total_time_us)
         capture = None
         if self.learning_enabled:
             capture = self.feedback.capture(physical)
@@ -301,12 +326,15 @@ class SqlEngine:
             rowcount=len(rows),
             plan_text=physical.pretty(),
             capture=capture,
+            profile=profile,
         )
 
     def _select(self, stmt: ast.Select) -> Result:
         return self._run_select_plan(stmt)
 
     def _explain(self, stmt: ast.Explain) -> Result:
+        if stmt.analyze:
+            return self._explain_analyze(stmt)
         session = self.cluster.session()
         txn = session.begin(multi_shard=True)
         try:
@@ -316,3 +344,21 @@ class SqlEngine:
         text = physical.pretty()
         return Result(columns=["plan"], rows=[(line,) for line in text.split("\n")],
                       plan_text=text)
+
+    def _explain_analyze(self, stmt: ast.Explain) -> Result:
+        """Execute the query under the profiler; return per-operator stats.
+
+        One row per plan operator (pre-order, indented by depth) with the
+        rows it produced, batch count and simulated self time — the paper's
+        "query response time and resource consumption" at operator grain.
+        """
+        executed = self._run_select_plan(stmt.query)
+        profile = executed.profile
+        return Result(
+            columns=list(QueryProfile.COLUMNS),
+            rows=profile.rows_table(),
+            rowcount=executed.rowcount,
+            plan_text=profile.pretty(),
+            capture=executed.capture,
+            profile=profile,
+        )

@@ -95,7 +95,8 @@ class Parser:
             stmt = ast.Analyze(table)
         elif self._cur.is_kw("explain"):
             self._advance()
-            stmt = ast.Explain(self._select())
+            analyze = self._accept_kw("analyze")
+            stmt = ast.Explain(self._select(), analyze=analyze)
         else:
             raise self._error("expected a statement")
         self._expect_eof()

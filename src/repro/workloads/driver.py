@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.cluster.mpp import MppCluster
 from repro.common.errors import SerializationConflict
+from repro.obs import InfoStoreExporter
 from repro.workloads.tpcc_lite import TpccLiteWorkload, TxnSpec
 
 
@@ -63,6 +64,7 @@ def run_oltp(
     clients_per_dn: int = 8,
     txns_per_client: int = 50,
     max_retries: int = 10,
+    exporter: Optional[InfoStoreExporter] = None,
 ) -> SimResult:
     """Drive the cluster with ``clients_per_dn * num_dns`` terminals.
 
@@ -95,6 +97,7 @@ def run_oltp(
         session, stream = clients[idx]
         spec: TxnSpec = next(stream)
         attempts = 0
+        start_us = session.now_us
         while True:
             attempts += 1
             txn = session.begin(multi_shard=spec.multi_shard)
@@ -102,12 +105,20 @@ def run_oltp(
                 spec.body(txn)
                 txn.commit()
                 committed += 1
+                # The terminal's end-to-end "query" latency, retries
+                # included — the series the workload manager's SLA checks
+                # and Fig. 12's information store consume.
+                cluster.obs.metrics.histogram("query.latency_us").observe(
+                    session.now_us - start_us)
                 break
             except SerializationConflict:
                 txn.abort()
                 aborted += 1
                 if attempts > max_retries:
                     break
+        cluster.obs.advance_to(session.now_us)
+        if exporter is not None:
+            exporter.maybe_flush(session.now_us)
         remaining -= 1
         if remaining > 0:
             heapq.heappush(heap, (session.now_us, idx, remaining))
@@ -118,6 +129,9 @@ def run_oltp(
         cluster.resources.max_busy_us(),
         max((s.now_us for s, _ in clients), default=0.0),
     )
+    cluster.obs.advance_to(makespan)
+    if exporter is not None:
+        exporter.flush(makespan)    # final snapshot at the run's end
     return SimResult(
         committed=committed,
         aborted=aborted,

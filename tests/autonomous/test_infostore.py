@@ -1,0 +1,95 @@
+"""Direct unit tests for InformationStore summaries and percentile math."""
+
+import math
+
+import pytest
+
+from repro.autonomous.infostore import InformationStore, _percentile
+
+
+class TestWindowEdgeCases:
+    def test_unknown_metric(self):
+        assert InformationStore().window("nope", 0.0, 10.0) == []
+
+    def test_inverted_range_is_empty(self):
+        store = InformationStore()
+        store.record("m", 5.0, 1.0)
+        assert store.window("m", 10.0, 0.0) == []
+
+    def test_no_samples_in_range(self):
+        store = InformationStore()
+        store.record("m", 5.0, 1.0)
+        assert store.window("m", 6.0, 10.0) == []
+
+    def test_bounds_inclusive(self):
+        store = InformationStore()
+        store.record("m", 5.0, 1.0)
+        store.record("m", 10.0, 2.0)
+        assert store.window("m", 5.0, 10.0) == [(5.0, 1.0), (10.0, 2.0)]
+
+
+class TestValues:
+    def test_last_n_zero_or_negative_is_empty(self):
+        store = InformationStore()
+        store.record("m", 0.0, 1.0)
+        store.record("m", 1.0, 2.0)
+        assert store.values("m", last_n=0) == []
+        assert store.values("m", last_n=-3) == []
+
+    def test_last_n_larger_than_series(self):
+        store = InformationStore()
+        store.record("m", 0.0, 1.0)
+        assert store.values("m", last_n=100) == [1.0]
+
+
+class TestSummary:
+    def test_empty_series_returns_none(self):
+        assert InformationStore().summary("m") is None
+        store = InformationStore()
+        store.record("m", 0.0, 1.0)
+        assert store.summary("m", last_n=0) is None
+
+    def test_single_sample(self):
+        store = InformationStore()
+        store.record("m", 0.0, 42.0)
+        s = store.summary("m")
+        assert s.count == 1
+        assert s.mean == 42.0
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == 42.0
+        assert s.p50 == s.p95 == s.p99 == 42.0
+
+    def test_known_statistics(self):
+        store = InformationStore()
+        for i, v in enumerate([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]):
+            store.record("m", float(i), v)
+        s = store.summary("m")
+        assert s.count == 8
+        assert s.mean == 5.0
+        assert s.std == pytest.approx(2.0)
+        assert s.minimum == 2.0 and s.maximum == 9.0
+        assert s.p50 == pytest.approx(4.5)
+
+    def test_rate_per_second_zero_window(self):
+        store = InformationStore()
+        store.record("m", 0.0, 5.0)
+        assert store.rate_per_second("m", window_us=0.0, now_us=0.0) == 0.0
+        assert store.rate_per_second("m", window_us=-1.0, now_us=0.0) == 0.0
+
+
+class TestPercentileMath:
+    def test_empty_is_nan(self):
+        assert math.isnan(_percentile([], 0.5))
+
+    def test_single_element(self):
+        assert _percentile([7.0], 0.0) == 7.0
+        assert _percentile([7.0], 1.0) == 7.0
+
+    def test_interpolation(self):
+        assert _percentile([0.0, 10.0], 0.5) == 5.0
+        assert _percentile([0.0, 10.0, 20.0], 0.25) == 5.0
+
+    def test_q_clamped(self):
+        ordered = [1.0, 2.0, 3.0]
+        assert _percentile(ordered, -0.5) == 1.0
+        assert _percentile(ordered, 1.5) == 3.0

@@ -1,0 +1,51 @@
+"""Tests for the registry → InformationStore exporter."""
+
+import pytest
+
+from repro.autonomous.infostore import InformationStore
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.obs.export import InfoStoreExporter
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestInfoStoreExporter:
+    def test_round_trip(self):
+        clock = SimClock()
+        registry = MetricsRegistry(clock)
+        registry.counter("txn.commit").inc(7)
+        registry.gauge("gtm.active").set(2)
+        registry.histogram("query.latency_us", buckets=[100.0]).observe(40.0)
+        store = InformationStore()
+        exporter = InfoStoreExporter(registry, store)
+
+        clock.advance(1_000.0)
+        n = exporter.flush()
+        assert n == len(store.metrics())
+        assert store.latest("txn.commit") == 7.0
+        assert store.latest("gtm.active") == 2.0
+        assert store.latest("query.latency_us.avg") == 40.0
+        # samples carry the sim-clock timestamp
+        assert store.window("txn.commit", 1_000.0, 1_000.0) == [(1_000.0, 7.0)]
+
+    def test_maybe_flush_respects_interval(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        store = InformationStore()
+        exporter = InfoStoreExporter(registry, store, interval_us=1_000.0)
+        assert exporter.maybe_flush(0.0) > 0        # first flush always fires
+        assert exporter.maybe_flush(500.0) == 0     # inside the interval
+        assert exporter.maybe_flush(1_000.0) > 0    # interval elapsed
+        assert exporter.flushes == 2
+
+    def test_explicit_now_overrides_clock(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        store = InformationStore()
+        InfoStoreExporter(registry, store).flush(now_us=123.0)
+        assert store.window("c", 123.0, 123.0) == [(123.0, 3.0)]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigError):
+            InfoStoreExporter(MetricsRegistry(), InformationStore(),
+                              interval_us=0.0)

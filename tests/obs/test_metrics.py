@@ -1,0 +1,103 @@
+"""Tests for the metrics registry: counters, gauges, histogram bucketing."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("txn.commit")
+        c.inc()
+        c.inc(4)
+        assert reg.value("txn.commit") == 5.0
+        # get-or-create returns the same instance
+        assert reg.counter("txn.commit") is c
+
+    def test_counter_rejects_decrease(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("gtm.active")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8.0
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ConfigError):
+            reg.gauge("m")
+        with pytest.raises(ConfigError):
+            reg.histogram("m")
+
+
+class TestHistogramBucketing:
+    def test_observations_land_in_first_fitting_bucket(self):
+        h = Histogram("lat", buckets=[10.0, 100.0, 1000.0])
+        for v in (5.0, 10.0, 11.0, 99.0, 500.0):
+            h.observe(v)
+        assert h.counts == [2, 2, 1]        # 10.0 is inclusive upper bound
+        assert h.overflow == 0
+        h.observe(5000.0)
+        assert h.overflow == 1
+
+    def test_summary_stats(self):
+        h = Histogram("lat", buckets=[10.0, 100.0])
+        h.observe(4.0)
+        h.observe(6.0)
+        assert h.count == 2
+        assert h.sum == 10.0
+        assert h.avg == 5.0
+        assert h.minimum == 4.0
+        assert h.maximum == 6.0
+
+    def test_percentile_is_bucket_bound(self):
+        h = Histogram("lat", buckets=[10.0, 100.0, 1000.0])
+        for _ in range(99):
+            h.observe(5.0)
+        h.observe(500.0)
+        assert h.percentile(0.50) == 10.0
+        assert h.percentile(0.999) == 1000.0
+
+    def test_percentile_overflow_returns_max(self):
+        h = Histogram("lat", buckets=[10.0])
+        h.observe(123.0)
+        assert h.percentile(0.99) == 123.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("lat", buckets=[1.0]).percentile(0.5) == 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("lat", buckets=[10.0, 5.0])
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_flattens_and_timestamps_off_simclock(self):
+        clock = SimClock()
+        reg = MetricsRegistry(clock)
+        reg.counter("txn.commit").inc(3)
+        reg.gauge("gtm.active").set(2)
+        reg.histogram("query.latency_us", buckets=[100.0]).observe(50.0)
+        clock.advance(42.0)
+        t_us, flat = reg.snapshot()
+        assert t_us == 42.0
+        assert flat["txn.commit"] == 3.0
+        assert flat["gtm.active"] == 2.0
+        assert flat["query.latency_us.count"] == 1.0
+        assert flat["query.latency_us.avg"] == 50.0
+        assert "query.latency_us.p95" in flat
+
+    def test_reset_clears_values_not_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.reset()
+        assert reg.value("a") == 0.0
+        assert "a" in reg.names()

@@ -1,0 +1,106 @@
+"""Tests for the query profiler and EXPLAIN ANALYZE."""
+
+from repro.cluster.mpp import MppCluster
+from repro.obs.profiler import QueryProfile
+from repro.sql.engine import SqlEngine
+
+
+def _engine(num_dns=2):
+    cluster = MppCluster(num_dns=num_dns)
+    engine = SqlEngine(cluster)
+    engine.execute("create table t (id int, v int)")
+    engine.execute(
+        "insert into t values (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)")
+    return cluster, engine
+
+
+class TestExplainAnalyze:
+    def test_returns_per_operator_rows_and_time(self):
+        _, engine = _engine()
+        result = engine.execute("explain analyze select v from t where v > 10")
+        assert result.columns == list(QueryProfile.COLUMNS)
+        assert len(result.rows) >= 2           # at least Exchange + Scan
+        operators = [row[0] for row in result.rows]
+        assert any("SeqScan" in op for op in operators)
+        for _, est, rows, batches, time_us in result.rows:
+            assert rows >= 0 and batches >= 0 and time_us >= 0.0
+        # The root operator produced the query's result rows.
+        assert result.rows[0][2] == 4
+        assert result.rowcount == 4
+
+    def test_plain_explain_unchanged(self):
+        _, engine = _engine()
+        result = engine.execute("explain select v from t")
+        assert result.columns == ["plan"]
+        # plain EXPLAIN does not execute: actual counts stay zero
+        assert "actual=0" in result.rows[0][0]
+
+    def test_profile_attached_to_ordinary_select(self):
+        _, engine = _engine()
+        result = engine.execute("select v from t")
+        assert result.profile is not None
+        assert result.profile.output_rows == 5
+        assert result.profile.total_time_us > 0.0
+
+    def test_depth_indentation_mirrors_plan_tree(self):
+        _, engine = _engine()
+        result = engine.execute(
+            "explain analyze select v, count(*) from t group by v")
+        depths = [(len(row[0]) - len(row[0].lstrip())) // 2
+                  for row in result.rows]
+        assert depths[0] == 0
+        assert all(b - a <= 1 for a, b in zip(depths, depths[1:]))
+
+    def test_limit_short_circuit_still_profiles_all_operators(self):
+        _, engine = _engine()
+        result = engine.execute("explain analyze select v from t limit 2")
+        assert result.rowcount == 2
+        # every operator row has a finite time even if never exhausted
+        assert all(row[4] >= 0.0 for row in result.rows)
+
+
+class TestProfilerTelemetry:
+    def test_operator_spans_mirror_plan_tree(self):
+        cluster, engine = _engine()
+        engine.execute("select v, count(*) from t where v > 10 group by v")
+        spans = cluster.obs.tracer.finished_spans()
+        query_spans = [s for s in spans if s.name == "query"]
+        assert len(query_spans) == 1
+        op_spans = [s for s in spans if s.name.startswith("op.")]
+        assert len(op_spans) >= 3
+        by_id = {s.span_id: s for s in spans}
+        # each operator span is parented by another operator (or the root op)
+        roots = [s for s in op_spans if s.parent_id is None]
+        assert len(roots) == 1
+        for span in op_spans:
+            if span.parent_id is not None:
+                assert by_id[span.parent_id].name.startswith("op.")
+
+    def test_exec_rows_counter_reconciles_with_profile(self):
+        cluster, engine = _engine()
+        before = cluster.obs.metrics.value("exec.rows") or 0.0
+        result = engine.execute("select v from t")
+        # executor-level exec.rows grew by at least the root output rows
+        after = cluster.obs.metrics.value("exec.rows")
+        assert after - before >= result.profile.output_rows
+
+    def test_query_commits_reconcile_with_cluster_stats(self):
+        cluster, engine = _engine()
+        commits_before = cluster.stats.commits_multi_shard
+        for _ in range(3):
+            engine.execute("select v from t")
+        assert cluster.stats.commits_multi_shard == commits_before + 3
+        assert cluster.obs.metrics.value("query.executed") == 3.0
+        assert cluster.obs.metrics.value("query.latency_us") == 3.0  # hist count
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_profiles(self):
+        def run():
+            _, engine = _engine()
+            result = engine.execute(
+                "explain analyze select v, count(*) from t "
+                "where v > 10 group by v order by v")
+            return result.rows
+
+        assert run() == run()

@@ -1,0 +1,76 @@
+"""Tests for the tracer: span nesting, parent/child links, attributes."""
+
+from repro.common.clock import SimClock
+from repro.obs.tracing import Tracer
+
+
+class TestSpanNesting:
+    def test_context_manager_links_parent_child(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [s.name for s in tracer.children_of(outer)] == ["inner"]
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer(SimClock())
+        root = tracer.start_span("txn.global")
+        with tracer.span("unrelated"):
+            child = tracer.start_span("snapshot.merge", parent=root)
+        assert child.parent_id == root.span_id
+
+    def test_durations_come_from_simclock(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("work")
+        clock.advance(150.0)
+        tracer.end_span(span)
+        assert span.duration_us == 150.0
+
+    def test_explicit_end_time(self):
+        tracer = Tracer(SimClock())
+        span = tracer.start_span("op.Scan")
+        tracer.end_span(span, end_us=span.start_us + 7.5)
+        assert span.duration_us == 7.5
+
+    def test_end_span_idempotent(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("x")
+        tracer.end_span(span)
+        clock.advance(100.0)
+        tracer.end_span(span)
+        assert span.duration_us == 0.0
+        assert len(tracer.finished_spans("x")) == 1
+
+    def test_exception_marks_error_attribute(self):
+        tracer = Tracer(SimClock())
+        try:
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert span.attributes["error"] == "ValueError"
+        assert span.finished
+
+    def test_walk_traverses_subtree(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = [s.name for s in tracer.walk(a)]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_bounded_buffer(self):
+        tracer = Tracer(SimClock(), max_spans=3)
+        for i in range(5):
+            tracer.end_span(tracer.start_span(f"s{i}"))
+        assert [s.name for s in tracer.finished_spans()] == ["s2", "s3", "s4"]
+        assert tracer.spans_started == 5
