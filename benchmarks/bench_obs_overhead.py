@@ -1,0 +1,86 @@
+"""Telemetry overhead: the same TPC-C-lite run with obs on vs off.
+
+Every transaction records spans, wait events, activity entries and metric
+samples; ``MppCluster(obs_enabled=False)`` turns the whole subsystem off
+(``cluster.obs is None`` and every instrumentation site no-ops).  This
+script measures the *wall-clock* cost of that instrumentation — simulated
+results are identical either way, which is also asserted here.
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+Writes ``BENCH_obs_overhead.json`` next to this file (under ``out/``).
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.cluster.mpp import MppCluster
+from repro.workloads.driver import run_oltp
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+NUM_DNS = 4
+WAREHOUSES = 4
+CLIENTS_PER_DN = 4
+TXNS_PER_CLIENT = 30
+REPEATS = 5
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_obs_overhead.json"
+
+
+def one_run(obs_enabled: bool):
+    cluster = MppCluster(num_dns=NUM_DNS, obs_enabled=obs_enabled)
+    load_tpcc(cluster, num_warehouses=WAREHOUSES)
+    workload = TpccLiteWorkload(num_warehouses=WAREHOUSES,
+                                multi_shard_fraction=0.2, seed=3)
+    t0 = time.perf_counter()
+    result = run_oltp(cluster, workload, clients_per_dn=CLIENTS_PER_DN,
+                      txns_per_client=TXNS_PER_CLIENT)
+    elapsed_s = time.perf_counter() - t0
+    return elapsed_s, result
+
+
+def main() -> None:
+    timings = {"obs_on": [], "obs_off": []}
+    baseline = None
+    for _ in range(REPEATS):
+        # alternate to spread warmup / cache effects evenly
+        for key, enabled in (("obs_on", True), ("obs_off", False)):
+            elapsed_s, result = one_run(enabled)
+            timings[key].append(elapsed_s)
+            # telemetry must never change what the simulation computes
+            if baseline is None:
+                baseline = result.as_dict()
+            assert result.as_dict() == baseline, \
+                "obs_enabled changed simulation results"
+
+    on = statistics.median(timings["obs_on"])
+    off = statistics.median(timings["obs_off"])
+    committed = baseline["committed"]
+    report = {
+        "benchmark": "obs_overhead",
+        "config": {
+            "num_dns": NUM_DNS,
+            "warehouses": WAREHOUSES,
+            "clients_per_dn": CLIENTS_PER_DN,
+            "txns_per_client": TXNS_PER_CLIENT,
+            "repeats": REPEATS,
+        },
+        "committed_txns": committed,
+        "median_s_obs_on": on,
+        "median_s_obs_off": off,
+        "overhead_ratio": on / off if off > 0 else None,
+        "overhead_us_per_txn": (on - off) / committed * 1e6,
+        "sim_results_identical": True,
+    }
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"obs on : {on * 1e3:8.1f} ms (median of {REPEATS})")
+    print(f"obs off: {off * 1e3:8.1f} ms (median of {REPEATS})")
+    print(f"overhead: {report['overhead_ratio']:.2f}x, "
+          f"{report['overhead_us_per_txn']:.1f}us per committed txn")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Mini-dashboard: watch a TPC-C-lite burst through the ``sys.*`` views.
+
+Runs bursts of TPC-C-lite transactions against a GTM-lite cluster and,
+between bursts, polls the SQL-queryable system views the way a DBA
+console would: who is waiting on what (``sys.wait_events``), what is in
+flight (``sys.activity``), which queries were slow (``sys.slow_queries``)
+and which alerts fired (``sys.alerts``).  Everything is plain SQL over
+virtual tables — the dashboard has no privileged access.
+
+Run:  python examples/monitoring.py
+"""
+
+from repro.autonomous.adbms import AutonomousManager
+from repro.cluster import MppCluster, TxnMode
+from repro.sql.engine import SqlEngine
+from repro.workloads.driver import run_oltp
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+BURSTS = 3
+WAREHOUSES = 4
+
+
+def show(engine: SqlEngine, title: str, sql: str, limit: int = 6) -> None:
+    result = engine.execute(sql)
+    print(f"  -- {title}")
+    print(f"     {' | '.join(result.columns)}")
+    for row in result.rows[:limit]:
+        print(f"     {' | '.join(str(v) for v in row)}")
+    if len(result.rows) > limit:
+        print(f"     ... {len(result.rows) - limit} more")
+    print()
+
+
+def main() -> None:
+    cluster = MppCluster(num_dns=4, mode=TxnMode.GTM_LITE)
+    load_tpcc(cluster, num_warehouses=WAREHOUSES)
+    # low threshold so the dashboard's own queries populate sys.slow_queries
+    cluster.obs.slowlog.threshold_us = 20.0
+    engine = SqlEngine(cluster, learning_enabled=False)
+    workload = TpccLiteWorkload(num_warehouses=WAREHOUSES,
+                                multi_shard_fraction=0.2, seed=7)
+    # the Fig. 12 loop: collect() exports telemetry, tick() turns slow-query
+    # bursts and anomalies into sys.alerts entries
+    manager = AutonomousManager(cluster)
+
+    for burst in range(1, BURSTS + 1):
+        result = run_oltp(cluster, workload, clients_per_dn=2,
+                          txns_per_client=10)
+        now_us = cluster.obs.clock.now_us
+        manager.collect(now_us)
+        manager.tick(now_us)
+        print(f"== burst {burst}: committed={result.committed} "
+              f"aborted={result.aborted} "
+              f"tps={result.throughput_tps:.0f} ==\n")
+
+        show(engine, "where the cluster waits (top events)",
+             "select event, count, total_us, avg_us from sys.wait_events "
+             "order by total_us desc")
+        show(engine, "GTM pressure: global vs local snapshots",
+             "select event, total_us from sys.wait_events "
+             "where event like 'gtm.%' order by total_us desc")
+        show(engine, "in-flight transactions",
+             "select kind, state, snapshot, wait_us from sys.activity")
+        show(engine, "slowest recorded queries",
+             "select sql, elapsed_us, top_operator from sys.slow_queries "
+             "order by elapsed_us desc", limit=3)
+        show(engine, "alerts",
+             "select severity, source, message, count from sys.alerts")
+
+    # one aggregate across the whole run — sys views compose with SQL
+    print("== summary ==")
+    for row in engine.query(
+            "select count(*) as events, sum(total_us) as total_wait_us "
+            "from sys.wait_events"):
+        print(f"  {row['events']} distinct wait events, "
+              f"{row['total_wait_us']:.0f}us of attributed waiting")
+    spans = engine.query("select count(*) as n from sys.spans "
+                         "where name = '2pc.prepare'")
+    print(f"  {spans[0]['n']} 2PC prepare spans traced")
+
+
+if __name__ == "__main__":
+    main()

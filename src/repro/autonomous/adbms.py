@@ -65,6 +65,12 @@ class AutonomousManager:
         #: engine series instead of hand-fed ones.
         self.exporter = (InfoStoreExporter(cluster.obs.metrics, self.info)
                          if getattr(cluster, "obs", None) is not None else None)
+        #: The observability-side alert sink (``sys.alerts``).  Anomaly
+        #: findings and slow-query bursts both land there, deduplicated.
+        self.alerts = (cluster.obs.alerts
+                       if getattr(cluster, "obs", None) is not None else None)
+        if self.alerts is not None:
+            self.alerts.bind_store(self.info)
         self.changes = ChangeManager()
         self.anomalies = AnomalyManager(self.info)
         self.workload = WorkloadManager(
@@ -78,6 +84,8 @@ class AutonomousManager:
         self.tuner = KnobTuner(DEFAULT_KNOBS) if enable_tuning else None
         self._install_default_detectors()
         self.anomalies.on_anomaly(self._heal)
+        if self.alerts is not None:
+            self.anomalies.on_anomaly(self.alerts.from_anomaly)
         self._healing_log: List[str] = []
         # Deltas are measured from the moment supervision starts, so
         # pre-existing traffic (e.g. bulk loads) is not misattributed.
@@ -129,6 +137,8 @@ class AutonomousManager:
         report = TickReport(t_us=now_us)
         self._healing_log = []
         report.anomalies = self.anomalies.evaluate(now_us)
+        if self.alerts is not None:
+            self.alerts.check_slow_queries(self.cluster.obs.slowlog, now_us)
         report.sla_problems = self.workload.evaluate_sla(now_us)
         report.concurrency_limit = self.workload.adjust(now_us)
         report.healing_actions = list(self._healing_log)

@@ -41,6 +41,7 @@ class MppCluster:
         num_cns: Optional[int] = None,
         mode: TxnMode = TxnMode.GTM_LITE,
         profile: EnvironmentProfile = DEFAULT_PROFILE,
+        obs_enabled: bool = True,
     ):
         if num_dns <= 0:
             raise ConfigError("num_dns must be positive")
@@ -53,11 +54,14 @@ class MppCluster:
         self.catalog = Catalog()
         #: The cluster-wide telemetry spine: every layer (GTM, data nodes,
         #: transactions, executor, SQL engine) records into this namespace.
-        self.obs = Observability()
+        #: ``obs_enabled=False`` drops it entirely (telemetry-overhead
+        #: benchmarking); every consumer guards for ``obs is None``.
+        self.obs = Observability() if obs_enabled else None
         self.gtm = GlobalTransactionManager(obs=self.obs)
         self.dns: List[DataNode] = [DataNode(f"dn{i}", i, obs=self.obs)
                                     for i in range(num_dns)]
-        self.stats = ClusterStats(registry=self.obs.metrics)
+        self.stats = ClusterStats(
+            registry=self.obs.metrics if self.obs is not None else None)
         self.resources = ResourcePool()
         self.gtm_resource: Resource = self.resources.add("gtm")
         self.dn_resources: List[Resource] = [
@@ -67,6 +71,7 @@ class MppCluster:
             self.resources.add(f"cn{i}") for i in range(self.num_cns)
         ]
         self._next_session = 0
+        self._session_seq = 0
         self._completed_since_prune = 0
         self.lco_prune_interval = 256
 
@@ -95,7 +100,8 @@ class MppCluster:
         ctx = None
         if track_costs:
             ctx = CostContext(self.resources, self.profile.mpp, start_us=start_us)
-        return Session(self, cn_index, ctx)
+        self._session_seq += 1
+        return Session(self, cn_index, ctx, session_id=self._session_seq)
 
     # -- maintenance -----------------------------------------------------------
 
@@ -127,15 +133,33 @@ class MppCluster:
         for dn in self.dns:
             dn.ltm.prune_lco(horizon)
 
+    def reset_telemetry(self) -> None:
+        """Zero every telemetry recorder without disturbing cluster state.
+
+        Data, XID allocators and the catalog are untouched — only metrics,
+        traces, wait events, activity history, the slow-query log, alerts,
+        GTM request counters and the session-id sequence restart.  Running
+        the same workload again afterwards yields identical telemetry to a
+        fresh cluster running it (MVCC ids differ, telemetry does not).
+        """
+        if self.obs is not None:
+            self.obs.reset()
+        self.gtm.stats.reset()
+        self._session_seq = 0
+        self._next_session = 0
+
 
 class Session:
     """One client connection, pinned to a coordinator node."""
 
     def __init__(self, cluster: MppCluster, cn_index: int,
-                 ctx: Optional[CostContext]):
+                 ctx: Optional[CostContext],
+                 session_id: Optional[int] = None):
         self.cluster = cluster
         self.cn_index = cn_index
         self.ctx = ctx
+        #: Stable id for wait-event attribution (``sys.activity.session``).
+        self.session_id = session_id
 
     @property
     def now_us(self) -> float:
@@ -150,8 +174,10 @@ class Session:
         that asymmetry is exactly the paper's motivation for GTM-lite.
         """
         if self.cluster.mode is TxnMode.CLASSICAL or multi_shard:
-            return GlobalTransaction(self.cluster, self.ctx, self.cn_index)
-        return LocalTransaction(self.cluster, self.ctx, self.cn_index)
+            return GlobalTransaction(self.cluster, self.ctx, self.cn_index,
+                                     session_id=self.session_id)
+        return LocalTransaction(self.cluster, self.ctx, self.cn_index,
+                                session_id=self.session_id)
 
     def run_transaction(self, body: Callable[[AnyTxn], T],
                         multi_shard: bool = False, max_retries: int = 10) -> T:
@@ -176,6 +202,7 @@ class Session:
                     raise
                 promote = True
             except SerializationConflict:
+                txn.note_conflict_stall()
                 txn.abort()
                 if attempts > max_retries:
                     raise

@@ -23,6 +23,17 @@ from repro.common.errors import InvalidTransactionState, TransactionError
 from repro.core.classical import ClassicalSnapshot
 from repro.core.merge import merge_snapshots, naive_merge
 from repro.net.costing import CostContext
+from repro.obs.waits import (
+    WAIT_2PC_COMMIT,
+    WAIT_2PC_PREPARE,
+    WAIT_DN_APPLY,
+    WAIT_DN_COMMIT,
+    WAIT_DN_SCAN,
+    WAIT_GTM_GLOBAL,
+    WAIT_GTM_LOCAL,
+    WAIT_LOCK_CONFLICT,
+    WAIT_MERGE_UPGRADE,
+)
 from repro.storage.table import Distribution
 from repro.txn.snapshot import Snapshot
 
@@ -64,17 +75,60 @@ class TxnState(enum.Enum):
 class _BaseTransaction:
     """Shared plumbing: routing, schema lookup, state checks."""
 
-    def __init__(self, cluster, ctx: Optional[CostContext], cn_index: int = 0):
+    def __init__(self, cluster, ctx: Optional[CostContext], cn_index: int = 0,
+                 session_id: Optional[int] = None):
         self._cluster = cluster
         self._ctx = ctx
         self._cn_index = cn_index
+        self._session_id = session_id
         self.state = TxnState.RUNNING
         self._obs = getattr(cluster, "obs", None)
         self._span = None
+        #: This transaction's row in ``sys.activity`` (None without obs).
+        self.activity_entry = None
         self._start_us = ctx.t_us if ctx is not None else (
             self._obs.clock.now_us if self._obs is not None else 0.0)
 
     # -- helpers -----------------------------------------------------------
+
+    def _mpp_model(self):
+        profile = getattr(self._cluster, "profile", None)
+        return getattr(profile, "mpp", None)
+
+    def _cost(self, attr: str) -> float:
+        """A simulated service time from the cost model.
+
+        Wait-event accounting uses the cluster's cost profile even when no
+        :class:`CostContext` is attached (pure-correctness runs), mirroring
+        how ``gtm.snapshot_us`` is always observed.
+        """
+        model = self._ctx.model if self._ctx is not None else self._mpp_model()
+        return float(getattr(model, attr, 0.0) or 0.0) if model is not None else 0.0
+
+    def _wait(self, event: str, wait_us: float) -> None:
+        """Attribute simulated wait time to this transaction's session."""
+        if self._obs is None or wait_us <= 0.0:
+            return
+        self._obs.waits.record(event, wait_us, session=self._session_id)
+        if self.activity_entry is not None:
+            self.activity_entry.note_wait(event, wait_us)
+
+    def _begin_activity(self, kind: str, snapshot: str) -> None:
+        if self._obs is not None:
+            self.activity_entry = self._obs.activity.begin(
+                kind, snapshot, cn=self._cn_index, session=self._session_id,
+                start_us=self._start_us)
+
+    def _set_activity_state(self, state: str) -> None:
+        if self._obs is not None and self.activity_entry is not None:
+            self._obs.activity.set_state(self.activity_entry, state)
+
+    def note_conflict_stall(self) -> None:
+        """Account the work a serialization-conflict abort throws away."""
+        if self._obs is None:
+            return
+        now = self._ctx.t_us if self._ctx is not None else self._obs.clock.now_us
+        self._wait(WAIT_LOCK_CONFLICT, now - self._start_us)
 
     def _require_running(self) -> None:
         if self.state is not TxnState.RUNNING:
@@ -120,19 +174,23 @@ class _BaseTransaction:
         if self._span is not None:
             self._span.set_attribute("outcome", outcome)
             self._obs.tracer.end_span(self._span)
+        if self.activity_entry is not None:
+            self._obs.activity.finish(self.activity_entry, outcome, end_us=now)
 
 
 class LocalTransaction(_BaseTransaction):
     """Single-shard transaction: local XID + local snapshot only."""
 
-    def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0):
-        super().__init__(cluster, ctx, cn_index)
+    def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0,
+                 session_id: Optional[int] = None):
+        super().__init__(cluster, ctx, cn_index, session_id)
         self._dn_index: Optional[int] = None
         self.xid: Optional[int] = None
         self.snapshot: Optional[Snapshot] = None
         if self._obs is not None:
             self._span = self._obs.tracer.start_span(
                 "txn.local", parent=None, cn=cn_index)
+        self._begin_activity("local", "local")
 
     @property
     def is_multi_shard(self) -> bool:
@@ -145,6 +203,9 @@ class LocalTransaction(_BaseTransaction):
             self.xid = dn.begin()
             self.snapshot = dn.local_snapshot()
             self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
+            self._wait(WAIT_GTM_LOCAL, self._cost("dn_begin_us"))
+            if self.activity_entry is not None:
+                self.activity_entry.txn_id = self.xid
             return dn
         if self._dn_index != dn_index:
             raise TransactionPromotionRequired(
@@ -164,6 +225,7 @@ class LocalTransaction(_BaseTransaction):
         else:
             dn = self._bind(self._shard_for_key(table, key))
         self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
         return dn.read(table, key, self.snapshot, self.xid)
 
     def insert(self, table: str, row: Dict[str, object]) -> None:
@@ -179,6 +241,7 @@ class LocalTransaction(_BaseTransaction):
         else:
             dn = self._bind(self._shard_for_row(table, row))
         self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
         dn.insert(table, row, self.xid, self.snapshot)
 
     def update(self, table: str, key: object, values: Dict[str, object]) -> None:
@@ -192,6 +255,7 @@ class LocalTransaction(_BaseTransaction):
         dn = self._bind(self._shard_for_key(table, key)
                         if schema.distribution is not Distribution.REPLICATION else 0)
         self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
         dn.update(table, key, values, self.xid, self.snapshot)
 
     def delete(self, table: str, key: object) -> None:
@@ -205,6 +269,7 @@ class LocalTransaction(_BaseTransaction):
         dn = self._bind(self._shard_for_key(table, key)
                         if schema.distribution is not Distribution.REPLICATION else 0)
         self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
         dn.delete(table, key, self.xid, self.snapshot)
 
     def scan(self, table: str) -> Iterator[Tuple[object, Dict[str, object]]]:
@@ -222,10 +287,12 @@ class LocalTransaction(_BaseTransaction):
     def commit(self) -> None:
         self._require_running()
         self.state = TxnState.COMMITTING
+        self._set_activity_state("committing")
         if self._dn_index is not None:
             dn = self._cluster.dns[self._dn_index]
             self._charge_dn(self._dn_index,
                             self._ctx.model.dn_commit_us if self._ctx else 0.0)
+            self._wait(WAIT_DN_COMMIT, self._cost("dn_commit_us"))
             dn.commit(self.xid)
         self.state = TxnState.COMMITTED
         self._cluster.stats.note_commit(multi_shard=False)
@@ -245,12 +312,20 @@ class LocalTransaction(_BaseTransaction):
 class GlobalTransaction(_BaseTransaction):
     """Multi-shard transaction: GXID + global snapshot, merged per DN."""
 
-    def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0):
-        super().__init__(cluster, ctx, cn_index)
+    def __init__(self, cluster, ctx: Optional[CostContext] = None, cn_index: int = 0,
+                 session_id: Optional[int] = None):
+        super().__init__(cluster, ctx, cn_index, session_id)
         self.mode: TxnMode = cluster.mode
         if self._obs is not None:
             self._span = self._obs.tracer.start_span(
                 "txn.global", parent=None, cn=cn_index)
+        if self.mode is TxnMode.CLASSICAL:
+            snapshot_kind = "classical"
+        elif self.mode is TxnMode.GTM_LITE_NAIVE:
+            snapshot_kind = "local"
+        else:
+            snapshot_kind = "merged"
+        self._begin_activity("global", snapshot_kind)
         # Simulated snapshot-acquisition cost: the GTM serializes a snapshot
         # whose size grows with the number of in-flight GXIDs.  The same
         # figure is charged to the cost context (when present) and observed
@@ -268,8 +343,11 @@ class GlobalTransaction(_BaseTransaction):
             self._obs.metrics.histogram("gtm.snapshot_us").observe(snapshot_us)
             acquire_span = self._obs.tracer.start_span(
                 "gtm.snapshot", parent=self._span)
+        self._wait(WAIT_GTM_GLOBAL, snapshot_us)
         self.gxid = cluster.gtm.begin()
         self.global_snapshot = cluster.gtm.snapshot(for_gxid=self.gxid)
+        if self.activity_entry is not None:
+            self.activity_entry.txn_id = self.gxid
         if acquire_span is not None:
             acquire_span.set_attribute("gxid", self.gxid)
             acquire_span.set_attribute("active", len(self.global_snapshot.active))
@@ -295,12 +373,15 @@ class GlobalTransaction(_BaseTransaction):
         lxid = dn.begin(gxid=self.gxid)
         local_snapshot = dn.local_snapshot()
         self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
+        self._wait(WAIT_GTM_LOCAL, self._cost("dn_begin_us"))
         if self.mode is TxnMode.CLASSICAL:
             view: object = ClassicalSnapshot(self.global_snapshot, dn.ltm,
                                              self._cluster.gtm)
         elif self.mode is TxnMode.GTM_LITE_NAIVE:
             view = naive_merge(local_snapshot).snapshot
         else:
+            if self._obs is not None and self.activity_entry is not None:
+                self._obs.activity.enter_wait(self.activity_entry)
             outcome = merge_snapshots(
                 self.global_snapshot,
                 local_snapshot,
@@ -310,16 +391,22 @@ class GlobalTransaction(_BaseTransaction):
                 enable_upgrade=self.mode.upgrade_enabled,
                 obs=self._obs,
                 parent_span=self._span,
+                session=self._session_id,
+                # UPGRADE: pause until the writer's local commit confirmation
+                # lands — a slim window, about one network round trip each.
+                wait_us_per_upgrade=2 * self._cost("lan_hop_us"),
             )
+            if self._obs is not None and self.activity_entry is not None:
+                self._obs.activity.leave_wait(self.activity_entry)
             self._charge_dn(
                 dn_index, self._ctx.model.dn_merge_snapshot_us if self._ctx else 0.0
             )
-            if self._ctx is not None and outcome.upgrade_waits:
-                # UPGRADE: pause until the writer's local commit confirmation
-                # lands — a slim window, about one network round trip each.
-                self._ctx.charge_local(
-                    2 * self._ctx.model.lan_hop_us * outcome.upgrade_waits
-                )
+            if outcome.upgrade_waits:
+                wait_us = 2 * self._cost("lan_hop_us") * outcome.upgrade_waits
+                if self._ctx is not None:
+                    self._ctx.charge_local(wait_us)
+                if self.activity_entry is not None:
+                    self.activity_entry.note_wait(WAIT_MERGE_UPGRADE, wait_us)
             self._cluster.stats.note_merge(outcome)
             view = outcome.snapshot
         self._local_xid[dn_index] = lxid
@@ -338,6 +425,7 @@ class GlobalTransaction(_BaseTransaction):
             dn_index = self._shard_for_key(table, key)
         dn, lxid, view = self._attach(dn_index)
         self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
         return dn.read(table, key, view, lxid)
 
     def insert(self, table: str, row: Dict[str, object]) -> None:
@@ -351,6 +439,7 @@ class GlobalTransaction(_BaseTransaction):
         for dn_index in targets:
             dn, lxid, view = self._attach(dn_index)
             self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
             dn.insert(table, row, lxid, view)
             self._written.add(dn_index)
 
@@ -365,6 +454,7 @@ class GlobalTransaction(_BaseTransaction):
         for dn_index in targets:
             dn, lxid, view = self._attach(dn_index)
             self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
             dn.update(table, key, values, lxid, view)
             self._written.add(dn_index)
 
@@ -379,6 +469,7 @@ class GlobalTransaction(_BaseTransaction):
         for dn_index in targets:
             dn, lxid, view = self._attach(dn_index)
             self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
             dn.delete(table, key, lxid, view)
             self._written.add(dn_index)
 
@@ -393,6 +484,7 @@ class GlobalTransaction(_BaseTransaction):
         for dn_index in range(self._cluster.num_dns):
             dn, lxid, view = self._attach(dn_index)
             self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
             yield from dn.scan(table, view, lxid)
 
     # -- completion ----------------------------------------------------------
@@ -407,6 +499,7 @@ class GlobalTransaction(_BaseTransaction):
     def commit_stepwise(self) -> "CommitSteps":
         self._require_running()
         self.state = TxnState.COMMITTING
+        self._set_activity_state("committing")
         return CommitSteps(self)
 
     def abort(self) -> None:
@@ -464,6 +557,7 @@ class CommitSteps:
         for dn_index in sorted(txn._written):
             txn._charge_dn(dn_index,
                            txn._ctx.model.dn_prepare_us if txn._ctx else 0.0)
+            txn._wait(WAIT_2PC_PREPARE, txn._cost("dn_prepare_us"))
             txn._cluster.dns[dn_index].prepare(txn._local_xid[dn_index])
         self._end(span)
         self._prepared = True
@@ -479,6 +573,7 @@ class CommitSteps:
         txn = self._txn
         span = self._traced("2pc.gtm_commit", gxid=txn.gxid)
         txn._charge_gtm(txn._ctx.model.gtm_commit_us if txn._ctx else 0.0)
+        txn._wait(WAIT_2PC_COMMIT, txn._cost("gtm_commit_us"))
         txn._cluster.gtm.commit(txn.gxid)
         self._end(span)
         self._gtm_committed = True
@@ -498,6 +593,7 @@ class CommitSteps:
             raise InvalidTransactionState(f"node {dn_index} has nothing to confirm")
         txn._charge_dn(dn_index,
                        txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
+        txn._wait(WAIT_2PC_COMMIT, txn._cost("dn_commit_prepared_us"))
         txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
         self._confirmed.add(dn_index)
 
@@ -508,6 +604,7 @@ class CommitSteps:
         for dn_index in pending:
             txn._charge_dn(dn_index,
                            txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
+            txn._wait(WAIT_2PC_COMMIT, txn._cost("dn_commit_prepared_us"))
             txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
             self._confirmed.add(dn_index)
         self._end(span)

@@ -50,6 +50,14 @@ class SimClock:
             self._now_us = t_us
         return self._now_us
 
+    def reset(self, start_us: float = 0.0) -> None:
+        """Restart simulated time — the one sanctioned way to move it back.
+
+        Only for whole-simulation resets (e.g. re-running a workload on a
+        reset cluster); mid-run callers must use :meth:`advance_to`.
+        """
+        self._now_us = float(start_us)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimClock({self._now_us:.1f}us)"
 

@@ -44,6 +44,12 @@ class GtmStats:
             "total": self.total_requests,
         }
 
+    def reset(self) -> None:
+        self.begins = 0
+        self.snapshots = 0
+        self.commits = 0
+        self.aborts = 0
+
 
 class GlobalTransactionManager:
     """GXID allocation, global active list and global commit log."""

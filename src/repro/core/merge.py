@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro.core.gtm import GlobalTransactionManager
+from repro.obs.waits import WAIT_MERGE_UPGRADE
 from repro.txn.manager import LocalTransactionManager
 from repro.txn.snapshot import MergedSnapshot, Snapshot
 from repro.txn.writeset import WriteSet
@@ -53,6 +54,8 @@ def merge_snapshots(
     enable_upgrade: bool = True,
     obs=None,
     parent_span=None,
+    session=None,
+    wait_us_per_upgrade: float = 0.0,
 ) -> MergeOutcome:
     """Run Algorithm 1 for one reader on one data node.
 
@@ -60,7 +63,10 @@ def merge_snapshots(
     benchmark: switching either off reproduces the corresponding anomaly.
     When an :class:`repro.obs.Observability` is supplied the merge emits a
     ``snapshot.merge`` span (child of ``parent_span``, normally the
-    transaction's span) carrying the upgrade/downgrade counts.
+    transaction's span) carrying the upgrade/downgrade counts, and — if any
+    UPGRADE paused the reader — records a ``gtm.merge_upgrade`` wait event
+    of ``wait_us_per_upgrade`` per upgraded writer, attributed to
+    ``session``.
     """
     if obs is not None:
         span = obs.tracer.start_span("snapshot.merge", parent=parent_span,
@@ -76,6 +82,11 @@ def merge_snapshots(
         span.set_attribute("upgraded", len(outcome.upgraded))
         span.set_attribute("upgrade_waits", outcome.upgrade_waits)
         obs.tracer.end_span(span)
+        waits = getattr(obs, "waits", None)
+        if waits is not None and outcome.upgrade_waits and wait_us_per_upgrade > 0.0:
+            waits.record(WAIT_MERGE_UPGRADE,
+                         wait_us_per_upgrade * outcome.upgrade_waits,
+                         session=session)
         return outcome
     return _merge(global_snapshot, local_snapshot, ltm, gtm,
                   enable_downgrade, enable_upgrade)

@@ -10,11 +10,16 @@ store (Fig. 12).
 * :mod:`repro.obs.tracing` — hierarchical spans with attributes.
 * :mod:`repro.obs.profiler` — per-operator query profiles (``EXPLAIN ANALYZE``).
 * :mod:`repro.obs.export` — registry snapshots → ``InformationStore``.
+* :mod:`repro.obs.waits` — wait-event accounting + live activity registry.
+* :mod:`repro.obs.slowlog` — slow-query ring buffer with profile summaries.
+* :mod:`repro.obs.alerts` — deduplicated, severity-ranked alerts.
+* :mod:`repro.obs.syscat` — the ``sys.*`` SQL-queryable system views.
 
-:class:`Observability` bundles one clock + registry + tracer, and is hung
-off :class:`~repro.cluster.mpp.MppCluster` as ``cluster.obs`` so every layer
+:class:`Observability` bundles one clock + registry + tracer + wait/activity
+recorders + slow-query log + alert manager, and is hung off
+:class:`~repro.cluster.mpp.MppCluster` as ``cluster.obs`` so every layer
 (GTM, data nodes, transactions, executor, SQL engine) records into the same
-namespace.
+namespace — and so ``SELECT * FROM sys.wait_events`` reads live state.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.clock import SimClock
+from repro.obs.alerts import Alert, AlertManager, SEVERITIES
 from repro.obs.export import InfoStoreExporter
 from repro.obs.metrics import (
     Counter,
@@ -31,16 +37,30 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiler import OperatorProfile, QueryProfile, QueryProfiler
+from repro.obs.slowlog import DEFAULT_THRESHOLD_US, SlowQuery, SlowQueryLog
 from repro.obs.tracing import Span, Tracer
+from repro.obs.waits import (
+    ALL_WAIT_EVENTS,
+    ActivityEntry,
+    ActivityRegistry,
+    WaitEventRecorder,
+    WaitStats,
+)
 
 
 class Observability:
     """One clock, one metric namespace, one tracer — shared by a cluster."""
 
-    def __init__(self, clock: Optional[SimClock] = None, max_spans: int = 10_000):
+    def __init__(self, clock: Optional[SimClock] = None, max_spans: int = 10_000,
+                 slow_query_threshold_us: float = DEFAULT_THRESHOLD_US):
         self.clock = clock if clock is not None else SimClock()
         self.metrics = MetricsRegistry(self.clock)
         self.tracer = Tracer(self.clock, max_spans=max_spans)
+        self.waits = WaitEventRecorder(self.metrics)
+        self.activity = ActivityRegistry(self.clock)
+        self.slowlog = SlowQueryLog(threshold_us=slow_query_threshold_us,
+                                    metrics=self.metrics)
+        self.alerts = AlertManager(self.metrics)
 
     def advance_to(self, t_us: float) -> None:
         """Sync the shared clock to a session's simulated-time cursor.
@@ -51,13 +71,30 @@ class Observability:
         self.clock.advance_to(t_us)
 
     def reset(self) -> None:
+        """Zero every recorder *and* the clock.
+
+        After a reset, a repeat of the same workload on the same cluster
+        produces identical telemetry — metric snapshots, span timings and
+        wait-event accounting all restart from simulated t=0.
+        """
         self.metrics.reset()
         self.tracer.reset()
+        self.waits.reset()
+        self.activity.reset()
+        self.slowlog.reset()
+        self.alerts.reset()
+        self.clock.reset()
 
 
 __all__ = [
+    "ALL_WAIT_EVENTS",
+    "ActivityEntry",
+    "ActivityRegistry",
+    "Alert",
+    "AlertManager",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_THRESHOLD_US",
     "Gauge",
     "Histogram",
     "InfoStoreExporter",
@@ -66,6 +103,11 @@ __all__ = [
     "OperatorProfile",
     "QueryProfile",
     "QueryProfiler",
+    "SEVERITIES",
+    "SlowQuery",
+    "SlowQueryLog",
     "Span",
     "Tracer",
+    "WaitEventRecorder",
+    "WaitStats",
 ]

@@ -10,6 +10,7 @@ workload's own clock rather than the OS scheduler.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import ConfigError
@@ -43,7 +44,10 @@ class InfoStoreExporter:
             t_us = float(now_us)
         for name, value in values.items():
             self.store.record(name, t_us, value)
-        self._last_flush_us = t_us
+        # Snap the cadence anchor to the interval grid.  Anchoring at the
+        # raw flush time lets jitter accumulate: flushes at 0, 1300, 2600…
+        # drift a little later every interval and eventually skip slots.
+        self._last_flush_us = math.floor(t_us / self.interval_us) * self.interval_us
         self.flushes += 1
         return len(values)
 

@@ -194,6 +194,25 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted([*self._counters, *self._gauges, *self._histograms])
 
+    def kind_of(self, name: str) -> Optional[str]:
+        """'counter' | 'gauge' | 'histogram' for a metric name.
+
+        Also resolves flattened histogram names (``gtm.snapshot_us.p95``)
+        back to their histogram, so ``sys.metrics`` can label every row of
+        a :meth:`snapshot`.
+        """
+        if name in self._counters:
+            return "counter"
+        if name in self._gauges:
+            return "gauge"
+        if name in self._histograms:
+            return "histogram"
+        base, dot, suffix = name.rpartition(".")
+        if dot and suffix in ("count", "sum", "avg", "p50", "p95", "p99") \
+                and base in self._histograms:
+            return "histogram"
+        return None
+
     def value(self, name: str) -> Optional[float]:
         """Counter/gauge value, or a histogram's observation count."""
         if name in self._counters:

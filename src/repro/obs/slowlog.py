@@ -1,0 +1,103 @@
+"""The slow-query log.
+
+The SQL engine hands every executed query's :class:`~repro.obs.profiler.
+QueryProfile` to :meth:`SlowQueryLog.note`; queries whose total simulated
+time exceeds the configurable threshold are retained in a bounded ring
+buffer together with a per-operator profile summary (operator count, and the
+most expensive operator with its self time).  ``sys.slow_queries`` streams
+straight out of the buffer, and :class:`~repro.obs.alerts.AlertManager`
+watches it for bursts.
+
+Times are simulated microseconds off the shared
+:class:`~repro.common.clock.SimClock`, so identical runs log identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import QueryProfile
+
+DEFAULT_THRESHOLD_US = 10_000.0
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One retained slow query."""
+
+    query_id: int
+    sql: str
+    start_us: float
+    elapsed_us: float
+    rows: int
+    operators: int
+    top_operator: str
+    top_operator_us: float
+
+    def as_row(self) -> Tuple[int, str, float, float, int, int, str, float]:
+        return (self.query_id, self.sql, self.start_us, self.elapsed_us,
+                self.rows, self.operators, self.top_operator,
+                self.top_operator_us)
+
+
+class SlowQueryLog:
+    """Bounded ring buffer of queries over the sim-time threshold."""
+
+    def __init__(self, threshold_us: float = DEFAULT_THRESHOLD_US,
+                 max_entries: int = 256,
+                 metrics: Optional[MetricsRegistry] = None):
+        if threshold_us < 0:
+            raise ConfigError("threshold_us cannot be negative")
+        if max_entries <= 0:
+            raise ConfigError("max_entries must be positive")
+        self.threshold_us = float(threshold_us)
+        self.metrics = metrics
+        self._entries: Deque[SlowQuery] = deque(maxlen=max_entries)
+        self._next_id = 1
+        self.queries_seen = 0
+
+    def note(self, sql: str, start_us: float,
+             profile: QueryProfile) -> Optional[SlowQuery]:
+        """Record the query if it crossed the threshold; return the entry."""
+        self.queries_seen += 1
+        elapsed_us = profile.total_time_us
+        if elapsed_us < self.threshold_us:
+            return None
+        top = max(profile.operators, key=lambda op: op.time_us, default=None)
+        entry = SlowQuery(
+            query_id=self._next_id,
+            sql=" ".join(sql.split()),
+            start_us=start_us,
+            elapsed_us=elapsed_us,
+            rows=profile.output_rows,
+            operators=len(profile.operators),
+            top_operator=top.operator if top is not None else "",
+            top_operator_us=top.time_us if top is not None else 0.0,
+        )
+        self._next_id += 1
+        self._entries.append(entry)
+        if self.metrics is not None:
+            self.metrics.counter("slowlog.recorded").inc()
+            self.metrics.histogram("slowlog.elapsed_us").observe(elapsed_us)
+        return entry
+
+    # -- reading -----------------------------------------------------------
+
+    def entries(self) -> List[SlowQuery]:
+        return list(self._entries)
+
+    def recorded_since(self, t0_us: float) -> int:
+        """How many retained slow queries started at or after ``t0_us``."""
+        return sum(1 for e in self._entries if e.start_us >= t0_us)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._next_id = 1
+        self.queries_seen = 0

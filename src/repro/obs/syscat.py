@@ -1,0 +1,160 @@
+"""The ``sys`` schema: SQL-queryable system views over live engine state.
+
+Production MPP systems expose engine internals through catalog views
+(Greenplum's ``gp_stat_*`` / ``pg_stat_activity`` family); this module is
+that surface for the reproduction.  Each view implements the binder's
+:class:`~repro.sql.binder.TableFunctionImpl` protocol, so a plain
+
+    SELECT * FROM sys.activity WHERE state = 'waiting'
+
+binds to a ``LogicalTableFunction``, lowers to the standard
+``PTableFunction`` physical operator, and composes with filters, joins and
+aggregates exactly like a user table — no side channel, no special executor.
+Rows are produced at *execution* time, straight out of the live
+:class:`~repro.obs.Observability` state, so a view read mid-run sees the
+engine as it is at that simulated instant.
+
+Views:
+
+* ``sys.metrics``      — the flattened metric registry (name, kind, value).
+* ``sys.activity``     — open transactions: state, snapshot kind, waits.
+* ``sys.wait_events``  — aggregated wait-event accounting.
+* ``sys.slow_queries`` — the slow-query ring buffer with profile summaries.
+* ``sys.spans``        — recently finished tracer spans.
+* ``sys.alerts``       — live alerts, severity-ranked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.storage.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - only for annotations
+    from repro.obs import Observability
+
+SYS_SCHEMA = "sys"
+
+Columns = List[Tuple[str, DataType]]
+
+
+class SystemView:
+    """One virtual table, backed by a row-producing callable."""
+
+    def __init__(self, name: str, columns: Columns,
+                 producer: Callable[[], Iterable[tuple]]):
+        self.name = name
+        self.columns = columns
+        self._producer = producer
+
+    # -- TableFunctionImpl protocol ---------------------------------------
+
+    def output_schema(self, args: Sequence[object]) -> Columns:
+        return list(self.columns)
+
+    def rows(self, args: Sequence[object]) -> Iterable[tuple]:
+        return self._producer()
+
+    def estimated_rows(self, args: Sequence[object]) -> int:
+        # Virtual tables are small; a fixed modest guess keeps the planner
+        # from broadcasting real tables against them.
+        return 64
+
+
+class SystemCatalog:
+    """The registry of ``sys.*`` views for one cluster's observability."""
+
+    def __init__(self, obs: "Observability"):
+        self.obs = obs
+        self.views: Dict[str, SystemView] = {}
+        self._register(
+            "metrics",
+            [("name", DataType.TEXT), ("kind", DataType.TEXT),
+             ("value", DataType.DOUBLE)],
+            self._metrics_rows,
+        )
+        self._register(
+            "activity",
+            [("activity_id", DataType.BIGINT), ("txn_id", DataType.BIGINT),
+             ("session", DataType.BIGINT), ("cn", DataType.BIGINT),
+             ("kind", DataType.TEXT), ("state", DataType.TEXT),
+             ("snapshot", DataType.TEXT), ("start_us", DataType.DOUBLE),
+             ("elapsed_us", DataType.DOUBLE), ("wait_us", DataType.DOUBLE),
+             ("last_wait", DataType.TEXT)],
+            self._activity_rows,
+        )
+        self._register(
+            "wait_events",
+            [("event", DataType.TEXT), ("count", DataType.BIGINT),
+             ("total_us", DataType.DOUBLE), ("avg_us", DataType.DOUBLE),
+             ("max_us", DataType.DOUBLE)],
+            self._wait_rows,
+        )
+        self._register(
+            "slow_queries",
+            [("query_id", DataType.BIGINT), ("sql", DataType.TEXT),
+             ("start_us", DataType.DOUBLE), ("elapsed_us", DataType.DOUBLE),
+             ("rows", DataType.BIGINT), ("operators", DataType.BIGINT),
+             ("top_operator", DataType.TEXT),
+             ("top_operator_us", DataType.DOUBLE)],
+            self._slow_query_rows,
+        )
+        self._register(
+            "spans",
+            [("span_id", DataType.BIGINT), ("parent_id", DataType.BIGINT),
+             ("name", DataType.TEXT), ("start_us", DataType.DOUBLE),
+             ("end_us", DataType.DOUBLE), ("duration_us", DataType.DOUBLE)],
+            self._span_rows,
+        )
+        self._register(
+            "alerts",
+            [("alert_id", DataType.BIGINT), ("severity", DataType.TEXT),
+             ("source", DataType.TEXT), ("message", DataType.TEXT),
+             ("first_us", DataType.DOUBLE), ("last_us", DataType.DOUBLE),
+             ("count", DataType.BIGINT)],
+            self._alert_rows,
+        )
+
+    def _register(self, short_name: str, columns: Columns,
+                  producer: Callable[[], Iterable[tuple]]) -> None:
+        name = f"{SYS_SCHEMA}.{short_name}"
+        self.views[name] = SystemView(name, columns, producer)
+
+    def get(self, name: str):
+        return self.views.get(name.lower())
+
+    def names(self) -> List[str]:
+        return sorted(self.views)
+
+    # -- row producers -----------------------------------------------------
+
+    def _metrics_rows(self) -> Iterable[tuple]:
+        _, flat = self.obs.metrics.snapshot()
+        kind_of = self.obs.metrics.kind_of
+        return [(name, kind_of(name) or "", value)
+                for name, value in sorted(flat.items())]
+
+    def _activity_rows(self) -> Iterable[tuple]:
+        now_us = self.obs.clock.now_us
+        return [
+            (e.activity_id, e.txn_id, e.session, e.cn, e.kind, e.state,
+             e.snapshot, e.start_us, e.elapsed_us(now_us), e.wait_us,
+             e.last_wait)
+            for e in self.obs.activity.open_entries()
+        ]
+
+    def _wait_rows(self) -> Iterable[tuple]:
+        return self.obs.waits.rows()
+
+    def _slow_query_rows(self) -> Iterable[tuple]:
+        return [entry.as_row() for entry in self.obs.slowlog.entries()]
+
+    def _span_rows(self) -> Iterable[tuple]:
+        return [
+            (s.span_id, s.parent_id, s.name, s.start_us, s.end_us,
+             s.duration_us)
+            for s in self.obs.tracer.finished_spans()
+        ]
+
+    def _alert_rows(self) -> Iterable[tuple]:
+        return [alert.as_row() for alert in self.obs.alerts.alerts()]

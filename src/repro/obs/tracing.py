@@ -142,3 +142,6 @@ class Tracer:
     def reset(self) -> None:
         self._finished.clear()
         self._stack.clear()
+        # Span ids restart so a reset cluster retraces identically.
+        self._next_id = 1
+        self.spans_started = 0

@@ -1,0 +1,225 @@
+"""Wait-event accounting and the live activity registry.
+
+GeoGauss-style scalability analysis (PAPERS.md) says the signal that matters
+in a distributed OLTP engine is *where transactions wait*, not just how long
+they take end to end.  :class:`WaitEventRecorder` attributes simulated wait
+time to a small vocabulary of wait events — GTM snapshot acquisition (global
+vs local vs merge-upgrade), 2PC phases, data-node statement service, and
+conflict stalls — per event and per session, and mirrors every observation
+into ``wait.<event>_us`` registry histograms so the exporter ships the same
+numbers to the information store.
+
+:class:`ActivityRegistry` is the engine's ``pg_stat_activity``: every
+transaction registers itself on begin, updates its state through commit or
+abort, and accumulates its own wait time.  ``sys.activity`` and
+``sys.wait_events`` are served directly from these two structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.clock import SimClock
+from repro.obs.metrics import MetricsRegistry
+
+# -- the wait-event vocabulary ------------------------------------------------
+
+#: Waiting on the GTM for a global snapshot (serialized, size-dependent).
+WAIT_GTM_GLOBAL = "gtm.global"
+#: Waiting on a data node for a local snapshot (begin path).
+WAIT_GTM_LOCAL = "gtm.local"
+#: Algorithm 1 UPGRADE: paused until a prepared writer's commit confirmation.
+WAIT_MERGE_UPGRADE = "gtm.merge_upgrade"
+#: 2PC phase one: prepare records flushed on every written node.
+WAIT_2PC_PREPARE = "2pc.prepare"
+#: 2PC phase two: GTM commit plus per-node commit confirmations.
+WAIT_2PC_COMMIT = "2pc.commit"
+#: Data-node write statement service (insert/update/delete apply).
+WAIT_DN_APPLY = "dn.apply"
+#: Data-node read statement service (point reads and scans).
+WAIT_DN_SCAN = "dn.scan"
+#: Local (single-shard) commit record.
+WAIT_DN_COMMIT = "dn.commit"
+#: Work thrown away when a transaction aborts on a serialization conflict.
+WAIT_LOCK_CONFLICT = "lock.conflict"
+
+ALL_WAIT_EVENTS = (
+    WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL, WAIT_MERGE_UPGRADE,
+    WAIT_2PC_PREPARE, WAIT_2PC_COMMIT,
+    WAIT_DN_APPLY, WAIT_DN_SCAN, WAIT_DN_COMMIT,
+    WAIT_LOCK_CONFLICT,
+)
+
+
+@dataclass
+class WaitStats:
+    """Aggregate for one wait event (or one (session, event) pair)."""
+
+    count: int = 0
+    total_us: float = 0.0
+    max_us: float = 0.0
+
+    @property
+    def avg_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def add(self, wait_us: float) -> None:
+        self.count += 1
+        self.total_us += wait_us
+        if wait_us > self.max_us:
+            self.max_us = wait_us
+
+
+class WaitEventRecorder:
+    """Attribute simulated wait time per (event, session).
+
+    Every record also lands in a ``wait.<event>_us`` histogram of the shared
+    registry, so downstream consumers that only speak flattened metrics (the
+    exporter, the anomaly detectors) see the same accounting.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics
+        self._events: Dict[str, WaitStats] = {}
+        self._sessions: Dict[Tuple[object, str], WaitStats] = {}
+
+    def record(self, event: str, wait_us: float,
+               session: Optional[object] = None) -> None:
+        wait_us = max(0.0, float(wait_us))
+        self._events.setdefault(event, WaitStats()).add(wait_us)
+        if session is not None:
+            self._sessions.setdefault((session, event), WaitStats()).add(wait_us)
+        if self.metrics is not None:
+            self.metrics.histogram(f"wait.{event}_us").observe(wait_us)
+
+    # -- reading -----------------------------------------------------------
+
+    def events(self) -> Dict[str, WaitStats]:
+        return dict(self._events)
+
+    def stats(self, event: str) -> WaitStats:
+        return self._events.get(event, WaitStats())
+
+    def total_us(self, event: str) -> float:
+        return self.stats(event).total_us
+
+    def session_stats(self, session: object) -> Dict[str, WaitStats]:
+        return {event: stats for (sess, event), stats in self._sessions.items()
+                if sess == session}
+
+    def rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """``sys.wait_events`` rows: (event, count, total, avg, max)."""
+        return [
+            (event, s.count, s.total_us, s.avg_us, s.max_us)
+            for event, s in sorted(self._events.items())
+        ]
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._sessions.clear()
+
+
+# -- live activity ------------------------------------------------------------
+
+
+@dataclass
+class ActivityEntry:
+    """One transaction's row in ``sys.activity``."""
+
+    activity_id: int
+    session: Optional[int]
+    cn: int
+    kind: str                      # 'local' | 'global'
+    snapshot: str                  # 'local' | 'merged' | 'classical'
+    state: str                     # 'running' | 'waiting' | 'committing'
+                                   # | 'committed' | 'aborted'
+    start_us: float
+    end_us: Optional[float] = None
+    txn_id: Optional[int] = None   # local xid or gxid, once assigned
+    wait_us: float = 0.0
+    last_wait: Optional[str] = None
+    _waiting_depth: int = field(default=0, repr=False)
+
+    @property
+    def open(self) -> bool:
+        return self.end_us is None
+
+    def elapsed_us(self, now_us: float) -> float:
+        end = self.end_us if self.end_us is not None else now_us
+        return max(0.0, end - self.start_us)
+
+    def note_wait(self, event: str, wait_us: float) -> None:
+        self.wait_us += max(0.0, wait_us)
+        self.last_wait = event
+
+
+class ActivityRegistry:
+    """Open-transaction registry plus a bounded history of completed ones."""
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 max_completed: int = 1024):
+        self.clock = clock if clock is not None else SimClock()
+        self._next_id = 1
+        self._open: Dict[int, ActivityEntry] = {}
+        self._completed: Deque[ActivityEntry] = deque(maxlen=max_completed)
+
+    def begin(self, kind: str, snapshot: str, cn: int = 0,
+              session: Optional[int] = None,
+              start_us: Optional[float] = None) -> ActivityEntry:
+        entry = ActivityEntry(
+            activity_id=self._next_id,
+            session=session,
+            cn=cn,
+            kind=kind,
+            snapshot=snapshot,
+            state="running",
+            start_us=start_us if start_us is not None else self.clock.now_us,
+        )
+        self._next_id += 1
+        self._open[entry.activity_id] = entry
+        return entry
+
+    def set_state(self, entry: ActivityEntry, state: str) -> None:
+        if entry.open:
+            entry.state = state
+
+    def enter_wait(self, entry: ActivityEntry) -> None:
+        """Mark a transaction blocked (e.g. inside an UPGRADE wait)."""
+        entry._waiting_depth += 1
+        if entry.open:
+            entry.state = "waiting"
+
+    def leave_wait(self, entry: ActivityEntry) -> None:
+        entry._waiting_depth = max(0, entry._waiting_depth - 1)
+        if entry.open and entry._waiting_depth == 0 and entry.state == "waiting":
+            entry.state = "running"
+
+    def finish(self, entry: ActivityEntry, state: str,
+               end_us: Optional[float] = None) -> None:
+        if not entry.open:
+            return
+        entry.state = state
+        entry.end_us = end_us if end_us is not None else self.clock.now_us
+        if entry.end_us < entry.start_us:
+            entry.end_us = entry.start_us
+        self._open.pop(entry.activity_id, None)
+        self._completed.append(entry)
+
+    # -- reading -----------------------------------------------------------
+
+    def open_entries(self) -> List[ActivityEntry]:
+        return [self._open[k] for k in sorted(self._open)]
+
+    def completed(self) -> List[ActivityEntry]:
+        return list(self._completed)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def reset(self) -> None:
+        self._next_id = 1
+        self._open.clear()
+        self._completed.clear()

@@ -60,9 +60,14 @@ class TableFunctionImpl(Protocol):
 class Binder:
     def __init__(self, catalog: Catalog,
                  table_functions: Optional[Dict[str, TableFunctionImpl]] = None,
-                 now_fn=None):
+                 now_fn=None,
+                 system_views: Optional[Dict[str, TableFunctionImpl]] = None):
         self.catalog = catalog
         self.table_functions = table_functions or {}
+        #: ``sys.*`` virtual tables (zero-argument table functions resolved
+        #: by plain name, before the catalog, so they shadow nothing a user
+        #: could create — user tables cannot contain a dot).
+        self.system_views = system_views or {}
         #: Engine-supplied clock for ``now()`` (simulated time, not OS time).
         self.now_fn = now_fn if now_fn is not None else (lambda: 0)
 
@@ -193,6 +198,17 @@ class Binder:
             key = ref.name.lower()
             if key in cte_map:
                 return _rename(cte_map[key], ref.binding_name, None)
+            view = self.system_views.get(key)
+            if view is not None:
+                binding = ref.alias or _short_name(ref.name)
+                cols = [
+                    ColumnInfo(name, binding, data_type,
+                               canonical=f"{key}.{name}")
+                    for name, data_type in view.output_schema(())
+                ]
+                return LogicalTableFunction(
+                    key, (), schema=cols, rows_hint=view.estimated_rows(()),
+                )
             if not self.catalog.has(ref.name):
                 raise SqlAnalysisError(f"unknown table or CTE {ref.name!r}")
             schema_def = self.catalog.schema(ref.name)

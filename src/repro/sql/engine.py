@@ -16,6 +16,7 @@ from repro.common.errors import CatalogError, SqlAnalysisError
 from repro.exec.operators import PhysicalOp
 from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
 from repro.obs import Observability, QueryProfile, QueryProfiler
+from repro.obs.syscat import SystemCatalog
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.logical import LogicalScan
 from repro.optimizer.planner import PhysicalPlanner
@@ -72,9 +73,13 @@ class SqlEngine:
         self.table_functions: Dict[str, TableFunctionImpl] = {}
         self._now_fn = now_fn if now_fn is not None else (lambda: 0)
         self.queries_executed = 0
-        #: The cluster's observability spine (always present on MppCluster;
-        #: getattr keeps lightweight test doubles working).
+        #: The cluster's observability spine (present on MppCluster unless
+        #: built with obs_enabled=False; getattr keeps test doubles working).
         self.obs: Optional[Observability] = getattr(cluster, "obs", None)
+        #: ``sys.*`` system views served from live observability state.
+        self.syscat: Optional[SystemCatalog] = (
+            SystemCatalog(self.obs) if self.obs is not None else None)
+        self._current_sql = ""
 
     # -- extension points ----------------------------------------------------
 
@@ -89,6 +94,7 @@ class SqlEngine:
     # -- entry point -------------------------------------------------------------
 
     def execute(self, sql: str) -> Result:
+        self._current_sql = sql
         statement = parse(sql)
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement)
@@ -268,7 +274,9 @@ class SqlEngine:
             return rows
 
         def table_function_rows(name: str, args: Tuple[object, ...]):
-            impl = self.table_functions[name]
+            impl = self.table_functions.get(name)
+            if impl is None and self.syscat is not None:
+                impl = self.syscat.views[name]
 
             def rows() -> Iterable[tuple]:
                 return impl.rows(args)
@@ -279,7 +287,9 @@ class SqlEngine:
 
     def _binder(self) -> Binder:
         return Binder(self.cluster.catalog, self.table_functions,
-                      now_fn=self._now_fn)
+                      now_fn=self._now_fn,
+                      system_views=(self.syscat.views
+                                    if self.syscat is not None else None))
 
     def plan_select(self, stmt: ast.Select, txn) -> PhysicalOp:
         logical = self._binder().bind_select(stmt)
@@ -316,6 +326,8 @@ class SqlEngine:
             query_span.set_attribute("time_us", profile.total_time_us)
             self.obs.tracer.end_span(
                 query_span, end_us=query_span.start_us + profile.total_time_us)
+            self.obs.slowlog.note(self._current_sql, query_span.start_us,
+                                  profile)
         capture = None
         if self.learning_enabled:
             capture = self.feedback.capture(physical)

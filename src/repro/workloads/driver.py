@@ -108,15 +108,18 @@ def run_oltp(
                 # The terminal's end-to-end "query" latency, retries
                 # included — the series the workload manager's SLA checks
                 # and Fig. 12's information store consume.
-                cluster.obs.metrics.histogram("query.latency_us").observe(
-                    session.now_us - start_us)
+                if cluster.obs is not None:
+                    cluster.obs.metrics.histogram("query.latency_us").observe(
+                        session.now_us - start_us)
                 break
             except SerializationConflict:
+                txn.note_conflict_stall()
                 txn.abort()
                 aborted += 1
                 if attempts > max_retries:
                     break
-        cluster.obs.advance_to(session.now_us)
+        if cluster.obs is not None:
+            cluster.obs.advance_to(session.now_us)
         if exporter is not None:
             exporter.maybe_flush(session.now_us)
         remaining -= 1
@@ -129,7 +132,8 @@ def run_oltp(
         cluster.resources.max_busy_us(),
         max((s.now_us for s, _ in clients), default=0.0),
     )
-    cluster.obs.advance_to(makespan)
+    if cluster.obs is not None:
+        cluster.obs.advance_to(makespan)
     if exporter is not None:
         exporter.flush(makespan)    # final snapshot at the run's end
     return SimResult(

@@ -38,6 +38,24 @@ class TestInfoStoreExporter:
         assert exporter.maybe_flush(1_000.0) > 0    # interval elapsed
         assert exporter.flushes == 2
 
+    def test_jittered_flush_times_do_not_drift(self):
+        """Regression: anchoring the cadence at the raw flush time let
+        per-flush jitter accumulate until an interval was silently skipped.
+        The anchor must snap to the interval grid."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        store = InformationStore()
+        exporter = InfoStoreExporter(registry, store, interval_us=1_000.0)
+        # a driver whose transactions land the flush calls a little late
+        # every time: 0, 1300, 2400, 3100 span four distinct grid slots
+        fired = [t for t in (0.0, 1_300.0, 2_400.0, 3_100.0)
+                 if exporter.maybe_flush(t) > 0]
+        # with a drifting anchor, 3100 - 2400 < 1000 would skip the last one
+        assert fired == [0.0, 1_300.0, 2_400.0, 3_100.0]
+        assert exporter.flushes == 4
+        # samples are still stamped with the true flush time, not the grid
+        assert store.window("c", 3_100.0, 3_100.0) == [(3_100.0, 1.0)]
+
     def test_explicit_now_overrides_clock(self):
         registry = MetricsRegistry()
         registry.counter("c").inc(3)

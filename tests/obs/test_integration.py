@@ -3,13 +3,16 @@
 from repro.autonomous.adbms import AutonomousManager
 from repro.autonomous.infostore import InformationStore
 from repro.cluster.mpp import MppCluster
+from repro.cluster.txn import TxnMode
 from repro.obs.export import InfoStoreExporter
+from repro.obs.waits import WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL
+from repro.sql.engine import SqlEngine
 from repro.workloads.driver import run_oltp
 from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
 
 
-def _run(num_dns=2, warehouses=4):
-    cluster = MppCluster(num_dns=num_dns)
+def _run(num_dns=2, warehouses=4, mode=TxnMode.GTM_LITE):
+    cluster = MppCluster(num_dns=num_dns, mode=mode)
     load_tpcc(cluster, num_warehouses=warehouses)
     workload = TpccLiteWorkload(num_warehouses=warehouses,
                                 multi_shard_fraction=0.2, seed=11)
@@ -69,3 +72,51 @@ class TestTpccTelemetry:
         assert store_a.metrics() == store_b.metrics()
         for metric in store_a.metrics():
             assert store_a.values(metric) == store_b.values(metric), metric
+
+
+class TestWaitEventAccounting:
+    def test_gtm_lite_shifts_wait_time_off_the_gtm(self):
+        """The paper's core claim, visible in the wait-event profile: under
+        GTM-lite single-shard transactions take local snapshots, so global
+        GTM snapshot waiting shrinks and local-snapshot waiting appears."""
+        lite_cluster, _, lite_result = _run(mode=TxnMode.GTM_LITE)
+        classical_cluster, _, classical_result = _run(mode=TxnMode.CLASSICAL)
+        # same committed work on both sides — only the protocol differs
+        assert lite_result.committed == classical_result.committed
+        lite = lite_cluster.obs.waits
+        classical = classical_cluster.obs.waits
+        assert classical.total_us(WAIT_GTM_GLOBAL) > lite.total_us(
+            WAIT_GTM_GLOBAL)
+        assert lite.total_us(WAIT_GTM_LOCAL) > 0.0
+        # classical never takes a purely-local snapshot path on begin: its
+        # gtm.local waits come only from per-statement DN attach costs, so
+        # the lion's share of its snapshot waiting is global
+        assert classical.total_us(WAIT_GTM_GLOBAL) > classical.stats(
+            WAIT_GTM_LOCAL).max_us
+        # every terminal's waiting was attributed to some session
+        assert lite.session_stats(1), "session 1 recorded no waits"
+
+    def test_sys_views_queryable_after_tpcc_run(self):
+        cluster, _, result = _run()
+        engine = SqlEngine(cluster, learning_enabled=False)
+        waits = engine.query(
+            "SELECT event, total_us FROM sys.wait_events "
+            "WHERE event LIKE 'gtm.%' ORDER BY total_us DESC")
+        assert waits and waits[0]["total_us"] > 0.0
+        top = engine.query(
+            "SELECT count(*) AS n FROM sys.spans WHERE name = '2pc.prepare'")
+        assert top[0]["n"] > 0
+        commits = engine.query(
+            "SELECT value FROM sys.metrics WHERE name = 'txn.commit'")
+        assert commits[0]["value"] >= result.committed
+
+    def test_identical_runs_identical_sys_view_contents(self):
+        def sys_snapshot():
+            cluster, _, _ = _run()
+            engine = SqlEngine(cluster, learning_enabled=False)
+            return {
+                view: engine.execute(f"SELECT * FROM {view}").rows
+                for view in ("sys.wait_events", "sys.metrics",
+                             "sys.slow_queries", "sys.alerts")
+            }
+        assert sys_snapshot() == sys_snapshot()

@@ -1,0 +1,116 @@
+"""Telemetry reset: zeroed recorders, rewound clock, identical replays."""
+
+from repro.cluster.mpp import MppCluster
+from repro.common.clock import SimClock
+from repro.obs import Observability
+from repro.obs.waits import WAIT_GTM_GLOBAL
+from repro.storage.table import Column, TableSchema
+from repro.storage.types import DataType
+
+
+def _load(cluster):
+    cluster.create_table(TableSchema(
+        "t", [Column("k", DataType.INT), Column("v", DataType.INT)],
+        primary_key="k"))
+    session = cluster.session()
+    txn = session.begin(multi_shard=True)
+    for k in range(4):
+        txn.insert("t", {"k": k, "v": 0})
+    txn.commit()
+
+
+def _workload(cluster):
+    """A deterministic mix of global and local read-write transactions."""
+    session = cluster.session()
+    for k in range(4):
+        txn = session.begin(multi_shard=(k % 2 == 0))
+        txn.update("t", k, {"v": k + 1})
+        txn.read("t", k)
+        txn.commit()
+
+
+def _telemetry(cluster):
+    """Everything sys.* serves, minus MVCC ids (which survive a reset)."""
+    _, metrics = cluster.obs.metrics.snapshot()
+    spans = [(s.name, s.start_us, s.end_us, s.parent_id)
+             for s in cluster.obs.tracer.finished_spans()]
+    return (metrics, cluster.obs.waits.rows(), spans,
+            [e.as_row() for e in cluster.obs.slowlog.entries()])
+
+
+class TestObservabilityReset:
+    def test_reset_zeroes_every_recorder_and_the_clock(self):
+        obs = Observability()
+        obs.metrics.counter("txn.commit").inc()
+        obs.tracer.end_span(obs.tracer.start_span("txn.global"))
+        obs.waits.record(WAIT_GTM_GLOBAL, 100.0, session=1)
+        obs.activity.finish(obs.activity.begin("global", "merged"), "committed")
+        obs.alerts.raise_alert("x", "warning", "m", t_us=0.0)
+        obs.clock.advance(5_000.0)
+
+        obs.reset()
+
+        # registered names survive a reset, but every value is zeroed
+        _, metrics = obs.metrics.snapshot()
+        assert metrics and all(v == 0.0 for v in metrics.values())
+        assert obs.tracer.finished_spans() == []
+        assert obs.tracer.spans_started == 0
+        assert obs.waits.rows() == []
+        assert obs.activity.completed() == []
+        assert obs.activity.open_count == 0
+        assert len(obs.alerts) == 0
+        assert obs.clock.now_us == 0.0
+
+    def test_simclock_reset_rewinds(self):
+        clock = SimClock()
+        clock.advance(123.0)
+        clock.reset()
+        assert clock.now_us == 0.0
+        clock.reset(start_us=50.0)
+        assert clock.now_us == 50.0
+
+
+class TestClusterResetTelemetry:
+    def test_reset_preserves_data_and_transactions_still_run(self):
+        cluster = MppCluster(num_dns=2)
+        _load(cluster)
+        _workload(cluster)
+        cluster.reset_telemetry()
+        # telemetry is gone ...
+        assert cluster.obs.waits.rows() == []
+        assert cluster.obs.tracer.finished_spans() == []
+        assert cluster.gtm.stats.total_requests == 0
+        # ... but the data and XID allocators are untouched
+        session = cluster.session()
+        assert session.session_id == 1        # session ids restart too
+        txn = session.begin(multi_shard=True)
+        assert txn.read("t", 2) == {"k": 2, "v": 3}
+        txn.update("t", 2, {"v": 99})
+        txn.commit()
+
+    def test_workload_after_reset_replays_identical_telemetry(self):
+        """The satellite guarantee: reset + same workload == fresh cluster
+        running that workload.  MVCC ids differ; telemetry must not."""
+        fresh = MppCluster(num_dns=2)
+        _load(fresh)
+        fresh.reset_telemetry()          # discard the load's telemetry
+        _workload(fresh)
+
+        reused = MppCluster(num_dns=2)
+        _load(reused)
+        _workload(reused)                # dirty the recorders first
+        reused.reset_telemetry()
+        _workload(reused)                # then replay the same workload
+
+        assert _telemetry(fresh) == _telemetry(reused)
+
+    def test_double_reset_is_idempotent(self):
+        cluster = MppCluster(num_dns=2)
+        _load(cluster)
+        cluster.reset_telemetry()
+        first = _telemetry(cluster)
+        cluster.reset_telemetry()
+        assert _telemetry(cluster) == first
+        metrics, wait_rows, spans, slow = first
+        assert all(v == 0.0 for v in metrics.values())
+        assert (wait_rows, spans, slow) == ([], [], [])

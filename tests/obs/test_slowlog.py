@@ -1,0 +1,160 @@
+"""Tests for the slow-query log and the alert pipeline."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.alerts import AlertManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import OperatorProfile, QueryProfile
+from repro.obs.slowlog import SlowQueryLog
+
+
+def _profile(total_us, rows=10):
+    ops = [
+        OperatorProfile(operator="PScan(t)", depth=1, est_rows=10,
+                        rows=rows, batches=1, time_us=total_us * 0.8),
+        OperatorProfile(operator="PProject", depth=0, est_rows=10,
+                        rows=rows, batches=1, time_us=total_us * 0.2),
+    ]
+    return QueryProfile(operators=ops)
+
+
+class TestSlowQueryLog:
+    def test_below_threshold_not_recorded(self):
+        log = SlowQueryLog(threshold_us=1_000.0)
+        assert log.note("SELECT 1", 0.0, _profile(500.0)) is None
+        assert len(log) == 0
+        assert log.queries_seen == 1
+
+    def test_above_threshold_recorded_with_profile_summary(self):
+        log = SlowQueryLog(threshold_us=1_000.0)
+        entry = log.note("SELECT *\n  FROM t", 42.0, _profile(2_000.0))
+        assert entry is not None
+        assert entry.sql == "SELECT * FROM t"     # whitespace normalized
+        assert entry.start_us == 42.0
+        assert entry.elapsed_us == 2_000.0
+        assert entry.operators == 2
+        assert entry.top_operator == "PScan(t)"
+        assert entry.top_operator_us == pytest.approx(1_600.0)
+
+    def test_ring_buffer_evicts_oldest(self):
+        log = SlowQueryLog(threshold_us=0.0, max_entries=2)
+        for i in range(4):
+            log.note(f"q{i}", float(i), _profile(10.0))
+        entries = log.entries()
+        assert [e.sql for e in entries] == ["q2", "q3"]
+        # ids keep counting even after eviction
+        assert [e.query_id for e in entries] == [3, 4]
+
+    def test_recorded_since(self):
+        log = SlowQueryLog(threshold_us=0.0)
+        for t in (0.0, 100.0, 200.0):
+            log.note("q", t, _profile(10.0))
+        assert log.recorded_since(100.0) == 2
+        assert log.recorded_since(300.0) == 0
+
+    def test_metrics_mirrored(self):
+        registry = MetricsRegistry()
+        log = SlowQueryLog(threshold_us=0.0, metrics=registry)
+        log.note("q", 0.0, _profile(10.0))
+        assert registry.counter("slowlog.recorded").value == 1
+        assert registry.histogram("slowlog.elapsed_us").count == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            SlowQueryLog(threshold_us=-1.0)
+        with pytest.raises(ConfigError):
+            SlowQueryLog(max_entries=0)
+
+    def test_reset(self):
+        log = SlowQueryLog(threshold_us=0.0)
+        log.note("q", 0.0, _profile(10.0))
+        log.reset()
+        assert len(log) == 0 and log.queries_seen == 0
+
+
+class TestAlertManager:
+    def test_dedup_within_window(self):
+        mgr = AlertManager(dedup_window_us=1_000.0)
+        a = mgr.raise_alert("gtm", "warning", "m1", t_us=0.0)
+        b = mgr.raise_alert("gtm", "warning", "m2", t_us=500.0)
+        assert a is b
+        assert a.count == 2
+        assert a.message == "m2"
+        assert a.last_us == 500.0
+        assert len(mgr) == 1
+        assert mgr.deduplicated_total == 1
+
+    def test_new_alert_outside_window(self):
+        mgr = AlertManager(dedup_window_us=1_000.0)
+        mgr.raise_alert("gtm", "warning", "m1", t_us=0.0)
+        late = mgr.raise_alert("gtm", "warning", "m2", t_us=5_000.0)
+        assert late.count == 1
+        assert mgr.raised_total == 2
+
+    def test_severity_escalates_never_deescalates(self):
+        mgr = AlertManager()
+        a = mgr.raise_alert("x", "warning", "m", t_us=0.0)
+        mgr.raise_alert("x", "critical", "m", t_us=1.0)
+        assert a.severity == "critical"
+        mgr.raise_alert("x", "info", "m", t_us=2.0)
+        assert a.severity == "critical"
+
+    def test_ranked_most_severe_first(self):
+        mgr = AlertManager()
+        mgr.raise_alert("a", "info", "m", t_us=0.0)
+        mgr.raise_alert("b", "critical", "m", t_us=1.0)
+        mgr.raise_alert("c", "warning", "m", t_us=2.0)
+        assert [x.severity for x in mgr.alerts()] == [
+            "critical", "warning", "info"]
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ConfigError):
+            AlertManager().raise_alert("x", "catastrophic", "m", t_us=0.0)
+
+    def test_store_publication(self):
+        from repro.autonomous.infostore import InformationStore
+        store = InformationStore()
+        mgr = AlertManager()
+        mgr.bind_store(store)
+        mgr.raise_alert("x", "warning", "m", t_us=10.0)
+        assert store.latest("alerts.warning") == 1.0
+        assert store.latest("alerts.active") == 1.0
+
+    def test_from_anomaly_duck_typed(self):
+        class FakeSeverity:
+            value = "critical"
+
+        class FakeAnomaly:
+            detector = "threshold"
+            metric = "memory_utilization"
+            severity = FakeSeverity()
+            message = "too high"
+            t_us = 5.0
+
+        mgr = AlertManager()
+        alert = mgr.from_anomaly(FakeAnomaly())
+        assert alert.source == "anomaly:threshold"
+        assert alert.severity == "critical"
+        # dedup key is detector:metric, so a repeat folds in
+        assert mgr.from_anomaly(FakeAnomaly()) is alert
+        assert alert.count == 2
+
+    def test_slow_query_burst_raises_warning(self):
+        mgr = AlertManager()
+        log = SlowQueryLog(threshold_us=0.0)
+        assert mgr.check_slow_queries(log, now_us=1_000.0) is None
+        for t in (500.0, 600.0, 700.0):
+            log.note("q", t, _profile(10.0))
+        alert = mgr.check_slow_queries(log, now_us=1_000.0,
+                                       burst_threshold=3)
+        assert alert is not None
+        assert alert.severity == "warning"
+        assert alert.source == "slowlog"
+
+    def test_counters_mirrored(self):
+        registry = MetricsRegistry()
+        mgr = AlertManager(metrics=registry)
+        mgr.raise_alert("x", "critical", "m", t_us=0.0)
+        assert registry.counter("alerts.raised").value == 1
+        assert registry.counter("alerts.critical").value == 1

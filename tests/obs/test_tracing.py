@@ -74,3 +74,64 @@ class TestSpanNesting:
             tracer.end_span(tracer.start_span(f"s{i}"))
         assert [s.name for s in tracer.finished_spans()] == ["s2", "s3", "s4"]
         assert tracer.spans_started == 5
+
+
+class TestOverflowAndInterleaving:
+    def test_overflow_evicts_parent_but_keeps_open_children_consistent(self):
+        """A root evicted by max_spans overflow must not corrupt a child that
+        is still open: the child keeps its parent_id and finishes normally."""
+        clock = SimClock()
+        tracer = Tracer(clock, max_spans=2)
+        root = tracer.start_span("txn.global")
+        child = tracer.start_span("2pc.prepare", parent=root)
+        tracer.end_span(root)
+        # flood the buffer so the root is evicted while the child is open
+        for i in range(3):
+            tracer.end_span(tracer.start_span(f"filler{i}"))
+        assert root not in tracer.finished_spans()
+        clock.advance(10.0)
+        tracer.end_span(child)
+        assert child in tracer.finished_spans()
+        assert child.parent_id == root.span_id
+        assert child.duration_us == 10.0
+        # children_of only walks the retained buffer, so the evicted root
+        # simply has no retained children — never a crash or a wrong link
+        assert tracer.children_of(root) == [child]
+        assert tracer.spans_started == 5
+
+    def test_interleaved_transactions_with_explicit_parents(self):
+        """Two transactions interleave their 2PC phases (as driver scheduling
+        does); explicit ``parent=`` keeps each phase under its own txn even
+        though the stack would say otherwise."""
+        clock = SimClock()
+        tracer = Tracer(clock)
+        t1 = tracer.start_span("txn.global", gxid=1)
+        clock.advance(5.0)
+        t2 = tracer.start_span("txn.global", gxid=2)
+        # t2's prepare starts before t1's, and both finish out of order
+        p2 = tracer.start_span("2pc.prepare", parent=t2)
+        p1 = tracer.start_span("2pc.prepare", parent=t1)
+        clock.advance(60.0)
+        tracer.end_span(p1)
+        tracer.end_span(p2)
+        tracer.end_span(t2)
+        tracer.end_span(t1)
+        assert p1.parent_id == t1.span_id
+        assert p2.parent_id == t2.span_id
+        assert tracer.children_of(t1) == [p1]
+        assert tracer.children_of(t2) == [p2]
+        # the finished buffer is in end order, not start order
+        assert [s.span_id for s in tracer.finished_spans()] == [
+            p1.span_id, p2.span_id, t2.span_id, t1.span_id]
+        # walk() reconstructs each transaction's subtree independently
+        assert [s.span_id for s in tracer.walk(t1)] == [t1.span_id, p1.span_id]
+        assert [s.span_id for s in tracer.walk(t2)] == [t2.span_id, p2.span_id]
+
+    def test_reset_restarts_ids_and_counters(self):
+        tracer = Tracer(SimClock())
+        first = tracer.end_span(tracer.start_span("a"))
+        tracer.reset()
+        assert tracer.spans_started == 0
+        assert tracer.finished_spans() == []
+        # ids restart so a reset cluster retraces identically
+        assert tracer.start_span("a").span_id == first.span_id

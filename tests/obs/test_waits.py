@@ -1,0 +1,200 @@
+"""Tests for wait-event accounting and the live activity registry."""
+
+from repro.cluster.mpp import MppCluster
+from repro.cluster.txn import TxnMode
+from repro.common.clock import SimClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.waits import (
+    ALL_WAIT_EVENTS,
+    ActivityRegistry,
+    WAIT_2PC_COMMIT,
+    WAIT_2PC_PREPARE,
+    WAIT_DN_APPLY,
+    WAIT_GTM_GLOBAL,
+    WAIT_GTM_LOCAL,
+    WaitEventRecorder,
+)
+
+
+class TestWaitEventRecorder:
+    def test_aggregates_per_event(self):
+        rec = WaitEventRecorder()
+        rec.record(WAIT_GTM_GLOBAL, 100.0)
+        rec.record(WAIT_GTM_GLOBAL, 50.0)
+        rec.record(WAIT_2PC_PREPARE, 60.0)
+        s = rec.stats(WAIT_GTM_GLOBAL)
+        assert s.count == 2
+        assert s.total_us == 150.0
+        assert s.avg_us == 75.0
+        assert s.max_us == 100.0
+        assert rec.total_us(WAIT_2PC_PREPARE) == 60.0
+        assert rec.total_us("nonexistent") == 0.0
+
+    def test_attributes_per_session(self):
+        rec = WaitEventRecorder()
+        rec.record(WAIT_GTM_GLOBAL, 100.0, session=1)
+        rec.record(WAIT_GTM_GLOBAL, 40.0, session=2)
+        rec.record(WAIT_2PC_COMMIT, 30.0, session=1)
+        per = rec.session_stats(1)
+        assert set(per) == {WAIT_GTM_GLOBAL, WAIT_2PC_COMMIT}
+        assert per[WAIT_GTM_GLOBAL].total_us == 100.0
+        assert rec.session_stats(2)[WAIT_GTM_GLOBAL].total_us == 40.0
+
+    def test_mirrors_into_registry_histograms(self):
+        registry = MetricsRegistry()
+        rec = WaitEventRecorder(registry)
+        rec.record(WAIT_GTM_GLOBAL, 100.0)
+        rec.record(WAIT_GTM_GLOBAL, 50.0)
+        hist = registry.histogram(f"wait.{WAIT_GTM_GLOBAL}_us")
+        assert hist.count == 2
+        assert hist.sum == 150.0
+
+    def test_rows_sorted_by_event(self):
+        rec = WaitEventRecorder()
+        rec.record(WAIT_GTM_LOCAL, 5.0)
+        rec.record(WAIT_2PC_PREPARE, 60.0)
+        rows = rec.rows()
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+        assert rows[0] == (WAIT_2PC_PREPARE, 1, 60.0, 60.0, 60.0)
+
+    def test_negative_wait_clamped(self):
+        rec = WaitEventRecorder()
+        rec.record(WAIT_GTM_LOCAL, -10.0)
+        assert rec.stats(WAIT_GTM_LOCAL).total_us == 0.0
+
+    def test_reset(self):
+        rec = WaitEventRecorder()
+        rec.record(WAIT_GTM_GLOBAL, 1.0, session=1)
+        rec.reset()
+        assert rec.events() == {}
+        assert rec.session_stats(1) == {}
+
+
+class TestActivityRegistry:
+    def test_lifecycle(self):
+        clock = SimClock()
+        reg = ActivityRegistry(clock)
+        entry = reg.begin("global", "merged", cn=1, session=7)
+        assert entry.open and entry.state == "running"
+        assert reg.open_count == 1
+        clock.advance(100.0)
+        assert entry.elapsed_us(clock.now_us) == 100.0
+        reg.finish(entry, "committed")
+        assert not entry.open
+        assert entry.state == "committed"
+        assert reg.open_count == 0
+        assert reg.completed() == [entry]
+
+    def test_wait_depth(self):
+        reg = ActivityRegistry()
+        entry = reg.begin("global", "merged")
+        reg.enter_wait(entry)
+        reg.enter_wait(entry)
+        assert entry.state == "waiting"
+        reg.leave_wait(entry)
+        assert entry.state == "waiting"        # still one level deep
+        reg.leave_wait(entry)
+        assert entry.state == "running"
+
+    def test_note_wait_accumulates(self):
+        reg = ActivityRegistry()
+        entry = reg.begin("local", "local")
+        entry.note_wait(WAIT_GTM_LOCAL, 5.0)
+        entry.note_wait(WAIT_DN_APPLY, 30.0)
+        assert entry.wait_us == 35.0
+        assert entry.last_wait == WAIT_DN_APPLY
+
+    def test_ids_restart_after_reset(self):
+        reg = ActivityRegistry()
+        first = reg.begin("local", "local")
+        reg.reset()
+        assert reg.begin("local", "local").activity_id == first.activity_id
+
+
+class TestTransactionWaitAccounting:
+    """Wait events recorded by real transactions against the cost model."""
+
+    def _cluster(self, mode=TxnMode.GTM_LITE):
+        cluster = MppCluster(num_dns=2, mode=mode)
+        from repro.storage.table import Column, TableSchema
+        from repro.storage.types import DataType
+        cluster.create_table(TableSchema(
+            "t", [Column("k", DataType.INT), Column("v", DataType.INT)],
+            primary_key="k"))
+        return cluster
+
+    def test_global_txn_records_protocol_waits(self):
+        cluster = self._cluster()
+        model = cluster.profile.mpp
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        txn.insert("t", {"k": 1, "v": 1})
+        txn.insert("t", {"k": 2, "v": 2})
+        txn.commit()
+        waits = cluster.obs.waits
+        # global snapshot acquired once, no other global txns in flight
+        assert waits.total_us(WAIT_GTM_GLOBAL) == model.gtm_snapshot_us
+        # one prepare per written node (keys 1 and 2 hash to both shards)
+        prepared = waits.stats(WAIT_2PC_PREPARE)
+        assert prepared.count == len(txn.touched_nodes())
+        assert prepared.total_us == model.dn_prepare_us * prepared.count
+        assert waits.total_us(WAIT_DN_APPLY) == model.dn_stmt_us * 2
+        # 2pc.commit covers the GTM commit plus per-node confirmations
+        assert waits.total_us(WAIT_2PC_COMMIT) == (
+            model.gtm_commit_us
+            + model.dn_commit_prepared_us * prepared.count)
+
+    def test_local_txn_avoids_global_waits(self):
+        cluster = self._cluster()
+        session = cluster.session()
+        txn = session.begin(multi_shard=False)
+        txn.insert("t", {"k": 1, "v": 1})
+        txn.commit()
+        waits = cluster.obs.waits
+        assert waits.total_us(WAIT_GTM_GLOBAL) == 0.0
+        assert waits.total_us(WAIT_GTM_LOCAL) > 0.0
+
+    def test_classical_mode_routes_everything_through_gtm(self):
+        cluster = self._cluster(mode=TxnMode.CLASSICAL)
+        session = cluster.session()
+        txn = session.begin(multi_shard=False)   # still global under classical
+        txn.insert("t", {"k": 1, "v": 1})
+        txn.commit()
+        assert cluster.obs.waits.total_us(WAIT_GTM_GLOBAL) > 0.0
+
+    def test_session_attribution(self):
+        cluster = self._cluster()
+        s1 = cluster.session()
+        s2 = cluster.session()
+        assert s1.session_id != s2.session_id
+        t1 = s1.begin(multi_shard=True)
+        t1.insert("t", {"k": 1, "v": 1})
+        t1.commit()
+        per = cluster.obs.waits.session_stats(s1.session_id)
+        assert per and all(s.total_us >= 0 for s in per.values())
+        assert cluster.obs.waits.session_stats(s2.session_id) == {}
+
+    def test_activity_registry_tracks_txn_lifecycle(self):
+        cluster = self._cluster()
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        entry = txn.activity_entry
+        assert entry is not None and entry.open
+        assert entry.kind == "global" and entry.snapshot == "merged"
+        assert entry.txn_id == txn.gxid
+        assert entry.session == session.session_id
+        txn.insert("t", {"k": 1, "v": 1})
+        txn.commit()
+        assert not entry.open
+        assert entry.state == "committed"
+        assert entry.wait_us > 0.0
+
+    def test_vocabulary_is_closed(self):
+        """Every event a real run records is in the published vocabulary."""
+        cluster = self._cluster()
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        txn.insert("t", {"k": 1, "v": 1})
+        txn.read("t", 1)
+        txn.commit()
+        assert set(cluster.obs.waits.events()) <= set(ALL_WAIT_EVENTS)
