@@ -1,0 +1,113 @@
+"""Failpoint overhead: the same TPC-C-lite run with and without an injector.
+
+Every crash-relevant hot path calls ``FaultInjector.fire`` when an injector
+is bound to the cluster; with no injector the sites reduce to a ``None``
+check.  This script measures the wall-clock cost of a *bound but disarmed*
+injector — and asserts that arming nothing keeps both the simulated results
+AND the full telemetry (metrics snapshot, alerts, wait events) byte-identical
+to a cluster that never heard of fault injection.
+
+Run:  PYTHONPATH=src python benchmarks/bench_fault_overhead.py
+Writes ``BENCH_fault_overhead.json`` next to this file (under ``out/``).
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.cluster.mpp import MppCluster
+from repro.faults import FaultInjector
+from repro.workloads.driver import run_oltp
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+NUM_DNS = 4
+WAREHOUSES = 4
+CLIENTS_PER_DN = 4
+TXNS_PER_CLIENT = 30
+REPEATS = 5
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_fault_overhead.json"
+
+
+def telemetry_fingerprint(cluster):
+    """Everything observable: metric values, wait events, alerts, slowlog."""
+    _, metrics = cluster.obs.metrics.snapshot()
+    waits = {name: (s.count, s.total_us, s.max_us)
+             for name, s in cluster.obs.waits.events().items()}
+    alerts = [(a.source, a.severity, a.message, a.count)
+              for a in cluster.obs.alerts.alerts()]
+    return {
+        "metrics": metrics,
+        "waits": waits,
+        "alerts": alerts,
+        "slow_queries": len(cluster.obs.slowlog.entries()),
+    }
+
+
+def one_run(with_injector: bool):
+    cluster = MppCluster(num_dns=NUM_DNS)
+    if with_injector:
+        # Bound but never armed: every failpoint is traversed, none fires.
+        FaultInjector(seed=0).bind(cluster)
+    load_tpcc(cluster, num_warehouses=WAREHOUSES)
+    workload = TpccLiteWorkload(num_warehouses=WAREHOUSES,
+                                multi_shard_fraction=0.2, seed=3)
+    t0 = time.perf_counter()
+    result = run_oltp(cluster, workload, clients_per_dn=CLIENTS_PER_DN,
+                      txns_per_client=TXNS_PER_CLIENT)
+    elapsed_s = time.perf_counter() - t0
+    return elapsed_s, result, telemetry_fingerprint(cluster)
+
+
+def main() -> None:
+    timings = {"injector_bound": [], "no_injector": []}
+    baseline_result = None
+    baseline_telemetry = None
+    for _ in range(REPEATS):
+        # alternate to spread warmup / cache effects evenly
+        for key, bound in (("injector_bound", True), ("no_injector", False)):
+            elapsed_s, result, telemetry = one_run(bound)
+            timings[key].append(elapsed_s)
+            # a disarmed injector must be invisible to the simulation...
+            if baseline_result is None:
+                baseline_result = result.as_dict()
+            assert result.as_dict() == baseline_result, \
+                "disarmed injector changed simulation results"
+            # ...and to every telemetry consumer
+            if baseline_telemetry is None:
+                baseline_telemetry = telemetry
+            assert telemetry == baseline_telemetry, \
+                "disarmed injector changed telemetry"
+
+    bound = statistics.median(timings["injector_bound"])
+    plain = statistics.median(timings["no_injector"])
+    committed = baseline_result["committed"]
+    report = {
+        "benchmark": "fault_overhead",
+        "config": {
+            "num_dns": NUM_DNS,
+            "warehouses": WAREHOUSES,
+            "clients_per_dn": CLIENTS_PER_DN,
+            "txns_per_client": TXNS_PER_CLIENT,
+            "repeats": REPEATS,
+        },
+        "committed_txns": committed,
+        "median_s_injector_bound": bound,
+        "median_s_no_injector": plain,
+        "overhead_ratio": bound / plain if plain > 0 else None,
+        "overhead_us_per_txn": (bound - plain) / committed * 1e6,
+        "sim_results_identical": True,
+        "telemetry_identical": True,
+    }
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"injector bound: {bound * 1e3:8.1f} ms (median of {REPEATS})")
+    print(f"no injector   : {plain * 1e3:8.1f} ms (median of {REPEATS})")
+    print(f"overhead: {report['overhead_ratio']:.2f}x, "
+          f"{report['overhead_us_per_txn']:.1f}us per committed txn")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

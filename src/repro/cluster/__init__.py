@@ -10,6 +10,7 @@ from repro.cluster.txn import (
     CommitSteps,
     GlobalTransaction,
     LocalTransaction,
+    RetryPolicy,
     TransactionPromotionRequired,
     TxnMode,
 )
@@ -17,7 +18,7 @@ from repro.cluster.txn import (
 __all__ = [
     "MppCluster", "Session", "Catalog", "DataNode", "ClusterStats",
     "TxnMode", "LocalTransaction", "GlobalTransaction", "CommitSteps",
-    "TransactionPromotionRequired",
+    "TransactionPromotionRequired", "RetryPolicy",
 ]
 
 __all__ += ["HaManager", "StandbyReplica", "FailoverReport",

@@ -11,11 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.common.errors import CatalogError
+from repro.common.errors import CatalogError, ShardReadOnly
 from repro.storage.heap import MvccHeap
 from repro.storage.table import TableSchema
 from repro.txn.manager import LocalTransactionManager
 from repro.txn.snapshot import Snapshot
+from repro.txn.status import TxnStatus
 from repro.txn.xid import INVALID_XID
 
 
@@ -41,6 +42,20 @@ class DataNode:
         self._redo: Dict[int, List[RedoOp]] = {}
         #: Invoked with a committed transaction's redo ops (HA log shipping).
         self.replication_hook: Optional[Callable[[List[RedoOp]], None]] = None
+        #: Invoked with (gxid, redo) at prepare time — 2PC's durability point.
+        #: The standby stages the redo so a GTM-committed-but-unconfirmed
+        #: write survives this node's crash.  May raise to veto the prepare.
+        self.prepare_hook: Optional[Callable[[int, List[RedoOp]], None]] = None
+        #: Invoked with (gxid, 'commit'|'abort') when a *prepared* global
+        #: transaction resolves, so the standby applies or drops its staged
+        #: redo instead of receiving a duplicate commit shipment.
+        self.resolve_hook: Optional[Callable[[int, str], None]] = None
+        #: Set by the fault injector's ``crash_dn`` action: a crashed node
+        #: answers no RPC until failover replaces it.
+        self.crashed = False
+        #: Set by graceful degradation when this shard's node died with no
+        #: promotable standby: reads keep working, writes are refused.
+        self.read_only = False
         #: Optional :class:`repro.obs.Observability` (set by the cluster);
         #: tuple reads, writes and scan rows are counted into it.
         self.obs = obs
@@ -79,21 +94,38 @@ class DataNode:
         return self.ltm.local_snapshot()
 
     def prepare(self, xid: int) -> None:
+        # Stage the redo on the standby *before* the local prepare record:
+        # prepare is 2PC's durability promise, so once this node votes yes
+        # the write must survive its crash.  A failed shipment (standby
+        # partitioned) propagates as the node voting no.
+        gxid = self.ltm.gxid_for(xid)
+        if gxid is not None and self.prepare_hook is not None:
+            self.prepare_hook(gxid, list(self._redo.get(xid, [])))
         self.ltm.prepare(xid)
 
     def commit(self, xid: int) -> None:
+        was_prepared = self.ltm.clog.get(xid) is TxnStatus.PREPARED
+        gxid = self.ltm.gxid_for(xid)
         self.ltm.commit(xid)
         redo = self._redo.pop(xid, None)
-        if redo and self.replication_hook is not None:
+        if was_prepared and gxid is not None and self.resolve_hook is not None:
+            # The standby already holds this transaction's redo (staged at
+            # prepare); resolving the stage replaces the commit shipment.
+            self.resolve_hook(gxid, "commit")
+        elif redo and self.replication_hook is not None:
             self.replication_hook(redo)
 
     def abort(self, xid: int) -> None:
+        was_prepared = self.ltm.clog.get(xid) is TxnStatus.PREPARED
+        gxid = self.ltm.gxid_for(xid)
         # Eagerly roll back heap writes so aborted versions never linger;
         # the transaction's write set pinpoints exactly what to undo.
         for table, key in self.ltm.write_set(xid).frozen():
             self.heap(table).abort_key(key, xid)
         self.ltm.abort(xid)
         self._redo.pop(xid, None)
+        if was_prepared and gxid is not None and self.resolve_hook is not None:
+            self.resolve_hook(gxid, "abort")
 
     # -- tuple access ---------------------------------------------------------
 
@@ -105,8 +137,14 @@ class DataNode:
             self._note("exec.rows")
         return row
 
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise ShardReadOnly(
+                f"{self.node_id} is degraded to read-only (no standby)")
+
     def insert(self, table: str, row: Dict[str, object], xid: int,
                snapshot: Snapshot) -> None:
+        self._require_writable()
         schema = self._schemas[table]
         coerced = schema.coerce_row(row)
         key = schema.key_of(coerced)
@@ -118,6 +156,7 @@ class DataNode:
 
     def update(self, table: str, key: object, values: Dict[str, object],
                xid: int, snapshot: Snapshot) -> None:
+        self._require_writable()
         heap = self.heap(table)
         current = heap.read(key, snapshot, self.ltm.clog, xid)
         if current is None:
@@ -133,6 +172,7 @@ class DataNode:
             RedoOp("update", table, key, coerced))
 
     def delete(self, table: str, key: object, xid: int, snapshot: Snapshot) -> None:
+        self._require_writable()
         self.heap(table).delete(key, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
         self._note("dn.apply")

@@ -11,13 +11,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, TypeVar, Union
 
-from repro.common.errors import ConfigError, SerializationConflict, TransactionError
+from repro.common.errors import (
+    ConfigError,
+    NetworkError,
+    SerializationConflict,
+    TransactionError,
+)
 from repro.cluster.catalog import Catalog
 from repro.cluster.datanode import DataNode
 from repro.cluster.stats import ClusterStats
 from repro.cluster.txn import (
     GlobalTransaction,
     LocalTransaction,
+    RetryPolicy,
     TransactionPromotionRequired,
     TxnMode,
 )
@@ -74,6 +80,17 @@ class MppCluster:
         self._session_seq = 0
         self._completed_since_prune = 0
         self.lco_prune_interval = 256
+        #: Set by :class:`repro.cluster.ha.HaManager` when standbys attach.
+        self.ha = None
+        #: Set by :meth:`repro.faults.FaultInjector.bind`.
+        self.faults = None
+        #: How coordinators ride out unresponsive participants.
+        self.retry_policy = RetryPolicy()
+        #: Live :class:`GlobalTransaction` handles by GXID, so failover and
+        #: recovery can poison transactions stranded by a dead participant.
+        self._inflight_globals: Dict[int, GlobalTransaction] = {}
+        #: Shards degraded to read-only (no promotable standby), by reason.
+        self._read_only_shards: Dict[int, str] = {}
 
     # -- DDL ------------------------------------------------------------
 
@@ -102,6 +119,76 @@ class MppCluster:
             ctx = CostContext(self.resources, self.profile.mpp, start_us=start_us)
         self._session_seq += 1
         return Session(self, cn_index, ctx, session_id=self._session_seq)
+
+    # -- failure handling ---------------------------------------------------
+
+    def declare_node_dead(self, dn_index: int, reason: str = "unresponsive") -> None:
+        """A data node stopped answering: fail over, then resolve in-doubt.
+
+        With an :class:`~repro.cluster.ha.HaManager` attached, the standby is
+        promoted in place (committed state restored, staged prepares
+        re-instated).  If the standby cannot be promoted safely (partitioned
+        while lagging) — or there is no standby at all — the shard degrades
+        to read-only instead of losing acknowledged commits.  Either way,
+        every PREPARED transaction is then resolved through the GTM's commit
+        log, so no in-doubt state survives the failure.
+        """
+        if not (0 <= dn_index < self.num_dns):
+            raise ConfigError(f"no data node {dn_index}")
+        if self.obs is not None:
+            self.obs.metrics.counter("faults.nodes_declared_dead").inc()
+            self.obs.alerts.raise_alert(
+                source="cluster", severity="critical",
+                message=f"dn{dn_index} declared dead: {reason}",
+                t_us=self.obs.clock.now_us, key=f"node_dead:dn{dn_index}")
+        if self.ha is not None:
+            try:
+                self.ha.fail_and_promote(dn_index)
+            except NetworkError as exc:
+                # Promoting a lagging, partitioned standby would lose
+                # acknowledged commits; serving stale reads is the lesser
+                # degradation.
+                self.set_shard_read_only(dn_index, reason=str(exc))
+        else:
+            self.set_shard_read_only(dn_index, reason="no standby configured")
+        from repro.cluster.recovery import resolve_in_doubt
+
+        resolve_in_doubt(self)
+
+    def set_shard_read_only(self, dn_index: int, reason: str) -> None:
+        """Graceful degradation: keep serving reads, refuse writes."""
+        dn = self.dns[dn_index]
+        dn.crashed = False       # the node restarts, but without a peer
+        dn.read_only = True
+        self._read_only_shards[dn_index] = reason
+        self._poison_inflight(
+            dn_index, f"dn{dn_index} degraded to read-only: {reason}")
+        if self.obs is not None:
+            self.obs.metrics.gauge("shards.read_only").set(
+                len(self._read_only_shards))
+            self.obs.alerts.raise_alert(
+                source="cluster", severity="critical",
+                message=f"shard dn{dn_index} degraded to read-only: {reason}",
+                t_us=self.obs.clock.now_us, key=f"read_only:dn{dn_index}")
+
+    def clear_shard_read_only(self, dn_index: int) -> None:
+        self.dns[dn_index].read_only = False
+        self._read_only_shards.pop(dn_index, None)
+        if self.obs is not None:
+            self.obs.metrics.gauge("shards.read_only").set(
+                len(self._read_only_shards))
+
+    def read_only_shards(self) -> Dict[int, str]:
+        return dict(self._read_only_shards)
+
+    def _poison_inflight(self, dn_index: int, reason: str) -> int:
+        """Poison in-flight globals that touched a now-dead node."""
+        poisoned = 0
+        for txn in list(self._inflight_globals.values()):
+            if dn_index in txn._local_xid:  # noqa: SLF001
+                if txn.poison(reason, failed_dn=dn_index):
+                    poisoned += 1
+        return poisoned
 
     # -- maintenance -----------------------------------------------------------
 
@@ -144,6 +231,8 @@ class MppCluster:
         """
         if self.obs is not None:
             self.obs.reset()
+        if self.faults is not None:
+            self.faults.reset_history()
         self.gtm.stats.reset()
         self._session_seq = 0
         self._next_session = 0

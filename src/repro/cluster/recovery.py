@@ -24,6 +24,7 @@ from typing import Dict, List
 
 from repro.cluster.mpp import MppCluster
 from repro.common.errors import InvalidTransactionState
+from repro.txn.status import TxnStatus
 
 
 @dataclass
@@ -58,8 +59,14 @@ def resolve_in_doubt(cluster: MppCluster) -> RecoveryReport:
         report.presumed_aborted_gxids.append(gxid)
 
     # Pass 2: apply each GXID's outcome on every node that prepared it.
+    # Snapshot the prepared set per node — ``dn.commit``/``dn.abort`` mutate
+    # it mid-loop — and re-check each xid's status at its turn, since
+    # resolving one transaction can have already resolved another (standby
+    # resolve hooks, replicated-table fan-out).
     for dn in cluster.dns:
-        for local_xid in dn.ltm.prepared_xids():
+        for local_xid in list(dn.ltm.prepared_xids()):
+            if dn.ltm.clog.get(local_xid) is not TxnStatus.PREPARED:
+                continue
             gxid = dn.ltm.gxid_for(local_xid)
             if gxid is None:
                 # A prepared transaction with no global identity cannot
@@ -73,6 +80,23 @@ def resolve_in_doubt(cluster: MppCluster) -> RecoveryReport:
             else:
                 dn.abort(local_xid)
                 report.rolled_back.setdefault(dn.node_id, []).append(local_xid)
+
+    # Pass 3: seal the coordinator handles of presumed-aborted transactions.
+    # A handle abandoned mid-``CommitSteps`` (coordinator crash) or stalled
+    # behind a dead participant is still registered with the cluster; mark it
+    # aborted so a late ``commit()`` fails cleanly instead of re-driving 2PC.
+    registry = getattr(cluster, "_inflight_globals", None)
+    if registry:
+        for gxid in report.presumed_aborted_gxids:
+            txn = registry.get(gxid)
+            if txn is not None:
+                txn.mark_recovery_aborted()
+
+    if cluster.obs is not None and report.resolved:
+        cluster.obs.metrics.counter("recovery.rolled_forward").inc(
+            sum(len(v) for v in report.rolled_forward.values()))
+        cluster.obs.metrics.counter("recovery.rolled_back").inc(
+            sum(len(v) for v in report.rolled_back.values()))
     return report
 
 

@@ -17,11 +17,28 @@ Two transaction classes mirror the paper's GTM-lite split:
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.common.errors import InvalidTransactionState, TransactionError
+from repro.common.errors import (
+    InvalidTransactionState,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.core.classical import ClassicalSnapshot
 from repro.core.merge import merge_snapshots, naive_merge
+from repro.faults.injector import (
+    FP_CONFIRM_AFTER,
+    FP_CONFIRM_BEFORE,
+    FP_COORD_AFTER_GTM_COMMIT,
+    FP_COORD_AFTER_PREPARE,
+    FP_COORD_BETWEEN_CONFIRMS,
+    FP_GTM_COMMIT,
+    FP_PREPARE_AFTER,
+    FP_PREPARE_BEFORE,
+    CoordinatorCrash,
+    InjectedTimeout,
+)
 from repro.net.costing import CostContext
 from repro.obs.waits import (
     WAIT_2PC_COMMIT,
@@ -29,6 +46,9 @@ from repro.obs.waits import (
     WAIT_DN_APPLY,
     WAIT_DN_COMMIT,
     WAIT_DN_SCAN,
+    WAIT_FAULT_DELAY,
+    WAIT_FAULT_FAILOVER,
+    WAIT_FAULT_RETRY,
     WAIT_GTM_GLOBAL,
     WAIT_GTM_LOCAL,
     WAIT_LOCK_CONFLICT,
@@ -36,6 +56,30 @@ from repro.obs.waits import (
 )
 from repro.storage.table import Distribution
 from repro.txn.snapshot import Snapshot
+from repro.txn.status import TxnStatus
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a coordinator rides out unresponsive participants.
+
+    Each 2PC step gets ``max_attempts`` tries; a try that times out costs
+    ``timeout_us`` of simulated wall time plus an exponentially backed-off
+    pause before the next.  When every attempt times out, the coordinator
+    declares the node dead (``MppCluster.declare_node_dead``) and pays
+    ``failover_us`` while the cluster promotes the standby (or degrades the
+    shard to read-only when there is none).
+    """
+
+    max_attempts: int = 3
+    timeout_us: float = 5_000.0
+    backoff_base_us: float = 500.0
+    backoff_cap_us: float = 8_000.0
+    failover_us: float = 50_000.0
+
+    def backoff_us(self, attempt: int) -> float:
+        """Exponential backoff before attempt ``attempt + 1`` (0-based)."""
+        return min(self.backoff_cap_us, self.backoff_base_us * (2 ** attempt))
 
 
 class TransactionPromotionRequired(TransactionError):
@@ -82,6 +126,11 @@ class _BaseTransaction:
         self._cn_index = cn_index
         self._session_id = session_id
         self.state = TxnState.RUNNING
+        #: Set (to a reason string) when a node failure killed this
+        #: transaction out from under its owner — failover poisoning,
+        #: recovery's presumed abort, or read-only degradation.  Any further
+        #: use raises :class:`TransactionAborted` with that reason.
+        self.poisoned: Optional[str] = None
         self._obs = getattr(cluster, "obs", None)
         self._span = None
         #: This transaction's row in ``sys.activity`` (None without obs).
@@ -131,6 +180,8 @@ class _BaseTransaction:
         self._wait(WAIT_LOCK_CONFLICT, now - self._start_us)
 
     def _require_running(self) -> None:
+        if self.poisoned is not None:
+            raise TransactionAborted(self.poisoned)
         if self.state is not TxnState.RUNNING:
             raise InvalidTransactionState(f"transaction is {self.state.value}")
 
@@ -185,6 +236,7 @@ class LocalTransaction(_BaseTransaction):
                  session_id: Optional[int] = None):
         super().__init__(cluster, ctx, cn_index, session_id)
         self._dn_index: Optional[int] = None
+        self._dn = None          # the bound node object (failover detection)
         self.xid: Optional[int] = None
         self.snapshot: Optional[Snapshot] = None
         if self._obs is not None:
@@ -200,6 +252,7 @@ class LocalTransaction(_BaseTransaction):
         if self._dn_index is None:
             self._dn_index = dn_index
             dn = self._cluster.dns[dn_index]
+            self._dn = dn
             self.xid = dn.begin()
             self.snapshot = dn.local_snapshot()
             self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
@@ -212,7 +265,19 @@ class LocalTransaction(_BaseTransaction):
                 f"single-shard transaction bound to DN {self._dn_index} "
                 f"touched DN {dn_index}"
             )
-        return self._cluster.dns[dn_index]
+        return self._bound_dn()
+
+    def _bound_dn(self):
+        """The bound node — unless failover replaced it, killing this txn."""
+        dn = self._cluster.dns[self._dn_index]
+        if dn is not self._dn:
+            self.poisoned = (f"dn{self._dn_index} failed over; "
+                             "in-flight local transaction lost")
+            self.state = TxnState.ABORTED
+            self._cluster.stats.note_abort(multi_shard=False)
+            self._finish_span("aborted")
+            raise TransactionAborted(self.poisoned)
+        return dn
 
     # -- operations ----------------------------------------------------------
 
@@ -286,14 +351,17 @@ class LocalTransaction(_BaseTransaction):
 
     def commit(self) -> None:
         self._require_running()
-        self.state = TxnState.COMMITTING
-        self._set_activity_state("committing")
         if self._dn_index is not None:
-            dn = self._cluster.dns[self._dn_index]
+            dn = self._bound_dn()          # raises if the node failed over
+            self.state = TxnState.COMMITTING
+            self._set_activity_state("committing")
             self._charge_dn(self._dn_index,
                             self._ctx.model.dn_commit_us if self._ctx else 0.0)
             self._wait(WAIT_DN_COMMIT, self._cost("dn_commit_us"))
             dn.commit(self.xid)
+        else:
+            self.state = TxnState.COMMITTING
+            self._set_activity_state("committing")
         self.state = TxnState.COMMITTED
         self._cluster.stats.note_commit(multi_shard=False)
         self._finish_span("committed")
@@ -303,7 +371,9 @@ class LocalTransaction(_BaseTransaction):
         if self.state in (TxnState.COMMITTED, TxnState.ABORTED):
             return
         if self._dn_index is not None:
-            self._cluster.dns[self._dn_index].abort(self.xid)
+            dn = self._cluster.dns[self._dn_index]
+            if dn is self._dn:             # failover already discarded it
+                dn.abort(self.xid)
         self.state = TxnState.ABORTED
         self._cluster.stats.note_abort(multi_shard=False)
         self._finish_span("aborted")
@@ -356,6 +426,12 @@ class GlobalTransaction(_BaseTransaction):
         self._local_xid: Dict[int, int] = {}          # dn index -> local xid
         self._local_view: Dict[int, object] = {}       # dn index -> snapshot
         self._written: Set[int] = set()                # dn indexes with writes
+        # The cluster tracks in-flight globals so failover and recovery can
+        # poison handles whose participant died (instead of stranding them
+        # with local XIDs that no longer exist on the replacement node).
+        registry = getattr(cluster, "_inflight_globals", None)
+        if registry is not None:
+            registry[self.gxid] = self
 
     @property
     def is_multi_shard(self) -> bool:
@@ -511,12 +587,81 @@ class GlobalTransaction(_BaseTransaction):
             raise InvalidTransactionState(
                 f"gxid {self.gxid} already committed at the GTM; cannot abort"
             )
-        for dn_index, lxid in self._local_xid.items():
-            self._cluster.dns[dn_index].abort(lxid)
-        self._cluster.gtm.abort(self.gxid)
+        for dn_index, lxid in list(self._local_xid.items()):
+            self._release_local(dn_index, lxid)
+        if self._cluster.gtm.clog.is_in_doubt(self.gxid):
+            self._cluster.gtm.abort(self.gxid)
         self.state = TxnState.ABORTED
-        self._cluster.stats.note_abort(multi_shard=True)
+        # Derive the stat split from what was actually written — a global
+        # transaction that wrote one shard (or none) is not a multi-shard
+        # abort, exactly as ``note_commit`` classifies the commit side.
+        self._cluster.stats.note_abort(multi_shard=len(self._written) > 1)
         self._finish_span("aborted")
+        self._unregister()
+
+    # -- failure handling ---------------------------------------------------
+
+    def _release_local(self, dn_index: int, lxid: int) -> None:
+        """Roll back one participant, tolerating failover and recovery.
+
+        A replaced node never heard of our local XID (or reuses it for a
+        different transaction), and recovery may have resolved it already —
+        only a still-live XID that provably belongs to this GXID is aborted.
+        """
+        dn = self._cluster.dns[dn_index]
+        if dn.ltm.xid_map.get(self.gxid) != lxid:
+            return
+        if not dn.ltm.clog.knows(lxid):
+            return
+        if dn.ltm.clog.get(lxid) in (TxnStatus.IN_PROGRESS, TxnStatus.PREPARED):
+            dn.abort(lxid)
+
+    def _unregister(self) -> None:
+        registry = getattr(self._cluster, "_inflight_globals", None)
+        if registry is not None:
+            registry.pop(self.gxid, None)
+
+    def poison(self, reason: str, failed_dn: Optional[int] = None) -> bool:
+        """Abort this in-flight handle because a participant node died.
+
+        Rolls back the surviving participants (skipping ``failed_dn`` — that
+        node's state died with it) and the GTM entry, then marks the handle
+        so any later use raises :class:`TransactionAborted` with ``reason``.
+        A transaction already committed at the GTM is *not* poisoned: its
+        outcome is decided and recovery rolls the survivors forward.
+        Returns True if the handle was poisoned.
+        """
+        if self.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return False
+        if self._cluster.gtm.is_committed(self.gxid):
+            return False
+        for dn_index, lxid in list(self._local_xid.items()):
+            if dn_index == failed_dn:
+                continue
+            self._release_local(dn_index, lxid)
+        if self._cluster.gtm.clog.is_in_doubt(self.gxid):
+            self._cluster.gtm.abort(self.gxid)
+        self.poisoned = reason
+        self.state = TxnState.ABORTED
+        self._cluster.stats.note_abort(multi_shard=len(self._written) > 1)
+        self._finish_span("aborted")
+        self._unregister()
+        return True
+
+    def mark_recovery_aborted(self) -> None:
+        """Recovery presumed-aborted this GXID; seal the zombie handle.
+
+        The data-node state is already resolved (recovery rolled it back),
+        so only the handle itself is marked.
+        """
+        if self.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            self._unregister()
+            return
+        self.poisoned = (f"gxid {self.gxid} presumed aborted by recovery")
+        self.state = TxnState.ABORTED
+        self._cluster.stats.note_abort(multi_shard=len(self._written) > 1)
+        self._finish_span("aborted")
+        self._unregister()
 
 
 class CommitSteps:
@@ -549,18 +694,144 @@ class CommitSteps:
     def pending_nodes(self) -> List[int]:
         return sorted(set(self._txn._written) - self._confirmed)
 
+    # -- fault plumbing -----------------------------------------------------
+
+    def _fire(self, failpoint: str, **ctx):
+        """Hit a failpoint; honor injected delays; pass exceptions through."""
+        txn = self._txn
+        faults = getattr(txn._cluster, "faults", None)
+        if faults is None:
+            return None
+        outcome = faults.fire(failpoint, gxid=txn.gxid, **ctx)
+        if outcome.delay_us > 0.0:
+            txn._wait(WAIT_FAULT_DELAY, outcome.delay_us)
+            if txn._ctx is not None:
+                txn._ctx.charge_local(outcome.delay_us)
+                txn._sync_obs()
+        return outcome
+
+    def _coord_fire(self, failpoint: str) -> None:
+        """A failpoint modeling the *coordinator's* own death.
+
+        :class:`CoordinatorCrash` abandons the sequence: the handle is sealed
+        and unregistered, and whatever 2PC state exists stays exactly as-is
+        for ``recovery.resolve_in_doubt`` to find.
+        """
+        try:
+            self._fire(failpoint)
+        except CoordinatorCrash:
+            self._abandon()
+            raise
+
+    def _abandon(self) -> None:
+        txn = self._txn
+        txn.poisoned = "coordinator crashed mid-commit"
+        txn._finish_span("abandoned")
+        txn._unregister()
+
+    def _check_crashed(self, dn_index: int) -> None:
+        dn = self._txn._cluster.dns[dn_index]
+        if getattr(dn, "crashed", False):
+            raise InjectedTimeout(f"dn{dn_index} is down", dn_index=dn_index)
+
+    def _stall(self, attempt: int) -> None:
+        """Pay for one timed-out attempt: the timeout plus the backoff."""
+        txn = self._txn
+        policy = txn._cluster.retry_policy
+        stall_us = policy.timeout_us + policy.backoff_us(attempt)
+        txn._wait(WAIT_FAULT_RETRY, stall_us)
+        if txn._obs is not None:
+            txn._obs.metrics.counter("faults.retries").inc()
+        if txn._ctx is not None:
+            txn._ctx.charge_local(stall_us)
+            txn._sync_obs()
+
+    def _with_dn_retry(self, dn_index: int, attempt_fn, phase: str) -> None:
+        """Run one per-node 2PC step under timeout/retry/escalation.
+
+        Timeouts retry with exponential backoff up to the policy's attempt
+        budget; exhaustion declares the node dead and escalates to failover
+        (or read-only degradation).  After escalation, a GTM-committed
+        transaction continues — recovery already rolled its write forward —
+        while an undecided one aborts.
+        """
+        txn = self._txn
+        policy = txn._cluster.retry_policy
+        attempt = 0
+        while True:
+            try:
+                attempt_fn()
+                return
+            except InjectedTimeout:
+                self._stall(attempt)
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    self._escalate(dn_index, phase)
+                    return
+            except TransactionAborted:
+                # A participant refused (standby unreachable at prepare):
+                # global abort, all survivors rolled back.
+                if txn.poisoned is None:
+                    txn.poison(f"participant dn{dn_index} refused to {phase}")
+                raise
+
+    def _escalate(self, dn_index: int, phase: str) -> None:
+        """The retry budget is spent: declare the node dead and fail over."""
+        txn = self._txn
+        cluster = txn._cluster
+        txn._wait(WAIT_FAULT_FAILOVER, cluster.retry_policy.failover_us)
+        if txn._ctx is not None:
+            txn._ctx.charge_local(cluster.retry_policy.failover_us)
+            txn._sync_obs()
+        cluster.declare_node_dead(
+            dn_index, reason=f"unresponsive during 2pc {phase}")
+        if cluster.gtm.is_committed(txn.gxid):
+            # The commit decision was durable; recovery rolled this node's
+            # write forward on the replacement (or the degraded shard).
+            return
+        if txn.poisoned is None:
+            txn.poison(f"participant dn{dn_index} died before the commit "
+                       "decision", failed_dn=dn_index)
+        raise TransactionAborted(
+            txn.poisoned or f"participant dn{dn_index} died")
+
+    # -- the protocol steps -------------------------------------------------
+
+    def _prepare_one(self, dn_index: int) -> None:
+        txn = self._txn
+
+        def attempt() -> None:
+            self._fire(FP_PREPARE_BEFORE, dn=dn_index)
+            self._check_crashed(dn_index)
+            dn = txn._cluster.dns[dn_index]
+            lxid = txn._local_xid[dn_index]
+            txn._charge_dn(dn_index,
+                           txn._ctx.model.dn_prepare_us if txn._ctx else 0.0)
+            txn._wait(WAIT_2PC_PREPARE, txn._cost("dn_prepare_us"))
+            if dn.ltm.xid_map.get(txn.gxid) != lxid:
+                raise TransactionAborted(
+                    f"dn{dn_index} failed over; prepare has no transaction "
+                    "to act on")
+            # Idempotent against a lost ack: a retried prepare that already
+            # landed must not re-flip the clog (PREPARED -> PREPARED raises).
+            if dn.ltm.clog.get(lxid) is not TxnStatus.PREPARED:
+                dn.prepare(lxid)
+            self._fire(FP_PREPARE_AFTER, dn=dn_index)
+
+        self._with_dn_retry(dn_index, attempt, "prepare")
+
     def prepare_all(self) -> None:
         if self._prepared:
             raise InvalidTransactionState("already prepared")
         txn = self._txn
         span = self._traced("2pc.prepare", nodes=len(txn._written))
-        for dn_index in sorted(txn._written):
-            txn._charge_dn(dn_index,
-                           txn._ctx.model.dn_prepare_us if txn._ctx else 0.0)
-            txn._wait(WAIT_2PC_PREPARE, txn._cost("dn_prepare_us"))
-            txn._cluster.dns[dn_index].prepare(txn._local_xid[dn_index])
-        self._end(span)
+        try:
+            for dn_index in sorted(txn._written):
+                self._prepare_one(dn_index)
+        finally:
+            self._end(span)
         self._prepared = True
+        self._coord_fire(FP_COORD_AFTER_PREPARE)
         if txn.mode is TxnMode.CLASSICAL:
             # Classical order: data nodes commit before the GTM dequeues.
             self._confirm_all()
@@ -571,12 +842,75 @@ class CommitSteps:
         if self._gtm_committed:
             raise InvalidTransactionState("already committed at GTM")
         txn = self._txn
+        policy = txn._cluster.retry_policy
         span = self._traced("2pc.gtm_commit", gxid=txn.gxid)
-        txn._charge_gtm(txn._ctx.model.gtm_commit_us if txn._ctx else 0.0)
-        txn._wait(WAIT_2PC_COMMIT, txn._cost("gtm_commit_us"))
-        txn._cluster.gtm.commit(txn.gxid)
-        self._end(span)
+        try:
+            attempt = 0
+            while True:
+                try:
+                    # A lost GTM commit-log write looks like a timeout: the
+                    # coordinator cannot tell a slow GTM from a dead one.
+                    self._coord_fire(FP_GTM_COMMIT)
+                    break
+                except InjectedTimeout:
+                    self._stall(attempt)
+                    attempt += 1
+                    if attempt >= policy.max_attempts:
+                        # Without the GTM there is no commit decision; the
+                        # coordinator is as good as dead.  Abandon in place.
+                        self._abandon()
+                        raise CoordinatorCrash(
+                            f"gtm unreachable committing gxid {txn.gxid}")
+            txn._charge_gtm(txn._ctx.model.gtm_commit_us if txn._ctx else 0.0)
+            txn._wait(WAIT_2PC_COMMIT, txn._cost("gtm_commit_us"))
+            txn._cluster.gtm.commit(txn.gxid)
+        finally:
+            self._end(span)
         self._gtm_committed = True
+        self._coord_fire(FP_COORD_AFTER_GTM_COMMIT)
+
+    def _confirm_lxid(self, dn_index: int) -> Optional[int]:
+        """The local XID still awaiting this GXID's confirmation, if any.
+
+        After a failover the replacement node carries a *different* XID for
+        the GXID (re-instated from the standby's staged prepare), and
+        recovery may have resolved it already — so resolve through the
+        node's current xidMap and status instead of the coordinator's view.
+        """
+        txn = self._txn
+        dn = txn._cluster.dns[dn_index]
+        mapped = dn.ltm.xid_map.get(txn.gxid)
+        if mapped is None or not dn.ltm.clog.knows(mapped):
+            return None
+        if dn.ltm.clog.get(mapped) is TxnStatus.PREPARED:
+            return mapped
+        return None                       # already resolved (e.g. recovery)
+
+    def _confirm_one(self, dn_index: int) -> None:
+        txn = self._txn
+
+        def attempt() -> None:
+            outcome = self._fire(FP_CONFIRM_BEFORE, dn=dn_index)
+            if outcome is not None and outcome.dropped:
+                # The confirmation vanished in flight and the coordinator
+                # moves on believing it was delivered: the node stays
+                # PREPARED — the paper's Anomaly-1 window held open until
+                # UPGRADE (readers) or recovery (permanently) closes it.
+                if txn._obs is not None:
+                    txn._obs.metrics.counter("faults.dropped_confirms").inc()
+                return
+            self._check_crashed(dn_index)
+            dn = txn._cluster.dns[dn_index]
+            txn._charge_dn(dn_index,
+                           txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
+            txn._wait(WAIT_2PC_COMMIT, txn._cost("dn_commit_prepared_us"))
+            lxid = self._confirm_lxid(dn_index)
+            if lxid is not None:
+                dn.commit(lxid)
+            self._fire(FP_CONFIRM_AFTER, dn=dn_index)
+
+        self._with_dn_retry(dn_index, attempt, "confirm")
+        self._confirmed.add(dn_index)
 
     def confirm_at(self, dn_index: int) -> None:
         """Deliver the commit confirmation to one data node."""
@@ -591,43 +925,37 @@ class CommitSteps:
             return
         if dn_index not in txn._written:
             raise InvalidTransactionState(f"node {dn_index} has nothing to confirm")
-        txn._charge_dn(dn_index,
-                       txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
-        txn._wait(WAIT_2PC_COMMIT, txn._cost("dn_commit_prepared_us"))
-        txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
-        self._confirmed.add(dn_index)
+        self._confirm_one(dn_index)
 
     def _confirm_all(self) -> None:
-        txn = self._txn
-        pending = sorted(set(txn._written) - self._confirmed)
+        pending = self.pending_nodes
         span = self._traced("2pc.confirm", nodes=len(pending)) if pending else None
-        for dn_index in pending:
-            txn._charge_dn(dn_index,
-                           txn._ctx.model.dn_commit_prepared_us if txn._ctx else 0.0)
-            txn._wait(WAIT_2PC_COMMIT, txn._cost("dn_commit_prepared_us"))
-            txn._cluster.dns[dn_index].commit(txn._local_xid[dn_index])
-            self._confirmed.add(dn_index)
-        self._end(span)
+        try:
+            for n, dn_index in enumerate(pending):
+                if n > 0:
+                    self._coord_fire(FP_COORD_BETWEEN_CONFIRMS)
+                self._confirm_one(dn_index)
+        finally:
+            self._end(span)
 
     def finish(self) -> None:
         """Complete whatever remains of the sequence."""
         txn = self._txn
-        if txn.mode is TxnMode.CLASSICAL:
-            if not self._prepared:
-                self.prepare_all()
-            if not self._gtm_committed:
-                self.commit_at_gtm()
-        else:
-            if not self._prepared:
-                self.prepare_all()
-            if not self._gtm_committed:
-                self.commit_at_gtm()
+        if not self._prepared:
+            self.prepare_all()
+        if not self._gtm_committed:
+            self.commit_at_gtm()
+        if txn.mode is not TxnMode.CLASSICAL:
             self._confirm_all()
-        # Read-only participants never prepared; release them.
+        # Read-only participants never prepared; release them (unless a
+        # failover already swept them away with their node).
         for dn_index, lxid in txn._local_xid.items():
             if dn_index not in txn._written:
-                txn._cluster.dns[dn_index].commit(lxid)
+                dn = txn._cluster.dns[dn_index]
+                if dn.ltm.xid_map.get(txn.gxid) == lxid:
+                    dn.commit(lxid)
         txn.state = TxnState.COMMITTED
         txn._cluster.stats.note_commit(multi_shard=True)
         txn._finish_span("committed")
+        txn._unregister()
         txn._cluster.maybe_prune_lcos()

@@ -44,6 +44,10 @@ class InvalidTransactionState(TransactionError):
     """Operation not legal in the transaction's current state."""
 
 
+class ShardReadOnly(TransactionError):
+    """The shard degraded to read-only after its node died with no standby."""
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

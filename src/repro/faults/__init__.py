@@ -1,0 +1,45 @@
+"""repro.faults — deterministic fault injection for the GTM-lite 2PC paths.
+
+See :mod:`repro.faults.injector` for the failpoint vocabulary and
+:mod:`repro.faults.chaos` for the randomized schedule generator used by the
+chaos property suite (``tests/property/test_chaos_2pc.py``).
+"""
+
+from repro.faults.injector import (
+    ACT_CRASH_COORDINATOR,
+    ACT_CRASH_DN,
+    ACT_DELAY,
+    ACT_DROP,
+    ACT_PARTITION,
+    ACT_TIMEOUT,
+    ALL_ACTIONS,
+    ALL_FAILPOINTS,
+    FP_CONFIRM_AFTER,
+    FP_CONFIRM_BEFORE,
+    FP_COORD_AFTER_GTM_COMMIT,
+    FP_COORD_AFTER_PREPARE,
+    FP_COORD_BETWEEN_CONFIRMS,
+    FP_GTM_COMMIT,
+    FP_PREPARE_AFTER,
+    FP_PREPARE_BEFORE,
+    FP_PREPARE_SHIP,
+    FP_REPLICATE,
+    CoordinatorCrash,
+    FaultError,
+    FaultInjector,
+    FaultRule,
+    FireOutcome,
+    InjectedFault,
+    InjectedTimeout,
+)
+
+__all__ = [
+    "ACT_CRASH_COORDINATOR", "ACT_CRASH_DN", "ACT_DELAY", "ACT_DROP",
+    "ACT_PARTITION", "ACT_TIMEOUT", "ALL_ACTIONS", "ALL_FAILPOINTS",
+    "FP_CONFIRM_AFTER", "FP_CONFIRM_BEFORE", "FP_COORD_AFTER_GTM_COMMIT",
+    "FP_COORD_AFTER_PREPARE", "FP_COORD_BETWEEN_CONFIRMS", "FP_GTM_COMMIT",
+    "FP_PREPARE_AFTER", "FP_PREPARE_BEFORE", "FP_PREPARE_SHIP",
+    "FP_REPLICATE",
+    "CoordinatorCrash", "FaultError", "FaultInjector", "FaultRule",
+    "FireOutcome", "InjectedFault", "InjectedTimeout",
+]

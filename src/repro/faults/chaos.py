@@ -1,0 +1,95 @@
+"""Randomized fault-schedule generation and post-chaos recovery.
+
+The chaos property suite (``tests/property/test_chaos_2pc.py``) feeds a
+seeded :class:`random.Random` to :func:`arm_random_faults` to draw a fault
+schedule — which failpoints fire, with what action, against which node —
+then runs a workload, then calls :func:`recover_cluster` and asserts the
+three invariants: no GTM-committed write lost, no residual PREPARED state,
+and no snapshot ever observing a partially-committed global transaction.
+
+All ``repro.cluster`` imports are deferred into function bodies:
+``cluster.txn`` imports :mod:`repro.faults.injector`, so importing cluster
+modules at the top here would complete a cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.faults.injector import (
+    ACT_CRASH_COORDINATOR,
+    ACT_CRASH_DN,
+    ACT_DROP,
+    ACT_PARTITION,
+    ACT_TIMEOUT,
+    FP_CONFIRM_AFTER,
+    FP_CONFIRM_BEFORE,
+    FP_COORD_AFTER_GTM_COMMIT,
+    FP_COORD_AFTER_PREPARE,
+    FP_COORD_BETWEEN_CONFIRMS,
+    FP_GTM_COMMIT,
+    FP_PREPARE_AFTER,
+    FP_PREPARE_BEFORE,
+    FP_REPLICATE,
+    FaultInjector,
+    FaultRule,
+)
+
+# The menu the schedule generator draws from: (failpoint, action,
+# node-scoped?).  Node-scoped rules are pinned to one random DN so a crash
+# takes out a specific participant rather than whichever fires first.
+FAULT_MENU = (
+    (FP_PREPARE_BEFORE, ACT_CRASH_DN, True),
+    (FP_PREPARE_AFTER, ACT_CRASH_DN, True),
+    (FP_PREPARE_BEFORE, ACT_TIMEOUT, True),
+    (FP_CONFIRM_BEFORE, ACT_CRASH_DN, True),
+    (FP_CONFIRM_AFTER, ACT_CRASH_DN, True),
+    (FP_CONFIRM_BEFORE, ACT_TIMEOUT, True),
+    (FP_CONFIRM_BEFORE, ACT_DROP, True),
+    (FP_COORD_AFTER_PREPARE, ACT_CRASH_COORDINATOR, False),
+    (FP_COORD_AFTER_GTM_COMMIT, ACT_CRASH_COORDINATOR, False),
+    (FP_COORD_BETWEEN_CONFIRMS, ACT_CRASH_COORDINATOR, False),
+    (FP_GTM_COMMIT, ACT_TIMEOUT, False),
+    (FP_REPLICATE, ACT_PARTITION, True),
+)
+
+
+def arm_random_faults(injector: FaultInjector, rng: random.Random,
+                      num_dns: int, max_faults: int = 2) -> List[FaultRule]:
+    """Arm 1..max_faults rules drawn from :data:`FAULT_MENU`.
+
+    Timeout rules draw their ``times`` from a skewed bag so some schedules
+    exhaust the coordinator's retry budget (escalation to failover) while
+    most recover within it.
+    """
+    rules = []
+    for _ in range(rng.randint(1, max_faults)):
+        failpoint, action, node_scoped = rng.choice(FAULT_MENU)
+        match = {"dn": rng.randrange(num_dns)} if node_scoped else None
+        times = rng.choice((1, 1, 2, 5)) if action == ACT_TIMEOUT else 1
+        rules.append(injector.arm(failpoint, action, times=times, match=match))
+    return rules
+
+
+def recover_cluster(cluster) -> None:
+    """Bring a post-chaos cluster back to a clean, fully-resolved state.
+
+    Heals every standby partition (draining lag queues), fails over every
+    crashed node, and resolves all remaining in-doubt transactions.  After
+    this returns, ``recovery.in_doubt_count(cluster) == 0`` must hold.
+    """
+    from repro.cluster.recovery import resolve_in_doubt
+
+    faults = getattr(cluster, "faults", None)
+    if faults is not None:
+        faults.disarm_all()      # recovery itself runs fault-free
+    ha = getattr(cluster, "ha", None)
+    if ha is not None:
+        for i in range(cluster.num_dns):
+            if ha.standby_partitioned(i):
+                ha.heal_standby(i)
+    for i, dn in enumerate(cluster.dns):
+        if getattr(dn, "crashed", False):
+            cluster.declare_node_dead(i, reason="post-chaos sweep")
+    resolve_in_doubt(cluster)

@@ -37,7 +37,17 @@ class Fabric:
         self._handlers[name] = handler
 
     def unregister(self, name: str) -> None:
+        """Remove an endpoint *and* every link touching it.
+
+        Leaving ``_latency_us``/``_cut`` entries behind would let a later
+        same-named endpoint (the failover-promotion rename case) silently
+        inherit the dead endpoint's links — including cuts it never made —
+        so ``neighbors()``/``reachable()`` would resurrect stale topology.
+        """
         self._handlers.pop(name, None)
+        for pair in [p for p in self._latency_us if name in p]:
+            del self._latency_us[pair]
+        self._cut = {p for p in self._cut if name not in p}
 
     def connect(self, a: str, b: str, latency_us: float) -> None:
         """Create (or update) a bidirectional link between ``a`` and ``b``."""

@@ -61,6 +61,13 @@ class Observability:
         self.slowlog = SlowQueryLog(threshold_us=slow_query_threshold_us,
                                     metrics=self.metrics)
         self.alerts = AlertManager(self.metrics)
+        #: Optional :class:`repro.faults.FaultInjector`; bound late (by
+        #: ``FaultInjector.bind``) so ``sys.faults`` can serve its history
+        #: without ``repro.obs`` importing ``repro.faults``.
+        self.faults = None
+
+    def bind_faults(self, injector) -> None:
+        self.faults = injector
 
     def advance_to(self, t_us: float) -> None:
         """Sync the shared clock to a session's simulated-time cursor.
@@ -83,6 +90,8 @@ class Observability:
         self.activity.reset()
         self.slowlog.reset()
         self.alerts.reset()
+        if self.faults is not None:
+            self.faults.reset_history()
         self.clock.reset()
 
 

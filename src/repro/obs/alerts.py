@@ -123,6 +123,22 @@ class AlertManager:
             key=f"{anomaly.detector}:{anomaly.metric}",
         )
 
+    def from_fault(self, failpoint: str, action: str, target: str,
+                   t_us: float, severity: str = "warning") -> Alert:
+        """Raise a failure alert for one injected fault.
+
+        Keyed by (failpoint, target) so a retried fault at the same site
+        folds into one alert — the chaos suite asserts exactly one alert
+        per distinct injected fault site.
+        """
+        return self.raise_alert(
+            source="faults",
+            severity=severity,
+            message=f"injected {action} at {failpoint} on {target}",
+            t_us=t_us,
+            key=f"fault:{failpoint}:{target}",
+        )
+
     def check_slow_queries(self, slowlog, now_us: float,
                            burst_threshold: int = 3,
                            window_us: float = 1_000_000.0) -> Optional[Alert]:

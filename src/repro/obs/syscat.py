@@ -22,6 +22,7 @@ Views:
 * ``sys.slow_queries`` — the slow-query ring buffer with profile summaries.
 * ``sys.spans``        — recently finished tracer spans.
 * ``sys.alerts``       — live alerts, severity-ranked.
+* ``sys.faults``       — injected-fault history (``repro.faults``).
 """
 
 from __future__ import annotations
@@ -114,6 +115,13 @@ class SystemCatalog:
              ("count", DataType.BIGINT)],
             self._alert_rows,
         )
+        self._register(
+            "faults",
+            [("fault_id", DataType.BIGINT), ("failpoint", DataType.TEXT),
+             ("action", DataType.TEXT), ("target", DataType.TEXT),
+             ("gxid", DataType.BIGINT), ("t_us", DataType.DOUBLE)],
+            self._fault_rows,
+        )
 
     def _register(self, short_name: str, columns: Columns,
                   producer: Callable[[], Iterable[tuple]]) -> None:
@@ -158,3 +166,8 @@ class SystemCatalog:
 
     def _alert_rows(self) -> Iterable[tuple]:
         return [alert.as_row() for alert in self.obs.alerts.alerts()]
+
+    def _fault_rows(self) -> Iterable[tuple]:
+        if self.obs.faults is None:
+            return []
+        return self.obs.faults.rows()

@@ -44,12 +44,20 @@ WAIT_DN_SCAN = "dn.scan"
 WAIT_DN_COMMIT = "dn.commit"
 #: Work thrown away when a transaction aborts on a serialization conflict.
 WAIT_LOCK_CONFLICT = "lock.conflict"
+#: Coordinator stalled on an unresponsive peer: the per-attempt timeout plus
+#: the exponential backoff before the retry (see ``cluster.txn.RetryPolicy``).
+WAIT_FAULT_RETRY = "fault.retry"
+#: Coordinator blocked while a dead node failed over to its standby.
+WAIT_FAULT_FAILOVER = "fault.failover"
+#: Injected message delay (the ``delay`` fault action).
+WAIT_FAULT_DELAY = "fault.delay"
 
 ALL_WAIT_EVENTS = (
     WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL, WAIT_MERGE_UPGRADE,
     WAIT_2PC_PREPARE, WAIT_2PC_COMMIT,
     WAIT_DN_APPLY, WAIT_DN_SCAN, WAIT_DN_COMMIT,
     WAIT_LOCK_CONFLICT,
+    WAIT_FAULT_RETRY, WAIT_FAULT_FAILOVER, WAIT_FAULT_DELAY,
 )
 
 

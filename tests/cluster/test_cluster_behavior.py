@@ -208,3 +208,37 @@ class TestMaintenance:
         assert horizon_with_reader <= reader.gxid
         reader.commit()
         assert cluster.gtm.snapshot_horizon() > horizon_with_reader
+
+
+class TestAbortClassification:
+    """``txn.abort.*`` stats derive from what was actually written, mirroring
+    how the commit side classifies — a global transaction that wrote one
+    shard (or nothing) is not a multi-shard abort."""
+
+    def test_global_abort_one_shard_counts_single(self):
+        cluster = make_cluster()
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        txn.insert("t", {"k": 0, "v": 1})       # one shard touched
+        txn.abort()
+        assert cluster.stats.aborts_single_shard == 1
+        assert cluster.stats.aborts_multi_shard == 0
+
+    def test_global_abort_two_shards_counts_multi(self):
+        cluster = make_cluster()
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        txn.insert("t", {"k": 0, "v": 1})
+        txn.insert("t", {"k": 1, "v": 1})       # second shard
+        txn.abort()
+        assert cluster.stats.aborts_single_shard == 0
+        assert cluster.stats.aborts_multi_shard == 1
+
+    def test_read_only_global_abort_counts_single(self):
+        cluster = make_cluster()
+        session = cluster.session()
+        txn = session.begin(multi_shard=True)
+        txn.read("t", 0)                        # no writes at all
+        txn.abort()
+        assert cluster.stats.aborts_single_shard == 1
+        assert cluster.stats.aborts_multi_shard == 0

@@ -1,0 +1,371 @@
+"""Fault injection through the 2PC hot paths: retry, escalation, degradation."""
+
+import pytest
+
+from repro.cluster import MppCluster, in_doubt_count
+from repro.cluster.ha import HaManager
+from repro.common.errors import (
+    ConfigError,
+    ShardReadOnly,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.faults import (
+    ACT_CRASH_COORDINATOR,
+    ACT_CRASH_DN,
+    ACT_DELAY,
+    ACT_DROP,
+    ACT_TIMEOUT,
+    FP_CONFIRM_BEFORE,
+    FP_COORD_AFTER_GTM_COMMIT,
+    FP_GTM_COMMIT,
+    FP_PREPARE_AFTER,
+    FP_PREPARE_BEFORE,
+    FP_REPLICATE,
+    CoordinatorCrash,
+    FaultInjector,
+    InjectedTimeout,
+)
+from repro.obs.waits import WAIT_FAULT_RETRY
+from repro.storage import Column, DataType, TableSchema
+from repro.storage.table import shard_of_value
+
+
+def make_cluster(with_ha: bool = True):
+    cluster = MppCluster(num_dns=2)
+    cluster.create_table(TableSchema(
+        "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k"))
+    ha = HaManager(cluster) if with_ha else None
+    injector = FaultInjector(seed=7).bind(cluster)
+    session = cluster.session()
+    txn = session.begin(multi_shard=True)
+    for k in range(8):
+        txn.insert("t", {"k": k, "v": k})
+    txn.commit()
+    return cluster, ha, injector, session
+
+
+def key_on(dn_index, num_dns=2, limit=8):
+    return next(k for k in range(limit) if shard_of_value(k, num_dns) == dn_index)
+
+
+def write_both_shards(session, marker):
+    txn = session.begin(multi_shard=True)
+    txn.update("t", key_on(0), {"v": marker})
+    txn.update("t", key_on(1), {"v": marker})
+    return txn
+
+
+def read_all(session, keys=range(8)):
+    reader = session.begin(multi_shard=True)
+    out = {k: reader.read("t", k)["v"] for k in keys}
+    reader.commit()
+    return out
+
+
+class TestInjectorSemantics:
+    def test_unknown_failpoint_and_action_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ConfigError):
+            injector.arm("no.such.failpoint", ACT_TIMEOUT)
+        with pytest.raises(ConfigError):
+            injector.arm(FP_PREPARE_BEFORE, "explode")
+
+    def test_times_budget_is_consumed(self):
+        injector = FaultInjector()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedTimeout):
+                injector.fire(FP_PREPARE_BEFORE, dn=0)
+        # Budget spent: the rule no longer fires.
+        injector.fire(FP_PREPARE_BEFORE, dn=0)
+        assert injector.injected_count == 2
+
+    def test_match_filter_scopes_to_one_node(self):
+        injector = FaultInjector()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=-1, match={"dn": 1})
+        injector.fire(FP_PREPARE_BEFORE, dn=0)      # no match, no fault
+        with pytest.raises(InjectedTimeout):
+            injector.fire(FP_PREPARE_BEFORE, dn=1)
+
+    def test_probability_gate_is_seed_deterministic(self):
+        def firings(seed):
+            injector = FaultInjector(seed=seed)
+            injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=-1,
+                         probability=0.5)
+            hits = []
+            for n in range(20):
+                try:
+                    injector.fire(FP_PREPARE_BEFORE, dn=0)
+                    hits.append(False)
+                except InjectedTimeout:
+                    hits.append(True)
+            return hits
+
+        assert firings(3) == firings(3)
+        assert firings(3) != firings(4)        # different schedule
+        assert any(firings(3)) and not all(firings(3))
+
+    def test_disabled_injector_never_fires(self):
+        injector = FaultInjector(enabled=False)
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT)
+        injector.fire(FP_PREPARE_BEFORE, dn=0)
+        assert injector.injected_count == 0
+
+    def test_history_feeds_sys_faults_rows(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, match={"dn": 0})
+        txn = write_both_shards(session, 99)
+        txn.commit()                       # retried through the timeout
+        rows = injector.rows()
+        assert len(rows) == 1
+        _, failpoint, action, target, gxid, _ = rows[0]
+        assert (failpoint, action, target) == (FP_PREPARE_BEFORE,
+                                               ACT_TIMEOUT, "dn0")
+        assert gxid == txn.gxid
+
+
+class TestCoordinatorRetry:
+    def test_transient_timeout_is_retried_to_success(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=1, match={"dn": 0})
+        txn = write_both_shards(session, 50)
+        txn.commit()
+        assert read_all(session)[key_on(0)] == 50
+        # The stall was accounted: timeout + backoff into wait.fault_retry.
+        stats = cluster.obs.waits.stats(WAIT_FAULT_RETRY)
+        assert stats.count == 1
+        policy = cluster.retry_policy
+        assert stats.total_us == policy.timeout_us + policy.backoff_us(0)
+
+    def test_exhausted_retries_escalate_to_failover_and_abort(self):
+        cluster, ha, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=-1, match={"dn": 1})
+        txn = write_both_shards(session, 60)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        # The node was declared dead and failed over; nothing in doubt.
+        assert len(ha.failovers) == 1
+        assert in_doubt_count(cluster) == 0
+        # No partial commit: both keys keep their old values.
+        assert read_all(session) == {k: k for k in range(8)}
+
+    def test_dn_crash_after_gtm_commit_rolls_forward(self):
+        """Participant dies during confirm, after the commit decision:
+        escalation promotes the standby, recovery rolls the staged prepare
+        forward, and the transaction still commits everywhere."""
+        cluster, ha, injector, session = make_cluster()
+        injector.arm(FP_CONFIRM_BEFORE, ACT_CRASH_DN, match={"dn": 0})
+        txn = write_both_shards(session, 70)
+        txn.commit()
+        assert cluster.gtm.is_committed(txn.gxid)
+        assert len(ha.failovers) == 1
+        assert in_doubt_count(cluster) == 0
+        values = read_all(session)
+        assert values[key_on(0)] == 70 and values[key_on(1)] == 70
+
+    def test_dn_crash_before_prepare_aborts_globally(self):
+        cluster, ha, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_CRASH_DN, match={"dn": 0})
+        txn = write_both_shards(session, 80)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        assert not cluster.gtm.is_committed(txn.gxid)
+        assert in_doubt_count(cluster) == 0
+        assert read_all(session) == {k: k for k in range(8)}
+
+    def test_crash_after_prepare_ack_lost_presumed_aborts(self):
+        """The prepare landed but the node died before the ack: undecided
+        at the GTM, so the re-instated stage is presumed aborted."""
+        cluster, ha, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_AFTER, ACT_CRASH_DN, match={"dn": 1})
+        txn = write_both_shards(session, 90)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        assert in_doubt_count(cluster) == 0
+        assert read_all(session) == {k: k for k in range(8)}
+
+    def test_poisoned_handle_refuses_further_use(self):
+        cluster, ha, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_CRASH_DN, match={"dn": 0})
+        txn = write_both_shards(session, 11)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.read("t", 0)
+        txn.abort()      # idempotent no-op on an already-poisoned handle
+
+
+class TestGtmFaults:
+    def test_gtm_log_write_loss_is_retried(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_GTM_COMMIT, ACT_TIMEOUT, times=1)
+        txn = write_both_shards(session, 21)
+        txn.commit()
+        assert cluster.gtm.is_committed(txn.gxid)
+        assert read_all(session)[key_on(0)] == 21
+
+    def test_gtm_unreachable_abandons_the_coordinator(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_GTM_COMMIT, ACT_TIMEOUT, times=-1)
+        txn = write_both_shards(session, 22)
+        with pytest.raises(CoordinatorCrash):
+            txn.commit()
+        # Abandoned mid-sequence: both participants sit PREPARED until
+        # recovery presumes abort.
+        assert in_doubt_count(cluster) == 2
+        from repro.cluster import resolve_in_doubt
+        report = resolve_in_doubt(cluster)
+        assert txn.gxid in report.presumed_aborted_gxids
+        assert in_doubt_count(cluster) == 0
+        injector.disarm_all()        # the GTM is back; verify nothing leaked
+        assert read_all(session) == {k: k for k in range(8)}
+
+
+class TestCoordinatorDeath:
+    def test_death_after_gtm_commit_leaves_anomaly1_window(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_COORD_AFTER_GTM_COMMIT, ACT_CRASH_COORDINATOR)
+        txn = write_both_shards(session, 31)
+        with pytest.raises(CoordinatorCrash):
+            txn.commit()
+        # GTM says committed, both nodes still PREPARED: Anomaly 1, held open.
+        assert cluster.gtm.is_committed(txn.gxid)
+        assert in_doubt_count(cluster) == 2
+        # UPGRADE makes the write visible to merged-snapshot readers even
+        # before recovery closes the window.
+        assert read_all(session)[key_on(0)] == 31
+        from repro.cluster import resolve_in_doubt
+        resolve_in_doubt(cluster)
+        assert in_doubt_count(cluster) == 0
+        assert read_all(session)[key_on(1)] == 31
+
+    def test_dropped_confirm_holds_window_until_recovery(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_CONFIRM_BEFORE, ACT_DROP, match={"dn": 1})
+        txn = write_both_shards(session, 41)
+        txn.commit()                       # coordinator believes it delivered
+        assert cluster.gtm.is_committed(txn.gxid)
+        assert in_doubt_count(cluster) == 1
+        assert cluster.obs.metrics.counter("faults.dropped_confirms").value == 1
+        from repro.cluster import resolve_in_doubt
+        report = resolve_in_doubt(cluster)
+        assert sum(len(v) for v in report.rolled_forward.values()) == 1
+        assert read_all(session)[key_on(1)] == 41
+
+
+class TestGracefulDegradation:
+    def test_no_standby_degrades_shard_to_read_only(self):
+        cluster, _, injector, session = make_cluster(with_ha=False)
+        injector.arm(FP_PREPARE_BEFORE, ACT_CRASH_DN, match={"dn": 0})
+        txn = write_both_shards(session, 51)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        assert cluster.read_only_shards().keys() == {0}
+        # Reads still work; writes are refused.
+        assert read_all(session) == {k: k for k in range(8)}
+        bad = session.begin(multi_shard=True)
+        with pytest.raises(ShardReadOnly):
+            bad.update("t", key_on(0), {"v": 1})
+        bad.abort()
+        # The healthy shard still accepts writes.
+        ok = session.begin(multi_shard=True)
+        ok.update("t", key_on(1), {"v": 52})
+        ok.commit()
+        assert read_all(session)[key_on(1)] == 52
+
+    def test_degraded_shard_raises_critical_alert(self):
+        cluster, _, injector, session = make_cluster(with_ha=False)
+        injector.arm(FP_PREPARE_BEFORE, ACT_CRASH_DN, match={"dn": 0})
+        txn = write_both_shards(session, 53)
+        with pytest.raises(TransactionError):
+            txn.commit()
+        messages = [a for a in cluster.obs.alerts.alerts()
+                    if a.severity == "critical" and "read-only" in a.message]
+        assert messages
+
+
+class TestDelays:
+    def test_injected_delay_is_charged_not_fatal(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_CONFIRM_BEFORE, ACT_DELAY, times=-1, delay_us=1234.0)
+        txn = write_both_shards(session, 61)
+        txn.commit()
+        assert read_all(session)[key_on(0)] == 61
+        from repro.obs.waits import WAIT_FAULT_DELAY
+        stats = cluster.obs.waits.stats(WAIT_FAULT_DELAY)
+        assert stats.count == 2 and stats.total_us == pytest.approx(2468.0)
+
+
+class TestReplicationFaults:
+    def test_partition_queues_lag_and_heal_drains_it(self):
+        cluster, ha, injector, session = make_cluster()
+        ha.partition_standby(0)
+        applied_before = ha.standby(0).transactions_applied
+        k = key_on(0)
+        # Single-shard: the local commit ships redo to the partitioned
+        # standby, which queues as replication lag instead of blocking.
+        session.run_transaction(lambda t: t.update("t", k, {"v": 71}))
+        assert ha.replication_lag(0) >= 1
+        assert ha.standby(0).transactions_applied == applied_before
+        ha.heal_standby(0)
+        assert ha.replication_lag(0) == 0
+        assert ha.standby(0).rows("t")[k]["v"] == 71
+
+    def test_partitioned_standby_refuses_prepare(self):
+        """A node that cannot stage its prepare redo votes no."""
+        cluster, ha, injector, session = make_cluster()
+        ha.partition_standby(1)
+        txn = write_both_shards(session, 72)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        assert in_doubt_count(cluster) == 0
+        ha.heal_standby(1)
+        assert read_all(session) == {k: k for k in range(8)}
+
+    def test_partition_fault_action_cuts_the_link(self):
+        cluster, ha, injector, session = make_cluster()
+        from repro.faults import ACT_PARTITION
+        injector.arm(FP_REPLICATE, ACT_PARTITION, match={"dn": 0})
+        k = key_on(0)
+        # A *local* commit on dn0 trips the replicate failpoint, which cuts
+        # the link; the shipment itself then queues as lag.
+        session.run_transaction(lambda t: t.update("t", k, {"v": 73}))
+        assert ha.standby_partitioned(0)
+        assert ha.replication_lag(0) == 1
+
+    def test_lagging_partitioned_standby_cannot_promote(self):
+        cluster, ha, injector, session = make_cluster()
+        ha.partition_standby(0)
+        k = key_on(0)
+        session.run_transaction(lambda t: t.update("t", k, {"v": 74}))
+        from repro.common.errors import NetworkError
+        with pytest.raises(NetworkError):
+            ha.fail_and_promote(0)
+        # declare_node_dead falls back to read-only degradation instead.
+        cluster.declare_node_dead(0, reason="test")
+        assert 0 in cluster.read_only_shards()
+        assert read_all(session)[k] == 74       # acknowledged commit kept
+
+
+class TestTelemetryWiring:
+    def test_each_fault_raises_a_deduplicated_alert(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=2, match={"dn": 0})
+        txn = write_both_shards(session, 81)
+        txn.commit()
+        fault_alerts = [a for a in cluster.obs.alerts.alerts()
+                        if a.source == "faults"]
+        assert len(fault_alerts) == 1
+        assert fault_alerts[0].count == 2       # two firings, one alert
+        assert cluster.obs.metrics.counter("faults.injected").value == 2
+
+    def test_reset_telemetry_clears_fault_history(self):
+        cluster, _, injector, session = make_cluster()
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=1, match={"dn": 0})
+        txn = write_both_shards(session, 91)
+        txn.commit()
+        assert injector.injected_count == 1
+        cluster.reset_telemetry()
+        assert injector.injected_count == 0
+        assert injector.rows() == []

@@ -116,3 +116,160 @@ class TestFailover:
         assert reader.read("t", 0)["v"] == 42
         assert reader.read("t", 1)["v"] == 43
         reader.commit()
+
+
+class TestFailoverCrashPaths:
+    """Crash-path interactions between failover, 2PC and recovery."""
+
+    def test_stranded_global_is_poisoned_not_zombied(self, ha_cluster):
+        """A failover must not strand an in-flight global transaction: its
+        handle is poisoned so commit fails cleanly instead of committing a
+        write the replacement node never heard of."""
+        from repro.common.errors import TransactionAborted
+
+        cluster, ha, session = ha_cluster
+        txn = session.begin(multi_shard=True)
+        txn.update("t", 0, {"v": -5})
+        txn.update("t", 1, {"v": -5})
+        report = ha.fail_and_promote(shard_of_value(0, 2))
+        assert report.inflight_poisoned == 1
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        from repro.cluster import in_doubt_count
+        assert in_doubt_count(cluster) == 0
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 0
+        assert reader.read("t", 1)["v"] == 10
+        reader.commit()
+
+    def test_gtm_committed_stage_survives_failover(self, ha_cluster):
+        """Prepared redo staged on the standby carries a GTM-committed-but-
+        unconfirmed write across the primary's crash (rolled forward during
+        promotion)."""
+        cluster, ha, session = ha_cluster
+        txn = session.begin(multi_shard=True)
+        txn.update("t", 0, {"v": 700})
+        txn.update("t", 1, {"v": 700})
+        steps = txn.commit_stepwise()
+        steps.prepare_all()
+        steps.commit_at_gtm()
+        # The node holding key 0 dies before its confirmation arrives.
+        report = ha.fail_and_promote(shard_of_value(0, 2))
+        assert report.stages_rolled_forward == 1
+        from repro.cluster import in_doubt_count, resolve_in_doubt
+        resolve_in_doubt(cluster)
+        assert in_doubt_count(cluster) == 0
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 700
+        assert reader.read("t", 1)["v"] == 700
+        reader.commit()
+
+    def test_undecided_stage_is_presumed_aborted(self, ha_cluster):
+        """Coordinator dead after prepare, no GTM decision, then the node
+        fails: the stage re-instates as PREPARED and recovery presumes
+        abort.  (With a *live* coordinator the handle is poisoned instead
+        and the stage drops — see the poisoning test above.)"""
+        from repro.faults import (
+            ACT_CRASH_COORDINATOR, FP_COORD_AFTER_PREPARE,
+            CoordinatorCrash, FaultInjector,
+        )
+
+        cluster, ha, session = ha_cluster
+        injector = FaultInjector(seed=1).bind(cluster)
+        injector.arm(FP_COORD_AFTER_PREPARE, ACT_CRASH_COORDINATOR)
+        txn = session.begin(multi_shard=True)
+        txn.update("t", 0, {"v": 800})
+        txn.update("t", 1, {"v": 800})
+        with pytest.raises(CoordinatorCrash):
+            txn.commit()
+        report = ha.fail_and_promote(shard_of_value(0, 2))
+        assert report.prepared_reinstated == 1
+        from repro.cluster import in_doubt_count, resolve_in_doubt
+        resolve_in_doubt(cluster)
+        assert in_doubt_count(cluster) == 0
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 0
+        assert reader.read("t", 1)["v"] == 10
+        reader.commit()
+
+    def test_late_stage_resolution_does_not_clobber_newer_commit(self, ha_cluster):
+        """Standby write-order regression: T1 is GTM-committed but never
+        confirmed; T2 builds on T1's version via UPGRADE and fully commits;
+        recovery then rolls T1 forward.  The standby must keep T2's value —
+        and a failover afterwards must promote T2's value, not T1's."""
+        cluster, ha, session = ha_cluster
+        t1 = session.begin(multi_shard=True)
+        t1.update("t", 0, {"v": 111})
+        t1.update("t", 1, {"v": 111})
+        s1 = t1.commit_stepwise()
+        s1.prepare_all()
+        s1.commit_at_gtm()                       # decided, never confirmed
+        t2 = session.begin(multi_shard=True)
+        t2.update("t", 0, {"v": 222})            # builds on T1 via UPGRADE
+        t2.update("t", 1, {"v": 222})
+        t2.commit()
+        from repro.cluster import resolve_in_doubt
+        resolve_in_doubt(cluster)                # rolls T1 forward, late
+        dn0 = shard_of_value(0, 2)
+        assert ha.standby(dn0).rows("t")[0]["v"] == 222
+        ha.fail_and_promote(dn0)
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 222
+        reader.commit()
+
+    def test_dependent_stages_both_roll_forward_in_order(self, ha_cluster):
+        """Two GTM-committed stages on the same key (the second built on the
+        first) replay in stage order during promotion: the later value wins."""
+        cluster, ha, session = ha_cluster
+        t1 = session.begin(multi_shard=True)
+        t1.update("t", 0, {"v": 111})
+        t1.update("t", 1, {"v": 111})
+        s1 = t1.commit_stepwise()
+        s1.prepare_all()
+        s1.commit_at_gtm()
+        t2 = session.begin(multi_shard=True)
+        t2.update("t", 0, {"v": 222})
+        t2.update("t", 1, {"v": 222})
+        s2 = t2.commit_stepwise()
+        s2.prepare_all()
+        s2.commit_at_gtm()
+        dn0 = shard_of_value(0, 2)
+        report = ha.fail_and_promote(dn0)
+        assert report.stages_rolled_forward == 2
+        from repro.cluster import in_doubt_count, resolve_in_doubt
+        resolve_in_doubt(cluster)
+        assert in_doubt_count(cluster) == 0
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 222
+        assert reader.read("t", 1)["v"] == 222
+        reader.commit()
+
+    def test_coordinator_death_plus_participant_failure(self, ha_cluster):
+        """Composed failure: the coordinator dies between confirmations AND
+        the unconfirmed participant then fails.  The GTM-committed write must
+        survive both, and recovery must leave nothing in doubt."""
+        from repro.faults import (
+            ACT_CRASH_COORDINATOR, FP_COORD_BETWEEN_CONFIRMS,
+            CoordinatorCrash, FaultInjector,
+        )
+
+        cluster, ha, session = ha_cluster
+        injector = FaultInjector(seed=1).bind(cluster)
+        injector.arm(FP_COORD_BETWEEN_CONFIRMS, ACT_CRASH_COORDINATOR)
+        txn = session.begin(multi_shard=True)
+        txn.update("t", 0, {"v": 901})
+        txn.update("t", 1, {"v": 901})
+        with pytest.raises(CoordinatorCrash):
+            txn.commit()
+        assert cluster.gtm.is_committed(txn.gxid)
+        # One node confirmed, the other still PREPARED — and now it dies.
+        from repro.cluster import in_doubt_count
+        assert in_doubt_count(cluster) == 1
+        pending_dn = next(i for i, dn in enumerate(cluster.dns)
+                          if dn.ltm.prepared_xids())
+        cluster.declare_node_dead(pending_dn, reason="composed failure")
+        assert in_doubt_count(cluster) == 0
+        reader = session.begin(multi_shard=True)
+        assert reader.read("t", 0)["v"] == 901
+        assert reader.read("t", 1)["v"] == 901
+        reader.commit()

@@ -122,3 +122,46 @@ class TestMixedInDoubt:
         session = cluster.session()
         session.run_transaction(lambda t: t.update("t", 0, {"v": 1}))
         assert read_state(cluster)[0] == 1
+
+
+class TestMultipleInDoubtPerNode:
+    def test_two_in_doubt_on_one_node_both_resolved(self, cluster):
+        """Pass 2 mutates the prepared set while resolving; with two
+        in-doubt transactions on the same node (one rolling forward, one
+        rolling back) every one must still be visited exactly once."""
+        t1 = start_multi_shard_write(cluster, 31)       # keys 0 (DN0), 1 (DN1)
+        s1 = t1.commit_stepwise()
+        s1.prepare_all()
+        s1.commit_at_gtm()
+        session = cluster.session()
+        t2 = session.begin(multi_shard=True)
+        t2.update("t", 2, {"v": 32})                    # DN0
+        t2.update("t", 3, {"v": 32})                    # DN1
+        s2 = t2.commit_stepwise()
+        s2.prepare_all()
+        # Both nodes hold two prepared transactions with opposite fates.
+        assert in_doubt_count(cluster) == 4
+        report = resolve_in_doubt(cluster)
+        assert report.resolved == 4
+        assert report.presumed_aborted_gxids == [t2.gxid]
+        assert in_doubt_count(cluster) == 0
+        assert read_state(cluster) == {0: 31, 1: 31, 2: 0, 3: 0}
+
+    def test_three_in_doubt_same_node_all_resolved(self, cluster):
+        """Single-node pile-up: several prepared transactions on one DN."""
+        session = cluster.session()
+        txns = []
+        for n, key in enumerate((0, 2), start=1):       # both keys on DN0
+            t = session.begin(multi_shard=True)
+            t.update("t", key, {"v": 40 + n})
+            s = t.commit_stepwise()
+            s.prepare_all()
+            if n == 1:
+                s.commit_at_gtm()
+            txns.append(t)
+        assert in_doubt_count(cluster) == 2
+        report = resolve_in_doubt(cluster)
+        assert report.resolved == 2
+        assert in_doubt_count(cluster) == 0
+        state = read_state(cluster)
+        assert state[0] == 41 and state[2] == 0

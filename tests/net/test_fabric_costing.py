@@ -104,3 +104,42 @@ class TestCostModels:
 
         cost = CollabCostModel()
         assert cost.internet_rtt_us / cost.d2d_rtt_us >= 10.0
+
+
+class TestUnregisterCleanup:
+    def test_unregister_drops_links_and_cuts(self):
+        fabric = Fabric()
+        fabric.register("a", lambda s, m: None)
+        fabric.register("b", lambda s, m: ("pong", s, m))
+        fabric.connect("a", "b", latency_us=50.0)
+        fabric.disconnect("a", "b")
+        fabric.unregister("a")
+        # No stale latency entries or cut state survive the endpoint.
+        assert not any("a" in pair for pair in fabric._latency_us)
+        assert not any("a" in pair for pair in fabric._cut)
+
+    def test_reregistered_name_does_not_inherit_old_links(self):
+        """A replacement endpoint under a recycled name starts from scratch:
+        neither the old link nor the old partition leaks through."""
+        fabric = Fabric()
+        fabric.register("a", lambda s, m: None)
+        fabric.register("b", lambda s, m: ("pong", s, m))
+        fabric.connect("a", "b", latency_us=50.0)
+        fabric.unregister("a")
+        fabric.register("a", lambda s, m: None)
+        with pytest.raises(NetworkError):
+            fabric.send("a", "b", "x")      # old link must not resurrect
+        fabric.connect("a", "b", latency_us=10.0)
+        assert fabric.send("a", "b", "x") == ("pong", "a", "x")
+
+    def test_reregistered_name_does_not_inherit_old_cut(self):
+        fabric = Fabric()
+        fabric.register("a", lambda s, m: None)
+        fabric.register("b", lambda s, m: ("pong", s, m))
+        fabric.connect("a", "b", latency_us=50.0)
+        fabric.disconnect("a", "b")
+        fabric.unregister("a")
+        fabric.register("a", lambda s, m: None)
+        fabric.connect("a", "b", latency_us=10.0)
+        # The old cut is gone: the fresh link works immediately.
+        assert fabric.send("a", "b", "x") == ("pong", "a", "x")

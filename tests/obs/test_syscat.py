@@ -143,3 +143,26 @@ class TestSlowQueryPipeline:
             "SELECT severity, source, count FROM sys.alerts "
             "WHERE source = 'slowlog'")
         assert rows and rows[0]["severity"] == "warning"
+
+
+class TestSysFaultsView:
+    def test_empty_without_injector(self, engine):
+        result = engine.execute("SELECT * FROM sys.faults")
+        assert result.rows == []
+        assert result.columns == ["fault_id", "failpoint", "action",
+                                  "target", "gxid", "t_us"]
+
+    def test_injected_faults_queryable(self, engine):
+        from repro.faults import ACT_TIMEOUT, FP_PREPARE_BEFORE, FaultInjector
+
+        cluster = engine.cluster
+        injector = FaultInjector(seed=3).bind(cluster)
+        injector.arm(FP_PREPARE_BEFORE, ACT_TIMEOUT, times=1)
+        engine.execute("UPDATE t SET b = 'w' WHERE a = 1")
+        rows = engine.query(
+            "SELECT failpoint, action, target FROM sys.faults")
+        assert rows == [{"failpoint": "2pc.prepare.before",
+                         "action": "timeout",
+                         "target": "dn1"}]    # a = 1 hashes to dn1
+        count = engine.query("SELECT count(*) AS n FROM sys.faults")
+        assert count[0]["n"] == 1
