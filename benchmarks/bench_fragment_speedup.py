@@ -1,0 +1,138 @@
+"""Fragmented vs gather-all execution on a TPC-C-lite analytical mix.
+
+Runs the same analytical queries through two engines over identically
+loaded clusters: one with ``fragmented=False`` (every scan gathers all
+shards to the coordinator, the whole plan runs there — the pre-refactor
+shape) and one with ``fragmented=True`` (plans cut at exchange boundaries,
+filters and partial aggregates pushed into per-DN fragments).
+
+For each query it records the simulated elapsed time (wall-clock view:
+concurrent fragments count once) and the rows that crossed the simulated
+network (exchange traffic plus shard contents drained by coordinator-side
+scans). Fragmenting must both reduce simulated elapsed time and move fewer
+rows — the script asserts both, so CI fails if the speedup regresses away.
+
+Run:  PYTHONPATH=src python benchmarks/bench_fragment_speedup.py
+Writes ``BENCH_fragment_speedup.json`` next to this file (under ``out/``).
+"""
+
+import json
+from pathlib import Path
+
+from repro.cluster.mpp import MppCluster
+from repro.sql.engine import SqlEngine
+from repro.workloads.tpcc_lite import load_tpcc
+
+NUM_DNS = 4
+WAREHOUSES = 4
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_fragment_speedup.json"
+
+#: The analytical mix: filtered aggregates, group-bys, a replicated-side
+#: join, and a column-oriented variant that exercises the vector kernels.
+QUERIES = [
+    ("revenue_filtered",
+     "select sum(ol_amount), count(*) from order_line where ol_quantity >= 5"),
+    ("revenue_by_warehouse",
+     "select w_id, sum(ol_amount), count(*) from order_line "
+     "group by w_id order by w_id"),
+    ("top_items",
+     "select i.i_name, sum(ol.ol_amount) rev from order_line ol "
+     "join item i on ol.i_id = i.i_id group by i.i_name "
+     "order by i.i_name limit 10"),
+    ("customer_balances",
+     "select d_id, sum(c_balance), count(*) from customer "
+     "group by d_id order by d_id"),
+    ("low_stock",
+     "select count(*) from stock where s_quantity < 20"),
+    ("columnar_revenue",
+     "select ol_number, count(*), sum(ol_amount) from order_line_col "
+     "where ol_quantity >= 5 group by ol_number order by ol_number"),
+]
+
+
+def build_engine(fragmented: bool) -> SqlEngine:
+    cluster = MppCluster(num_dns=NUM_DNS)
+    load_tpcc(cluster, num_warehouses=WAREHOUSES)
+    eng = SqlEngine(cluster, fragmented=fragmented, learning_enabled=False)
+    # A column-oriented copy of order_line so the mix also exercises the
+    # vectorized fragment scan (TPC-C-lite's own tables are row-oriented).
+    eng.execute(
+        "create table order_line_col (ol_key int primary key, w_id int, "
+        "o_key int, ol_number int not null, i_id int not null, "
+        "ol_quantity int not null, ol_amount double not null) "
+        "distribute by hash(ol_key) with (orientation = column)")
+    eng.execute("insert into order_line_col select * from order_line")
+    eng.analyze()
+    return eng
+
+
+def network_rows(profile) -> int:
+    """Rows that crossed the simulated network: exchange traffic plus the
+    shard contents a coordinator-side scan drained remotely."""
+    return sum(op.net_rows for op in profile.operators)
+
+
+def normalized(rows):
+    return [tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+            for row in rows]
+
+
+def main() -> None:
+    engines = {
+        "gather_all": build_engine(fragmented=False),
+        "fragmented": build_engine(fragmented=True),
+    }
+    per_query = {}
+    totals = {"gather_all": 0.0, "fragmented": 0.0}
+    moved = {"gather_all": 0, "fragmented": 0}
+    for name, sql in QUERIES:
+        entry = {}
+        results = {}
+        for mode, eng in engines.items():
+            result = eng.execute(sql)
+            profile = result.profile
+            entry[f"{mode}_elapsed_us"] = profile.elapsed_time_us
+            entry[f"{mode}_network_rows"] = network_rows(profile)
+            totals[mode] += profile.elapsed_time_us
+            moved[mode] += network_rows(profile)
+            results[mode] = normalized(result.rows)
+        assert results["fragmented"] == results["gather_all"], \
+            f"{name}: fragmented execution changed query results"
+        entry["speedup"] = (entry["gather_all_elapsed_us"]
+                            / entry["fragmented_elapsed_us"])
+        per_query[name] = entry
+
+    speedup = totals["gather_all"] / totals["fragmented"]
+    assert totals["fragmented"] < totals["gather_all"], \
+        "fragmented execution must reduce total simulated elapsed time"
+    assert moved["fragmented"] < moved["gather_all"], \
+        "fragmented execution must move fewer rows across the network"
+
+    report = {
+        "benchmark": "fragment_speedup",
+        "config": {"num_dns": NUM_DNS, "warehouses": WAREHOUSES,
+                   "queries": len(QUERIES)},
+        "queries": per_query,
+        "total_sim_elapsed_us_gather_all": totals["gather_all"],
+        "total_sim_elapsed_us_fragmented": totals["fragmented"],
+        "network_rows_gather_all": moved["gather_all"],
+        "network_rows_fragmented": moved["fragmented"],
+        "speedup": speedup,
+        "results_identical": True,
+    }
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{'query':22s} {'gather-all':>12s} {'fragmented':>12s} {'speedup':>8s}")
+    for name, entry in per_query.items():
+        print(f"{name:22s} {entry['gather_all_elapsed_us']:10.1f}us "
+              f"{entry['fragmented_elapsed_us']:10.1f}us "
+              f"{entry['speedup']:7.2f}x")
+    print(f"total sim elapsed: {totals['gather_all']:.1f}us -> "
+          f"{totals['fragmented']:.1f}us ({speedup:.2f}x), "
+          f"network rows {moved['gather_all']} -> {moved['fragmented']}")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -185,5 +185,20 @@ class DataNode:
             self._note("exec.rows")
             yield item
 
+    def column_store_snapshot(self, table: str, snapshot: Snapshot,
+                              xid: int = INVALID_XID):
+        """This node's slice of ``table`` as a column store, under MVCC.
+
+        Plan fragments on column-oriented tables run the vectorized kernels
+        against this snapshot instead of iterating the heap row by row.
+        Built uncompressed: it lives only for the scan that requested it.
+        """
+        from repro.storage.colstore import ColumnStore
+
+        store = ColumnStore(self._schemas[table], compress=False)
+        store.append_rows(values for _key, values in self.scan(table, snapshot, xid))
+        store.flush()
+        return store
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"DataNode({self.node_id!r}, tables={sorted(self._heaps)})"

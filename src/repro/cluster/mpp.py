@@ -5,6 +5,12 @@ Wires together coordinator nodes, data nodes, the GTM and the shared catalog
 which applications run transactions.  The cluster can run either
 distributed-transaction protocol (:class:`~repro.cluster.txn.TxnMode`), which
 is the single switch the Figure 3 experiment flips.
+
+Query execution is *fragmented* over this topology: the SQL engine's planner
+cuts each plan at exchange boundaries, the per-DN fragments read their data
+node's shard (``GlobalTransaction.scan_shard`` /
+``shard_column_store``), and only exchange traffic crosses back to the
+coordinator — see :mod:`repro.exec.fragments`.
 """
 
 from __future__ import annotations

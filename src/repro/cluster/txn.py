@@ -557,11 +557,46 @@ class GlobalTransaction(_BaseTransaction):
             dn, lxid, view = self._attach(0)
             yield from dn.scan(table, view, lxid)
             return
+        # The data nodes scan their shards concurrently: the coordinator
+        # fans the statement out and waits for the slowest node, so the
+        # client's cursor advances by the max across DNs, not the serial
+        # sum.  Each node's service time is still attributed individually
+        # in sys.wait_events.
+        handles = [self._attach(dn_index)
+                   for dn_index in range(self._cluster.num_dns)]
+        start_us = self._ctx.t_us if self._ctx is not None else 0.0
+        end_us = start_us
         for dn_index in range(self._cluster.num_dns):
-            dn, lxid, view = self._attach(dn_index)
-            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            if self._ctx is not None:
+                self._ctx.t_us = start_us
+                self._charge_dn(dn_index, self._ctx.model.dn_stmt_us)
+                end_us = max(end_us, self._ctx.t_us)
             self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        if self._ctx is not None:
+            self._ctx.t_us = end_us
+            self._sync_obs()
+        for dn, lxid, view in handles:
             yield from dn.scan(table, view, lxid)
+
+    def scan_shard(self, table: str,
+                   dn_index: int) -> Iterator[Tuple[object, Dict[str, object]]]:
+        """Scan one node's slice of ``table`` — a hash shard, or the local
+        replica of a replicated table.  This is the plan-fragment scan path:
+        each fragment reads only the node it runs on."""
+        self._require_running()
+        dn, lxid, view = self._attach(dn_index)
+        self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        yield from dn.scan(table, view, lxid)
+
+    def shard_column_store(self, table: str, dn_index: int):
+        """One node's slice of ``table`` as a column-store MVCC snapshot,
+        for fragments that run the vectorized kernels."""
+        self._require_running()
+        dn, lxid, view = self._attach(dn_index)
+        self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        return dn.column_store_snapshot(table, view, lxid)
 
     # -- completion ----------------------------------------------------------
 

@@ -21,6 +21,12 @@ from repro.optimizer.logical import AggSpec, Schema
 class PhysicalOp:
     """Base class for physical operators."""
 
+    #: Fragmented plans clone partitioned operators once per data node; the
+    #: clones share a capture group so the learning producer sums their
+    #: ``actual_rows`` back into one observation per *logical* step (the
+    #: plan store is keyed on logical steps, not per-DN instances).
+    capture_group: Optional[int] = None
+
     def __init__(self, schema: Schema, estimated_rows: float = 0.0,
                  step_text: Optional[str] = None):
         self.schema = schema
@@ -64,22 +70,87 @@ class PhysicalOp:
 
 
 class PScan(PhysicalOp):
-    """Table scan over a row source supplied by the engine."""
+    """Table scan over a row source supplied by the engine.
+
+    When the engine binds a column store for this scan target (a
+    column-oriented table's shard) *and* the predicate compiled to vector
+    specs, execution runs through the vectorized kernels
+    (:mod:`repro.exec.vectorized`) instead of row-at-a-time evaluation.
+
+    A coordinator-side scan of a distributed table is not free: every raw
+    tuple crosses the network from ``remote_sources`` shards before the
+    predicate even runs.  When ``remote_sources > 0`` the scan charges that
+    movement through the same :func:`repro.net.costing.exchange_cost_us`
+    model the exchanges use — this is what makes the gather-all baseline
+    honest next to fragmented plans, whose per-DN scans are local reads.
+    """
 
     def __init__(self, table: str, source: Callable[[], Iterable[tuple]],
                  schema: Schema, predicate: Optional[BoundExpr] = None,
-                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None,
+                 vector_store: Optional[Callable[[], object]] = None,
+                 vector_preds: Optional[List[Tuple[str, str, object]]] = None,
+                 table_schema=None, remote_sources: int = 0, cost_model=None):
         super().__init__(schema, estimated_rows, step_text)
         self.table = table
         self.source = source
         self.predicate = predicate
+        self.vector_store = vector_store
+        self.vector_preds = vector_preds
+        self.table_schema = table_schema
+        #: Shards drained over the wire (0 = the scan is node-local).
+        self.remote_sources = remote_sources
+        self.cost_model = cost_model
+        #: Raw tuples pulled from the source, pre-predicate; this is the
+        #: volume that crossed the network for a remote scan.
+        self.scanned_rows = 0
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.scanned_rows = 0
+
+    def _drain(self) -> Iterator[tuple]:
+        for row in self.source():
+            self.scanned_rows += 1
+            yield row
 
     def execute(self) -> Iterator[tuple]:
-        rows = iter(self.source())
+        if self.vector_store is not None and self.vector_preds is not None:
+            from repro.exec.fragments import vector_scan_rows
+
+            return self._count(vector_scan_rows(self))
+        rows = self._drain()
         if self.predicate is not None:
             predicate = self.predicate
             rows = (row for row in rows if predicate.eval(row))
         return self._count(rows)
+
+    def sim_self_time_us(self, rows_in: int, rows_out: int,
+                         batches: int) -> Optional[float]:
+        """Add shard-draining network cost for coordinator-side scans.
+
+        Returns ``None`` for local scans so the profiler falls back to the
+        generic CPU formula.
+        """
+        if not self.remote_sources:
+            return None
+        from repro.net.costing import exchange_cost_us, row_width_bytes
+        from repro.net.latency import DEFAULT_PROFILE
+        from repro.obs.profiler import (BATCH_COST_US, DEFAULT_ROW_COST_US,
+                                        OPEN_COST_US)
+
+        model = self.cost_model if self.cost_model is not None else DEFAULT_PROFILE.mpp
+        width = row_width_bytes(getattr(c, "data_type", None)
+                                for c in self.schema)
+        cpu = (OPEN_COST_US + BATCH_COST_US * batches
+               + DEFAULT_ROW_COST_US["Scan"] * (self.scanned_rows + rows_out))
+        return cpu + exchange_cost_us(model, self.scanned_rows, width,
+                                      edges=self.remote_sources)
+
+    @property
+    def network_rows(self) -> int:
+        """Rows this scan pulled across the network (0 for local scans)."""
+        return self.scanned_rows if self.remote_sources else 0
 
     def describe(self) -> str:
         pred = f" [{self.predicate.text()}]" if self.predicate is not None else ""
@@ -431,20 +502,86 @@ class PUnionAll(PhysicalOp):
 
 
 class PExchange(PhysicalOp):
-    """Data-movement marker: gather / broadcast / redistribute.
+    """Data movement: gather / broadcast / redistribute.
 
-    Execution is single-process, so the operator passes rows through; its
-    value is in the plan (the MPP optimizer "accounts for the cost of data
-    exchange") and in the explain output.
+    A real operator since the fragmented-execution refactor: its inputs are
+    the per-DN fragments it collects (or a single subtree for broadcasts and
+    legacy plans), and it charges simulated network cost — rows moved times
+    estimated row width, per sender edge — through the
+    :mod:`repro.net.costing` exchange model.  The rows that flow through it
+    are exactly the rows that cross the CN/DN boundary, so a plan that
+    pushes a partial aggregate below the gather moves groups, not tuples.
     """
 
-    def __init__(self, kind: str, child: PhysicalOp,
-                 estimated_rows: float = 0.0):
-        super().__init__(child.schema, estimated_rows)
+    def __init__(self, kind: str, child,
+                 estimated_rows: float = 0.0, cost_model=None):
+        children = (list(child) if isinstance(child, (list, tuple))
+                    else [child])
+        if not children:
+            raise ExecutionError("exchange needs at least one input")
+        super().__init__(children[0].schema, estimated_rows)
         if kind not in ("gather", "broadcast", "redistribute"):
             raise ExecutionError(f"unknown exchange kind {kind!r}")
         self.kind = kind
+        self._children: List[PhysicalOp] = children
+        #: Backward-compatible alias (single-input exchanges predate
+        #: fragment fan-in).
+        self.child = children[0]
+        self.cost_model = cost_model
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return tuple(self._children)
+
+    def execute(self) -> Iterator[tuple]:
+        def gen() -> Iterator[tuple]:
+            for child in self._children:
+                yield from child.execute()
+
+        return self._count(gen())
+
+    def sim_self_time_us(self, rows_in: int, rows_out: int,
+                         batches: int) -> float:
+        """Network cost hook for the profiler (replaces per-row CPU cost)."""
+        from repro.net.costing import exchange_cost_us, row_width_bytes
+        from repro.net.latency import DEFAULT_PROFILE
+
+        model = self.cost_model if self.cost_model is not None else DEFAULT_PROFILE.mpp
+        width = row_width_bytes(getattr(c, "data_type", None)
+                                for c in self.schema)
+        return exchange_cost_us(model, rows_out, width,
+                                edges=len(self._children))
+
+    @property
+    def network_rows(self) -> int:
+        """Rows that crossed this exchange's wire."""
+        return self.actual_rows
+
+    def describe(self) -> str:
+        if len(self._children) > 1:
+            return f"Exchange {self.kind} [{len(self._children)} fragments]"
+        return f"Exchange {self.kind}"
+
+
+class PFragment(PhysicalOp):
+    """One data node's slice of a fragmented plan.
+
+    Everything beneath it executes "on" data node ``dn_index`` (scans read
+    only that shard); fragments sharing a ``group_id`` are the parallel
+    instances of the same plan slice, so the profiler charges the *max* of
+    their simulated times — they run concurrently on different nodes.
+    """
+
+    is_fragment = True
+
+    def __init__(self, child: PhysicalOp, dn_index: int, group_id: int):
+        super().__init__(child.schema, child.estimated_rows)
         self.child = child
+        self.dn_index = dn_index
+        self.group_id = group_id
+
+    @property
+    def fragment_key(self) -> Tuple[int, int]:
+        return (self.group_id, self.dn_index)
 
     def children(self) -> Sequence[PhysicalOp]:
         return (self.child,)
@@ -453,7 +590,157 @@ class PExchange(PhysicalOp):
         return self._count(self.child.execute())
 
     def describe(self) -> str:
-        return f"Exchange {self.kind}"
+        return f"Fragment dn{self.dn_index}"
+
+
+def _partial_add(cell: List[object], func: str, value: object) -> None:
+    if value is _STAR:
+        cell[0] += 1
+        return
+    if value is None:
+        return
+    cell[0] += 1
+    if func in ("sum", "avg"):
+        cell[1] += value
+    elif func == "min":
+        if cell[2] is None or value < cell[2]:
+            cell[2] = value
+    elif func == "max":
+        if cell[3] is None or value > cell[3]:
+            cell[3] = value
+
+
+def _merge_state(cell: List[object], state: tuple) -> None:
+    count, total, minimum, maximum = state
+    cell[0] += count
+    cell[1] += total
+    if minimum is not None and (cell[2] is None or minimum < cell[2]):
+        cell[2] = minimum
+    if maximum is not None and (cell[3] is None or maximum > cell[3]):
+        cell[3] = maximum
+
+
+def _finalize_state(cell: List[object], func: str) -> object:
+    count, total, minimum, maximum = cell
+    if func == "count":
+        return count
+    if func == "sum":
+        return total if count else None
+    if func == "avg":
+        return total / count if count else None
+    if func == "min":
+        return minimum
+    if func == "max":
+        return maximum
+    raise ExecutionError(f"unknown aggregate {func!r}")
+
+
+class PPartialAgg(PhysicalOp):
+    """DN-side half of two-phase aggregation.
+
+    Emits one row per local group: the group key followed by one partial
+    state tuple ``(count, total, minimum, maximum)`` per aggregate.  The
+    coordinator's :class:`PFinalAgg` merges states across data nodes, so
+    only group-grain rows cross the gather exchange.  Carries no
+    ``step_text`` — per-DN partials are a physical artifact, not a logical
+    step the plan store should learn.
+    """
+
+    def __init__(self, child: PhysicalOp, group_exprs: List[BoundExpr],
+                 aggs: List[AggSpec], schema: Schema,
+                 estimated_rows: float = 0.0):
+        super().__init__(schema, estimated_rows)
+        self.child = child
+        self.group_exprs = group_exprs
+        self.aggs = aggs
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(self._aggregate())
+
+    def _aggregate(self) -> Iterator[tuple]:
+        from repro.exec.fragments import vector_partial_states
+
+        fast = vector_partial_states(self)
+        if fast is not None:
+            yield from fast
+            return
+        groups: Dict[tuple, List[List[object]]] = {}
+        ordered: List[tuple] = []
+        for row in self.child.execute():
+            key = tuple(g.eval(row) for g in self.group_exprs)
+            cells = groups.get(key)
+            if cells is None:
+                cells = groups[key] = [[0, 0.0, None, None] for _ in self.aggs]
+                ordered.append(key)
+            for spec, cell in zip(self.aggs, cells):
+                value = _STAR if spec.arg is None else spec.arg.eval(row)
+                _partial_add(cell, spec.func, value)
+        if not groups and not self.group_exprs:
+            # A global aggregate ships one (empty) state row per node, so
+            # the final aggregate sees every node even over zero rows.
+            yield tuple((0, 0.0, None, None) for _ in self.aggs)
+            return
+        for key in ordered:
+            yield key + tuple(tuple(cell) for cell in groups[key])
+
+    def describe(self) -> str:
+        return ("PartialAggregate group=["
+                + ", ".join(g.text() for g in self.group_exprs) + "] aggs=["
+                + ", ".join(a.text() for a in self.aggs) + "]")
+
+
+class PFinalAgg(PhysicalOp):
+    """CN-side half of two-phase aggregation: merge partial states.
+
+    Input rows are ``group key + state tuples`` from the data nodes'
+    :class:`PPartialAgg` instances (concatenated through a gather exchange).
+    Carries the logical aggregate's ``step_text``: its output *is* the
+    logical step's output, so learning feedback captures global group
+    counts here.
+    """
+
+    def __init__(self, child: PhysicalOp, n_group_cols: int,
+                 aggs: List[AggSpec], schema: Schema,
+                 estimated_rows: float = 0.0, step_text: Optional[str] = None):
+        super().__init__(schema, estimated_rows, step_text)
+        self.child = child
+        self.n_group_cols = n_group_cols
+        self.aggs = aggs
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def execute(self) -> Iterator[tuple]:
+        return self._count(self._aggregate())
+
+    def _aggregate(self) -> Iterator[tuple]:
+        n = self.n_group_cols
+        groups: Dict[tuple, List[List[object]]] = {}
+        ordered: List[tuple] = []
+        for row in self.child.execute():
+            key = row[:n]
+            cells = groups.get(key)
+            if cells is None:
+                cells = groups[key] = [[0, 0.0, None, None] for _ in self.aggs]
+                ordered.append(key)
+            for cell, state in zip(cells, row[n:]):
+                _merge_state(cell, state)
+        if not groups and n == 0:
+            cells = [[0, 0.0, None, None] for _ in self.aggs]
+            yield tuple(_finalize_state(c, s.func)
+                        for c, s in zip(cells, self.aggs))
+            return
+        for key in ordered:
+            yield key + tuple(_finalize_state(c, s.func)
+                              for c, s in zip(groups[key], self.aggs))
+
+    def describe(self) -> str:
+        names = ", ".join(c.name for c in self.schema[:self.n_group_cols])
+        return (f"FinalAggregate group=[{names}] aggs=["
+                + ", ".join(a.text() for a in self.aggs) + "]")
 
 
 def walk_physical(op: PhysicalOp):

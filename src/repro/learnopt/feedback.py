@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.exec.operators import PhysicalOp, walk_physical
 from repro.learnopt.store import PlanStore
@@ -56,21 +56,47 @@ class FeedbackLoop:
     # -- producer ---------------------------------------------------------------
 
     def capture(self, root: PhysicalOp) -> CaptureReport:
-        """Harvest mis-estimated steps from an executed physical plan."""
+        """Harvest mis-estimated steps from an executed physical plan.
+
+        Per-DN fragment clones of one logical step share a
+        ``capture_group``: their estimates and actuals are summed back into
+        a single observation, so the plan store records the same
+        logical-step cardinalities whether or not the plan was fragmented.
+        """
         report = CaptureReport()
         if not self.settings.enabled:
             return report
+        grouped: Dict[Tuple[int, str], List[float]] = {}
+        order: List[Tuple[int, str]] = []
         for op in walk_physical(root):
             if op.step_text is None:
                 continue
-            report.considered += 1
-            actual = float(op.actual_rows)
-            estimate = float(op.estimated_rows)
-            if actual < self.settings.min_actual_rows:
+            group = op.capture_group
+            if group is not None:
+                key = (group, op.step_text)
+                sums = grouped.get(key)
+                if sums is None:
+                    grouped[key] = [float(op.estimated_rows),
+                                    float(op.actual_rows)]
+                    order.append(key)
+                else:
+                    sums[0] += float(op.estimated_rows)
+                    sums[1] += float(op.actual_rows)
                 continue
-            error = abs(actual - estimate) / max(actual, 1.0)
-            if error > self.settings.error_threshold:
-                self.store.put(op.step_text, estimate, actual)
-                report.captured += 1
-                report.steps.append(op.step_text)
+            self._consider(report, op.step_text,
+                           float(op.estimated_rows), float(op.actual_rows))
+        for key in order:
+            estimate, actual = grouped[key]
+            self._consider(report, key[1], estimate, actual)
         return report
+
+    def _consider(self, report: CaptureReport, step_text: str,
+                  estimate: float, actual: float) -> None:
+        report.considered += 1
+        if actual < self.settings.min_actual_rows:
+            return
+        error = abs(actual - estimate) / max(actual, 1.0)
+        if error > self.settings.error_threshold:
+            self.store.put(step_text, estimate, actual)
+            report.captured += 1
+            report.steps.append(step_text)

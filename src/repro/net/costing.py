@@ -11,10 +11,44 @@ accepts ``ctx=None`` and simply skips accounting.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.net.latency import MppCostModel
 from repro.net.resource import Resource, ResourcePool
+from repro.storage.types import DataType
+
+#: Wire width (bytes) per column type for exchange costing.  Fixed-width
+#: types serialize as their storage width; TEXT uses a typical short-string
+#: estimate; unknown/untyped columns fall back to 8 bytes.
+_TYPE_WIDTH_BYTES = {
+    DataType.INT: 8,
+    DataType.BIGINT: 8,
+    DataType.DOUBLE: 8,
+    DataType.TIMESTAMP: 8,
+    DataType.BOOL: 1,
+    DataType.TEXT: 32,
+}
+_DEFAULT_WIDTH_BYTES = 8
+
+
+def row_width_bytes(types: Iterable[Optional[DataType]]) -> int:
+    """Estimated serialized width of one row with the given column types."""
+    return sum(_TYPE_WIDTH_BYTES.get(t, _DEFAULT_WIDTH_BYTES) for t in types)
+
+
+def exchange_cost_us(model: MppCostModel, rows: int, width_bytes: int,
+                     edges: int = 1) -> float:
+    """Simulated cost of moving ``rows`` through one exchange operator.
+
+    Each of the ``edges`` sender streams pays a startup cost plus a network
+    hop pair; the data itself pays a per-byte wire cost over
+    ``rows * width_bytes`` (rows are whatever actually crossed the exchange,
+    so a partial aggregate that collapses a million rows into fifty groups
+    moves fifty rows' worth of bytes).
+    """
+    edges = max(1, int(edges))
+    startup = edges * (model.exchange_startup_us + 2 * model.lan_hop_us)
+    return startup + model.wire_byte_us * float(rows) * float(width_bytes)
 
 
 class CostContext:

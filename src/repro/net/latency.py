@@ -44,6 +44,12 @@ class MppCostModel:
     dn_commit_us: float = 15.0       # local commit record
     dn_prepare_us: float = 60.0      # 2PC prepare (flush prepare record)
     dn_commit_prepared_us: float = 40.0  # 2PC phase-two commit
+    # Exchange (data-movement) costs, charged by the executor's PExchange.
+    # The optimizer "accounts for the cost of data exchange": each exchange
+    # edge pays a fixed setup (stream open, teardown) plus a per-byte wire
+    # cost over rows * estimated row width.
+    exchange_startup_us: float = 50.0   # per exchange edge (sender stream)
+    wire_byte_us: float = 0.002         # serialize + transmit one byte
 
     def scaled(self, factor: float) -> "MppCostModel":
         """Return a copy with every cost multiplied by ``factor``."""

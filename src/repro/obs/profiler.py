@@ -41,6 +41,9 @@ DEFAULT_ROW_COST_US: Dict[str, float] = {
     "Distinct": 0.05,
     "UnionAll": 0.01,
     "Exchange": 0.08,
+    "Fragment": 0.0,
+    "PartialAgg": 0.10,
+    "FinalAgg": 0.10,
 }
 DEFAULT_ROW_COST_FALLBACK_US = 0.10
 OPEN_COST_US = 5.0
@@ -58,6 +61,12 @@ class OperatorProfile:
     rows: int
     batches: int
     time_us: float
+    #: ``(fragment_group, dn_index)`` for operators running inside a plan
+    #: fragment on a data node; ``None`` for coordinator-side operators.
+    fragment: Optional[Tuple[int, int]] = None
+    #: Rows this operator moved across the simulated network (exchanges and
+    #: coordinator-side scans of distributed tables); 0 for local operators.
+    net_rows: int = 0
 
     def as_tuple(self) -> Tuple[str, float, int, int, float]:
         indented = ("  " * self.depth) + self.operator
@@ -74,7 +83,31 @@ class QueryProfile:
 
     @property
     def total_time_us(self) -> float:
+        """Total simulated work across every operator instance (CPU-seconds
+        view: parallel fragments all count)."""
         return sum(op.time_us for op in self.operators)
+
+    @property
+    def elapsed_time_us(self) -> float:
+        """Simulated wall-clock time of the query.
+
+        Fragments in the same group run concurrently on different data
+        nodes, so each group contributes the *max* across its per-DN
+        instances; coordinator-side operators (no fragment) are serial and
+        sum as before.  Without fragments this equals ``total_time_us``.
+        """
+        serial = 0.0
+        per_instance: Dict[Tuple[int, int], float] = {}
+        for op in self.operators:
+            if op.fragment is None:
+                serial += op.time_us
+            else:
+                per_instance[op.fragment] = (
+                    per_instance.get(op.fragment, 0.0) + op.time_us)
+        slowest: Dict[int, float] = {}
+        for (group, _dn), time_us in per_instance.items():
+            slowest[group] = max(slowest.get(group, 0.0), time_us)
+        return serial + sum(slowest.values())
 
     @property
     def output_rows(self) -> int:
@@ -107,14 +140,16 @@ class QueryProfile:
 class _Entry:
     """Profiler state for one operator instance."""
 
-    __slots__ = ("op", "parent", "depth", "span", "closed")
+    __slots__ = ("op", "parent", "depth", "span", "closed", "fragment")
 
-    def __init__(self, op: "PhysicalOp", parent: Optional["PhysicalOp"], depth: int):
+    def __init__(self, op: "PhysicalOp", parent: Optional["PhysicalOp"],
+                 depth: int, fragment: Optional[Tuple[int, int]] = None):
         self.op = op
         self.parent = parent
         self.depth = depth
         self.span: Optional[Span] = None
         self.closed = False
+        self.fragment = fragment
 
 
 class QueryProfiler:
@@ -137,13 +172,17 @@ class QueryProfiler:
         """Register every operator in the tree and hook its row stream."""
         self._walk(root, parent=None, depth=0)
 
-    def _walk(self, op: "PhysicalOp", parent: Optional["PhysicalOp"], depth: int) -> None:
-        entry = _Entry(op, parent, depth)
+    def _walk(self, op: "PhysicalOp", parent: Optional["PhysicalOp"], depth: int,
+              fragment: Optional[Tuple[int, int]] = None) -> None:
+        key = getattr(op, "fragment_key", None)
+        if key is not None:
+            fragment = key
+        entry = _Entry(op, parent, depth, fragment)
         self._entries[id(op)] = entry
         self._order.append(entry)
         op.profiler = self
         for child in op.children():
-            self._walk(child, op, depth + 1)
+            self._walk(child, op, depth + 1, fragment)
 
     # -- execution hooks (called from PhysicalOp._count) -------------------
 
@@ -189,6 +228,13 @@ class QueryProfiler:
         rows_out = entry.op.actual_rows
         rows_in = sum(c.actual_rows for c in entry.op.children())
         batches = self._batches(rows_out)
+        custom = getattr(entry.op, "sim_self_time_us", None)
+        if custom is not None:
+            # Operators with a physical cost of their own (exchanges charge
+            # the network model) override the generic CPU formula.
+            time_us = custom(rows_in, rows_out, batches)
+            if time_us is not None:
+                return float(time_us)
         per_row = self.row_costs.get(entry.op.name(),
                                      DEFAULT_ROW_COST_FALLBACK_US)
         return (OPEN_COST_US + BATCH_COST_US * batches
@@ -212,6 +258,8 @@ class QueryProfiler:
                 rows=entry.op.actual_rows,
                 batches=self._batches(entry.op.actual_rows),
                 time_us=self._self_time_us(entry),
+                fragment=entry.fragment,
+                net_rows=int(getattr(entry.op, "network_rows", 0)),
             )
             for entry in self._order
         ])

@@ -64,7 +64,9 @@ class SlowQueryLog:
              profile: QueryProfile) -> Optional[SlowQuery]:
         """Record the query if it crossed the threshold; return the entry."""
         self.queries_seen += 1
-        elapsed_us = profile.total_time_us
+        # Wall-clock view: parallel plan fragments count once (the slowest),
+        # not summed — identical to total_time_us for unfragmented plans.
+        elapsed_us = profile.elapsed_time_us
         if elapsed_us < self.threshold_us:
             return None
         top = max(profile.operators, key=lambda op: op.time_us, default=None)

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.mpp import MppCluster
 from repro.common.errors import CatalogError, SqlAnalysisError
+from repro.exec.fragments import ScanBinding
 from repro.exec.operators import PhysicalOp
 from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
 from repro.obs import Observability, QueryProfile, QueryProfiler
@@ -65,8 +66,13 @@ class SqlEngine:
     def __init__(self, cluster: MppCluster,
                  learning_enabled: bool = True,
                  capture_settings: Optional[CaptureSettings] = None,
-                 now_fn: Optional[Callable[[], int]] = None):
+                 now_fn: Optional[Callable[[], int]] = None,
+                 fragmented: bool = True):
         self.cluster = cluster
+        #: Cut query plans at exchange boundaries into per-DN fragments
+        #: (FI-MPPDB's execution shape).  Off: every scan gathers all shards
+        #: to the coordinator and the whole plan runs there.
+        self.fragmented = fragmented
         self.stats = StatsManager()
         self.feedback = FeedbackLoop(settings=capture_settings)
         self.learning_enabled = learning_enabled
@@ -263,15 +269,32 @@ class SqlEngine:
             feedback=self.feedback if self.learning_enabled else None,
         )
 
-        def scan_source(table: str, scan: LogicalScan):
+        def scan_source(table: str, scan: LogicalScan,
+                        dn_index: Optional[int] = None) -> ScanBinding:
             schema = self.cluster.catalog.schema(table)
             order = [c.name for c in schema.columns]
 
+            if dn_index is None:
+                def rows() -> Iterable[tuple]:
+                    for _, values in txn.scan(schema.name):
+                        yield tuple(values.get(name) for name in order)
+
+                return ScanBinding(rows)
+
+            # A plan fragment's scan: only this data node's slice.  Column-
+            # oriented tables additionally expose a column-store snapshot so
+            # the scan can run the vectorized kernels.
             def rows() -> Iterable[tuple]:
-                for _, values in txn.scan(schema.name):
+                for _, values in txn.scan_shard(schema.name, dn_index):
                     yield tuple(values.get(name) for name in order)
 
-            return rows
+            column_store = None
+            if schema.orientation is Orientation.COLUMN:
+                def column_store(table=schema.name, dn=dn_index):
+                    return txn.shard_column_store(table, dn)
+
+            return ScanBinding(rows, column_store=column_store,
+                               table_schema=schema)
 
         def table_function_rows(name: str, args: Tuple[object, ...]):
             impl = self.table_functions.get(name)
@@ -283,7 +306,14 @@ class SqlEngine:
 
             return rows
 
-        return PhysicalPlanner(estimator, scan_source, table_function_rows)
+        return PhysicalPlanner(
+            estimator, scan_source, table_function_rows,
+            num_dns=self.cluster.num_dns,
+            table_schema=self.cluster.catalog.schema,
+            cost_model=getattr(getattr(self.cluster, "profile", None),
+                               "mpp", None),
+            fragmented=self.fragmented,
+        )
 
     def _binder(self) -> Binder:
         return Binder(self.cluster.catalog, self.table_functions,
@@ -319,13 +349,16 @@ class SqlEngine:
             raise
         profile = profiler.profile()
         if self.obs is not None:
+            # Latency is the wall-clock view: concurrent fragments count
+            # once (their max), unlike total_time_us which sums all work.
             self.obs.metrics.histogram("query.latency_us").observe(
-                profile.total_time_us)
+                profile.elapsed_time_us)
             self.obs.metrics.counter("query.executed").inc()
             query_span.set_attribute("rows", profile.output_rows)
-            query_span.set_attribute("time_us", profile.total_time_us)
+            query_span.set_attribute("time_us", profile.elapsed_time_us)
             self.obs.tracer.end_span(
-                query_span, end_us=query_span.start_us + profile.total_time_us)
+                query_span,
+                end_us=query_span.start_us + profile.elapsed_time_us)
             self.obs.slowlog.note(self._current_sql, query_span.start_us,
                                   profile)
         capture = None

@@ -1,0 +1,71 @@
+"""Plan-store key stability across the fragmented-execution refactor.
+
+Fragmenting is purely physical: logical step texts — and therefore the
+MD5 keys the plan store is keyed by — must be byte-identical whether a
+query ran gather-all or fragmented, and the captured estimate/actual
+cardinalities must agree (per-DN clones sum back into one observation).
+"""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.learnopt.feedback import CaptureSettings
+from repro.learnopt.store import step_key
+from repro.sql.engine import SqlEngine
+
+WORKLOAD = [
+    "select count(*) from ledger where bucket = 3",
+    "select bucket, sum(amount) from ledger group by bucket",
+    "select l.bucket, count(*) from ledger l join refs r "
+    "on l.bucket = r.id group by l.bucket",
+    "select * from ledger where amount > 400 order by id limit 5",
+]
+
+
+def build_engine(fragmented):
+    cluster = MppCluster(num_dns=2)
+    eng = SqlEngine(cluster, fragmented=fragmented,
+                    capture_settings=CaptureSettings(error_threshold=0.0))
+    eng.execute("create table ledger (id int primary key, bucket int, "
+                "amount double)")
+    eng.execute("create table refs (id int primary key, tag text)")
+    eng.execute("insert into ledger values " + ",".join(
+        f"({i}, {i % 8}, {i * 1.25})" for i in range(400)))
+    eng.execute("insert into refs values " + ",".join(
+        f"({i}, 'r{i}')" for i in range(8)))
+    # No ANALYZE: zero-stat estimates diverge from actuals, so every step
+    # with a step_text is captured (threshold 0) — maximal key coverage.
+    return eng
+
+
+def captured_records(fragmented):
+    eng = build_engine(fragmented)
+    for sql in WORKLOAD:
+        eng.execute(sql)
+    return {r.step_text: (r.key, r.estimated_rows, r.actual_rows)
+            for r in eng.plan_store.records()}
+
+
+class TestKeyStability:
+    def test_md5_keys_identical_with_and_without_fragmenting(self):
+        frag = captured_records(fragmented=True)
+        flat = captured_records(fragmented=False)
+        assert set(frag) == set(flat)
+        for text in flat:
+            assert frag[text][0] == flat[text][0] == step_key(text)
+
+    def test_captured_cardinalities_agree(self):
+        frag = captured_records(fragmented=True)
+        flat = captured_records(fragmented=False)
+        for text, (_key, _est, actual) in flat.items():
+            # Actual rows of a logical step are plan-independent; per-DN
+            # clones were summed back into one observation.
+            assert frag[text][2] == pytest.approx(actual), text
+
+    def test_scan_actuals_sum_across_fragments(self):
+        eng = build_engine(fragmented=True)
+        eng.execute("select count(*) from ledger where bucket = 3")
+        scans = [r for r in eng.plan_store.records()
+                 if r.step_text.startswith("SCAN(LEDGER")]
+        assert len(scans) == 1
+        assert scans[0].actual_rows == 50.0  # 400 rows, 8 buckets

@@ -1,0 +1,181 @@
+"""Exchange placement in fragmented plans.
+
+Satellite coverage for the distributed lowering: broadcast-vs-redistribute
+thresholds, equi-key orientation, co-located elision, and top-level gather
+elision for replicated/single-DN plans.
+"""
+
+import pytest
+
+from repro.cluster import MppCluster
+from repro.exec.operators import (
+    PExchange,
+    PFragment,
+    PHashJoin,
+    PScan,
+    walk_physical,
+)
+from repro.sql import ast  # noqa: F401 - parity with test_planner imports
+from repro.sql.engine import SqlEngine
+from repro.sql.parser import parse
+
+
+def build_engine(num_dns=2, fragmented=True):
+    cluster = MppCluster(num_dns=num_dns)
+    eng = SqlEngine(cluster, fragmented=fragmented)
+    eng.execute("create table facts (id int primary key, k int, v double)")
+    eng.execute("create table dims (k int primary key, name text)")
+    eng.execute("create table tiny (id int primary key, tag text)")
+    eng.execute("create table lookup (id int primary key, label text) "
+                "distribute by replication")
+    eng.execute("insert into facts values " + ",".join(
+        f"({i}, {i % 40}, {i * 0.5})" for i in range(800)))
+    eng.execute("insert into dims values " + ",".join(
+        f"({i}, 'd{i}')" for i in range(40)))
+    eng.execute("insert into tiny values " + ",".join(
+        f"({i}, 't{i}')" for i in range(4)))
+    eng.execute("insert into lookup values " + ",".join(
+        f"({i}, 'l{i}')" for i in range(10)))
+    eng.execute("analyze")
+    return eng
+
+
+@pytest.fixture
+def engine():
+    return build_engine()
+
+
+def physical_for(engine, sql):
+    stmt = parse(sql)
+    session = engine.cluster.session()
+    txn = session.begin(multi_shard=True)
+    plan = engine.plan_select(stmt, txn)
+    txn.commit()
+    return plan
+
+
+def exchanges(plan):
+    return [op for op in walk_physical(plan) if isinstance(op, PExchange)]
+
+
+def fragments(plan):
+    return [op for op in walk_physical(plan) if isinstance(op, PFragment)]
+
+
+class TestThresholds:
+    def test_small_side_broadcast_into_fragments(self, engine):
+        plan = physical_for(
+            engine, "select * from facts join tiny on facts.k = tiny.id")
+        kinds = [e.kind for e in exchanges(plan)]
+        assert "broadcast" in kinds
+        assert "redistribute" not in kinds
+        # The broadcast lives inside the probe side's fragments: the join
+        # runs per-DN, below the top gather.
+        for frag in fragments(plan):
+            joins = [op for op in walk_physical(frag)
+                     if isinstance(op, PHashJoin)]
+            assert joins, "each fragment should hold its own join"
+
+    def test_comparable_sides_redistribute_both(self, engine):
+        plan = physical_for(
+            engine, "select * from facts f1 join facts f2 on f1.k = f2.k")
+        kinds = [e.kind for e in exchanges(plan)]
+        assert kinds.count("redistribute") == 2
+        assert "broadcast" not in kinds
+
+    def test_reversed_equi_key_orientation(self, engine):
+        # tiny.id = facts.k (small side written on the left) must still
+        # broadcast tiny, not redistribute.
+        plan = physical_for(
+            engine, "select * from tiny join facts on tiny.id = facts.k")
+        kinds = [e.kind for e in exchanges(plan)]
+        assert "broadcast" in kinds
+        assert "redistribute" not in kinds
+        broadcast = [e for e in exchanges(plan) if e.kind == "broadcast"][0]
+        tables = [op.table for op in walk_physical(broadcast)
+                  if isinstance(op, PScan)]
+        assert tables == ["tiny"]
+
+
+class TestColocation:
+    def test_colocated_join_elides_exchanges(self, engine):
+        # Both tables hash-distributed on their primary key = the join key:
+        # matching rows share a node, so no redistribute and no broadcast —
+        # just per-fragment joins under the single top gather.
+        plan = physical_for(
+            engine, "select * from facts join dims on facts.id = dims.k")
+        kinds = [e.kind for e in exchanges(plan)]
+        assert kinds == ["gather"]
+        for frag in fragments(plan):
+            joins = [op for op in walk_physical(frag)
+                     if isinstance(op, PHashJoin)]
+            assert joins
+
+    def test_non_distribution_key_join_is_not_colocated(self, engine):
+        # facts is distributed on id, joined on k: co-location must NOT be
+        # assumed.
+        plan = physical_for(
+            engine, "select * from facts join dims on facts.k = dims.k")
+        kinds = [e.kind for e in exchanges(plan)]
+        assert kinds != ["gather"]
+
+
+class TestGatherElision:
+    def test_replicated_scan_needs_no_gather(self, engine):
+        plan = physical_for(engine, "select * from lookup")
+        assert exchanges(plan) == []
+        assert fragments(plan) == []
+
+    def test_replicated_join_runs_beside_fragments(self, engine):
+        # Hash x replicated joins per-DN with no broadcast of the
+        # replicated side (each node already holds a full copy).
+        plan = physical_for(
+            engine,
+            "select * from facts join lookup on facts.k = lookup.id")
+        kinds = [e.kind for e in exchanges(plan)]
+        assert kinds == ["gather"]
+
+    def test_single_dn_cluster_has_no_exchanges(self):
+        eng = build_engine(num_dns=1)
+        plan = physical_for(eng, "select * from facts where k < 5")
+        assert exchanges(plan) == []
+        assert fragments(plan) == []
+
+    def test_hash_scan_gathers_once_at_top(self, engine):
+        plan = physical_for(engine, "select * from facts where k < 5")
+        exch = exchanges(plan)
+        assert [e.kind for e in exch] == ["gather"]
+        assert len(fragments(plan)) == engine.cluster.num_dns
+
+    def test_unfragmented_engine_keeps_legacy_shape(self):
+        eng = build_engine(fragmented=False)
+        plan = physical_for(eng, "select * from facts where k < 5")
+        assert [e.kind for e in exchanges(plan)] == ["gather"]
+        assert fragments(plan) == []
+
+
+class TestCorrectnessParity:
+    QUERIES = [
+        "select count(*), sum(v) from facts where k < 10",
+        "select k, count(*) from facts group by k order by k",
+        "select d.name, count(*) c from facts f join dims d on f.k = d.k "
+        "group by d.name order by d.name",
+        "select * from facts join tiny on facts.k = tiny.id order by facts.id",
+        "select f.id from facts f join lookup l on f.k = l.id "
+        "where l.id = 3 order by f.id",
+        "select id from facts where k = 1 union all select id from tiny "
+        "order by id limit 7",
+        "select max(v), min(id) from facts",
+        "select count(*) from facts f1 join facts f2 on f1.k = f2.k",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_fragmented_matches_gather_all(self, sql):
+        frag = build_engine(fragmented=True)
+        flat = build_engine(fragmented=False)
+        got = frag.execute(sql)
+        want = flat.execute(sql)
+        assert got.columns == want.columns
+        assert len(got.rows) == len(want.rows)
+        for g, w in zip(got.rows, want.rows):
+            assert g == pytest.approx(w), sql

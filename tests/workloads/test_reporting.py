@@ -71,4 +71,9 @@ class TestLearningOnCannedQueries:
         for sql in workload.instances()[:12]:
             learned = engine.execute(sql)
             plain = baseline.execute(sql)
-            assert learned.rows == plain.rows, sql
+            # Learning may pick a different (equally correct) plan; float
+            # aggregates then accumulate in a different order, so compare
+            # SUM columns to within rounding instead of bit-for-bit.
+            assert len(learned.rows) == len(plain.rows), sql
+            for got, want in zip(learned.rows, plain.rows):
+                assert got == pytest.approx(want, rel=1e-9), sql
