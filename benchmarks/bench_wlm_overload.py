@@ -1,0 +1,121 @@
+"""Governed vs ungoverned admission under an overload burst.
+
+Replays the same deterministic request schedule — a sustained stream of
+short interactive queries colliding with a burst of long analytical scans —
+through two :class:`~repro.wlm.governor.WlmGovernor` instances:
+
+* **ungoverned**: one group with effectively unlimited slots, so every
+  query starts the moment it arrives and all of them fight over the same
+  simulated execution capacity (the driver's contention stretch).
+* **governed**: interactive queries in a high-priority 16-slot group,
+  analytics fenced into a low-priority 4-slot group.  Analytics queue;
+  short queries keep their stretch near 1.
+
+Admission control must *win*: the governed short-query p95 latency has to
+beat the ungoverned one by at least 1.3x, with zero rejections and no
+admitted query lost.  The script asserts all three, so CI fails if the
+governor regresses into either starvation or thrash.
+
+Run:  PYTHONPATH=src python benchmarks/bench_wlm_overload.py
+Writes ``BENCH_wlm_overload.json`` next to this file (under ``out/``).
+"""
+
+import json
+from pathlib import Path
+
+from repro.wlm import Priority, ResourceGroup, WlmConfig, WlmGovernor
+from repro.wlm.driver import QueryRequest, percentile, replay
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_wlm_overload.json"
+
+PARALLELISM = 16          # simulated execution capacity (driver stretch)
+NUM_SHORT = 200           # interactive stream: one every 150us, 2ms each
+SHORT_EXEC_US = 2_000.0
+NUM_ANALYTICS = 30        # burst: one every 200us from t=0, 150ms each
+ANALYTICS_EXEC_US = 150_000.0
+
+
+def schedule(short_group: str, analytics_group: str):
+    requests = []
+    for i in range(NUM_ANALYTICS):
+        requests.append(QueryRequest(
+            arrival_us=i * 200.0, exec_us=ANALYTICS_EXEC_US,
+            group=analytics_group, priority=Priority.LOW,
+            tag=f"analytics-{i}"))
+    for i in range(NUM_SHORT):
+        requests.append(QueryRequest(
+            arrival_us=i * 150.0, exec_us=SHORT_EXEC_US,
+            group=short_group, priority=Priority.HIGH,
+            tag=f"short-{i}"))
+    return requests
+
+
+def run(mode: str):
+    if mode == "governed":
+        config = WlmConfig(groups=[
+            ResourceGroup("short", slots=16, priority=Priority.HIGH,
+                          queue_limit=1024),
+            ResourceGroup("analytics", slots=4, priority=Priority.LOW,
+                          queue_limit=1024),
+        ])
+        requests = schedule("short", "analytics")
+    else:
+        config = WlmConfig(groups=[
+            ResourceGroup("all", slots=100_000, queue_limit=1_000_000)])
+        requests = schedule("all", "all")
+    governor = WlmGovernor(config=config)
+    outcomes = replay(governor, requests, parallelism=PARALLELISM)
+    assert not any(o.rejected for o in outcomes), \
+        f"{mode}: the benchmark schedule must not shed load"
+    assert all(o.finished_us is not None for o in outcomes), \
+        f"{mode}: an admitted query was lost"
+    return outcomes
+
+
+def stats(outcomes, prefix: str):
+    latencies = [o.latency_us for o in outcomes
+                 if o.request.tag.startswith(prefix)]
+    waits = [o.queue_wait_us for o in outcomes
+             if o.request.tag.startswith(prefix)]
+    return {
+        "count": len(latencies),
+        "p50_us": percentile(latencies, 50),
+        "p95_us": percentile(latencies, 95),
+        "max_us": percentile(latencies, 100),
+        "mean_queue_wait_us": sum(waits) / len(waits),
+    }
+
+
+def main() -> None:
+    report = {"benchmark": "wlm_overload",
+              "config": {"parallelism": PARALLELISM,
+                         "short_queries": NUM_SHORT,
+                         "short_exec_us": SHORT_EXEC_US,
+                         "analytics_queries": NUM_ANALYTICS,
+                         "analytics_exec_us": ANALYTICS_EXEC_US}}
+    for mode in ("ungoverned", "governed"):
+        outcomes = run(mode)
+        report[mode] = {"short": stats(outcomes, "short"),
+                        "analytics": stats(outcomes, "analytics")}
+
+    short_speedup = (report["ungoverned"]["short"]["p95_us"]
+                     / report["governed"]["short"]["p95_us"])
+    report["short_p95_speedup"] = short_speedup
+    assert short_speedup >= 1.3, (
+        f"governed short-query p95 must beat ungoverned by >=1.3x, "
+        f"got {short_speedup:.2f}x")
+
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{'':12s} {'short p50':>12s} {'short p95':>12s} "
+          f"{'analytics p95':>14s} {'short queue':>12s}")
+    for mode in ("ungoverned", "governed"):
+        s, a = report[mode]["short"], report[mode]["analytics"]
+        print(f"{mode:12s} {s['p50_us']:10.0f}us {s['p95_us']:10.0f}us "
+              f"{a['p95_us']:12.0f}us {s['mean_queue_wait_us']:10.0f}us")
+    print(f"short-query p95 speedup under governance: {short_speedup:.2f}x")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

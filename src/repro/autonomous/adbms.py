@@ -76,6 +76,8 @@ class AutonomousManager:
         self.workload = WorkloadManager(
             self.info,
             sla if sla is not None else Sla("default", p95_latency_us=50_000.0),
+            governor=getattr(cluster, "wlm", None),
+            alerts=self.alerts,
         )
         for knob in DEFAULT_KNOBS:
             self.changes.define_knob(knob)

@@ -5,21 +5,27 @@ system to ensure efficient use of system resources and achieve targeted
 SLA."  SLAs here follow the paper's Sec. IV-A examples: average/percentile
 response time and throughput targets.
 
-The manager implements admission control with a dynamically tuned
-concurrency limit (AIMD: additive increase while the SLA holds,
-multiplicative decrease when it is violated) plus priority-aware queueing —
-the self-optimizing property.
+Admission itself lives in :mod:`repro.wlm` — this manager is the
+*self-optimizing loop on top of it*: it watches SLA compliance in the
+information store and retunes its resource group's concurrency slots with
+AIMD (additive increase while the SLA holds, multiplicative decrease when it
+is violated) through :meth:`~repro.wlm.governor.WlmGovernor.set_slots`.
+There is one admission path: ``submit``/``finish`` here are thin adapters
+over governor tickets, so queueing, priority ordering and overload shedding
+behave identically whether a query arrives through this manager or through
+the SQL engine.
 """
 
 from __future__ import annotations
 
-import enum
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.autonomous.infostore import InformationStore
-from repro.common.errors import SlaViolation
+from repro.wlm.governor import Ticket, WlmGovernor
+from repro.wlm.groups import Priority, ResourceGroup, WlmConfig
+
+__all__ = ["Admission", "Priority", "Sla", "WorkloadManager"]
 
 
 @dataclass(frozen=True)
@@ -50,12 +56,6 @@ class Sla:
         return problems
 
 
-class Priority(enum.IntEnum):
-    LOW = 0
-    NORMAL = 1
-    HIGH = 2
-
-
 @dataclass
 class Admission:
     """A granted execution slot; release it with ``finish``."""
@@ -63,24 +63,40 @@ class Admission:
     query_id: int
     priority: Priority
     admitted_at_us: float
+    ticket: Optional[Ticket] = field(default=None, repr=False, compare=False)
 
 
 class WorkloadManager:
-    """Admission control + AIMD concurrency tuning against an SLA."""
+    """SLA evaluation + AIMD slot tuning over a ``repro.wlm`` governor."""
 
     def __init__(self, store: InformationStore, sla: Sla,
                  initial_concurrency: int = 8,
                  min_concurrency: int = 1, max_concurrency: int = 256,
-                 max_queue: int = 1000):
+                 max_queue: int = 1000,
+                 governor: Optional[WlmGovernor] = None,
+                 group: Optional[str] = None,
+                 alerts=None):
         self.store = store
         self.sla = sla
-        self.concurrency_limit = initial_concurrency
         self.min_concurrency = min_concurrency
         self.max_concurrency = max_concurrency
         self.max_queue = max_queue
-        self._running: Dict[int, Admission] = {}
-        self._queue: Deque[Tuple[int, Priority, float]] = deque()
-        self._next_id = 0
+        self.alerts = alerts
+        if governor is not None:
+            # Shared with a cluster: the manager tunes the existing group's
+            # slots but does not reconfigure it at construction.
+            self.governor = governor
+            self.group = governor.group(group).name
+        else:
+            # Standalone (driven directly with submit/finish): wall-clock
+            # admission semantics, one group sized to the initial limit.
+            self.group = group if group is not None else "default"
+            self.governor = WlmGovernor(
+                config=WlmConfig(groups=[ResourceGroup(
+                    self.group, slots=initial_concurrency,
+                    queue_limit=max_queue)]),
+                fast_forward=False)
+        self._admissions: Dict[int, Admission] = {}
         self.admitted = 0
         self.rejected = 0
         self.sla_checks = 0
@@ -89,47 +105,48 @@ class WorkloadManager:
 
     # -- admission control --------------------------------------------------
 
+    @property
+    def concurrency_limit(self) -> int:
+        return self.governor.group(self.group).slots
+
     def submit(self, now_us: float,
                priority: Priority = Priority.NORMAL) -> Optional[Admission]:
         """Ask for an execution slot; None means queued, raises when full."""
-        self._next_id += 1
-        query_id = self._next_id
-        if len(self._running) < self.concurrency_limit:
-            admission = Admission(query_id, priority, now_us)
-            self._running[query_id] = admission
-            self.admitted += 1
-            return admission
-        if len(self._queue) >= self.max_queue:
+        try:
+            ticket = self.governor.submit(group=self.group, now_us=now_us,
+                                          priority=priority)
+        except Exception:
             self.rejected += 1
-            raise SlaViolation(
-                f"admission queue full ({self.max_queue}); shedding load")
-        # Priority queue: HIGH jumps ahead of lower classes.
-        self._queue.append((query_id, priority, now_us))
-        self._queue = deque(sorted(self._queue, key=lambda q: (-q[1], q[2])))
-        return None
+            raise
+        if ticket.queued:
+            return None
+        return self._grant(ticket)
 
     def finish(self, admission: Admission, now_us: float) -> List[Admission]:
         """Release a slot; record latency; admit queued queries."""
-        self._running.pop(admission.query_id, None)
+        self._admissions.pop(admission.query_id, None)
         latency = now_us - admission.admitted_at_us
         self.store.record("query_latency_us", now_us, latency)
         self.store.record("query_completed", now_us, 1.0)
-        admitted: List[Admission] = []
-        while self._queue and len(self._running) < self.concurrency_limit:
-            query_id, priority, _ = self._queue.popleft()
-            slot = Admission(query_id, priority, now_us)
-            self._running[query_id] = slot
-            self.admitted += 1
-            admitted.append(slot)
-        return admitted
+        if admission.ticket is None:
+            return []
+        promoted = self.governor.release(admission.ticket, now_us)
+        return [self._grant(ticket) for ticket in promoted]
+
+    def _grant(self, ticket: Ticket) -> Admission:
+        admission = Admission(ticket.query_id, ticket.priority,
+                              ticket.admitted_us, ticket=ticket)
+        self._admissions[ticket.query_id] = admission
+        self.admitted += 1
+        return admission
 
     @property
     def running_count(self) -> int:
-        return len(self._running)
+        return self.governor.running_count(self.group)
 
     @property
     def queued_count(self) -> int:
-        return len(self._queue)
+        return self.governor.queued_count(self.group)
 
     # -- the self-optimizing loop ----------------------------------------------
 
@@ -149,11 +166,20 @@ class WorkloadManager:
     def adjust(self, now_us: float) -> int:
         """AIMD step: shrink on violation, grow while the SLA holds."""
         problems = self.evaluate_sla(now_us)
+        current = self.concurrency_limit
         if problems:
-            new_limit = max(self.min_concurrency, self.concurrency_limit // 2)
+            new_limit = max(self.min_concurrency, current // 2)
         else:
-            new_limit = min(self.max_concurrency, self.concurrency_limit + 1)
-        if new_limit != self.concurrency_limit:
-            self.concurrency_limit = new_limit
+            new_limit = min(self.max_concurrency, current + 1)
+        if new_limit != current:
+            self.governor.set_slots(self.group, new_limit, now_us=now_us)
             self.adjustments.append((now_us, new_limit))
+            if self.alerts is not None:
+                direction = "shrunk" if new_limit < current else "grew"
+                self.alerts.raise_alert(
+                    source="wlm", severity="info",
+                    message=(f"workload manager {direction} group "
+                             f"{self.group!r} slots {current} -> {new_limit}"
+                             + (f" ({problems[0]})" if problems else "")),
+                    t_us=now_us, key=f"wlm.adjust:{self.group}")
         return self.concurrency_limit

@@ -39,6 +39,7 @@ from repro.obs import Observability
 from repro.net.latency import DEFAULT_PROFILE, EnvironmentProfile
 from repro.net.resource import Resource, ResourcePool
 from repro.storage.table import TableSchema
+from repro.wlm import WlmConfig, WlmGovernor
 
 T = TypeVar("T")
 AnyTxn = Union[LocalTransaction, GlobalTransaction]
@@ -54,6 +55,8 @@ class MppCluster:
         mode: TxnMode = TxnMode.GTM_LITE,
         profile: EnvironmentProfile = DEFAULT_PROFILE,
         obs_enabled: bool = True,
+        wlm_enabled: bool = True,
+        wlm_config: Optional[WlmConfig] = None,
     ):
         if num_dns <= 0:
             raise ConfigError("num_dns must be positive")
@@ -90,6 +93,21 @@ class MppCluster:
         self.ha = None
         #: Set by :meth:`repro.faults.FaultInjector.bind`.
         self.faults = None
+        #: Workload governance (``repro.wlm``): admission control, memory
+        #: budgets and cancellation for every statement the SQL engine runs.
+        #: ``wlm_enabled=False`` drops it, replaying the ungoverned engine.
+        self.wlm: Optional[WlmGovernor] = None
+        if wlm_enabled:
+            self.wlm = WlmGovernor(
+                config=wlm_config,
+                clock=self.obs.clock if self.obs is not None else None,
+                metrics=self.obs.metrics if self.obs is not None else None,
+                waits=self.obs.waits if self.obs is not None else None,
+                alerts=self.obs.alerts if self.obs is not None else None,
+                faults_fn=lambda: self.faults,
+            )
+            if self.obs is not None:
+                self.obs.bind_wlm(self.wlm)
         #: How coordinators ride out unresponsive participants.
         self.retry_policy = RetryPolicy()
         #: Live :class:`GlobalTransaction` handles by GXID, so failover and
@@ -239,6 +257,8 @@ class MppCluster:
             self.obs.reset()
         if self.faults is not None:
             self.faults.reset_history()
+        if self.wlm is not None:
+            self.wlm.reset_history()   # idempotent with the obs.reset path
         self.gtm.stats.reset()
         self._session_seq = 0
         self._next_session = 0

@@ -90,3 +90,24 @@ class SyncError(ReproError):
 
 class SlaViolation(ReproError):
     """Raised by the workload manager when an SLA cannot be honored."""
+
+
+class AdmissionRejected(SlaViolation):
+    """Overload shedding: the resource group's admission queue is full."""
+
+    def __init__(self, message: str, group: str = "", queue_depth: int = 0):
+        super().__init__(message)
+        self.group = group
+        self.queue_depth = queue_depth
+
+
+class QueryCancelled(ReproError):
+    """The statement was cancelled at a cooperative executor checkpoint."""
+
+    def __init__(self, message: str, query_id: int = 0):
+        super().__init__(message)
+        self.query_id = query_id
+
+
+class QueryTimeout(QueryCancelled):
+    """The statement exceeded its resource group's sim-time timeout."""

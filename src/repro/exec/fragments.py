@@ -185,11 +185,11 @@ def vector_partial_states(agg) -> Optional[Iterator[tuple]]:
         if spec is not None and spec.func != "count" and not col.data_type.is_numeric:
             return None
     return _vector_partial_iter(scan, store_fn(), group_names, agg_names,
-                                agg.aggs, preds)
+                                agg.aggs, preds, agg=agg)
 
 
 def _vector_partial_iter(scan, store, group_names, agg_names, specs,
-                         preds) -> Iterator[tuple]:
+                         preds, agg=None) -> Iterator[tuple]:
     import numpy as np
 
     needed = list(dict.fromkeys(
@@ -198,12 +198,23 @@ def _vector_partial_iter(scan, store, group_names, agg_names, specs,
         needed = [scan.table_schema.primary_key]   # COUNT(*)-only: row counts
     states: Dict[tuple, List[list]] = {}
     order: List[tuple] = []
+    # Memory-governed queries charge each new group's state against the
+    # resource-group budget, exactly like the row-at-a-time path; the
+    # tracker spills on the DN this fragment runs on (agg._wlm_dn).
+    mem = entry_bytes = None
+    if agg is not None and getattr(agg, "wlm_ctx", None) is not None:
+        from repro.exec.operators import _entry_bytes as _width
+
+        mem = agg.wlm_ctx.memory_for(agg)
+        entry_bytes = _width(agg.schema)
 
     def cells_for(key: tuple) -> List[list]:
         cells = states.get(key)
         if cells is None:
             cells = states[key] = [[0, 0.0, None, None] for _ in specs]
             order.append(key)
+            if mem is not None:
+                mem.grow(entry_bytes)
         return cells
 
     def update(cells: List[list], count: int, values: Dict[str, object]) -> None:
@@ -224,22 +235,27 @@ def _vector_partial_iter(scan, store, group_names, agg_names, specs,
                 if cell[3] is None or high > cell[3]:
                     cell[3] = high
 
-    rows_in = 0
-    for batch in scan_filter(store, needed, preds):
-        n = int(len(batch[needed[0]]))
-        rows_in += n
-        if group_names:
-            gvals = batch[group_names[0]]
-            for gv in np.unique(gvals):
-                member = gvals == gv
-                update(cells_for((_unbox(gv),)), int(member.sum()),
-                       {name: batch[name][member] for name in needed})
-        else:
-            update(cells_for(()), n, batch)
-    # The fast path bypasses the scan's own execute(); account its rows so
-    # profiling and learning feedback still see the fragment's scan volume.
-    scan.actual_rows += rows_in
-    if not order and not group_names:
-        cells_for(())                               # global agg over zero rows
-    for key in order:
-        yield key + tuple(tuple(cell) for cell in states[key])
+    try:
+        rows_in = 0
+        for batch in scan_filter(store, needed, preds):
+            n = int(len(batch[needed[0]]))
+            rows_in += n
+            if group_names:
+                gvals = batch[group_names[0]]
+                for gv in np.unique(gvals):
+                    member = gvals == gv
+                    update(cells_for((_unbox(gv),)), int(member.sum()),
+                           {name: batch[name][member] for name in needed})
+            else:
+                update(cells_for(()), n, batch)
+        # The fast path bypasses the scan's own execute(); account its rows
+        # so profiling and learning feedback still see the fragment's scan
+        # volume.
+        scan.actual_rows += rows_in
+        if not order and not group_names:
+            cells_for(())                           # global agg over zero rows
+        for key in order:
+            yield key + tuple(tuple(cell) for cell in states[key])
+    finally:
+        if mem is not None:
+            mem.finish()

@@ -26,6 +26,17 @@ class PhysicalOp:
     #: ``actual_rows`` back into one observation per *logical* step (the
     #: plan store is keyed on logical steps, not per-DN instances).
     capture_group: Optional[int] = None
+    #: Set by :func:`repro.wlm.attach_to_plan` when workload management
+    #: governs the query: ``wlm_ctx`` enables per-row cancellation
+    #: checkpoints and memory accounting, ``_wlm_dn`` is the data node this
+    #: operator's fragment runs on (spill is charged there).  Class-level
+    #: defaults keep ungoverned execution on the exact pre-WLM path.
+    wlm_ctx = None
+    _wlm_dn: Optional[int] = None
+    #: Spill accounting (``repro.wlm.memory``): bytes this operator spilled
+    #: and the simulated I/O time charged for them.
+    spilled_bytes: int = 0
+    spill_time_us: float = 0.0
 
     def __init__(self, schema: Schema, estimated_rows: float = 0.0,
                  step_text: Optional[str] = None):
@@ -46,12 +57,21 @@ class PhysicalOp:
 
     def reset_counters(self) -> None:
         self.actual_rows = 0
+        self.spilled_bytes = 0
+        self.spill_time_us = 0.0
         for child in self.children():
             child.reset_counters()
 
     def _count(self, rows: Iterator[tuple]) -> Iterator[tuple]:
         if self.profiler is not None:
             rows = self.profiler.wrap(self, rows)
+        ctx = self.wlm_ctx
+        if ctx is not None:
+            for row in rows:
+                ctx.tick(self)
+                self.actual_rows += 1
+                yield row
+            return
         for row in rows:
             self.actual_rows += 1
             yield row
@@ -67,6 +87,22 @@ class PhysicalOp:
 
     def describe(self) -> str:
         return self.name()
+
+
+def _entry_bytes(schema: Schema) -> int:
+    """Estimated in-memory footprint of one buffered row / hash entry."""
+    from repro.net.costing import row_width_bytes
+    from repro.wlm.memory import ENTRY_OVERHEAD_BYTES
+
+    return (row_width_bytes(getattr(c, "data_type", None) for c in schema)
+            + ENTRY_OVERHEAD_BYTES)
+
+
+def _op_memory(op: PhysicalOp):
+    """(tracker, per-entry bytes) when the query is governed, else (None, 0)."""
+    if op.wlm_ctx is None:
+        return None, 0
+    return op.wlm_ctx.memory_for(op), _entry_bytes(op.schema)
 
 
 class PScan(PhysicalOp):
@@ -242,12 +278,26 @@ class PHashJoin(PhysicalOp):
         return self._count(self._join())
 
     def _join(self) -> Iterator[tuple]:
+        mem = None
+        if self.wlm_ctx is not None:
+            # The build side is what resides in memory: charge per right row.
+            mem = self.wlm_ctx.memory_for(self)
+            entry_bytes = _entry_bytes(self.right.schema)
+        try:
+            yield from self._join_inner(mem, entry_bytes if mem else 0)
+        finally:
+            if mem is not None:
+                mem.finish()
+
+    def _join_inner(self, mem, entry_bytes: int) -> Iterator[tuple]:
         table: Dict[tuple, List[tuple]] = {}
         for row in self.right.execute():
             key = tuple(k.eval(row) for k in self.right_keys)
             if any(v is None for v in key):
                 continue
             table.setdefault(key, []).append(row)
+            if mem is not None:
+                mem.grow(entry_bytes)
         null_pad = (None,) * len(self.right.schema)
         residual = self.residual
         for lrow in self.left.execute():
@@ -373,25 +423,32 @@ class PHashAggregate(PhysicalOp):
         return self._count(self._aggregate())
 
     def _aggregate(self) -> Iterator[tuple]:
-        groups: Dict[tuple, List[_Accumulator]] = {}
-        ordered_keys: List[tuple] = []
-        for row in self.child.execute():
-            key = tuple(g.eval(row) for g in self.group_exprs)
-            accs = groups.get(key)
-            if accs is None:
+        mem, entry_bytes = _op_memory(self)
+        try:
+            groups: Dict[tuple, List[_Accumulator]] = {}
+            ordered_keys: List[tuple] = []
+            for row in self.child.execute():
+                key = tuple(g.eval(row) for g in self.group_exprs)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = [_Accumulator(a.func, a.distinct) for a in self.aggs]
+                    groups[key] = accs
+                    ordered_keys.append(key)
+                    if mem is not None:
+                        mem.grow(entry_bytes)
+                for spec, acc in zip(self.aggs, accs):
+                    value = _STAR if spec.arg is None else spec.arg.eval(row)
+                    acc.add(value)
+            if not groups and not self.group_exprs:
+                # Global aggregate over zero rows still yields one row.
                 accs = [_Accumulator(a.func, a.distinct) for a in self.aggs]
-                groups[key] = accs
-                ordered_keys.append(key)
-            for spec, acc in zip(self.aggs, accs):
-                value = _STAR if spec.arg is None else spec.arg.eval(row)
-                acc.add(value)
-        if not groups and not self.group_exprs:
-            # Global aggregate over zero rows still yields one row.
-            accs = [_Accumulator(a.func, a.distinct) for a in self.aggs]
-            yield tuple(acc.result() for acc in accs)
-            return
-        for key in ordered_keys:
-            yield key + tuple(acc.result() for acc in groups[key])
+                yield tuple(acc.result() for acc in accs)
+                return
+            for key in ordered_keys:
+                yield key + tuple(acc.result() for acc in groups[key])
+        finally:
+            if mem is not None:
+                mem.finish()
 
     def describe(self) -> str:
         return ("HashAggregate group=["
@@ -410,15 +467,27 @@ class PSort(PhysicalOp):
         return (self.child,)
 
     def execute(self) -> Iterator[tuple]:
-        rows = list(self.child.execute())
-        # Stable multi-key sort: apply keys last-to-first; NULLs sort last
-        # ascending, first descending.
-        for expr, descending in reversed(self.keys):
-            rows.sort(
-                key=lambda row: _sort_key(expr.eval(row), descending),
-                reverse=descending,
-            )
-        return self._count(iter(rows))
+        def gen() -> Iterator[tuple]:
+            mem, entry_bytes = _op_memory(self)
+            try:
+                rows = []
+                for row in self.child.execute():
+                    rows.append(row)
+                    if mem is not None:
+                        mem.grow(entry_bytes)
+                # Stable multi-key sort: apply keys last-to-first; NULLs
+                # sort last ascending, first descending.
+                for expr, descending in reversed(self.keys):
+                    rows.sort(
+                        key=lambda row: _sort_key(expr.eval(row), descending),
+                        reverse=descending,
+                    )
+                yield from rows
+            finally:
+                if mem is not None:
+                    mem.finish()
+
+        return self._count(gen())
 
     def describe(self) -> str:
         keys = ", ".join(f"{e.text()}{' DESC' if d else ''}" for e, d in self.keys)
@@ -667,24 +736,32 @@ class PPartialAgg(PhysicalOp):
         if fast is not None:
             yield from fast
             return
-        groups: Dict[tuple, List[List[object]]] = {}
-        ordered: List[tuple] = []
-        for row in self.child.execute():
-            key = tuple(g.eval(row) for g in self.group_exprs)
-            cells = groups.get(key)
-            if cells is None:
-                cells = groups[key] = [[0, 0.0, None, None] for _ in self.aggs]
-                ordered.append(key)
-            for spec, cell in zip(self.aggs, cells):
-                value = _STAR if spec.arg is None else spec.arg.eval(row)
-                _partial_add(cell, spec.func, value)
-        if not groups and not self.group_exprs:
-            # A global aggregate ships one (empty) state row per node, so
-            # the final aggregate sees every node even over zero rows.
-            yield tuple((0, 0.0, None, None) for _ in self.aggs)
-            return
-        for key in ordered:
-            yield key + tuple(tuple(cell) for cell in groups[key])
+        mem, entry_bytes = _op_memory(self)
+        try:
+            groups: Dict[tuple, List[List[object]]] = {}
+            ordered: List[tuple] = []
+            for row in self.child.execute():
+                key = tuple(g.eval(row) for g in self.group_exprs)
+                cells = groups.get(key)
+                if cells is None:
+                    cells = groups[key] = [[0, 0.0, None, None]
+                                           for _ in self.aggs]
+                    ordered.append(key)
+                    if mem is not None:
+                        mem.grow(entry_bytes)
+                for spec, cell in zip(self.aggs, cells):
+                    value = _STAR if spec.arg is None else spec.arg.eval(row)
+                    _partial_add(cell, spec.func, value)
+            if not groups and not self.group_exprs:
+                # A global aggregate ships one (empty) state row per node, so
+                # the final aggregate sees every node even over zero rows.
+                yield tuple((0, 0.0, None, None) for _ in self.aggs)
+                return
+            for key in ordered:
+                yield key + tuple(tuple(cell) for cell in groups[key])
+        finally:
+            if mem is not None:
+                mem.finish()
 
     def describe(self) -> str:
         return ("PartialAggregate group=["
@@ -718,24 +795,32 @@ class PFinalAgg(PhysicalOp):
 
     def _aggregate(self) -> Iterator[tuple]:
         n = self.n_group_cols
-        groups: Dict[tuple, List[List[object]]] = {}
-        ordered: List[tuple] = []
-        for row in self.child.execute():
-            key = row[:n]
-            cells = groups.get(key)
-            if cells is None:
-                cells = groups[key] = [[0, 0.0, None, None] for _ in self.aggs]
-                ordered.append(key)
-            for cell, state in zip(cells, row[n:]):
-                _merge_state(cell, state)
-        if not groups and n == 0:
-            cells = [[0, 0.0, None, None] for _ in self.aggs]
-            yield tuple(_finalize_state(c, s.func)
-                        for c, s in zip(cells, self.aggs))
-            return
-        for key in ordered:
-            yield key + tuple(_finalize_state(c, s.func)
-                              for c, s in zip(groups[key], self.aggs))
+        mem, entry_bytes = _op_memory(self)
+        try:
+            groups: Dict[tuple, List[List[object]]] = {}
+            ordered: List[tuple] = []
+            for row in self.child.execute():
+                key = row[:n]
+                cells = groups.get(key)
+                if cells is None:
+                    cells = groups[key] = [[0, 0.0, None, None]
+                                           for _ in self.aggs]
+                    ordered.append(key)
+                    if mem is not None:
+                        mem.grow(entry_bytes)
+                for cell, state in zip(cells, row[n:]):
+                    _merge_state(cell, state)
+            if not groups and n == 0:
+                cells = [[0, 0.0, None, None] for _ in self.aggs]
+                yield tuple(_finalize_state(c, s.func)
+                            for c, s in zip(cells, self.aggs))
+                return
+            for key in ordered:
+                yield key + tuple(_finalize_state(c, s.func)
+                                  for c, s in zip(groups[key], self.aggs))
+        finally:
+            if mem is not None:
+                mem.finish()
 
     def describe(self) -> str:
         names = ", ".join(c.name for c in self.schema[:self.n_group_cols])

@@ -24,6 +24,8 @@ from repro.faults.injector import (
     FP_PREPARE_BEFORE,
     FP_PREPARE_SHIP,
     FP_REPLICATE,
+    FP_WLM_ADMIT,
+    FP_WLM_SPILL,
     CoordinatorCrash,
     FaultError,
     FaultInjector,
@@ -39,7 +41,7 @@ __all__ = [
     "FP_CONFIRM_AFTER", "FP_CONFIRM_BEFORE", "FP_COORD_AFTER_GTM_COMMIT",
     "FP_COORD_AFTER_PREPARE", "FP_COORD_BETWEEN_CONFIRMS", "FP_GTM_COMMIT",
     "FP_PREPARE_AFTER", "FP_PREPARE_BEFORE", "FP_PREPARE_SHIP",
-    "FP_REPLICATE",
+    "FP_REPLICATE", "FP_WLM_ADMIT", "FP_WLM_SPILL",
     "CoordinatorCrash", "FaultError", "FaultInjector", "FaultRule",
     "FireOutcome", "InjectedFault", "InjectedTimeout",
 ]

@@ -67,12 +67,19 @@ FP_COORD_BETWEEN_CONFIRMS = "coord.between_confirms"
 FP_REPLICATE = "ha.replicate"
 #: DN→standby staging of a prepared transaction's redo.
 FP_PREPARE_SHIP = "ha.prepare_ship"
+#: Workload-manager admission, before a slot or ticket exists — a crash
+#: here must leak nothing (mirrors repro.wlm.governor.FP_WLM_ADMIT).
+FP_WLM_ADMIT = "wlm.admit"
+#: Operator spill to disk mid-query (mirrors governor.FP_WLM_SPILL); a
+#: crash here unwinds through the engine's cancellation cleanup path.
+FP_WLM_SPILL = "wlm.spill"
 
 ALL_FAILPOINTS = (
     FP_PREPARE_BEFORE, FP_PREPARE_AFTER, FP_COORD_AFTER_PREPARE,
     FP_GTM_COMMIT, FP_COORD_AFTER_GTM_COMMIT,
     FP_CONFIRM_BEFORE, FP_CONFIRM_AFTER, FP_COORD_BETWEEN_CONFIRMS,
     FP_REPLICATE, FP_PREPARE_SHIP,
+    FP_WLM_ADMIT, FP_WLM_SPILL,
 )
 
 # -- actions ------------------------------------------------------------------

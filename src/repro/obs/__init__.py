@@ -65,9 +65,15 @@ class Observability:
         #: ``FaultInjector.bind``) so ``sys.faults`` can serve its history
         #: without ``repro.obs`` importing ``repro.faults``.
         self.faults = None
+        #: Optional :class:`repro.wlm.WlmGovernor`, bound late for the same
+        #: reason; serves ``sys.wlm_groups`` / ``sys.wlm_queue``.
+        self.wlm = None
 
     def bind_faults(self, injector) -> None:
         self.faults = injector
+
+    def bind_wlm(self, governor) -> None:
+        self.wlm = governor
 
     def advance_to(self, t_us: float) -> None:
         """Sync the shared clock to a session's simulated-time cursor.
@@ -92,6 +98,8 @@ class Observability:
         self.alerts.reset()
         if self.faults is not None:
             self.faults.reset_history()
+        if self.wlm is not None:
+            self.wlm.reset_history()
         self.clock.reset()
 
 

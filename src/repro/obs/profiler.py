@@ -67,10 +67,14 @@ class OperatorProfile:
     #: Rows this operator moved across the simulated network (exchanges and
     #: coordinator-side scans of distributed tables); 0 for local operators.
     net_rows: int = 0
+    #: Bytes of operator state spilled to disk when the query's resource
+    #: group memory budget overflowed (see ``repro.wlm.memory``).
+    spilled_bytes: int = 0
 
-    def as_tuple(self) -> Tuple[str, float, int, int, float]:
+    def as_tuple(self) -> Tuple[str, float, int, int, float, int]:
         indented = ("  " * self.depth) + self.operator
-        return (indented, self.est_rows, self.rows, self.batches, self.time_us)
+        return (indented, self.est_rows, self.rows, self.batches,
+                self.time_us, self.spilled_bytes)
 
 
 @dataclass
@@ -78,8 +82,13 @@ class QueryProfile:
     """Assembled per-operator statistics for one executed query."""
 
     operators: List[OperatorProfile] = field(default_factory=list)
+    #: Simulated time the statement waited in its resource group's admission
+    #: queue before execution began (0 when workload management is off or
+    #: the query was admitted immediately).  Excluded from elapsed time.
+    queue_time_us: float = 0.0
 
-    COLUMNS = ("operator", "est_rows", "rows", "batches", "time_us")
+    COLUMNS = ("operator", "est_rows", "rows", "batches", "time_us",
+               "spilled_bytes")
 
     @property
     def total_time_us(self) -> float:
@@ -121,7 +130,11 @@ class QueryProfile:
     def total_batches(self) -> int:
         return sum(op.batches for op in self.operators)
 
-    def rows_table(self) -> List[Tuple[str, float, int, int, float]]:
+    @property
+    def spilled_bytes(self) -> int:
+        return sum(op.spilled_bytes for op in self.operators)
+
+    def rows_table(self) -> List[Tuple[str, float, int, int, float, int]]:
         return [op.as_tuple() for op in self.operators]
 
     def pretty(self) -> str:
@@ -228,17 +241,19 @@ class QueryProfiler:
         rows_out = entry.op.actual_rows
         rows_in = sum(c.actual_rows for c in entry.op.children())
         batches = self._batches(rows_out)
+        # Spill I/O is real per-operator time regardless of the CPU formula.
+        spill_us = float(getattr(entry.op, "spill_time_us", 0.0))
         custom = getattr(entry.op, "sim_self_time_us", None)
         if custom is not None:
             # Operators with a physical cost of their own (exchanges charge
             # the network model) override the generic CPU formula.
             time_us = custom(rows_in, rows_out, batches)
             if time_us is not None:
-                return float(time_us)
+                return float(time_us) + spill_us
         per_row = self.row_costs.get(entry.op.name(),
                                      DEFAULT_ROW_COST_FALLBACK_US)
         return (OPEN_COST_US + BATCH_COST_US * batches
-                + per_row * (rows_in + rows_out))
+                + per_row * (rows_in + rows_out) + spill_us)
 
     def _batches(self, rows: int) -> int:
         return max(1, math.ceil(rows / self.batch_rows)) if rows else 0
@@ -260,6 +275,7 @@ class QueryProfiler:
                 time_us=self._self_time_us(entry),
                 fragment=entry.fragment,
                 net_rows=int(getattr(entry.op, "network_rows", 0)),
+                spilled_bytes=int(getattr(entry.op, "spilled_bytes", 0)),
             )
             for entry in self._order
         ])

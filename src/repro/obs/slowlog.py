@@ -37,11 +37,16 @@ class SlowQuery:
     operators: int
     top_operator: str
     top_operator_us: float
+    #: Admission-queue wait (workload management) preceding execution; NOT
+    #: part of ``elapsed_us`` and never counted against the threshold — a
+    #: query is slow because of its own work, not because the queue was.
+    queue_us: float = 0.0
 
-    def as_row(self) -> Tuple[int, str, float, float, int, int, str, float]:
+    def as_row(self) -> Tuple[int, str, float, float, int, int, str, float,
+                              float]:
         return (self.query_id, self.sql, self.start_us, self.elapsed_us,
                 self.rows, self.operators, self.top_operator,
-                self.top_operator_us)
+                self.top_operator_us, self.queue_us)
 
 
 class SlowQueryLog:
@@ -60,12 +65,14 @@ class SlowQueryLog:
         self._next_id = 1
         self.queries_seen = 0
 
-    def note(self, sql: str, start_us: float,
-             profile: QueryProfile) -> Optional[SlowQuery]:
+    def note(self, sql: str, start_us: float, profile: QueryProfile,
+             queue_us: float = 0.0) -> Optional[SlowQuery]:
         """Record the query if it crossed the threshold; return the entry."""
         self.queries_seen += 1
         # Wall-clock view: parallel plan fragments count once (the slowest),
         # not summed — identical to total_time_us for unfragmented plans.
+        # Admission-queue wait is deliberately excluded: the threshold is on
+        # execution time only.
         elapsed_us = profile.elapsed_time_us
         if elapsed_us < self.threshold_us:
             return None
@@ -79,6 +86,7 @@ class SlowQueryLog:
             operators=len(profile.operators),
             top_operator=top.operator if top is not None else "",
             top_operator_us=top.time_us if top is not None else 0.0,
+            queue_us=float(queue_us),
         )
         self._next_id += 1
         self._entries.append(entry)

@@ -23,6 +23,8 @@ Views:
 * ``sys.spans``        — recently finished tracer spans.
 * ``sys.alerts``       — live alerts, severity-ranked.
 * ``sys.faults``       — injected-fault history (``repro.faults``).
+* ``sys.wlm_groups``   — resource groups: config plus live/lifetime counters.
+* ``sys.wlm_queue``    — the admission event history (``repro.wlm``).
 """
 
 from __future__ import annotations
@@ -97,7 +99,8 @@ class SystemCatalog:
              ("start_us", DataType.DOUBLE), ("elapsed_us", DataType.DOUBLE),
              ("rows", DataType.BIGINT), ("operators", DataType.BIGINT),
              ("top_operator", DataType.TEXT),
-             ("top_operator_us", DataType.DOUBLE)],
+             ("top_operator_us", DataType.DOUBLE),
+             ("queue_us", DataType.DOUBLE)],
             self._slow_query_rows,
         )
         self._register(
@@ -121,6 +124,27 @@ class SystemCatalog:
              ("action", DataType.TEXT), ("target", DataType.TEXT),
              ("gxid", DataType.BIGINT), ("t_us", DataType.DOUBLE)],
             self._fault_rows,
+        )
+        # "group" is a SQL keyword, so the group column is group_name.
+        self._register(
+            "wlm_groups",
+            [("group_name", DataType.TEXT), ("slots", DataType.BIGINT),
+             ("memory_per_query", DataType.BIGINT),
+             ("priority", DataType.TEXT), ("timeout_us", DataType.DOUBLE),
+             ("queue_limit", DataType.BIGINT), ("running", DataType.BIGINT),
+             ("queued", DataType.BIGINT), ("admitted", DataType.BIGINT),
+             ("rejected", DataType.BIGINT), ("cancelled", DataType.BIGINT),
+             ("spills", DataType.BIGINT),
+             ("spilled_bytes", DataType.BIGINT)],
+            self._wlm_group_rows,
+        )
+        self._register(
+            "wlm_queue",
+            [("event_id", DataType.BIGINT), ("query_id", DataType.BIGINT),
+             ("group_name", DataType.TEXT), ("priority", DataType.TEXT),
+             ("event", DataType.TEXT), ("t_us", DataType.DOUBLE),
+             ("wait_us", DataType.DOUBLE)],
+            self._wlm_queue_rows,
         )
 
     def _register(self, short_name: str, columns: Columns,
@@ -171,3 +195,13 @@ class SystemCatalog:
         if self.obs.faults is None:
             return []
         return self.obs.faults.rows()
+
+    def _wlm_group_rows(self) -> Iterable[tuple]:
+        if self.obs.wlm is None:
+            return []
+        return self.obs.wlm.group_rows()
+
+    def _wlm_queue_rows(self) -> Iterable[tuple]:
+        if self.obs.wlm is None:
+            return []
+        return self.obs.wlm.queue_rows()

@@ -51,6 +51,11 @@ WAIT_FAULT_RETRY = "fault.retry"
 WAIT_FAULT_FAILOVER = "fault.failover"
 #: Injected message delay (the ``delay`` fault action).
 WAIT_FAULT_DELAY = "fault.delay"
+#: Statement held in its resource group's admission queue before running.
+WAIT_WLM_QUEUE = "wlm_queue"
+#: Operator state spilled to disk (write + read-back) on a memory budget
+#: overflow; attributed to the data node whose partition overflowed.
+WAIT_WLM_SPILL = "wlm_spill"
 
 ALL_WAIT_EVENTS = (
     WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL, WAIT_MERGE_UPGRADE,
@@ -58,6 +63,7 @@ ALL_WAIT_EVENTS = (
     WAIT_DN_APPLY, WAIT_DN_SCAN, WAIT_DN_COMMIT,
     WAIT_LOCK_CONFLICT,
     WAIT_FAULT_RETRY, WAIT_FAULT_FAILOVER, WAIT_FAULT_DELAY,
+    WAIT_WLM_QUEUE, WAIT_WLM_SPILL,
 )
 
 

@@ -12,7 +12,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.mpp import MppCluster
-from repro.common.errors import CatalogError, SqlAnalysisError
+from repro.common.errors import (
+    AdmissionRejected,
+    CatalogError,
+    QueryCancelled,
+    QueryTimeout,
+    SqlAnalysisError,
+)
 from repro.exec.fragments import ScanBinding
 from repro.exec.operators import PhysicalOp
 from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
@@ -27,6 +33,7 @@ from repro.sql.binder import Binder, TableFunctionImpl
 from repro.sql.parser import parse
 from repro.storage.table import Column, Distribution, Orientation, TableSchema
 from repro.storage.types import DataType
+from repro.wlm import attach_to_plan
 
 _TYPE_NAMES = {
     "int": DataType.INT, "integer": DataType.INT,
@@ -85,6 +92,13 @@ class SqlEngine:
         #: ``sys.*`` system views served from live observability state.
         self.syscat: Optional[SystemCatalog] = (
             SystemCatalog(self.obs) if self.obs is not None else None)
+        #: The cluster's workload governor (``repro.wlm``).  When present,
+        #: every statement passes through admission control; ``None`` (or a
+        #: cluster built with ``wlm_enabled=False``) replays the ungoverned
+        #: pre-WLM execution path exactly.
+        self.wlm = getattr(cluster, "wlm", None)
+        self._wlm_ticket = None
+        self._wlm_ctx = None
         self._current_sql = ""
 
     # -- extension points ----------------------------------------------------
@@ -99,9 +113,55 @@ class SqlEngine:
 
     # -- entry point -------------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
+    def execute(self, sql: str, group: Optional[str] = None,
+                priority=None, arrival_us: Optional[float] = None) -> Result:
+        """Run one statement.
+
+        With workload management active, the statement first passes
+        admission control for ``group`` (default group when ``None``):
+        a concurrency slot and memory budget are reserved before execution
+        and released on every exit path — success, error, timeout,
+        cancellation, injected crash.  ``arrival_us`` back/forward-dates the
+        submission (burst simulation); ``priority`` overrides the group's
+        queue priority.
+        """
         self._current_sql = sql
         statement = parse(sql)
+        if self.wlm is None:
+            return self._dispatch(statement)
+        ticket = self.wlm.submit(group=group, now_us=arrival_us,
+                                 priority=priority,
+                                 tag=" ".join(sql.split())[:80])
+        if ticket.queued:
+            # The engine runs statements synchronously; a ticket it cannot
+            # wait on (every slot held by an external driver) is shed.
+            self.wlm.cancel(ticket)
+            raise AdmissionRejected(
+                f"resource group {ticket.group!r} has no free slot for a "
+                "synchronous statement", group=ticket.group)
+        ctx = self.wlm.context(ticket)
+        self._wlm_ticket = ticket
+        self._wlm_ctx = ctx
+        try:
+            result = self._dispatch(statement)
+        except QueryCancelled as exc:
+            kind = "timeout" if isinstance(exc, QueryTimeout) else "cancelled"
+            self.wlm.finish_cancelled(
+                ticket, ticket.admitted_us + ctx.progress_us, kind)
+            raise
+        except Exception:
+            self.wlm.release(ticket, ticket.admitted_us + ctx.progress_us,
+                             event="failed")
+            raise
+        finally:
+            self._wlm_ticket = None
+            self._wlm_ctx = None
+        elapsed = (result.profile.elapsed_time_us
+                   if result.profile is not None else ctx.progress_us)
+        self.wlm.release(ticket, ticket.admitted_us + elapsed)
+        return result
+
+    def _dispatch(self, statement) -> Result:
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement)
         if isinstance(statement, ast.DropTable):
@@ -339,6 +399,8 @@ class SqlEngine:
             logical = self._binder().bind_select(stmt)
             physical = self.plan_select(stmt, txn)
             profiler.attach(physical)
+            if self._wlm_ctx is not None:
+                attach_to_plan(self._wlm_ctx, physical)
             rows = list(physical.execute())
             txn.commit()
         except Exception:
@@ -348,6 +410,8 @@ class SqlEngine:
                 self.obs.tracer.end_span(query_span)
             raise
         profile = profiler.profile()
+        if self._wlm_ticket is not None:
+            profile.queue_time_us = self._wlm_ticket.wait_us
         if self.obs is not None:
             # Latency is the wall-clock view: concurrent fragments count
             # once (their max), unlike total_time_us which sums all work.
@@ -360,7 +424,7 @@ class SqlEngine:
                 query_span,
                 end_us=query_span.start_us + profile.elapsed_time_us)
             self.obs.slowlog.note(self._current_sql, query_span.start_us,
-                                  profile)
+                                  profile, queue_us=profile.queue_time_us)
         capture = None
         if self.learning_enabled:
             capture = self.feedback.capture(physical)

@@ -1,0 +1,52 @@
+"""repro.wlm — workload management: admission control, memory budgets with
+spill-to-disk, and cooperative query cancellation.
+
+This is the simulator's take on the workload-manager box of the paper's
+GaussDB architecture (Fig. 12) — the component that decides, before a query
+touches the executor, whether it runs now, waits, or is shed, and how much
+memory it may hold while running.  See DESIGN.md §12.
+"""
+
+from repro.wlm.governor import (
+    CHECKPOINT_COST_US,
+    FP_WLM_ADMIT,
+    FP_WLM_SPILL,
+    QueueEvent,
+    Ticket,
+    WlmGovernor,
+    WlmQueryContext,
+    attach_to_plan,
+)
+from repro.wlm.groups import (
+    DEFAULT_GROUP,
+    DEFAULT_MEMORY_PER_QUERY,
+    Priority,
+    ResourceGroup,
+    WlmConfig,
+)
+from repro.wlm.memory import (
+    ENTRY_OVERHEAD_BYTES,
+    SPILL_BYTE_US,
+    MemoryBudget,
+    OperatorMemory,
+)
+
+__all__ = [
+    "CHECKPOINT_COST_US",
+    "DEFAULT_GROUP",
+    "DEFAULT_MEMORY_PER_QUERY",
+    "ENTRY_OVERHEAD_BYTES",
+    "FP_WLM_ADMIT",
+    "FP_WLM_SPILL",
+    "MemoryBudget",
+    "OperatorMemory",
+    "Priority",
+    "QueueEvent",
+    "ResourceGroup",
+    "SPILL_BYTE_US",
+    "Ticket",
+    "WlmConfig",
+    "WlmGovernor",
+    "WlmQueryContext",
+    "attach_to_plan",
+]

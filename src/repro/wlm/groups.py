@@ -1,0 +1,103 @@
+"""Resource groups: the unit of workload governance.
+
+Greenplum-style resource groups (PAPERS.md) are the design reference: a
+group owns a fixed number of *concurrency slots*, a per-query *memory
+budget* that operators account against (exceeding it spills, see
+:mod:`repro.wlm.memory`), a scheduling *priority* for its queue position,
+an optional per-statement sim-time *timeout*, and a *queue-depth cap*
+beyond which submissions are shed with a typed error
+(:class:`~repro.common.errors.AdmissionRejected`).
+
+The default configuration is deliberately permissive — 64 slots, 64 MiB per
+query, no timeout — so a cluster built without explicit groups governs every
+query without ever making one wait.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.common.errors import ConfigError
+
+#: Queries submitted without a group land here.
+DEFAULT_GROUP = "default"
+
+#: Default per-query memory budget (bytes) for explicit groups.
+DEFAULT_MEMORY_PER_QUERY = 64 * 1024 * 1024
+
+#: Slots / queue cap of the implicit default group: generous enough that an
+#: ungrouped sequential workload is never queued or shed.
+DEFAULT_SLOTS = 64
+DEFAULT_QUEUE_LIMIT = 256
+
+
+class Priority(enum.IntEnum):
+    """Queue ordering: HIGH jumps ahead of lower classes."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+@dataclass
+class ResourceGroup:
+    """One workload class's share of the cluster.
+
+    Mutable on purpose: the autonomous loop tunes ``slots`` and
+    ``memory_per_query_bytes`` live through
+    :meth:`~repro.wlm.governor.WlmGovernor.set_slots` / ``set_memory``.
+    """
+
+    name: str
+    slots: int = 8
+    memory_per_query_bytes: int = DEFAULT_MEMORY_PER_QUERY
+    priority: Priority = Priority.NORMAL
+    #: Per-statement budget of *simulated execution time*; ``None`` = none.
+    timeout_us: Optional[float] = None
+    #: Submissions beyond ``slots`` occupied + this many waiting are shed.
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ConfigError(f"group {self.name!r}: slots must be positive")
+        if self.memory_per_query_bytes <= 0:
+            raise ConfigError(
+                f"group {self.name!r}: memory budget must be positive")
+        if self.queue_limit < 0:
+            raise ConfigError(
+                f"group {self.name!r}: queue_limit cannot be negative")
+
+
+class WlmConfig:
+    """The set of resource groups one governor enforces."""
+
+    def __init__(self, groups: Optional[Iterable[ResourceGroup]] = None,
+                 default_group: str = DEFAULT_GROUP):
+        self.default_group = default_group
+        self.groups: Dict[str, ResourceGroup] = {}
+        for group in groups or ():
+            self.add(group)
+        if default_group not in self.groups:
+            self.add(ResourceGroup(
+                default_group, slots=DEFAULT_SLOTS,
+                memory_per_query_bytes=DEFAULT_MEMORY_PER_QUERY,
+                queue_limit=DEFAULT_QUEUE_LIMIT))
+
+    def add(self, group: ResourceGroup) -> ResourceGroup:
+        if group.name in self.groups:
+            raise ConfigError(f"duplicate resource group {group.name!r}")
+        self.groups[group.name] = group
+        return group
+
+    def get(self, name: Optional[str]) -> ResourceGroup:
+        if name is None:
+            name = self.default_group
+        group = self.groups.get(name)
+        if group is None:
+            raise ConfigError(f"unknown resource group {name!r}")
+        return group
+
+    def names(self):
+        return sorted(self.groups)

@@ -22,8 +22,9 @@ class TestExplainAnalyze:
         assert len(result.rows) >= 2           # at least Exchange + Scan
         operators = [row[0] for row in result.rows]
         assert any("SeqScan" in op for op in operators)
-        for _, est, rows, batches, time_us in result.rows:
+        for _, est, rows, batches, time_us, spilled in result.rows:
             assert rows >= 0 and batches >= 0 and time_us >= 0.0
+            assert spilled == 0    # nothing spills under the default budget
         # The root operator produced the query's result rows.
         assert result.rows[0][2] == 4
         assert result.rowcount == 4

@@ -1,0 +1,152 @@
+"""Admission control: determinism, priority ordering, shedding, timeouts."""
+
+import pytest
+
+from repro.common.errors import AdmissionRejected, ConfigError
+from repro.wlm import (
+    Priority,
+    ResourceGroup,
+    WlmConfig,
+    WlmGovernor,
+)
+from repro.wlm.driver import QueryRequest, replay
+
+
+def _governor(**group_kwargs):
+    group = ResourceGroup("g", **group_kwargs)
+    return WlmGovernor(config=WlmConfig(groups=[group]))
+
+
+class TestGroups:
+    def test_default_group_always_exists(self):
+        config = WlmConfig()
+        assert config.get(None).name == "default"
+        assert "default" in config.names()
+
+    def test_invalid_group_config_rejected(self):
+        with pytest.raises(ConfigError):
+            ResourceGroup("bad", slots=0)
+        with pytest.raises(ConfigError):
+            ResourceGroup("bad", memory_per_query_bytes=0)
+        with pytest.raises(ConfigError):
+            WlmConfig().get("no-such-group")
+
+    def test_duplicate_group_rejected(self):
+        config = WlmConfig(groups=[ResourceGroup("g")])
+        with pytest.raises(ConfigError):
+            config.add(ResourceGroup("g"))
+
+
+class TestAdmission:
+    def test_sequential_submissions_never_wait(self):
+        gov = _governor(slots=2)
+        for i in range(10):
+            ticket = gov.submit(group="g")
+            assert not ticket.queued
+            assert ticket.wait_us == 0.0
+            gov.release(ticket, ticket.admitted_us + 100.0)
+        assert gov.running_count("g") == 0
+
+    def test_burst_past_slots_fast_forwards_admission(self):
+        # Three arrivals at t=0 into one slot of 100us queries: admissions
+        # serialize at 0, 100, 200 — the queue wait is real sim time.
+        gov = _governor(slots=1)
+        waits = []
+        for _ in range(3):
+            ticket = gov.submit(group="g", now_us=0.0)
+            gov.release(ticket, ticket.admitted_us + 100.0)
+            waits.append(ticket.wait_us)
+        assert waits == [0.0, 100.0, 200.0]
+
+    def test_queue_depth_cap_sheds_with_typed_error(self):
+        gov = _governor(slots=1, queue_limit=2)
+        for _ in range(3):   # 1 running (fast-forwarded) + 2 "ahead"
+            ticket = gov.submit(group="g", now_us=0.0)
+            gov.release(ticket, ticket.admitted_us + 1000.0)
+        with pytest.raises(AdmissionRejected) as err:
+            gov.submit(group="g", now_us=0.0)
+        assert err.value.group == "g"
+        rejected = [e for e in gov.events if e.event == "rejected"]
+        assert len(rejected) == 1
+
+    def test_priority_inversion_high_admitted_before_earlier_low(self):
+        gov = _governor(slots=1)
+        runner = gov.submit(group="g", now_us=0.0)
+        # Occupied with an unknown-end runner: later arrivals park queued.
+        low = gov.submit(group="g", now_us=1.0, priority=Priority.LOW)
+        high = gov.submit(group="g", now_us=2.0, priority=Priority.HIGH)
+        assert low.queued and high.queued
+        promoted = gov.release(runner, 50.0)
+        assert promoted == [high]
+        assert high.admitted_us == 50.0
+        assert low.queued    # still waiting behind the high-priority query
+
+    def test_timeout_cancellation_releases_slot_to_queue_head(self):
+        gov = _governor(slots=1, timeout_us=10.0)
+        runner = gov.submit(group="g", now_us=0.0)
+        waiter = gov.submit(group="g", now_us=1.0)
+        assert waiter.queued
+        promoted = gov.finish_cancelled(runner, 25.0, kind="timeout")
+        assert promoted == [waiter]
+        assert not waiter.queued and waiter.admitted_us == 25.0
+        kinds = [e.event for e in gov.events if e.query_id == runner.query_id]
+        assert "timeout" in kinds
+
+    def test_cancel_queued_ticket_removes_it(self):
+        gov = _governor(slots=1)
+        runner = gov.submit(group="g", now_us=0.0)
+        waiter = gov.submit(group="g", now_us=1.0)
+        assert gov.cancel(waiter, now_us=5.0) is True
+        assert gov.queued_count("g") == 0
+        # The freed queue spot does not corrupt the slot pool.
+        assert gov.release(runner, 10.0) == []
+        next_up = gov.submit(group="g", now_us=10.0)
+        assert not next_up.queued
+
+    def test_cancel_running_is_cooperative(self):
+        gov = _governor(slots=1)
+        runner = gov.submit(group="g", now_us=0.0)
+        assert gov.cancel(runner, reason="user request") is False
+        assert runner.cancel_requested == "user request"
+
+    def test_set_slots_growth_promotes_waiters(self):
+        gov = _governor(slots=1)
+        gov.submit(group="g", now_us=0.0)
+        waiter = gov.submit(group="g", now_us=1.0)
+        promoted = gov.set_slots("g", 2, now_us=5.0)
+        assert promoted == [waiter]
+        assert gov.running_count("g") == 2
+
+
+class TestDeterminism:
+    SCHEDULE = [
+        QueryRequest(arrival_us=i * 50.0, exec_us=400.0 if i % 3 else 2000.0,
+                     group="g",
+                     priority=Priority.HIGH if i % 5 == 0 else Priority.NORMAL)
+        for i in range(40)
+    ]
+
+    def _run(self):
+        gov = _governor(slots=2, queue_limit=8)
+        outcomes = replay(gov, self.SCHEDULE, parallelism=4)
+        return gov.queue_rows(), outcomes
+
+    def test_same_schedule_same_config_identical_queue_history(self):
+        rows_a, _ = self._run()
+        rows_b, _ = self._run()
+        assert rows_a == rows_b
+        assert len(rows_a) > len(self.SCHEDULE)   # queued + admitted + done
+
+    def test_replay_loses_no_admitted_query(self):
+        _, outcomes = self._run()
+        for outcome in outcomes:
+            assert outcome.rejected or outcome.finished_us is not None
+
+    def test_reset_history_then_rerun_is_identical(self):
+        gov = _governor(slots=2, queue_limit=8)
+        replay(gov, self.SCHEDULE, parallelism=4)
+        first = gov.queue_rows()
+        gov.reset_history()
+        assert gov.queue_rows() == []
+        replay(gov, self.SCHEDULE, parallelism=4)
+        assert gov.queue_rows() == first

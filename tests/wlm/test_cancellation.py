@@ -1,0 +1,89 @@
+"""Query timeout and cooperative cancellation through the engine."""
+
+import pytest
+
+from repro.cluster.mpp import MppCluster
+from repro.common.errors import QueryCancelled, QueryTimeout
+from repro.sql.engine import SqlEngine
+from repro.wlm import ResourceGroup, WlmConfig
+
+
+def _engine(timeout_us=10.0):
+    config = WlmConfig(groups=[
+        ResourceGroup("bounded", slots=2, timeout_us=timeout_us)])
+    cluster = MppCluster(num_dns=2, wlm_config=config)
+    engine = SqlEngine(cluster)
+    engine.execute("create table t (id int, v int)")
+    values = ", ".join(f"({i}, {i % 7})" for i in range(300))
+    engine.execute(f"insert into t values {values}")
+    return cluster, engine
+
+
+class TestStatementTimeout:
+    def test_long_query_times_out(self):
+        _, engine = _engine()
+        with pytest.raises(QueryTimeout):
+            engine.execute("select v, count(*) from t group by v",
+                           group="bounded")
+
+    def test_timeout_releases_slot_and_aborts_txn(self):
+        cluster, engine = _engine()
+        with pytest.raises(QueryTimeout):
+            engine.execute("select v from t", group="bounded")
+        # Slot back in the pool, no transaction left open.
+        assert cluster.wlm.running_count("bounded") == 0
+        assert cluster.obs.activity.open_count == 0
+        assert cluster.obs.metrics.value("wlm.timeouts") == 1.0
+        # The group is immediately usable again: a query small enough to
+        # finish inside the timeout admits without queueing and succeeds.
+        engine.execute("create table tiny (id int)")
+        engine.execute("insert into tiny values (1), (2), (3)")
+        result = engine.execute("select count(*) from tiny", group="bounded")
+        assert result.scalar() == 3
+
+    def test_timeout_raises_wlm_alert(self):
+        cluster, engine = _engine()
+        with pytest.raises(QueryTimeout):
+            engine.execute("select v from t", group="bounded")
+        wlm_alerts = [a for a in cluster.obs.alerts.alerts()
+                      if a.source == "wlm"]
+        assert any("timeout" in a.message for a in wlm_alerts)
+        assert all(a.severity == "warning" for a in wlm_alerts)
+
+    def test_timeout_event_in_queue_history(self):
+        cluster, engine = _engine()
+        with pytest.raises(QueryTimeout):
+            engine.execute("select v from t", group="bounded")
+        events = [e.event for e in cluster.wlm.events
+                  if e.group == "bounded"]
+        assert events == ["admitted", "timeout"]
+
+    def test_generous_timeout_does_not_fire(self):
+        _, engine = _engine(timeout_us=10_000_000.0)
+        result = engine.execute("select v, count(*) from t group by v",
+                                group="bounded")
+        assert result.rowcount == 7
+
+
+class TestCooperativeCancel:
+    def test_cancel_request_raises_at_next_checkpoint(self):
+        cluster, _ = _engine()
+        ticket = cluster.wlm.submit(group="bounded")
+        ctx = cluster.wlm.context(ticket)
+        cluster.wlm.cancel(ticket, reason="user request")
+        with pytest.raises(QueryCancelled) as err:
+            ctx.tick(object())
+        assert not isinstance(err.value, QueryTimeout)
+        assert err.value.query_id == ticket.query_id
+        cluster.wlm.finish_cancelled(ticket, 1.0, kind="cancelled")
+        assert cluster.wlm.running_count("bounded") == 0
+        assert cluster.obs.metrics.value("wlm.cancelled") == 1.0
+
+    def test_untimed_group_never_times_out_from_progress(self):
+        cluster, _ = _engine()
+        ticket = cluster.wlm.submit(group="default")
+        ctx = cluster.wlm.context(ticket)
+        for _ in range(10_000):
+            ctx.tick(object())
+        assert ctx.progress_us > 0
+        cluster.wlm.release(ticket, ticket.admitted_us + ctx.progress_us)

@@ -1,0 +1,129 @@
+"""Chaos: injected faults at WLM failpoints never leak slots or transactions."""
+
+import pytest
+
+from repro.cluster.mpp import MppCluster
+from repro.faults import (
+    ACT_CRASH_COORDINATOR,
+    ACT_TIMEOUT,
+    CoordinatorCrash,
+    FaultInjector,
+    FP_WLM_ADMIT,
+    FP_WLM_SPILL,
+    InjectedTimeout,
+)
+from repro.sql.engine import SqlEngine
+from repro.wlm import ResourceGroup, WlmConfig
+
+
+def _cluster(seed=7):
+    config = WlmConfig(groups=[
+        ResourceGroup("tight", slots=2, memory_per_query_bytes=512)])
+    cluster = MppCluster(num_dns=2, wlm_config=config)
+    injector = FaultInjector(seed=seed).bind(cluster)
+    engine = SqlEngine(cluster)
+    engine.execute("create table t (id int, v int)")
+    values = ", ".join(f"({i}, {i % 97})" for i in range(300))
+    engine.execute(f"insert into t values {values}")
+    return cluster, engine, injector
+
+
+class TestAdmitFailpoint:
+    def test_coordinator_crash_at_admit_leaks_nothing(self):
+        cluster, engine, injector = _cluster()
+        events_before = len(cluster.wlm.events)
+        injector.arm(FP_WLM_ADMIT, ACT_CRASH_COORDINATOR, times=1)
+        with pytest.raises(CoordinatorCrash):
+            engine.execute("select v from t", group="tight")
+        # The crash fired before a ticket existed: no slot held, no queue
+        # event, no open transaction.
+        assert cluster.wlm.running_count("tight") == 0
+        assert cluster.wlm.queued_count("tight") == 0
+        assert len(cluster.wlm.events) == events_before
+        assert cluster.obs.activity.open_count == 0
+        result = engine.execute("select count(*) from t", group="tight")
+        assert result.scalar() == 300
+
+    def test_injected_timeout_at_admit_sheds_cleanly(self):
+        cluster, engine, injector = _cluster()
+        injector.arm(FP_WLM_ADMIT, ACT_TIMEOUT, times=1)
+        with pytest.raises(InjectedTimeout):
+            engine.execute("select v from t", group="tight")
+        assert cluster.wlm.running_count("tight") == 0
+        assert engine.execute("select count(*) from t",
+                              group="tight").scalar() == 300
+
+    def test_admit_fault_recorded_against_coordinator(self):
+        cluster, engine, injector = _cluster()
+        injector.arm(FP_WLM_ADMIT, ACT_TIMEOUT, times=1)
+        with pytest.raises(InjectedTimeout):
+            engine.execute("select v from t", group="tight")
+        rows = injector.rows()
+        assert len(rows) == 1
+        _, failpoint, action, target, _, _ = rows[0]
+        assert failpoint == FP_WLM_ADMIT
+        assert action == ACT_TIMEOUT
+        assert target == "coordinator"
+
+
+class TestSpillFailpoint:
+    def test_crash_mid_spill_releases_slot_and_aborts_txn(self):
+        cluster, engine, injector = _cluster()
+        injector.arm(FP_WLM_SPILL, ACT_TIMEOUT, times=1)
+        sql = "select v, count(*) from t group by v"
+        with pytest.raises(InjectedTimeout):
+            engine.execute(sql, group="tight")
+        assert cluster.wlm.running_count("tight") == 0
+        assert cluster.obs.activity.open_count == 0
+        failed = [e for e in cluster.wlm.events if e.event == "failed"]
+        assert len(failed) == 1
+        # Fault exhausted: the identical statement now spills and succeeds.
+        governed = engine.execute(sql, group="tight")
+        baseline = engine.execute(sql)
+        assert sorted(governed.rows) == sorted(baseline.rows)
+        assert governed.profile.spilled_bytes > 0
+
+    def test_spill_fault_attributed_to_a_data_node(self):
+        cluster, engine, injector = _cluster()
+        injector.arm(FP_WLM_SPILL, ACT_TIMEOUT, times=1)
+        with pytest.raises(InjectedTimeout):
+            engine.execute("select v, count(*) from t group by v",
+                           group="tight")
+        _, failpoint, _, target, _, _ = injector.rows()[0]
+        assert failpoint == FP_WLM_SPILL
+        assert target.startswith("dn")
+
+    def test_cancel_while_queued_under_faults_leaks_no_slot(self):
+        cluster, _, injector = _cluster()
+        injector.arm(FP_WLM_SPILL, ACT_TIMEOUT, times=-1)  # armed, unrelated
+        gov = cluster.wlm
+        holder = gov.submit(group="tight")
+        second = gov.submit(group="tight")
+        waiter = gov.submit(group="tight")      # both slots held -> queued
+        assert waiter.queued
+        assert gov.cancel(waiter, now_us=5.0) is True
+        gov.release(holder, holder.admitted_us + 10.0)
+        gov.release(second, second.admitted_us + 10.0)
+        assert gov.running_count("tight") == 0
+        assert gov.queued_count("tight") == 0
+        next_up = gov.submit(group="tight")
+        assert not next_up.queued
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_fault_history(self):
+        def run(seed):
+            cluster, engine, injector = _cluster(seed=seed)
+            injector.arm(FP_WLM_SPILL, ACT_TIMEOUT, times=1,
+                         probability=0.5)
+            outcomes = []
+            for _ in range(4):
+                try:
+                    engine.execute("select v, count(*) from t group by v",
+                                   group="tight")
+                    outcomes.append("ok")
+                except InjectedTimeout:
+                    outcomes.append("fault")
+            return outcomes, injector.rows()
+
+        assert run(3) == run(3)

@@ -1,0 +1,128 @@
+"""Engine-level workload management: queue time, views, enabled/disabled parity."""
+
+import pytest
+
+from repro.cluster.mpp import MppCluster
+from repro.common.errors import AdmissionRejected
+from repro.sql.engine import SqlEngine
+from repro.wlm import Priority, ResourceGroup, WlmConfig
+
+
+def _engine(wlm_enabled=True, wlm_config=None, num_dns=2):
+    cluster = MppCluster(num_dns=num_dns, wlm_enabled=wlm_enabled,
+                         wlm_config=wlm_config)
+    engine = SqlEngine(cluster)
+    engine.execute("create table t (id int, v int)")
+    engine.execute(
+        "insert into t values (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)")
+    return cluster, engine
+
+
+class TestQueueTime:
+    def test_sequential_queries_have_zero_queue_time(self):
+        _, engine = _engine()
+        result = engine.execute("select v from t")
+        assert result.profile.queue_time_us == 0.0
+
+    def test_burst_records_queue_time_on_profile(self):
+        config = WlmConfig(groups=[ResourceGroup("narrow", slots=1)])
+        cluster, engine = _engine(wlm_config=config)
+        first = engine.execute("select v from t", group="narrow",
+                               arrival_us=0.0)
+        second = engine.execute("select v from t", group="narrow",
+                                arrival_us=0.0)
+        assert first.profile.queue_time_us == 0.0
+        assert second.profile.queue_time_us > 0.0
+        stats = cluster.obs.waits.stats("wlm_queue")
+        assert stats.count == 1
+        assert stats.total_us == second.profile.queue_time_us
+
+    def test_queue_time_reaches_slow_query_log(self):
+        config = WlmConfig(groups=[ResourceGroup("narrow", slots=1)])
+        cluster, engine = _engine(wlm_config=config)
+        cluster.obs.slowlog.threshold_us = 0.0   # retain everything
+        engine.execute("select v from t", group="narrow", arrival_us=0.0)
+        engine.execute("select v from t", group="narrow", arrival_us=0.0)
+        entries = cluster.obs.slowlog.entries()
+        selects = [e for e in entries if e.sql.startswith("select v")]
+        assert len(selects) == 2
+        assert selects[0].queue_us == 0.0
+        assert selects[1].queue_us > 0.0
+        # The threshold judged execution time, not execution + queue.
+        assert selects[1].elapsed_us == pytest.approx(
+            selects[0].elapsed_us)
+        rows = engine.execute(
+            "select queue_us from sys.slow_queries").column("queue_us")
+        assert rows == [e.queue_us for e in entries]
+
+
+class TestGroupRouting:
+    def test_unknown_group_is_a_config_error(self):
+        from repro.common.errors import ConfigError
+        _, engine = _engine()
+        with pytest.raises(ConfigError):
+            engine.execute("select v from t", group="no-such-group")
+
+    def test_priority_override_lands_in_queue_history(self):
+        cluster, engine = _engine()
+        engine.execute("select v from t", priority=Priority.HIGH)
+        admitted = [e for e in cluster.wlm.events if e.event == "admitted"]
+        assert admitted[-1].priority == "HIGH"
+
+    def test_engine_sheds_when_external_driver_holds_all_slots(self):
+        config = WlmConfig(groups=[ResourceGroup("narrow", slots=1)])
+        cluster, engine = _engine(wlm_config=config)
+        holder = cluster.wlm.submit(group="narrow")   # never released: the
+        with pytest.raises(AdmissionRejected):        # engine cannot wait on
+            engine.execute("select v from t", group="narrow")  # foreign slots
+        assert cluster.wlm.queued_count("narrow") == 0
+        cluster.wlm.release(holder, holder.admitted_us + 1.0)
+
+
+class TestSystemViews:
+    def test_wlm_views_queryable_via_sql(self):
+        _, engine = _engine()
+        engine.execute("select v from t")
+        groups = engine.execute("select * from sys.wlm_groups")
+        assert "default" in groups.column("group_name")
+        queue = engine.execute("select * from sys.wlm_queue")
+        assert queue.rowcount > 0
+        events = queue.column("event")
+        assert set(events) <= {"queued", "admitted", "done", "failed",
+                               "rejected", "timeout", "cancelled"}
+
+    def test_wlm_views_empty_when_disabled(self):
+        _, engine = _engine(wlm_enabled=False)
+        assert engine.execute("select * from sys.wlm_groups").rowcount == 0
+        assert engine.execute("select * from sys.wlm_queue").rowcount == 0
+
+
+class TestDisabledParity:
+    """``wlm_enabled=False`` replays the ungoverned path telemetry-identical."""
+
+    WORKLOAD = [
+        "select v from t where v > 10",
+        "select v, count(*) from t group by v",
+        "explain analyze select v from t order by v desc",
+        "update t set v = v + 1 where id = 3",
+        "select sum(v) from t",
+    ]
+
+    def _run(self, wlm_enabled):
+        cluster, engine = _engine(wlm_enabled=wlm_enabled)
+        cluster.obs.slowlog.threshold_us = 0.0
+        results = [engine.execute(sql) for sql in self.WORKLOAD]
+        return cluster, results
+
+    def test_disabled_cluster_matches_governed_default_group(self):
+        governed, governed_results = self._run(wlm_enabled=True)
+        bare, bare_results = self._run(wlm_enabled=False)
+        for gov, plain in zip(governed_results, bare_results):
+            assert gov.rows == plain.rows
+            if gov.profile is not None:
+                assert gov.profile.rows_table() == plain.profile.rows_table()
+                assert (gov.profile.elapsed_time_us
+                        == plain.profile.elapsed_time_us)
+        assert governed.obs.waits.rows() == bare.obs.waits.rows()
+        assert ([e.as_row() for e in governed.obs.slowlog.entries()]
+                == [e.as_row() for e in bare.obs.slowlog.entries()])
