@@ -46,6 +46,10 @@ class TickReport:
     concurrency_limit: int = 0
     healing_actions: List[str] = field(default_factory=list)
     tuning: Optional[TuningResult] = None
+    #: HTAP merges the tick drove, and the interval after AIMD adjustment
+    #: (0.0 when the cluster has no HTAP manager).
+    htap_merges: int = 0
+    htap_interval_us: float = 0.0
 
 
 class AutonomousManager:
@@ -123,6 +127,12 @@ class AutonomousManager:
             self.info.record(f"heartbeat.{dn.node_id}", now_us, 1.0)
             self.info.record(f"active_txns.{dn.node_id}", now_us,
                              dn.ltm.active_count)
+        htap = getattr(self.cluster, "htap", None)
+        if htap is not None:
+            self.info.record("htap.freshness_lag_us", now_us,
+                             htap.max_freshness_lag_us(now_us))
+            self.info.record("htap.delta_rows", now_us,
+                             float(htap.delta_rows()))
         if extra_metrics:
             for name, value in extra_metrics.items():
                 self.info.record(name, now_us, value)
@@ -143,6 +153,25 @@ class AutonomousManager:
             self.alerts.check_slow_queries(self.cluster.obs.slowlog, now_us)
         report.sla_problems = self.workload.evaluate_sla(now_us)
         report.concurrency_limit = self.workload.adjust(now_us)
+        htap = getattr(self.cluster, "htap", None)
+        if htap is not None:
+            # Drive the merge daemon, then AIMD the merge interval against
+            # the freshness SLA: halve it (and alert) while commits wait
+            # too long for column visibility, relax it slowly otherwise.
+            report.htap_merges = htap.maybe_tick(now_us)
+            lag = htap.max_freshness_lag_us(now_us)
+            interval = htap.config.merge_interval_us
+            if lag > htap.config.freshness_sla_us:
+                report.htap_interval_us = htap.set_interval(interval / 2)
+                self._healing_log.append("tighten htap merge interval")
+                if self.alerts is not None:
+                    self.alerts.raise_alert(
+                        source="htap", severity="warning",
+                        message=(f"htap freshness lag {lag:.0f}us exceeds "
+                                 f"sla {htap.config.freshness_sla_us:.0f}us"),
+                        t_us=now_us, key="htap.freshness")
+            else:
+                report.htap_interval_us = htap.set_interval(interval * 1.25)
         report.healing_actions = list(self._healing_log)
         if self.tuner is not None:
             metric = self.info.latest("commits_delta")

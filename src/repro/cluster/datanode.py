@@ -59,6 +59,11 @@ class DataNode:
         #: Optional :class:`repro.obs.Observability` (set by the cluster);
         #: tuple reads, writes and scan rows are counted into it.
         self.obs = obs
+        #: Optional :class:`repro.htap.store.HtapNodeState` (attached by
+        #: the cluster's HtapManager): per-table delta stores + frozen
+        #: column chunks.  ``None`` on replacement nodes until the merge
+        #: daemon re-seeds them, and always ``None`` with HTAP disabled.
+        self.htap = None
 
     def _note(self, metric: str, amount: float = 1.0) -> None:
         if self.obs is not None:
@@ -108,6 +113,11 @@ class DataNode:
         gxid = self.ltm.gxid_for(xid)
         self.ltm.commit(xid)
         redo = self._redo.pop(xid, None)
+        if redo and self.htap is not None:
+            # Committed writes (and only those) feed the HTAP delta store,
+            # in commit order — the merge daemon's input stream.
+            now_us = self.obs.clock.now_us if self.obs is not None else 0.0
+            self.htap.capture_commit(self, xid, redo, now_us)
         if was_prepared and gxid is not None and self.resolve_hook is not None:
             # The standby already holds this transaction's redo (staged at
             # prepare); resolving the stage replaces the commit shipment.
@@ -191,8 +201,23 @@ class DataNode:
 
         Plan fragments on column-oriented tables run the vectorized kernels
         against this snapshot instead of iterating the heap row by row.
-        Built uncompressed: it lives only for the scan that requested it.
+
+        HTAP-enabled tables are served from the persistent frozen chunk
+        set, patched with the snapshot-visible delta entries — no per-query
+        heap walk.  Tables without HTAP state (or snapshots the chunk set
+        cannot serve soundly) fall back to the legacy cold rebuild, counted
+        as ``htap.cold_rebuilds`` when HTAP is on.
         """
+        state = self.htap
+        if state is not None and table in state.tables:
+            store = state.tables[table].compose(self, snapshot, xid)
+            if store is not None:
+                # Telemetry parity with the heap walk: one scan statement,
+                # one exec row per emitted row.
+                self._note("dn.scan")
+                self._note("exec.rows", float(store.row_count))
+                return store
+            self._note("htap.cold_rebuilds")
         from repro.storage.colstore import ColumnStore
 
         store = ColumnStore(self._schemas[table], compress=False)

@@ -57,6 +57,8 @@ class MppCluster:
         obs_enabled: bool = True,
         wlm_enabled: bool = True,
         wlm_config: Optional[WlmConfig] = None,
+        htap_enabled: bool = True,
+        htap_config=None,
     ):
         if num_dns <= 0:
             raise ConfigError("num_dns must be positive")
@@ -108,6 +110,17 @@ class MppCluster:
             )
             if self.obs is not None:
                 self.obs.bind_wlm(self.wlm)
+        #: Dual-format delta-merge storage (``repro.htap``): column-oriented
+        #: tables keep persistent frozen chunks + a committed-write delta per
+        #: node.  ``htap_enabled=False`` drops it, replaying the per-query
+        #: cold-rebuild path byte-identically.
+        self.htap = None
+        if htap_enabled:
+            from repro.htap.manager import HtapManager
+
+            self.htap = HtapManager(self, config=htap_config)
+            if self.obs is not None:
+                self.obs.bind_htap(self.htap)
         #: How coordinators ride out unresponsive participants.
         self.retry_policy = RetryPolicy()
         #: Live :class:`GlobalTransaction` handles by GXID, so failover and
@@ -122,10 +135,14 @@ class MppCluster:
         self.catalog.register(schema)
         for dn in self.dns:
             dn.create_table(schema)
+        if self.htap is not None:
+            self.htap.register_table(schema)
 
     def drop_table(self, name: str) -> None:
         schema = self.catalog.schema(name)
         self.catalog.unregister(schema.name)
+        if self.htap is not None:
+            self.htap.unregister_table(schema.name)
         for dn in self.dns:
             dn.drop_table(schema.name)
 
@@ -259,6 +276,8 @@ class MppCluster:
             self.faults.reset_history()
         if self.wlm is not None:
             self.wlm.reset_history()   # idempotent with the obs.reset path
+        if self.htap is not None:
+            self.htap.reset_history()  # idempotent with the obs.reset path
         self.gtm.stats.reset()
         self._session_seq = 0
         self._next_session = 0

@@ -20,6 +20,7 @@ from typing import List
 from repro.faults.injector import (
     ACT_CRASH_COORDINATOR,
     ACT_CRASH_DN,
+    ACT_DELAY,
     ACT_DROP,
     ACT_PARTITION,
     ACT_TIMEOUT,
@@ -29,6 +30,8 @@ from repro.faults.injector import (
     FP_COORD_AFTER_PREPARE,
     FP_COORD_BETWEEN_CONFIRMS,
     FP_GTM_COMMIT,
+    FP_HTAP_FRESHNESS,
+    FP_HTAP_MERGE,
     FP_PREPARE_AFTER,
     FP_PREPARE_BEFORE,
     FP_REPLICATE,
@@ -53,6 +56,32 @@ FAULT_MENU = (
     (FP_GTM_COMMIT, ACT_TIMEOUT, False),
     (FP_REPLICATE, ACT_PARTITION, True),
 )
+
+# The HTAP menu (``tests/property/test_chaos_htap.py``): faults against the
+# delta-merge daemon.  A crash mid-merge must lose no rows and leave no
+# stuck watermark; stalls and drops only delay column freshness.
+HTAP_FAULT_MENU = (
+    (FP_HTAP_MERGE, ACT_CRASH_DN, True),
+    (FP_HTAP_MERGE, ACT_TIMEOUT, True),
+    (FP_HTAP_MERGE, ACT_DROP, True),
+    (FP_HTAP_MERGE, ACT_DELAY, True),
+    (FP_HTAP_FRESHNESS, ACT_TIMEOUT, True),
+    (FP_HTAP_FRESHNESS, ACT_DROP, True),
+)
+
+
+def arm_random_htap_faults(injector: FaultInjector, rng: random.Random,
+                           num_dns: int, max_faults: int = 2) -> List[FaultRule]:
+    """Arm 1..max_faults rules drawn from :data:`HTAP_FAULT_MENU`."""
+    rules = []
+    for _ in range(rng.randint(1, max_faults)):
+        failpoint, action, node_scoped = rng.choice(HTAP_FAULT_MENU)
+        match = {"dn": rng.randrange(num_dns)} if node_scoped else None
+        times = rng.choice((1, 1, 2, 5)) if action in (ACT_TIMEOUT, ACT_DROP) else 1
+        delay_us = rng.choice((500.0, 2_000.0, 10_000.0)) if action == ACT_DELAY else 0.0
+        rules.append(injector.arm(failpoint, action, times=times, match=match,
+                                  delay_us=delay_us))
+    return rules
 
 
 def arm_random_faults(injector: FaultInjector, rng: random.Random,

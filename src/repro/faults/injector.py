@@ -73,6 +73,12 @@ FP_WLM_ADMIT = "wlm.admit"
 #: Operator spill to disk mid-query (mirrors governor.FP_WLM_SPILL); a
 #: crash here unwinds through the engine's cancellation cleanup path.
 FP_WLM_SPILL = "wlm.spill"
+#: One table's HTAP delta merge, after the cutoff is chosen but before the
+#: new frozen chunk set is published — a crash here must lose nothing.
+FP_HTAP_MERGE = "htap.merge"
+#: The HTAP merge daemon's per-node tick; a timeout here stalls merges on
+#: that node, letting tests bound freshness-lag behavior under daemon loss.
+FP_HTAP_FRESHNESS = "htap.freshness"
 
 ALL_FAILPOINTS = (
     FP_PREPARE_BEFORE, FP_PREPARE_AFTER, FP_COORD_AFTER_PREPARE,
@@ -80,6 +86,7 @@ ALL_FAILPOINTS = (
     FP_CONFIRM_BEFORE, FP_CONFIRM_AFTER, FP_COORD_BETWEEN_CONFIRMS,
     FP_REPLICATE, FP_PREPARE_SHIP,
     FP_WLM_ADMIT, FP_WLM_SPILL,
+    FP_HTAP_MERGE, FP_HTAP_FRESHNESS,
 )
 
 # -- actions ------------------------------------------------------------------

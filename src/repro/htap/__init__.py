@@ -1,0 +1,34 @@
+"""HTAP delta-merge storage (dual-format row + column, Sec. III-B).
+
+The paper's FI-MPPDB/GaussDB line serves OLTP writes and vectorized
+analytics from one system.  This package supplies the storage layer that
+makes that claim real in the simulation: per-shard, per-table dual-format
+storage where OLTP commits land in the MVCC row heap *and* a small
+in-memory delta store, while a background merge daemon compacts committed
+deltas into persistent frozen column chunks (``repro.storage.colstore``
+encoding, kept across queries instead of rebuilt per scan).
+
+Layout:
+
+* :mod:`repro.htap.delta` — the committed-write delta store.
+* :mod:`repro.htap.store` — per-table frozen chunk set + snapshot-composed
+  reads (frozen chunks patched with visible delta entries).
+* :mod:`repro.htap.manager` — the merge daemon: simulated-time pacing,
+  failpoints, storage I/O charging, freshness accounting, ``sys.htap_*``
+  view feeds.
+"""
+
+from repro.htap.delta import DeltaEntry, DeltaStore
+from repro.htap.manager import HtapConfig, HtapManager, MergeEvent
+from repro.htap.store import FrozenChunkSet, HtapNodeState, HtapTableStore
+
+__all__ = [
+    "DeltaEntry",
+    "DeltaStore",
+    "FrozenChunkSet",
+    "HtapConfig",
+    "HtapManager",
+    "HtapNodeState",
+    "HtapTableStore",
+    "MergeEvent",
+]

@@ -1,0 +1,60 @@
+"""The delta store: committed writes awaiting their column merge.
+
+Only *committed* data ever enters a delta store — :meth:`DataNode.commit`
+appends the transaction's redo ops at commit time, so entries appear in
+commit order and aborts never touch the delta.  Each entry carries the
+key's heap arrival stamp (see :class:`repro.storage.heap.MvccHeap`) and
+the simulated commit time, which together give the merge its ordering
+invariant and the freshness-lag metric its clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class DeltaEntry:
+    """One committed write, in commit order."""
+
+    seq: int                 # position in this table's delta stream
+    xid: int                 # local xid that committed the write
+    op: str                  # 'insert' | 'update' | 'delete'
+    key: object
+    values: Optional[Dict[str, object]]   # full coerced row; None for delete
+    stamp: int               # heap arrival stamp of the key at commit time
+    commit_t_us: float       # simulated commit time (freshness clock)
+
+
+class DeltaStore:
+    """Append-only stream of committed writes for one table on one DN."""
+
+    def __init__(self) -> None:
+        self.entries: List[DeltaEntry] = []
+        self._next_seq = 0
+
+    def append(self, xid: int, op: str, key: object,
+               values: Optional[Dict[str, object]], stamp: int,
+               commit_t_us: float) -> DeltaEntry:
+        entry = DeltaEntry(self._next_seq, xid, op, key,
+                           dict(values) if values is not None else None,
+                           stamp, commit_t_us)
+        self._next_seq += 1
+        self.entries.append(entry)
+        return entry
+
+    def truncate(self, count: int) -> None:
+        """Drop the first ``count`` entries (they have been merged)."""
+        del self.entries[:count]
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def oldest_commit_us(self) -> Optional[float]:
+        """Commit time of the oldest unmerged entry (freshness anchor)."""
+        return self.entries[0].commit_t_us if self.entries else None
+
+    def __len__(self) -> int:
+        return len(self.entries)

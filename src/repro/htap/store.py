@@ -1,0 +1,255 @@
+"""Per-table dual-format state: frozen column chunks + delta composition.
+
+A :class:`HtapTableStore` is one table's HTAP state on one data node:
+
+* ``frozen`` — a :class:`FrozenChunkSet`: a persistent
+  :class:`~repro.storage.colstore.ColumnStore` built by the last merge,
+  plus the merge-time snapshot (the *merged-past-xid watermark*) and the
+  per-row keys/arrival stamps needed to patch it;
+* ``delta`` — the committed writes that arrived since that merge.
+
+Analytic reads call :meth:`HtapTableStore.compose`:
+
+* when the query's snapshot sees no delta entry, the frozen store is
+  served **as is** — zero rebuild, the whole point of the subsystem;
+* otherwise frozen rows are patched/extended with the visible delta
+  entries, re-sorted by heap arrival stamp, and materialized into a fresh
+  uncompressed store with the default chunking — exactly the store the
+  legacy heap walk would have produced, so query results (including
+  chunk-boundary-sensitive float aggregation) stay byte-identical;
+* when the snapshot cannot be served soundly (classical mode, UPGRADE-d
+  merged snapshots, readers with their own uncommitted writes, snapshots
+  older than the watermark), ``compose`` returns ``None`` and the caller
+  falls back to the heap walk, counting the reason.
+
+Ordering invariant: frozen rows are kept sorted by the heap's arrival
+stamp, and every composed result is sorted the same way, so column output
+always reproduces the heap scan order byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import InvalidTransactionState
+from repro.htap.delta import DeltaEntry, DeltaStore
+from repro.storage.colstore import ColumnStore
+from repro.storage.table import TableSchema
+from repro.txn.snapshot import Snapshot
+from repro.txn.xid import INVALID_XID
+
+
+class FrozenChunkSet:
+    """The output of one merge: column chunks plus patching metadata."""
+
+    def __init__(self, store: ColumnStore, keys: List[object],
+                 stamps: List[int], rows: List[Dict[str, object]],
+                 snapshot: Snapshot, merged_seq: int):
+        self.store = store
+        self.keys = keys
+        self.stamps = stamps
+        #: Row dicts in store order — the merge/compose working copy, kept
+        #: so neither path re-decodes (or round-trips values through) the
+        #: encoded chunks.
+        self.rows = rows
+        #: The merge-time snapshot: the watermark every served query
+        #: snapshot must dominate.
+        self.snapshot = snapshot
+        #: First delta ``seq`` *not* folded into this chunk set.
+        self.merged_seq = merged_seq
+        self.pos_by_key: Dict[object, int] = {
+            key: i for i, key in enumerate(keys)
+        }
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class HtapTableStore:
+    """One table's delta + frozen chunk state on one data node."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.delta = DeltaStore()
+        self.frozen: Optional[FrozenChunkSet] = None
+        self.merges = 0
+        self.last_merge_us = 0.0
+        self.max_lag_us = 0.0
+
+    # -- write path (called from DataNode.commit) --------------------------
+
+    def capture(self, dn, xid: int, op, now_us: float) -> None:
+        """Record one committed redo op (``op`` is a ``RedoOp``)."""
+        stamp = dn.heap(op.table).stamp_of(op.key)
+        self.delta.append(xid, op.op, op.key, op.values, stamp, now_us)
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, dn, now_us: float) -> Optional[Tuple[int, int, int]]:
+        """Fold committed deltas into a fresh frozen chunk set.
+
+        Returns ``(rows_read, rows_written, entries_applied)`` or ``None``
+        when there was nothing to do.  The new chunk set is built aside and
+        swapped in atomically at the end: a crash mid-merge (fault
+        injection) leaves the old frozen state and the delta intact, so no
+        row is ever lost or duplicated and a later merge simply redoes the
+        work.
+        """
+        cutoff = len(self.delta.entries)
+        if self.frozen is not None and cutoff == 0:
+            return None
+        merged_seq = self.delta.next_seq
+        snapshot = dn.ltm.local_snapshot()
+        if self.frozen is None:
+            # Seed merge: build from a full heap scan (table registration,
+            # or re-attachment after failover rebuilt the node).  The heap
+            # already reflects every committed delta entry.
+            heap = dn.heap(self.schema.name)
+            items = sorted(
+                ((heap.stamp_of(key), key, values)
+                 for key, values in heap.scan(snapshot, dn.ltm.clog)),
+                key=lambda item: item[0])
+            rows_read = len(items)
+        else:
+            by_key: Dict[object, Tuple[int, Dict[str, object]]] = {}
+            for stamp, key, values in zip(self.frozen.stamps,
+                                          self.frozen.keys,
+                                          self.frozen.rows):
+                by_key[key] = (stamp, values)
+            for entry in self.delta.entries[:cutoff]:
+                if entry.op == "delete":
+                    by_key.pop(entry.key, None)
+                else:
+                    by_key[entry.key] = (entry.stamp, entry.values)
+            items = sorted(
+                ((stamp, key, values)
+                 for key, (stamp, values) in by_key.items()),
+                key=lambda item: item[0])
+            rows_read = self.frozen.row_count + cutoff
+        for entry in self.delta.entries[:cutoff]:
+            self.max_lag_us = max(self.max_lag_us,
+                                  now_us - entry.commit_t_us)
+        store = ColumnStore(self.schema, compress=True)
+        store.append_rows(values for _stamp, _key, values in items)
+        store.flush()
+        self.frozen = FrozenChunkSet(
+            store,
+            keys=[key for _stamp, key, _values in items],
+            stamps=[stamp for stamp, _key, _values in items],
+            rows=[values for _stamp, _key, values in items],
+            snapshot=snapshot,
+            merged_seq=merged_seq,
+        )
+        self.delta.truncate(cutoff)
+        self.merges += 1
+        self.last_merge_us = now_us
+        return rows_read, len(items), cutoff
+
+    # -- read path ---------------------------------------------------------
+
+    def compose(self, dn, snapshot, own_xid: int = INVALID_XID):
+        """A ColumnStore for this table under ``snapshot``, or ``None``.
+
+        ``None`` means the snapshot cannot be served from frozen + delta
+        and the caller must walk the heap; the reason is counted.
+        """
+        reason = self._unservable_reason(dn, snapshot, own_xid)
+        if reason is not None:
+            dn._note(f"htap.fallback.{reason}")
+            return None
+        frozen = self.frozen
+        clog = dn.ltm.clog
+        # Last *visible* entry per key wins.  Sound because same-key
+        # commits are serialized (first-updater-wins) and GTM-lite's
+        # dependency taint hides dependent commits together, so the
+        # visible entries of a key always form a prefix of its stream.
+        finals: Dict[object, DeltaEntry] = {}
+        for entry in self.delta.entries:
+            if snapshot.xid_visible(entry.xid, clog, own_xid):
+                finals[entry.key] = entry
+        if not finals:
+            dn._note("htap.scans_frozen")
+            return frozen.store
+        deleted = set()
+        patched: Dict[int, Dict[str, object]] = {}
+        extra: List[Tuple[int, Dict[str, object]]] = []
+        for key, entry in finals.items():
+            pos = frozen.pos_by_key.get(key)
+            if pos is None:
+                if entry.op != "delete":
+                    extra.append((entry.stamp, entry.values))
+            elif entry.op == "delete":
+                deleted.add(pos)
+            elif entry.stamp == frozen.stamps[pos]:
+                patched[pos] = entry.values
+            else:
+                # The key's chain was dropped (vacuum) and re-created: it
+                # now lives at a new heap position.
+                deleted.add(pos)
+                extra.append((entry.stamp, entry.values))
+        rows = [(stamp, patched.get(i, values))
+                for i, (stamp, values) in enumerate(zip(frozen.stamps,
+                                                        frozen.rows))
+                if i not in deleted]
+        rows.extend(extra)
+        rows.sort(key=lambda item: item[0])
+        # Materialize with the legacy path's exact shape (uncompressed,
+        # default chunking) so downstream vectorized aggregation sees the
+        # same chunk boundaries and stays byte-identical.
+        store = ColumnStore(self.schema, compress=False)
+        store.append_rows(values for _stamp, values in rows)
+        store.flush()
+        dn._note("htap.scans_composed")
+        return store
+
+    def _unservable_reason(self, dn, snapshot, own_xid: int) -> Optional[str]:
+        if self.frozen is None:
+            return "cold"
+        if not isinstance(snapshot, Snapshot):
+            # Classical central-snapshot mode ships its own snapshot type.
+            return "classical"
+        if getattr(snapshot, "forced_committed", None):
+            # UPGRADE revealed a PREPARED write that no delta entry holds.
+            return "upgraded"
+        watermark = self.frozen.snapshot
+        if snapshot.xmax < watermark.xmax:
+            return "stale_snapshot"
+        forced_active = getattr(snapshot, "forced_active", None) or frozenset()
+        for xid in set(snapshot.active) | set(forced_active):
+            if xid < watermark.xmax and xid not in watermark.active:
+                # The merge may have folded a commit this reader must not
+                # see (DOWNGRADE re-hid it).  Conservative: walk the heap.
+                return "hidden_commit"
+        if own_xid != INVALID_XID:
+            try:
+                write_set = dn.ltm.write_set(own_xid)
+            except InvalidTransactionState:
+                write_set = None
+            if write_set is not None and any(
+                    table == self.schema.name
+                    for table, _key in write_set.frozen()):
+                # The reader's own uncommitted writes live only in the heap.
+                return "own_writes"
+        return None
+
+    # -- introspection -----------------------------------------------------
+
+    def freshness_lag_us(self, now_us: float) -> float:
+        """Sim time the oldest committed write has waited for its merge."""
+        oldest = self.delta.oldest_commit_us()
+        return max(0.0, now_us - oldest) if oldest is not None else 0.0
+
+
+class HtapNodeState:
+    """All HTAP table stores on one data node."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, HtapTableStore] = {}
+
+    def capture_commit(self, dn, xid: int, redo, now_us: float) -> None:
+        """Feed one committed transaction's redo ops into the deltas."""
+        for op in redo:
+            store = self.tables.get(op.table)
+            if store is not None:
+                store.capture(dn, xid, op, now_us)

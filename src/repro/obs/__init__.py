@@ -68,12 +68,18 @@ class Observability:
         #: Optional :class:`repro.wlm.WlmGovernor`, bound late for the same
         #: reason; serves ``sys.wlm_groups`` / ``sys.wlm_queue``.
         self.wlm = None
+        #: Optional :class:`repro.htap.HtapManager`, bound late for the
+        #: same reason; serves ``sys.htap_tables`` / ``sys.htap_merges``.
+        self.htap = None
 
     def bind_faults(self, injector) -> None:
         self.faults = injector
 
     def bind_wlm(self, governor) -> None:
         self.wlm = governor
+
+    def bind_htap(self, manager) -> None:
+        self.htap = manager
 
     def advance_to(self, t_us: float) -> None:
         """Sync the shared clock to a session's simulated-time cursor.
@@ -100,6 +106,8 @@ class Observability:
             self.faults.reset_history()
         if self.wlm is not None:
             self.wlm.reset_history()
+        if self.htap is not None:
+            self.htap.reset_history()
         self.clock.reset()
 
 

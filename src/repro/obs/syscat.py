@@ -25,6 +25,10 @@ Views:
 * ``sys.faults``       — injected-fault history (``repro.faults``).
 * ``sys.wlm_groups``   — resource groups: config plus live/lifetime counters.
 * ``sys.wlm_queue``    — the admission event history (``repro.wlm``).
+* ``sys.htap_tables``  — per-DN dual-format table state: frozen chunks,
+  pending delta rows, merge watermark, freshness lag (``repro.htap``).
+* ``sys.htap_merges``  — the delta-merge history: rows folded, storage I/O
+  charged, worst commit-to-merge lag per merge.
 """
 
 from __future__ import annotations
@@ -146,6 +150,29 @@ class SystemCatalog:
              ("wait_us", DataType.DOUBLE)],
             self._wlm_queue_rows,
         )
+        # "table" is a SQL keyword, so the table column is table_name.
+        self._register(
+            "htap_tables",
+            [("dn", DataType.BIGINT), ("table_name", DataType.TEXT),
+             ("frozen_rows", DataType.BIGINT),
+             ("frozen_chunks", DataType.BIGINT),
+             ("footprint", DataType.BIGINT),
+             ("delta_rows", DataType.BIGINT),
+             ("merged_seq", DataType.BIGINT), ("merges", DataType.BIGINT),
+             ("last_merge_us", DataType.DOUBLE),
+             ("freshness_lag_us", DataType.DOUBLE),
+             ("max_lag_us", DataType.DOUBLE)],
+            self._htap_table_rows,
+        )
+        self._register(
+            "htap_merges",
+            [("merge_id", DataType.BIGINT), ("dn", DataType.BIGINT),
+             ("table_name", DataType.TEXT), ("t_us", DataType.DOUBLE),
+             ("delta_rows", DataType.BIGINT),
+             ("frozen_rows", DataType.BIGINT), ("bytes", DataType.BIGINT),
+             ("io_us", DataType.DOUBLE), ("max_lag_us", DataType.DOUBLE)],
+            self._htap_merge_rows,
+        )
 
     def _register(self, short_name: str, columns: Columns,
                   producer: Callable[[], Iterable[tuple]]) -> None:
@@ -205,3 +232,13 @@ class SystemCatalog:
         if self.obs.wlm is None:
             return []
         return self.obs.wlm.queue_rows()
+
+    def _htap_table_rows(self) -> Iterable[tuple]:
+        if self.obs.htap is None:
+            return []
+        return self.obs.htap.table_rows()
+
+    def _htap_merge_rows(self) -> Iterable[tuple]:
+        if self.obs.htap is None:
+            return []
+        return self.obs.htap.merge_rows()

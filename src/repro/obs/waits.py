@@ -56,6 +56,9 @@ WAIT_WLM_QUEUE = "wlm_queue"
 #: Operator state spilled to disk (write + read-back) on a memory budget
 #: overflow; attributed to the data node whose partition overflowed.
 WAIT_WLM_SPILL = "wlm_spill"
+#: HTAP delta merge storage I/O (read old chunks + delta, write new
+#: chunks); attributed to the data node that merged.
+WAIT_HTAP_MERGE = "htap_merge"
 
 ALL_WAIT_EVENTS = (
     WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL, WAIT_MERGE_UPGRADE,
@@ -63,7 +66,7 @@ ALL_WAIT_EVENTS = (
     WAIT_DN_APPLY, WAIT_DN_SCAN, WAIT_DN_COMMIT,
     WAIT_LOCK_CONFLICT,
     WAIT_FAULT_RETRY, WAIT_FAULT_FAILOVER, WAIT_FAULT_DELAY,
-    WAIT_WLM_QUEUE, WAIT_WLM_SPILL,
+    WAIT_WLM_QUEUE, WAIT_WLM_SPILL, WAIT_HTAP_MERGE,
 )
 
 

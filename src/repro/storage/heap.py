@@ -51,12 +51,23 @@ class MvccHeap:
     def __init__(self, name: str):
         self.name = name
         self._chains: Dict[object, List[TupleVersion]] = {}
+        # Arrival stamps: a monotone per-key stamp assigned when a chain is
+        # created and retired when the chain is deleted.  Because chains are
+        # only ever appended or removed (never reordered), ascending stamp
+        # order equals dict insertion order equals :meth:`scan` order — the
+        # invariant the HTAP column path relies on to reproduce heap scan
+        # output byte-for-byte from frozen chunks plus delta entries.
+        self._stamps: Dict[object, int] = {}
+        self._next_stamp = 0
 
     # -- write path -------------------------------------------------------
 
     def insert(self, key: object, values: Dict[str, object], xid: int,
                snapshot: Snapshot, clog: StatusLog) -> None:
         """Insert a new row; the key must not be visibly or concurrently alive."""
+        if key not in self._chains:
+            self._stamps[key] = self._next_stamp
+            self._next_stamp += 1
         chain = self._chains.setdefault(key, [])
         newest = chain[-1] if chain else None
         if newest is not None:
@@ -111,6 +122,7 @@ class MvccHeap:
             self._chains[key] = kept
         else:
             del self._chains[key]
+            del self._stamps[key]
         return touched
 
     # -- read path ----------------------------------------------------------
@@ -132,6 +144,10 @@ class MvccHeap:
     def version_chain(self, key: object) -> List[TupleVersion]:
         """Raw version chain for ``key`` (introspection / tests)."""
         return list(self._chains.get(key, []))
+
+    def stamp_of(self, key: object) -> int:
+        """Arrival stamp for ``key`` (see ``_stamps``); key must be live."""
+        return self._stamps[key]
 
     def vacuum(self, oldest_snapshot: Snapshot, clog: StatusLog) -> int:
         """Remove versions dead to every possible present or future snapshot."""
@@ -157,6 +173,7 @@ class MvccHeap:
                 self._chains[key] = kept
             else:
                 del self._chains[key]
+                del self._stamps[key]
         return removed
 
     def __len__(self) -> int:

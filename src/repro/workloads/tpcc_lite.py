@@ -19,12 +19,13 @@ Primary keys are composite-encoded integers; every table carries a
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.cluster.mpp import MppCluster, Session
 from repro.common.rng import make_rng
-from repro.storage.table import Column, Distribution, TableSchema
+from repro.storage.table import (Column, Distribution, Orientation,
+                                 TableSchema)
 from repro.storage.types import DataType
 
 # Encoding strides for composite keys.
@@ -121,10 +122,19 @@ def tpcc_schemas() -> List[TableSchema]:
     ]
 
 
-def load_tpcc(cluster: MppCluster, num_warehouses: int, seed: int = 7) -> None:
-    """Populate the schema; runs outside cost tracking (bulk load)."""
+def load_tpcc(cluster: MppCluster, num_warehouses: int, seed: int = 7,
+              column_oriented: Sequence[str] = ()) -> None:
+    """Populate the schema; runs outside cost tracking (bulk load).
+
+    ``column_oriented`` names tables to create column-oriented instead of
+    row-oriented — the HTAP mixed benchmark flips ``orders``/``order_line``
+    so reporting scans run against the delta-merge column path while the
+    TPC-C transaction profiles keep writing them.
+    """
     rng = make_rng(seed)
     for schema in tpcc_schemas():
+        if schema.name in column_oriented:
+            schema = replace(schema, orientation=Orientation.COLUMN)
         cluster.create_table(schema)
     session = cluster.session(track_costs=False)
 

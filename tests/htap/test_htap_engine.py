@@ -1,0 +1,152 @@
+"""Engine-level HTAP: SQL scans served from frozen chunks, sys views,
+freshness under sustained writes, autonomous AIMD interval control.
+
+``test_freshness_stays_bounded_under_sustained_writes`` doubles as the CI
+freshness-regression gate: a ticking daemon must keep commit-to-column
+visibility lag under the SLA while OLTP writes keep arriving.
+"""
+
+from repro.autonomous.adbms import AutonomousManager
+from repro.cluster.mpp import MppCluster
+from repro.htap.manager import HtapConfig
+from repro.sql.engine import SqlEngine
+
+
+def _engine(htap_enabled=True, num_dns=2, htap_config=None):
+    cluster = MppCluster(num_dns=num_dns, htap_enabled=htap_enabled,
+                         htap_config=htap_config)
+    engine = SqlEngine(cluster)
+    engine.execute("create table t (id int primary key, v int) "
+                   "with (orientation = column)")
+    engine.execute(
+        "insert into t values (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)")
+    return cluster, engine
+
+
+def _counter(cluster, name):
+    return cluster.obs.metrics.counter(name).value
+
+
+class TestServedScans:
+    def test_repeated_scans_stop_cold_rebuilding(self):
+        cluster, engine = _engine()
+        cluster.htap.tick()
+        assert _counter(cluster, "htap.cold_rebuilds") == 0
+        frozen_before = _counter(cluster, "htap.scans_frozen")
+        for _ in range(4):
+            result = engine.execute("select sum(v) from t")
+            assert result.rows == [(150,)]
+        assert _counter(cluster, "htap.cold_rebuilds") == 0
+        assert _counter(cluster, "htap.scans_frozen") > frozen_before
+
+    def test_scan_after_write_composes_not_rebuilds(self):
+        cluster, engine = _engine()
+        cluster.htap.tick()
+        engine.execute("insert into t values (6, 60)")
+        result = engine.execute("select sum(v) from t")
+        assert result.rows == [(210,)]
+        assert _counter(cluster, "htap.scans_composed") > 0
+        assert _counter(cluster, "htap.cold_rebuilds") == 0
+
+    def test_results_identical_with_htap_disabled(self):
+        for flag in (True, False):
+            cluster, engine = _engine(htap_enabled=flag)
+            if cluster.htap is not None:
+                cluster.htap.tick()
+            engine.execute("update t set v = 99 where id = 2")
+            result = engine.execute("select id, v from t order by id")
+            assert result.rows == [
+                (1, 10), (2, 99), (3, 30), (4, 40), (5, 50)]
+
+
+class TestSysViews:
+    def test_htap_tables_view_reports_per_dn_state(self):
+        cluster, engine = _engine()
+        cluster.htap.tick()
+        rows = engine.execute(
+            "select dn, table_name, frozen_rows, delta_rows "
+            "from sys.htap_tables order by dn").rows
+        assert [r[1] for r in rows] == ["t"] * cluster.num_dns
+        assert sum(r[2] for r in rows) == 5     # frozen rows cover the table
+        assert all(r[3] == 0 for r in rows)     # delta fully drained
+
+    def test_htap_merges_view_reports_history(self):
+        cluster, engine = _engine()
+        cluster.htap.tick()
+        rows = engine.execute(
+            "select table_name, delta_rows, bytes from sys.htap_merges").rows
+        assert rows                                # at least one merge event
+        assert all(r[0] == "t" for r in rows)
+        assert sum(r[1] for r in rows) == 5
+        assert all(r[2] > 0 for r in rows)
+
+    def test_views_empty_when_disabled(self):
+        cluster, engine = _engine(htap_enabled=False)
+        assert engine.execute("select * from sys.htap_tables").rows == []
+        assert engine.execute("select * from sys.htap_merges").rows == []
+
+
+class TestFreshness:
+    def test_freshness_stays_bounded_under_sustained_writes(self):
+        config = HtapConfig(merge_interval_us=20_000.0,
+                            freshness_sla_us=100_000.0)
+        cluster, engine = _engine(htap_config=config)
+        clock = cluster.obs.clock
+        worst = 0.0
+        for i in range(40):
+            engine.execute(f"insert into t values ({100 + i}, {i})")
+            clock.advance(10_000.0)
+            cluster.htap.maybe_tick(clock.now_us)
+            worst = max(worst, cluster.htap.max_freshness_lag_us(clock.now_us))
+        # The regression gate: a paced daemon keeps lag under the SLA.
+        assert worst <= config.freshness_sla_us
+        assert cluster.htap.delta_rows() == 0 or \
+            cluster.htap.max_freshness_lag_us(clock.now_us) <= config.freshness_sla_us
+
+    def test_stalled_daemon_lag_is_visible(self):
+        cluster, engine = _engine()
+        clock = cluster.obs.clock
+        engine.execute("insert into t values (100, 1)")
+        clock.advance(500_000.0)
+        lag = cluster.htap.max_freshness_lag_us(clock.now_us)
+        assert lag >= 500_000.0    # no tick ran; the commit is still waiting
+
+
+class TestAutonomousControl:
+    def test_tick_drives_merges_and_relaxes_interval(self):
+        cluster, engine = _engine()
+        manager = AutonomousManager(cluster)
+        clock = cluster.obs.clock
+        engine.execute("insert into t values (100, 1)")
+        clock.advance(100_000.0)
+        manager.collect(clock.now_us)
+        report = manager.tick(clock.now_us)
+        assert report.htap_merges >= 1
+        # Lag is now zero, so AIMD relaxed the interval multiplicatively.
+        assert report.htap_interval_us > HtapConfig().merge_interval_us
+
+    def test_sla_breach_tightens_interval_and_alerts(self):
+        config = HtapConfig(merge_interval_us=400_000.0,
+                            freshness_sla_us=50_000.0)
+        cluster, engine = _engine(htap_config=config)
+        manager = AutonomousManager(cluster)
+        clock = cluster.obs.clock
+        cluster.htap.maybe_tick(clock.now_us)   # start the pacing window
+        engine.execute("insert into t values (100, 1)")
+        clock.advance(200_000.0)                # < interval: no merge yet
+        report = manager.tick(clock.now_us)
+        assert report.htap_merges == 0
+        assert report.htap_interval_us == 200_000.0    # halved
+        assert "tighten htap merge interval" in report.healing_actions
+        alerts = [a for a in cluster.obs.alerts.alerts()
+                  if a.source == "htap"]
+        assert len(alerts) == 1
+
+    def test_collect_records_htap_series(self):
+        cluster, engine = _engine()
+        manager = AutonomousManager(cluster)
+        engine.execute("insert into t values (100, 1)")
+        manager.collect(0.0)
+        # The 5 seed rows plus this insert all sit unmerged in the delta.
+        assert manager.info.latest("htap.delta_rows") == 6.0
+        assert manager.info.latest("htap.freshness_lag_us") is not None
