@@ -3,13 +3,29 @@
 Every transaction records spans, wait events, activity entries and metric
 samples; ``MppCluster(obs_enabled=False)`` turns the whole subsystem off
 (``cluster.obs is None`` and every instrumentation site no-ops).  This
-script measures the *wall-clock* cost of that instrumentation — simulated
-results are identical either way, which is also asserted here.
+script measures the CPU cost of that instrumentation — simulated results
+are identical either way, which is also asserted here.
+
+Measurement methodology (the ratio is gated in CI, so it has to be robust
+against a noisy shared host):
+
+* ``time.process_time`` instead of wall clock — scheduler preemption on a
+  loaded machine inflates wall time for whichever mode happens to be
+  running, but barely moves consumed-CPU time.
+* GC is collected *before* and disabled *during* the timed region, so a
+  generational collection triggered by an earlier run can't land inside
+  one mode's timing.
+* On/off runs strictly interleave, spreading any slow drift in host load
+  evenly across both modes.
+* The headline statistic is the **ratio of minimums**.  Noise on a busy
+  host is strictly additive, so the minimum of many repeats is the best
+  estimate of the true cost of each mode; medians are reported alongside.
 
 Run:  PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 Writes ``BENCH_obs_overhead.json`` next to this file (under ``out/``).
 """
 
+import gc
 import json
 import statistics
 import time
@@ -23,7 +39,13 @@ NUM_DNS = 4
 WAREHOUSES = 4
 CLIENTS_PER_DN = 4
 TXNS_PER_CLIENT = 30
-REPEATS = 5
+#: Interleaved on/off pairs.  The min over this many repeats is stable to
+#: a few percent even on a contended container.
+PAIRS = 12
+#: CI gate (ISSUE: obs_enabled must cost < 1.2x).  Leave a little headroom
+#: below the target when hacking on the hot paths: the measured ratio sits
+#: around 1.15-1.19 on an idle host.
+MAX_RATIO = 1.2
 
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_obs_overhead.json"
 
@@ -33,29 +55,41 @@ def one_run(obs_enabled: bool):
     load_tpcc(cluster, num_warehouses=WAREHOUSES)
     workload = TpccLiteWorkload(num_warehouses=WAREHOUSES,
                                 multi_shard_fraction=0.2, seed=3)
-    t0 = time.perf_counter()
-    result = run_oltp(cluster, workload, clients_per_dn=CLIENTS_PER_DN,
-                      txns_per_client=TXNS_PER_CLIENT)
-    elapsed_s = time.perf_counter() - t0
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.process_time()
+        result = run_oltp(cluster, workload, clients_per_dn=CLIENTS_PER_DN,
+                          txns_per_client=TXNS_PER_CLIENT)
+        elapsed_s = time.process_time() - t0
+    finally:
+        gc.enable()
     return elapsed_s, result
 
 
 def main() -> None:
+    # Warm both code paths (imports, bytecode specialization, allocator
+    # arenas) before anything is timed.
+    _, warm_on = one_run(True)
+    _, warm_off = one_run(False)
+    baseline = warm_on.as_dict()
+    assert warm_off.as_dict() == baseline, \
+        "obs_enabled changed simulation results"
+
     timings = {"obs_on": [], "obs_off": []}
-    baseline = None
-    for _ in range(REPEATS):
-        # alternate to spread warmup / cache effects evenly
+    for _ in range(PAIRS):
         for key, enabled in (("obs_on", True), ("obs_off", False)):
             elapsed_s, result = one_run(enabled)
             timings[key].append(elapsed_s)
             # telemetry must never change what the simulation computes
-            if baseline is None:
-                baseline = result.as_dict()
             assert result.as_dict() == baseline, \
                 "obs_enabled changed simulation results"
 
-    on = statistics.median(timings["obs_on"])
-    off = statistics.median(timings["obs_off"])
+    on_min = min(timings["obs_on"])
+    off_min = min(timings["obs_off"])
+    on_med = statistics.median(timings["obs_on"])
+    off_med = statistics.median(timings["obs_off"])
+    ratio = on_min / off_min
     committed = baseline["committed"]
     report = {
         "benchmark": "obs_overhead",
@@ -64,22 +98,32 @@ def main() -> None:
             "warehouses": WAREHOUSES,
             "clients_per_dn": CLIENTS_PER_DN,
             "txns_per_client": TXNS_PER_CLIENT,
-            "repeats": REPEATS,
+            "pairs": PAIRS,
+            "timer": "process_time",
         },
         "committed_txns": committed,
-        "median_s_obs_on": on,
-        "median_s_obs_off": off,
-        "overhead_ratio": on / off if off > 0 else None,
-        "overhead_us_per_txn": (on - off) / committed * 1e6,
+        "min_s_obs_on": on_min,
+        "min_s_obs_off": off_min,
+        "median_s_obs_on": on_med,
+        "median_s_obs_off": off_med,
+        "overhead_ratio": ratio,
+        "overhead_ratio_medians": on_med / off_med,
+        "overhead_us_per_txn": (on_min - off_min) / committed * 1e6,
+        "max_ratio": MAX_RATIO,
         "sim_results_identical": True,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"obs on : {on * 1e3:8.1f} ms (median of {REPEATS})")
-    print(f"obs off: {off * 1e3:8.1f} ms (median of {REPEATS})")
-    print(f"overhead: {report['overhead_ratio']:.2f}x, "
+    print(f"obs on : {on_min * 1e3:8.1f} ms min, {on_med * 1e3:8.1f} ms "
+          f"median (of {PAIRS})")
+    print(f"obs off: {off_min * 1e3:8.1f} ms min, {off_med * 1e3:8.1f} ms "
+          f"median (of {PAIRS})")
+    print(f"overhead: {ratio:.3f}x (mins), "
+          f"{report['overhead_ratio_medians']:.3f}x (medians), "
           f"{report['overhead_us_per_txn']:.1f}us per committed txn")
     print(f"wrote {OUT_PATH}")
+    assert ratio <= MAX_RATIO, (
+        f"telemetry overhead {ratio:.3f}x exceeds the {MAX_RATIO}x gate")
 
 
 if __name__ == "__main__":

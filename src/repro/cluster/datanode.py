@@ -59,15 +59,68 @@ class DataNode:
         #: Optional :class:`repro.obs.Observability` (set by the cluster);
         #: tuple reads, writes and scan rows are counted into it.
         self.obs = obs
+        #: Interned counter objects, resolved from the registry once per
+        #: metric name; every later ``_note`` is a dict probe + ``inc``.
+        self._counters: Dict[str, object] = {}
+        # Per-statement tuple counts are kept as plain integers on the node
+        # (a bump is one attribute increment, obs on or off) and folded into
+        # the registry's dn.read / exec.rows / dn.apply / dn.scan counters
+        # by a scrape-time collector — so ``sys.metrics`` and snapshots stay
+        # exact while tuple access never touches a metric object.
+        self._n_read = 0
+        self._n_rows = 0
+        self._n_apply = 0
+        self._n_scan = 0
+        if obs is not None:
+            metrics = obs.metrics
+            self._c_read = metrics.counter("dn.read")
+            self._c_rows = metrics.counter("exec.rows")
+            self._c_apply = metrics.counter("dn.apply")
+            self._c_scan = metrics.counter("dn.scan")
+            metrics.add_collector(self._flush_tuple_counts)
+        else:
+            self._c_read = self._c_rows = None
+            self._c_apply = self._c_scan = None
         #: Optional :class:`repro.htap.store.HtapNodeState` (attached by
         #: the cluster's HtapManager): per-table delta stores + frozen
         #: column chunks.  ``None`` on replacement nodes until the merge
         #: daemon re-seeds them, and always ``None`` with HTAP disabled.
         self.htap = None
 
+    def _flush_tuple_counts(self) -> None:
+        """Scrape-time collector: pending tuple counts → registry counters.
+
+        Registry resets zero the counter objects in place (the refs stay
+        valid), and ``MetricsRegistry.reset`` drains collectors first, so
+        pendings never leak across ``reset_telemetry``.
+        """
+        n = self._n_read
+        if n:
+            self._c_read._value += n
+            self._n_read = 0
+        n = self._n_rows
+        if n:
+            self._c_rows._value += n
+            self._n_rows = 0
+        n = self._n_apply
+        if n:
+            self._c_apply._value += n
+            self._n_apply = 0
+        n = self._n_scan
+        if n:
+            self._c_scan._value += n
+            self._n_scan = 0
+
     def _note(self, metric: str, amount: float = 1.0) -> None:
-        if self.obs is not None:
-            self.obs.metrics.counter(metric).inc(amount)
+        obs = self.obs
+        if obs is None:
+            return
+        counter = self._counters.get(metric)
+        if counter is None:
+            counter = self._counters[metric] = obs.metrics.counter(metric)
+        # Counter.inc minus the call and the can't-decrease guard: every
+        # amount noted here is a non-negative row/tuple count.
+        counter._value += amount
 
     # -- DDL ---------------------------------------------------------------
 
@@ -142,9 +195,9 @@ class DataNode:
     def read(self, table: str, key: object, snapshot: Snapshot,
              xid: int = INVALID_XID) -> Optional[Dict[str, object]]:
         row = self.heap(table).read(key, snapshot, self.ltm.clog, xid)
-        self._note("dn.read")
+        self._n_read += 1
         if row is not None:
-            self._note("exec.rows")
+            self._n_rows += 1
         return row
 
     def _require_writable(self) -> None:
@@ -160,7 +213,7 @@ class DataNode:
         key = schema.key_of(coerced)
         self.heap(table).insert(key, coerced, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
-        self._note("dn.apply")
+        self._n_apply += 1
         self._redo.setdefault(xid, []).append(
             RedoOp("insert", table, key, coerced))
 
@@ -177,7 +230,7 @@ class DataNode:
         coerced = self._schemas[table].coerce_row(current)
         heap.update(key, coerced, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
-        self._note("dn.apply")
+        self._n_apply += 1
         self._redo.setdefault(xid, []).append(
             RedoOp("update", table, key, coerced))
 
@@ -185,14 +238,14 @@ class DataNode:
         self._require_writable()
         self.heap(table).delete(key, xid, snapshot, self.ltm.clog)
         self.ltm.record_write(xid, table, key)
-        self._note("dn.apply")
+        self._n_apply += 1
         self._redo.setdefault(xid, []).append(RedoOp("delete", table, key))
 
     def scan(self, table: str, snapshot: Snapshot,
              xid: int = INVALID_XID) -> Iterator[Tuple[object, Dict[str, object]]]:
-        self._note("dn.scan")
+        self._n_scan += 1
         for item in self.heap(table).scan(snapshot, self.ltm.clog, xid):
-            self._note("exec.rows")
+            self._n_rows += 1
             yield item
 
     def column_store_snapshot(self, table: str, snapshot: Snapshot,
@@ -214,8 +267,8 @@ class DataNode:
             if store is not None:
                 # Telemetry parity with the heap walk: one scan statement,
                 # one exec row per emitted row.
-                self._note("dn.scan")
-                self._note("exec.rows", float(store.row_count))
+                self._n_scan += 1
+                self._n_rows += store.row_count
                 return store
             self._note("htap.cold_rebuilds")
         from repro.storage.colstore import ColumnStore

@@ -55,6 +55,7 @@ class MppCluster:
         mode: TxnMode = TxnMode.GTM_LITE,
         profile: EnvironmentProfile = DEFAULT_PROFILE,
         obs_enabled: bool = True,
+        obs_config=None,
         wlm_enabled: bool = True,
         wlm_config: Optional[WlmConfig] = None,
         htap_enabled: bool = True,
@@ -73,7 +74,10 @@ class MppCluster:
         #: transactions, executor, SQL engine) records into this namespace.
         #: ``obs_enabled=False`` drops it entirely (telemetry-overhead
         #: benchmarking); every consumer guards for ``obs is None``.
-        self.obs = Observability() if obs_enabled else None
+        #: ``obs_config`` (an :class:`~repro.obs.ObsConfig`) selects the
+        #: telemetry mode — sampling strides, ring capacities — and is
+        #: introspectable at runtime through ``sys.obs_config``.
+        self.obs = Observability(config=obs_config) if obs_enabled else None
         self.gtm = GlobalTransactionManager(obs=self.obs)
         self.dns: List[DataNode] = [DataNode(f"dn{i}", i, obs=self.obs)
                                     for i in range(num_dns)]

@@ -59,6 +59,19 @@ from repro.txn.snapshot import Snapshot
 from repro.txn.status import TxnStatus
 
 
+#: Interned coordinator node names ("cn0", "cn1", ...) so every root span
+#: reuses one string object instead of formatting a fresh one per txn.
+_CN_NODE_NAMES: Dict[int, str] = {}
+
+
+def _cn_node(index: int) -> str:
+    try:
+        return _CN_NODE_NAMES[index]
+    except KeyError:
+        name = _CN_NODE_NAMES[index] = f"cn{index}"
+        return name
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How a coordinator rides out unresponsive participants.
@@ -132,11 +145,43 @@ class _BaseTransaction:
         #: use raises :class:`TransactionAborted` with that reason.
         self.poisoned: Optional[str] = None
         self._obs = getattr(cluster, "obs", None)
+        # Hot-path shortcuts: every statement syncs the shared sim clock and
+        # records wait events, so resolve both through one attribute instead
+        # of the obs bundle's two-hop chains.
+        self._obs_clock = self._obs.clock if self._obs is not None else None
+        self._waits = self._obs.waits if self._obs is not None else None
+        #: Per-statement waits batched as ``event -> [count, total, max]``
+        #: and flushed to the recorder once, at :meth:`_finish_span` — the
+        #: pg_stat pattern.  ``None`` after the flush (or without obs), in
+        #: which case :meth:`_wait` records directly.
+        self._wait_acc: Optional[Dict[str, List[float]]] = (
+            {} if self._obs is not None else None)
         self._span = None
+        self._last_wait_event: Optional[str] = None
+        # The three constant-cost statement waits (dn.scan / dn.apply /
+        # gtm.local) are *counted* with plain integers and folded into the
+        # accumulator at flush time — their per-observation value never
+        # varies within a transaction, so a count reconstructs the exact
+        # (count, total, max) triple at a fraction of the per-statement
+        # cost.  Variable-value waits (2PC, faults, conflict stalls) still
+        # go through :meth:`_wait`.
+        self._nw_scan = 0
+        self._nw_apply = 0
+        self._nw_bind = 0
+        if self._obs is not None:
+            self._w_stmt = self._cost("dn_stmt_us")
+            self._w_begin = self._cost("dn_begin_us")
+        else:
+            self._w_stmt = self._w_begin = 0.0
         #: This transaction's row in ``sys.activity`` (None without obs).
         self.activity_entry = None
         self._start_us = ctx.t_us if ctx is not None else (
             self._obs.clock.now_us if self._obs is not None else 0.0)
+        # Root spans read the shared clock at creation; pull it up to this
+        # client's cursor first so start times are honest.
+        if self._obs_clock is not None and ctx is not None \
+                and ctx.t_us > self._obs_clock.now_us:
+            self._obs_clock.now_us = ctx.t_us
 
     # -- helpers -----------------------------------------------------------
 
@@ -156,11 +201,33 @@ class _BaseTransaction:
 
     def _wait(self, event: str, wait_us: float) -> None:
         """Attribute simulated wait time to this transaction's session."""
-        if self._obs is None or wait_us <= 0.0:
+        if self._waits is None or wait_us <= 0.0:
             return
-        self._obs.waits.record(event, wait_us, session=self._session_id)
-        if self.activity_entry is not None:
-            self.activity_entry.note_wait(event, wait_us)
+        acc = self._wait_acc
+        if acc is None:
+            # Already flushed (a wait noted after the txn finished, e.g. a
+            # post-mortem conflict stall): record straight through, and
+            # note the activity entry immediately (no flush will run).
+            self._waits.record(event, wait_us, self._session_id)
+            entry = self.activity_entry
+            if entry is not None:
+                entry.wait_us += wait_us
+                entry.last_wait = event
+            return
+        # try/except beats .get(): the same few events repeat within a
+        # transaction, so the hit path is just a subscript.  The activity
+        # entry's wait attribution is deferred to the flush too — only the
+        # "most recent wait" marker is tracked here.
+        try:
+            entry = acc[event]
+        except KeyError:
+            acc[event] = [1, wait_us, wait_us]
+        else:
+            entry[0] += 1
+            entry[1] += wait_us
+            if wait_us > entry[2]:
+                entry[2] = wait_us
+        self._last_wait_event = event
 
     def _begin_activity(self, kind: str, snapshot: str) -> None:
         if self._obs is not None:
@@ -197,31 +264,82 @@ class _BaseTransaction:
 
     def _sync_obs(self) -> None:
         """Pull the shared sim clock forward to this client's cursor."""
-        if self._obs is not None and self._ctx is not None:
-            self._obs.advance_to(self._ctx.t_us)
+        if self._obs_clock is not None and self._ctx is not None:
+            self._obs_clock.advance_to(self._ctx.t_us)
+
+    # Statement charges (_charge_cn / _charge_dn_stmt) do NOT sync the
+    # shared sim clock: nothing reads it mid-statement, and the points that
+    # do read it — span start/end, the wait flush, DN commits feeding HTAP
+    # capture — sync explicitly (txn begin, _finish_span, and the commit /
+    # 2PC charges below, which keep the inlined advance-to).
 
     def _charge_cn(self) -> None:
-        if self._ctx is not None:
-            self._ctx.charge(self._cluster.cn_resources[self._cn_index],
-                             self._ctx.model.cn_route_us)
-            self._sync_obs()
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.charge(self._cluster.cn_resources[self._cn_index],
+                       ctx.model.cn_route_us)
+
+    def _charge_dn_stmt(self, dn_index: int, service_us: float) -> None:
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.charge(self._cluster.dn_resources[dn_index], service_us)
 
     def _charge_dn(self, dn_index: int, service_us: float) -> None:
-        if self._ctx is not None:
-            self._ctx.charge(self._cluster.dn_resources[dn_index], service_us)
-            self._sync_obs()
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.charge(self._cluster.dn_resources[dn_index], service_us)
+            clock = self._obs_clock
+            if clock is not None and ctx.t_us > clock.now_us:
+                clock.now_us = ctx.t_us
 
     def _charge_gtm(self, service_us: float) -> None:
-        if self._ctx is not None:
-            self._ctx.charge(self._cluster.gtm_resource, service_us)
-            self._sync_obs()
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.charge(self._cluster.gtm_resource, service_us)
+            clock = self._obs_clock
+            if clock is not None and ctx.t_us > clock.now_us:
+                clock.now_us = ctx.t_us
 
     def _finish_span(self, outcome: str) -> None:
         if self._obs is None:
             return
+        # Statement charges skip the clock sync; catch the clock up before
+        # anything here (span end, flush timestamps, latency) reads it.
+        clock = self._obs_clock
+        ctx = self._ctx
+        if clock is not None and ctx is not None and ctx.t_us > clock.now_us:
+            clock.now_us = ctx.t_us
+        acc = self._wait_acc
+        if acc is not None:
+            self._wait_acc = None
+            # Reconstruct the constant-cost statement waits from their
+            # counters: all observations share one value, so the exact
+            # triple is (n, n*w, w).
+            w = self._w_stmt
+            if w > 0.0:
+                n = self._nw_scan
+                if n:
+                    acc[WAIT_DN_SCAN] = (n, n * w, w)
+                n = self._nw_apply
+                if n:
+                    acc[WAIT_DN_APPLY] = (n, n * w, w)
+            w = self._w_begin
+            n = self._nw_bind
+            if n and w > 0.0:
+                acc[WAIT_GTM_LOCAL] = (n, n * w, w)
+            if acc:
+                self._waits.flush_batches(acc, self._session_id)
+                entry = self.activity_entry
+                if entry is not None:
+                    # Deferred activity attribution: one update per txn
+                    # instead of one per statement.
+                    total = 0.0
+                    for batch in acc.values():
+                        total += batch[1]
+                    entry.wait_us += total
+                    entry.last_wait = self._last_wait_event
         now = self._ctx.t_us if self._ctx is not None else self._obs.clock.now_us
-        self._obs.metrics.histogram("txn.latency_us").observe(
-            max(0.0, now - self._start_us))
+        self._obs.hist_txn_latency.observe(max(0.0, now - self._start_us))
         if self._span is not None:
             self._span.set_attribute("outcome", outcome)
             self._obs.tracer.end_span(self._span)
@@ -241,7 +359,7 @@ class LocalTransaction(_BaseTransaction):
         self.snapshot: Optional[Snapshot] = None
         if self._obs is not None:
             self._span = self._obs.tracer.start_span(
-                "txn.local", parent=None, cn=cn_index)
+                "txn.local", parent=None, node=_cn_node(cn_index))
         self._begin_activity("local", "local")
 
     @property
@@ -255,8 +373,9 @@ class LocalTransaction(_BaseTransaction):
             self._dn = dn
             self.xid = dn.begin()
             self.snapshot = dn.local_snapshot()
-            self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
-            self._wait(WAIT_GTM_LOCAL, self._cost("dn_begin_us"))
+            self._charge_dn_stmt(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
+            self._nw_bind += 1
+            self._last_wait_event = WAIT_GTM_LOCAL
             if self.activity_entry is not None:
                 self.activity_entry.txn_id = self.xid
             return dn
@@ -289,8 +408,9 @@ class LocalTransaction(_BaseTransaction):
             dn = self._bind(self._dn_index if self._dn_index is not None else 0)
         else:
             dn = self._bind(self._shard_for_key(table, key))
-        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_scan += 1
+        self._last_wait_event = WAIT_DN_SCAN
         return dn.read(table, key, self.snapshot, self.xid)
 
     def insert(self, table: str, row: Dict[str, object]) -> None:
@@ -305,8 +425,9 @@ class LocalTransaction(_BaseTransaction):
             dn = self._bind(0)
         else:
             dn = self._bind(self._shard_for_row(table, row))
-        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_apply += 1
+        self._last_wait_event = WAIT_DN_APPLY
         dn.insert(table, row, self.xid, self.snapshot)
 
     def update(self, table: str, key: object, values: Dict[str, object]) -> None:
@@ -319,8 +440,9 @@ class LocalTransaction(_BaseTransaction):
             )
         dn = self._bind(self._shard_for_key(table, key)
                         if schema.distribution is not Distribution.REPLICATION else 0)
-        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_apply += 1
+        self._last_wait_event = WAIT_DN_APPLY
         dn.update(table, key, values, self.xid, self.snapshot)
 
     def delete(self, table: str, key: object) -> None:
@@ -333,8 +455,9 @@ class LocalTransaction(_BaseTransaction):
             )
         dn = self._bind(self._shard_for_key(table, key)
                         if schema.distribution is not Distribution.REPLICATION else 0)
-        self._charge_dn(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_apply += 1
+        self._last_wait_event = WAIT_DN_APPLY
         dn.delete(table, key, self.xid, self.snapshot)
 
     def scan(self, table: str) -> Iterator[Tuple[object, Dict[str, object]]]:
@@ -388,7 +511,7 @@ class GlobalTransaction(_BaseTransaction):
         self.mode: TxnMode = cluster.mode
         if self._obs is not None:
             self._span = self._obs.tracer.start_span(
-                "txn.global", parent=None, cn=cn_index)
+                "txn.global", parent=None, node=_cn_node(cn_index))
         if self.mode is TxnMode.CLASSICAL:
             snapshot_kind = "classical"
         elif self.mode is TxnMode.GTM_LITE_NAIVE:
@@ -410,7 +533,7 @@ class GlobalTransaction(_BaseTransaction):
             self._charge_gtm(ctx.model.gtm_xid_us + snapshot_us)
         acquire_span = None
         if self._obs is not None:
-            self._obs.metrics.histogram("gtm.snapshot_us").observe(snapshot_us)
+            self._obs.hist_gtm_snapshot.observe(snapshot_us)
             acquire_span = self._obs.tracer.start_span(
                 "gtm.snapshot", parent=self._span)
         self._wait(WAIT_GTM_GLOBAL, snapshot_us)
@@ -448,8 +571,9 @@ class GlobalTransaction(_BaseTransaction):
             return dn, self._local_xid[dn_index], self._local_view[dn_index]
         lxid = dn.begin(gxid=self.gxid)
         local_snapshot = dn.local_snapshot()
-        self._charge_dn(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
-        self._wait(WAIT_GTM_LOCAL, self._cost("dn_begin_us"))
+        self._charge_dn_stmt(dn_index, self._ctx.model.dn_begin_us if self._ctx else 0.0)
+        self._nw_bind += 1
+        self._last_wait_event = WAIT_GTM_LOCAL
         if self.mode is TxnMode.CLASSICAL:
             view: object = ClassicalSnapshot(self.global_snapshot, dn.ltm,
                                              self._cluster.gtm)
@@ -500,8 +624,9 @@ class GlobalTransaction(_BaseTransaction):
         else:
             dn_index = self._shard_for_key(table, key)
         dn, lxid, view = self._attach(dn_index)
-        self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_scan += 1
+        self._last_wait_event = WAIT_DN_SCAN
         return dn.read(table, key, view, lxid)
 
     def insert(self, table: str, row: Dict[str, object]) -> None:
@@ -514,8 +639,9 @@ class GlobalTransaction(_BaseTransaction):
             targets = [self._shard_for_row(table, row)]
         for dn_index in targets:
             dn, lxid, view = self._attach(dn_index)
-            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-            self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
+            self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._nw_apply += 1
+            self._last_wait_event = WAIT_DN_APPLY
             dn.insert(table, row, lxid, view)
             self._written.add(dn_index)
 
@@ -529,8 +655,9 @@ class GlobalTransaction(_BaseTransaction):
             targets = [self._shard_for_key(table, key)]
         for dn_index in targets:
             dn, lxid, view = self._attach(dn_index)
-            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-            self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
+            self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._nw_apply += 1
+            self._last_wait_event = WAIT_DN_APPLY
             dn.update(table, key, values, lxid, view)
             self._written.add(dn_index)
 
@@ -544,8 +671,9 @@ class GlobalTransaction(_BaseTransaction):
             targets = [self._shard_for_key(table, key)]
         for dn_index in targets:
             dn, lxid, view = self._attach(dn_index)
-            self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-            self._wait(WAIT_DN_APPLY, self._cost("dn_stmt_us"))
+            self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+            self._nw_apply += 1
+            self._last_wait_event = WAIT_DN_APPLY
             dn.delete(table, key, lxid, view)
             self._written.add(dn_index)
 
@@ -569,9 +697,10 @@ class GlobalTransaction(_BaseTransaction):
         for dn_index in range(self._cluster.num_dns):
             if self._ctx is not None:
                 self._ctx.t_us = start_us
-                self._charge_dn(dn_index, self._ctx.model.dn_stmt_us)
+                self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us)
                 end_us = max(end_us, self._ctx.t_us)
-            self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+            self._nw_scan += 1
+            self._last_wait_event = WAIT_DN_SCAN
         if self._ctx is not None:
             self._ctx.t_us = end_us
             self._sync_obs()
@@ -585,8 +714,9 @@ class GlobalTransaction(_BaseTransaction):
         each fragment reads only the node it runs on."""
         self._require_running()
         dn, lxid, view = self._attach(dn_index)
-        self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_scan += 1
+        self._last_wait_event = WAIT_DN_SCAN
         yield from dn.scan(table, view, lxid)
 
     def shard_column_store(self, table: str, dn_index: int):
@@ -594,8 +724,9 @@ class GlobalTransaction(_BaseTransaction):
         for fragments that run the vectorized kernels."""
         self._require_running()
         dn, lxid, view = self._attach(dn_index)
-        self._charge_dn(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-        self._wait(WAIT_DN_SCAN, self._cost("dn_stmt_us"))
+        self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_scan += 1
+        self._last_wait_event = WAIT_DN_SCAN
         return dn.column_store_snapshot(table, view, lxid)
 
     # -- completion ----------------------------------------------------------
@@ -715,11 +846,17 @@ class CommitSteps:
         self._confirmed: Set[int] = set()
 
     def _traced(self, name: str, **attributes):
-        """Open a 2PC-phase span under the transaction's span, or None."""
+        """Open a 2PC-phase span under the transaction's span, or None.
+
+        2PC is coordinator-driven, so the phase spans are attributed to the
+        CN; the per-node service time they cover is in ``sys.wait_events``.
+        """
         txn = self._txn
         if txn._obs is None:
             return None
-        return txn._obs.tracer.start_span(name, parent=txn._span, **attributes)
+        return txn._obs.tracer.start_span(
+            name, parent=txn._span, node=_cn_node(txn._cn_index),
+            **attributes)
 
     def _end(self, span) -> None:
         if span is not None:

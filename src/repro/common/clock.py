@@ -20,35 +20,41 @@ from repro.common.errors import ConfigError
 
 
 class SimClock:
-    """A monotonically advancing simulated clock measured in microseconds."""
+    """A monotonically advancing simulated clock measured in microseconds.
+
+    ``now_us`` is a plain slot, not a property: the clock is read on every
+    telemetry record and synced on every simulated charge, and a descriptor
+    hop per read is measurable at OLTP rates.  Writers go through
+    :meth:`advance` / :meth:`advance_to` / :meth:`reset`, which enforce
+    monotonicity; hot paths that assign ``now_us`` directly must keep the
+    same forward-only contract.
+    """
+
+    __slots__ = ("now_us",)
 
     def __init__(self, start_us: float = 0.0):
-        self._now_us = float(start_us)
-
-    @property
-    def now_us(self) -> float:
-        return self._now_us
+        self.now_us = float(start_us)
 
     @property
     def now_ms(self) -> float:
-        return self._now_us / 1000.0
+        return self.now_us / 1000.0
 
     @property
     def now_s(self) -> float:
-        return self._now_us / 1_000_000.0
+        return self.now_us / 1_000_000.0
 
     def advance(self, delta_us: float) -> float:
         """Move the clock forward by ``delta_us`` and return the new time."""
         if delta_us < 0:
             raise ConfigError(f"cannot move time backwards ({delta_us} us)")
-        self._now_us += delta_us
-        return self._now_us
+        self.now_us += delta_us
+        return self.now_us
 
     def advance_to(self, t_us: float) -> float:
         """Move the clock forward to ``t_us`` (no-op if already past it)."""
-        if t_us > self._now_us:
-            self._now_us = t_us
-        return self._now_us
+        if t_us > self.now_us:
+            self.now_us = t_us
+        return self.now_us
 
     def reset(self, start_us: float = 0.0) -> None:
         """Restart simulated time — the one sanctioned way to move it back.
@@ -56,10 +62,10 @@ class SimClock:
         Only for whole-simulation resets (e.g. re-running a workload on a
         reset cluster); mid-run callers must use :meth:`advance_to`.
         """
-        self._now_us = float(start_us)
+        self.now_us = float(start_us)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"SimClock({self._now_us:.1f}us)"
+        return f"SimClock({self.now_us:.1f}us)"
 
 
 class DriftingClock:

@@ -81,6 +81,13 @@ class HtapManager:
         self._schemas: Dict[str, TableSchema] = {}
         self._next_merge_id = 0
         self._last_tick_us: Optional[float] = None
+        # The current tick's root span, created lazily on the tick's first
+        # accounted merge (empty ticks trace nothing) and ended when the
+        # tick returns.  Per-node merge spans stitch under it by trace
+        # context — the daemon's CN-side tick handing work to DNs crosses
+        # the same kind of boundary a fragmented query does.
+        self._tick_span = None
+        self._in_tick = False
 
     # -- registration ------------------------------------------------------
 
@@ -133,6 +140,7 @@ class HtapManager:
         now = now_us if now_us is not None else self._now_us()
         self._last_tick_us = now
         merges = 0
+        self._in_tick = True
         faults = getattr(self.cluster, "faults", None)
         for dn in self.cluster.dns:
             if dn.crashed:
@@ -157,6 +165,11 @@ class HtapManager:
                 merges += self._merge_one(dn, dn.htap.tables[name], now,
                                           delay_us)
                 delay_us = 0.0   # charged once per node per tick
+        self._in_tick = False
+        if self._tick_span is not None:
+            self._tick_span.set_attribute("merges", merges)
+            self.cluster.obs.tracer.end_span(self._tick_span)
+            self._tick_span = None
         return merges
 
     def _merge_one(self, dn, store: HtapTableStore, now_us: float,
@@ -203,6 +216,19 @@ class HtapManager:
             obs.metrics.counter("htap.merge_bytes").inc(float(volume))
             obs.waits.record(WAIT_HTAP_MERGE, io_us,
                              session=f"dn{dn.index}")
+            tracer = obs.tracer
+            parent_ctx = None
+            if self._in_tick:
+                tick_span = self._tick_span
+                if tick_span is None:
+                    tick_span = self._tick_span = tracer.start_span(
+                        "htap.tick", parent=None, node="cn")
+                # Only the tick's wire identity reaches the data node.
+                parent_ctx = tick_span.context()
+            span = tracer.start_span(
+                "htap.merge", parent_ctx=parent_ctx, node=f"dn{dn.index}",
+                table=store.schema.name, delta_rows=applied, bytes=volume)
+            tracer.end_span(span, end_us=span.start_us + io_us)
 
     def _count(self, metric: str) -> None:
         if self.cluster.obs is not None:

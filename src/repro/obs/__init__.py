@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.common.clock import SimClock
 from repro.obs.alerts import Alert, AlertManager, SEVERITIES
+from repro.obs.config import HIGH_FREQUENCY_WAIT_EVENTS, ObsConfig
 from repro.obs.export import InfoStoreExporter
 from repro.obs.metrics import (
     Counter,
@@ -37,8 +38,9 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiler import OperatorProfile, QueryProfile, QueryProfiler
+from repro.obs.ring import DetSampler, Reservoir, RingBuffer
 from repro.obs.slowlog import DEFAULT_THRESHOLD_US, SlowQuery, SlowQueryLog
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import Span, TraceContext, Tracer
 from repro.obs.waits import (
     ALL_WAIT_EVENTS,
     ActivityEntry,
@@ -51,16 +53,28 @@ from repro.obs.waits import (
 class Observability:
     """One clock, one metric namespace, one tracer — shared by a cluster."""
 
-    def __init__(self, clock: Optional[SimClock] = None, max_spans: int = 10_000,
-                 slow_query_threshold_us: float = DEFAULT_THRESHOLD_US):
+    def __init__(self, clock: Optional[SimClock] = None,
+                 max_spans: Optional[int] = None,
+                 slow_query_threshold_us: float = DEFAULT_THRESHOLD_US,
+                 config: Optional[ObsConfig] = None):
+        self.config = config if config is not None else ObsConfig()
+        if max_spans is not None:
+            # Legacy knob; fold it into the config so sys.obs_config tells
+            # the truth about the live buffer size.
+            self.config.max_spans = max_spans
         self.clock = clock if clock is not None else SimClock()
         self.metrics = MetricsRegistry(self.clock)
-        self.tracer = Tracer(self.clock, max_spans=max_spans)
-        self.waits = WaitEventRecorder(self.metrics)
+        self.tracer = Tracer(self.clock, max_spans=self.config.max_spans)
+        self.waits = WaitEventRecorder(self.metrics, config=self.config,
+                                       clock=self.clock)
         self.activity = ActivityRegistry(self.clock)
         self.slowlog = SlowQueryLog(threshold_us=slow_query_threshold_us,
                                     metrics=self.metrics)
         self.alerts = AlertManager(self.metrics)
+        #: The two histograms every transaction touches, resolved once so
+        #: the commit path skips the registry probe.
+        self.hist_txn_latency = self.metrics.histogram("txn.latency_us")
+        self.hist_gtm_snapshot = self.metrics.histogram("gtm.snapshot_us")
         #: Optional :class:`repro.faults.FaultInjector`; bound late (by
         #: ``FaultInjector.bind``) so ``sys.faults`` can serve its history
         #: without ``repro.obs`` importing ``repro.faults``.
@@ -120,18 +134,24 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_THRESHOLD_US",
+    "DetSampler",
     "Gauge",
+    "HIGH_FREQUENCY_WAIT_EVENTS",
     "Histogram",
     "InfoStoreExporter",
     "MetricsRegistry",
+    "ObsConfig",
     "Observability",
     "OperatorProfile",
     "QueryProfile",
     "QueryProfiler",
+    "Reservoir",
+    "RingBuffer",
     "SEVERITIES",
     "SlowQuery",
     "SlowQueryLog",
     "Span",
+    "TraceContext",
     "Tracer",
     "WaitEventRecorder",
     "WaitStats",

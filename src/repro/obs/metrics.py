@@ -14,6 +14,7 @@ entries when snapshotted, so an exporter needs no type dispatch.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import SimClock
@@ -108,13 +109,17 @@ class Histogram:
         value = float(value)
         self._sum += value
         self._count += 1
-        self._min = value if self._min is None else min(self._min, value)
-        self._max = value if self._max is None else max(self._max, value)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.overflow += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        # Binary search beats the linear walk for the 16-bucket default and
+        # is branch-predictable for skewed latency streams.
+        i = bisect_left(self.bounds, value)
+        if i < len(self.bounds):
+            self.counts[i] += 1
+        else:
+            self.overflow += 1
 
     @property
     def count(self) -> int:
@@ -167,21 +172,55 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List = []
+
+    # -- scrape-time collection --------------------------------------------
+    #
+    # Hot instrumentation sites (data-node tuple counters) keep plain
+    # integer pendings on their own objects and register a collector here;
+    # the pendings are folded into the real Counter objects only when the
+    # registry is actually read.  Per-tuple cost drops from a counter-object
+    # update to one plain attribute increment, and every read path still
+    # sees exact totals because it collects first.
+
+    def add_collector(self, fn) -> None:
+        """Register a zero-arg callable that flushes pending deltas in."""
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        for fn in self._collectors:
+            fn()
 
     # -- registration ------------------------------------------------------
+    #
+    # Get-or-create is the hot path: every instrumentation site resolves its
+    # metric by name.  The fast path is a single dict probe; the type check
+    # and the metric construction only run on first registration.  (The old
+    # ``setdefault(name, Histogram(...))`` built — and threw away — a fresh
+    # histogram on *every* call, which alone accounted for a large slice of
+    # the measured 1.86x telemetry overhead.)
 
     def counter(self, name: str) -> Counter:
-        self._check_free(name, self._counters)
-        return self._counters.setdefault(name, Counter(name))
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter(name)
+        return metric
 
     def gauge(self, name: str) -> Gauge:
-        self._check_free(name, self._gauges)
-        return self._gauges.setdefault(name, Gauge(name))
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        self._check_free(name, self._histograms)
-        return self._histograms.setdefault(name, Histogram(name, buckets))
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
 
     def _check_free(self, name: str, own: dict) -> None:
         for family in (self._counters, self._gauges, self._histograms):
@@ -215,6 +254,8 @@ class MetricsRegistry:
 
     def value(self, name: str) -> Optional[float]:
         """Counter/gauge value, or a histogram's observation count."""
+        if self._collectors:
+            self.collect()
         if name in self._counters:
             return self._counters[name].value
         if name in self._gauges:
@@ -230,6 +271,8 @@ class MetricsRegistry:
         ``.p95`` / ``.p99`` entries so downstream consumers (the information
         store, reports) treat everything as scalar series.
         """
+        if self._collectors:
+            self.collect()
         flat: Dict[str, float] = {}
         for name, counter in self._counters.items():
             flat[name] = counter.value
@@ -245,6 +288,10 @@ class MetricsRegistry:
         return self.clock.now_us, flat
 
     def reset(self) -> None:
+        # Drain pendings first so deltas noted before the reset cannot leak
+        # into the zeroed counters afterwards.
+        if self._collectors:
+            self.collect()
         for family in (self._counters, self._gauges, self._histograms):
             for metric in family.values():
                 metric.reset()

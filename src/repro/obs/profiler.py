@@ -137,6 +137,70 @@ class QueryProfile:
     def rows_table(self) -> List[Tuple[str, float, int, int, float, int]]:
         return [op.as_tuple() for op in self.operators]
 
+    DIST_COLUMNS = ("fragment", "node", "operators", "rows", "net_rows",
+                    "elapsed_us", "critical")
+
+    def distributed_rows(self) -> List[Tuple[str, str, int, int, int, float,
+                                             bool]]:
+        """The per-fragment view behind ``EXPLAIN ANALYZE DISTRIBUTED``.
+
+        One row per execution site: the coordinator first, then each
+        fragment instance, grouped by fragment and ordered by data node.
+        ``rows`` is what the site's topmost operator produced, ``net_rows``
+        what it moved across the wire (exchange traffic lands on the
+        coordinator row — the gather runs there).  ``critical`` marks the
+        slowest instance of each fragment group: coordinator elapsed plus
+        the critical instances is exactly :attr:`elapsed_time_us`.
+        """
+        cn_ops = [op for op in self.operators if op.fragment is None]
+        cn_time = sum(op.time_us for op in cn_ops)
+        cn_net = sum(op.net_rows for op in cn_ops)
+        rows: List[Tuple[str, str, int, int, int, float, bool]] = [(
+            "coordinator", "cn", len(cn_ops),
+            self.output_rows, cn_net, cn_time, True,
+        )]
+        # One entry per (group, dn): summed self time, the instance's top
+        # operator row count (first in pre-order), and its operator count.
+        per_instance: Dict[Tuple[int, int], List[float]] = {}
+        for op in self.operators:
+            if op.fragment is None:
+                continue
+            cell = per_instance.get(op.fragment)
+            if cell is None:
+                per_instance[op.fragment] = [op.time_us, op.rows,
+                                             op.net_rows, 1]
+            else:
+                cell[0] += op.time_us
+                cell[2] += op.net_rows
+                cell[3] += 1
+        slowest: Dict[int, float] = {}
+        for (group, _dn), cell in per_instance.items():
+            slowest[group] = max(slowest.get(group, 0.0), cell[0])
+        for (group, dn) in sorted(per_instance):
+            time_us, top_rows, net, n_ops = per_instance[(group, dn)]
+            rows.append((
+                f"F{group}", f"dn{dn}", int(n_ops), int(top_rows), int(net),
+                time_us, time_us >= slowest[group],
+            ))
+        return rows
+
+    def distributed_pretty(self) -> str:
+        """Human rendering of :meth:`distributed_rows` plus the critical
+        path: CN serial time + the slowest instance of every fragment."""
+        lines = []
+        for frag, node, n_ops, out_rows, net, time_us, critical in \
+                self.distributed_rows():
+            mark = "  <-- critical" if critical and frag != "coordinator" \
+                else ""
+            lines.append(
+                f"{frag:<12} {node:<5} ops={n_ops:<3} rows={out_rows:<8} "
+                f"net_rows={net:<8} elapsed={time_us:.2f}us{mark}")
+        lines.append(
+            f"Critical path: {self.elapsed_time_us:.2f}us "
+            f"(coordinator serial + max across data nodes per fragment); "
+            f"total work {self.total_time_us:.2f}us")
+        return "\n".join(lines)
+
     def pretty(self) -> str:
         lines = []
         for op in self.operators:
@@ -171,11 +235,20 @@ class QueryProfiler:
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  batch_rows: int = BATCH_ROWS,
-                 row_costs: Optional[Dict[str, float]] = None):
+                 row_costs: Optional[Dict[str, float]] = None,
+                 root_span: Optional[Span] = None,
+                 node: Optional[str] = None):
         self.tracer = tracer
         self.metrics = metrics
         self.batch_rows = max(1, int(batch_rows))
         self.row_costs = row_costs if row_costs is not None else DEFAULT_ROW_COST_US
+        #: Stitching anchor: when set (the SQL engine's per-query span), the
+        #: plan's root operator span becomes its child, so the whole operator
+        #: tree joins the query's trace instead of rooting one of its own.
+        self.root_span = root_span
+        #: Where coordinator-side operators run (``"cn0"``); operators inside
+        #: a plan fragment are attributed to their fragment's data node.
+        self.node = node
         self._entries: Dict[int, _Entry] = {}
         self._order: List[_Entry] = []
 
@@ -218,11 +291,31 @@ class QueryProfiler:
         if self.tracer is not None and entry.span is None:
             parent_entry = (self._entries.get(id(entry.parent))
                             if entry.parent is not None else None)
-            parent_span = parent_entry.span if parent_entry is not None else None
-            entry.span = self.tracer.start_span(
-                f"op.{entry.op.name()}", parent=parent_span,
-                operator=entry.op.describe(),
-            )
+            parent_span = (parent_entry.span if parent_entry is not None
+                           else self.root_span)
+            fragment = entry.fragment
+            if fragment is not None:
+                node = f"dn{fragment[1]}"
+                crossed = (parent_entry is None
+                           or parent_entry.fragment != fragment)
+            else:
+                node = self.node
+                crossed = False
+            if crossed and parent_span is not None:
+                # The CN→DN exchange boundary: only the parent's *wire
+                # identity* (trace_id, span_id) crosses, never the span
+                # object — the DN side stitches with parent_ctx, exactly
+                # like trace propagation headers in a real RPC fabric.
+                entry.span = self.tracer.start_span(
+                    f"op.{entry.op.name()}",
+                    parent_ctx=parent_span.context(), node=node,
+                    operator=entry.op.describe(),
+                )
+            else:
+                entry.span = self.tracer.start_span(
+                    f"op.{entry.op.name()}", parent=parent_span, node=node,
+                    operator=entry.op.describe(),
+                )
 
     def _close(self, entry: _Entry) -> None:
         if entry.closed:

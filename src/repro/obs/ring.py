@@ -1,0 +1,207 @@
+"""Preallocated ring buffers and deterministic samplers — the telemetry
+fast path's storage primitives.
+
+The observability hot path used to allocate a dict or dataclass per event;
+at OLTP rates that was the single biggest wall-clock tax in the engine
+(``BENCH_obs_overhead`` measured 1.86x).  Everything here is built around
+two rules:
+
+* **Preallocate once, overwrite forever.**  :class:`RingBuffer` owns a
+  fixed-size slot list created at construction; appends are an index
+  increment and a slot store, never a list grow or node allocation.
+* **Sample deterministically.**  :class:`DetSampler` and
+  :class:`Reservoir` draw from a seeded xorshift stream, so two identical
+  runs keep *identical* sample sets — replay-identity extends to sampled
+  telemetry, and tests can assert on it byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.common.errors import ConfigError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _xorshift64(state: int) -> int:
+    """One step of a 64-bit xorshift generator (never yields 0)."""
+    state ^= (state << 13) & _MASK64
+    state ^= state >> 7
+    state ^= (state << 17) & _MASK64
+    return state
+
+
+def _seed_state(seed: int, salt: int = 0) -> int:
+    """Mix a user seed and a salt into a non-zero 64-bit start state."""
+    state = (seed * 0x9E3779B97F4A7C15 + salt * 0xBF58476D1CE4E5B9 + 1) & _MASK64
+    return state or 1
+
+
+class RingBuffer:
+    """A fixed-capacity overwrite-oldest buffer over a preallocated list.
+
+    Unlike ``collections.deque(maxlen=n)`` the slot storage is allocated
+    once up front and never resized; an append is one modulo increment and
+    one slot assignment.  Iteration yields items oldest-first.
+    """
+
+    __slots__ = ("_slots", "_capacity", "_next", "_count", "dropped")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigError("ring buffer capacity must be positive")
+        self._capacity = int(capacity)
+        self._slots: List[object] = [None] * self._capacity
+        self._next = 0          # next write index
+        self._count = 0         # live items (<= capacity)
+        #: Items overwritten before ever being read; monotone until reset.
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, item: object) -> None:
+        self._slots[self._next] = item
+        self._next = (self._next + 1) % self._capacity
+        if self._count < self._capacity:
+            self._count += 1
+        else:
+            self.dropped += 1
+
+    def __iter__(self) -> Iterator[object]:
+        if self._count < self._capacity:
+            for i in range(self._count):
+                yield self._slots[i]
+            return
+        start = self._next
+        for i in range(self._capacity):
+            yield self._slots[(start + i) % self._capacity]
+
+    def to_list(self) -> List[object]:
+        return list(self)
+
+    def last(self) -> Optional[object]:
+        if self._count == 0:
+            return None
+        return self._slots[(self._next - 1) % self._capacity]
+
+    def clear(self) -> None:
+        """Drop every item *and* null the slots, so cleared payloads are
+        unreachable (a reset really forgets the previous run)."""
+        for i in range(self._capacity):
+            self._slots[i] = None
+        self._next = 0
+        self._count = 0
+        self.dropped = 0
+
+
+class DetSampler:
+    """Deterministic ~1-in-``every`` sampler over a seeded xorshift stream.
+
+    ``take()`` answers "does this observation carry detail?".  Rather than
+    drawing a random number per observation, the sampler draws a *gap* —
+    uniform in ``[1, 2*every - 1]``, mean ``every`` — from the seeded
+    stream each time a sample fires, and counts down through it.  The
+    skipped observations cost one decrement, and the generator only steps
+    once per *sampled* observation (Vitter-style skip sampling).
+
+    The decision stream depends only on ``(seed, salt, call index)``, so a
+    replay makes the same choices — and :meth:`reset` rewinds to the first
+    decision.  ``every=1`` degenerates to always-take (unsampled mode).
+    """
+
+    __slots__ = ("every", "seed", "salt", "_state", "taken", "seen",
+                 "_pending")
+
+    def __init__(self, every: int = 1, seed: int = 0, salt: int = 0):
+        if every < 1:
+            raise ConfigError("sample 'every' must be >= 1")
+        self.every = int(every)
+        self.seed = int(seed)
+        self.salt = int(salt)
+        self._state = _seed_state(self.seed, self.salt)
+        self.seen = 0
+        self.taken = 0
+        self._pending = self._draw_gap()
+
+    def _draw_gap(self) -> int:
+        """Observations until the next sample (inclusive)."""
+        if self.every == 1:
+            return 1
+        self._state = _xorshift64(self._state)
+        return 1 + (self._state >> 16) % (2 * self.every - 1)
+
+    def take(self) -> bool:
+        self.seen += 1
+        remaining = self._pending - 1
+        if remaining > 0:
+            self._pending = remaining
+            return False
+        self.taken += 1
+        self._pending = self._draw_gap()
+        return True
+
+    def reset(self) -> None:
+        self._state = _seed_state(self.seed, self.salt)
+        self.seen = 0
+        self.taken = 0
+        self._pending = self._draw_gap()
+
+
+class Reservoir:
+    """Seeded reservoir sampling (Algorithm R) over raw observations.
+
+    Keeps a uniform sample of everything ever offered in a preallocated
+    slot list, so exact-percentile queries stay available for streams too
+    hot to retain fully.  Deterministic for a given ``(seed, salt)``.
+    """
+
+    __slots__ = ("size", "seed", "salt", "_state", "_slots", "offered")
+
+    def __init__(self, size: int = 256, seed: int = 0, salt: int = 0):
+        if size <= 0:
+            raise ConfigError("reservoir size must be positive")
+        self.size = int(size)
+        self.seed = int(seed)
+        self.salt = int(salt)
+        self._state = _seed_state(self.seed, self.salt)
+        self._slots: List[float] = [0.0] * self.size
+        self.offered = 0
+
+    def offer(self, value: float) -> None:
+        i = self.offered
+        self.offered = i + 1
+        if i < self.size:
+            self._slots[i] = value
+            return
+        self._state = _xorshift64(self._state)
+        j = (self._state >> 16) % (i + 1)
+        if j < self.size:
+            self._slots[j] = value
+
+    def __len__(self) -> int:
+        return min(self.offered, self.size)
+
+    def values(self) -> List[float]:
+        return self._slots[: len(self)]
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile of the *retained* sample (0 when empty)."""
+        n = len(self)
+        if n == 0:
+            return 0.0
+        ordered = sorted(self._slots[:n])
+        q = min(max(q, 0.0), 1.0)
+        rank = min(n - 1, max(0, int(round(q * (n - 1)))))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        self._state = _seed_state(self.seed, self.salt)
+        for i in range(self.size):
+            self._slots[i] = 0.0
+        self.offered = 0

@@ -41,12 +41,15 @@ class SlowQuery:
     #: part of ``elapsed_us`` and never counted against the threshold — a
     #: query is slow because of its own work, not because the queue was.
     queue_us: float = 0.0
+    #: The query's trace, joinable against ``sys.trace_spans`` to drill
+    #: from a slow-log line into the stitched span tree (0 = untraced).
+    trace_id: int = 0
 
     def as_row(self) -> Tuple[int, str, float, float, int, int, str, float,
-                              float]:
+                              float, int]:
         return (self.query_id, self.sql, self.start_us, self.elapsed_us,
                 self.rows, self.operators, self.top_operator,
-                self.top_operator_us, self.queue_us)
+                self.top_operator_us, self.queue_us, self.trace_id)
 
 
 class SlowQueryLog:
@@ -66,7 +69,7 @@ class SlowQueryLog:
         self.queries_seen = 0
 
     def note(self, sql: str, start_us: float, profile: QueryProfile,
-             queue_us: float = 0.0) -> Optional[SlowQuery]:
+             queue_us: float = 0.0, trace_id: int = 0) -> Optional[SlowQuery]:
         """Record the query if it crossed the threshold; return the entry."""
         self.queries_seen += 1
         # Wall-clock view: parallel plan fragments count once (the slowest),
@@ -87,6 +90,7 @@ class SlowQueryLog:
             top_operator=top.operator if top is not None else "",
             top_operator_us=top.time_us if top is not None else 0.0,
             queue_us=float(queue_us),
+            trace_id=int(trace_id),
         )
         self._next_id += 1
         self._entries.append(entry)

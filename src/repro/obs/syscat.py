@@ -29,6 +29,14 @@ Views:
   pending delta rows, merge watermark, freshness lag (``repro.htap``).
 * ``sys.htap_merges``  — the delta-merge history: rows folded, storage I/O
   charged, worst commit-to-merge lag per merge.
+* ``sys.trace_spans``  — finished spans stitched into trace trees: one row
+  per span with its trace id, tree depth and executing node.
+* ``sys.wait_samples`` — the sampled wait-event detail ring (deterministic
+  1-in-N capture of the high-frequency events; see ``sys.obs_config``).
+* ``sys.wait_sampling``— per-event sampling accounting: stride, events
+  seen, detail samples taken (exact aggregates are never sampled).
+* ``sys.obs_config``   — the live telemetry-mode knobs (sampling rates,
+  ring capacities, enable flags).
 """
 
 from __future__ import annotations
@@ -111,8 +119,36 @@ class SystemCatalog:
             "spans",
             [("span_id", DataType.BIGINT), ("parent_id", DataType.BIGINT),
              ("name", DataType.TEXT), ("start_us", DataType.DOUBLE),
-             ("end_us", DataType.DOUBLE), ("duration_us", DataType.DOUBLE)],
+             ("end_us", DataType.DOUBLE), ("duration_us", DataType.DOUBLE),
+             ("trace_id", DataType.BIGINT), ("node", DataType.TEXT)],
             self._span_rows,
+        )
+        self._register(
+            "trace_spans",
+            [("trace_id", DataType.BIGINT), ("span_id", DataType.BIGINT),
+             ("parent_id", DataType.BIGINT), ("depth", DataType.BIGINT),
+             ("name", DataType.TEXT), ("node", DataType.TEXT),
+             ("start_us", DataType.DOUBLE), ("end_us", DataType.DOUBLE),
+             ("duration_us", DataType.DOUBLE)],
+            self._trace_span_rows,
+        )
+        self._register(
+            "wait_samples",
+            [("event", DataType.TEXT), ("session", DataType.TEXT),
+             ("wait_us", DataType.DOUBLE), ("t_us", DataType.DOUBLE),
+             ("event_seq", DataType.BIGINT)],
+            self._wait_sample_rows,
+        )
+        self._register(
+            "wait_sampling",
+            [("event", DataType.TEXT), ("every", DataType.BIGINT),
+             ("seen", DataType.BIGINT), ("sampled", DataType.BIGINT)],
+            self._wait_sampling_rows,
+        )
+        self._register(
+            "obs_config",
+            [("setting", DataType.TEXT), ("value", DataType.TEXT)],
+            self._obs_config_rows,
         )
         self._register(
             "alerts",
@@ -211,9 +247,35 @@ class SystemCatalog:
     def _span_rows(self) -> Iterable[tuple]:
         return [
             (s.span_id, s.parent_id, s.name, s.start_us, s.end_us,
-             s.duration_us)
+             s.duration_us, s.trace_id, s.node)
             for s in self.obs.tracer.finished_spans()
         ]
+
+    def _trace_span_rows(self) -> Iterable[tuple]:
+        tracer = self.obs.tracer
+        rows = []
+        for trace_id in tracer.trace_ids():
+            for span, depth in tracer.trace_tree(trace_id):
+                rows.append((
+                    trace_id, span.span_id, span.parent_id, depth,
+                    span.name, span.node, span.start_us, span.end_us,
+                    span.duration_us,
+                ))
+        return rows
+
+    def _wait_sample_rows(self) -> Iterable[tuple]:
+        return [
+            (event, str(session) if session is not None else None,
+             wait_us, t_us, seq)
+            for event, session, wait_us, t_us, seq
+            in self.obs.waits.sample_rows()
+        ]
+
+    def _wait_sampling_rows(self) -> Iterable[tuple]:
+        return self.obs.waits.sampling_rows()
+
+    def _obs_config_rows(self) -> Iterable[tuple]:
+        return self.obs.config.rows()
 
     def _alert_rows(self) -> Iterable[tuple]:
         return [alert.as_row() for alert in self.obs.alerts.alerts()]

@@ -20,9 +20,12 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
+from zlib import crc32
 
 from repro.common.clock import SimClock
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.ring import DetSampler, Reservoir, RingBuffer, _MASK64
 
 # -- the wait-event vocabulary ------------------------------------------------
 
@@ -70,7 +73,7 @@ ALL_WAIT_EVENTS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitStats:
     """Aggregate for one wait event (or one (session, event) pair)."""
 
@@ -89,59 +92,267 @@ class WaitStats:
             self.max_us = wait_us
 
 
+class _EventSlot:
+    """Interned per-event state, resolved once per event name.
+
+    Holding direct references to the stats aggregate, the registry
+    histogram, the sampler and the reservoir turns every ``record()`` after
+    the first into pure attribute work — no f-string key building, no
+    registry probe, no allocation.
+    """
+
+    __slots__ = ("event", "stats", "hist", "sampler", "reservoir", "sessions")
+
+    def __init__(self, event: str, stats: "WaitStats",
+                 hist: Optional[Histogram], sampler: DetSampler,
+                 reservoir: Reservoir):
+        self.event = event
+        self.stats = stats
+        self.hist = hist
+        self.sampler = sampler
+        self.reservoir = reservoir
+        #: Per-session aggregates for this event, keyed by session id —
+        #: nested here (not in a recorder-wide ``(session, event)`` map) so
+        #: the hot path hashes a session, never an allocated tuple.
+        self.sessions: Dict[object, WaitStats] = {}
+
+
 class WaitEventRecorder:
     """Attribute simulated wait time per (event, session).
 
-    Every record also lands in a ``wait.<event>_us`` histogram of the shared
-    registry, so downstream consumers that only speak flattened metrics (the
-    exporter, the anomaly detectors) see the same accounting.
+    The aggregates behind ``sys.wait_events`` (count / total / avg / max,
+    per event and per session) are **always exact** — they cost three
+    attribute updates per record.  Per-observation *detail* is what gets
+    expensive at OLTP rates, so for the high-frequency events named by
+    :class:`~repro.obs.config.ObsConfig` it is recorded for a
+    deterministic, seeded 1-in-N sample only:
+
+    * the ``wait.<event>_us`` registry histogram (exporter / anomaly feed),
+    * a per-event :class:`~repro.obs.ring.Reservoir` of raw values
+      (exact percentiles over a bounded uniform sample),
+    * the shared preallocated sample ring behind ``sys.wait_samples``.
+
+    Identical runs sample identically; :meth:`reset` rewinds the sampler
+    streams so back-to-back benchmark runs are independent and equal.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 config: Optional[ObsConfig] = None,
+                 clock: Optional[SimClock] = None):
         self.metrics = metrics
-        self._events: Dict[str, WaitStats] = {}
-        self._sessions: Dict[Tuple[object, str], WaitStats] = {}
+        self.config = config if config is not None else ObsConfig()
+        self.clock = clock
+        self._slots: Dict[str, _EventSlot] = {}
+        #: Sampled detail observations, oldest-first:
+        #: (event, session, wait_us, t_us, seq) where ``seq`` is the
+        #: event's exact observation index (1-based) at sampling time.
+        self.samples = RingBuffer(self.config.wait_detail_capacity)
+
+    def _make_slot(self, event: str) -> _EventSlot:
+        cfg = self.config
+        # zlib.crc32, not hash(): string hashing is randomized per process,
+        # and sampler streams must match across runs *and* interpreters.
+        salt = crc32(event.encode("utf-8")) & 0x7FFFFFFF
+        hist = (self.metrics.histogram(f"wait.{event}_us")
+                if self.metrics is not None else None)
+        slot = _EventSlot(
+            event, WaitStats(), hist,
+            DetSampler(every=cfg.sample_every_for(event),
+                       seed=cfg.wait_sample_seed, salt=salt),
+            Reservoir(size=cfg.wait_reservoir_size,
+                      seed=cfg.wait_sample_seed, salt=salt),
+        )
+        self._slots[event] = slot
+        return slot
 
     def record(self, event: str, wait_us: float,
                session: Optional[object] = None) -> None:
-        wait_us = max(0.0, float(wait_us))
-        self._events.setdefault(event, WaitStats()).add(wait_us)
+        if wait_us < 0.0:
+            wait_us = 0.0
+        try:
+            slot = self._slots[event]
+        except KeyError:
+            slot = self._make_slot(event)
+        stats = slot.stats
+        stats.count += 1
+        stats.total_us += wait_us
+        if wait_us > stats.max_us:
+            stats.max_us = wait_us
         if session is not None:
-            self._sessions.setdefault((session, event), WaitStats()).add(wait_us)
-        if self.metrics is not None:
-            self.metrics.histogram(f"wait.{event}_us").observe(wait_us)
+            try:
+                per = slot.sessions[session]
+            except KeyError:
+                per = slot.sessions[session] = WaitStats()
+            per.count += 1
+            per.total_us += wait_us
+            if wait_us > per.max_us:
+                per.max_us = wait_us
+        # Inlined DetSampler.take(): a method call per observation is real
+        # money at OLTP rates.  Must stay decision-identical to take() so
+        # sampling_rows() and replays of mixed call styles agree.
+        sampler = slot.sampler
+        sampler.seen += 1
+        remaining = sampler._pending - 1
+        if remaining > 0:
+            sampler._pending = remaining
+            return
+        sampler.taken += 1
+        sampler._pending = sampler._draw_gap()
+        if slot.hist is not None:
+            slot.hist.observe(wait_us)
+        slot.reservoir.offer(wait_us)
+        t_us = self.clock.now_us if self.clock is not None else 0.0
+        self.samples.append((event, session, wait_us, t_us, stats.count))
+
+    def record_batch(self, event: str, count: int, total_us: float,
+                     max_us: float, session: Optional[object] = None) -> None:
+        """Fold a pre-aggregated batch of one event's observations in.
+
+        Single-event convenience front for :meth:`flush_batches`; both run
+        the same folding logic, so mixed call styles stay replay-identical.
+        """
+        self.flush_batches({event: (count, total_us, max_us)}, session)
+
+    def flush_batches(self, acc, session: Optional[object] = None) -> None:
+        """Fold a transaction's whole wait accumulator in, one call.
+
+        ``acc`` maps ``event -> (count, total_us, max_us)``.  Transactions
+        accumulate their per-statement waits locally and flush them here
+        once at commit/abort (the way ``pg_stat`` counters reach the
+        collector), so the per-statement path costs a few list ops instead
+        of a recorder call.  Exact aggregates (count / total / max, global
+        and per-session) end up identical to ``count`` individual
+        :meth:`record` calls.  Detail sampling treats each batch as
+        ``count`` consecutive draws of the event's decision stream; when
+        one or more samples land inside it, *one* detail observation — the
+        batch average — is emitted (per-batch granularity; the stream still
+        advances by ``count``, so replays stay byte-identical).
+        """
+        slots = self._slots
+        clock = self.clock
+        samples = self.samples
+        for event, (count, total_us, max_us) in acc.items():
+            if count <= 0:
+                continue
+            try:
+                slot = slots[event]
+            except KeyError:
+                slot = self._make_slot(event)
+            stats = slot.stats
+            stats.count += count
+            stats.total_us += total_us
+            if max_us > stats.max_us:
+                stats.max_us = max_us
+            if session is not None:
+                try:
+                    per = slot.sessions[session]
+                except KeyError:
+                    slot.sessions[session] = WaitStats(count, total_us, max_us)
+                else:
+                    per.count += count
+                    per.total_us += total_us
+                    if max_us > per.max_us:
+                        per.max_us = max_us
+            sampler = slot.sampler
+            sampler.seen += count
+            remaining = sampler._pending - count
+            if remaining > 0:
+                sampler._pending = remaining
+                continue
+            every = sampler.every
+            if every == 1:
+                # ``count`` unit gaps land inside the batch; the state is
+                # untouched (``_draw_gap`` never steps it for every=1).
+                remaining = 1
+            else:
+                # Inlined _draw_gap loop: one xorshift step per consumed
+                # gap, bit-identical to calling the method, without the
+                # call.
+                state = sampler._state
+                span = 2 * every - 1
+                while remaining <= 0:
+                    state ^= (state << 13) & _MASK64
+                    state ^= state >> 7
+                    state ^= (state << 17) & _MASK64
+                    remaining += 1 + (state >> 16) % span
+                sampler._state = state
+            sampler._pending = remaining
+            sampler.taken += 1
+            avg = total_us / count
+            if slot.hist is not None:
+                slot.hist.observe(avg)
+            slot.reservoir.offer(avg)
+            t_us = clock.now_us if clock is not None else 0.0
+            samples.append((event, session, avg, t_us, stats.count))
 
     # -- reading -----------------------------------------------------------
 
     def events(self) -> Dict[str, WaitStats]:
-        return dict(self._events)
+        return {event: slot.stats for event, slot in self._slots.items()}
 
     def stats(self, event: str) -> WaitStats:
-        return self._events.get(event, WaitStats())
+        slot = self._slots.get(event)
+        return slot.stats if slot is not None else WaitStats()
 
     def total_us(self, event: str) -> float:
         return self.stats(event).total_us
 
     def session_stats(self, session: object) -> Dict[str, WaitStats]:
-        return {event: stats for (sess, event), stats in self._sessions.items()
-                if sess == session}
+        out: Dict[str, WaitStats] = {}
+        for event, slot in self._slots.items():
+            per = slot.sessions.get(session)
+            if per is not None:
+                out[event] = per
+        return out
+
+    def event_sessions(self, event: str) -> Dict[object, WaitStats]:
+        """Per-session aggregates of one event (empty if never recorded)."""
+        slot = self._slots.get(event)
+        return dict(slot.sessions) if slot is not None else {}
 
     def rows(self) -> List[Tuple[str, int, float, float, float]]:
-        """``sys.wait_events`` rows: (event, count, total, avg, max)."""
+        """``sys.wait_events`` rows: (event, count, total, avg, max).
+
+        Exact regardless of the sampling mode — only detail is sampled.
+        """
         return [
             (event, s.count, s.total_us, s.avg_us, s.max_us)
-            for event, s in sorted(self._events.items())
+            for event, s in sorted(
+                (event, slot.stats) for event, slot in self._slots.items())
+        ]
+
+    def sample_rows(self) -> List[Tuple[str, object, float, float, int]]:
+        """``sys.wait_samples`` rows, oldest-first."""
+        return self.samples.to_list()
+
+    def reservoir(self, event: str) -> Optional[Reservoir]:
+        slot = self._slots.get(event)
+        return slot.reservoir if slot is not None else None
+
+    def sampling_rows(self) -> List[Tuple[str, int, int, int]]:
+        """Per-event sampling accounting: (event, every, seen, sampled)."""
+        return [
+            (event, slot.sampler.every, slot.sampler.seen, slot.sampler.taken)
+            for event, slot in sorted(self._slots.items())
         ]
 
     def reset(self) -> None:
-        self._events.clear()
-        self._sessions.clear()
+        """Forget aggregates *and* every sampler/reservoir stream.
+
+        Slots are dropped outright: they are deterministic functions of
+        ``(event name, config)``, so rebuilding them on next record makes
+        exactly the sampling decisions a fresh recorder would — back-to-back
+        benchmark runs are independent and report identical telemetry.
+        (The registry histograms they pointed at are reset by the registry.)
+        """
+        self._slots.clear()
+        self.samples.clear()
 
 
 # -- live activity ------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivityEntry:
     """One transaction's row in ``sys.activity``."""
 

@@ -239,3 +239,4 @@ class Analyze(Node):
 class Explain(Node):
     query: Select
     analyze: bool = False       # EXPLAIN ANALYZE: execute and profile
+    distributed: bool = False   # ... DISTRIBUTED: per-fragment rendering

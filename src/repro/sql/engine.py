@@ -387,13 +387,33 @@ class SqlEngine:
 
     def _run_select_plan(self, stmt: ast.Select) -> Result:
         session = self.cluster.session()
-        txn = session.begin(multi_shard=True)
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        cn_node = f"cn{session.cn_index}"
         query_span = None
-        if self.obs is not None:
-            query_span = self.obs.tracer.start_span("query", parent=None)
+        if tracer is not None:
+            # The query span roots this statement's trace; everything the
+            # statement causes stitches under it — the read transaction and
+            # its snapshot work (via activate), the operator tree (via the
+            # profiler's root_span), per-DN fragments (via parent_ctx).
+            query_span = tracer.start_span("query", parent=None, node=cn_node)
+            if self._wlm_ticket is not None:
+                # Admission preceded execution; surface it as a child edge
+                # covering the simulated queue wait (0-length when the
+                # statement was admitted immediately).
+                queue_span = tracer.start_span(
+                    "wlm.queue", parent=query_span,
+                    group=self._wlm_ticket.group)
+                tracer.end_span(
+                    queue_span,
+                    end_us=queue_span.start_us + self._wlm_ticket.wait_us)
+            tracer.activate(query_span)
+        txn = session.begin(multi_shard=True)
         profiler = QueryProfiler(
-            tracer=self.obs.tracer if self.obs is not None else None,
-            metrics=self.obs.metrics if self.obs is not None else None,
+            tracer=tracer,
+            metrics=obs.metrics if obs is not None else None,
+            root_span=query_span,
+            node=cn_node,
         )
         try:
             logical = self._binder().bind_select(stmt)
@@ -406,9 +426,13 @@ class SqlEngine:
         except Exception:
             txn.abort()
             if query_span is not None:
+                tracer.deactivate(query_span)
                 query_span.set_attribute("error", True)
-                self.obs.tracer.end_span(query_span)
+                tracer.end_span(query_span)
             raise
+        finally:
+            if query_span is not None:
+                tracer.deactivate(query_span)
         profile = profiler.profile()
         if self._wlm_ticket is not None:
             profile.queue_time_us = self._wlm_ticket.wait_us
@@ -424,7 +448,8 @@ class SqlEngine:
                 query_span,
                 end_us=query_span.start_us + profile.elapsed_time_us)
             self.obs.slowlog.note(self._current_sql, query_span.start_us,
-                                  profile, queue_us=profile.queue_time_us)
+                                  profile, queue_us=profile.queue_time_us,
+                                  trace_id=query_span.trace_id)
         capture = None
         if self.learning_enabled:
             capture = self.feedback.capture(physical)
@@ -463,6 +488,18 @@ class SqlEngine:
         """
         executed = self._run_select_plan(stmt.query)
         profile = executed.profile
+        if stmt.distributed:
+            # Per-execution-site rendering: coordinator serial work, each
+            # fragment instance's elapsed/rows/net traffic, and the
+            # critical (slowest) instance per fragment group.
+            return Result(
+                columns=list(QueryProfile.DIST_COLUMNS),
+                rows=profile.distributed_rows(),
+                rowcount=executed.rowcount,
+                plan_text=profile.distributed_pretty(),
+                capture=executed.capture,
+                profile=profile,
+            )
         return Result(
             columns=list(QueryProfile.COLUMNS),
             rows=profile.rows_table(),

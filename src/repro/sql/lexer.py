@@ -16,7 +16,7 @@ KEYWORDS = {
     "create", "drop", "table", "if", "exists", "primary", "key",
     "distribute", "hash", "replication", "with", "asc", "desc",
     "case", "when", "then", "else", "end", "true", "false",
-    "analyze", "explain", "union", "all",
+    "analyze", "explain", "distributed", "union", "all",
 }
 
 

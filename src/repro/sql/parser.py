@@ -96,7 +96,11 @@ class Parser:
         elif self._cur.is_kw("explain"):
             self._advance()
             analyze = self._accept_kw("analyze")
-            stmt = ast.Explain(self._select(), analyze=analyze)
+            # EXPLAIN ANALYZE DISTRIBUTED: the per-fragment critical-path
+            # rendering instead of the per-operator table.
+            distributed = analyze and self._accept_kw("distributed")
+            stmt = ast.Explain(self._select(), analyze=analyze,
+                               distributed=distributed)
         else:
             raise self._error("expected a statement")
         self._expect_eof()

@@ -73,8 +73,11 @@ class TestReplayIdentity:
                         == plain.profile.elapsed_time_us)
         assert _query_waits(enabled) == _query_waits(bare)
         assert _query_metrics(enabled) == _query_metrics(bare)
-        assert ([e.as_row() for e in enabled.obs.slowlog.entries()]
-                == [e.as_row() for e in bare.obs.slowlog.entries()])
+        # Everything but the trailing trace_id: the merge daemon's tick
+        # traces interleave with query traces in the shared id sequence,
+        # so trace ids (and only they) legitimately differ with HTAP on.
+        assert ([e.as_row()[:-1] for e in enabled.obs.slowlog.entries()]
+                == [e.as_row()[:-1] for e in bare.obs.slowlog.entries()])
 
     def test_disabled_cluster_has_zero_htap_trace(self):
         bare, _ = _run(htap_enabled=False)

@@ -70,12 +70,19 @@ class TestProfilerTelemetry:
         op_spans = [s for s in spans if s.name.startswith("op.")]
         assert len(op_spans) >= 3
         by_id = {s.span_id: s for s in spans}
-        # each operator span is parented by another operator (or the root op)
-        roots = [s for s in op_spans if s.parent_id is None]
-        assert len(roots) == 1
+        # Since the distributed-tracing refactor, the plan's root operator
+        # is a child of the query span, so no operator roots a trace of its
+        # own — the whole tree shares the query's trace_id.
+        assert not [s for s in op_spans if s.parent_id is None]
+        root_ops = 0
         for span in op_spans:
-            if span.parent_id is not None:
-                assert by_id[span.parent_id].name.startswith("op.")
+            parent = by_id[span.parent_id]
+            if parent.name == "query":
+                root_ops += 1
+            else:
+                assert parent.name.startswith("op.")
+        assert root_ops == 1
+        assert all(s.trace_id == query_spans[0].trace_id for s in op_spans)
 
     def test_exec_rows_counter_reconciles_with_profile(self):
         cluster, engine = _engine()

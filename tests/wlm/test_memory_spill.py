@@ -91,8 +91,7 @@ class TestSpillThroughEngine:
         engine.execute("select v, count(*) from t group by v", group="tight")
         # Per-DN partial aggregates overflow their partitions: the wait is
         # attributed to dn sessions, not the coordinator.
-        sessions = {s for (s, event) in cluster.obs.waits._sessions
-                    if event == "wlm_spill"}
+        sessions = set(cluster.obs.waits.event_sessions("wlm_spill"))
         assert sessions and all(str(s).startswith("dn") for s in sessions)
 
     def test_sort_and_join_account_memory(self):
