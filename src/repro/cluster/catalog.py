@@ -18,6 +18,9 @@ class Catalog:
 
     def __init__(self) -> None:
         self._schemas: Dict[str, TableSchema] = {}
+        #: Bumped on every DDL mutation; cached query plans are pinned to
+        #: the version they were built against and discarded on mismatch.
+        self.version = 0
 
     @staticmethod
     def _norm(name: str) -> str:
@@ -28,9 +31,11 @@ class Catalog:
         if key in self._schemas:
             raise CatalogError(f"table {schema.name!r} already exists")
         self._schemas[key] = schema
+        self.version += 1
 
     def unregister(self, name: str) -> None:
-        self._schemas.pop(self._norm(name), None)
+        if self._schemas.pop(self._norm(name), None) is not None:
+            self.version += 1
 
     def schema(self, name: str) -> TableSchema:
         try:

@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.exec.vectorized import PredicateSpec, scan_filter, selection_mask
+from repro.exec.vectorized import (PredicateSpec, group_bounds, scan_filter,
+                                   selection_mask)
 from repro.optimizer.expr import BoundBinary, BoundColumn, BoundConst, conjuncts
 from repro.storage.types import DataType
 
@@ -242,9 +243,10 @@ def _vector_partial_iter(scan, store, group_names, agg_names, specs,
             rows_in += n
             if group_names:
                 gvals = batch[group_names[0]]
-                for gv in np.unique(gvals):
-                    member = gvals == gv
-                    update(cells_for((_unbox(gv),)), int(member.sum()),
+                uniq, order_idx, bounds = group_bounds(gvals)
+                for i, gv in enumerate(uniq):
+                    member = order_idx[bounds[i]:bounds[i + 1]]
+                    update(cells_for((_unbox(gv),)), int(len(member)),
                            {name: batch[name][member] for name in needed})
             else:
                 update(cells_for(()), n, batch)

@@ -37,6 +37,12 @@ class PhysicalOp:
     #: and the simulated I/O time charged for them.
     spilled_bytes: int = 0
     spill_time_us: float = 0.0
+    #: Batch-mode flags set by :func:`repro.exec.batch.enable_batches`.
+    #: When on, ``execute()`` bridges the operator's counted batch stream
+    #: back to rows; batch-capable parents call :meth:`batches` directly so
+    #: column batches flow between operators without materializing tuples.
+    batch_mode: bool = False
+    batch_size: int = 1024
 
     def __init__(self, schema: Schema, estimated_rows: float = 0.0,
                  step_text: Optional[str] = None):
@@ -75,6 +81,48 @@ class PhysicalOp:
         for row in rows:
             self.actual_rows += 1
             yield row
+
+    # -- batch protocol ----------------------------------------------------
+
+    def execute_batches(self):
+        """Produce :class:`repro.exec.batch.Batch` column batches.
+
+        Implemented by batch-capable operators; only called when the
+        activation pass set ``batch_mode``.
+        """
+        raise ExecutionError(
+            f"{type(self).__name__} has no batch implementation")
+
+    def batches(self):
+        """Counted batch stream — the batch-mode analogue of ``execute``."""
+        return self._count_batches(self.execute_batches())
+
+    def _count_batches(self, stream):
+        """Mirror of :meth:`_count` at batch grain.
+
+        ``actual_rows`` advances by ``batch.n`` per batch, so row counts
+        (and every profile time derived from them) match the row path; the
+        WLM checkpoint accrues the same per-row progress but checks for
+        cancellation once per batch.
+        """
+        if self.profiler is not None:
+            stream = self.profiler.wrap(self, stream)
+        ctx = self.wlm_ctx
+        if ctx is not None:
+            for batch in stream:
+                ctx.tick_batch(self, batch.n)
+                self.actual_rows += batch.n
+                yield batch
+            return
+        for batch in stream:
+            self.actual_rows += batch.n
+            yield batch
+
+    def _bridge_rows(self) -> Iterator[tuple]:
+        """Row view of this operator's counted batch stream (no recount)."""
+        from repro.exec.batch import rows_from_batches
+
+        return rows_from_batches(self.batches())
 
     def name(self) -> str:
         return type(self).__name__[1:]  # strip the single 'P' prefix
@@ -151,6 +199,8 @@ class PScan(PhysicalOp):
             yield row
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
         if self.vector_store is not None and self.vector_preds is not None:
             from repro.exec.fragments import vector_scan_rows
 
@@ -160,6 +210,33 @@ class PScan(PhysicalOp):
             predicate = self.predicate
             rows = (row for row in rows if predicate.eval(row))
         return self._count(rows)
+
+    def execute_batches(self):
+        """Filtered column batches straight off the shard's column store.
+
+        Compiled vector predicates filter via selection masks; a predicate
+        too rich for vector specs is evaluated by its compiled batch
+        expression over whole chunks instead (``_batch_pred``, set by the
+        activation pass).
+        """
+        from repro.exec.batch import Batch, truth_mask
+        from repro.exec.vectorized import scan_filter_vectors
+
+        store = self.vector_store()
+        names = [c.name for c in self.schema]
+        if self.vector_preds is not None:
+            for chunk in scan_filter_vectors(store, names, self.vector_preds):
+                yield Batch([chunk[name] for name in names],
+                            len(chunk[names[0]]))
+            return
+        pred = self._batch_pred
+        for chunk in scan_filter_vectors(store, names):
+            batch = Batch([chunk[name] for name in names],
+                          len(chunk[names[0]]))
+            mask = truth_mask(pred(batch))
+            if not mask.any():
+                continue
+            yield batch if mask.all() else batch.select(mask)
 
     def sim_self_time_us(self, rows_in: int, rows_out: int,
                          batches: int) -> Optional[float]:
@@ -228,10 +305,22 @@ class PFilter(PhysicalOp):
         return (self.child,)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
         predicate = self.predicate
         return self._count(
             row for row in self.child.execute() if predicate.eval(row)
         )
+
+    def execute_batches(self):
+        from repro.exec.batch import truth_mask
+
+        pred = self._batch_pred
+        for batch in self.child.batches():
+            mask = truth_mask(pred(batch))
+            if not mask.any():
+                continue
+            yield batch if mask.all() else batch.select(mask)
 
     def describe(self) -> str:
         return f"Filter [{self.predicate.text()}]"
@@ -248,10 +337,19 @@ class PProject(PhysicalOp):
         return (self.child,)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
         exprs = self.exprs
         return self._count(
             tuple(e.eval(row) for e in exprs) for row in self.child.execute()
         )
+
+    def execute_batches(self):
+        from repro.exec.batch import Batch
+
+        fns = self._batch_exprs
+        for batch in self.child.batches():
+            yield Batch([fn(batch) for fn in fns], batch.n)
 
 
 class PHashJoin(PhysicalOp):
@@ -275,6 +373,8 @@ class PHashJoin(PhysicalOp):
         return (self.left, self.right)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
         return self._count(self._join())
 
     def _join(self) -> Iterator[tuple]:
@@ -285,6 +385,34 @@ class PHashJoin(PhysicalOp):
             entry_bytes = _entry_bytes(self.right.schema)
         try:
             yield from self._join_inner(mem, entry_bytes if mem else 0)
+        finally:
+            if mem is not None:
+                mem.finish()
+
+    def execute_batches(self):
+        """Batched probe: row-built hash table, vectorized key extraction.
+
+        The build side stays row-at-a-time (identical memory accounting and
+        NULL-key handling); the probe consumes left batches and emits
+        combined batches in the row path's exact output order.
+        """
+        from repro.exec.batch import probe_batches
+
+        mem = None
+        entry_bytes = 0
+        if self.wlm_ctx is not None:
+            mem = self.wlm_ctx.memory_for(self)
+            entry_bytes = _entry_bytes(self.right.schema)
+        try:
+            table: Dict[tuple, List[tuple]] = {}
+            for row in self.right.execute():
+                key = tuple(k.eval(row) for k in self.right_keys)
+                if any(v is None for v in key):
+                    continue
+                table.setdefault(key, []).append(row)
+                if mem is not None:
+                    mem.grow(entry_bytes)
+            yield from probe_batches(self, table)
         finally:
             if mem is not None:
                 mem.finish()
@@ -467,6 +595,9 @@ class PSort(PhysicalOp):
         return (self.child,)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
+
         def gen() -> Iterator[tuple]:
             mem, entry_bytes = _op_memory(self)
             try:
@@ -488,6 +619,26 @@ class PSort(PhysicalOp):
                     mem.finish()
 
         return self._count(gen())
+
+    def execute_batches(self):
+        """Buffer child batches, sort once with stable lexsort passes.
+
+        Memory is charged per buffered batch (``entry_bytes * n``) — the
+        same total as the row path's per-row charge, at coarser spill grain.
+        """
+        from repro.exec.batch import sorted_batches
+
+        mem, entry_bytes = _op_memory(self)
+        try:
+            collected = []
+            for batch in self.child.batches():
+                collected.append(batch)
+                if mem is not None:
+                    mem.grow(entry_bytes * batch.n)
+            yield from sorted_batches(self, collected)
+        finally:
+            if mem is not None:
+                mem.finish()
 
     def describe(self) -> str:
         keys = ", ".join(f"{e.text()}{' DESC' if d else ''}" for e, d in self.keys)
@@ -561,10 +712,17 @@ class PUnionAll(PhysicalOp):
         return tuple(self._children)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
+
         def gen():
             for child in self._children:
                 yield from child.execute()
         return self._count(gen())
+
+    def execute_batches(self):
+        for child in self._children:
+            yield from child.batches()
 
     def describe(self) -> str:
         return f"UnionAll [{len(self._children)} inputs]"
@@ -602,11 +760,20 @@ class PExchange(PhysicalOp):
         return tuple(self._children)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
+
         def gen() -> Iterator[tuple]:
             for child in self._children:
                 yield from child.execute()
 
         return self._count(gen())
+
+    def execute_batches(self):
+        """Exchange serialization at batch grain: per-DN fragments ship
+        column batches across the (simulated) wire, not row tuples."""
+        for child in self._children:
+            yield from child.batches()
 
     def sim_self_time_us(self, rows_in: int, rows_out: int,
                          batches: int) -> float:
@@ -656,7 +823,12 @@ class PFragment(PhysicalOp):
         return (self.child,)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
         return self._count(self.child.execute())
+
+    def execute_batches(self):
+        yield from self.child.batches()
 
     def describe(self) -> str:
         return f"Fragment dn{self.dn_index}"
@@ -727,7 +899,30 @@ class PPartialAgg(PhysicalOp):
         return (self.child,)
 
     def execute(self) -> Iterator[tuple]:
+        if self.batch_mode:
+            return self._bridge_rows()
         return self._count(self._aggregate())
+
+    def execute_batches(self):
+        """Ship partial states as object batches across the exchange.
+
+        Aggregation math stays bit-identical to the row path: the shared
+        vector fast path is tried first (the row path would use it too);
+        otherwise the batch-native kernel accumulates over column lanes
+        with the row path's exact arithmetic; only then does the row-path
+        ``_aggregate`` run over bridged rows.
+        """
+        from repro.exec.batch import (batches_from_rows,
+                                      partial_states_from_batches)
+        from repro.exec.fragments import vector_partial_states
+
+        states = vector_partial_states(self)
+        if states is None:
+            states = partial_states_from_batches(self)
+        if states is None:
+            states = self._aggregate()
+        yield from batches_from_rows(states, len(self.schema),
+                                     self.batch_size)
 
     def _aggregate(self) -> Iterator[tuple]:
         from repro.exec.fragments import vector_partial_states

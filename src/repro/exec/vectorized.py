@@ -52,10 +52,15 @@ def selection_mask(chunk: Dict[str, ColumnVector],
     return mask
 
 
-def scan_filter(store: ColumnStore, columns: Sequence[str],
-                predicates: Sequence[PredicateSpec] = (),
-                obs=None) -> Iterable[Dict[str, np.ndarray]]:
-    """Yield filtered, materialized column batches.
+def scan_filter_vectors(store: ColumnStore, columns: Sequence[str],
+                        predicates: Sequence[PredicateSpec] = (),
+                        obs=None) -> Iterable[Dict[str, ColumnVector]]:
+    """Yield filtered column batches with their validity masks intact.
+
+    Predicates follow SQL three-valued logic: a NULL operand makes the
+    comparison unknown, and unknown rows are filtered (``selection_mask``
+    ANDs the validity mask in) — the same semantics as the row path in
+    :func:`row_aggregate`.
 
     When an :class:`repro.obs.Observability` is passed, every produced batch
     bumps ``exec.batches`` and its surviving rows bump ``exec.rows``.
@@ -68,7 +73,37 @@ def scan_filter(store: ColumnStore, columns: Sequence[str],
         if obs is not None:
             obs.metrics.counter("exec.batches").inc()
             obs.metrics.counter("exec.rows").inc(int(mask.sum()))
-        yield {name: chunk[name].data[mask] for name in columns}
+        yield {name: ColumnVector(chunk[name].data[mask],
+                                  chunk[name].validity[mask])
+               for name in columns}
+
+
+def scan_filter(store: ColumnStore, columns: Sequence[str],
+                predicates: Sequence[PredicateSpec] = (),
+                obs=None) -> Iterable[Dict[str, np.ndarray]]:
+    """Like :func:`scan_filter_vectors` but yields bare data arrays.
+
+    Only safe when the caller knows the scanned columns carry no NULLs
+    (the validity mask is dropped, so NULL lanes would surface as their
+    encoded sentinels).  NULL-aware consumers want the vectors variant.
+    """
+    for vecs in scan_filter_vectors(store, columns, predicates, obs=obs):
+        yield {name: vec.data for name, vec in vecs.items()}
+
+
+def group_bounds(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bucket ``keys`` in one pass: ``(uniq, order, bounds)``.
+
+    ``order[bounds[i]:bounds[i + 1]]`` are the row indices holding
+    ``uniq[i]``, in ascending row order (the stable argsort keeps ties in
+    input order), so per-group gathers see exactly the rows a boolean
+    ``keys == uniq[i]`` mask would select — without rescanning the whole
+    batch once per distinct group.
+    """
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    bounds = np.searchsorted(inverse[order], np.arange(len(uniq) + 1))
+    return uniq, order, bounds
 
 
 @dataclass
@@ -117,36 +152,62 @@ def aggregate(store: ColumnStore, column: str, func: str,
     state = VectorAggState(func)
     if obs is not None:
         with obs.tracer.span("vector.aggregate", column=column, func=func):
-            for batch in scan_filter(store, [column], predicates, obs=obs):
-                state.update(batch[column])
+            for batch in scan_filter_vectors(store, [column], predicates,
+                                             obs=obs):
+                vec = batch[column]
+                state.update(vec.data[vec.validity])
         return state.result()
-    for batch in scan_filter(store, [column], predicates):
-        state.update(batch[column])
+    for batch in scan_filter_vectors(store, [column], predicates):
+        vec = batch[column]
+        state.update(vec.data[vec.validity])
     return state.result()
 
 
 def group_aggregate(store: ColumnStore, group_column: str, value_column: str,
                     func: str, predicates: Sequence[PredicateSpec] = (),
                     obs=None) -> Dict[object, Optional[float]]:
-    """Hash group-by over vector batches (np.unique per chunk)."""
+    """Hash group-by over vector batches.
+
+    Buckets each chunk with one ``np.unique(..., return_inverse=True)``
+    pass (:func:`group_bounds`) instead of rescanning the chunk with a
+    boolean mask per distinct group — O(rows log rows) instead of
+    O(groups x rows).  NULL group keys collect under ``None``; NULL input
+    values are skipped, like the row path and SQL aggregates.
+    """
     states: Dict[object, VectorAggState] = {}
-    for batch in scan_filter(store, [group_column, value_column], predicates,
-                             obs=obs):
-        groups = batch[group_column]
-        values = batch[value_column]
-        for group in np.unique(groups):
-            member = groups == group
-            key = group.item() if isinstance(group, np.generic) else group
-            state = states.get(key)
-            if state is None:
-                state = states[key] = VectorAggState(func)
-            state.update(values[member])
+
+    def feed(key: object, vec: ColumnVector, member: np.ndarray) -> None:
+        state = states.get(key)
+        if state is None:
+            state = states[key] = VectorAggState(func)
+        valid = member[vec.validity[member]]
+        state.update(vec.data[valid])
+
+    for batch in scan_filter_vectors(store, [group_column, value_column],
+                                     predicates, obs=obs):
+        gvec = batch[group_column]
+        vvec = batch[value_column]
+        valid_idx = np.flatnonzero(gvec.validity)
+        if len(valid_idx):
+            uniq, order, bounds = group_bounds(gvec.data[valid_idx])
+            for i, group in enumerate(uniq):
+                member = valid_idx[order[bounds[i]:bounds[i + 1]]]
+                key = group.item() if isinstance(group, np.generic) else group
+                feed(key, vvec, member)
+        null_idx = np.flatnonzero(~gvec.validity)
+        if len(null_idx):
+            feed(None, vvec, null_idx)
     return {key: state.result() for key, state in states.items()}
 
 
 def row_aggregate(rows: Iterable[dict], column: str, func: str,
                   predicates: Sequence[PredicateSpec] = ()) -> Optional[float]:
-    """Row-at-a-time reference implementation (the ablation baseline)."""
+    """Row-at-a-time reference implementation (the ablation baseline).
+
+    Shares the vectorized kernels' NULL semantics: a NULL predicate operand
+    makes the comparison unknown and the row is filtered (for every
+    operator, ``<>`` included), and NULL aggregation inputs are skipped.
+    """
     state = VectorAggState(func)
     buffer: List[float] = []
     for row in rows:

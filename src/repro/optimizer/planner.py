@@ -317,7 +317,11 @@ class PhysicalPlanner:
             predicate=plan.predicate,
             estimated_rows=est,
             step_text=plan.step_text(),
-            vector_store=vector_store if vector_preds is not None else None,
+            # Keep the store even when the predicate didn't compile to
+            # vector specs: the row path gates on vector_preds as well, and
+            # the batch executor can still scan the store and evaluate the
+            # full predicate with its compiled batch expression.
+            vector_store=vector_store,
             vector_preds=vector_preds,
             table_schema=table_schema,
             remote_sources=0 if dn_index is not None

@@ -132,15 +132,20 @@ class StatsManager:
 
     def __init__(self) -> None:
         self._tables: Dict[str, TableStats] = {}
+        #: Bumped whenever statistics change (ANALYZE / drop); plan caches
+        #: key on it so stale cardinalities don't pin stale plans.
+        self.version = 0
 
     def put(self, table: str, stats: TableStats) -> None:
         self._tables[table.lower()] = stats
+        self.version += 1
 
     def get(self, table: str) -> Optional[TableStats]:
         return self._tables.get(table.lower())
 
     def drop(self, table: str) -> None:
-        self._tables.pop(table.lower(), None)
+        if self._tables.pop(table.lower(), None) is not None:
+            self.version += 1
 
     def analyzed_tables(self) -> List[str]:
         return sorted(self._tables)

@@ -19,8 +19,9 @@ from repro.common.errors import (
     QueryTimeout,
     SqlAnalysisError,
 )
+from repro.exec.batch import enable_batches
 from repro.exec.fragments import ScanBinding
-from repro.exec.operators import PhysicalOp
+from repro.exec.operators import PhysicalOp, walk_physical
 from repro.learnopt.feedback import CaptureReport, CaptureSettings, FeedbackLoop
 from repro.obs import Observability, QueryProfile, QueryProfiler
 from repro.obs.syscat import SystemCatalog
@@ -31,6 +32,7 @@ from repro.optimizer.stats import StatsManager, analyze_rows
 from repro.sql import ast
 from repro.sql.binder import Binder, TableFunctionImpl
 from repro.sql.parser import parse
+from repro.sql.plancache import CachedPlan, PlanCache
 from repro.storage.table import Column, Distribution, Orientation, TableSchema
 from repro.storage.types import DataType
 from repro.wlm import attach_to_plan
@@ -74,7 +76,10 @@ class SqlEngine:
                  learning_enabled: bool = True,
                  capture_settings: Optional[CaptureSettings] = None,
                  now_fn: Optional[Callable[[], int]] = None,
-                 fragmented: bool = True):
+                 fragmented: bool = True,
+                 plan_cache_size: int = 64,
+                 batch_enabled: bool = True,
+                 batch_size: int = 1024):
         self.cluster = cluster
         #: Cut query plans at exchange boundaries into per-DN fragments
         #: (FI-MPPDB's execution shape).  Off: every scan gathers all shards
@@ -100,6 +105,22 @@ class SqlEngine:
         self._wlm_ticket = None
         self._wlm_ctx = None
         self._current_sql = ""
+        #: Prepared-statement cache: repeated SELECT texts skip the lexer,
+        #: parser, binder and planner and re-execute the cached physical
+        #: plan.  ``plan_cache_size=0`` disables caching entirely.
+        self.plan_cache = PlanCache(plan_cache_size)
+        #: Columnar batch execution: eligible operator subtrees stream
+        #: numpy column batches instead of Python row tuples.  Simulated
+        #: telemetry (profiles, metrics, WLM accounting) is byte-identical
+        #: either way; only wall-clock changes.
+        self.batch_enabled = batch_enabled
+        self.batch_size = batch_size
+        #: Set around plan execution so cached plans (whose scan closures
+        #: were built during an earlier statement) read the *current*
+        #: statement's snapshot.
+        self._active_txn = None
+        self._cached: Optional[CachedPlan] = None
+        self._cache_key: Optional[str] = None
 
     # -- extension points ----------------------------------------------------
 
@@ -126,7 +147,25 @@ class SqlEngine:
         queue priority.
         """
         self._current_sql = sql
-        statement = parse(sql)
+        self._cached = None
+        self._cache_key = None
+        statement = None
+        if self.plan_cache.capacity:
+            key = PlanCache.key_for(sql)
+            entry = self.plan_cache.lookup(
+                key, self.cluster.catalog.version, self.stats.version)
+            self._cache_key = key
+            if entry is not None:
+                self._cached = entry
+                self.plan_cache.note_hit()
+                statement = entry.statement
+        if statement is None:
+            statement = parse(sql)
+            if isinstance(statement, ast.Select):
+                if self._cache_key is not None:
+                    self.plan_cache.note_miss()
+            else:
+                self._cache_key = None
         if self.wlm is None:
             return self._dispatch(statement)
         ticket = self.wlm.submit(group=group, now_us=arrival_us,
@@ -329,6 +368,16 @@ class SqlEngine:
             feedback=self.feedback if self.learning_enabled else None,
         )
 
+        plan_txn = txn
+
+        def current_txn():
+            # Cached plans outlive the snapshot they were planned under;
+            # their scan closures must read the statement that is executing
+            # *now*.  Falls back to the planning snapshot for external
+            # plan_select callers that execute outside the engine.
+            active = self._active_txn
+            return active if active is not None else plan_txn
+
         def scan_source(table: str, scan: LogicalScan,
                         dn_index: Optional[int] = None) -> ScanBinding:
             schema = self.cluster.catalog.schema(table)
@@ -336,7 +385,7 @@ class SqlEngine:
 
             if dn_index is None:
                 def rows() -> Iterable[tuple]:
-                    for _, values in txn.scan(schema.name):
+                    for _, values in current_txn().scan(schema.name):
                         yield tuple(values.get(name) for name in order)
 
                 return ScanBinding(rows)
@@ -345,13 +394,13 @@ class SqlEngine:
             # oriented tables additionally expose a column-store snapshot so
             # the scan can run the vectorized kernels.
             def rows() -> Iterable[tuple]:
-                for _, values in txn.scan_shard(schema.name, dn_index):
+                for _, values in current_txn().scan_shard(schema.name, dn_index):
                     yield tuple(values.get(name) for name in order)
 
             column_store = None
             if schema.orientation is Orientation.COLUMN:
                 def column_store(table=schema.name, dn=dn_index):
-                    return txn.shard_column_store(table, dn)
+                    return current_txn().shard_column_store(table, dn)
 
             return ScanBinding(rows, column_store=column_store,
                                table_schema=schema)
@@ -385,7 +434,9 @@ class SqlEngine:
         logical = self._binder().bind_select(stmt)
         return self._planner(txn).plan(logical)
 
-    def _run_select_plan(self, stmt: ast.Select) -> Result:
+    def _run_select_plan(self, stmt: ast.Select,
+                         cached: Optional[CachedPlan] = None,
+                         cache_key: Optional[str] = None) -> Result:
         session = self.cluster.session()
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
@@ -416,12 +467,24 @@ class SqlEngine:
             node=cn_node,
         )
         try:
-            logical = self._binder().bind_select(stmt)
-            physical = self.plan_select(stmt, txn)
+            if cached is not None:
+                physical = cached.physical
+                columns = cached.columns
+                physical.reset_counters()
+            else:
+                logical = self._binder().bind_select(stmt)
+                physical = self._planner(txn).plan(logical)
+                columns = [c.name for c in logical.schema]
+                if self.batch_enabled:
+                    enable_batches(physical, self.batch_size)
             profiler.attach(physical)
             if self._wlm_ctx is not None:
                 attach_to_plan(self._wlm_ctx, physical)
-            rows = list(physical.execute())
+            self._active_txn = txn
+            try:
+                rows = list(physical.execute())
+            finally:
+                self._active_txn = None
             txn.commit()
         except Exception:
             txn.abort()
@@ -453,9 +516,20 @@ class SqlEngine:
         capture = None
         if self.learning_enabled:
             capture = self.feedback.capture(physical)
+        if cache_key is not None and cached is None:
+            step_texts = [op.step_text for op in walk_physical(physical)
+                          if op.step_text is not None]
+            self.plan_cache.put(cache_key, CachedPlan(
+                stmt, physical, columns,
+                self.cluster.catalog.version, self.stats.version, step_texts))
+        if capture is not None and capture.captured:
+            # The capture changed the feedback store: any cached plan built
+            # from those estimates (including the one just stored) must
+            # replan next time so corrected cardinalities take effect.
+            self.plan_cache.invalidate_steps(capture.steps)
         self.queries_executed += 1
         return Result(
-            columns=[c.name for c in logical.schema],
+            columns=columns,
             rows=rows,
             rowcount=len(rows),
             plan_text=physical.pretty(),
@@ -464,7 +538,10 @@ class SqlEngine:
         )
 
     def _select(self, stmt: ast.Select) -> Result:
-        return self._run_select_plan(stmt)
+        cached, cache_key = self._cached, self._cache_key
+        self._cached = None
+        self._cache_key = None
+        return self._run_select_plan(stmt, cached=cached, cache_key=cache_key)
 
     def _explain(self, stmt: ast.Explain) -> Result:
         if stmt.analyze:

@@ -12,7 +12,7 @@ fresh transactional rows from the MVCC heap instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -34,6 +34,11 @@ class ColumnChunk:
     codec: str
     payload: object
     row_count: int
+    #: Decode-once cache.  Sealed chunks are immutable, so the decoded
+    #: vector can be reused across scans; consumers must treat it as
+    #: read-only (the arrays are marked non-writeable to enforce that).
+    _decoded: Optional["ColumnVector"] = field(
+        default=None, repr=False, compare=False)
 
     def decode(self) -> np.ndarray:
         values = compression.decode(self.codec, self.payload)
@@ -53,6 +58,8 @@ class ColumnChunk:
         return arr
 
     def decode_with_nulls(self) -> "ColumnVector":
+        if self._decoded is not None:
+            return self._decoded
         values = compression.decode(self.codec, self.payload)
         validity = np.array([v is not None for v in values], dtype=bool)
         if self.data_type is DataType.TEXT:
@@ -62,7 +69,10 @@ class ColumnChunk:
                 [v if v is not None else 0 for v in values],
                 dtype=self.data_type.numpy_dtype,
             )
-        return ColumnVector(data=data, validity=validity)
+        data.flags.writeable = False
+        validity.flags.writeable = False
+        self._decoded = ColumnVector(data=data, validity=validity)
+        return self._decoded
 
 
 @dataclass

@@ -494,6 +494,21 @@ class WlmQueryContext:
                 f"{ticket.group!r} timeout ({self._timeout_us:.0f}us)",
                 query_id=ticket.query_id)
 
+    def tick_batch(self, op: object, rows: int) -> None:
+        """Batch-grain checkpoint: same per-row progress accrual as
+        :meth:`tick`, one cancellation/timeout check per batch."""
+        self.progress_us += CHECKPOINT_COST_US * rows
+        ticket = self.ticket
+        if ticket.cancel_requested is not None:
+            raise QueryCancelled(
+                f"query {ticket.query_id} cancelled: "
+                f"{ticket.cancel_requested}", query_id=ticket.query_id)
+        if self._timeout_us is not None and self.progress_us > self._timeout_us:
+            raise QueryTimeout(
+                f"query {ticket.query_id} exceeded group "
+                f"{ticket.group!r} timeout ({self._timeout_us:.0f}us)",
+                query_id=ticket.query_id)
+
     def memory_for(self, op: object) -> OperatorMemory:
         tracker = self._memory.get(id(op))
         if tracker is None:

@@ -1,0 +1,180 @@
+"""Prepared-statement plan cache: hits, staleness, learning interplay.
+
+The staleness satellite's core claim: a cached plan is never reused after
+the table it reads is redefined (DDL bumps the catalog version), after
+ANALYZE refreshes statistics, or after the learning producer captures a
+mis-estimate for one of its steps.
+"""
+
+import pytest
+
+from repro.cluster.mpp import MppCluster
+from repro.sql.engine import SqlEngine
+from repro.sql.plancache import PlanCache
+
+
+def _engine(**kwargs) -> SqlEngine:
+    return SqlEngine(MppCluster(num_dns=2), **kwargs)
+
+
+def _load(engine: SqlEngine, rows: int = 40) -> None:
+    engine.execute("create table t (id int primary key, g text, v int) "
+                   "with (orientation = column)")
+    engine.execute("insert into t values " + ", ".join(
+        f"({i}, '{'ab'[i % 2]}', {i * 3})" for i in range(rows)))
+    engine.analyze()
+
+
+class TestCacheHits:
+    def test_repeat_statement_hits_and_matches(self):
+        engine = _engine()
+        _load(engine)
+        sql = "select g, count(*) from t where v > 30 group by g order by g"
+        first = engine.execute(sql)
+        assert engine.plan_cache.hits == 0
+        second = engine.execute(sql)
+        assert engine.plan_cache.hits == 1
+        assert second.rows == first.rows
+        assert second.plan_text == first.plan_text
+
+    def test_whitespace_normalized_key(self):
+        engine = _engine()
+        _load(engine)
+        engine.execute("select count(*) from t")
+        engine.execute("select   count(*)\n from    t")
+        assert engine.plan_cache.hits == 1
+
+    def test_cached_plan_sees_new_rows(self):
+        # The cached physical plan re-executes under the *current*
+        # statement's snapshot, not the one it was planned under.
+        engine = _engine()
+        _load(engine, rows=10)
+        sql = "select count(*) from t"
+        assert engine.execute(sql).scalar() == 10
+        engine.execute("insert into t values (100, 'c', 300)")
+        assert engine.execute(sql).scalar() == 11
+        assert engine.plan_cache.hits == 1
+
+    def test_dml_statements_not_cached(self):
+        engine = _engine()
+        _load(engine)
+        engine.execute("update t set v = v + 1 where id = 1")
+        engine.execute("update t set v = v + 1 where id = 1")
+        assert engine.plan_cache.probes == 0
+        assert len(engine.plan_cache) == 0
+
+    def test_capacity_zero_disables(self):
+        engine = _engine(plan_cache_size=0)
+        _load(engine)
+        sql = "select count(*) from t"
+        engine.execute(sql)
+        engine.execute(sql)
+        assert engine.plan_cache.probes == 0
+        assert len(engine.plan_cache) == 0
+
+    def test_lru_eviction_bounds_size(self):
+        engine = _engine(plan_cache_size=2)
+        _load(engine)
+        for v in range(5):
+            engine.execute(f"select count(*) from t where v > {v}")
+        assert len(engine.plan_cache) == 2
+
+
+class TestStaleness:
+    def test_redefined_table_is_not_served_stale(self):
+        # The staleness bug this PR guards against: redefine a table with a
+        # different column order and re-issue the same SQL text.  A stale
+        # cached plan would read columns at their old positions.
+        engine = _engine()
+        _load(engine)
+        sql = "select id, g, v from t order by id limit 2"
+        before = engine.execute(sql)
+        assert before.rows[0] == (0, "a", 0)
+        engine.execute("drop table t")
+        engine.execute("create table t (id int primary key, v int, g text) "
+                       "with (orientation = column)")
+        engine.execute("insert into t values (0, 7, 'z'), (1, 8, 'y')")
+        after = engine.execute(sql)
+        assert after.columns == ["id", "g", "v"]
+        assert after.rows[0] == (0, "z", 7)
+        assert engine.plan_cache.hits == 0
+
+    def test_drop_alone_invalidates(self):
+        engine = _engine()
+        _load(engine)
+        sql = "select count(*) from t"
+        engine.execute(sql)
+        version = engine.cluster.catalog.version
+        engine.execute("drop table t")
+        assert engine.cluster.catalog.version > version
+        entry = engine.plan_cache.lookup(
+            PlanCache.key_for(sql), engine.cluster.catalog.version,
+            engine.stats.version)
+        assert entry is None
+
+    def test_analyze_invalidates(self):
+        engine = _engine(learning_enabled=False)
+        _load(engine)
+        sql = "select count(*) from t where v > 30"
+        engine.execute(sql)
+        engine.execute("analyze t")
+        engine.execute(sql)
+        # both executions were misses: the ANALYZE bumped stats.version
+        assert engine.plan_cache.hits == 0
+        assert engine.plan_cache.probes == 2
+
+    def test_capture_evicts_so_corrected_estimates_land(self):
+        # Learning loop interplay: run a query whose estimate is wrong, the
+        # producer captures the step, and the *next* run must replan with
+        # the corrected cardinality instead of reusing the cached plan.
+        engine = _engine()
+        _load(engine, rows=60)
+        # skew v so the uniform estimator is off for this predicate
+        engine.execute("update t set v = 0 where id > 5")
+        sql = "select count(*) from t where v > 3"
+        first = engine.execute(sql)
+        assert first.capture is not None and first.capture.captured > 0
+        second = engine.execute(sql)
+        # not a cache hit: the capture evicted the entry and replanning
+        # consulted the corrected actuals
+        assert engine.plan_cache.hits == 0
+        assert second.rows == first.rows
+        assert second.plan_text != first.plan_text  # estimates moved
+
+    def test_steady_state_pins_and_hits(self):
+        engine = _engine()
+        _load(engine)
+        sql = "select g, sum(v) from t group by g order by g"
+        results = [engine.execute(sql) for _ in range(4)]
+        assert all(r.rows == results[0].rows for r in results)
+        # once captures stop, the plan pins in the cache and later runs hit
+        assert engine.plan_cache.hits >= 1
+        assert engine.plan_cache.hit_rate > 0.0
+
+
+class TestPlanCacheUnit:
+    def test_version_mismatch_evicts(self):
+        cache = PlanCache(capacity=4)
+
+        class Entry:
+            catalog_version = 1
+            stats_version = 1
+            step_keys = frozenset()
+        key = PlanCache.key_for("select 1")
+        cache.put(key, Entry())
+        assert cache.lookup(key, 1, 1) is not None
+        assert cache.lookup(key, 2, 1) is None
+        assert len(cache) == 0
+
+    def test_invalidate_steps_intersects(self):
+        cache = PlanCache(capacity=4)
+        from repro.learnopt.store import step_key
+
+        class Entry:
+            catalog_version = 0
+            stats_version = 0
+            step_keys = frozenset({step_key("SCAN t"), step_key("AGG t")})
+        cache.put("k", Entry())
+        assert cache.invalidate_steps(["JOIN x"]) == 0
+        assert cache.invalidate_steps(["SCAN t"]) == 1
+        assert len(cache) == 0
