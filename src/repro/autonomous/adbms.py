@@ -50,10 +50,21 @@ class TickReport:
     #: (0.0 when the cluster has no HTAP manager).
     htap_merges: int = 0
     htap_interval_us: float = 0.0
+    #: Per-DN row-placement skew (max/mean slot count) observed this tick,
+    #: and the slots an autonomous rebalance moved to flatten it (0 when no
+    #: coordinator is attached or the skew is within threshold).
+    shard_skew: float = 0.0
+    rebalance_slots_moved: int = 0
 
 
 class AutonomousManager:
     """Self-configuring / self-optimizing / self-healing controller."""
+
+    #: Slot-count skew (max/mean) above which a tick triggers an online
+    #: rebalance — 1.2 tolerates the remainder slots of a non-dividing DN
+    #: count but reacts to a freshly added slot-less node (adding a 5th DN
+    #: to 4 leaves the old members at exactly 1.25).
+    REBALANCE_SKEW_THRESHOLD = 1.2
 
     def __init__(self, cluster: MppCluster, sla: Optional[Sla] = None,
                  enable_tuning: bool = False, ha=None):
@@ -104,10 +115,21 @@ class AutonomousManager:
         self.anomalies.add_detector(EwmaDetector(
             "disk_read_latency_us", k_sigma=4.0,
             action="probe slow disk"))
-        for dn in self.cluster.dns:
-            self.anomalies.add_detector(HeartbeatDetector(
-                f"heartbeat.{dn.node_id}", timeout_us=5_000_000.0,
-                action=f"failover {dn.node_id}"))
+        self._heartbeat_nodes: set = set()
+        for dn in self._active_dns():
+            self._install_heartbeat(dn)
+
+    def _active_dns(self):
+        active = getattr(self.cluster, "active_dns", None)
+        return list(active()) if active is not None else list(self.cluster.dns)
+
+    def _install_heartbeat(self, dn) -> None:
+        if dn.node_id in self._heartbeat_nodes:
+            return
+        self._heartbeat_nodes.add(dn.node_id)
+        self.anomalies.add_detector(HeartbeatDetector(
+            f"heartbeat.{dn.node_id}", timeout_us=5_000_000.0,
+            action=f"failover {dn.node_id}"))
 
     # -- monitoring -----------------------------------------------------------
 
@@ -123,7 +145,11 @@ class AutonomousManager:
         self.info.record("aborts_total", now_us, stats.aborts)
         self.info.record("gtm_requests", now_us,
                          self.cluster.gtm.stats.total_requests)
-        for dn in self.cluster.dns:
+        for dn in self._active_dns():
+            # A DN added after supervision started gets its heartbeat
+            # detector here (retired DNs stop being recorded — and are
+            # deliberately not watched: silence is expected of them).
+            self._install_heartbeat(dn)
             self.info.record(f"heartbeat.{dn.node_id}", now_us, 1.0)
             self.info.record(f"active_txns.{dn.node_id}", now_us,
                              dn.ltm.active_count)
@@ -172,6 +198,27 @@ class AutonomousManager:
                         t_us=now_us, key="htap.freshness")
             else:
                 report.htap_interval_us = htap.set_interval(interval * 1.25)
+        rebalance = getattr(self.cluster, "rebalance", None)
+        shard_map = getattr(self.cluster.catalog, "shard_map", None)
+        if shard_map is not None:
+            report.shard_skew = shard_map.skew()
+            if (rebalance is not None
+                    and report.shard_skew > self.REBALANCE_SKEW_THRESHOLD
+                    and not shard_map.has_moves()):
+                # Self-healing placement: a skewed slot assignment (fresh
+                # DN, lopsided removal drain) is flattened online.
+                report.rebalance_slots_moved = rebalance.rebalance()
+                if report.rebalance_slots_moved:
+                    self._healing_log.append(
+                        f"rebalance {report.rebalance_slots_moved} slots "
+                        f"(skew {report.shard_skew:.2f})")
+                    if self.alerts is not None:
+                        self.alerts.raise_alert(
+                            source="autonomous", severity="info",
+                            message=(f"shard skew {report.shard_skew:.2f} "
+                                     "exceeded threshold; rebalanced "
+                                     f"{report.rebalance_slots_moved} slots"),
+                            t_us=now_us, key="autonomous.rebalance")
         report.healing_actions = list(self._healing_log)
         if self.tuner is not None:
             metric = self.info.latest("commits_delta")

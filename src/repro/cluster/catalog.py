@@ -7,20 +7,30 @@ data node and records the schema here for routing and SQL planning.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.errors import CatalogError
+from repro.cluster.shardmap import ShardMap
 from repro.storage.table import TableSchema
 
 
 class Catalog:
     """Name -> schema registry, case-insensitive like SQL identifiers."""
 
-    def __init__(self) -> None:
+    def __init__(self, shard_map: Optional[ShardMap] = None) -> None:
         self._schemas: Dict[str, TableSchema] = {}
         #: Bumped on every DDL mutation; cached query plans are pinned to
         #: the version they were built against and discarded on mismatch.
         self.version = 0
+        #: The cluster's versioned slot map (placement + membership).  DDL
+        #: replication keeps it consistent across coordinators in the real
+        #: system; here the MppCluster installs it at construction.
+        self.shard_map = shard_map
+
+    @property
+    def shard_map_version(self) -> int:
+        """Shard-map version for plan pinning (0 when no map is bound)."""
+        return self.shard_map.version if self.shard_map is not None else 0
 
     @staticmethod
     def _norm(name: str) -> str:

@@ -56,6 +56,10 @@ class DataNode:
         #: Set by graceful degradation when this shard's node died with no
         #: promotable standby: reads keep working, writes are refused.
         self.read_only = False
+        #: Set when the node is drained and removed from the shard map's
+        #: active membership (scale-in retires indices in place rather than
+        #: renumbering survivors); routing/scans/HTAP/chaos all skip it.
+        self.retired = False
         #: Optional :class:`repro.obs.Observability` (set by the cluster);
         #: tuple reads, writes and scan rows are counted into it.
         self.obs = obs
@@ -249,7 +253,7 @@ class DataNode:
             yield item
 
     def column_store_snapshot(self, table: str, snapshot: Snapshot,
-                              xid: int = INVALID_XID):
+                              xid: int = INVALID_XID, row_filter=None):
         """This node's slice of ``table`` as a column store, under MVCC.
 
         Plan fragments on column-oriented tables run the vectorized kernels
@@ -260,7 +264,23 @@ class DataNode:
         heap walk.  Tables without HTAP state (or snapshots the chunk set
         cannot serve soundly) fall back to the legacy cold rebuild, counted
         as ``htap.cold_rebuilds`` when HTAP is on.
+
+        ``row_filter`` (values -> bool) forces the heap-walk path with rows
+        dropped when it returns False.  It exists for the transient
+        rebalance window, where a shard-map exclusion hides a slot's
+        partially-copied (or flipped-but-not-yet-truncated) rows on this
+        node; frozen HTAP chunks may still contain them, so composing is
+        not sound here.  Steady state always passes ``None``.
         """
+        if row_filter is not None:
+            from repro.storage.colstore import ColumnStore
+
+            store = ColumnStore(self._schemas[table], compress=False)
+            store.append_rows(values
+                              for _key, values in self.scan(table, snapshot, xid)
+                              if row_filter(values))
+            store.flush()
+            return store
         state = self.htap
         if state is not None and table in state.tables:
             store = state.tables[table].compose(self, snapshot, xid)

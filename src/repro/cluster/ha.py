@@ -276,6 +276,49 @@ class HaManager:
             self.fabric.send(self._primary_name(dn_index),
                              self._standby_name(dn_index), payload)
 
+    # -- membership ----------------------------------------------------------
+
+    def attach_node(self, dn_index: int) -> None:
+        """Stand up replication for a freshly added data node.
+
+        Called by :meth:`MppCluster.add_data_node` — mirrors the per-node
+        constructor block: a new standby pre-seeded with every catalog
+        table, fabric endpoints for both names, and the redo/prepare/resolve
+        hooks wired to the shipping path.
+        """
+        if dn_index != len(self._standbys):
+            raise ConfigError(
+                f"attach_node out of order: expected dn{len(self._standbys)}, "
+                f"got dn{dn_index}")
+        dn = self.cluster.dns[dn_index]
+        standby = StandbyReplica(f"{dn.node_id}-standby")
+        for table in self.cluster.catalog.tables():
+            standby.ensure_table(self.cluster.catalog.schema(table).name)
+        self._standbys.append(standby)
+        self._pending[dn_index] = []
+        self.fabric.register(self._primary_name(dn_index),
+                             lambda src, payload: None)
+        self.fabric.register(self._standby_name(dn_index),
+                             self._standby_handler(dn_index))
+        self.fabric.connect(self._primary_name(dn_index),
+                            self._standby_name(dn_index), self._lan_us)
+        self._wire(dn_index, dn)
+
+    def detach_node(self, dn_index: int) -> None:
+        """Stop replicating for a retired data node.
+
+        The node keeps its index (and its drained, empty shard) but no
+        longer ships redo; queued lag shipments are dropped — the retired
+        node owns no slots, so there is nothing left to protect.
+        """
+        dn = self.cluster.dns[dn_index]
+        dn.replication_hook = None
+        dn.prepare_hook = None
+        dn.resolve_hook = None
+        self._pending[dn_index] = []
+        self.fabric.disconnect(self._primary_name(dn_index),
+                               self._standby_name(dn_index))
+
     # -- bookkeeping ---------------------------------------------------------
 
     def standby(self, dn_index: int) -> StandbyReplica:

@@ -25,6 +25,7 @@ from repro.common.errors import (
 )
 from repro.cluster.catalog import Catalog
 from repro.cluster.datanode import DataNode
+from repro.cluster.shardmap import ShardMap
 from repro.cluster.stats import ClusterStats
 from repro.cluster.txn import (
     GlobalTransaction,
@@ -69,7 +70,11 @@ class MppCluster:
             raise ConfigError("num_cns must be positive")
         self.mode = mode
         self.profile = profile
-        self.catalog = Catalog()
+        #: Versioned hash-slot placement map (the catalog owns it; see
+        #: :mod:`repro.cluster.shardmap`).  A fresh map places rows exactly
+        #: where the seed's direct ``% num_dns`` did, so nothing changes
+        #: until a rebalance actually moves slots.
+        self.catalog = Catalog(shard_map=ShardMap(num_dns))
         #: The cluster-wide telemetry spine: every layer (GTM, data nodes,
         #: transactions, executor, SQL engine) records into this namespace.
         #: ``obs_enabled=False`` drops it entirely (telemetry-overhead
@@ -78,6 +83,8 @@ class MppCluster:
         #: telemetry mode — sampling strides, ring capacities — and is
         #: introspectable at runtime through ``sys.obs_config``.
         self.obs = Observability(config=obs_config) if obs_enabled else None
+        if self.obs is not None:
+            self.obs.bind_shard_map(self.catalog.shard_map)
         self.gtm = GlobalTransactionManager(obs=self.obs)
         self.dns: List[DataNode] = [DataNode(f"dn{i}", i, obs=self.obs)
                                     for i in range(num_dns)]
@@ -99,6 +106,8 @@ class MppCluster:
         self.ha = None
         #: Set by :meth:`repro.faults.FaultInjector.bind`.
         self.faults = None
+        #: Set by :class:`repro.cluster.rebalance.RebalanceCoordinator`.
+        self.rebalance = None
         #: Workload governance (``repro.wlm``): admission control, memory
         #: budgets and cancellation for every statement the SQL engine runs.
         #: ``wlm_enabled=False`` drops it, replaying the ungoverned engine.
@@ -133,12 +142,111 @@ class MppCluster:
         #: Shards degraded to read-only (no promotable standby), by reason.
         self._read_only_shards: Dict[int, str] = {}
 
+    # -- membership -----------------------------------------------------
+
+    def dn_indices(self) -> tuple:
+        """Active DN indices — THE membership read for every layer.
+
+        Retired (scaled-in) nodes keep their positional slot in
+        :attr:`dns` so fabric names, resources and telemetry labels stay
+        stable, but they are absent here and nothing routes to them.
+        """
+        shard_map = self.catalog.shard_map
+        if shard_map is not None:
+            return shard_map.members()
+        return tuple(range(self.num_dns))
+
+    @property
+    def num_active_dns(self) -> int:
+        return len(self.dn_indices())
+
+    def active_dns(self) -> List[DataNode]:
+        return [self.dns[i] for i in self.dn_indices()]
+
+    def add_data_node(self) -> int:
+        """Provision a new, empty DN online and admit it to the shard map.
+
+        The node comes up with every table's heap created, the replicated
+        tables seeded (broadcast-join fragments need the same dimension
+        rows everywhere), HTAP state attached and — when an HaManager is
+        bound — its own standby wired into the ship path.  It owns zero
+        slots until a :class:`~repro.cluster.rebalance.RebalanceCoordinator`
+        moves some to it; writes continue throughout.
+        """
+        index = len(self.dns)
+        dn = DataNode(f"dn{index}", index, obs=self.obs)
+        for table in self.catalog.tables():
+            dn.create_table(self.catalog.schema(table))
+        self.dns.append(dn)
+        self.num_dns = len(self.dns)
+        self.dn_resources.append(self.resources.add(f"dn{index}"))
+        self.catalog.shard_map.add_member(index)
+        if self.htap is not None:
+            self.htap.ensure_node(dn)
+        if self.ha is not None:
+            self.ha.attach_node(index)
+        self._seed_replicated(index)
+        if self.obs is not None:
+            self.obs.metrics.counter("cluster.dns_added").inc()
+            self.obs.alerts.raise_alert(
+                source="cluster", severity="info",
+                message=f"dn{index} joined the cluster (0 slots until "
+                        f"rebalance)",
+                t_us=self.obs.clock.now_us, key=f"dn_added:dn{index}")
+        return index
+
+    def retire_data_node(self, dn_index: int) -> None:
+        """Remove a *drained* DN from active membership (retire in place).
+
+        The shard map refuses to retire a node that still owns slots —
+        run ``cluster.rebalance.remove_dn(dn_index)`` to drain it online
+        first.  The DataNode object stays in :attr:`dns` (indices of the
+        survivors never shift) but no scan, write, HTAP tick or chaos
+        helper touches it again.
+        """
+        self.catalog.shard_map.remove_member(dn_index)
+        dn = self.dns[dn_index]
+        dn.retired = True
+        self._read_only_shards.pop(dn_index, None)
+        if self.ha is not None:
+            self.ha.detach_node(dn_index)
+        if self.obs is not None:
+            self.obs.metrics.counter("cluster.dns_retired").inc()
+            self.obs.alerts.raise_alert(
+                source="cluster", severity="info",
+                message=f"dn{dn_index} drained and retired",
+                t_us=self.obs.clock.now_us, key=f"dn_retired:dn{dn_index}")
+
+    def _seed_replicated(self, dn_index: int) -> None:
+        """Copy replicated tables onto a newly added node from a donor."""
+        from repro.storage.table import Distribution
+
+        target = self.dns[dn_index]
+        donors = [i for i in self.dn_indices()
+                  if i != dn_index and not self.dns[i].crashed]
+        if not donors:
+            return
+        donor = self.dns[donors[0]]
+        for table in self.catalog.tables():
+            schema = self.catalog.schema(table)
+            if schema.distribution is not Distribution.REPLICATION:
+                continue
+            rows = list(donor.scan(table, donor.local_snapshot()))
+            if not rows:
+                continue
+            xid = target.begin()
+            snapshot = target.local_snapshot()
+            for _key, values in rows:
+                target.insert(table, dict(values), xid, snapshot)
+            target.commit(xid)
+
     # -- DDL ------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.register(schema)
         for dn in self.dns:
-            dn.create_table(schema)
+            if not dn.retired:
+                dn.create_table(schema)
         if self.htap is not None:
             self.htap.register_table(schema)
 
@@ -148,7 +256,8 @@ class MppCluster:
         if self.htap is not None:
             self.htap.unregister_table(schema.name)
         for dn in self.dns:
-            dn.drop_table(schema.name)
+            if not dn.retired:
+                dn.drop_table(schema.name)
 
     # -- sessions -----------------------------------------------------------
 
@@ -180,6 +289,8 @@ class MppCluster:
         """
         if not (0 <= dn_index < self.num_dns):
             raise ConfigError(f"no data node {dn_index}")
+        if self.dns[dn_index].retired:
+            raise ConfigError(f"dn{dn_index} is retired")
         if self.obs is not None:
             self.obs.metrics.counter("faults.nodes_declared_dead").inc()
             self.obs.alerts.raise_alert(
@@ -240,7 +351,7 @@ class MppCluster:
     def vacuum(self) -> int:
         """Run a cluster-wide vacuum using each node's current snapshot."""
         removed = 0
-        for dn in self.dns:
+        for dn in self.active_dns():
             snapshot = dn.local_snapshot()
             for table in self.catalog.tables():
                 if dn.has_table(table):
@@ -248,7 +359,8 @@ class MppCluster:
         return removed
 
     def truncate_lcos(self, keep_last: int = 1024) -> int:
-        return sum(dn.ltm.truncate_lco(keep_last) for dn in self.dns)
+        return sum(dn.ltm.truncate_lco(keep_last)
+                   for dn in self.active_dns())
 
     def maybe_prune_lcos(self) -> None:
         """Amortized LCO garbage collection, driven by commit traffic.
@@ -262,7 +374,7 @@ class MppCluster:
             return
         self._completed_since_prune = 0
         horizon = self.gtm.snapshot_horizon()
-        for dn in self.dns:
+        for dn in self.active_dns():
             dn.ltm.prune_lco(horizon)
 
     def reset_telemetry(self) -> None:
@@ -282,6 +394,8 @@ class MppCluster:
             self.wlm.reset_history()   # idempotent with the obs.reset path
         if self.htap is not None:
             self.htap.reset_history()  # idempotent with the obs.reset path
+        if self.rebalance is not None:
+            self.rebalance.reset_history()  # idempotent with obs.reset
         self.gtm.stats.reset()
         self._session_seq = 0
         self._next_session = 0

@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.common.errors import (
     InvalidTransactionState,
+    StorageError,
     TransactionAborted,
     TransactionError,
 )
@@ -54,7 +55,7 @@ from repro.obs.waits import (
     WAIT_LOCK_CONFLICT,
     WAIT_MERGE_UPGRADE,
 )
-from repro.storage.table import Distribution
+from repro.storage.table import Distribution, shard_of_value
 from repro.txn.snapshot import Snapshot
 from repro.txn.status import TxnStatus
 
@@ -255,12 +256,60 @@ class _BaseTransaction:
     def _schema(self, table: str):
         return self._cluster.catalog.schema(table)
 
-    def _shard_for_row(self, table: str, row: Dict[str, object]) -> int:
+    # Row/key routing goes through the catalog's versioned ShardMap (value
+    # -> hash slot -> owning DN); clusters without one (none in practice)
+    # fall back to the legacy direct modulus.  ``_route_*`` additionally
+    # reports the slot's move target when a rebalance has the slot in its
+    # double-write window.
+
+    def _route_value(self, value) -> Tuple[int, Optional[int]]:
+        shard_map = self._cluster.catalog.shard_map
+        if shard_map is None:
+            return shard_of_value(value, self._cluster.num_dns), None
+        slot = shard_map.slot_of_value(value)
+        return shard_map.owner_of_slot(slot), shard_map.moving_target(slot)
+
+    def _route_row(self, table: str,
+                   row: Dict[str, object]) -> Tuple[int, Optional[int]]:
         schema = self._schema(table)
-        return schema.shard_of(schema.coerce_row(row), self._cluster.num_dns)
+        if schema.distribution is Distribution.REPLICATION:
+            raise StorageError(
+                f"table {schema.name} is replicated; no single shard")
+        coerced = schema.coerce_row(row)
+        return self._route_value(coerced[schema.distribution_column])
+
+    def _route_key(self, table: str, key: object) -> Tuple[int, Optional[int]]:
+        return self._route_value(self._schema(table).dist_value_of_key(key))
+
+    def _shard_for_row(self, table: str, row: Dict[str, object]) -> int:
+        return self._route_row(table, row)[0]
 
     def _shard_for_key(self, table: str, key: object) -> int:
-        return self._schema(table).shard_of_key(key, self._cluster.num_dns)
+        return self._route_key(table, key)[0]
+
+    def _scan_filter(self, table: str, dn_index: int):
+        """Row predicate hiding shard-map-excluded slots on this node.
+
+        ``None`` — the steady-state answer — means the caller's fast path
+        runs untouched.  Non-None only inside a rebalance window, where a
+        node holds rows for a slot it does not (yet / any longer) own.
+        """
+        shard_map = self._cluster.catalog.shard_map
+        if shard_map is None:
+            return None
+        excluded = shard_map.excluded_slots(dn_index)
+        if not excluded:
+            return None
+        schema = self._schema(table)
+        if schema.distribution is Distribution.REPLICATION:
+            return None
+        column = schema.distribution_column
+        slot_of = shard_map.slot_of_value
+
+        def keep(values: Dict[str, object]) -> bool:
+            return slot_of(values[column]) not in excluded
+
+        return keep
 
     def _sync_obs(self) -> None:
         """Pull the shared sim clock forward to this client's cursor."""
@@ -398,6 +447,24 @@ class LocalTransaction(_BaseTransaction):
             raise TransactionAborted(self.poisoned)
         return dn
 
+    def _local_write_target(self, schema, table: str, key: object) -> int:
+        """Route a single-shard point write, promoting when it cannot stay
+        single-shard (replicated table on a multi-node cluster, or a slot
+        inside a rebalance double-write window)."""
+        if schema.distribution is Distribution.REPLICATION:
+            if self._cluster.num_active_dns > 1:
+                raise TransactionPromotionRequired(
+                    "writing a replicated table is a multi-shard operation"
+                )
+            return self._cluster.dn_indices()[0]
+        owner, moving = self._route_key(table, key)
+        if moving is not None:
+            raise TransactionPromotionRequired(
+                "slot is rebalancing; the write must double-write to "
+                "source and target"
+            )
+        return owner
+
     # -- operations ----------------------------------------------------------
 
     def read(self, table: str, key: object) -> Optional[Dict[str, object]]:
@@ -405,7 +472,8 @@ class LocalTransaction(_BaseTransaction):
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            dn = self._bind(self._dn_index if self._dn_index is not None else 0)
+            dn = self._bind(self._dn_index if self._dn_index is not None
+                            else self._cluster.dn_indices()[0])
         else:
             dn = self._bind(self._shard_for_key(table, key))
         self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
@@ -418,13 +486,19 @@ class LocalTransaction(_BaseTransaction):
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            if self._cluster.num_dns > 1:
+            if self._cluster.num_active_dns > 1:
                 raise TransactionPromotionRequired(
                     "writing a replicated table is a multi-shard operation"
                 )
-            dn = self._bind(0)
+            dn = self._bind(self._cluster.dn_indices()[0])
         else:
-            dn = self._bind(self._shard_for_row(table, row))
+            owner, moving = self._route_row(table, row)
+            if moving is not None:
+                raise TransactionPromotionRequired(
+                    "slot is rebalancing; the write must double-write to "
+                    "source and target"
+                )
+            dn = self._bind(owner)
         self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
         self._nw_apply += 1
         self._last_wait_event = WAIT_DN_APPLY
@@ -434,12 +508,7 @@ class LocalTransaction(_BaseTransaction):
         self._require_running()
         self._charge_cn()
         schema = self._schema(table)
-        if schema.distribution is Distribution.REPLICATION and self._cluster.num_dns > 1:
-            raise TransactionPromotionRequired(
-                "writing a replicated table is a multi-shard operation"
-            )
-        dn = self._bind(self._shard_for_key(table, key)
-                        if schema.distribution is not Distribution.REPLICATION else 0)
+        dn = self._bind(self._local_write_target(schema, table, key))
         self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
         self._nw_apply += 1
         self._last_wait_event = WAIT_DN_APPLY
@@ -449,12 +518,7 @@ class LocalTransaction(_BaseTransaction):
         self._require_running()
         self._charge_cn()
         schema = self._schema(table)
-        if schema.distribution is Distribution.REPLICATION and self._cluster.num_dns > 1:
-            raise TransactionPromotionRequired(
-                "writing a replicated table is a multi-shard operation"
-            )
-        dn = self._bind(self._shard_for_key(table, key)
-                        if schema.distribution is not Distribution.REPLICATION else 0)
+        dn = self._bind(self._local_write_target(schema, table, key))
         self._charge_dn_stmt(dn.index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
         self._nw_apply += 1
         self._last_wait_event = WAIT_DN_APPLY
@@ -463,12 +527,19 @@ class LocalTransaction(_BaseTransaction):
     def scan(self, table: str) -> Iterator[Tuple[object, Dict[str, object]]]:
         self._require_running()
         schema = self._schema(table)
-        if schema.distribution is not Distribution.REPLICATION and self._cluster.num_dns > 1:
+        if (schema.distribution is not Distribution.REPLICATION
+                and self._cluster.num_active_dns > 1):
             raise TransactionPromotionRequired(
                 f"scanning hash-distributed table {table} spans all shards"
             )
-        dn = self._bind(self._dn_index if self._dn_index is not None else 0)
-        return dn.scan(table, self.snapshot, self.xid)
+        dn = self._bind(self._dn_index if self._dn_index is not None
+                        else self._cluster.dn_indices()[0])
+        keep = self._scan_filter(table, dn.index)
+        if keep is None:
+            return dn.scan(table, self.snapshot, self.xid)
+        return ((key, values)
+                for key, values in dn.scan(table, self.snapshot, self.xid)
+                if keep(values))
 
     # -- completion --------------------------------------------------------
 
@@ -620,7 +691,8 @@ class GlobalTransaction(_BaseTransaction):
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            dn_index = min(self._local_xid) if self._local_xid else 0
+            dn_index = (min(self._local_xid) if self._local_xid
+                        else self._cluster.dn_indices()[0])
         else:
             dn_index = self._shard_for_key(table, key)
         dn, lxid, view = self._attach(dn_index)
@@ -629,60 +701,85 @@ class GlobalTransaction(_BaseTransaction):
         self._last_wait_event = WAIT_DN_SCAN
         return dn.read(table, key, view, lxid)
 
+    def _apply_on(self, dn_index: int, op) -> None:
+        """Charge + apply one write statement on one participant."""
+        dn, lxid, view = self._attach(dn_index)
+        self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
+        self._nw_apply += 1
+        self._last_wait_event = WAIT_DN_APPLY
+        op(dn, lxid, view)
+        self._written.add(dn_index)
+
     def insert(self, table: str, row: Dict[str, object]) -> None:
         self._require_running()
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            targets = range(self._cluster.num_dns)
-        else:
-            targets = [self._shard_for_row(table, row)]
-        for dn_index in targets:
-            dn, lxid, view = self._attach(dn_index)
-            self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-            self._nw_apply += 1
-            self._last_wait_event = WAIT_DN_APPLY
-            dn.insert(table, row, lxid, view)
-            self._written.add(dn_index)
+            for dn_index in self._cluster.dn_indices():
+                self._apply_on(dn_index, lambda dn, lxid, view:
+                               dn.insert(table, row, lxid, view))
+            return
+        owner, moving = self._route_row(table, row)
+        self._apply_on(owner, lambda dn, lxid, view:
+                       dn.insert(table, row, lxid, view))
+        if moving is not None:
+            # Double-write window: the slot's rows are being copied to a
+            # new owner; a fresh key cannot have been snapshot-copied yet,
+            # so a plain insert lands it on the target too.  2PC makes the
+            # pair atomic.
+            self._apply_on(moving, lambda dn, lxid, view:
+                           dn.insert(table, row, lxid, view))
 
     def update(self, table: str, key: object, values: Dict[str, object]) -> None:
         self._require_running()
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            targets = range(self._cluster.num_dns)
-        else:
-            targets = [self._shard_for_key(table, key)]
-        for dn_index in targets:
-            dn, lxid, view = self._attach(dn_index)
-            self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-            self._nw_apply += 1
-            self._last_wait_event = WAIT_DN_APPLY
-            dn.update(table, key, values, lxid, view)
-            self._written.add(dn_index)
+            for dn_index in self._cluster.dn_indices():
+                self._apply_on(dn_index, lambda dn, lxid, view:
+                               dn.update(table, key, values, lxid, view))
+            return
+        owner, moving = self._route_key(table, key)
+        self._apply_on(owner, lambda dn, lxid, view:
+                       dn.update(table, key, values, lxid, view))
+        if moving is not None:
+            # The target may not hold the row yet (snapshot copy still in
+            # flight), so the double-write is an upsert of the post-update
+            # image read back from the owner (own writes are visible).
+            dn, lxid, view = self._attach(owner)
+            image = dn.read(table, key, view, lxid)
+            if image is not None:
+                self._apply_on(moving, lambda dn, lxid, view:
+                               dn.update(table, key, dict(image), lxid, view)
+                               if dn.read(table, key, view, lxid) is not None
+                               else dn.insert(table, dict(image), lxid, view))
 
     def delete(self, table: str, key: object) -> None:
         self._require_running()
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            targets = range(self._cluster.num_dns)
-        else:
-            targets = [self._shard_for_key(table, key)]
-        for dn_index in targets:
-            dn, lxid, view = self._attach(dn_index)
-            self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
-            self._nw_apply += 1
-            self._last_wait_event = WAIT_DN_APPLY
-            dn.delete(table, key, lxid, view)
-            self._written.add(dn_index)
+            for dn_index in self._cluster.dn_indices():
+                self._apply_on(dn_index, lambda dn, lxid, view:
+                               dn.delete(table, key, lxid, view))
+            return
+        owner, moving = self._route_key(table, key)
+        self._apply_on(owner, lambda dn, lxid, view:
+                       dn.delete(table, key, lxid, view))
+        if moving is not None:
+            # Delete the target's copy only if the snapshot copy (or an
+            # earlier double-write) already landed it there.
+            self._apply_on(moving, lambda dn, lxid, view:
+                           dn.delete(table, key, lxid, view)
+                           if dn.read(table, key, view, lxid) is not None
+                           else None)
 
     def scan(self, table: str) -> Iterator[Tuple[object, Dict[str, object]]]:
         self._require_running()
         self._charge_cn()
         schema = self._schema(table)
         if schema.distribution is Distribution.REPLICATION:
-            dn, lxid, view = self._attach(0)
+            dn, lxid, view = self._attach(self._cluster.dn_indices()[0])
             yield from dn.scan(table, view, lxid)
             return
         # The data nodes scan their shards concurrently: the coordinator
@@ -690,11 +787,11 @@ class GlobalTransaction(_BaseTransaction):
         # client's cursor advances by the max across DNs, not the serial
         # sum.  Each node's service time is still attributed individually
         # in sys.wait_events.
-        handles = [self._attach(dn_index)
-                   for dn_index in range(self._cluster.num_dns)]
+        indices = self._cluster.dn_indices()
+        handles = [self._attach(dn_index) for dn_index in indices]
         start_us = self._ctx.t_us if self._ctx is not None else 0.0
         end_us = start_us
-        for dn_index in range(self._cluster.num_dns):
+        for dn_index in indices:
             if self._ctx is not None:
                 self._ctx.t_us = start_us
                 self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us)
@@ -705,7 +802,13 @@ class GlobalTransaction(_BaseTransaction):
             self._ctx.t_us = end_us
             self._sync_obs()
         for dn, lxid, view in handles:
-            yield from dn.scan(table, view, lxid)
+            keep = self._scan_filter(table, dn.index)
+            if keep is None:
+                yield from dn.scan(table, view, lxid)
+            else:
+                for key, values in dn.scan(table, view, lxid):
+                    if keep(values):
+                        yield key, values
 
     def scan_shard(self, table: str,
                    dn_index: int) -> Iterator[Tuple[object, Dict[str, object]]]:
@@ -717,7 +820,13 @@ class GlobalTransaction(_BaseTransaction):
         self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
         self._nw_scan += 1
         self._last_wait_event = WAIT_DN_SCAN
-        yield from dn.scan(table, view, lxid)
+        keep = self._scan_filter(table, dn.index)
+        if keep is None:
+            yield from dn.scan(table, view, lxid)
+        else:
+            for key, values in dn.scan(table, view, lxid):
+                if keep(values):
+                    yield key, values
 
     def shard_column_store(self, table: str, dn_index: int):
         """One node's slice of ``table`` as a column-store MVCC snapshot,
@@ -727,7 +836,8 @@ class GlobalTransaction(_BaseTransaction):
         self._charge_dn_stmt(dn_index, self._ctx.model.dn_stmt_us if self._ctx else 0.0)
         self._nw_scan += 1
         self._last_wait_event = WAIT_DN_SCAN
-        return dn.column_store_snapshot(table, view, lxid)
+        return dn.column_store_snapshot(
+            table, view, lxid, row_filter=self._scan_filter(table, dn.index))
 
     # -- completion ----------------------------------------------------------
 

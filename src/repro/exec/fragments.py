@@ -40,12 +40,18 @@ class Locus:
     * ``singleton`` — one stream on the coordinator (already gathered);
     * ``replicated`` — a full copy on every data node, so any one node
       (or the coordinator-side gather-all source) can serve it;
-    * ``hash`` — partitioned across data nodes.  ``key`` is the canonical
-      upper-cased text of the partitioning column *in the current output
-      schema* (``None`` when partitioned but on no surviving column), and
-      ``key_type`` its data type — both feed co-location checks, where the
-      hash function is type-sensitive (ints distribute by modulo,
-      everything else by repr-hash).
+    * ``hash`` — partitioned across data nodes by the cluster's versioned
+      shard map (value → hash slot → owning DN;
+      :mod:`repro.cluster.shardmap`).  ``key`` is the canonical upper-cased
+      text of the partitioning column *in the current output schema*
+      (``None`` when partitioned but on no surviving column), and
+      ``key_type`` its data type — both feed co-location checks.  Two hash
+      loci are co-located exactly when their keys share the same *slot
+      assignment*: the slot function is type-sensitive (ints slot by
+      modulo, everything else by repr-hash), and every slot has one owner
+      in the map, so equal keys of equal type always land on the same DN —
+      even mid-rebalance, because a slot's owner flips atomically for all
+      tables at once.
     """
 
     kind: str                          # 'singleton' | 'replicated' | 'hash'

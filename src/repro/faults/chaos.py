@@ -34,6 +34,8 @@ from repro.faults.injector import (
     FP_HTAP_MERGE,
     FP_PREPARE_AFTER,
     FP_PREPARE_BEFORE,
+    FP_REBALANCE_COPY,
+    FP_REBALANCE_FLIP,
     FP_REPLICATE,
     FaultInjector,
     FaultRule,
@@ -56,6 +58,36 @@ FAULT_MENU = (
     (FP_GTM_COMMIT, ACT_TIMEOUT, False),
     (FP_REPLICATE, ACT_PARTITION, True),
 )
+
+# The resharding menu (``tests/property/test_chaos_rebalance.py``): faults
+# against the rebalance coordinator's copy and flip steps, plus 2PC faults
+# that land inside the double-write window.  A coordinator killed mid-move
+# must leave an unambiguous slot owner and — after ``recover_cluster`` plus
+# ``RebalanceCoordinator.recover`` — neither lose nor duplicate a row.
+REBALANCE_FAULT_MENU = (
+    (FP_REBALANCE_COPY, ACT_CRASH_COORDINATOR, False),
+    (FP_REBALANCE_COPY, ACT_TIMEOUT, False),
+    (FP_REBALANCE_COPY, ACT_DROP, False),
+    (FP_REBALANCE_FLIP, ACT_CRASH_COORDINATOR, False),
+    (FP_REBALANCE_FLIP, ACT_TIMEOUT, False),
+    (FP_PREPARE_BEFORE, ACT_CRASH_DN, True),
+    (FP_CONFIRM_BEFORE, ACT_TIMEOUT, True),
+    (FP_COORD_AFTER_PREPARE, ACT_CRASH_COORDINATOR, False),
+)
+
+
+def arm_random_rebalance_faults(injector: FaultInjector, rng: random.Random,
+                                num_dns: int,
+                                max_faults: int = 2) -> List[FaultRule]:
+    """Arm 1..max_faults rules drawn from :data:`REBALANCE_FAULT_MENU`."""
+    rules = []
+    for _ in range(rng.randint(1, max_faults)):
+        failpoint, action, node_scoped = rng.choice(REBALANCE_FAULT_MENU)
+        match = {"dn": rng.randrange(num_dns)} if node_scoped else None
+        times = rng.choice((1, 1, 2)) if action in (ACT_TIMEOUT, ACT_DROP) else 1
+        rules.append(injector.arm(failpoint, action, times=times, match=match))
+    return rules
+
 
 # The HTAP menu (``tests/property/test_chaos_htap.py``): faults against the
 # delta-merge daemon.  A crash mid-merge must lose no rows and leave no
@@ -105,20 +137,30 @@ def recover_cluster(cluster) -> None:
     """Bring a post-chaos cluster back to a clean, fully-resolved state.
 
     Heals every standby partition (draining lag queues), fails over every
-    crashed node, and resolves all remaining in-doubt transactions.  After
-    this returns, ``recovery.in_doubt_count(cluster) == 0`` must hold.
+    crashed node, resolves all remaining in-doubt transactions, and rolls
+    any interrupted rebalance move forward or back
+    (:meth:`repro.cluster.rebalance.RebalanceCoordinator.recover`).  After
+    this returns, ``recovery.in_doubt_count(cluster) == 0`` must hold and
+    every shard-map slot has exactly one settled owner.
+
+    Retired nodes are skipped throughout: they own no slots, ship no redo,
+    and :meth:`MppCluster.declare_node_dead` refuses them by design.
     """
     from repro.cluster.recovery import resolve_in_doubt
 
     faults = getattr(cluster, "faults", None)
     if faults is not None:
         faults.disarm_all()      # recovery itself runs fault-free
+    active = list(getattr(cluster, "dn_indices", lambda: range(cluster.num_dns))())
     ha = getattr(cluster, "ha", None)
     if ha is not None:
-        for i in range(cluster.num_dns):
+        for i in active:
             if ha.standby_partitioned(i):
                 ha.heal_standby(i)
-    for i, dn in enumerate(cluster.dns):
-        if getattr(dn, "crashed", False):
+    for i in active:
+        if getattr(cluster.dns[i], "crashed", False):
             cluster.declare_node_dead(i, reason="post-chaos sweep")
     resolve_in_doubt(cluster)
+    rebalance = getattr(cluster, "rebalance", None)
+    if rebalance is not None:
+        rebalance.recover()

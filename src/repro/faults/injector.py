@@ -79,6 +79,14 @@ FP_HTAP_MERGE = "htap.merge"
 #: The HTAP merge daemon's per-node tick; a timeout here stalls merges on
 #: that node, letting tests bound freshness-lag behavior under daemon loss.
 FP_HTAP_FRESHNESS = "htap.freshness"
+#: One table's slot snapshot-copy during an online rebalance, fired before
+#: the copied rows commit on the move target — a coordinator crash here
+#: leaves a partial (scan-excluded) copy that recovery must roll back.
+FP_REBALANCE_COPY = "rebalance.copy"
+#: The atomic slot-owner flip at the end of a move's catch-up window — a
+#: coordinator crash just before it leaves the double-write window open,
+#: and recovery must roll the move forward (copy is already complete).
+FP_REBALANCE_FLIP = "rebalance.flip"
 
 ALL_FAILPOINTS = (
     FP_PREPARE_BEFORE, FP_PREPARE_AFTER, FP_COORD_AFTER_PREPARE,
@@ -87,6 +95,7 @@ ALL_FAILPOINTS = (
     FP_REPLICATE, FP_PREPARE_SHIP,
     FP_WLM_ADMIT, FP_WLM_SPILL,
     FP_HTAP_MERGE, FP_HTAP_FRESHNESS,
+    FP_REBALANCE_COPY, FP_REBALANCE_FLIP,
 )
 
 # -- actions ------------------------------------------------------------------

@@ -97,7 +97,8 @@ class HtapManager:
             return
         self._schemas[schema.name] = schema
         for dn in self.cluster.dns:
-            self._attach_table(dn, schema)
+            if not dn.retired:
+                self._attach_table(dn, schema)
 
     def unregister_table(self, name: str) -> None:
         self._schemas.pop(name, None)
@@ -143,7 +144,7 @@ class HtapManager:
         self._in_tick = True
         faults = getattr(self.cluster, "faults", None)
         for dn in self.cluster.dns:
-            if dn.crashed:
+            if dn.crashed or dn.retired:
                 continue
             self.ensure_node(dn)
             if dn.htap is None:
@@ -252,7 +253,7 @@ class HtapManager:
         now = now_us if now_us is not None else self._now_us()
         lag = 0.0
         for dn in self.cluster.dns:
-            if dn.htap is None:
+            if dn.htap is None or dn.retired:
                 continue
             for store in dn.htap.tables.values():
                 lag = max(lag, store.freshness_lag_us(now))
@@ -260,7 +261,8 @@ class HtapManager:
 
     def delta_rows(self) -> int:
         return sum(len(store.delta)
-                   for dn in self.cluster.dns if dn.htap is not None
+                   for dn in self.cluster.dns
+                   if dn.htap is not None and not dn.retired
                    for store in dn.htap.tables.values())
 
     def table_rows(self) -> List[tuple]:
@@ -268,7 +270,7 @@ class HtapManager:
         now = self._now_us()
         rows = []
         for dn in self.cluster.dns:
-            if dn.htap is None:
+            if dn.htap is None or dn.retired:
                 continue
             for name in sorted(dn.htap.tables):
                 store = dn.htap.tables[name]

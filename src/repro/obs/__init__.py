@@ -85,6 +85,12 @@ class Observability:
         #: Optional :class:`repro.htap.HtapManager`, bound late for the
         #: same reason; serves ``sys.htap_tables`` / ``sys.htap_merges``.
         self.htap = None
+        #: Optional :class:`repro.cluster.shardmap.ShardMap` (bound by the
+        #: cluster at construction); serves ``sys.shard_map``.
+        self.shard_map = None
+        #: Optional :class:`repro.cluster.rebalance.RebalanceCoordinator`,
+        #: bound late like the others; serves ``sys.rebalance``.
+        self.rebalance = None
 
     def bind_faults(self, injector) -> None:
         self.faults = injector
@@ -94,6 +100,12 @@ class Observability:
 
     def bind_htap(self, manager) -> None:
         self.htap = manager
+
+    def bind_shard_map(self, shard_map) -> None:
+        self.shard_map = shard_map
+
+    def bind_rebalance(self, coordinator) -> None:
+        self.rebalance = coordinator
 
     def advance_to(self, t_us: float) -> None:
         """Sync the shared clock to a session's simulated-time cursor.
@@ -122,6 +134,8 @@ class Observability:
             self.wlm.reset_history()
         if self.htap is not None:
             self.htap.reset_history()
+        if self.rebalance is not None:
+            self.rebalance.reset_history()
         self.clock.reset()
 
 

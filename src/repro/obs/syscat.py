@@ -31,6 +31,11 @@ Views:
   charged, worst commit-to-merge lag per merge.
 * ``sys.trace_spans``  — finished spans stitched into trace trees: one row
   per span with its trace id, tree depth and executing node.
+* ``sys.shard_map``    — the versioned slot table: one row per hash slot
+  with its owner, in-flight move target and scan exclusions
+  (``repro.cluster.shardmap``).
+* ``sys.rebalance``    — online-resharding move history: state, rows
+  copied/truncated, begin/flip/end timestamps (``repro.cluster.rebalance``).
 * ``sys.wait_samples`` — the sampled wait-event detail ring (deterministic
   1-in-N capture of the high-frequency events; see ``sys.obs_config``).
 * ``sys.wait_sampling``— per-event sampling accounting: stride, events
@@ -201,6 +206,23 @@ class SystemCatalog:
             self._htap_table_rows,
         )
         self._register(
+            "shard_map",
+            [("slot", DataType.BIGINT), ("owner", DataType.BIGINT),
+             ("moving_to", DataType.BIGINT),
+             ("excluded_on", DataType.TEXT)],
+            self._shard_map_rows,
+        )
+        self._register(
+            "rebalance",
+            [("move_id", DataType.BIGINT), ("source", DataType.BIGINT),
+             ("target", DataType.BIGINT), ("slots", DataType.BIGINT),
+             ("state", DataType.TEXT), ("rows_copied", DataType.BIGINT),
+             ("rows_truncated", DataType.BIGINT),
+             ("t_begin_us", DataType.DOUBLE), ("t_flip_us", DataType.DOUBLE),
+             ("t_end_us", DataType.DOUBLE)],
+            self._rebalance_rows,
+        )
+        self._register(
             "htap_merges",
             [("merge_id", DataType.BIGINT), ("dn", DataType.BIGINT),
              ("table_name", DataType.TEXT), ("t_us", DataType.DOUBLE),
@@ -294,6 +316,16 @@ class SystemCatalog:
         if self.obs.wlm is None:
             return []
         return self.obs.wlm.queue_rows()
+
+    def _shard_map_rows(self) -> Iterable[tuple]:
+        if self.obs.shard_map is None:
+            return []
+        return self.obs.shard_map.rows()
+
+    def _rebalance_rows(self) -> Iterable[tuple]:
+        if self.obs.rebalance is None:
+            return []
+        return self.obs.rebalance.rows()
 
     def _htap_table_rows(self) -> Iterable[tuple]:
         if self.obs.htap is None:

@@ -62,6 +62,12 @@ WAIT_WLM_SPILL = "wlm_spill"
 #: HTAP delta merge storage I/O (read old chunks + delta, write new
 #: chunks); attributed to the data node that merged.
 WAIT_HTAP_MERGE = "htap_merge"
+#: Online-resharding snapshot copy I/O (read the moving slots on the
+#: source, write them on the target); attributed to the move target.
+WAIT_REBALANCE_COPY = "rebalance_copy"
+#: Online-resharding source truncation I/O after the owner flip;
+#: attributed to the move source.
+WAIT_REBALANCE_TRUNCATE = "rebalance_truncate"
 
 ALL_WAIT_EVENTS = (
     WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL, WAIT_MERGE_UPGRADE,
@@ -70,6 +76,7 @@ ALL_WAIT_EVENTS = (
     WAIT_LOCK_CONFLICT,
     WAIT_FAULT_RETRY, WAIT_FAULT_FAILOVER, WAIT_FAULT_DELAY,
     WAIT_WLM_QUEUE, WAIT_WLM_SPILL, WAIT_HTAP_MERGE,
+    WAIT_REBALANCE_COPY, WAIT_REBALANCE_TRUNCATE,
 )
 
 

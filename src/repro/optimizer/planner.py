@@ -35,7 +35,7 @@ into one observation per logical step).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import PlanningError
 from repro.exec.fragments import (
@@ -109,12 +109,22 @@ class PhysicalPlanner:
         table_schema: Optional[Callable[[str], object]] = None,
         cost_model=None,
         fragmented: bool = False,
+        dn_indices: Optional[Sequence[int]] = None,
     ):
         self.estimator = estimator
         self.scan_source = scan_source
         self.table_function_rows = table_function_rows
         self.insert_exchanges = insert_exchanges
-        self.num_dns = max(1, int(num_dns))
+        #: Active DN indices fragments are scheduled on.  With a shard map
+        #: the membership can be sparse (retired indices absent) and grow
+        #: (added DNs) — the engine passes ``cluster.dn_indices()`` so
+        #: fragment fan-out follows live membership, not ``range(num_dns)``.
+        if dn_indices is not None:
+            self.dn_indices: Tuple[int, ...] = tuple(dn_indices)
+            self.num_dns = max(1, len(self.dn_indices))
+        else:
+            self.num_dns = max(1, int(num_dns))
+            self.dn_indices = tuple(range(self.num_dns))
         #: ``table -> TableSchema`` resolver; required for fragmenting
         #: (distribution metadata drives the cut).
         self.table_schema = table_schema
@@ -273,7 +283,7 @@ class PhysicalPlanner:
 
         def make() -> PExchange:
             frags = [PFragment(builder(i), dn_index=i, group_id=gid)
-                     for i in range(self.num_dns)]
+                     for i in self.dn_indices]
             return PExchange(kind, frags, estimated_rows=est,
                              cost_model=self.cost_model)
 
@@ -529,9 +539,13 @@ class PhysicalPlanner:
     def _colocated(ll: Locus, rl: Locus, left_keys, right_keys) -> bool:
         """Both sides hash-partitioned on a matching equi-key pair.
 
-        The type check guards the hash function's type sensitivity: ints
-        route by modulo, everything else by repr-hash, so a cross-type
-        equi-join of identical values could still land on different nodes.
+        Co-location means *same slot assignment*: every hash-distributed
+        table routes value -> slot -> owning DN through the cluster's one
+        ShardMap, so two sides keyed on equal values always share a node
+        regardless of how slots are spread across members.  The type check
+        guards the slot hash's type sensitivity: ints route by modulo,
+        everything else by repr-hash, so a cross-type equi-join of
+        identical values could still land in different slots.
         """
         if ll.kind != "hash" or rl.kind != "hash":
             return False

@@ -153,7 +153,8 @@ class SqlEngine:
         if self.plan_cache.capacity:
             key = PlanCache.key_for(sql)
             entry = self.plan_cache.lookup(
-                key, self.cluster.catalog.version, self.stats.version)
+                key, self.cluster.catalog.version, self.stats.version,
+                self.cluster.catalog.shard_map_version)
             self._cache_key = key
             if entry is not None:
                 self._cached = entry
@@ -418,6 +419,7 @@ class SqlEngine:
         return PhysicalPlanner(
             estimator, scan_source, table_function_rows,
             num_dns=self.cluster.num_dns,
+            dn_indices=getattr(self.cluster, "dn_indices", lambda: None)(),
             table_schema=self.cluster.catalog.schema,
             cost_model=getattr(getattr(self.cluster, "profile", None),
                                "mpp", None),
@@ -521,7 +523,8 @@ class SqlEngine:
                           if op.step_text is not None]
             self.plan_cache.put(cache_key, CachedPlan(
                 stmt, physical, columns,
-                self.cluster.catalog.version, self.stats.version, step_texts))
+                self.cluster.catalog.version, self.stats.version,
+                self.cluster.catalog.shard_map_version, step_texts))
         if capture is not None and capture.captured:
             # The capture changed the feedback store: any cached plan built
             # from those estimates (including the one just stored) must

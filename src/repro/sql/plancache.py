@@ -6,7 +6,7 @@ whitespace-normalized SQL with the same MD5 the learning plan store uses
 parser, binder and planner entirely on a hit and re-execute the cached
 physical plan (with counters reset and fresh profiler/WLM attachment).
 
-Three invalidation channels keep cached plans honest:
+Four invalidation channels keep cached plans honest:
 
 * **catalog version** — every DDL (CREATE/DROP, ``load_*`` table setup)
   bumps :attr:`repro.cluster.catalog.Catalog.version`; a cached plan built
@@ -15,6 +15,11 @@ Three invalidation channels keep cached plans honest:
 * **stats version** — ``ANALYZE`` bumps the
   :class:`~repro.optimizer.stats.StatsManager` version, so plans re-cost
   against fresh statistics.
+* **shard-map version** — membership changes and rebalance flips bump
+  :attr:`repro.cluster.shardmap.ShardMap.version`; fragment plans bake in
+  the DN fan-out and slot ownership (exchange targets, co-location), so a
+  plan built against an older shard map is discarded rather than routed
+  to DNs that no longer own the data.
 * **captured steps** — when the learning producer captures a mis-estimated
   step, every cached plan containing that logical step is evicted; the next
   execution replans with the corrected cardinality (the Fig. 5 loop keeps
@@ -34,16 +39,17 @@ class CachedPlan:
     """One reusable prepared statement."""
 
     __slots__ = ("statement", "physical", "columns", "catalog_version",
-                 "stats_version", "step_keys")
+                 "stats_version", "shard_map_version", "step_keys")
 
     def __init__(self, statement, physical, columns: List[str],
                  catalog_version: int, stats_version: int,
-                 step_texts: Iterable[str]):
+                 shard_map_version: int, step_texts: Iterable[str]):
         self.statement = statement
         self.physical = physical
         self.columns = columns
         self.catalog_version = catalog_version
         self.stats_version = stats_version
+        self.shard_map_version = shard_map_version
         self.step_keys = frozenset(step_key(text) for text in step_texts)
 
 
@@ -66,7 +72,8 @@ class PlanCache:
         return step_key(" ".join(sql.split()))
 
     def lookup(self, key: str, catalog_version: int,
-               stats_version: int) -> Optional[CachedPlan]:
+               stats_version: int,
+               shard_map_version: int = 0) -> Optional[CachedPlan]:
         """Return a fresh entry or evict a stale one (no counter side
         effects — the engine records hit/miss once it knows the statement
         kind)."""
@@ -74,7 +81,8 @@ class PlanCache:
         if entry is None:
             return None
         if (entry.catalog_version != catalog_version
-                or entry.stats_version != stats_version):
+                or entry.stats_version != stats_version
+                or entry.shard_map_version != shard_map_version):
             del self._entries[key]
             return None
         self._entries.move_to_end(key)

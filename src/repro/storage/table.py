@@ -103,8 +103,11 @@ class TableSchema:
             raise StorageError(f"table {self.name}: unknown columns {sorted(extra)}")
         return out
 
-    def shard_of(self, row: Dict[str, object], num_shards: int) -> int:
-        """Which data node (0-based) stores this row."""
+    def shard_of(self, row: Dict[str, object], num_shards) -> int:
+        """Which data node (0-based) stores this row.
+
+        ``num_shards`` may be an int modulus or a ShardMap-style router
+        (see :func:`shard_of_value`)."""
         if self.distribution is Distribution.REPLICATION:
             raise StorageError(f"table {self.name} is replicated; no single shard")
         return shard_of_value(row[self.distribution_column], num_shards)
@@ -112,28 +115,42 @@ class TableSchema:
     def key_of(self, row: Dict[str, object]) -> object:
         return row[self.primary_key]
 
-    def shard_of_key(self, key: object, num_shards: int) -> int:
-        """Route a point operation by primary key alone."""
+    def dist_value_of_key(self, key: object) -> object:
+        """The distribution value a point operation's key routes by."""
         if self.distribution is Distribution.REPLICATION:
             raise StorageError(f"table {self.name} is replicated; no single shard")
         if self.key_router is not None:
-            return shard_of_value(self.key_router(key), num_shards)
+            return self.key_router(key)
         if self.distribution_column != self.primary_key:
             raise StorageError(
                 f"table {self.name}: cannot route by key — distribution column "
                 f"{self.distribution_column!r} differs from the primary key and "
                 f"no key_router is defined"
             )
-        return shard_of_value(key, num_shards)
+        return key
+
+    def shard_of_key(self, key: object, num_shards) -> int:
+        """Route a point operation by primary key alone."""
+        return shard_of_value(self.dist_value_of_key(key), num_shards)
 
 
-def shard_of_value(value: object, num_shards: int) -> int:
+def shard_of_value(value: object, num_shards) -> int:
     """Stable hash-distribution function (consistent across runs).
 
     Integers distribute by modulo — the usual choice for surrogate-key
     distribution columns, and it keeps sequential warehouse ids perfectly
     balanced across data nodes.  Everything else hashes its repr.
+
+    ``num_shards`` is either a plain modulus (the seed behaviour, still
+    used by slot hashing and the placement tests) or a router object with
+    an ``owner_of_value`` method — in practice the cluster's versioned
+    :class:`repro.cluster.shardmap.ShardMap` — in which case placement is
+    value -> slot -> owning DN.  Duck-typed rather than imported to keep
+    the storage layer free of cluster dependencies.
     """
+    route = getattr(num_shards, "owner_of_value", None)
+    if route is not None:
+        return route(value)
     if num_shards <= 0:
         raise StorageError("num_shards must be positive")
     if isinstance(value, bool):

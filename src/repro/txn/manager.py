@@ -110,6 +110,19 @@ class LocalTransactionManager:
             xid for xid in self._active if self.clog.get(xid) is TxnStatus.PREPARED
         )
 
+    def in_progress_xids(self) -> List[int]:
+        """Active local transactions that never reached prepare.
+
+        In-doubt resolution skips these (nothing voted, presumed abort is
+        trivial), but maintenance work that must make progress against
+        their uncommitted versions — e.g. a rebalance truncate after a
+        coordinator crash mid-statement — needs to find and expel them.
+        """
+        return sorted(
+            xid for xid in self._active
+            if self.clog.get(xid) is TxnStatus.IN_PROGRESS
+        )
+
     def gxid_for(self, local_xid: int) -> Optional[int]:
         return self._gxid_of.get(local_xid)
 

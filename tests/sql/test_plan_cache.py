@@ -159,11 +159,26 @@ class TestPlanCacheUnit:
         class Entry:
             catalog_version = 1
             stats_version = 1
+            shard_map_version = 0
             step_keys = frozenset()
         key = PlanCache.key_for("select 1")
         cache.put(key, Entry())
         assert cache.lookup(key, 1, 1) is not None
         assert cache.lookup(key, 2, 1) is None
+        assert len(cache) == 0
+
+    def test_shard_map_version_mismatch_evicts(self):
+        cache = PlanCache(capacity=4)
+
+        class Entry:
+            catalog_version = 1
+            stats_version = 1
+            shard_map_version = 3
+            step_keys = frozenset()
+        key = PlanCache.key_for("select 1")
+        cache.put(key, Entry())
+        assert cache.lookup(key, 1, 1, 3) is not None
+        assert cache.lookup(key, 1, 1, 4) is None
         assert len(cache) == 0
 
     def test_invalidate_steps_intersects(self):
