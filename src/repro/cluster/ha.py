@@ -178,12 +178,22 @@ class HaManager:
         cluster.ha = self
 
     # -- naming / wiring ----------------------------------------------------
+    #
+    # Endpoint names are namespaced by the cluster's name when it has one:
+    # two clusters sharing one fabric (regions of a geo deployment, or any
+    # multi-cluster process) would otherwise both claim "dn0" and collide
+    # at registration — a `% num_dns`-era assumption that the process holds
+    # exactly one cluster.
+
+    def _prefix(self) -> str:
+        name = getattr(self.cluster, "name", "")
+        return f"{name}:" if name else ""
 
     def _primary_name(self, i: int) -> str:
-        return f"dn{i}"
+        return f"{self._prefix()}dn{i}"
 
     def _standby_name(self, i: int) -> str:
-        return f"dn{i}-standby"
+        return f"{self._prefix()}dn{i}-standby"
 
     def _standby_handler(self, i: int):
         def handle(src: str, payload) -> None:

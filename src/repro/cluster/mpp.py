@@ -61,9 +61,15 @@ class MppCluster:
         wlm_config: Optional[WlmConfig] = None,
         htap_enabled: bool = True,
         htap_config=None,
+        name: str = "",
     ):
         if num_dns <= 0:
             raise ConfigError("num_dns must be positive")
+        #: Cluster namespace.  Empty for a solo cluster (the seed behavior);
+        #: set when several clusters coexist in one process (the geo layer
+        #: names its regions) so shared-medium identifiers — HA fabric
+        #: endpoints, cross-cluster trace node labels — stay collision-free.
+        self.name = name
         self.num_dns = num_dns
         self.num_cns = num_cns if num_cns is not None else max(1, num_dns // 2)
         if self.num_cns <= 0:
@@ -108,6 +114,10 @@ class MppCluster:
         self.faults = None
         #: Set by :class:`repro.cluster.rebalance.RebalanceCoordinator`.
         self.rebalance = None
+        #: Set by :class:`repro.geo.GeoCluster` on every member region, so
+        #: layers built over one region (autonomous manager, sys views)
+        #: can reach the geo runtime without a new dependency edge.
+        self.geo = None
         #: Workload governance (``repro.wlm``): admission control, memory
         #: budgets and cancellation for every statement the SQL engine runs.
         #: ``wlm_enabled=False`` drops it, replaying the ungoverned engine.

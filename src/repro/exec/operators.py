@@ -185,6 +185,11 @@ class PScan(PhysicalOp):
         #: Shards drained over the wire (0 = the scan is node-local).
         self.remote_sources = remote_sources
         self.cost_model = cost_model
+        #: One-way hop latency the drained streams cross.  ``None`` means
+        #: LAN (single-region topology); a multi-region planner resolves
+        #: this through :meth:`repro.net.fabric.Fabric.hop_us` instead of
+        #: hand-picking a WAN/LAN ratio.
+        self.hop_us: Optional[float] = None
         #: Raw tuples pulled from the source, pre-predicate; this is the
         #: volume that crossed the network for a remote scan.
         self.scanned_rows = 0
@@ -258,7 +263,8 @@ class PScan(PhysicalOp):
         cpu = (OPEN_COST_US + BATCH_COST_US * batches
                + DEFAULT_ROW_COST_US["Scan"] * (self.scanned_rows + rows_out))
         return cpu + exchange_cost_us(model, self.scanned_rows, width,
-                                      edges=self.remote_sources)
+                                      edges=self.remote_sources,
+                                      hop_us=self.hop_us)
 
     @property
     def network_rows(self) -> int:
@@ -755,6 +761,9 @@ class PExchange(PhysicalOp):
         #: fragment fan-in).
         self.child = children[0]
         self.cost_model = cost_model
+        #: One-way hop latency this exchange's sender streams cross; see
+        #: ``PSeqScan.hop_us`` (``None`` = LAN, the single-region default).
+        self.hop_us: Optional[float] = None
 
     def children(self) -> Sequence[PhysicalOp]:
         return tuple(self._children)
@@ -785,7 +794,8 @@ class PExchange(PhysicalOp):
         width = row_width_bytes(getattr(c, "data_type", None)
                                 for c in self.schema)
         return exchange_cost_us(model, rows_out, width,
-                                edges=len(self._children))
+                                edges=len(self._children),
+                                hop_us=self.hop_us)
 
     @property
     def network_rows(self) -> int:

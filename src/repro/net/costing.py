@@ -37,7 +37,7 @@ def row_width_bytes(types: Iterable[Optional[DataType]]) -> int:
 
 
 def exchange_cost_us(model: MppCostModel, rows: int, width_bytes: int,
-                     edges: int = 1) -> float:
+                     edges: int = 1, hop_us: Optional[float] = None) -> float:
     """Simulated cost of moving ``rows`` through one exchange operator.
 
     Each of the ``edges`` sender streams pays a startup cost plus a network
@@ -45,9 +45,17 @@ def exchange_cost_us(model: MppCostModel, rows: int, width_bytes: int,
     ``rows * width_bytes`` (rows are whatever actually crossed the exchange,
     so a partial aggregate that collapses a million rows into fifty groups
     moves fifty rows' worth of bytes).
+
+    ``hop_us`` is the one-way hop latency the exchange's streams actually
+    cross.  Callers that know their topology resolve it through
+    :meth:`repro.net.fabric.Fabric.hop_us` (LAN within a region, WAN
+    across regions); ``None`` falls back to the cost model's LAN hop, the
+    single-region behavior.
     """
     edges = max(1, int(edges))
-    startup = edges * (model.exchange_startup_us + 2 * model.lan_hop_us)
+    if hop_us is None:
+        hop_us = model.lan_hop_us
+    startup = edges * (model.exchange_startup_us + 2 * hop_us)
     return startup + model.wire_byte_us * float(rows) * float(width_bytes)
 
 

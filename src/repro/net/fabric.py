@@ -5,7 +5,18 @@ simulation is single-threaded) but pay simulated latency, and links can be
 cut to model partitions or out-of-range devices.  The MPP cluster does not
 use this module — its communication costs are charged straight to
 :class:`repro.net.resource.Resource` objects — but the device/edge/cloud
-platform needs reachability and partitions, which live here.
+platform needs reachability and partitions, and the geo-replication layer
+(:mod:`repro.geo`) needs region-aware WAN links, which live here.
+
+Partitions are **direction-aware**: cutting A→B does not implicitly drop
+B→A.  Asymmetric partitions (a region that can send but not receive) are
+the interesting WAN chaos case, so :meth:`Fabric.disconnect` takes a
+``bidirectional`` flag — defaulting to ``True``, the historical behavior.
+
+Endpoints can be tagged with a *region* (:meth:`Fabric.set_region`); the
+fabric then answers WAN-vs-LAN latency questions itself
+(:meth:`Fabric.hop_us`) instead of every caller hand-picking the right
+RTT ratio.
 """
 
 from __future__ import annotations
@@ -21,11 +32,20 @@ Handler = Callable[[str, object], object]
 class Fabric:
     """Named endpoints + point-to-point links with per-link latency."""
 
-    def __init__(self, clock: Optional[SimClock] = None):
+    def __init__(self, clock: Optional[SimClock] = None,
+                 intra_region_hop_us: float = 25.0,
+                 inter_region_hop_us: float = 30_000.0):
         self.clock = clock or SimClock()
         self._handlers: Dict[str, Handler] = {}
         self._latency_us: Dict[Tuple[str, str], float] = {}
         self._cut: Set[Tuple[str, str]] = set()
+        #: Region tags (``set_region``): the basis for :meth:`hop_us` when
+        #: no explicit link latency was configured.
+        self._regions: Dict[str, str] = {}
+        #: Default one-hop latencies for region-derived lookups: LAN within
+        #: a region, WAN across regions.
+        self.intra_region_hop_us = float(intra_region_hop_us)
+        self.inter_region_hop_us = float(inter_region_hop_us)
         self.messages_sent = 0
         self.bytes_sent = 0
 
@@ -45,6 +65,7 @@ class Fabric:
         so ``neighbors()``/``reachable()`` would resurrect stale topology.
         """
         self._handlers.pop(name, None)
+        self._regions.pop(name, None)
         for pair in [p for p in self._latency_us if name in p]:
             del self._latency_us[pair]
         self._cut = {p for p in self._cut if name not in p}
@@ -56,16 +77,26 @@ class Fabric:
         self._cut.discard((a, b))
         self._cut.discard((b, a))
 
-    def disconnect(self, a: str, b: str) -> None:
-        """Cut the link in both directions (partition / out of range)."""
-        self._cut.add((a, b))
-        self._cut.add((b, a))
+    def disconnect(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Cut the link ``a``→``b`` (partition / out of range).
 
-    def reconnect(self, a: str, b: str) -> None:
+        ``bidirectional=True`` (the default, and the historical behavior)
+        also cuts ``b``→``a``.  Pass ``bidirectional=False`` for an
+        asymmetric partition: ``a`` can no longer reach ``b``, but ``b``
+        still reaches ``a`` — the half-open WAN failure geo chaos cares
+        about.
+        """
+        self._cut.add((a, b))
+        if bidirectional:
+            self._cut.add((b, a))
+
+    def reconnect(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Heal the ``a``→``b`` cut (both directions by default)."""
         if (a, b) not in self._latency_us:
             raise NetworkError(f"no link {a!r} <-> {b!r} to reconnect")
         self._cut.discard((a, b))
-        self._cut.discard((b, a))
+        if bidirectional:
+            self._cut.discard((b, a))
 
     def reachable(self, src: str, dst: str) -> bool:
         return (
@@ -81,6 +112,35 @@ class Fabric:
             if a == src and (a, b) not in self._cut and b in self._handlers:
                 out.add(b)
         return out
+
+    # -- regions ------------------------------------------------------------
+
+    def set_region(self, name: str, region: str) -> None:
+        """Tag an endpoint with the region it lives in."""
+        self._regions[name] = region
+
+    def region_of(self, name: str) -> Optional[str]:
+        """The region an endpoint was tagged with, or ``None``."""
+        return self._regions.get(name)
+
+    def same_region(self, a: str, b: str) -> bool:
+        """True when both endpoints carry the same (known) region tag."""
+        ra = self._regions.get(a)
+        return ra is not None and ra == self._regions.get(b)
+
+    def hop_us(self, a: str, b: str) -> float:
+        """One-hop latency between two endpoints.
+
+        An explicitly configured link wins; otherwise the answer derives
+        from region tags — LAN within a region, WAN across regions — so
+        callers stop hand-picking the WAN/LAN ratio themselves.
+        """
+        explicit = self._latency_us.get((a, b))
+        if explicit is not None:
+            return explicit
+        if self.same_region(a, b):
+            return self.intra_region_hop_us
+        return self.inter_region_hop_us
 
     # -- messaging ----------------------------------------------------------
 

@@ -1,0 +1,101 @@
+"""Two MppClusters coexisting in one process: the geo groundwork.
+
+The seed assumed one cluster per process.  The geo layer stands up N
+regions — each a full CN+DN+GTM cluster — side by side, so nothing shared
+may collide: telemetry namespaces, HA fabric endpoints, plan caches,
+simulated clocks.  These tests pin that isolation down.
+"""
+
+from repro.cluster.ha import HaManager
+from repro.cluster.mpp import MppCluster
+from repro.net.fabric import Fabric
+from repro.sql import SqlEngine
+from repro.storage import Column, DataType, TableSchema
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+
+def run_workload(cluster, txns=20):
+    load_tpcc(cluster, num_warehouses=2)
+    workload = TpccLiteWorkload(num_warehouses=2, multi_shard_fraction=0.1,
+                                seed=3)
+    session = cluster.session(track_costs=True)
+    stream = workload.stream(home_warehouse=0)
+    for _ in range(txns):
+        spec = next(stream)
+        session.run_transaction(spec.body, multi_shard=spec.multi_shard)
+    engine = SqlEngine(cluster)
+    result = engine.execute(
+        "SELECT name, kind, value FROM sys.metrics ORDER BY name")
+    return list(result.rows)
+
+
+class TestTelemetryIsolation:
+    def test_interleaved_clusters_replay_solo_telemetry(self):
+        solo = run_workload(MppCluster(num_dns=2))
+        a = MppCluster(num_dns=2, name="ra")
+        b = MppCluster(num_dns=2, name="rb")
+        # Interleave construction and execution; each must match the solo run.
+        rows_a = run_workload(a)
+        rows_b = run_workload(b)
+        assert rows_a == solo
+        assert rows_b == solo
+
+    def test_clusters_have_independent_clocks_and_gtm(self):
+        a = MppCluster(num_dns=2)
+        b = MppCluster(num_dns=2)
+        schema = TableSchema(
+            "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k")
+        a.create_table(schema)
+        session = a.session(track_costs=True)
+        txn = session.begin(multi_shard=True)
+        txn.insert("t", {"k": 1, "v": 1})
+        txn.commit()
+        assert a.gtm.stats.total_requests > 0
+        assert b.gtm.stats.total_requests == 0
+        assert b.obs.clock.now_us == 0.0
+        assert a.obs.clock.now_us > 0.0
+
+
+class TestSharedFabricNamespacing:
+    def test_two_named_clusters_share_one_ha_fabric(self):
+        fabric = Fabric()
+        a = MppCluster(num_dns=2, name="east")
+        b = MppCluster(num_dns=2, name="west")
+        # Without namespacing both HaManagers would register "dn0" and the
+        # second construction would explode at registration time.
+        ha_a = HaManager(a, fabric=fabric)
+        ha_b = HaManager(b, fabric=fabric)
+        assert fabric.reachable("east:dn0", "east:dn0-standby")
+        assert fabric.reachable("west:dn0", "west:dn0-standby")
+        # Partitioning one cluster's standby leaves the other untouched.
+        ha_a.partition_standby(0)
+        assert ha_a.standby_partitioned(0)
+        assert not ha_b.standby_partitioned(0)
+
+    def test_failover_on_shared_fabric_stays_namespaced(self):
+        fabric = Fabric()
+        a = MppCluster(num_dns=2, name="east")
+        b = MppCluster(num_dns=2, name="west")
+        schema = TableSchema(
+            "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k")
+        a.create_table(schema)
+        b.create_table(schema)
+        ha_a = HaManager(a, fabric=fabric)
+        HaManager(b, fabric=fabric)
+        session = a.session()
+        txn = session.begin(multi_shard=True)
+        for k in range(8):
+            txn.insert("t", {"k": k, "v": k})
+        txn.commit()
+        ha_a.fail_and_promote(0)
+        # The promoted replacement re-registered under the namespaced name.
+        assert fabric.reachable("east:dn0", "east:dn0-standby")
+        assert fabric.reachable("west:dn0", "west:dn0-standby")
+        reader = a.session().begin(multi_shard=True)
+        assert all(reader.read("t", k)["v"] == k for k in range(8))
+        reader.commit()
+
+    def test_unnamed_cluster_keeps_seed_endpoint_names(self):
+        cluster = MppCluster(num_dns=2)
+        ha = HaManager(cluster)
+        assert ha.fabric.reachable("dn0", "dn0-standby")

@@ -1,0 +1,128 @@
+"""Direction-aware partitions and region-tagged latency on the Fabric.
+
+Satellites of the geo-replication issue: asymmetric WAN partitions
+(cutting A→B must not implicitly drop B→A) and a fabric-owned WAN/LAN
+latency lookup so callers stop passing the right RTT ratio by hand.
+"""
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.net.costing import exchange_cost_us
+from repro.net.fabric import Fabric
+from repro.net.latency import MppCostModel
+
+
+def build_pair():
+    fabric = Fabric()
+    fabric.register("a", lambda src, payload: ("ack", payload))
+    fabric.register("b", lambda src, payload: ("ack", payload))
+    fabric.connect("a", "b", 10.0)
+    return fabric
+
+
+class TestDirectionalPartitions:
+    def test_default_disconnect_cuts_both_directions(self):
+        fabric = build_pair()
+        fabric.disconnect("a", "b")
+        assert not fabric.reachable("a", "b")
+        assert not fabric.reachable("b", "a")
+
+    def test_one_way_partition_leaves_reverse_path_up(self):
+        fabric = build_pair()
+        fabric.disconnect("a", "b", bidirectional=False)
+        assert not fabric.reachable("a", "b")
+        assert fabric.reachable("b", "a")
+        # The live direction still delivers.
+        assert fabric.send("b", "a", "ping") == ("ack", "ping")
+        with pytest.raises(NetworkError):
+            fabric.send("a", "b", "ping")
+
+    def test_one_way_reconnect_heals_only_that_direction(self):
+        fabric = build_pair()
+        fabric.disconnect("a", "b")          # both down
+        fabric.reconnect("a", "b", bidirectional=False)
+        assert fabric.reachable("a", "b")
+        assert not fabric.reachable("b", "a")
+        fabric.reconnect("b", "a", bidirectional=False)
+        assert fabric.reachable("b", "a")
+
+    def test_two_opposite_one_way_cuts_equal_full_partition(self):
+        fabric = build_pair()
+        fabric.disconnect("a", "b", bidirectional=False)
+        fabric.disconnect("b", "a", bidirectional=False)
+        assert not fabric.reachable("a", "b")
+        assert not fabric.reachable("b", "a")
+        fabric.reconnect("a", "b")           # default heals both
+        assert fabric.reachable("a", "b")
+        assert fabric.reachable("b", "a")
+
+    def test_neighbors_respects_direction(self):
+        fabric = build_pair()
+        fabric.disconnect("a", "b", bidirectional=False)
+        assert fabric.neighbors("a") == set()
+        assert fabric.neighbors("b") == {"a"}
+
+    def test_unregister_clears_directional_cuts(self):
+        fabric = build_pair()
+        fabric.disconnect("a", "b", bidirectional=False)
+        fabric.unregister("b")
+        fabric.register("b", lambda src, payload: None)
+        fabric.connect("a", "b", 10.0)
+        # The resurrected endpoint must not inherit the old cut.
+        assert fabric.reachable("a", "b")
+
+
+class TestRegionTagging:
+    def test_region_of_round_trip(self):
+        fabric = Fabric()
+        fabric.register("cn0", lambda s, p: None)
+        fabric.set_region("cn0", "eu")
+        assert fabric.region_of("cn0") == "eu"
+        assert fabric.region_of("unknown") is None
+
+    def test_hop_us_lan_within_region_wan_across(self):
+        fabric = Fabric(intra_region_hop_us=25.0, inter_region_hop_us=30_000.0)
+        for name, region in (("a", "eu"), ("b", "eu"), ("c", "us")):
+            fabric.set_region(name, region)
+        assert fabric.hop_us("a", "b") == 25.0
+        assert fabric.hop_us("a", "c") == 30_000.0
+        assert fabric.same_region("a", "b")
+        assert not fabric.same_region("a", "c")
+
+    def test_untagged_endpoints_default_to_wan(self):
+        # Unknown topology is priced pessimistically, never optimistically.
+        fabric = Fabric(inter_region_hop_us=5_000.0)
+        assert fabric.hop_us("x", "y") == 5_000.0
+
+    def test_explicit_link_latency_wins_over_region_default(self):
+        fabric = Fabric(intra_region_hop_us=25.0)
+        fabric.register("a", lambda s, p: None)
+        fabric.register("b", lambda s, p: None)
+        fabric.set_region("a", "eu")
+        fabric.set_region("b", "eu")
+        fabric.connect("a", "b", 7.5)
+        assert fabric.hop_us("a", "b") == 7.5
+
+    def test_unregister_clears_region_tag(self):
+        fabric = Fabric()
+        fabric.register("a", lambda s, p: None)
+        fabric.set_region("a", "eu")
+        fabric.unregister("a")
+        assert fabric.region_of("a") is None
+
+
+class TestExchangeCostHop:
+    def test_default_hop_matches_lan_model(self):
+        model = MppCostModel()
+        assert exchange_cost_us(model, 100, 8) == \
+            exchange_cost_us(model, 100, 8, hop_us=model.lan_hop_us)
+
+    def test_wan_hop_raises_cost(self):
+        model = MppCostModel()
+        lan = exchange_cost_us(model, 100, 8, edges=2)
+        wan = exchange_cost_us(model, 100, 8, edges=2, hop_us=30_000.0)
+        assert wan > lan
+        # Only the per-edge hop pairs changed, not the wire-byte term.
+        assert wan - lan == pytest.approx(
+            2 * 2 * (30_000.0 - model.lan_hop_us))
