@@ -55,6 +55,10 @@ class TickReport:
     #: coordinator is attached or the skew is within threshold).
     shard_skew: float = 0.0
     rebalance_slots_moved: int = 0
+    #: Geo commit-latency p95 observed this tick and the epoch interval
+    #: after AIMD adjustment (0.0 when the cluster is not geo-replicated).
+    geo_p95_commit_us: float = 0.0
+    geo_epoch_interval_us: float = 0.0
 
 
 class AutonomousManager:
@@ -198,6 +202,33 @@ class AutonomousManager:
                         t_us=now_us, key="htap.freshness")
             else:
                 report.htap_interval_us = htap.set_interval(interval * 1.25)
+        geo = getattr(self.cluster, "geo", None)
+        if (geo is not None and geo.enabled
+                and geo.config.mode.value == "geogauss"):
+            # AIMD the epoch interval against the geo commit-latency SLA:
+            # a longer epoch amortizes the WAN better but every commit
+            # waits longer for its seal — so halve the interval (and alert)
+            # while p95 breaches, relax it slowly otherwise.
+            p95 = geo.commit_latency_p95()
+            interval = geo.epoch_interval_us
+            if p95 is not None:
+                report.geo_p95_commit_us = p95
+                self.info.record("geo.p95_commit_us", now_us, p95)
+                if p95 > geo.config.commit_latency_sla_us:
+                    report.geo_epoch_interval_us = geo.set_epoch_interval(
+                        interval / 2)
+                    self._healing_log.append("tighten geo epoch interval")
+                    if self.alerts is not None:
+                        self.alerts.raise_alert(
+                            source="geo", severity="warning",
+                            message=(f"geo p95 commit {p95:.0f}us exceeds "
+                                     f"sla {geo.config.commit_latency_sla_us:.0f}us"),
+                            t_us=now_us, key="geo.commit_sla")
+                else:
+                    report.geo_epoch_interval_us = geo.set_epoch_interval(
+                        interval * 1.25)
+            else:
+                report.geo_epoch_interval_us = interval
         rebalance = getattr(self.cluster, "rebalance", None)
         shard_map = getattr(self.cluster.catalog, "shard_map", None)
         if shard_map is not None:

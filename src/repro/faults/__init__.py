@@ -19,6 +19,9 @@ from repro.faults.injector import (
     FP_COORD_AFTER_GTM_COMMIT,
     FP_COORD_AFTER_PREPARE,
     FP_COORD_BETWEEN_CONFIRMS,
+    FP_GEO_APPLY,
+    FP_GEO_CERTIFY,
+    FP_GEO_SHIP,
     FP_GTM_COMMIT,
     FP_PREPARE_AFTER,
     FP_PREPARE_BEFORE,
@@ -39,7 +42,8 @@ __all__ = [
     "ACT_CRASH_COORDINATOR", "ACT_CRASH_DN", "ACT_DELAY", "ACT_DROP",
     "ACT_PARTITION", "ACT_TIMEOUT", "ALL_ACTIONS", "ALL_FAILPOINTS",
     "FP_CONFIRM_AFTER", "FP_CONFIRM_BEFORE", "FP_COORD_AFTER_GTM_COMMIT",
-    "FP_COORD_AFTER_PREPARE", "FP_COORD_BETWEEN_CONFIRMS", "FP_GTM_COMMIT",
+    "FP_COORD_AFTER_PREPARE", "FP_COORD_BETWEEN_CONFIRMS",
+    "FP_GEO_APPLY", "FP_GEO_CERTIFY", "FP_GEO_SHIP", "FP_GTM_COMMIT",
     "FP_PREPARE_AFTER", "FP_PREPARE_BEFORE", "FP_PREPARE_SHIP",
     "FP_REPLICATE", "FP_WLM_ADMIT", "FP_WLM_SPILL",
     "CoordinatorCrash", "FaultError", "FaultInjector", "FaultRule",

@@ -29,6 +29,9 @@ from repro.faults.injector import (
     FP_COORD_AFTER_GTM_COMMIT,
     FP_COORD_AFTER_PREPARE,
     FP_COORD_BETWEEN_CONFIRMS,
+    FP_GEO_APPLY,
+    FP_GEO_CERTIFY,
+    FP_GEO_SHIP,
     FP_GTM_COMMIT,
     FP_HTAP_FRESHNESS,
     FP_HTAP_MERGE,
@@ -114,6 +117,52 @@ def arm_random_htap_faults(injector: FaultInjector, rng: random.Random,
         rules.append(injector.arm(failpoint, action, times=times, match=match,
                                   delay_us=delay_us))
     return rules
+
+
+# The geo menu (``tests/property/test_chaos_geo.py``): faults against the
+# epoch pipeline — batches lost or delayed on the WAN, certification
+# stalls, and whole-region epoch-coordinator crashes.  Whatever the
+# schedule, every region that certifies an epoch must produce the same
+# digest, and no transaction acknowledged committed may lose its writes.
+GEO_FAULT_MENU = (
+    (FP_GEO_SHIP, ACT_TIMEOUT, True),
+    (FP_GEO_SHIP, ACT_DROP, True),
+    (FP_GEO_SHIP, ACT_DELAY, True),
+    (FP_GEO_SHIP, ACT_CRASH_COORDINATOR, True),
+    (FP_GEO_CERTIFY, ACT_TIMEOUT, True),
+    (FP_GEO_CERTIFY, ACT_DELAY, True),
+    (FP_GEO_APPLY, ACT_TIMEOUT, True),
+    (FP_GEO_APPLY, ACT_DELAY, True),
+)
+
+
+def arm_random_geo_faults(injector: FaultInjector, rng: random.Random,
+                          num_regions: int,
+                          max_faults: int = 2) -> List[FaultRule]:
+    """Arm 1..max_faults rules drawn from :data:`GEO_FAULT_MENU`.
+
+    Region-scoped rules pin to one random region (the menu is entirely
+    region-scoped: every geo failpoint carries a ``region`` context key).
+    """
+    rules = []
+    for _ in range(rng.randint(1, max_faults)):
+        failpoint, action, region_scoped = rng.choice(GEO_FAULT_MENU)
+        match = {"region": rng.randrange(num_regions)} if region_scoped \
+            else None
+        times = rng.choice((1, 1, 2, 5)) if action in (ACT_TIMEOUT, ACT_DROP) \
+            else 1
+        delay_us = rng.choice((1_000.0, 15_000.0, 60_000.0)) \
+            if action == ACT_DELAY else 0.0
+        rules.append(injector.arm(failpoint, action, times=times, match=match,
+                                  delay_us=delay_us))
+    return rules
+
+
+def recover_geo(geo) -> None:
+    """Post-chaos sweep for a :class:`repro.geo.GeoCluster`: disarm, heal
+    every WAN cut, revive crashed regions, and drain the epoch pipeline to
+    its fixpoint."""
+    geo.recover_all()
 
 
 def arm_random_faults(injector: FaultInjector, rng: random.Random,

@@ -87,6 +87,16 @@ FP_REBALANCE_COPY = "rebalance.copy"
 #: coordinator crash just before it leaves the double-write window open,
 #: and recovery must roll the move forward (copy is already complete).
 FP_REBALANCE_FLIP = "rebalance.flip"
+#: One epoch batch leaving a region for one peer (fired per (dst, epoch)).
+#: A timeout/drop defers the delivery to the durable resend queue; a
+#: coordinator crash takes down the *sending* region's epoch coordinator.
+FP_GEO_SHIP = "geo.ship"
+#: A region about to certify an epoch it holds all batches for; a timeout
+#: retries the certification on a later step (the decision is pure, so a
+#: delayed certification still reaches the identical verdict).
+FP_GEO_CERTIFY = "geo.certify"
+#: A region about to apply a certified epoch's hosted writes.
+FP_GEO_APPLY = "geo.apply"
 
 ALL_FAILPOINTS = (
     FP_PREPARE_BEFORE, FP_PREPARE_AFTER, FP_COORD_AFTER_PREPARE,
@@ -96,6 +106,7 @@ ALL_FAILPOINTS = (
     FP_WLM_ADMIT, FP_WLM_SPILL,
     FP_HTAP_MERGE, FP_HTAP_FRESHNESS,
     FP_REBALANCE_COPY, FP_REBALANCE_FLIP,
+    FP_GEO_SHIP, FP_GEO_CERTIFY, FP_GEO_APPLY,
 )
 
 # -- actions ------------------------------------------------------------------
@@ -309,6 +320,8 @@ class FaultInjector:
                 ctx: Dict[str, object]) -> InjectedFault:
         if "dn" in ctx and ctx["dn"] is not None:
             target = f"dn{ctx['dn']}"
+        elif "region" in ctx and ctx["region"] is not None:
+            target = f"r{ctx['region']}"
         elif failpoint.startswith("gtm."):
             target = "gtm"
         else:

@@ -1,0 +1,70 @@
+"""`repro.geo` — geo-replicated multi-region OLTP (paper Sec. V-C).
+
+The paper's geo-distribution challenge — multiple regions, each a full MPP
+cluster, acting as one database with bounded commit latency — realized as
+GeoGauss-style epoch-based multi-master commit (PAPERS.md) with
+Sutra–Shapiro partial replication, plus a naive synchronous global-2PC
+baseline for the benchmark to beat.
+
+* :mod:`repro.geo.cluster` — :class:`GeoCluster` / :class:`GeoSession` /
+  :class:`GeoTransaction`: the client surface and the epoch machine.
+* :mod:`repro.geo.epoch` — per-region epoch batching with a retunable
+  piecewise-linear epoch clock.
+* :mod:`repro.geo.certify` — the pure deterministic certifier and the
+  divergence-check digest.
+* :mod:`repro.geo.shardmap` — geo slot placement (home + subscribers).
+* :mod:`repro.geo.fabric` — the WAN between regions, partitionable per
+  direction.
+* :mod:`repro.geo.load` — partial-replication-aware TPC-C-lite loading.
+"""
+
+from repro.geo.certify import (
+    ABORT,
+    COMMIT,
+    certification_order,
+    certify_epoch,
+    outcome_digest,
+)
+from repro.geo.cluster import (
+    GEO_TRACE_BASE,
+    GeoCluster,
+    GeoCommitHandle,
+    GeoConfig,
+    GeoMode,
+    GeoSession,
+    GeoTransaction,
+)
+from repro.geo.epoch import EpochBatch, EpochManager, GeoTxnRecord, GeoWriteOp
+from repro.geo.fabric import RegionFabric, region_endpoint
+from repro.geo.load import (
+    load_tpcc_geo,
+    warehouses_homed_at,
+    warehouses_hosted_at,
+)
+from repro.geo.shardmap import SLOTS_PER_REGION, GeoShardMap
+
+__all__ = [
+    "ABORT",
+    "COMMIT",
+    "EpochBatch",
+    "EpochManager",
+    "GEO_TRACE_BASE",
+    "GeoCluster",
+    "GeoCommitHandle",
+    "GeoConfig",
+    "GeoMode",
+    "GeoSession",
+    "GeoShardMap",
+    "GeoTransaction",
+    "GeoTxnRecord",
+    "GeoWriteOp",
+    "RegionFabric",
+    "SLOTS_PER_REGION",
+    "certification_order",
+    "certify_epoch",
+    "load_tpcc_geo",
+    "outcome_digest",
+    "region_endpoint",
+    "warehouses_homed_at",
+    "warehouses_hosted_at",
+]

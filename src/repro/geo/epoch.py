@@ -1,0 +1,188 @@
+"""Epoch batching: each region groups its commits into fixed time slices.
+
+The GeoGauss observation (PAPERS.md) is that a multi-master geo protocol
+should pay the WAN **once per epoch**, not once per transaction: a region
+acknowledges nothing until the epoch certifies, but every transaction of an
+epoch shares one cross-region exchange.  :class:`EpochManager` is one
+region's side of that bargain — it assigns every locally-submitted
+transaction to an epoch (``floor(commit_ts / interval)``, never before an
+already-sealed epoch), seals epochs as simulated time passes their
+boundary, and keeps the sealed batches durably so a crashed or partitioned
+region can re-ship them during recovery.
+
+Epochs are sealed *densely*: a region with nothing to say still seals an
+empty batch, because the certifier needs epoch ``e`` from **every** region
+before it may decide epoch ``e`` anywhere (strict epoch order is what makes
+the decision a pure function every region evaluates identically).
+
+The epoch clock is piecewise-linear, not a plain modulus: the autonomous
+manager retunes the interval online (AIMD against the commit-latency SLA),
+and a retune must not renumber history.  :meth:`EpochManager.rebase`
+anchors the new interval at a future epoch boundary; as long as every
+region rebases with identical arguments (the :class:`GeoCluster` does),
+epoch numbering stays globally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class GeoWriteOp:
+    """One buffered write, replayed on every hosting region if certified."""
+
+    kind: str                      # 'insert' | 'update' | 'delete'
+    table: str
+    key: object                    # primary key (also the conflict unit)
+    values: Optional[Dict[str, object]]   # row for insert, delta for update
+    geo_slot: int                  # -1 for replicated tables (hosted everywhere)
+
+
+@dataclass
+class GeoTxnRecord:
+    """One transaction as it travels inside an epoch batch.
+
+    Everything the certifier needs is here — origin, commit timestamp and
+    the write-key set — so certification never reaches back to the origin
+    region's live state.
+    """
+
+    txn_id: Tuple[int, int]        # (origin region, per-region sequence)
+    origin: int
+    kind: str                      # workload profile name ('payment', ...)
+    commit_ts: float               # simulated submit-for-commit time
+    ops: List[GeoWriteOp] = field(default_factory=list)
+    #: Originating client session.  Ships with the record: the certifier
+    #: must tell two *concurrent* writers apart from one session's
+    #: *sequential* writes (already serialized at the origin), and the
+    #: rule has to evaluate identically at every region.
+    session_id: Optional[int] = None
+
+    @property
+    def write_keys(self) -> Tuple[Tuple[str, object], ...]:
+        return tuple((op.table, op.key) for op in self.ops)
+
+
+@dataclass
+class EpochBatch:
+    """Every transaction one region contributes to one epoch (maybe none)."""
+
+    region: int
+    epoch: int
+    seal_us: float
+    records: List[GeoTxnRecord] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        # Coarse wire-size model: a fixed header plus a per-op payload.
+        return 64 + sum(32 + 16 * len(r.ops) for r in self.records)
+
+
+class EpochManager:
+    """One region's epoch clock: open batches in front, sealed log behind."""
+
+    def __init__(self, region: int, interval_us: float):
+        self.region = region
+        self.interval_us = float(interval_us)
+        #: The piecewise-linear anchor: epoch ``base_epoch`` *starts* at
+        #: ``base_us``; boundaries step by ``interval_us`` from there.
+        self.base_epoch = 0
+        self.base_us = 0.0
+        #: Highest epoch sealed so far (-1: nothing sealed yet).
+        self.last_sealed = -1
+        #: Open (unsealed) batches by epoch number.
+        self._open: Dict[int, List[GeoTxnRecord]] = {}
+        #: The durable sealed log, by epoch.  Survives a region crash — a
+        #: recovering region re-ships from here.
+        self.sealed: Dict[int, EpochBatch] = {}
+        self._next_seq = 0
+
+    def next_txn_id(self) -> Tuple[int, int]:
+        self._next_seq += 1
+        return (self.region, self._next_seq)
+
+    def start_us_of(self, epoch: int) -> float:
+        return self.base_us + (epoch - self.base_epoch) * self.interval_us
+
+    def seal_boundary_us(self, epoch: int) -> float:
+        """The simulated instant epoch ``epoch`` seals (its end)."""
+        return self.start_us_of(epoch + 1)
+
+    def epoch_of(self, t_us: float) -> int:
+        """The epoch a commit at ``t_us`` joins.
+
+        A commit submitted after its natural epoch sealed (the client was
+        slow relative to the epoch clock) rolls forward into the earliest
+        still-open epoch instead of mutating sealed history.
+        """
+        if t_us <= self.base_us:
+            natural = self.base_epoch
+        else:
+            natural = self.base_epoch + int((t_us - self.base_us)
+                                            // self.interval_us)
+        return max(natural, self.last_sealed + 1)
+
+    def rebase(self, epoch: int, at_us: float, interval_us: float) -> None:
+        """Re-anchor the epoch clock: ``epoch`` starts at ``at_us``.
+
+        Called with identical arguments on every region's manager so the
+        global epoch numbering never forks.  Only future epochs may be
+        rebased — sealed history is immutable.
+        """
+        if epoch <= self.last_sealed:
+            raise ValueError(
+                f"cannot rebase at epoch {epoch}: {self.last_sealed} "
+                "already sealed")
+        self.base_epoch = epoch
+        self.base_us = at_us
+        self.interval_us = float(interval_us)
+
+    def submit(self, record: GeoTxnRecord) -> int:
+        """Add a locally-committed transaction to its epoch; return it."""
+        epoch = self.epoch_of(record.commit_ts)
+        self._open.setdefault(epoch, []).append(record)
+        return epoch
+
+    def seal_through(self, now_us: float) -> List[EpochBatch]:
+        """Seal every epoch whose boundary has passed, empty ones included.
+
+        Returns the newly sealed batches in epoch order; each is stamped
+        with its *scheduled* boundary time (not ``now_us``), so timing is a
+        function of the epoch clock alone, never of driver call cadence.
+        """
+        out: List[EpochBatch] = []
+        while self.seal_boundary_us(self.last_sealed + 1) <= now_us:
+            epoch = self.last_sealed + 1
+            batch = EpochBatch(
+                region=self.region, epoch=epoch,
+                seal_us=self.seal_boundary_us(epoch),
+                records=self._open.pop(epoch, []),
+            )
+            self.sealed[epoch] = batch
+            self.last_sealed = epoch
+            out.append(batch)
+        return out
+
+    def abort_open(self) -> List[GeoTxnRecord]:
+        """Drop every unsealed transaction (region crash before the seal).
+
+        Sealed batches are durable and untouched; only never-acknowledged
+        open work is lost — which is exactly the protocol's promise.
+        """
+        lost = [r for records in self._open.values() for r in records]
+        self._open.clear()
+        return lost
+
+    @property
+    def open_count(self) -> int:
+        return sum(len(records) for records in self._open.values())
+
+    def max_open_ts(self) -> Optional[float]:
+        """Latest commit timestamp among unsealed transactions, if any."""
+        latest: Optional[float] = None
+        for records in self._open.values():
+            for record in records:
+                if latest is None or record.commit_ts > latest:
+                    latest = record.commit_ts
+        return latest

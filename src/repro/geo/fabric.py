@@ -1,0 +1,114 @@
+"""The inter-region WAN: region endpoints over :class:`repro.net.Fabric`.
+
+One endpoint per region (``"r0"``, ``"r1"``, …), full-mesh links carrying
+the configured one-way WAN latency, every endpoint tagged with its region
+so :meth:`~repro.net.fabric.Fabric.hop_us` answers the WAN/LAN question.
+Epoch batches travel through :meth:`RegionFabric.ship`, which enforces
+direction-aware partitions (a batch into a cut link raises, the caller's
+durable resend queue takes over) and counts messages/bytes for the
+``sys.geo_regions`` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import NetworkError
+from repro.net.fabric import Fabric
+
+
+def region_endpoint(region: int) -> str:
+    return f"r{region}"
+
+
+class RegionFabric:
+    """WAN connectivity between the regions of one :class:`GeoCluster`."""
+
+    def __init__(self, num_regions: int, one_way_us: float,
+                 intra_region_hop_us: float = 25.0):
+        self.num_regions = int(num_regions)
+        self.one_way_us = float(one_way_us)
+        self.fabric = Fabric(intra_region_hop_us=intra_region_hop_us,
+                             inter_region_hop_us=one_way_us)
+        #: Batches delivered to each region, in arrival order:
+        #: region -> [(src_region, payload)].
+        self.inboxes: Dict[int, List[Tuple[int, object]]] = {
+            r: [] for r in range(self.num_regions)}
+        for r in range(self.num_regions):
+            name = region_endpoint(r)
+            self.fabric.register(name, self._make_handler(r))
+            self.fabric.set_region(name, name)
+        for a in range(self.num_regions):
+            for b in range(a + 1, self.num_regions):
+                self.fabric.connect(region_endpoint(a), region_endpoint(b),
+                                    one_way_us)
+
+    def _make_handler(self, region: int):
+        def handler(src: str, payload: object):
+            self.inboxes[region].append((int(src[1:]), payload))
+            return None
+        return handler
+
+    # ------------------------------------------------------------------
+    # connectivity
+
+    def reachable(self, src: int, dst: int) -> bool:
+        if src == dst:
+            return True
+        return self.fabric.reachable(region_endpoint(src),
+                                     region_endpoint(dst))
+
+    def partition(self, a: int, b: int, bidirectional: bool = True) -> None:
+        """Cut the a→b WAN link (and b→a unless ``bidirectional=False``)."""
+        self.fabric.disconnect(region_endpoint(a), region_endpoint(b),
+                               bidirectional=bidirectional)
+
+    def heal(self, a: int, b: int, bidirectional: bool = True) -> None:
+        self.fabric.reconnect(region_endpoint(a), region_endpoint(b),
+                              bidirectional=bidirectional)
+
+    def heal_all(self) -> None:
+        for a in range(self.num_regions):
+            for b in range(self.num_regions):
+                if a != b and not self.reachable(a, b):
+                    self.fabric.reconnect(region_endpoint(a),
+                                          region_endpoint(b),
+                                          bidirectional=False)
+
+    def one_way_between(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.fabric.hop_us(region_endpoint(src), region_endpoint(dst))
+
+    # ------------------------------------------------------------------
+    # shipping
+
+    def ship(self, src: int, dst: int, payload: object,
+             size_bytes: int = 0) -> None:
+        """Deliver one epoch batch dst-ward, or raise on a cut link."""
+        if src == dst:
+            self.inboxes[dst].append((src, payload))
+            return
+        self.fabric.send(region_endpoint(src), region_endpoint(dst), payload,
+                         size_bytes=size_bytes)
+
+    def try_ship(self, src: int, dst: int, payload: object,
+                 size_bytes: int = 0) -> bool:
+        try:
+            self.ship(src, dst, payload, size_bytes=size_bytes)
+        except NetworkError:
+            return False
+        return True
+
+    def drain_inbox(self, region: int) -> List[Tuple[int, object]]:
+        batch = self.inboxes[region]
+        self.inboxes[region] = []
+        return batch
+
+    @property
+    def messages_sent(self) -> int:
+        return self.fabric.messages_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.fabric.bytes_sent

@@ -91,6 +91,10 @@ class Observability:
         #: Optional :class:`repro.cluster.rebalance.RebalanceCoordinator`,
         #: bound late like the others; serves ``sys.rebalance``.
         self.rebalance = None
+        #: Optional :class:`repro.geo.GeoCluster`, bound late (per region)
+        #: like the others; serves ``sys.geo_regions`` / ``sys.geo_epochs``
+        #: / ``sys.geo_shard_map``.
+        self.geo = None
 
     def bind_faults(self, injector) -> None:
         self.faults = injector
@@ -106,6 +110,9 @@ class Observability:
 
     def bind_rebalance(self, coordinator) -> None:
         self.rebalance = coordinator
+
+    def bind_geo(self, geo) -> None:
+        self.geo = geo
 
     def advance_to(self, t_us: float) -> None:
         """Sync the shared clock to a session's simulated-time cursor.

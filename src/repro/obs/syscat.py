@@ -223,6 +223,32 @@ class SystemCatalog:
             self._rebalance_rows,
         )
         self._register(
+            "geo_regions",
+            [("region", DataType.BIGINT), ("name", DataType.TEXT),
+             ("priority", DataType.BIGINT), ("dns", DataType.BIGINT),
+             ("hosted_slots", DataType.BIGINT),
+             ("certified_epoch", DataType.BIGINT),
+             ("commits", DataType.BIGINT), ("aborts", DataType.BIGINT),
+             ("open_txns", DataType.BIGINT), ("crashed", DataType.BIGINT)],
+            self._geo_region_rows,
+        )
+        self._register(
+            "geo_epochs",
+            [("epoch", DataType.BIGINT), ("region", DataType.BIGINT),
+             ("txns", DataType.BIGINT), ("committed", DataType.BIGINT),
+             ("aborted", DataType.BIGINT),
+             ("applied_ops", DataType.BIGINT),
+             ("seal_us", DataType.DOUBLE), ("certify_us", DataType.DOUBLE),
+             ("apply_us", DataType.DOUBLE), ("digest", DataType.BIGINT)],
+            self._geo_epoch_rows,
+        )
+        self._register(
+            "geo_shard_map",
+            [("slot", DataType.BIGINT), ("home_region", DataType.BIGINT),
+             ("subscribers", DataType.TEXT)],
+            self._geo_shard_map_rows,
+        )
+        self._register(
             "htap_merges",
             [("merge_id", DataType.BIGINT), ("dn", DataType.BIGINT),
              ("table_name", DataType.TEXT), ("t_us", DataType.DOUBLE),
@@ -321,6 +347,21 @@ class SystemCatalog:
         if self.obs.shard_map is None:
             return []
         return self.obs.shard_map.rows()
+
+    def _geo_region_rows(self) -> Iterable[tuple]:
+        if self.obs.geo is None:
+            return []
+        return self.obs.geo.region_rows()
+
+    def _geo_epoch_rows(self) -> Iterable[tuple]:
+        if self.obs.geo is None:
+            return []
+        return self.obs.geo.epoch_rows()
+
+    def _geo_shard_map_rows(self) -> Iterable[tuple]:
+        if self.obs.geo is None:
+            return []
+        return self.obs.geo.shard_rows()
 
     def _rebalance_rows(self) -> Iterable[tuple]:
         if self.obs.rebalance is None:

@@ -68,6 +68,17 @@ WAIT_REBALANCE_COPY = "rebalance_copy"
 #: Online-resharding source truncation I/O after the owner flip;
 #: attributed to the move source.
 WAIT_REBALANCE_TRUNCATE = "rebalance_truncate"
+#: Geo commit: time from local submit until the transaction's epoch sealed.
+WAIT_GEO_EPOCH = "geo.epoch"
+#: Geo commit: seal until the last peer region's batch arrived (the WAN).
+WAIT_GEO_SHIP = "geo.ship"
+#: Geo commit: deterministic certification of the full epoch.
+WAIT_GEO_CERTIFY = "geo.certify"
+#: Geo commit: applying the epoch's certified writes at the home region.
+WAIT_GEO_APPLY = "geo.apply"
+#: Read of a shard this region does not host, served by its home region
+#: one WAN round trip away.
+WAIT_GEO_REMOTE_READ = "geo.remote_read"
 
 ALL_WAIT_EVENTS = (
     WAIT_GTM_GLOBAL, WAIT_GTM_LOCAL, WAIT_MERGE_UPGRADE,
@@ -77,6 +88,8 @@ ALL_WAIT_EVENTS = (
     WAIT_FAULT_RETRY, WAIT_FAULT_FAILOVER, WAIT_FAULT_DELAY,
     WAIT_WLM_QUEUE, WAIT_WLM_SPILL, WAIT_HTAP_MERGE,
     WAIT_REBALANCE_COPY, WAIT_REBALANCE_TRUNCATE,
+    WAIT_GEO_EPOCH, WAIT_GEO_SHIP, WAIT_GEO_CERTIFY, WAIT_GEO_APPLY,
+    WAIT_GEO_REMOTE_READ,
 )
 
 

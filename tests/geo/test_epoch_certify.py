@@ -1,0 +1,129 @@
+"""Epoch batching and the deterministic certifier."""
+
+import pytest
+
+from repro.geo import (
+    ABORT,
+    COMMIT,
+    EpochBatch,
+    EpochManager,
+    GeoTxnRecord,
+    GeoWriteOp,
+    certification_order,
+    certify_epoch,
+    outcome_digest,
+)
+
+
+def record(origin, seq, commit_ts, keys, session=1, table="t"):
+    return GeoTxnRecord(
+        txn_id=(origin, seq), origin=origin, kind="w", commit_ts=commit_ts,
+        ops=[GeoWriteOp("update", table, k, {"v": seq}, 0) for k in keys],
+        session_id=session,
+    )
+
+
+class TestEpochManager:
+    def test_submit_assigns_natural_epoch(self):
+        m = EpochManager(0, 1_000.0)
+        assert m.submit(record(0, 1, 250.0, ["a"])) == 0
+        assert m.submit(record(0, 2, 1_250.0, ["b"])) == 1
+        assert m.submit(record(0, 3, 5_500.0, ["c"])) == 5
+
+    def test_seal_through_is_dense_and_stamps_boundaries(self):
+        m = EpochManager(0, 1_000.0)
+        m.submit(record(0, 1, 2_500.0, ["a"]))
+        batches = m.seal_through(3_000.0)
+        assert [b.epoch for b in batches] == [0, 1, 2]
+        assert [b.seal_us for b in batches] == [1_000.0, 2_000.0, 3_000.0]
+        assert [len(b.records) for b in batches] == [0, 0, 1]
+        assert m.last_sealed == 2
+
+    def test_late_commit_rolls_forward_past_sealed_epochs(self):
+        m = EpochManager(0, 1_000.0)
+        m.seal_through(3_000.0)
+        # A commit stamped inside already-sealed history joins the earliest
+        # still-open epoch instead of mutating the sealed log.
+        assert m.submit(record(0, 1, 500.0, ["a"])) == 3
+
+    def test_rebase_renumbers_only_the_future(self):
+        m = EpochManager(0, 1_000.0)
+        m.seal_through(2_000.0)          # sealed 0, 1
+        m.rebase(2, 2_000.0, 4_000.0)
+        assert m.seal_boundary_us(2) == 6_000.0
+        assert m.epoch_of(9_000.0) == 3
+        with pytest.raises(ValueError):
+            m.rebase(1, 0.0, 500.0)
+
+    def test_abort_open_preserves_sealed_log(self):
+        m = EpochManager(0, 1_000.0)
+        m.submit(record(0, 1, 100.0, ["a"]))
+        m.seal_through(1_000.0)
+        m.submit(record(0, 2, 1_100.0, ["b"]))
+        lost = m.abort_open()
+        assert [r.txn_id for r in lost] == [(0, 2)]
+        assert m.open_count == 0
+        assert len(m.sealed[0].records) == 1
+
+    def test_txn_ids_are_monotone_per_region(self):
+        m = EpochManager(2, 1_000.0)
+        assert m.next_txn_id() == (2, 1)
+        assert m.next_txn_id() == (2, 2)
+
+
+class TestCertifier:
+    def batches(self, *records_by_region):
+        return [EpochBatch(region=i, epoch=0, seal_us=1_000.0,
+                           records=list(records))
+                for i, records in enumerate(records_by_region)]
+
+    def test_order_is_batch_order_independent(self):
+        r0 = record(0, 1, 100.0, ["a"])
+        r1 = record(1, 1, 50.0, ["b"])
+        batches = self.batches([r0], [r1])
+        assert certification_order(batches) \
+            == certification_order(list(reversed(batches)))
+
+    def test_cross_session_conflict_first_committer_wins(self):
+        r0 = record(0, 1, 100.0, ["hot"], session=1)
+        r1 = record(1, 1, 50.0, ["hot"], session=9)
+        verdicts = certify_epoch(self.batches([r0], [r1]))
+        # Region priority beats commit timestamp: region 0 claims first.
+        assert verdicts == [((0, 1), COMMIT), ((1, 1), ABORT)]
+
+    def test_same_session_writes_stack_instead_of_aborting(self):
+        r0 = record(0, 1, 100.0, ["hot"], session=1)
+        r1 = record(0, 2, 200.0, ["hot"], session=1)
+        verdicts = certify_epoch(self.batches([r0, r1], []))
+        assert verdicts == [((0, 1), COMMIT), ((0, 2), COMMIT)]
+
+    def test_same_region_different_sessions_conflict(self):
+        r0 = record(0, 1, 100.0, ["hot"], session=1)
+        r1 = record(0, 2, 200.0, ["hot"], session=2)
+        verdicts = certify_epoch(self.batches([r0, r1], []))
+        assert verdicts == [((0, 1), COMMIT), ((0, 2), ABORT)]
+
+    def test_disjoint_write_sets_all_commit(self):
+        r0 = record(0, 1, 100.0, ["a", "b"])
+        r1 = record(1, 1, 50.0, ["c"], session=5)
+        verdicts = certify_epoch(self.batches([r0], [r1]))
+        assert all(outcome == COMMIT for _, outcome in verdicts)
+
+    def test_aborted_txn_claims_nothing(self):
+        # r1 aborts on "hot" (claimed by r0); r2 touching only r1's other
+        # key "x" must still commit — an aborted txn leaves no claims.
+        r0 = record(0, 1, 100.0, ["hot"], session=1)
+        r1 = record(1, 1, 150.0, ["hot", "x"], session=2)
+        r2 = record(2, 1, 200.0, ["x"], session=3)
+        verdicts = dict(certify_epoch(self.batches([r0], [r1], [r2])))
+        assert verdicts[(1, 1)] == ABORT
+        assert verdicts[(2, 1)] == COMMIT
+
+    def test_digest_is_replay_stable(self):
+        r0 = record(0, 1, 100.0, ["a"])
+        r1 = record(1, 1, 50.0, ["a"], session=7)
+        v = certify_epoch(self.batches([r0], [r1]))
+        # crc32 of the canonical rendering: stable across processes, unlike
+        # salted str hashing.
+        assert outcome_digest(3, v) == outcome_digest(3, list(v))
+        assert outcome_digest(3, v) != outcome_digest(4, v)

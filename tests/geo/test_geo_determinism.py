@@ -1,0 +1,125 @@
+"""Replay determinism: same seed, same epochs, same verdicts, same bytes.
+
+The certifier is a pure function of the epoch's batch set and the epoch
+machine runs on simulated time, so an identical submission schedule must
+replay an identical ``sys.geo_epochs`` log — across 2- and 3-region
+topologies — and ``geo_enabled=False`` must replay the seed single-cluster
+path result- and telemetry-identically.
+"""
+
+from repro.cluster.mpp import MppCluster
+from repro.common.rng import make_rng
+from repro.geo import GeoCluster, GeoConfig
+from repro.sql.engine import SqlEngine
+from repro.storage import Column, DataType, TableSchema
+from repro.workloads.driver import run_oltp
+from repro.workloads.tpcc_lite import TpccLiteWorkload, load_tpcc
+
+
+def _schema():
+    return TableSchema(
+        "t", [Column("k", DataType.INT), Column("v", DataType.INT)], "k")
+
+
+def _run_geo(num_regions, seed):
+    """A contended mixed workload with interleaved epoch advancement."""
+    geo = GeoCluster(GeoConfig(
+        num_regions=num_regions, dns_per_region=1,
+        replication_factor=min(2, num_regions)))
+    geo.create_table(_schema())
+    rng = make_rng(seed)
+    sessions = [geo.session(r) for r in range(num_regions)]
+    seeder = geo.session(0)
+    for k in range(8):
+        seeder.run_transaction(
+            lambda txn, k=k: txn.insert("t", {"k": k, "v": 0}))
+    geo.drain()
+    handles = []
+    for i in range(30):
+        region = rng.randrange(num_regions)
+        key = rng.randrange(8)              # hot keyspace: real conflicts
+
+        def bump(txn, k=key):
+            row = txn.read("t", k)
+            txn.update("t", k, {"v": row["v"] + 1})
+
+        handles.append(sessions[region].run_transaction(bump))
+        if i % 7 == 6:                      # ship/certify mid-run, not
+            geo.step_to(geo._now_us + 25_000.0)   # only at the drain
+    geo.drain()
+    geo.assert_converged()
+    return geo, handles
+
+
+def _fingerprint(geo, handles):
+    engine = SqlEngine(geo.regions[0], learning_enabled=False)
+    return {
+        "epoch_rows": list(geo.epoch_rows()),
+        "sys.geo_epochs": engine.execute(
+            "SELECT * FROM sys.geo_epochs").rows,
+        "handles": [(h.txn_id, h.status, h.epoch, h.ack_us, h.reason)
+                    for h in handles],
+        "frontiers": [geo.certified_epoch(r)
+                      for r in range(geo.num_regions)],
+    }
+
+
+class TestReplayDeterminism:
+    def test_two_region_replay_is_byte_identical(self):
+        a = _fingerprint(*_run_geo(2, seed=101))
+        b = _fingerprint(*_run_geo(2, seed=101))
+        assert a == b
+        assert a["epoch_rows"], "workload produced no certified epochs"
+
+    def test_three_region_replay_is_byte_identical(self):
+        a = _fingerprint(*_run_geo(3, seed=202))
+        b = _fingerprint(*_run_geo(3, seed=202))
+        assert a == b
+        committed = sum(1 for _, s, *_ in a["handles"] if s == "committed")
+        assert committed > 0
+
+    def test_different_seeds_differ(self):
+        # Sanity check on the fingerprint itself: it must be sensitive to
+        # the schedule, or the equality assertions above prove nothing.
+        a = _fingerprint(*_run_geo(3, seed=1))
+        b = _fingerprint(*_run_geo(3, seed=2))
+        assert a != b
+
+
+class TestDisabledPathIdentity:
+    """``geo_enabled=False`` is the seed cluster, bit for bit."""
+
+    @staticmethod
+    def _run_oltp(cluster):
+        load_tpcc(cluster, num_warehouses=4)
+        workload = TpccLiteWorkload(num_warehouses=4,
+                                    multi_shard_fraction=0.2, seed=11)
+        return run_oltp(cluster, workload, clients_per_dn=2,
+                        txns_per_client=5)
+
+    @staticmethod
+    def _sys_snapshot(cluster):
+        engine = SqlEngine(cluster, learning_enabled=False)
+        return {
+            view: engine.execute(f"SELECT * FROM {view}").rows
+            for view in ("sys.wait_events", "sys.metrics",
+                         "sys.slow_queries", "sys.alerts")
+        }
+
+    def test_disabled_matches_plain_cluster_results_and_telemetry(self):
+        geo = GeoCluster(GeoConfig(num_regions=1, dns_per_region=2,
+                                   geo_enabled=False))
+        plain = MppCluster(num_dns=2)
+        result_geo = self._run_oltp(geo.regions[0])
+        result_plain = self._run_oltp(plain)
+        assert result_geo.as_dict() == result_plain.as_dict()
+        assert self._sys_snapshot(geo.regions[0]) \
+            == self._sys_snapshot(plain)
+
+    def test_disabled_registers_no_geo_views_or_metrics(self):
+        geo = GeoCluster(GeoConfig(num_regions=1, geo_enabled=False))
+        engine = SqlEngine(geo.regions[0], learning_enabled=False)
+        rows = engine.query("SELECT name FROM sys.metrics "
+                            "WHERE name LIKE 'geo.%'")
+        assert rows == []
+        assert geo.regions[0].obs.geo is None

@@ -1,0 +1,91 @@
+"""GeoShardMap: per-region slot placement for partial replication."""
+
+import pytest
+
+from repro.cluster.shardmap import ShardMapError
+from repro.geo import SLOTS_PER_REGION, GeoShardMap
+
+
+class TestPlacement:
+    def test_round_robin_homes_balance_exactly(self):
+        m = GeoShardMap(3)
+        for region in range(3):
+            assert len(m.slots_homed_at(region)) == SLOTS_PER_REGION
+
+    def test_full_replication_is_the_default(self):
+        m = GeoShardMap(3)
+        for slot in range(m.num_slots):
+            assert m.hosting_regions(slot) == ((slot % 3), ((slot + 1) % 3),
+                                               ((slot + 2) % 3))
+        assert m.hosted_counts() == {0: 48, 1: 48, 2: 48}
+
+    def test_partial_replication_ring_order(self):
+        m = GeoShardMap(3, replication_factor=2)
+        assert m.hosting_regions(0) == (0, 1)
+        assert m.hosting_regions(1) == (1, 2)
+        assert m.hosting_regions(2) == (2, 0)
+        assert m.hosts(0, 0) and m.hosts(1, 0) and not m.hosts(2, 0)
+
+    def test_replication_factor_one_home_only(self):
+        m = GeoShardMap(3, replication_factor=1)
+        for slot in range(m.num_slots):
+            assert m.hosting_regions(slot) == (m.home_region_of_slot(slot),)
+
+    def test_single_region_map_homes_everything_at_zero(self):
+        m = GeoShardMap(1)
+        assert m.slots_homed_at(0) == list(range(m.num_slots))
+
+    def test_value_routing_matches_slot_routing(self):
+        m = GeoShardMap(3, replication_factor=2)
+        for value in range(40):
+            slot = m.slot_of_value(value)
+            assert m.home_region_of_value(value) == m.home_region_of_slot(slot)
+            for region in range(3):
+                assert m.hosts_value(region, value) == m.hosts(region, slot)
+
+
+class TestPlace:
+    def test_place_moves_home_and_bumps_version(self):
+        m = GeoShardMap(3, replication_factor=1)
+        v0 = m.version
+        m.place(5, home=2, subscribers=(0,))
+        assert m.version == v0 + 1
+        assert m.home_region_of_slot(5) == 2
+        assert m.hosting_regions(5) == (2, 0)
+
+    def test_place_dedups_and_orders_subscribers(self):
+        m = GeoShardMap(4)
+        m.place(0, home=3, subscribers=(2, 3, 0, 2))
+        assert m.hosting_regions(0) == (3, 0, 2)
+
+    def test_place_validates_ranges(self):
+        m = GeoShardMap(2)
+        with pytest.raises(ShardMapError):
+            m.place(m.num_slots, home=0)
+        with pytest.raises(ShardMapError):
+            m.place(0, home=2)
+        with pytest.raises(ShardMapError):
+            m.place(0, home=0, subscribers=(5,))
+
+
+class TestValidation:
+    def test_rejects_bad_region_count(self):
+        with pytest.raises(ShardMapError):
+            GeoShardMap(0)
+
+    def test_rejects_non_multiple_slot_count(self):
+        with pytest.raises(ShardMapError):
+            GeoShardMap(3, num_slots=32)
+
+    def test_rejects_bad_replication_factor(self):
+        with pytest.raises(ShardMapError):
+            GeoShardMap(3, replication_factor=4)
+        with pytest.raises(ShardMapError):
+            GeoShardMap(3, replication_factor=0)
+
+    def test_rows_render_subscriber_strings(self):
+        m = GeoShardMap(2, replication_factor=2)
+        rows = m.rows()
+        assert len(rows) == m.num_slots
+        slot, home, subs = rows[0]
+        assert slot == 0 and home == 0 and subs == "r0,r1"
