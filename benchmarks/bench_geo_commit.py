@@ -1,0 +1,159 @@
+"""Geo commit latency: epoch-based multi-master vs naive global 2PC.
+
+The same contended TPC-C-lite schedule (three regions, each submitting
+from its own home warehouses, 20% of transactions touching a remote
+warehouse) runs twice over identical 3-region topologies:
+
+* **geogauss** — ``GeoMode.GEOGAUSS``: transactions batch into 10ms
+  epochs, sealed batches cross the WAN once per epoch, and a
+  deterministic certifier resolves write-write conflicts identically in
+  every region.  A commit waits for its epoch boundary plus ONE one-way
+  WAN hop plus certification.
+* **global_2pc** — ``GeoMode.GLOBAL_2PC``: every transaction runs a
+  synchronous prepare+commit across its hosting regions — two full WAN
+  round trips on the commit path.
+
+Both run partial replication (``replication_factor=2``), so writes and
+2PC votes involve two of the three regions.  Latency is simulated time
+(deterministic), not wall clock.  CI gates the headline claims:
+
+* p95 cross-region commit latency under epoch commit is at most
+  ``P95_RATIO_BOUND`` (0.5x) of the 2PC baseline — i.e. a >= 2x win;
+* the certification abort rate on this contended schedule stays at or
+  below ``ABORT_RATE_BOUND`` (10%).
+
+Run:  PYTHONPATH=src python benchmarks/bench_geo_commit.py
+Writes ``BENCH_geo_commit.json`` next to this file (under ``out/``).
+"""
+
+import json
+from pathlib import Path
+
+from repro.geo import (
+    GeoCluster,
+    GeoConfig,
+    GeoMode,
+    load_tpcc_geo,
+    warehouses_homed_at,
+)
+from repro.wlm.driver import percentile
+from repro.workloads.tpcc_lite import TpccLiteWorkload
+
+NUM_REGIONS = 3
+DNS_PER_REGION = 2
+REPLICATION_FACTOR = 2
+WAREHOUSES = 6
+TXNS_PER_REGION = 40
+MULTI_SHARD_FRACTION = 0.2
+#: CI gates (ISSUE: >= 2x p95 win at <= 10% certification aborts).
+P95_RATIO_BOUND = 0.5
+ABORT_RATE_BOUND = 0.10
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_geo_commit.json"
+
+
+def run_mode(mode: GeoMode) -> dict:
+    geo = GeoCluster(GeoConfig(
+        num_regions=NUM_REGIONS, dns_per_region=DNS_PER_REGION,
+        mode=mode, replication_factor=REPLICATION_FACTOR))
+    load_tpcc_geo(geo, num_warehouses=WAREHOUSES)
+    workload = TpccLiteWorkload(num_warehouses=WAREHOUSES,
+                                multi_shard_fraction=MULTI_SHARD_FRACTION,
+                                seed=11)
+    sessions = [geo.session(r) for r in range(NUM_REGIONS)]
+    streams = [
+        workload.stream(
+            home_warehouse=warehouses_homed_at(geo, r, WAREHOUSES)[0],
+            seed_offset=r)
+        for r in range(NUM_REGIONS)
+    ]
+    handles = []
+    # Round-robin submission in batches so all three regions load the same
+    # epochs (that concurrency is what contends at certification), with
+    # the epoch machine shipping mid-schedule and every client clock
+    # following the global clock — commit latency is measured from a
+    # submit time that tracks real schedule progress.
+    batch = 8
+    for _ in range(TXNS_PER_REGION // batch):
+        for region in range(NUM_REGIONS):
+            for _ in range(batch):
+                spec = next(streams[region])
+                handles.append(sessions[region].run_transaction(
+                    spec.body, multi_shard=spec.multi_shard))
+        if mode is GeoMode.GEOGAUSS:
+            geo.step_to(geo._now_us + 20_000.0)
+            for session in sessions:
+                session.wait_until(geo._now_us)
+    geo.drain()
+    if mode is GeoMode.GEOGAUSS:
+        geo.assert_converged()
+
+    statuses = [h.status for h in handles]
+    assert "pending" not in statuses, "transactions left unresolved"
+    committed = [h for h in handles if h.status == "committed"]
+    assert committed, f"{mode.value}: nothing committed"
+    latencies = [h.latency_us for h in committed]
+    aborted = statuses.count("aborted")
+    return {
+        "mode": mode.value,
+        "txns": len(handles),
+        "committed": len(committed),
+        "aborted": aborted,
+        "abort_rate": aborted / len(handles),
+        "p50_commit_us": percentile(latencies, 50),
+        "p95_commit_us": percentile(latencies, 95),
+        "max_commit_us": max(latencies),
+        "wan_messages": (geo.fabric.messages_sent
+                         if mode is GeoMode.GEOGAUSS else None),
+        "certified_epochs": (len({row[0] for row in geo.epoch_rows()})
+                             if mode is GeoMode.GEOGAUSS else None),
+    }
+
+
+def main() -> None:
+    epoch = run_mode(GeoMode.GEOGAUSS)
+    naive = run_mode(GeoMode.GLOBAL_2PC)
+    ratio = epoch["p95_commit_us"] / naive["p95_commit_us"]
+
+    assert ratio <= P95_RATIO_BOUND, (
+        f"epoch-commit p95 {epoch['p95_commit_us']:.0f}us is "
+        f"{ratio:.2f}x the 2PC baseline {naive['p95_commit_us']:.0f}us "
+        f"(bound {P95_RATIO_BOUND}x)")
+    assert epoch["abort_rate"] <= ABORT_RATE_BOUND, (
+        f"certification abort rate {epoch['abort_rate']:.1%} exceeds "
+        f"{ABORT_RATE_BOUND:.0%}")
+
+    report = {
+        "benchmark": "geo_commit",
+        "config": {
+            "num_regions": NUM_REGIONS,
+            "dns_per_region": DNS_PER_REGION,
+            "replication_factor": REPLICATION_FACTOR,
+            "warehouses": WAREHOUSES,
+            "txns_per_region": TXNS_PER_REGION,
+            "multi_shard_fraction": MULTI_SHARD_FRACTION,
+            "p95_ratio_bound": P95_RATIO_BOUND,
+            "abort_rate_bound": ABORT_RATE_BOUND,
+        },
+        "geogauss": epoch,
+        "global_2pc": naive,
+        "p95_ratio": ratio,
+    }
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'mode':12s} {'txns':>5s} {'abort%':>7s} "
+          f"{'p50':>10s} {'p95':>10s}")
+    for row in (epoch, naive):
+        print(f"{row['mode']:12s} {row['txns']:5d} "
+              f"{row['abort_rate']:7.1%} "
+              f"{row['p50_commit_us']:8.0f}us {row['p95_commit_us']:8.0f}us")
+    print(f"p95 ratio geogauss/2pc: {ratio:.2f}x "
+          f"(bound {P95_RATIO_BOUND}x); "
+          f"{epoch['certified_epochs']} certified epochs, "
+          f"{epoch['wan_messages']} WAN batch messages")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()
